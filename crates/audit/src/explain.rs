@@ -1,0 +1,168 @@
+//! The explainer: per-access explanations ranked by path length.
+//!
+//! "When there are multiple explanation instances for a given log record,
+//! we convert each to natural language and rank the explanations in
+//! ascending order of path length" (§2.1).
+
+use eba_core::{ExplanationTemplate, LogSpec};
+use eba_relational::{Database, EvalOptions, Result, RowId};
+use std::collections::HashSet;
+
+/// One rendered explanation for a specific access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedExplanation {
+    /// Index into the explainer's template list.
+    pub template_index: usize,
+    /// Template path length (the ranking key; shorter = more direct).
+    pub length: usize,
+    /// Natural-language text.
+    pub text: String,
+}
+
+/// A template suite ready to explain individual accesses.
+#[derive(Debug, Clone, Default)]
+pub struct Explainer {
+    templates: Vec<ExplanationTemplate>,
+}
+
+impl Explainer {
+    /// Builds an explainer over a set of templates.
+    pub fn new(templates: Vec<ExplanationTemplate>) -> Self {
+        Explainer { templates }
+    }
+
+    /// The templates, in index order.
+    pub fn templates(&self) -> &[ExplanationTemplate] {
+        &self.templates
+    }
+
+    /// Adds a template, returning its index.
+    pub fn push(&mut self, t: ExplanationTemplate) -> usize {
+        self.templates.push(t);
+        self.templates.len() - 1
+    }
+
+    /// All explanations for one log record, rendered and sorted by
+    /// ascending path length (then template order). At most
+    /// `instances_per_template` witnesses are rendered per template.
+    pub fn explain(
+        &self,
+        db: &Database,
+        spec: &LogSpec,
+        row: RowId,
+        instances_per_template: usize,
+    ) -> Result<Vec<RankedExplanation>> {
+        let mut out = Vec::new();
+        for (i, t) in self.templates.iter().enumerate() {
+            for inst in t.instances(db, spec, row, instances_per_template)? {
+                out.push(RankedExplanation {
+                    template_index: i,
+                    length: t.length(),
+                    text: t.render(db, spec, row, &inst),
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.length, e.template_index));
+        Ok(out)
+    }
+
+    /// Rows (within the spec's anchor) explained by at least one template.
+    pub fn explained_rows(&self, db: &Database, spec: &LogSpec) -> HashSet<RowId> {
+        let mut out = HashSet::new();
+        for t in &self.templates {
+            let rows = t
+                .path
+                .to_chain_query(spec)
+                .explained_rows(db, EvalOptions::default())
+                .expect("templates lower to valid queries");
+            out.extend(rows);
+        }
+        out
+    }
+
+    /// Anchor rows *no* template explains — the paper's reduced set of
+    /// potentially suspicious accesses.
+    pub fn unexplained_rows(&self, db: &Database, spec: &LogSpec) -> Vec<RowId> {
+        let explained = self.explained_rows(db, spec);
+        crate::metrics::anchor_rows(db, spec)
+            .into_iter()
+            .filter(|rid| !explained.contains(rid))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handcrafted::HandcraftedTemplates;
+    use eba_synth::{Hospital, SynthConfig};
+
+    fn setup() -> (Hospital, LogSpec, Explainer) {
+        let h = Hospital::generate(SynthConfig::tiny());
+        let spec = LogSpec::conventional(&h.db).unwrap();
+        let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+        let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+        (h, spec, explainer)
+    }
+
+    #[test]
+    fn explanations_are_ranked_by_length() {
+        let (h, spec, explainer) = setup();
+        // Find a row with at least two explanations.
+        for rid in 0..h.log_len() as RowId {
+            let ex = explainer.explain(&h.db, &spec, rid, 4).unwrap();
+            if ex.len() >= 2 {
+                for w in ex.windows(2) {
+                    assert!(w[0].length <= w[1].length);
+                }
+                assert!(!ex[0].text.is_empty());
+                return;
+            }
+        }
+        panic!("no multiply-explained access found");
+    }
+
+    #[test]
+    fn explained_plus_unexplained_covers_anchor() {
+        let (h, spec, explainer) = setup();
+        let explained = explainer.explained_rows(&h.db, &spec);
+        let unexplained = explainer.unexplained_rows(&h.db, &spec);
+        assert_eq!(explained.len() + unexplained.len(), h.log_len());
+        for rid in unexplained {
+            assert!(!explained.contains(&rid));
+        }
+    }
+
+    #[test]
+    fn float_assists_are_unexplained() {
+        let (h, spec, explainer) = setup();
+        let explained = explainer.explained_rows(&h.db, &spec);
+        let mut float_explained = 0;
+        let mut float_total = 0;
+        for rid in 0..h.log_len() as RowId {
+            if h.reason_of(rid) == eba_synth::AccessReason::FloatAssist {
+                float_total += 1;
+                if explained.contains(&rid) {
+                    float_explained += 1;
+                }
+            }
+        }
+        assert!(float_total > 0);
+        // A float's *first* access has no event path; repeats of floats
+        // are explained by the repeat template only.
+        assert!(
+            (float_explained as f64) < 0.2 * float_total as f64,
+            "{float_explained}/{float_total} float accesses explained"
+        );
+    }
+
+    #[test]
+    fn push_extends_the_suite() {
+        let (h, spec, mut explainer) = setup();
+        let before = explainer.templates().len();
+        let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+        let idx = explainer.push(t.appt_with_dr.clone());
+        assert_eq!(idx, before);
+        assert_eq!(explainer.templates().len(), before + 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Ablation of the §3.2.1 mining optimizations: support caching,
+//! distinct-projection de-duplication, and non-selective-path skipping.
+//! The paper notes that "without the optimizations ... the run time
+//! increases by many hours" on CareWeb-scale data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_bench::bench_config;
+use eba_core::{mine_one_way, MiningConfig};
+use eba_experiments::Scenario;
+
+fn ablation_benches(c: &mut Criterion) {
+    let scenario = Scenario::build(bench_config());
+    let spec = scenario.train_spec();
+    let db = &scenario.hospital.db;
+
+    let variants: [(&str, bool, bool, bool); 5] = [
+        ("all_on", true, true, true),
+        ("no_cache", false, true, true),
+        ("no_dedup", true, false, true),
+        ("no_skip", true, true, false),
+        ("all_off", false, false, false),
+    ];
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, cache, dedup, skip) in variants {
+        let config = MiningConfig {
+            support_frac: 0.01,
+            max_length: 4,
+            max_tables: 3,
+            opt_cache: cache,
+            opt_dedup: dedup,
+            opt_skip: skip,
+            ..MiningConfig::default()
+        };
+        group.bench_function(name, |b| b.iter(|| mine_one_way(db, &spec, &config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Collaborative-group substrate benchmarks: building `W = AᵀA` from the
+//! log and clustering it (flat Louvain and the full hierarchy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_bench::bench_config;
+use eba_cluster::{louvain, AccessMatrix, Hierarchy, HierarchyConfig};
+use eba_synth::Hospital;
+
+fn clustering_benches(c: &mut Criterion) {
+    let h = Hospital::generate(bench_config());
+    let log = h.db.table(h.t_log);
+    let pairs: Vec<(u32, u32)> = log
+        .iter()
+        .filter_map(|(_, row)| {
+            let p = h.patient_index(row[h.log_cols.patient])?;
+            let u = h.user_index(row[h.log_cols.user])?;
+            Some((p as u32, u as u32))
+        })
+        .collect();
+    let n_patients = h.world.n_patients();
+    let n_users = h.world.n_users();
+    let matrix = AccessMatrix::from_pairs(n_patients, n_users, pairs.iter().copied());
+    let graph = matrix.similarity_graph(500);
+
+    let mut group = c.benchmark_group("clustering");
+    group.bench_function("access_matrix", |b| {
+        b.iter(|| AccessMatrix::from_pairs(n_patients, n_users, pairs.iter().copied()))
+    });
+    group.bench_function("similarity_graph", |b| {
+        b.iter(|| matrix.similarity_graph(500))
+    });
+    group.bench_function("louvain_flat", |b| b.iter(|| louvain(&graph)));
+    group.bench_function("hierarchy_8_levels", |b| {
+        b.iter(|| Hierarchy::build(&graph, HierarchyConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, clustering_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Relational-substrate microbenchmarks: the support query
+//! (`COUNT(DISTINCT Log.Lid)` over a path), instance enumeration, and the
+//! estimator that powers the skip optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_bench::bench_config;
+use eba_experiments::Scenario;
+use eba_relational::{estimate_support, EvalOptions};
+
+fn engine_benches(c: &mut Criterion) {
+    let scenario = Scenario::build(bench_config());
+    let db = &scenario.hospital.db;
+    let spec = &scenario.spec;
+
+    let short = scenario.handcrafted.appt_with_dr.path.to_chain_query(spec);
+    let long = eba_audit::handcrafted::same_group(
+        db,
+        spec,
+        eba_audit::handcrafted::EventTable::Appointments,
+        Some(1),
+    )
+    .expect("groups installed")
+    .path
+    .to_chain_query(spec);
+    let repeat = scenario.handcrafted.repeat_access.path.to_chain_query(spec);
+
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("support_len2_appt", |b| {
+        b.iter(|| short.support(db, EvalOptions::default()).expect("valid"))
+    });
+    group.bench_function("support_len4_group", |b| {
+        b.iter(|| long.support(db, EvalOptions::default()).expect("valid"))
+    });
+    group.bench_function("support_decorated_repeat", |b| {
+        b.iter(|| repeat.support(db, EvalOptions::default()).expect("valid"))
+    });
+    group.bench_function("support_len2_no_dedup", |b| {
+        b.iter(|| short.support(db, EvalOptions { dedup: false }).expect("valid"))
+    });
+    group.bench_function("estimate_len4_group", |b| {
+        b.iter(|| estimate_support(db, &long))
+    });
+    group.bench_function("instances_one_row", |b| {
+        b.iter(|| short.instances(db, 0, 8).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 13's subject as a Criterion benchmark: the three mining
+//! algorithms on the same (bench-sized) hospital, at each maximum length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_bench::bench_config;
+use eba_core::{mine_bridge, mine_one_way, mine_two_way, MiningConfig};
+use eba_experiments::Scenario;
+
+fn mining_benches(c: &mut Criterion) {
+    let scenario = Scenario::build(bench_config());
+    let spec = scenario.train_spec();
+    let db = &scenario.hospital.db;
+
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    for max_length in [2usize, 3, 4] {
+        let config = MiningConfig {
+            support_frac: 0.01,
+            max_length,
+            max_tables: 3,
+            ..MiningConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("one_way", max_length),
+            &config,
+            |b, cfg| b.iter(|| mine_one_way(db, &spec, cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_way", max_length),
+            &config,
+            |b, cfg| b.iter(|| mine_two_way(db, &spec, cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bridge_2", max_length),
+            &config,
+            |b, cfg| b.iter(|| mine_bridge(db, &spec, cfg, 2).expect("valid ell")),
+        );
+        if max_length >= 3 {
+            group.bench_with_input(
+                BenchmarkId::new("bridge_3", max_length),
+                &config,
+                |b, cfg| b.iter(|| mine_bridge(db, &spec, cfg, 3).expect("valid ell")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mining_benches);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Weighted undirected graphs.
+
+use std::collections::HashMap;
+
+/// Accumulating builder: repeated `add_edge` calls on the same pair sum
+/// their weights.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: HashMap<(u32, u32), f64>,
+    loops: Vec<f64>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: HashMap::new(),
+            loops: vec![0.0; n],
+        }
+    }
+
+    /// Adds (accumulates) an undirected edge of weight `w`. A `u == v` edge
+    /// is a self-loop.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v {
+            self.loops[u] += w;
+            return;
+        }
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        *self.edges.entry(key).or_insert(0.0) += w;
+    }
+
+    /// Finalizes into an immutable [`WeightedGraph`].
+    pub fn build(self) -> WeightedGraph {
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.n];
+        let mut total = 0.0;
+        for (&(u, v), &w) in &self.edges {
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+            total += w;
+        }
+        for l in &self.loops {
+            total += *l;
+        }
+        // Deterministic neighbor order regardless of hash-map iteration.
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(v, _)| v);
+        }
+        WeightedGraph {
+            adj,
+            loops: self.loops,
+            total_weight: total,
+        }
+    }
+}
+
+/// An immutable weighted undirected graph with self-loops.
+///
+/// `total_weight` is *m*: each undirected edge counted once, each self-loop
+/// counted once. A node's weighted degree counts incident edges once and its
+/// self-loop twice (the standard convention, so that `Σᵢ kᵢ = 2m`).
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    adj: Vec<Vec<(u32, f64)>>,
+    loops: Vec<f64>,
+    total_weight: f64,
+}
+
+impl WeightedGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total edge weight *m* (edges once, self-loops once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Neighbors of `u` with weights, sorted by node id. Self-loops are not
+    /// listed here; see [`WeightedGraph::loop_weight`].
+    pub fn neighbors(&self, u: usize) -> &[(u32, f64)] {
+        &self.adj[u]
+    }
+
+    /// Self-loop weight of `u`.
+    pub fn loop_weight(&self, u: usize) -> f64 {
+        self.loops[u]
+    }
+
+    /// Weighted degree `k_u` (self-loop counted twice).
+    pub fn degree(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.loops[u]
+    }
+
+    /// The paper's node weight: the sum of the connected edges' weights.
+    pub fn node_weight(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Weight of the edge `u — v`, if present.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        let vs = &self.adj[u];
+        vs.binary_search_by_key(&(v as u32), |&(n, _)| n)
+            .ok()
+            .map(|i| vs[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_accumulates_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.25);
+        b.add_edge(1, 0, 0.25);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(0.5));
+        assert_eq!(g.edge_weight(1, 0), Some(0.5));
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert!((g.total_weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_counts_self_loops_twice() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 0, 2.0);
+        let g = b.build();
+        assert!((g.degree(0) - 5.0).abs() < 1e-12);
+        assert!((g.degree(1) - 1.0).abs() < 1e-12);
+        assert!((g.loop_weight(0) - 2.0).abs() < 1e-12);
+        // Handshake: Σk = 2m.
+        let sum: f64 = (0..2).map(|u| g.degree(u)).sum();
+        assert!((sum - 2.0 * g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_weight_excludes_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.36);
+        b.add_edge(0, 0, 9.0);
+        let g = b.build();
+        assert!((g.node_weight(0) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 1, 1.0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(2, 0, 1.0);
+        b.add_edge(2, 1, 1.0);
+        let g = b.build();
+        let ns: Vec<u32> = g.neighbors(2).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ns, vec![0, 1, 3]);
+    }
+}

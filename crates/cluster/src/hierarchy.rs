@@ -1,0 +1,242 @@
+//! Hierarchical collaborative groups.
+//!
+//! §4.1: "We can recursively apply the clustering algorithm on each cluster
+//! to produce a hierarchical clustering. Intuitively, clusters produced at
+//! the lower levels of the hierarchy will be more connected than clusters
+//! produced at higher levels." The paper's data produced an 8-level
+//! hierarchy; depth 0 is the degenerate single all-users group (their
+//! recall/precision baseline in Figure 12).
+
+use crate::graph::{GraphBuilder, WeightedGraph};
+use crate::louvain::louvain;
+
+/// Knobs for hierarchy construction.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfig {
+    /// Maximum depth to refine to (the paper ended up with 8 levels).
+    pub max_depth: usize,
+    /// Stop refining a group once it is this small.
+    pub min_group_size: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            max_depth: 8,
+            min_group_size: 4,
+        }
+    }
+}
+
+/// A hierarchy of group assignments: `levels[d][u]` is user `u`'s group id
+/// at depth `d`. Depth 0 always assigns everyone to group 0. Group ids are
+/// globally unique across the whole hierarchy (a group that stops splitting
+/// keeps its id at deeper levels), so a single `Groups(depth, gid, user)`
+/// table can hold all levels.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<Vec<u32>>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy by recursively clustering `g`.
+    pub fn build(g: &WeightedGraph, config: HierarchyConfig) -> Self {
+        let n = g.node_count();
+        let mut levels: Vec<Vec<u32>> = vec![vec![0; n]];
+        let mut next_gid: u32 = 1;
+        for depth in 1..=config.max_depth {
+            let prev = &levels[depth - 1];
+            let mut current = vec![0u32; n];
+            let mut changed = false;
+            // Refine every group of the previous level independently.
+            for (gid, members) in groups_of(prev) {
+                if members.len() < config.min_group_size.max(1) {
+                    // Too small to split further: keep the previous id.
+                    for &u in &members {
+                        current[u as usize] = gid;
+                    }
+                    continue;
+                }
+                let sub = induced_subgraph(g, &members);
+                let p = louvain(&sub);
+                if p.community_count <= 1 {
+                    for &u in &members {
+                        current[u as usize] = gid;
+                    }
+                    continue;
+                }
+                changed = true;
+                let base = next_gid;
+                next_gid += p.community_count as u32;
+                for (local, &u) in members.iter().enumerate() {
+                    current[u as usize] = base + p.communities[local];
+                }
+            }
+            if !changed && depth > 1 {
+                break;
+            }
+            levels.push(current);
+        }
+        Hierarchy { levels }
+    }
+
+    /// Number of materialized depths (including depth 0).
+    pub fn depth_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Group assignment at `depth`, clamped to the deepest materialized
+    /// level (per the paper, groups stabilize once they stop splitting).
+    pub fn assignment(&self, depth: usize) -> &[u32] {
+        let d = depth.min(self.levels.len() - 1);
+        &self.levels[d]
+    }
+
+    /// `(group id, members)` pairs at `depth`.
+    pub fn groups_at(&self, depth: usize) -> Vec<(u32, Vec<u32>)> {
+        groups_of(self.assignment(depth))
+    }
+
+    /// Rows for the `Groups(Group_Depth, Group_id, User)` table across all
+    /// depths.
+    pub fn rows(&self) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::new();
+        for (d, level) in self.levels.iter().enumerate() {
+            for (u, &g) in level.iter().enumerate() {
+                out.push((d as u32, g, u as u32));
+            }
+        }
+        out
+    }
+}
+
+/// Groups a flat assignment into `(gid, sorted members)`, ordered by gid.
+fn groups_of(assignment: &[u32]) -> Vec<(u32, Vec<u32>)> {
+    let mut map: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for (u, &g) in assignment.iter().enumerate() {
+        map.entry(g).or_default().push(u as u32);
+    }
+    map.into_iter().collect()
+}
+
+/// The subgraph induced by `members` (node ids remapped to `0..len`).
+fn induced_subgraph(g: &WeightedGraph, members: &[u32]) -> WeightedGraph {
+    let mut local = std::collections::HashMap::with_capacity(members.len());
+    for (i, &u) in members.iter().enumerate() {
+        local.insert(u, i);
+    }
+    let mut b = GraphBuilder::new(members.len());
+    for (i, &u) in members.iter().enumerate() {
+        for &(v, w) in g.neighbors(u as usize) {
+            if let Some(&j) = local.get(&v) {
+                if i < j {
+                    b.add_edge(i, j, w);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Four cliques of 4, pairwise bridged into two super-communities.
+    fn nested_graph() -> WeightedGraph {
+        let mut b = GraphBuilder::new(16);
+        for c in 0..4 {
+            let base = 4 * c;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        // Strong bridges inside super-communities {0,1} and {2,3}.
+        b.add_edge(0, 4, 0.9);
+        b.add_edge(1, 5, 0.9);
+        b.add_edge(8, 12, 0.9);
+        b.add_edge(9, 13, 0.9);
+        // Weak bridge between the super-communities.
+        b.add_edge(3, 11, 0.05);
+        b.build()
+    }
+
+    #[test]
+    fn depth_zero_is_one_group() {
+        let h = Hierarchy::build(&nested_graph(), HierarchyConfig::default());
+        let g0 = h.groups_at(0);
+        assert_eq!(g0.len(), 1);
+        assert_eq!(g0[0].1.len(), 16);
+    }
+
+    #[test]
+    fn deeper_levels_refine() {
+        let h = Hierarchy::build(&nested_graph(), HierarchyConfig::default());
+        let n1 = h.groups_at(1).len();
+        let n2 = h.groups_at(2).len();
+        assert!(n1 >= 2, "depth 1 should split the single group, got {n1}");
+        assert!(n2 >= n1, "refinement must not merge groups");
+        // All 16 users are assigned at every depth.
+        for d in 0..h.depth_count() {
+            let total: usize = h.groups_at(d).iter().map(|(_, m)| m.len()).sum();
+            assert_eq!(total, 16);
+        }
+    }
+
+    #[test]
+    fn refinement_is_nested() {
+        // Every depth-(d+1) group must be a subset of a depth-d group.
+        let h = Hierarchy::build(&nested_graph(), HierarchyConfig::default());
+        for d in 0..h.depth_count() - 1 {
+            let coarse = h.assignment(d);
+            let fine = h.assignment(d + 1);
+            let mut seen: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+            for u in 0..16 {
+                let parent = seen.entry(fine[u]).or_insert(coarse[u]);
+                assert_eq!(*parent, coarse[u], "group {} split across parents", fine[u]);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_clamps_beyond_materialized_depth() {
+        let h = Hierarchy::build(&nested_graph(), HierarchyConfig::default());
+        let deepest = h.depth_count() - 1;
+        assert_eq!(h.assignment(deepest), h.assignment(deepest + 5));
+    }
+
+    #[test]
+    fn rows_cover_every_depth_and_user() {
+        let h = Hierarchy::build(&nested_graph(), HierarchyConfig::default());
+        let rows = h.rows();
+        assert_eq!(rows.len(), h.depth_count() * 16);
+        assert!(rows.iter().any(|&(d, _, _)| d == 0));
+    }
+
+    #[test]
+    fn group_ids_unique_across_depths_unless_inherited() {
+        let h = Hierarchy::build(&nested_graph(), HierarchyConfig::default());
+        // A gid used at depth d with different membership must not reappear
+        // at depth d+1 with different members.
+        for d in 0..h.depth_count() - 1 {
+            let now: std::collections::HashMap<u32, Vec<u32>> =
+                h.groups_at(d).into_iter().collect();
+            for (gid, members) in h.groups_at(d + 1) {
+                if let Some(prev) = now.get(&gid) {
+                    assert_eq!(prev, &members, "gid {gid} changed membership");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graph_stops_early() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        let h = Hierarchy::build(&b.build(), HierarchyConfig::default());
+        assert!(h.depth_count() <= 3);
+    }
+}

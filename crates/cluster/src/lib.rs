@@ -1,0 +1,34 @@
+//! # eba-cluster
+//!
+//! Collaborative-group inference (§4 of *Explanation-Based Auditing*).
+//!
+//! Databases like CareWeb do not record which users work together, yet that
+//! relationship explains many accesses (the nurse accesses a record because
+//! she works with the doctor who has the appointment). The paper infers the
+//! missing relationships from the access log itself:
+//!
+//! 1. build the patient×user matrix `A` with `A[i,j] = 1 / |users who
+//!    accessed patient i|` ([`AccessMatrix`]),
+//! 2. form the user-similarity graph `W = AᵀA`
+//!    ([`AccessMatrix::similarity_graph`]),
+//! 3. cluster it by maximizing Newman's weighted modularity
+//!    ([`modularity()`], [`louvain()`]) — the optimizer is parameter-free, it
+//!    picks the number of clusters itself,
+//! 4. recursively re-cluster each community to obtain a hierarchy of
+//!    increasingly tight groups ([`Hierarchy`]), which becomes the
+//!    `Groups(Group_Depth, Group_id, User)` table.
+//!
+//! The original system used a Java implementation of the modularity
+//! algorithm; this crate is a from-scratch Rust replacement.
+
+pub mod access;
+pub mod graph;
+pub mod hierarchy;
+pub mod louvain;
+pub mod modularity;
+
+pub use access::AccessMatrix;
+pub use graph::{GraphBuilder, WeightedGraph};
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use louvain::{louvain, Partition};
+pub use modularity::modularity;

@@ -1,0 +1,259 @@
+//! Parameter-free greedy modularity maximization (Louvain method).
+//!
+//! The paper's clustering step needs an algorithm that (a) maximizes
+//! Newman's weighted modularity and (b) "is parameter-free in the sense
+//! that it selects the number of clusters automatically". The Louvain
+//! method (Blondel et al.) satisfies both: it repeatedly moves nodes to the
+//! neighboring community with the highest modularity gain, then contracts
+//! communities into super-nodes, until no move improves Q.
+//!
+//! This implementation is deterministic: nodes are visited in id order and
+//! ties are broken toward the smallest community id, so the same graph
+//! always yields the same partition (important for reproducible
+//! experiments).
+
+use crate::graph::{GraphBuilder, WeightedGraph};
+use crate::modularity::modularity;
+use std::collections::HashMap;
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Community id per node, compacted to `0..community_count`.
+    pub communities: Vec<u32>,
+    /// Number of communities.
+    pub community_count: usize,
+    /// Modularity of the partition.
+    pub modularity: f64,
+}
+
+impl Partition {
+    /// Nodes grouped by community id.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut groups = vec![Vec::new(); self.community_count];
+        for (node, &c) in self.communities.iter().enumerate() {
+            groups[c as usize].push(node as u32);
+        }
+        groups
+    }
+}
+
+/// Runs Louvain to convergence and returns the final partition.
+///
+/// Isolated nodes (degree 0) end up in singleton communities.
+pub fn louvain(g: &WeightedGraph) -> Partition {
+    let n = g.node_count();
+    if n == 0 {
+        return Partition {
+            communities: Vec::new(),
+            community_count: 0,
+            modularity: 0.0,
+        };
+    }
+    // node -> community in the *original* graph, refined level by level.
+    let mut assignment: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = g.clone();
+
+    loop {
+        let (local, moved) = local_moving(&level_graph);
+        if !moved {
+            break;
+        }
+        let compact = compact_ids(&local);
+        let n_comms = compact.iter().copied().max().map_or(0, |c| c as usize + 1);
+        for a in assignment.iter_mut() {
+            *a = compact[*a as usize];
+        }
+        if n_comms == level_graph.node_count() {
+            break;
+        }
+        level_graph = aggregate(&level_graph, &compact, n_comms);
+    }
+
+    let compact = compact_ids(&assignment);
+    let community_count = compact.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let q = modularity(g, &compact);
+    Partition {
+        communities: compact,
+        community_count,
+        modularity: q,
+    }
+}
+
+/// One level of local moving. Returns the (non-compacted) community per node
+/// and whether any node moved.
+fn local_moving(g: &WeightedGraph) -> (Vec<u32>, bool) {
+    let n = g.node_count();
+    let m = g.total_weight();
+    let mut comm: Vec<u32> = (0..n as u32).collect();
+    if m <= 0.0 {
+        return (comm, false);
+    }
+    let k: Vec<f64> = (0..n).map(|u| g.degree(u)).collect();
+    let mut sigma_tot: Vec<f64> = k.clone();
+    let mut any_moved = false;
+    // Bounded number of passes as a safety net; convergence is typical in
+    // far fewer.
+    for _ in 0..128 {
+        let mut moved_this_pass = false;
+        for u in 0..n {
+            let old = comm[u] as usize;
+            sigma_tot[old] -= k[u];
+            // Weight from u to each neighboring community (including old).
+            let mut to_comm: HashMap<u32, f64> = HashMap::new();
+            to_comm.insert(old as u32, 0.0);
+            for &(v, w) in g.neighbors(u) {
+                *to_comm.entry(comm[v as usize]).or_insert(0.0) += w;
+            }
+            // Deterministic scan: by community id.
+            let mut candidates: Vec<(u32, f64)> = to_comm.into_iter().collect();
+            candidates.sort_unstable_by_key(|&(c, _)| c);
+            let mut best_c = old as u32;
+            let mut best_gain = f64::NEG_INFINITY;
+            for (c, w_uc) in candidates {
+                let gain = w_uc - sigma_tot[c as usize] * k[u] / (2.0 * m);
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c as usize] += k[u];
+            if best_c as usize != old {
+                comm[u] = best_c;
+                moved_this_pass = true;
+                any_moved = true;
+            }
+        }
+        if !moved_this_pass {
+            break;
+        }
+    }
+    (comm, any_moved)
+}
+
+/// Renumbers arbitrary community ids to `0..k` in order of first appearance.
+fn compact_ids(assignment: &[u32]) -> Vec<u32> {
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(assignment.len());
+    for &a in assignment {
+        let next = remap.len() as u32;
+        let id = *remap.entry(a).or_insert(next);
+        out.push(id);
+    }
+    out
+}
+
+/// Contracts communities into super-nodes; inter-community weights sum into
+/// edges, intra-community weight becomes a self-loop.
+fn aggregate(g: &WeightedGraph, compact: &[u32], n_comms: usize) -> WeightedGraph {
+    let mut b = GraphBuilder::new(n_comms);
+    for u in 0..g.node_count() {
+        let cu = compact[u] as usize;
+        if g.loop_weight(u) != 0.0 {
+            b.add_edge(cu, cu, g.loop_weight(u));
+        }
+        for &(v, w) in g.neighbors(u) {
+            let cv = compact[v as usize] as usize;
+            // Each undirected edge appears twice in adjacency; keep half.
+            if u < v as usize {
+                b.add_edge(cu, cv, w);
+            } else if u == v as usize {
+                unreachable!("self-loops are not stored in adjacency");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn two_cliques(k: usize, bridge_w: f64) -> WeightedGraph {
+        let mut b = GraphBuilder::new(2 * k);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.add_edge(i, j, 1.0);
+                b.add_edge(k + i, k + j, 1.0);
+            }
+        }
+        b.add_edge(0, k, bridge_w);
+        b.build()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let g = two_cliques(5, 0.1);
+        let p = louvain(&g);
+        assert_eq!(p.community_count, 2);
+        // Every node in the first clique shares a community, ditto second.
+        let c0 = p.communities[0];
+        let c5 = p.communities[5];
+        assert_ne!(c0, c5);
+        assert!(p.communities[..5].iter().all(|&c| c == c0));
+        assert!(p.communities[5..].iter().all(|&c| c == c5));
+        assert!(p.modularity > 0.3);
+    }
+
+    #[test]
+    fn partition_matches_reported_modularity() {
+        let g = two_cliques(4, 0.5);
+        let p = louvain(&g);
+        let q = modularity(&g, &p.communities);
+        assert!((q - p.modularity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure5_users_0_1_2_cluster_together() {
+        // The worked example of Figure 5: weights 0.11 (0–1), 0.36 (0–2),
+        // 0.36 (1–2), 0.25 (2–3). The paper reports users 0, 1 and 2
+        // assigned to the same cluster (it makes no claim about user 3;
+        // at this scale pure modularity can merge the whole graph).
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.11);
+        b.add_edge(0, 2, 0.36);
+        b.add_edge(1, 2, 0.36);
+        b.add_edge(2, 3, 0.25);
+        let g = b.build();
+        let p = louvain(&g);
+        assert_eq!(p.communities[0], p.communities[1]);
+        assert_eq!(p.communities[1], p.communities[2]);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let p = louvain(&GraphBuilder::new(0).build());
+        assert_eq!(p.community_count, 0);
+        let p = louvain(&GraphBuilder::new(1).build());
+        assert_eq!(p.community_count, 1);
+        assert_eq!(p.communities, vec![0]);
+    }
+
+    #[test]
+    fn isolated_nodes_stay_singletons() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let p = louvain(&g);
+        assert_eq!(p.communities[0], p.communities[1]);
+        assert_ne!(p.communities[2], p.communities[0]);
+        assert_ne!(p.communities[3], p.communities[2]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_cliques(6, 0.2);
+        let p1 = louvain(&g);
+        let p2 = louvain(&g);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn groups_partition_all_nodes() {
+        let g = two_cliques(3, 0.1);
+        let p = louvain(&g);
+        let total: usize = p.groups().iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+}

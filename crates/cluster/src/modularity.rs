@@ -1,0 +1,129 @@
+//! Newman's weighted modularity measure.
+//!
+//! The paper clusters the user-similarity graph with "an algorithm that
+//! attempts to maximize the graph modularity measure \[21\]" (Newman,
+//! *Analysis of weighted networks*, Phys. Rev. E 70, 2004). Modularity of a
+//! partition is
+//!
+//! ```text
+//! Q = (1/2m) Σ_ij [ A_ij − k_i k_j / 2m ] δ(c_i, c_j)
+//! ```
+//!
+//! i.e. the fraction of edge weight inside communities minus the fraction
+//! expected if edges were rewired at random preserving degrees. `Q` lies in
+//! `[-1/2, 1)`; higher is better.
+
+use crate::graph::WeightedGraph;
+
+/// Computes weighted modularity of `partition` (a community id per node).
+///
+/// # Panics
+/// Panics if `partition.len() != g.node_count()`.
+pub fn modularity(g: &WeightedGraph, partition: &[u32]) -> f64 {
+    assert_eq!(
+        partition.len(),
+        g.node_count(),
+        "partition length must equal node count"
+    );
+    let m = g.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let two_m = 2.0 * m;
+    let n_comms = partition.iter().copied().max().map_or(0, |c| c as usize + 1);
+    // Σ_in[c]: total A_ij for i,j in c (each internal edge twice, loops twice);
+    // Σ_tot[c]: total degree of c.
+    let mut sigma_in = vec![0.0f64; n_comms];
+    let mut sigma_tot = vec![0.0f64; n_comms];
+    for u in 0..g.node_count() {
+        let c = partition[u] as usize;
+        sigma_tot[c] += g.degree(u);
+        sigma_in[c] += 2.0 * g.loop_weight(u);
+        for &(v, w) in g.neighbors(u) {
+            if partition[v as usize] as usize == c {
+                sigma_in[c] += w; // counted from both endpoints ⇒ ×2 overall
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..n_comms {
+        q += sigma_in[c] / two_m - (sigma_tot[c] / two_m).powi(2);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Two triangles joined by a single bridge edge.
+    fn two_triangles() -> WeightedGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn all_in_one_community_gives_zero() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0, 0, 0, 0, 0, 0]);
+        assert!(q.abs() < 1e-12, "Q = {q}");
+    }
+
+    #[test]
+    fn natural_split_beats_trivial_partitions() {
+        let g = two_triangles();
+        let natural = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let singletons = modularity(&g, &[0, 1, 2, 3, 4, 5]);
+        let lopsided = modularity(&g, &[0, 0, 0, 0, 0, 1]);
+        assert!(natural > 0.0);
+        assert!(natural > singletons);
+        assert!(natural > lopsided);
+        // Known value: each triangle has Σ_in/2m = 6/14 = 3/7 and
+        // (Σ_tot/2m)² = (7/14)² = 1/4, so Q = 2·(3/7 − 1/4) ≈ 0.3571.
+        assert!((natural - (2.0 * (3.0 / 7.0 - 0.25))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modularity_is_bounded() {
+        let g = two_triangles();
+        for p in [
+            vec![0u32, 0, 0, 1, 1, 1],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![0, 0, 1, 1, 2, 2],
+        ] {
+            let q = modularity(&g, &p);
+            assert!((-0.5..1.0).contains(&q), "Q = {q} out of bounds");
+        }
+    }
+
+    #[test]
+    fn weights_matter() {
+        // Heavy edge inside community 0 increases its Q relative to the
+        // unweighted case when the partition keeps the heavy edge internal.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let split = modularity(&g, &[0, 0, 1, 1]);
+        let merged = modularity(&g, &[0, 0, 0, 0]);
+        assert!(split > merged);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition length")]
+    fn wrong_partition_length_panics() {
+        let g = GraphBuilder::new(2).build();
+        modularity(&g, &[0]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Canonical forms of paths, for the support cache.
+//!
+//! §3.2.1 ("Caching Selection Conditions and Support Values"): multiple
+//! paths can carry the same selection conditions while traversing the
+//! explanation graph in different orders — `R.attr = T.attr` is the same
+//! condition as `T.attr = R.attr`, and a closed chain read from the patient
+//! side is the same query as the chain read from the user side. Since the
+//! order of selection conditions does not change the result, such paths are
+//! guaranteed to have the same support, and the miner caches support values
+//! under a canonical key.
+//!
+//! The key encodes the *set* of equality conditions with tuple variables
+//! renamed canonically: every condition becomes an unordered pair of
+//! `(table, column, alias-position)` triples; for closed paths the key is
+//! the lexicographic minimum over the two traversal orders (patient→user
+//! and user→patient), which unifies forward- and backward-mined copies of
+//! the same template.
+
+use crate::log_spec::LogSpec;
+use crate::path::{Direction, Path};
+use eba_relational::Rhs;
+use std::fmt::Write;
+
+/// A canonical cache key. Two paths with equal keys are guaranteed to
+/// represent the same query (same selection-condition set, same anchoring),
+/// hence the same support.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey(String);
+
+impl CanonicalKey {
+    /// The underlying encoded form (stable, suitable for display/debug).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// One endpoint of a condition: table, column, canonical alias position.
+type Endpoint = (usize, usize, usize);
+
+/// Computes the canonical key of `path` under `spec`.
+pub fn canonical_key(path: &Path, spec: &LogSpec) -> CanonicalKey {
+    let n = path.length();
+    let closed = path.is_closed();
+    let tv_count = path.tuple_var_count();
+
+    // Alias position of the tuple variable an edge index maps to, under
+    // forward numbering: the anchor is 0; edge i (0-based) lands on tuple
+    // variable i+1, except the closing edge which lands back on 0.
+    let fwd_target = |i: usize| -> usize {
+        if closed && i == n - 1 {
+            0
+        } else {
+            i + 1
+        }
+    };
+    // Backward renumbering for closed chains: anchor stays 0, tuple
+    // variable j becomes tv_count + 1 - j.
+    let bwd_alias = |a: usize| -> usize {
+        if a == 0 {
+            0
+        } else {
+            tv_count + 1 - a
+        }
+    };
+
+    let mut conditions: Vec<(Endpoint, Endpoint)> = Vec::with_capacity(n);
+    for (i, e) in path.edges().iter().enumerate() {
+        let from_alias = i; // edge i leaves tuple variable i (0 = anchor)
+        let to_alias = fwd_target(i);
+        conditions.push(ordered_pair(
+            (e.from.table.0, e.from.col, from_alias),
+            (e.to.table.0, e.to.col, to_alias),
+        ));
+    }
+
+    let fwd = encode(path, spec, &conditions, |a| a);
+    let key = if closed {
+        let bwd = encode(path, spec, &conditions, bwd_alias);
+        fwd.min(bwd)
+    } else {
+        fwd
+    };
+    CanonicalKey(key)
+}
+
+fn ordered_pair(a: Endpoint, b: Endpoint) -> (Endpoint, Endpoint) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn encode(
+    path: &Path,
+    spec: &LogSpec,
+    conditions: &[(Endpoint, Endpoint)],
+    remap: impl Fn(usize) -> usize,
+) -> String {
+    let mut conds: Vec<(Endpoint, Endpoint)> = conditions
+        .iter()
+        .map(|&((t1, c1, a1), (t2, c2, a2))| {
+            ordered_pair((t1, c1, remap(a1)), (t2, c2, remap(a2)))
+        })
+        .collect();
+    conds.sort_unstable();
+
+    let mut s = String::with_capacity(conds.len() * 24 + 32);
+    // Anchoring: log table, role columns, open/closed, and direction for
+    // open paths (an open forward path and an open backward path with the
+    // same shape are different queries).
+    let _ = write!(
+        s,
+        "L{}:{}:{}:{}|{}|",
+        spec.table.0,
+        spec.lid_col,
+        spec.patient_col,
+        spec.user_col,
+        match (path.is_closed(), path.direction()) {
+            (true, _) => "C",
+            (false, Direction::Forward) => "F",
+            (false, Direction::Backward) => "B",
+        }
+    );
+    for ((t1, c1, a1), (t2, c2, a2)) in conds {
+        let _ = write!(s, "({t1}.{c1}@{a1}={t2}.{c2}@{a2})");
+    }
+    // Decorations (sorted by alias already): rendered with remapped alias.
+    for d in path.decorations() {
+        let rhs = match d.filter.rhs {
+            Rhs::Const(v) => format!("{v:?}"),
+            Rhs::AnchorCol(c) => format!("L.{c}"),
+        };
+        let _ = write!(
+            s,
+            "[@{}:{} {} {}]",
+            remap(d.alias),
+            d.filter.col,
+            d.filter.op.sql(),
+            rhs
+        );
+    }
+    // Anchor filters participate: different row subsets, different support.
+    for (col, op, v) in &spec.anchor_filters {
+        let _ = write!(s, "{{L.{col} {} {v:?}}}", op.sql());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{Edge, EdgeKind};
+    use eba_relational::{CmpOp, DataType, Database, Rhs, StepFilter, Value};
+
+    fn db() -> (Database, LogSpec) {
+        let mut db = Database::new();
+        db.create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("Date", DataType::Date),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "Appointments",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("Doctor", DataType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "Doctor_Info",
+            &[("Doctor", DataType::Int), ("Department", DataType::Str)],
+        )
+        .unwrap();
+        let spec = LogSpec::conventional(&db).unwrap();
+        (db, spec)
+    }
+
+    fn edge(db: &Database, ft: &str, fc: &str, tt: &str, tc: &str) -> Edge {
+        Edge {
+            from: db.attr(ft, fc).unwrap(),
+            to: db.attr(tt, tc).unwrap(),
+            kind: EdgeKind::ForeignKey,
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_mined_template_unify() {
+        let (db, spec) = db();
+        // Forward: L.P = A.P; A.D = L.U.
+        let fwd = crate::path::Path::seed(
+            &spec,
+            Direction::Forward,
+            edge(&db, "Log", "Patient", "Appointments", "Patient"),
+        )
+        .unwrap()
+        .closed_by(edge(&db, "Appointments", "Doctor", "Log", "User"), &spec)
+        .unwrap();
+        // Backward: L.U = A.D; A.P = L.P (normalized forward on close).
+        let bwd = crate::path::Path::seed(
+            &spec,
+            Direction::Backward,
+            edge(&db, "Log", "User", "Appointments", "Doctor"),
+        )
+        .unwrap()
+        .closed_by(edge(&db, "Appointments", "Patient", "Log", "Patient"), &spec)
+        .unwrap();
+        assert_eq!(canonical_key(&fwd, &spec), canonical_key(&bwd, &spec));
+    }
+
+    #[test]
+    fn longer_symmetric_template_unifies_across_directions() {
+        let (db, spec) = db();
+        let fwd = crate::path::Path::seed(
+            &spec,
+            Direction::Forward,
+            edge(&db, "Log", "Patient", "Appointments", "Patient"),
+        )
+        .unwrap()
+        .extended(edge(&db, "Appointments", "Doctor", "Doctor_Info", "Doctor"))
+        .unwrap()
+        .extended(Edge {
+            from: db.attr("Doctor_Info", "Department").unwrap(),
+            to: db.attr("Doctor_Info", "Department").unwrap(),
+            kind: EdgeKind::SelfJoin,
+        })
+        .unwrap()
+        .closed_by(edge(&db, "Doctor_Info", "Doctor", "Log", "User"), &spec)
+        .unwrap();
+
+        let bwd = crate::path::Path::seed(
+            &spec,
+            Direction::Backward,
+            edge(&db, "Log", "User", "Doctor_Info", "Doctor"),
+        )
+        .unwrap()
+        .extended(Edge {
+            from: db.attr("Doctor_Info", "Department").unwrap(),
+            to: db.attr("Doctor_Info", "Department").unwrap(),
+            kind: EdgeKind::SelfJoin,
+        })
+        .unwrap()
+        .extended(edge(&db, "Doctor_Info", "Doctor", "Appointments", "Doctor"))
+        .unwrap()
+        .closed_by(edge(&db, "Appointments", "Patient", "Log", "Patient"), &spec)
+        .unwrap();
+
+        assert_eq!(canonical_key(&fwd, &spec), canonical_key(&bwd, &spec));
+    }
+
+    #[test]
+    fn open_directions_do_not_unify() {
+        let (db, spec) = db();
+        let f = crate::path::Path::seed(
+            &spec,
+            Direction::Forward,
+            edge(&db, "Log", "Patient", "Appointments", "Patient"),
+        )
+        .unwrap();
+        let b = crate::path::Path::seed(
+            &spec,
+            Direction::Backward,
+            edge(&db, "Log", "User", "Appointments", "Doctor"),
+        )
+        .unwrap();
+        assert_ne!(canonical_key(&f, &spec), canonical_key(&b, &spec));
+    }
+
+    #[test]
+    fn different_templates_have_different_keys() {
+        let (db, spec) = db();
+        let a = crate::path::Path::handcrafted(
+            &db,
+            &spec,
+            &[("Appointments", "Patient", "Doctor")],
+        )
+        .unwrap();
+        let b = crate::path::Path::handcrafted(
+            &db,
+            &spec,
+            &[
+                ("Appointments", "Patient", "Doctor"),
+                ("Doctor_Info", "Doctor", "Doctor"),
+            ],
+        )
+        .unwrap();
+        assert_ne!(canonical_key(&a, &spec), canonical_key(&b, &spec));
+    }
+
+    #[test]
+    fn decorations_change_the_key() {
+        let (db, spec) = db();
+        let plain = crate::path::Path::handcrafted(
+            &db,
+            &spec,
+            &[("Appointments", "Patient", "Doctor")],
+        )
+        .unwrap();
+        let decorated = plain
+            .decorated(
+                1,
+                StepFilter {
+                    col: 1,
+                    op: CmpOp::Lt,
+                    rhs: Rhs::AnchorCol(1),
+                },
+            )
+            .unwrap();
+        assert_ne!(canonical_key(&plain, &spec), canonical_key(&decorated, &spec));
+    }
+
+    #[test]
+    fn anchor_filters_change_the_key() {
+        let (db, spec) = db();
+        let p = crate::path::Path::handcrafted(
+            &db,
+            &spec,
+            &[("Appointments", "Patient", "Doctor")],
+        )
+        .unwrap();
+        let filtered = spec.with_filters(vec![(1, CmpOp::Ge, Value::Date(10))]);
+        assert_ne!(canonical_key(&p, &spec), canonical_key(&p, &filtered));
+    }
+}

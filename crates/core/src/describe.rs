@@ -1,0 +1,227 @@
+//! Natural-language rendering of explanation instances.
+//!
+//! "Instances of a particular explanation template can be easily converted
+//! to natural language by providing a parameterized description string"
+//! (§2.1) — e.g. `"[L.Patient] had an appointment with [L.User] on
+//! [T1.Date]."` renders as *"Alice had an appointment with Dave on
+//! 1/1/2010."* for log record L1.
+//!
+//! Placeholders name a tuple variable alias (`L` for the anchor, `T1..Tn`
+//! for joined tables, matching [`crate::sql`]) and a column. Templates
+//! without an administrator-provided description fall back to an
+//! auto-generated route description.
+
+use crate::log_spec::LogSpec;
+use crate::path::Path;
+use eba_relational::{Database, Instance, RowId};
+use std::fmt::Write;
+
+/// Renders `description`, substituting `[Alias.Column]` placeholders from
+/// the anchor log row and the instance's step rows. Unknown placeholders
+/// are kept verbatim (so typos are visible, not silent).
+pub fn render_description(
+    db: &Database,
+    spec: &LogSpec,
+    path: &Path,
+    description: &str,
+    log_row: RowId,
+    instance: &Instance,
+) -> String {
+    let mut out = String::with_capacity(description.len() + 16);
+    let mut rest = description;
+    while let Some(start) = rest.find('[') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        match after.find(']') {
+            None => {
+                out.push_str(&rest[start..]);
+                rest = "";
+                break;
+            }
+            Some(end) => {
+                let placeholder = &after[..end];
+                match resolve(db, spec, path, placeholder, log_row, instance) {
+                    Some(text) => out.push_str(&text),
+                    None => {
+                        out.push('[');
+                        out.push_str(placeholder);
+                        out.push(']');
+                    }
+                }
+                rest = &after[end + 1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn resolve(
+    db: &Database,
+    spec: &LogSpec,
+    path: &Path,
+    placeholder: &str,
+    log_row: RowId,
+    instance: &Instance,
+) -> Option<String> {
+    let (alias, col_name) = placeholder.split_once('.')?;
+    let (table, row) = if alias == "L" {
+        (spec.table, log_row)
+    } else {
+        let idx: usize = alias.strip_prefix('T')?.parse().ok()?;
+        if idx == 0 || idx > instance.step_rows.len() {
+            return None;
+        }
+        (path.tuple_vars()[idx - 1], instance.step_rows[idx - 1])
+    };
+    let t = db.table(table);
+    let col = t.schema().col(col_name)?;
+    Some(t.cell(row, col).display(db.pool()).to_string())
+}
+
+/// Auto-generated description of a template's route, used when no
+/// administrator description exists: e.g.
+/// `Log.Patient → Appointments(Patient→Doctor) → Log.User`.
+pub fn auto_description(db: &Database, spec: &LogSpec, path: &Path) -> String {
+    let schema = db.table(spec.table).schema();
+    let mut s = String::new();
+    let start = match path.direction() {
+        crate::path::Direction::Forward => spec.patient_col,
+        crate::path::Direction::Backward => spec.user_col,
+    };
+    let _ = write!(
+        s,
+        "{}.{}",
+        db.table(spec.table).name(),
+        schema.col_name(start)
+    );
+    let n_steps = path.tuple_var_count();
+    for i in 0..n_steps {
+        let enter = path.edges()[i].to;
+        let exit_col = if i + 1 < path.edges().len() {
+            path.edges()[i + 1].from.col
+        } else {
+            enter.col
+        };
+        let t = db.table(enter.table);
+        if enter.col == exit_col {
+            let _ = write!(s, " → {}({})", t.name(), t.schema().col_name(enter.col));
+        } else {
+            let _ = write!(
+                s,
+                " → {}({}→{})",
+                t.name(),
+                t.schema().col_name(enter.col),
+                t.schema().col_name(exit_col)
+            );
+        }
+    }
+    if path.is_closed() {
+        let end = match path.direction() {
+            crate::path::Direction::Forward => spec.user_col,
+            crate::path::Direction::Backward => spec.patient_col,
+        };
+        let _ = write!(
+            s,
+            " → {}.{}",
+            db.table(spec.table).name(),
+            schema.col_name(end)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_relational::{DataType, EvalOptions, Value};
+
+    fn db() -> (Database, LogSpec) {
+        let mut db = Database::new();
+        db.create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("Date", DataType::Date),
+                ("User", DataType::Str),
+                ("Patient", DataType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "Appointments",
+            &[
+                ("Patient", DataType::Str),
+                ("Date", DataType::Date),
+                ("Doctor", DataType::Str),
+            ],
+        )
+        .unwrap();
+        let alice = db.str_value("Alice");
+        let dave = db.str_value("Dave");
+        let appt = db.table_id("Appointments").unwrap();
+        let log = db.table_id("Log").unwrap();
+        db.insert(appt, vec![alice, Value::Date(24 * 60), dave])
+            .unwrap();
+        db.insert(log, vec![Value::Int(1), Value::Date(24 * 60 + 90), dave, alice])
+            .unwrap();
+        let spec = LogSpec::conventional(&db).unwrap();
+        (db, spec)
+    }
+
+    #[test]
+    fn renders_the_papers_example_string() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")]).unwrap();
+        let q = p.to_chain_query(&spec);
+        let instances = q.instances(&db, 0, 4).unwrap();
+        assert_eq!(instances.len(), 1);
+        let text = render_description(
+            &db,
+            &spec,
+            &p,
+            "[L.Patient] had an appointment with [L.User] on [T1.Date].",
+            0,
+            &instances[0],
+        );
+        assert_eq!(text, "Alice had an appointment with Dave on day 1 00:00.");
+        // Explained as expected too.
+        assert_eq!(q.support(&db, EvalOptions::default()).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_placeholders_stay_verbatim() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")]).unwrap();
+        let q = p.to_chain_query(&spec);
+        let inst = q.instances(&db, 0, 1).unwrap().pop().unwrap();
+        let text = render_description(&db, &spec, &p, "[T9.Nope] and [Bad]", 0, &inst);
+        assert_eq!(text, "[T9.Nope] and [Bad]");
+    }
+
+    #[test]
+    fn unclosed_bracket_is_preserved() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")]).unwrap();
+        let q = p.to_chain_query(&spec);
+        let inst = q.instances(&db, 0, 1).unwrap().pop().unwrap();
+        let text = render_description(&db, &spec, &p, "trailing [L.User", 0, &inst);
+        assert_eq!(text, "trailing [L.User");
+    }
+
+    #[test]
+    fn auto_description_shows_route() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")]).unwrap();
+        assert_eq!(
+            auto_description(&db, &spec, &p),
+            "Log.Patient → Appointments(Patient→Doctor) → Log.User"
+        );
+        let open =
+            Path::handcrafted_open(&db, &spec, &[("Appointments", "Patient", "Patient")]).unwrap();
+        assert_eq!(
+            auto_description(&db, &spec, &open),
+            "Log.Patient → Appointments(Patient)"
+        );
+    }
+}

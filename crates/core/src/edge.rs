@@ -1,0 +1,227 @@
+//! The schema graph's join edges.
+//!
+//! Def. 5 restricts the edges an explanation path may traverse to: (a)
+//! attributes of the same tuple variable (implicit — a path may move between
+//! any two columns of a table it has joined), (b) key–foreign-key
+//! relationships, (c) administrator-specified relationships, and (d)
+//! administrator-allowed self-joins. This module materializes the *explicit*
+//! join edges (b)–(d) from the catalog's metadata; intra-tuple-variable
+//! movement is handled implicitly by [`crate::path::Path`].
+
+use eba_relational::{AttrRef, Database, RelationshipKind};
+
+/// How an edge was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Key–foreign-key equi-join.
+    ForeignKey,
+    /// Administrator-specified relationship.
+    Administrator,
+    /// Administrator-allowed self-join: joining a table with a fresh alias
+    /// of itself on one attribute (e.g. `Groups.Group_id = G2.Group_id`).
+    SelfJoin,
+}
+
+/// A directed join edge `from → to` in the schema graph.
+///
+/// Directionality is traversal order only; the underlying condition
+/// `from = to` is symmetric, and [`EdgeSet::build`] materializes both
+/// directions of every declared relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Attribute the path leaves from.
+    pub from: AttrRef,
+    /// Attribute the path arrives at (a fresh tuple variable, or the anchor
+    /// log when the edge closes an explanation).
+    pub to: AttrRef,
+    /// Declaration source.
+    pub kind: EdgeKind,
+}
+
+impl Edge {
+    /// The same join condition traversed the other way.
+    pub fn reversed(&self) -> Edge {
+        Edge {
+            from: self.to,
+            to: self.from,
+            kind: self.kind,
+        }
+    }
+
+    /// True for self-join edges (same table and column on both sides).
+    pub fn is_self_join(&self) -> bool {
+        self.kind == EdgeKind::SelfJoin
+    }
+
+    /// Human-readable `A.x = B.y` form.
+    pub fn display(&self, db: &Database) -> String {
+        format!("{} = {}", db.attr_name(self.from), db.attr_name(self.to))
+    }
+}
+
+/// All traversable join edges of a database's schema graph.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeSet {
+    edges: Vec<Edge>,
+}
+
+impl EdgeSet {
+    /// Materializes the edge set from the catalog's relationship metadata:
+    /// both directions of every FK / administrator relationship, plus one
+    /// symmetric edge per allowed self-join attribute.
+    pub fn build(db: &Database) -> Self {
+        let mut edges = Vec::with_capacity(db.relationships().len() * 2);
+        for rel in db.relationships() {
+            let kind = match rel.kind {
+                RelationshipKind::ForeignKey => EdgeKind::ForeignKey,
+                RelationshipKind::Administrator => EdgeKind::Administrator,
+            };
+            let fwd = Edge {
+                from: rel.from,
+                to: rel.to,
+                kind,
+            };
+            edges.push(fwd);
+            // A relationship between an attribute and itself (e.g.
+            // Log.Patient = Log.Patient, used by the repeat-access
+            // template) is already symmetric.
+            if rel.from != rel.to {
+                edges.push(fwd.reversed());
+            }
+        }
+        for &attr in db.self_join_attrs() {
+            edges.push(Edge {
+                from: attr,
+                to: attr,
+                kind: EdgeKind::SelfJoin,
+            });
+        }
+        edges.sort_unstable_by_key(|e| (e.from, e.to, e.kind as u8));
+        edges.dedup();
+        EdgeSet { edges }
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edges whose `from` attribute is exactly `attr` (used to seed mining
+    /// with "edges that begin with the start attribute").
+    pub fn from_attr(&self, attr: AttrRef) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == attr)
+    }
+
+    /// Edges leaving any column of `table` (candidate extensions once the
+    /// path is inside that table).
+    pub fn from_table(&self, table: eba_relational::TableId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from.table == table)
+    }
+
+    /// Number of directed edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the schema declares no joinable relationships.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_relational::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "Appointments",
+            &[("Patient", DataType::Int), ("Doctor", DataType::Int)],
+        )
+        .unwrap();
+        db.create_table(
+            "Groups",
+            &[("Group_id", DataType::Int), ("User", DataType::Int)],
+        )
+        .unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
+        db.add_fk("Groups", "User", "Log", "User").unwrap();
+        db.allow_self_join("Groups", "Group_id").unwrap();
+        db
+    }
+
+    #[test]
+    fn both_directions_are_materialized() {
+        let db = db();
+        let set = EdgeSet::build(&db);
+        // 3 relationships × 2 directions + 1 self-join.
+        assert_eq!(set.len(), 7);
+        let log_patient = db.attr("Log", "Patient").unwrap();
+        let appt_patient = db.attr("Appointments", "Patient").unwrap();
+        assert!(set
+            .edges()
+            .iter()
+            .any(|e| e.from == log_patient && e.to == appt_patient));
+        assert!(set
+            .edges()
+            .iter()
+            .any(|e| e.from == appt_patient && e.to == log_patient));
+    }
+
+    #[test]
+    fn self_join_edges_are_single_and_marked() {
+        let db = db();
+        let set = EdgeSet::build(&db);
+        let gid = db.attr("Groups", "Group_id").unwrap();
+        let self_joins: Vec<_> = set.edges().iter().filter(|e| e.is_self_join()).collect();
+        assert_eq!(self_joins.len(), 1);
+        assert_eq!(self_joins[0].from, gid);
+        assert_eq!(self_joins[0].to, gid);
+    }
+
+    #[test]
+    fn seed_edges_from_start_attribute() {
+        let db = db();
+        let set = EdgeSet::build(&db);
+        let start = db.attr("Log", "Patient").unwrap();
+        let seeds: Vec<_> = set.from_attr(start).collect();
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].to, db.attr("Appointments", "Patient").unwrap());
+    }
+
+    #[test]
+    fn same_attribute_relationship_is_not_duplicated() {
+        let mut db = db();
+        let lp = db.attr("Log", "Patient").unwrap();
+        db.add_relationship(lp, lp, RelationshipKind::Administrator)
+            .unwrap();
+        let set = EdgeSet::build(&db);
+        let self_edges: Vec<_> = set
+            .edges()
+            .iter()
+            .filter(|e| e.from == lp && e.to == lp)
+            .collect();
+        assert_eq!(self_edges.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let db = db();
+        let set = EdgeSet::build(&db);
+        let start = db.attr("Log", "Patient").unwrap();
+        let e = set.from_attr(start).next().unwrap();
+        assert_eq!(e.display(&db), "Log.Patient = Appointments.Patient");
+    }
+}

@@ -1,0 +1,55 @@
+//! # eba-core
+//!
+//! The core of *Explanation-Based Auditing* (Fabbri & LeFevre, VLDB 2011):
+//! modeling **explanation templates** and **mining** them from a database
+//! and its access log.
+//!
+//! ## Model (§2 of the paper)
+//!
+//! For certain classes of databases — electronic health records above all —
+//! there is a reason for most data accesses, and the reason can be gleaned
+//! from data stored elsewhere in the database. An *explanation template*
+//! (Def. 1) is a stylized conjunctive query whose selection conditions form
+//! a path that starts at the data that was accessed (`Log.Patient`), hops
+//! through tables of the database, and terminates at the user who accessed
+//! the data (`Log.User`):
+//!
+//! ```sql
+//! SELECT L.Lid, L.Patient, L.User, A.Date
+//! FROM Log L, Appointments A
+//! WHERE L.Patient = A.Patient
+//!   AND A.Doctor = L.User
+//! ```
+//!
+//! A [`Path`] is the structural form of such a template; when it closes back
+//! at the log it is an explanation template ([`ExplanationTemplate`]).
+//! *Decorated* templates (Def. 3) carry extra selection conditions, e.g.
+//! the strictly-earlier-date condition of the repeat-access template.
+//!
+//! ## Mining (§3)
+//!
+//! [`mining`] implements the paper's three algorithms — [`mining::mine_one_way`],
+//! [`mining::mine_two_way`] and [`mining::mine_bridge`] — which discover all
+//! templates of bounded length and table count whose *support* (the number
+//! of distinct log ids they explain) exceeds a threshold, along with the
+//! three performance optimizations of §3.2.1 (support caching over
+//! canonicalized selection conditions, distinct-projection de-duplication,
+//! and estimator-driven skipping of non-selective paths).
+
+pub mod canonical;
+pub mod describe;
+pub mod edge;
+pub mod log_spec;
+pub mod mining;
+pub mod path;
+pub mod sql;
+pub mod template;
+
+pub use edge::{Edge, EdgeKind, EdgeSet};
+pub use log_spec::LogSpec;
+pub use mining::{
+    mine_bridge, mine_one_way, mine_two_way, MinedTemplate, MiningConfig, MiningResult,
+    MiningStats,
+};
+pub use path::{Direction, Path, PathError};
+pub use template::ExplanationTemplate;

@@ -1,0 +1,142 @@
+//! Where the access log lives and which of its columns play which role.
+
+use eba_relational::{AttrRef, CmpOp, ColId, Database, Error, Result, TableId, Value};
+
+/// Identifies the access-log table and its role columns.
+///
+/// The paper's log schema is `Log(Lid, Date, User, Patient, Action)`; only
+/// the first four matter to the framework. `anchor_filters` restricts which
+/// log rows the system is asked to explain (the experiments mine on "first
+/// accesses of days 1–6" and test on day 7; those subsets are expressed as
+/// filters over derived columns such as `Day` and `IsFirst`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogSpec {
+    /// The log table.
+    pub table: TableId,
+    /// Log-record id column (counted distinctly for support).
+    pub lid_col: ColId,
+    /// The data that was accessed (the paper's `Log.Patient`) — the start
+    /// attribute of every explanation path.
+    pub patient_col: ColId,
+    /// The user who accessed the data (`Log.User`) — the end attribute.
+    pub user_col: ColId,
+    /// Conjunctive filters restricting the anchor rows.
+    pub anchor_filters: Vec<(ColId, CmpOp, Value)>,
+}
+
+impl LogSpec {
+    /// Resolves a spec from a table named `Log` with columns `Lid`, `User`
+    /// and `Patient` (the CareWeb shape).
+    pub fn conventional(db: &Database) -> Result<Self> {
+        let table = db.table_id("Log")?;
+        let schema = db.table(table).schema();
+        let col = |name: &str| -> Result<ColId> {
+            schema.col(name).ok_or_else(|| Error::UnknownColumn {
+                table: "Log".into(),
+                column: name.into(),
+            })
+        };
+        Ok(LogSpec {
+            table,
+            lid_col: col("Lid")?,
+            patient_col: col("Patient")?,
+            user_col: col("User")?,
+            anchor_filters: Vec::new(),
+        })
+    }
+
+    /// The start attribute (`Log.Patient`).
+    pub fn start_attr(&self) -> AttrRef {
+        AttrRef::new(self.table, self.patient_col)
+    }
+
+    /// The end attribute (`Log.User`).
+    pub fn end_attr(&self) -> AttrRef {
+        AttrRef::new(self.table, self.user_col)
+    }
+
+    /// A copy with different anchor filters.
+    pub fn with_filters(&self, filters: Vec<(ColId, CmpOp, Value)>) -> Self {
+        LogSpec {
+            anchor_filters: filters,
+            ..self.clone()
+        }
+    }
+
+    /// Number of distinct anchor log ids (the denominator of support
+    /// fractions and recall).
+    pub fn anchor_lid_count(&self, db: &Database) -> usize {
+        let log = db.table(self.table);
+        let mut lids = std::collections::HashSet::new();
+        for (_, row) in log.iter() {
+            if self
+                .anchor_filters
+                .iter()
+                .all(|(col, op, v)| op.eval(&row[*col], v))
+            {
+                lids.insert(row[self.lid_col]);
+            }
+        }
+        lids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_relational::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("Date", DataType::Date),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        for i in 0..4i64 {
+            db.insert(
+                log,
+                vec![
+                    Value::Int(i),
+                    Value::Date(i * 100),
+                    Value::Int(10 + i),
+                    Value::Int(100 + i),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn conventional_resolves_roles() {
+        let db = db();
+        let spec = LogSpec::conventional(&db).unwrap();
+        assert_eq!(spec.lid_col, 0);
+        assert_eq!(spec.user_col, 2);
+        assert_eq!(spec.patient_col, 3);
+        assert_eq!(db.attr_name(spec.start_attr()), "Log.Patient");
+        assert_eq!(db.attr_name(spec.end_attr()), "Log.User");
+    }
+
+    #[test]
+    fn conventional_fails_without_log_table() {
+        let db = Database::new();
+        assert!(LogSpec::conventional(&db).is_err());
+    }
+
+    #[test]
+    fn anchor_count_respects_filters() {
+        let db = db();
+        let spec = LogSpec::conventional(&db).unwrap();
+        assert_eq!(spec.anchor_lid_count(&db), 4);
+        let filtered = spec.with_filters(vec![(1, CmpOp::Ge, Value::Date(200))]);
+        assert_eq!(filtered.anchor_lid_count(&db), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Machinery shared by the three mining algorithms: the evaluation context
+//! (support cache, estimator, counters) and frontier expansion.
+
+use crate::canonical::{canonical_key, CanonicalKey};
+use crate::edge::EdgeSet;
+use crate::log_spec::LogSpec;
+use crate::mining::{MinedTemplate, MiningConfig, MiningStats};
+use crate::path::{Direction, Path};
+use eba_relational::{estimate_support_hinted, Database, EvalOptions};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Evaluation context for one mining run.
+pub(crate) struct Ctx<'a> {
+    pub db: &'a Database,
+    pub spec: &'a LogSpec,
+    pub config: &'a MiningConfig,
+    pub threshold: usize,
+    pub anchor_lids: usize,
+    /// Fraction of the log passing the anchor filters (estimator hint).
+    pub anchor_frac: f64,
+    cache: HashMap<CanonicalKey, usize>,
+    pub stats: MiningStats,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(db: &'a Database, spec: &'a LogSpec, config: &'a MiningConfig) -> Self {
+        let anchor_lids = spec.anchor_lid_count(db);
+        let total = db.table(spec.table).len().max(1);
+        let threshold = ((config.support_frac * anchor_lids as f64).ceil() as usize).max(1);
+        Ctx {
+            db,
+            spec,
+            config,
+            threshold,
+            anchor_lids,
+            anchor_frac: anchor_lids as f64 / total as f64,
+            cache: HashMap::new(),
+            stats: MiningStats::default(),
+        }
+    }
+
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            dedup: self.config.opt_dedup,
+        }
+    }
+
+    /// Support of a path, going through the canonical-form cache when
+    /// enabled. Also returns the key so callers can dedupe.
+    pub fn support_of(&mut self, path: &Path, length: usize) -> (usize, CanonicalKey) {
+        let key = canonical_key(path, self.spec);
+        if self.config.opt_cache {
+            if let Some(&s) = self.cache.get(&key) {
+                self.stats.at(length).cache_hits += 1;
+                return (s, key);
+            }
+        }
+        let q = path.to_chain_query(self.spec);
+        let support = q
+            .support(self.db, self.eval_options())
+            .expect("paths constructed by the miner lower to valid queries");
+        self.stats.at(length).support_queries += 1;
+        if self.config.opt_cache {
+            self.cache.insert(key.clone(), support);
+        }
+        (support, key)
+    }
+
+    /// §3.2.1 optimization 3: should this *open* path skip support
+    /// evaluation this round? True when the estimator predicts at least
+    /// `c · S` explained log ids.
+    pub fn should_skip(&self, path: &Path) -> bool {
+        if !self.config.opt_skip {
+            return false;
+        }
+        let q = path.to_chain_query(self.spec);
+        let est = estimate_support_hinted(self.db, &q, self.anchor_frac);
+        est >= self.config.skip_multiplier * self.threshold as f64
+    }
+}
+
+/// The opposite-anchor attribute a path of the given direction closes at.
+fn close_target(spec: &LogSpec, dir: Direction) -> eba_relational::AttrRef {
+    match dir {
+        Direction::Forward => spec.end_attr(),
+        Direction::Backward => spec.start_attr(),
+    }
+}
+
+/// Seeds a frontier: supported length-1 paths leaving the anchor attribute
+/// of `dir` ("an initial set of paths of length one are created by taking
+/// the set of edges that begin with the start attribute").
+pub(crate) fn seed_frontier(ctx: &mut Ctx<'_>, edges: &EdgeSet, dir: Direction) -> Vec<Path> {
+    let started = Instant::now();
+    let anchor = match dir {
+        Direction::Forward => ctx.spec.start_attr(),
+        Direction::Backward => ctx.spec.end_attr(),
+    };
+    let mut seen: HashMap<CanonicalKey, Path> = HashMap::new();
+    for edge in edges.from_attr(anchor) {
+        if edge.to.table == ctx.spec.table && !ctx.config.allow_log_aliases {
+            continue; // a fresh log alias as the first hop
+        }
+        let Ok(path) = Path::seed(ctx.spec, dir, *edge) else {
+            continue;
+        };
+        if !path.is_restricted(
+            ctx.spec.table,
+            ctx.config.max_length,
+            ctx.config.max_tables,
+            &ctx.config.exempt_tables,
+        ) {
+            continue;
+        }
+        ctx.stats.at(1).candidates += 1;
+        if ctx.should_skip(&path) {
+            ctx.stats.at(1).skipped += 1;
+            let key = canonical_key(&path, ctx.spec);
+            seen.entry(key).or_insert(path);
+            continue;
+        }
+        let (support, key) = ctx.support_of(&path, 1);
+        if support >= ctx.threshold {
+            seen.entry(key).or_insert(path);
+        }
+    }
+    let mut frontier: Vec<(CanonicalKey, Path)> = seen.into_iter().collect();
+    frontier.sort_by(|a, b| a.0.cmp(&b.0));
+    ctx.stats.at(1).elapsed += started.elapsed();
+    frontier.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Expands a frontier of open paths of length `len` by one edge. Closing
+/// candidates (length `len+1`) that meet the threshold are recorded in
+/// `explanations`; supported (or skipped) open continuations are returned
+/// as the next frontier when `keep_open` allows it.
+pub(crate) fn expand_frontier(
+    ctx: &mut Ctx<'_>,
+    edges: &EdgeSet,
+    frontier: &[Path],
+    len: usize,
+    keep_open: bool,
+    explanations: &mut HashMap<CanonicalKey, MinedTemplate>,
+) -> Vec<Path> {
+    let started = Instant::now();
+    let next_len = len + 1;
+    let mut next: HashMap<CanonicalKey, Path> = HashMap::new();
+    for path in frontier {
+        let tip_table = path.tip().table;
+        for edge in edges.from_table(tip_table) {
+            // (a) Closing candidate: the edge lands on the anchor's
+            // opposite attribute.
+            if edge.to == close_target(ctx.spec, path.direction()) {
+                if let Ok(closed) = path.closed_by(*edge, ctx.spec) {
+                    if closed.is_restricted(
+                        ctx.spec.table,
+                        ctx.config.max_length,
+                        ctx.config.max_tables,
+                        &ctx.config.exempt_tables,
+                    ) {
+                        ctx.stats.at(next_len).candidates += 1;
+                        // Explanations are never skipped (§3.2.1).
+                        let (support, key) = ctx.support_of(&closed, next_len);
+                        if support >= ctx.threshold {
+                            explanations.entry(key.clone()).or_insert(MinedTemplate {
+                                path: closed,
+                                support,
+                                key,
+                            });
+                        }
+                    }
+                }
+            }
+            // (b) Continuation: the edge's target becomes a fresh tuple
+            // variable. Fresh aliases of the log table are excluded unless
+            // explicitly allowed (see `MiningConfig::allow_log_aliases`).
+            if keep_open && (edge.to.table != ctx.spec.table || ctx.config.allow_log_aliases) {
+                if let Ok(open) = path.extended(*edge) {
+                    if !open.is_restricted(
+                        ctx.spec.table,
+                        ctx.config.max_length,
+                        ctx.config.max_tables,
+                        &ctx.config.exempt_tables,
+                    ) {
+                        continue;
+                    }
+                    ctx.stats.at(next_len).candidates += 1;
+                    if ctx.should_skip(&open) {
+                        ctx.stats.at(next_len).skipped += 1;
+                        let key = canonical_key(&open, ctx.spec);
+                        next.entry(key).or_insert(open);
+                        continue;
+                    }
+                    let (support, key) = ctx.support_of(&open, next_len);
+                    if support >= ctx.threshold {
+                        next.entry(key).or_insert(open);
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(CanonicalKey, Path)> = next.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    ctx.stats.at(next_len).elapsed += started.elapsed();
+    out.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Packages explanations + stats into a [`crate::mining::MiningResult`].
+pub(crate) fn finish(
+    ctx: Ctx<'_>,
+    explanations: HashMap<CanonicalKey, MinedTemplate>,
+) -> crate::mining::MiningResult {
+    let mut templates: Vec<MinedTemplate> = explanations.into_values().collect();
+    templates.sort_by(|a, b| (a.length(), &a.key).cmp(&(b.length(), &b.key)));
+    crate::mining::MiningResult {
+        templates,
+        stats: ctx.stats,
+        threshold: ctx.threshold,
+        anchor_lids: ctx.anchor_lids,
+    }
+}

@@ -1,0 +1,682 @@
+//! Paths through the database, the structural form of explanation templates.
+//!
+//! Per Def. 1, an explanation template's query graph must contain a path
+//! that starts at `Log.Patient`, touches at least one attribute of every
+//! joined tuple variable, and terminates at `Log.User`, traversing no edge
+//! twice. A [`Path`] here is exactly that object in normalized chain form:
+//!
+//! * the **anchor** is the log tuple variable (`L`), contributing the start
+//!   attribute and — once the path closes — the end attribute;
+//! * each join [`Edge`] appended to the path enters a **fresh tuple
+//!   variable** (self-joins included: a new alias of the same table), except
+//!   the closing edge, which lands back on the anchor;
+//! * movement *within* a tuple variable (entering at one column, leaving
+//!   from another) is implicit, mirroring the paper's intra-tuple-variable
+//!   edges;
+//! * simplicity (Def. 2) is structural: a tuple variable is entered exactly
+//!   once and contributes at most two attributes, so no selection condition
+//!   can be removed while keeping the path connected.
+//!
+//! Paths are grown in two [`Direction`]s: `Forward` from `Log.Patient`
+//! toward `Log.User` (the one-way algorithm) and `Backward` from `Log.User`
+//! toward `Log.Patient` (the second frontier of the two-way algorithm).
+//! A closed backward path is immediately normalized into forward form.
+
+use crate::edge::Edge;
+use crate::log_spec::LogSpec;
+use eba_relational::{ChainQuery, ChainStep, Database, StepFilter, TableId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Which anchor attribute a partial path grows from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Growing from `Log.Patient` toward `Log.User`.
+    Forward,
+    /// Growing from `Log.User` toward `Log.Patient`.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flipped(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// Errors from path construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The edge's `from` attribute is not in the path's tip tuple variable.
+    NotConnected,
+    /// Attempted to extend a closed path.
+    AlreadyClosed,
+    /// A closing edge would create a degenerate length-1 explanation
+    /// (`Log.Patient = Log.User` with no joined tables).
+    Degenerate,
+    /// The seed edge does not begin at the anchor attribute.
+    BadSeed,
+    /// A decoration referenced a tuple variable the path does not have.
+    BadDecorationAlias(usize),
+    /// Reversal is only defined for closed, undecorated paths.
+    NotReversible,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::NotConnected => write!(f, "edge is not connected to the path tip"),
+            PathError::AlreadyClosed => write!(f, "path is already closed"),
+            PathError::Degenerate => write!(f, "length-1 closed paths are degenerate"),
+            PathError::BadSeed => write!(f, "seed edge must begin at the anchor attribute"),
+            PathError::BadDecorationAlias(a) => write!(f, "no tuple variable with alias {a}"),
+            PathError::NotReversible => {
+                write!(f, "only closed undecorated paths can be reversed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// An extra selection condition attached to a non-anchor tuple variable,
+/// making the template *decorated* (Def. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoration {
+    /// Tuple-variable index the condition applies to (1-based; 0 is the
+    /// anchor, which is constrained via [`LogSpec::anchor_filters`] instead).
+    pub alias: usize,
+    /// The condition itself.
+    pub filter: StepFilter,
+}
+
+/// A (partial or complete) explanation path. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    direction: Direction,
+    edges: Vec<Edge>,
+    closed: bool,
+    decorations: Vec<Decoration>,
+}
+
+impl Path {
+    // ------------------------------------------------------------- building
+
+    /// Seeds a path with a first edge leaving the anchor attribute. Returns
+    /// the open continuation; a seed edge can never close (a length-1
+    /// explanation would join no tables).
+    pub fn seed(spec: &LogSpec, direction: Direction, edge: Edge) -> Result<Path, PathError> {
+        let anchor = match direction {
+            Direction::Forward => spec.start_attr(),
+            Direction::Backward => spec.end_attr(),
+        };
+        if edge.from != anchor {
+            return Err(PathError::BadSeed);
+        }
+        Ok(Path {
+            direction,
+            edges: vec![edge],
+            closed: false,
+            decorations: Vec::new(),
+        })
+    }
+
+    /// The attribute at the open end of the path (the `to` of the last
+    /// edge, inside the most recent tuple variable).
+    ///
+    /// # Panics
+    /// Panics on a closed path (the tip is the anchor itself).
+    pub fn tip(&self) -> eba_relational::AttrRef {
+        assert!(!self.closed, "closed paths have no tip");
+        self.edges.last().expect("paths are never empty").to
+    }
+
+    /// Whether `edge` can extend this path: the path must be open and the
+    /// edge must leave from the tip tuple variable (any of its columns —
+    /// intra-tuple-variable movement is implicit).
+    pub fn connects(&self, edge: &Edge) -> bool {
+        !self.closed && edge.from.table == self.tip().table
+    }
+
+    /// Extends the path with `edge` as a *continuation*: the edge's target
+    /// becomes a fresh tuple variable.
+    pub fn extended(&self, edge: Edge) -> Result<Path, PathError> {
+        if self.closed {
+            return Err(PathError::AlreadyClosed);
+        }
+        if !self.connects(&edge) {
+            return Err(PathError::NotConnected);
+        }
+        let mut edges = Vec::with_capacity(self.edges.len() + 1);
+        edges.extend_from_slice(&self.edges);
+        edges.push(edge);
+        Ok(Path {
+            direction: self.direction,
+            edges,
+            closed: false,
+            decorations: self.decorations.clone(),
+        })
+    }
+
+    /// Extends the path with `edge` landing on the anchor's opposite
+    /// attribute, closing it into an explanation template.
+    pub fn closed_by(&self, edge: Edge, spec: &LogSpec) -> Result<Path, PathError> {
+        if self.closed {
+            return Err(PathError::AlreadyClosed);
+        }
+        if !self.connects(&edge) {
+            return Err(PathError::NotConnected);
+        }
+        let target = match self.direction {
+            Direction::Forward => spec.end_attr(),
+            Direction::Backward => spec.start_attr(),
+        };
+        if edge.to != target {
+            return Err(PathError::NotConnected);
+        }
+        if self.edges.is_empty() {
+            return Err(PathError::Degenerate);
+        }
+        let mut edges = Vec::with_capacity(self.edges.len() + 1);
+        edges.extend_from_slice(&self.edges);
+        edges.push(edge);
+        let closed = Path {
+            direction: self.direction,
+            edges,
+            closed: true,
+            decorations: self.decorations.clone(),
+        };
+        // Normalize: closed paths are always stored forward.
+        match self.direction {
+            Direction::Forward => Ok(closed),
+            Direction::Backward => closed.reversed(),
+        }
+    }
+
+    /// Adds a decoration (extra selection condition) to tuple variable
+    /// `alias` (1-based).
+    pub fn decorated(&self, alias: usize, filter: StepFilter) -> Result<Path, PathError> {
+        if alias == 0 || alias > self.tuple_var_count() {
+            return Err(PathError::BadDecorationAlias(alias));
+        }
+        let mut p = self.clone();
+        p.decorations.push(Decoration { alias, filter });
+        p.decorations.sort_by_key(|d| d.alias);
+        Ok(p)
+    }
+
+    /// Reverses a closed, undecorated path (flip every edge and their
+    /// order). Used to normalize backward-mined explanations into forward
+    /// form; the selection conditions — and therefore the query — are
+    /// unchanged.
+    pub fn reversed(&self) -> Result<Path, PathError> {
+        if !self.closed || !self.decorations.is_empty() {
+            return Err(PathError::NotReversible);
+        }
+        let edges = self.edges.iter().rev().map(Edge::reversed).collect();
+        Ok(Path {
+            direction: self.direction.flipped(),
+            edges,
+            closed: true,
+            decorations: Vec::new(),
+        })
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Join edges in traversal order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Path length: the number of join conditions (the paper's Figure 13/14
+    /// x-axis: "the length corresponds to the number of joins in the path").
+    pub fn length(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path terminates back at the anchor (is an explanation
+    /// template).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Growth direction (closed paths are always `Forward`).
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The decorations, sorted by alias.
+    pub fn decorations(&self) -> &[Decoration] {
+        &self.decorations
+    }
+
+    /// Number of non-anchor tuple variables.
+    pub fn tuple_var_count(&self) -> usize {
+        if self.closed {
+            self.edges.len() - 1
+        } else {
+            self.edges.len()
+        }
+    }
+
+    /// Tables of the non-anchor tuple variables, in order (one per
+    /// continuation edge).
+    pub fn tuple_vars(&self) -> Vec<TableId> {
+        (0..self.tuple_var_count())
+            .map(|i| self.edges[i].to.table)
+            .collect()
+    }
+
+    /// Number of *distinct tables* the path references, counting the anchor
+    /// log and counting self-join aliases once (the paper: "a path that
+    /// references a table and a self-join for that table is counted as a
+    /// single reference"), excluding `exempt` tables (the paper excludes
+    /// its audit-id↔caregiver-id mapping table from the limit).
+    pub fn table_count(&self, anchor: TableId, exempt: &[TableId]) -> usize {
+        let mut tables: HashSet<TableId> = HashSet::new();
+        if !exempt.contains(&anchor) {
+            tables.insert(anchor);
+        }
+        for t in self.tuple_vars() {
+            if !exempt.contains(&t) {
+                tables.insert(t);
+            }
+        }
+        tables.len()
+    }
+
+    /// Restricted-template check (Def. 4): length and table-count limits.
+    pub fn is_restricted(
+        &self,
+        anchor: TableId,
+        max_length: usize,
+        max_tables: usize,
+        exempt: &[TableId],
+    ) -> bool {
+        self.length() <= max_length && self.table_count(anchor, exempt) <= max_tables
+    }
+
+    // ----------------------------------------------------------- conversion
+
+    /// Lowers the path to the engine's [`ChainQuery`] for evaluation.
+    ///
+    /// Open paths become existence queries from the anchor attribute;
+    /// closed paths additionally require the final exit value to equal the
+    /// anchor row's opposite attribute.
+    pub fn to_chain_query(&self, spec: &LogSpec) -> ChainQuery {
+        let start_col = match self.direction {
+            Direction::Forward => spec.patient_col,
+            Direction::Backward => spec.user_col,
+        };
+        let close_col = if self.closed {
+            Some(match self.direction {
+                Direction::Forward => spec.user_col,
+                Direction::Backward => spec.patient_col,
+            })
+        } else {
+            None
+        };
+        let n_steps = self.tuple_var_count();
+        let mut steps = Vec::with_capacity(n_steps);
+        for i in 0..n_steps {
+            let enter = self.edges[i].to;
+            let exit_col = if i + 1 < self.edges.len() {
+                self.edges[i + 1].from.col
+            } else {
+                enter.col
+            };
+            steps.push(ChainStep::new(enter.table, enter.col, exit_col));
+        }
+        for d in &self.decorations {
+            steps[d.alias - 1].filters.push(d.filter);
+        }
+        ChainQuery {
+            log: spec.table,
+            lid_col: spec.lid_col,
+            start_col,
+            steps,
+            close_col,
+            anchor_filters: spec.anchor_filters.clone(),
+        }
+    }
+
+    // ---------------------------------------------------------- handcrafted
+
+    /// Builds a closed forward path from `(table, enter_col, exit_col)`
+    /// hops, for hand-crafting the paper's templates:
+    ///
+    /// ```text
+    /// Log.Patient = hops[0].enter,
+    /// hops[i].exit = hops[i+1].enter, ...,
+    /// hops[last].exit = Log.User
+    /// ```
+    pub fn handcrafted(
+        db: &Database,
+        spec: &LogSpec,
+        hops: &[(&str, &str, &str)],
+    ) -> eba_relational::Result<Path> {
+        let path = Self::handcrafted_open(db, spec, hops)?;
+        let last = hops.last().expect("handcrafted paths need at least one hop");
+        let from = db.attr(last.0, last.2)?;
+        let closing = Edge {
+            from,
+            to: spec.end_attr(),
+            kind: crate::edge::EdgeKind::Administrator,
+        };
+        path.closed_by(closing, spec)
+            .map_err(|e| eba_relational::Error::InvalidQuery(e.to_string()))
+    }
+
+    /// Open variant of [`Path::handcrafted`]: the path stops inside the last
+    /// hop's table (used for "patient had *some* event" predicates).
+    pub fn handcrafted_open(
+        db: &Database,
+        spec: &LogSpec,
+        hops: &[(&str, &str, &str)],
+    ) -> eba_relational::Result<Path> {
+        assert!(!hops.is_empty(), "handcrafted paths need at least one hop");
+        let first_enter = db.attr(hops[0].0, hops[0].1)?;
+        let seed = Edge {
+            from: spec.start_attr(),
+            to: first_enter,
+            kind: crate::edge::EdgeKind::Administrator,
+        };
+        let mut path = Path::seed(spec, Direction::Forward, seed)
+            .map_err(|e| eba_relational::Error::InvalidQuery(e.to_string()))?;
+        for w in hops.windows(2) {
+            let from = db.attr(w[0].0, w[0].2)?;
+            let to = db.attr(w[1].0, w[1].1)?;
+            let edge = Edge {
+                from,
+                to,
+                kind: crate::edge::EdgeKind::Administrator,
+            };
+            path = path
+                .extended(edge)
+                .map_err(|e| eba_relational::Error::InvalidQuery(e.to_string()))?;
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::EdgeKind;
+    use eba_relational::{CmpOp, DataType, EvalOptions, Rhs, Value};
+
+    /// Figure 3 database plus FK metadata.
+    fn db() -> (Database, LogSpec) {
+        let mut db = Database::new();
+        db.create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("Date", DataType::Date),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "Appointments",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("Doctor", DataType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "Doctor_Info",
+            &[("Doctor", DataType::Int), ("Department", DataType::Str)],
+        )
+        .unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
+        db.add_fk("Appointments", "Doctor", "Doctor_Info", "Doctor")
+            .unwrap();
+        db.add_fk("Doctor_Info", "Doctor", "Log", "User").unwrap();
+        db.allow_self_join("Doctor_Info", "Department").unwrap();
+
+        let ped = db.str_value("Pediatrics");
+        let appt = db.table_id("Appointments").unwrap();
+        let info = db.table_id("Doctor_Info").unwrap();
+        let log = db.table_id("Log").unwrap();
+        db.insert(appt, vec![Value::Int(10), Value::Date(1), Value::Int(1)])
+            .unwrap();
+        db.insert(appt, vec![Value::Int(11), Value::Date(2), Value::Int(2)])
+            .unwrap();
+        db.insert(info, vec![Value::Int(2), ped]).unwrap();
+        db.insert(info, vec![Value::Int(1), ped]).unwrap();
+        db.insert(
+            log,
+            vec![Value::Int(1), Value::Date(1), Value::Int(1), Value::Int(10)],
+        )
+        .unwrap();
+        db.insert(
+            log,
+            vec![Value::Int(2), Value::Date(2), Value::Int(1), Value::Int(11)],
+        )
+        .unwrap();
+        let spec = LogSpec::conventional(&db).unwrap();
+        (db, spec)
+    }
+
+    fn edge(db: &Database, ft: &str, fc: &str, tt: &str, tc: &str) -> Edge {
+        Edge {
+            from: db.attr(ft, fc).unwrap(),
+            to: db.attr(tt, tc).unwrap(),
+            kind: EdgeKind::ForeignKey,
+        }
+    }
+
+    #[test]
+    fn seed_requires_anchor_attribute() {
+        let (db, spec) = db();
+        let good = edge(&db, "Log", "Patient", "Appointments", "Patient");
+        let bad = edge(&db, "Appointments", "Doctor", "Log", "User");
+        assert!(Path::seed(&spec, Direction::Forward, good).is_ok());
+        assert_eq!(
+            Path::seed(&spec, Direction::Forward, bad).unwrap_err(),
+            PathError::BadSeed
+        );
+        // The same edge seeds backward mining.
+        let back = edge(&db, "Log", "User", "Appointments", "Doctor");
+        assert!(Path::seed(&spec, Direction::Backward, back).is_ok());
+    }
+
+    #[test]
+    fn template_a_via_extension_and_close() {
+        let (db, spec) = db();
+        let p = Path::seed(
+            &spec,
+            Direction::Forward,
+            edge(&db, "Log", "Patient", "Appointments", "Patient"),
+        )
+        .unwrap();
+        assert_eq!(p.length(), 1);
+        assert!(!p.is_closed());
+        let closed = p
+            .closed_by(edge(&db, "Appointments", "Doctor", "Log", "User"), &spec)
+            .unwrap();
+        assert!(closed.is_closed());
+        assert_eq!(closed.length(), 2);
+        assert_eq!(closed.tuple_var_count(), 1);
+        // Example 3.1: support 1 of 2.
+        let q = closed.to_chain_query(&spec);
+        assert_eq!(q.support(&db, EvalOptions::default()).unwrap(), 1);
+    }
+
+    #[test]
+    fn template_b_with_self_join_has_full_support() {
+        let (db, spec) = db();
+        let p = Path::seed(
+            &spec,
+            Direction::Forward,
+            edge(&db, "Log", "Patient", "Appointments", "Patient"),
+        )
+        .unwrap()
+        .extended(edge(&db, "Appointments", "Doctor", "Doctor_Info", "Doctor"))
+        .unwrap()
+        .extended(Edge {
+            from: db.attr("Doctor_Info", "Department").unwrap(),
+            to: db.attr("Doctor_Info", "Department").unwrap(),
+            kind: EdgeKind::SelfJoin,
+        })
+        .unwrap()
+        .closed_by(edge(&db, "Doctor_Info", "Doctor", "Log", "User"), &spec)
+        .unwrap();
+        assert_eq!(p.length(), 4);
+        assert_eq!(p.tuple_var_count(), 3);
+        // Tables: Log, Appointments, Doctor_Info (self-join counted once).
+        assert_eq!(p.table_count(spec.table, &[]), 3);
+        let q = p.to_chain_query(&spec);
+        assert_eq!(q.support(&db, EvalOptions::default()).unwrap(), 2);
+    }
+
+    #[test]
+    fn backward_closed_paths_normalize_to_forward() {
+        let (db, spec) = db();
+        // Backward: Log.User = Appointments.Doctor, then close with
+        // Appointments.Patient = Log.Patient.
+        let p = Path::seed(
+            &spec,
+            Direction::Backward,
+            edge(&db, "Log", "User", "Appointments", "Doctor"),
+        )
+        .unwrap()
+        .closed_by(edge(&db, "Appointments", "Patient", "Log", "Patient"), &spec)
+        .unwrap();
+        assert!(p.is_closed());
+        assert_eq!(p.direction(), Direction::Forward);
+        // It is exactly template (A).
+        let q = p.to_chain_query(&spec);
+        assert_eq!(q.start_col, spec.patient_col);
+        assert_eq!(q.close_col, Some(spec.user_col));
+        assert_eq!(q.support(&db, EvalOptions::default()).unwrap(), 1);
+    }
+
+    #[test]
+    fn connects_requires_tip_table() {
+        let (db, spec) = db();
+        let p = Path::seed(
+            &spec,
+            Direction::Forward,
+            edge(&db, "Log", "Patient", "Appointments", "Patient"),
+        )
+        .unwrap();
+        assert!(p.connects(&edge(&db, "Appointments", "Doctor", "Doctor_Info", "Doctor")));
+        assert!(!p.connects(&edge(&db, "Doctor_Info", "Doctor", "Log", "User")));
+        let err = p
+            .extended(edge(&db, "Doctor_Info", "Doctor", "Log", "User"))
+            .unwrap_err();
+        assert_eq!(err, PathError::NotConnected);
+    }
+
+    #[test]
+    fn closed_paths_reject_extension() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")]).unwrap();
+        let err = p
+            .extended(edge(&db, "Log", "Patient", "Appointments", "Patient"))
+            .unwrap_err();
+        assert_eq!(err, PathError::AlreadyClosed);
+    }
+
+    #[test]
+    fn decoration_validation_and_lowering() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")]).unwrap();
+        let date_col = db.table(spec.table).schema().col("Date").unwrap();
+        let appt_date = 1; // Appointments.Date
+        let decorated = p
+            .decorated(
+                1,
+                StepFilter {
+                    col: appt_date,
+                    op: CmpOp::Le,
+                    rhs: Rhs::AnchorCol(date_col),
+                },
+            )
+            .unwrap();
+        assert_eq!(decorated.decorations().len(), 1);
+        assert!(decorated.decorated(0, decorated.decorations()[0].filter).is_err());
+        assert!(decorated.decorated(5, decorated.decorations()[0].filter).is_err());
+        let q = decorated.to_chain_query(&spec);
+        assert!(q.is_anchor_dependent());
+        // Appointment on day 1 ≤ access on day 1: L1 still explained.
+        assert_eq!(
+            q.explained_rows(&db, EvalOptions::default()).unwrap(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn reversal_round_trips() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(
+            &db,
+            &spec,
+            &[
+                ("Appointments", "Patient", "Doctor"),
+                ("Doctor_Info", "Doctor", "Department"),
+                ("Doctor_Info", "Department", "Doctor"),
+            ],
+        )
+        .unwrap();
+        let r = p.reversed().unwrap();
+        assert_eq!(r.length(), p.length());
+        let rr = r.reversed().unwrap();
+        assert_eq!(rr.edges(), p.edges());
+        // Both directions evaluate identically.
+        let q1 = p.to_chain_query(&spec);
+        let q2 = r.to_chain_query(&spec);
+        assert_eq!(
+            q1.support(&db, EvalOptions::default()).unwrap(),
+            q2.support(&db, EvalOptions::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn open_paths_are_not_reversible() {
+        let (db, spec) = db();
+        let p =
+            Path::handcrafted_open(&db, &spec, &[("Appointments", "Patient", "Patient")]).unwrap();
+        assert_eq!(p.reversed().unwrap_err(), PathError::NotReversible);
+    }
+
+    #[test]
+    fn exempt_tables_do_not_count() {
+        let (db, spec) = db();
+        let p = Path::handcrafted(
+            &db,
+            &spec,
+            &[
+                ("Appointments", "Patient", "Doctor"),
+                ("Doctor_Info", "Doctor", "Doctor"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.table_count(spec.table, &[]), 3);
+        let info = db.table_id("Doctor_Info").unwrap();
+        assert_eq!(p.table_count(spec.table, &[info]), 2);
+        assert!(p.is_restricted(spec.table, 3, 2, &[info]));
+        assert!(!p.is_restricted(spec.table, 3, 2, &[]));
+        assert!(!p.is_restricted(spec.table, 2, 3, &[]));
+    }
+
+    #[test]
+    fn open_path_lowering_counts_patients_with_events() {
+        let (db, spec) = db();
+        let p =
+            Path::handcrafted_open(&db, &spec, &[("Appointments", "Patient", "Patient")]).unwrap();
+        let q = p.to_chain_query(&spec);
+        assert_eq!(q.close_col, None);
+        assert_eq!(q.support(&db, EvalOptions::default()).unwrap(), 2);
+    }
+}

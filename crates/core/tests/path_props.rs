@@ -1,0 +1,172 @@
+//! Property-based tests of the path algebra and canonicalization, over
+//! randomly shaped (but well-typed) schemas and paths.
+
+use eba_core::canonical::canonical_key;
+use eba_core::edge::{Edge, EdgeKind};
+use eba_core::{Direction, LogSpec, Path};
+use eba_relational::{DataType, Database, TableId};
+use proptest::prelude::*;
+
+/// A random chain specification: how many hop tables, and per hop which
+/// column enters/exits (0 or 1).
+#[derive(Debug, Clone)]
+struct ChainShape {
+    hops: Vec<(u8, u8)>, // (enter col, exit col) of each hop table
+}
+
+fn chain_shape() -> impl Strategy<Value = ChainShape> {
+    prop::collection::vec((0u8..2, 0u8..2), 1..5).prop_map(|hops| ChainShape { hops })
+}
+
+/// Builds a database with `Log` and one table per hop (`H0`, `H1`, ...),
+/// each with two Int columns `A`, `B`.
+fn build_db(shape: &ChainShape) -> (Database, LogSpec, Vec<TableId>) {
+    let mut db = Database::new();
+    db.create_table(
+        "Log",
+        &[
+            ("Lid", DataType::Int),
+            ("User", DataType::Int),
+            ("Patient", DataType::Int),
+        ],
+    )
+    .unwrap();
+    let mut hops = Vec::new();
+    for i in 0..shape.hops.len() {
+        let t = db
+            .create_table(&format!("H{i}"), &[("A", DataType::Int), ("B", DataType::Int)])
+            .unwrap();
+        hops.push(t);
+    }
+    let spec = LogSpec::conventional(&db).unwrap();
+    (db, spec, hops)
+}
+
+fn col(c: u8) -> usize {
+    c as usize
+}
+
+/// Builds the closed path Log.Patient → H0(enter→exit) → H1(...) → Log.User.
+fn build_path(
+    spec: &LogSpec,
+    hops: &[TableId],
+    shape: &ChainShape,
+) -> Result<Path, eba_core::PathError> {
+    let mut path = Path::seed(
+        spec,
+        Direction::Forward,
+        Edge {
+            from: spec.start_attr(),
+            to: eba_relational::AttrRef::new(hops[0], col(shape.hops[0].0)),
+            kind: EdgeKind::ForeignKey,
+        },
+    )?;
+    for i in 1..hops.len() {
+        path = path.extended(Edge {
+            from: eba_relational::AttrRef::new(hops[i - 1], col(shape.hops[i - 1].1)),
+            to: eba_relational::AttrRef::new(hops[i], col(shape.hops[i].0)),
+            kind: EdgeKind::ForeignKey,
+        })?;
+    }
+    let last = hops.len() - 1;
+    path.closed_by(
+        Edge {
+            from: eba_relational::AttrRef::new(hops[last], col(shape.hops[last].1)),
+            to: spec.end_attr(),
+            kind: EdgeKind::ForeignKey,
+        },
+        spec,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn closed_paths_reverse_losslessly(shape in chain_shape()) {
+        let (_, spec, hops) = build_db(&shape);
+        let path = build_path(&spec, &hops, &shape).unwrap();
+        let rev = path.reversed().unwrap();
+        // Same length, same closedness, double reversal is identity.
+        prop_assert_eq!(rev.length(), path.length());
+        prop_assert!(rev.is_closed());
+        let double = rev.reversed().unwrap();
+        prop_assert_eq!(double.edges(), path.edges());
+        // Tuple variables appear in reverse order.
+        let mut tv = path.tuple_vars();
+        tv.reverse();
+        prop_assert_eq!(rev.tuple_vars(), tv);
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_reversal(shape in chain_shape()) {
+        let (_, spec, hops) = build_db(&shape);
+        let path = build_path(&spec, &hops, &shape).unwrap();
+        let rev = path.reversed().unwrap();
+        prop_assert_eq!(canonical_key(&path, &spec), canonical_key(&rev, &spec));
+    }
+
+    #[test]
+    fn distinct_shapes_have_distinct_keys(a in chain_shape(), b in chain_shape()) {
+        // Two chains over the *same ordered tables* with different
+        // (enter, exit) choices or lengths are different queries and must
+        // not collide: the key encodes tables, columns and canonical alias
+        // positions. (Traversal *direction* is deliberately folded — see
+        // `canonical_key_invariant_under_reversal` — but a reversed
+        // traversal also reverses the table sequence, so it cannot be
+        // confused with a different shape over the forward sequence.)
+        let longest = if a.hops.len() >= b.hops.len() { &a } else { &b };
+        let (_, spec, hops) = build_db(longest);
+        let pa = build_path(&spec, &hops[..a.hops.len()], &a).unwrap();
+        let pb = build_path(&spec, &hops[..b.hops.len()], &b).unwrap();
+        if a.hops == b.hops {
+            prop_assert_eq!(canonical_key(&pa, &spec), canonical_key(&pb, &spec));
+        } else {
+            prop_assert_ne!(canonical_key(&pa, &spec), canonical_key(&pb, &spec));
+        }
+    }
+
+    #[test]
+    fn table_count_bounds(shape in chain_shape()) {
+        let (_, spec, hops) = build_db(&shape);
+        let path = build_path(&spec, &hops, &shape).unwrap();
+        let n = path.table_count(spec.table, &[]);
+        // Anchor + distinct hop tables.
+        prop_assert_eq!(n, 1 + hops.len());
+        // Exempting every hop table leaves just the anchor.
+        prop_assert_eq!(path.table_count(spec.table, &hops), 1);
+        // Restriction check is consistent.
+        prop_assert!(path.is_restricted(spec.table, path.length(), n, &[]));
+        prop_assert!(!path.is_restricted(spec.table, path.length() - 1, n, &[]));
+    }
+
+    #[test]
+    fn lowering_shape_is_consistent(shape in chain_shape()) {
+        let (db, spec, hops) = build_db(&shape);
+        let path = build_path(&spec, &hops, &shape).unwrap();
+        let q = path.to_chain_query(&spec);
+        prop_assert_eq!(q.steps.len(), path.tuple_var_count());
+        prop_assert_eq!(q.close_col, Some(spec.user_col));
+        prop_assert_eq!(q.start_col, spec.patient_col);
+        // Lowered steps reference real tables/columns.
+        prop_assert!(q.validate(&db).is_ok());
+        // Step enter columns match the edges' target columns.
+        for (step, i) in q.steps.iter().zip(0..) {
+            prop_assert_eq!(step.table, hops[i]);
+            prop_assert_eq!(step.enter_col, col(shape.hops[i].0));
+        }
+    }
+
+    #[test]
+    fn sql_mentions_every_tuple_variable(shape in chain_shape()) {
+        let (db, spec, hops) = build_db(&shape);
+        let path = build_path(&spec, &hops, &shape).unwrap();
+        let sql = eba_core::sql::template_sql(&db, &spec, &path);
+        for i in 1..=hops.len() {
+            prop_assert!(sql.contains(&format!("T{i}")), "missing T{i} in {sql}");
+        }
+        prop_assert!(sql.contains("FROM Log L"));
+        // One join condition per edge.
+        prop_assert_eq!(sql.matches(" = ").count(), path.length());
+    }
+}

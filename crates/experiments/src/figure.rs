@@ -1,0 +1,208 @@
+//! Typed experiment results, renderable as text tables and CSV.
+
+use std::fmt;
+
+/// One row: a label and one value per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Row label (e.g. `"Appt w/Dr."`).
+    pub label: String,
+    /// Values, parallel to [`FigureResult::columns`]. `None` renders as
+    /// `-` (e.g. the paper did not report that cell).
+    pub values: Vec<Option<f64>>,
+}
+
+impl FigureRow {
+    /// Builds a row from present values.
+    pub fn new(label: impl Into<String>, values: &[f64]) -> Self {
+        FigureRow {
+            label: label.into(),
+            values: values.iter().copied().map(Some).collect(),
+        }
+    }
+
+    /// Builds a row allowing missing cells.
+    pub fn sparse(label: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        FigureRow {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureResult {
+    /// Paper artifact id, e.g. `"Figure 6"`.
+    pub id: String,
+    /// Descriptive title.
+    pub title: String,
+    /// Value-column names.
+    pub columns: Vec<String>,
+    /// Rows in display order.
+    pub rows: Vec<FigureRow>,
+    /// Free-form notes: paper reference values, caveats, parameters.
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty result to be filled.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> FigureResult {
+        FigureResult {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a dense row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push(FigureRow::new(label, values));
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a row's value by label and column index.
+    pub fn value(&self, label: &str, col: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .and_then(|r| r.values.get(col).copied().flatten())
+    }
+
+    /// CSV rendering (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        s.push_str("label");
+        for c in &self.columns {
+            s.push(',');
+            s.push_str(c);
+        }
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&escape_csv(&r.label));
+            for v in &r.values {
+                s.push(',');
+                if let Some(v) = v {
+                    s.push_str(&format_value(*v));
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for FigureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(5))
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let col_w: Vec<usize> = self.columns.iter().map(|c| c.len().max(10)).collect();
+        write!(f, "{:label_w$}", "")?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, "  {c:>w$}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:label_w$}", r.label)?;
+            for (v, w) in r.values.iter().zip(&col_w) {
+                match v {
+                    Some(v) => write!(f, "  {:>w$}", format_value(*v))?,
+                    None => write!(f, "  {:>w$}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureResult {
+        let mut fig = FigureResult::new("Figure 0", "demo", &["Measured", "Paper"]);
+        fig.push_row("Appt", &[0.5123, 0.55]);
+        fig.rows
+            .push(FigureRow::sparse("All", vec![Some(0.97), None]));
+        fig.note("values are fractions of the log");
+        fig
+    }
+
+    #[test]
+    fn display_renders_all_rows_and_notes() {
+        let s = fig().to_string();
+        assert!(s.contains("Figure 0"));
+        assert!(s.contains("Appt"));
+        assert!(s.contains("0.5123"));
+        assert!(s.contains('-'), "missing cells render as dashes");
+        assert!(s.contains("note: values"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "label,Measured,Paper");
+        assert!(lines[2].starts_with("All,0.9700,"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn value_lookup() {
+        let f = fig();
+        assert_eq!(f.value("Appt", 1), Some(0.55));
+        assert_eq!(f.value("All", 1), None);
+        assert_eq!(f.value("Nope", 0), None);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut f = FigureResult::new("T", "t", &["v"]);
+        f.push_row("a,b", &[1.0]);
+        assert!(f.to_csv().contains("\"a,b\""));
+    }
+
+    #[test]
+    fn integers_render_without_decimals() {
+        assert_eq!(format_value(241.0), "241");
+        assert_eq!(format_value(0.34), "0.3400");
+    }
+}

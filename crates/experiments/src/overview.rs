@@ -1,0 +1,59 @@
+//! §5.2-style data-set overview.
+
+use crate::figure::FigureResult;
+use crate::scenario::Scenario;
+use std::collections::HashSet;
+
+/// Table and log statistics, the analogue of the paper's §5.2 numbers
+/// (4.5M accesses, 124K patients, 12K users, 500K distinct pairs, density
+/// 3·10⁻⁴, 51K appointments, 3K visits, 76K documents, 45K labs, 242K
+/// medications, 17K radiology, 291 department codes).
+pub fn data_overview(s: &Scenario) -> FigureResult {
+    let h = &s.hospital;
+    let db = &h.db;
+    let log = db.table(h.t_log);
+    let mut pairs: HashSet<(eba_relational::Value, eba_relational::Value)> = HashSet::new();
+    for (_, row) in log.iter() {
+        pairs.insert((row[h.log_cols.user], row[h.log_cols.patient]));
+    }
+    let users = h.world.n_users() as f64;
+    let patients = h.world.n_patients() as f64;
+    let density = pairs.len() as f64 / (users * patients);
+
+    let mut fig = FigureResult::new("Overview", "Data-set statistics (§5.2)", &["Count"]);
+    fig.push_row("Accesses", &[log.len() as f64]);
+    fig.push_row("Distinct patients", &[patients]);
+    fig.push_row("Distinct users", &[users]);
+    fig.push_row("Distinct user-patient pairs", &[pairs.len() as f64]);
+    fig.push_row("Appointments", &[db.table(h.t_appointments).len() as f64]);
+    fig.push_row("Visits", &[db.table(h.t_visits).len() as f64]);
+    fig.push_row("Documents", &[db.table(h.t_documents).len() as f64]);
+    fig.push_row("Labs", &[db.table(h.t_labs).len() as f64]);
+    fig.push_row("Medications", &[db.table(h.t_medications).len() as f64]);
+    fig.push_row("Radiology", &[db.table(h.t_radiology).len() as f64]);
+    fig.push_row(
+        "Department codes",
+        &[h.world.departments().len() as f64],
+    );
+    fig.note(format!("user-patient density = {density:.2e} (paper: 3.0e-4)"));
+    fig.note("paper scale: 4.5M accesses, 124K patients, 12K users, 51K appts, 3K visits, 76K docs, 45K labs, 242K meds, 17K radiology, 291 dept codes".to_string());
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_synth::SynthConfig;
+
+    #[test]
+    fn overview_reports_consistent_counts() {
+        let s = Scenario::build(SynthConfig::tiny());
+        let fig = data_overview(&s);
+        let accesses = fig.value("Accesses", 0).unwrap();
+        assert_eq!(accesses as usize, s.hospital.log_len());
+        // Visits are rarer than appointments, as in the paper.
+        assert!(fig.value("Visits", 0).unwrap() < fig.value("Appointments", 0).unwrap());
+        // Pairs cannot exceed accesses.
+        assert!(fig.value("Distinct user-patient pairs", 0).unwrap() <= accesses);
+    }
+}

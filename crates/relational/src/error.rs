@@ -1,0 +1,120 @@
+//! Error type shared by all engine operations.
+
+use std::fmt;
+
+/// Convenience alias used across the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by schema definition, data loading and query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// No table with this name exists.
+    UnknownTable(String),
+    /// The table exists but has no column with this name.
+    UnknownColumn {
+        /// Table that was searched.
+        table: String,
+        /// Column that was not found.
+        column: String,
+    },
+    /// A row's arity does not match the table schema.
+    ArityMismatch {
+        /// Table being inserted into.
+        table: String,
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A value's type does not match the declared column type.
+    TypeMismatch {
+        /// Table being inserted into.
+        table: String,
+        /// Column whose type was violated.
+        column: String,
+        /// Declared type, as a string.
+        expected: &'static str,
+        /// Supplied type, as a string.
+        got: &'static str,
+    },
+    /// A relationship referenced attributes of incompatible types.
+    IncompatibleRelationship(String),
+    /// A query referenced a table id that does not exist.
+    InvalidTableId(usize),
+    /// A query was structurally invalid (empty chain, bad column, ...).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            Error::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            Error::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch inserting into `{table}`: expected {expected} values, got {got}"
+            ),
+            Error::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch in `{table}.{column}`: expected {expected}, got {got}"
+            ),
+            Error::IncompatibleRelationship(msg) => {
+                write!(f, "incompatible relationship: {msg}")
+            }
+            Error::InvalidTableId(id) => write!(f, "invalid table id {id}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::UnknownColumn {
+            table: "Log".into(),
+            column: "Zid".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column `Zid` in table `Log`");
+
+        let e = Error::ArityMismatch {
+            table: "Log".into(),
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("got 2"));
+
+        let e = Error::TypeMismatch {
+            table: "Log".into(),
+            column: "Date".into(),
+            expected: "Date",
+            got: "Str",
+        };
+        assert!(e.to_string().contains("Log.Date"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,84 @@
+//! Hash indexes over single columns.
+
+use crate::table::RowId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An equality index: value → row ids holding that value.
+///
+/// NULLs are excluded: SQL equi-joins never match NULL, so indexing them
+/// would only waste memory.
+#[derive(Debug, Default, Clone)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// Builds an index from a column iterator (in row order).
+    pub fn build<I: IntoIterator<Item = Value>>(column: I) -> Self {
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for (row, value) in column.into_iter().enumerate() {
+            if value.is_null() {
+                continue;
+            }
+            map.entry(value).or_default().push(row as RowId);
+        }
+        Self { map }
+    }
+
+    /// Row ids whose column equals `value` (never matches NULL).
+    pub fn get(&self, value: Value) -> &[RowId] {
+        self.map.get(&value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if any row holds `value`.
+    pub fn contains(&self, value: Value) -> bool {
+        !value.is_null() && self.map.contains_key(&value)
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(value, row ids)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&Value, &[RowId])> {
+        self.map.iter().map(|(v, rows)| (v, rows.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_groups_rows_by_value() {
+        let idx = HashIndex::build(vec![
+            Value::Int(7),
+            Value::Int(8),
+            Value::Int(7),
+            Value::Null,
+        ]);
+        assert_eq!(idx.get(Value::Int(7)), &[0, 2]);
+        assert_eq!(idx.get(Value::Int(8)), &[1]);
+        assert_eq!(idx.get(Value::Int(9)), &[] as &[RowId]);
+        assert_eq!(idx.distinct_count(), 2);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let idx = HashIndex::build(vec![Value::Null, Value::Null]);
+        assert_eq!(idx.distinct_count(), 0);
+        assert!(!idx.contains(Value::Null));
+    }
+
+    #[test]
+    fn groups_cover_all_values() {
+        let idx = HashIndex::build(vec![Value::Int(1), Value::Int(2), Value::Int(1)]);
+        let mut total = 0;
+        for (_, rows) in idx.groups() {
+            total += rows.len();
+        }
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,63 @@
+//! # eba-relational
+//!
+//! A small, self-contained, in-memory relational engine. It is the substrate
+//! that `eba-core` runs explanation-template queries against, playing the
+//! role PostgreSQL played in the original *Explanation-Based Auditing* system
+//! (Fabbri & LeFevre, VLDB 2011).
+//!
+//! The engine provides exactly the capabilities the paper's SQL layer uses:
+//!
+//! * typed tables with named columns ([`TableSchema`], [`Table`]),
+//! * key/foreign-key and administrator-declared relationship metadata, plus
+//!   attributes explicitly allowed in self-joins ([`Database`]),
+//! * hash indexes built lazily per column ([`table::Table::index`]),
+//! * evaluation of *path-shaped* conjunctive equi-join queries, including the
+//!   paper's support query `SELECT COUNT(DISTINCT Log.Lid) ...`
+//!   ([`chain::ChainQuery`]),
+//! * `SELECT DISTINCT` per-table de-duplication (the paper's "reducing result
+//!   multiplicity" optimization is the default evaluation strategy),
+//! * System-R-style cardinality estimation used by the paper's "skipping
+//!   non-selective paths" optimization ([`stats`], [`chain::estimate_support`]).
+//!
+//! Strings are interned in a per-database [`StringPool`]; a [`Value`] is a
+//! small, `Copy`, hashable scalar which keeps join evaluation allocation-free
+//! on the hot path.
+//!
+//! ```
+//! use eba_relational::{Database, DataType, Value};
+//!
+//! let mut db = Database::new();
+//! let t = db.create_table(
+//!     "Appointments",
+//!     &[("Patient", DataType::Int), ("Date", DataType::Date), ("Doctor", DataType::Int)],
+//! ).unwrap();
+//! db.insert(t, vec![Value::Int(1), Value::Date(10), Value::Int(7)]).unwrap();
+//! assert_eq!(db.table(t).len(), 1);
+//! ```
+
+pub mod chain;
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod plan;
+pub mod pool;
+pub mod select;
+pub mod stats;
+pub mod table;
+pub mod types;
+pub mod value;
+
+pub use chain::{
+    estimate_support, estimate_support_hinted, ChainQuery, ChainStep, CmpOp, EvalOptions,
+    Instance, Rhs, StepFilter, StepTrace,
+};
+pub use database::{AttrRef, Database, RelationshipKind, TableId};
+pub use error::{Error, Result};
+pub use plan::{explain, Plan, PlanStep};
+pub use pool::{StringPool, Symbol};
+pub use select::Selection;
+pub use stats::ColumnStats;
+pub use table::{Row, RowId, Table};
+pub use types::{ColId, Column, DataType, TableSchema};
+pub use value::Value;

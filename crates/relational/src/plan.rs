@@ -1,0 +1,174 @@
+//! `EXPLAIN`-style plan inspection for chain queries.
+//!
+//! The miner's skip optimization consults the optimizer's row estimate
+//! (§3.2.1); this module exposes the same machinery for humans: per-step
+//! table cardinalities, distinct counts, and the estimator's running
+//! survival estimate, so a surprising template support can be debugged the
+//! way one reads `EXPLAIN` output.
+
+use crate::chain::ChainQuery;
+use crate::database::{AttrRef, Database};
+use std::fmt;
+
+/// Estimator state after one step of the chain.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Table name.
+    pub table: String,
+    /// `enter → exit` column names.
+    pub enter: String,
+    /// Exit column name.
+    pub exit: String,
+    /// Rows in the step's table.
+    pub rows: usize,
+    /// Distinct values of the enter column.
+    pub enter_distinct: usize,
+    /// Distinct values of the exit column.
+    pub exit_distinct: usize,
+    /// Number of decorations (extra filters) on this step.
+    pub filters: usize,
+}
+
+/// A rendered query plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The anchor description, e.g. `Log (38211 rows) anchored at Patient`.
+    pub anchor: String,
+    /// Per-step details.
+    pub steps: Vec<PlanStep>,
+    /// The estimator's predicted number of explained distinct log ids.
+    pub estimated_support: f64,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "anchor: {}", self.anchor)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(
+                f,
+                "  step {}: {}({}→{})  rows={} distinct_in={} distinct_out={}{}",
+                i + 1,
+                s.table,
+                s.enter,
+                s.exit,
+                s.rows,
+                s.enter_distinct,
+                s.exit_distinct,
+                if s.filters > 0 {
+                    format!(" filters={}", s.filters)
+                } else {
+                    String::new()
+                }
+            )?;
+        }
+        writeln!(f, "estimated support: {:.1}", self.estimated_support)
+    }
+}
+
+/// Builds the plan for a chain query.
+pub fn explain(db: &Database, q: &ChainQuery) -> Plan {
+    let log = db.table(q.log);
+    let anchor = format!(
+        "{} ({} rows) anchored at {}{}{}",
+        log.name(),
+        log.len(),
+        log.schema().col_name(q.start_col),
+        match q.close_col {
+            Some(c) => format!(", closing at {}", log.schema().col_name(c)),
+            None => String::new(),
+        },
+        if q.anchor_filters.is_empty() {
+            String::new()
+        } else {
+            format!(" [{} anchor filters]", q.anchor_filters.len())
+        }
+    );
+    let steps = q
+        .steps
+        .iter()
+        .map(|s| {
+            let t = db.table(s.table);
+            PlanStep {
+                table: t.name().to_string(),
+                enter: t.schema().col_name(s.enter_col).to_string(),
+                exit: t.schema().col_name(s.exit_col).to_string(),
+                rows: t.len(),
+                enter_distinct: db.stats(AttrRef::new(s.table, s.enter_col)).distinct_count,
+                exit_distinct: db.stats(AttrRef::new(s.table, s.exit_col)).distinct_count,
+                filters: s.filters.len(),
+            }
+        })
+        .collect();
+    Plan {
+        anchor,
+        steps,
+        estimated_support: crate::chain::estimate_support(db, q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainStep, CmpOp};
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn db() -> (Database, ChainQuery) {
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let appt = db
+            .create_table(
+                "Appointments",
+                &[("Patient", DataType::Int), ("Doctor", DataType::Int)],
+            )
+            .unwrap();
+        for i in 0..5i64 {
+            db.insert(log, vec![Value::Int(i), Value::Int(i % 2), Value::Int(i % 3)])
+                .unwrap();
+            db.insert(appt, vec![Value::Int(i % 3), Value::Int(i % 2)])
+                .unwrap();
+        }
+        let q = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(appt, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![(0, CmpOp::Ge, Value::Int(0))],
+        };
+        (db, q)
+    }
+
+    #[test]
+    fn plan_describes_every_step() {
+        let (db, q) = db();
+        let plan = explain(&db, &q);
+        assert!(plan.anchor.contains("Log (5 rows)"));
+        assert!(plan.anchor.contains("anchored at Patient"));
+        assert!(plan.anchor.contains("closing at User"));
+        assert!(plan.anchor.contains("1 anchor filters"));
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.steps[0].table, "Appointments");
+        assert_eq!(plan.steps[0].rows, 5);
+        assert_eq!(plan.steps[0].enter_distinct, 3);
+        assert_eq!(plan.steps[0].exit_distinct, 2);
+        assert!(plan.estimated_support >= 0.0);
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let (db, q) = db();
+        let text = explain(&db, &q).to_string();
+        assert!(text.contains("step 1: Appointments(Patient→Doctor)"));
+        assert!(text.contains("estimated support:"));
+    }
+}

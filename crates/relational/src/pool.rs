@@ -1,0 +1,107 @@
+//! String interning.
+//!
+//! All string values stored in a [`crate::Database`] are interned in a
+//! [`StringPool`], so a [`crate::Value`] stays `Copy` and hash-joins never
+//! compare string bytes. Interning also matches how the audited hospital
+//! data looks in practice: low-cardinality coded strings (department codes,
+//! action codes) repeated across millions of rows.
+
+use std::collections::HashMap;
+
+/// An interned string handle.
+///
+/// Symbols are only meaningful relative to the [`StringPool`] (and therefore
+/// the [`crate::Database`]) that produced them. Equality of symbols from the
+/// same pool is equality of the underlying strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// An append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct StringPool {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl StringPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Re-interning an existing string
+    /// returns the same symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("more than u32::MAX strings"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a symbol for `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol did not come from this pool.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trips() {
+        let mut pool = StringPool::new();
+        let a = pool.intern("Pediatrics");
+        let b = pool.intern("Nursing-Pediatrics");
+        assert_ne!(a, b);
+        assert_eq!(pool.resolve(a), "Pediatrics");
+        assert_eq!(pool.resolve(b), "Nursing-Pediatrics");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = StringPool::new();
+        let a = pool.intern("Radiology");
+        let b = pool.intern("Radiology");
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut pool = StringPool::new();
+        assert!(pool.get("x").is_none());
+        assert!(pool.is_empty());
+        pool.intern("x");
+        assert_eq!(pool.get("x"), Some(Symbol(0)));
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut pool = StringPool::new();
+        let e = pool.intern("");
+        assert_eq!(pool.resolve(e), "");
+    }
+}

@@ -1,0 +1,134 @@
+//! Simple single-table selection, for application-level queries
+//! (e.g. "all log rows for patient 42" in the patient portal).
+
+use crate::chain::CmpOp;
+use crate::database::{Database, TableId};
+use crate::table::RowId;
+use crate::types::ColId;
+use crate::value::Value;
+
+/// A conjunctive single-table filter.
+///
+/// The first equality predicate (if any) is served from a hash index; the
+/// rest are applied as residual filters.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    predicates: Vec<(ColId, CmpOp, Value)>,
+}
+
+impl Selection {
+    /// An empty (all-rows) selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `col op value` to the conjunction.
+    pub fn and(mut self, col: ColId, op: CmpOp, value: Value) -> Self {
+        self.predicates.push((col, op, value));
+        self
+    }
+
+    /// Adds an equality predicate.
+    pub fn and_eq(self, col: ColId, value: Value) -> Self {
+        self.and(col, CmpOp::Eq, value)
+    }
+
+    /// Evaluates the selection, returning matching row ids in row order.
+    pub fn run(&self, db: &Database, table: TableId) -> Vec<RowId> {
+        let t = db.table(table);
+        // Pick the first equality predicate as the index probe.
+        let probe = self
+            .predicates
+            .iter()
+            .position(|(_, op, v)| *op == CmpOp::Eq && !v.is_null());
+        let residual = |rid: RowId| {
+            let row = t.row(rid);
+            self.predicates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| Some(*i) != probe)
+                .all(|(_, (col, op, v))| op.eval(&row[*col], v))
+        };
+        match probe {
+            Some(i) => {
+                let (col, _, v) = self.predicates[i];
+                let mut rows = t.rows_with(col, v);
+                rows.retain(|&r| residual(r));
+                rows
+            }
+            None => t
+                .iter()
+                .filter(|(rid, _)| residual(*rid))
+                .map(|(rid, _)| rid)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("Date", DataType::Date),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        for (lid, date, user, patient) in
+            [(1, 10, 7, 42), (2, 20, 8, 42), (3, 30, 7, 43), (4, 40, 7, 42)]
+        {
+            db.insert(
+                log,
+                vec![
+                    Value::Int(lid),
+                    Value::Date(date),
+                    Value::Int(user),
+                    Value::Int(patient),
+                ],
+            )
+            .unwrap();
+        }
+        (db, log)
+    }
+
+    #[test]
+    fn equality_probe_uses_index() {
+        let (db, log) = db();
+        let rows = Selection::new().and_eq(3, Value::Int(42)).run(&db, log);
+        assert_eq!(rows, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn conjunction_applies_residual_filters() {
+        let (db, log) = db();
+        let rows = Selection::new()
+            .and_eq(3, Value::Int(42))
+            .and_eq(2, Value::Int(7))
+            .run(&db, log);
+        assert_eq!(rows, vec![0, 3]);
+    }
+
+    #[test]
+    fn range_only_selection_scans() {
+        let (db, log) = db();
+        let rows = Selection::new()
+            .and(1, CmpOp::Gt, Value::Date(15))
+            .run(&db, log);
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_selection_returns_everything() {
+        let (db, log) = db();
+        assert_eq!(Selection::new().run(&db, log).len(), 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Table and column statistics for cardinality estimation.
+//!
+//! The paper's third mining optimization ("skipping non-selective paths",
+//! §3.2.1) asks the *database optimizer* for the expected number of log ids
+//! in a path query's result and skips support evaluation when the estimate
+//! comfortably exceeds the support threshold. These statistics are what our
+//! estimator consults — the same row-count / distinct-count summaries a
+//! System-R style optimizer keeps.
+
+use crate::table::Table;
+use crate::types::ColId;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Total rows in the table.
+    pub row_count: usize,
+    /// Rows with a non-null value in this column.
+    pub non_null_count: usize,
+    /// Distinct non-null values.
+    pub distinct_count: usize,
+}
+
+impl ColumnStats {
+    /// Computes statistics by scanning the table's index for `col`.
+    pub fn compute(table: &Table, col: ColId) -> Self {
+        let idx = table.index(col);
+        let non_null: usize = idx.groups().map(|(_, rows)| rows.len()).sum();
+        ColumnStats {
+            row_count: table.len(),
+            non_null_count: non_null,
+            distinct_count: idx.distinct_count(),
+        }
+    }
+
+    /// Average number of rows per distinct value ("fan-out" of an equi-join
+    /// probe that finds a match). Zero for an empty column.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.distinct_count == 0 {
+            0.0
+        } else {
+            self.non_null_count as f64 / self.distinct_count as f64
+        }
+    }
+
+    /// Probability that a value drawn uniformly from a domain of
+    /// `domain_size` distinct values appears in this column, under the
+    /// standard containment assumption (the smaller distinct set is contained
+    /// in the larger).
+    pub fn containment_match_prob(&self, domain_size: usize) -> f64 {
+        if domain_size == 0 {
+            return 0.0;
+        }
+        let d = self.distinct_count as f64;
+        (d / domain_size as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataType, TableSchema};
+    use crate::value::Value;
+
+    fn table_with(col_values: &[Option<i64>]) -> Table {
+        let mut t = Table::new(TableSchema::new("T", &[("A", DataType::Int)]));
+        for v in col_values {
+            let cell = match v {
+                Some(i) => Value::Int(*i),
+                None => Value::Null,
+            };
+            t.insert(vec![cell]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn compute_counts() {
+        let t = table_with(&[Some(1), Some(1), Some(2), None]);
+        let s = ColumnStats::compute(&t, 0);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.non_null_count, 3);
+        assert_eq!(s.distinct_count, 2);
+    }
+
+    #[test]
+    fn fanout_is_rows_per_distinct() {
+        let t = table_with(&[Some(1), Some(1), Some(1), Some(2)]);
+        let s = ColumnStats::compute(&t, 0);
+        assert!((s.avg_fanout() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fanout_of_empty_column_is_zero() {
+        let t = table_with(&[None, None]);
+        let s = ColumnStats::compute(&t, 0);
+        assert_eq!(s.avg_fanout(), 0.0);
+    }
+
+    #[test]
+    fn containment_probability_caps_at_one() {
+        let t = table_with(&[Some(1), Some(2), Some(3)]);
+        let s = ColumnStats::compute(&t, 0);
+        assert!((s.containment_match_prob(6) - 0.5).abs() < 1e-12);
+        assert_eq!(s.containment_match_prob(2), 1.0);
+        assert_eq!(s.containment_match_prob(0), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Row storage.
+
+use crate::error::{Error, Result};
+use crate::index::HashIndex;
+use crate::types::{ColId, TableSchema};
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A row is a boxed slice of values, one per schema column.
+pub type Row = Box<[Value]>;
+
+/// Index of a row within its table.
+pub type RowId = u32;
+
+/// A heap of rows plus lazily-built per-column hash indexes.
+///
+/// Tables are append-only: the auditing workload never updates or deletes
+/// (access logs are immutable by design), which keeps indexes valid once
+/// built.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    /// Lazily built hash indexes, one per column. `RefCell` so that read-only
+    /// query evaluation (`&Table`) can populate the cache.
+    indexes: RefCell<HashMap<ColId, std::rc::Rc<HashIndex>>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates and appends a row. Invalidates cached indexes.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        if values.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            if let Some(dt) = v.data_type() {
+                if dt != self.schema.col_type(i) {
+                    return Err(Error::TypeMismatch {
+                        table: self.schema.name.clone(),
+                        column: self.schema.col_name(i).to_string(),
+                        expected: self.schema.col_type(i).name(),
+                        got: v.type_name(),
+                    });
+                }
+            }
+        }
+        let id = u32::try_from(self.rows.len()).expect("more than u32::MAX rows");
+        self.rows.push(values.into_boxed_slice());
+        self.indexes.borrow_mut().clear();
+        Ok(id)
+    }
+
+    /// Bulk insert; stops at the first invalid row.
+    pub fn insert_all<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Borrow a row by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn row(&self, id: RowId) -> &[Value] {
+        &self.rows[id as usize]
+    }
+
+    /// A single cell.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn cell(&self, id: RowId, col: ColId) -> Value {
+        self.rows[id as usize][col]
+    }
+
+    /// Iterate over `(RowId, &row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as RowId, r.as_ref()))
+    }
+
+    /// Returns (building if necessary) the hash index for `col`.
+    ///
+    /// The index is shared behind an `Rc` so callers can keep it across
+    /// subsequent lookups without re-entering the cache.
+    pub fn index(&self, col: ColId) -> std::rc::Rc<HashIndex> {
+        if let Some(idx) = self.indexes.borrow().get(&col) {
+            return idx.clone();
+        }
+        let built = std::rc::Rc::new(HashIndex::build(self.rows.iter().map(|r| r[col])));
+        self.indexes
+            .borrow_mut()
+            .insert(col, built.clone());
+        built
+    }
+
+    /// Row ids whose `col` equals `value` (empty for NULL probes, per SQL
+    /// equality).
+    pub fn rows_with(&self, col: ColId, value: Value) -> Vec<RowId> {
+        if value.is_null() {
+            return Vec::new();
+        }
+        self.index(col).get(value).to_vec()
+    }
+
+    /// Number of distinct non-null values in `col`.
+    pub fn distinct_count(&self, col: ColId) -> usize {
+        self.index(col).distinct_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn log_table() -> Table {
+        Table::new(TableSchema::new(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = log_table();
+        let id = t
+            .insert(vec![Value::Int(1), Value::Int(10), Value::Int(100)])
+            .unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(t.row(0), &[Value::Int(1), Value::Int(10), Value::Int(100)]);
+        assert_eq!(t.cell(0, 2), Value::Int(100));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let mut t = log_table();
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, Error::ArityMismatch { expected: 3, got: 1, .. }));
+    }
+
+    #[test]
+    fn types_are_checked_but_null_is_allowed() {
+        let mut t = log_table();
+        let err = t
+            .insert(vec![Value::Int(1), Value::Date(0), Value::Int(2)])
+            .unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+        // NULL fits any column.
+        t.insert(vec![Value::Int(1), Value::Null, Value::Int(2)])
+            .unwrap();
+    }
+
+    #[test]
+    fn index_lookup_finds_all_matches() {
+        let mut t = log_table();
+        for (lid, user, patient) in [(1, 10, 100), (2, 11, 100), (3, 10, 101)] {
+            t.insert(vec![
+                Value::Int(lid),
+                Value::Int(user),
+                Value::Int(patient),
+            ])
+            .unwrap();
+        }
+        assert_eq!(t.rows_with(2, Value::Int(100)), vec![0, 1]);
+        assert_eq!(t.rows_with(1, Value::Int(10)), vec![0, 2]);
+        assert_eq!(t.rows_with(1, Value::Int(99)), Vec::<RowId>::new());
+        assert_eq!(t.distinct_count(1), 2);
+    }
+
+    #[test]
+    fn null_probe_matches_nothing() {
+        let mut t = log_table();
+        t.insert(vec![Value::Int(1), Value::Null, Value::Int(2)])
+            .unwrap();
+        assert!(t.rows_with(1, Value::Null).is_empty());
+    }
+
+    #[test]
+    fn insert_invalidates_indexes() {
+        let mut t = log_table();
+        t.insert(vec![Value::Int(1), Value::Int(5), Value::Int(9)])
+            .unwrap();
+        assert_eq!(t.rows_with(1, Value::Int(5)).len(), 1);
+        t.insert(vec![Value::Int(2), Value::Int(5), Value::Int(9)])
+            .unwrap();
+        assert_eq!(t.rows_with(1, Value::Int(5)).len(), 2);
+    }
+}

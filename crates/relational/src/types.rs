@@ -1,0 +1,133 @@
+//! Schema definitions: data types, columns, and table schemas.
+
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integers (ids).
+    Int,
+    /// Interned strings (codes, names).
+    Str,
+    /// Timestamps (minutes since epoch).
+    Date,
+}
+
+impl DataType {
+    /// Short name for error messages and SQL rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "Int",
+            DataType::Str => "Str",
+            DataType::Date => "Date",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Index of a column within its table schema.
+pub type ColId = usize;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+/// The schema of a table: an ordered list of columns.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new(name: impl Into<String>, columns: &[(&str, DataType)]) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: columns
+                .iter()
+                .map(|(n, t)| Column {
+                    name: (*n).to_string(),
+                    dtype: *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Finds a column by name.
+    pub fn col(&self, name: &str) -> Option<ColId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column name for a [`ColId`].
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn col_name(&self, id: ColId) -> &str {
+        &self.columns[id].name
+    }
+
+    /// Column type for a [`ColId`].
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn col_type(&self, id: ColId) -> DataType {
+        self.columns[id].dtype
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("Date", DataType::Date),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn col_lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.col("Lid"), Some(0));
+        assert_eq!(s.col("Patient"), Some(3));
+        assert_eq!(s.col("Nope"), None);
+        assert_eq!(s.arity(), 4);
+    }
+
+    #[test]
+    fn col_metadata_round_trips() {
+        let s = schema();
+        assert_eq!(s.col_name(2), "User");
+        assert_eq!(s.col_type(1), DataType::Date);
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Int.to_string(), "Int");
+        assert_eq!(DataType::Date.name(), "Date");
+    }
+}

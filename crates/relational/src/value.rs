@@ -1,0 +1,167 @@
+//! Scalar values.
+
+use crate::pool::{StringPool, Symbol};
+use crate::types::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value stored in a table cell.
+///
+/// `Value` is deliberately small and `Copy`: strings are interned
+/// ([`Symbol`]) and dates are stored as an integer number of minutes since
+/// an arbitrary epoch (the access logs the paper studies have minute
+/// resolution timestamps, e.g. `Mon Jan 03 10:16:57 2010`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL. Per SQL semantics, NULL never equi-joins with anything,
+    /// including another NULL.
+    Null,
+    /// 64-bit integer (ids, counts).
+    Int(i64),
+    /// Interned string (codes, names).
+    Str(Symbol),
+    /// Timestamp in minutes since the data-set epoch.
+    Date(i64),
+}
+
+impl Value {
+    /// The value's runtime type, if not NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int",
+            Value::Str(_) => "Str",
+            Value::Date(_) => "Date",
+        }
+    }
+
+    /// True if this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL equality: NULL is not equal to anything (three-valued logic
+    /// collapsed to `false`, which is what a `WHERE` clause does).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self == other
+    }
+
+    /// SQL ordering comparison; returns `None` when either side is NULL or
+    /// the types are not comparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Renders the value for humans, resolving strings through `pool`.
+    pub fn display<'a>(&'a self, pool: &'a StringPool) -> ValueDisplay<'a> {
+        ValueDisplay { value: self, pool }
+    }
+}
+
+/// Helper returned by [`Value::display`].
+pub struct ValueDisplay<'a> {
+    value: &'a Value,
+    pool: &'a StringPool,
+}
+
+impl fmt::Display for ValueDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{}", self.pool.resolve(*s)),
+            Value::Date(m) => {
+                // Render minutes-since-epoch as `day N hh:mm` for readability.
+                let day = m.div_euclid(60 * 24);
+                let rem = m.rem_euclid(60 * 24);
+                let (h, min) = (rem / 60, rem % 60);
+                write!(f, "day {day} {h:02}:{min:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_never_equals() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn eq_respects_type() {
+        assert!(Value::Int(3).sql_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).sql_eq(&Value::Date(3)));
+        assert!(!Value::Int(3).sql_eq(&Value::Int(4)));
+    }
+
+    #[test]
+    fn cmp_only_within_type() {
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Date(5).sql_cmp(&Value::Date(5)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Date(2)), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn display_date_breaks_into_days() {
+        let pool = StringPool::new();
+        let v = Value::Date(3 * 24 * 60 + 10 * 60 + 17);
+        assert_eq!(v.display(&pool).to_string(), "day 3 10:17");
+    }
+
+    #[test]
+    fn display_str_resolves() {
+        let mut pool = StringPool::new();
+        let s = pool.intern("Dr. Dave");
+        assert_eq!(Value::Str(s).display(&pool).to_string(), "Dr. Dave");
+        assert_eq!(Value::Null.display(&pool).to_string(), "NULL");
+    }
+
+    #[test]
+    fn data_type_matches_variant() {
+        assert_eq!(Value::Int(0).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Date(0).data_type(), Some(DataType::Date));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+}

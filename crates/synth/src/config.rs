@@ -1,0 +1,219 @@
+//! Generator configuration.
+
+/// Parameters of the synthetic hospital. Defaults approximate the CareWeb
+//  data set at ~1/20 scale so every experiment runs on a laptop.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// RNG seed; generation is fully deterministic given the seed.
+    pub seed: u64,
+    /// Length of the observation window in days (the paper's log covers
+    /// one week; experiments train on days 1–6 and test on day 7, 1-based).
+    pub days: u32,
+    /// Number of patients.
+    pub n_patients: usize,
+    /// Number of clinical care teams (each producing two department codes:
+    /// physicians and nursing).
+    pub n_teams: usize,
+    /// Doctors per care team.
+    pub doctors_per_team: usize,
+    /// Nurses per care team.
+    pub nurses_per_team: usize,
+    /// Medical students (department code "Medical Students", each rotating
+    /// through one care team during the window — the paper's example of
+    /// why department codes are not collaborative groups).
+    pub n_med_students: usize,
+    /// Users per consult service (radiology, pathology, pharmacy).
+    pub consult_service_size: usize,
+    /// Hospital-wide assist users with no recorded reason for their
+    /// accesses (vascular access nurses, anesthesiology — the paper's top
+    /// unexplained departments).
+    pub n_float_users: usize,
+
+    /// Probability a patient has an appointment during the window.
+    pub p_appointment: f64,
+    /// Probability a patient has an (inpatient) visit — rare in the paper's
+    /// data (3K visits vs 51K appointments).
+    pub p_visit: f64,
+    /// Probability a patient has a document produced.
+    pub p_document: f64,
+    /// Probability an appointment/visit generates a lab order.
+    pub p_lab: f64,
+    /// Probability it generates a medication order.
+    pub p_medication: f64,
+    /// Probability it generates a radiology order.
+    pub p_radiology: f64,
+    /// Fraction of patients whose clinical events fall *outside* the
+    /// observation window: the accesses happen, the event rows do not
+    /// (data truncation, the paper's main source of unexplainable
+    /// accesses).
+    pub p_event_outside_window: f64,
+
+    /// Maximum team nurses who access the record around an appointment.
+    pub team_nurse_accesses: usize,
+    /// Probability the team's medical student also accesses.
+    pub p_student_access: f64,
+    /// Probability the ordering doctor re-accesses after a result arrives.
+    pub p_order_followup: f64,
+    /// Per-access probability of one more repeat access by the same user
+    /// (applied geometrically, so the expected chain length is
+    /// `1/(1-p)`; the paper's log is majority repeats).
+    pub p_repeat: f64,
+    /// Number of float-pool accesses (uniformly random patients).
+    pub n_float_accesses: usize,
+    /// Number of injected snooping accesses (no legitimate reason; used by
+    /// the misuse-detection example). Default 0.
+    pub n_snoop_accesses: usize,
+
+    /// Declare administrator relationships between the ordering-user
+    /// columns of different event tables (enables the paper's length-3
+    /// "two event types" templates, e.g. radiology→medications).
+    pub cross_event_user_rels: bool,
+    /// Reproduce the paper's extraction artifact: data-set-B tables (Labs,
+    /// Medications, Radiology) identify users by an *audit id*, data-set-A
+    /// tables by a *caregiver id*, and a `Mapping(AuditId, CaregiverId)`
+    /// table switches between them. The mapping table is typically passed
+    /// as an exempt table to the miner ("we did not count this added
+    /// mapping table against the number of tables used"), and paths through
+    /// a self-join plus the mapping reach length 5 as in Figure 13.
+    pub use_mapping_table: bool,
+    /// Specialty names for care teams (cycled if `n_teams` exceeds the
+    /// list; includes the two §5.3.2 showcases).
+    pub specialties: Vec<String>,
+}
+
+impl SynthConfig {
+    /// CareWeb at roughly 1/20 scale: ~600 users, 6 000 patients and
+    /// (after repeats) a six-figure access count.
+    pub fn default_scale() -> Self {
+        SynthConfig {
+            seed: 42,
+            days: 7,
+            n_patients: 6_000,
+            n_teams: 24,
+            doctors_per_team: 4,
+            nurses_per_team: 7,
+            n_med_students: 24,
+            consult_service_size: 18,
+            n_float_users: 24,
+            p_appointment: 0.55,
+            p_visit: 0.05,
+            p_document: 0.65,
+            p_lab: 0.30,
+            p_medication: 0.45,
+            p_radiology: 0.15,
+            p_event_outside_window: 0.25,
+            team_nurse_accesses: 2,
+            p_student_access: 0.25,
+            p_order_followup: 0.5,
+            p_repeat: 0.55,
+            n_float_accesses: 1_500,
+            n_snoop_accesses: 0,
+            cross_event_user_rels: true,
+            use_mapping_table: false,
+            specialties: Self::default_specialties(),
+        }
+    }
+
+    /// A small hospital for integration tests (~1–2k accesses).
+    pub fn small() -> Self {
+        SynthConfig {
+            n_patients: 400,
+            n_teams: 6,
+            doctors_per_team: 3,
+            nurses_per_team: 4,
+            n_med_students: 6,
+            consult_service_size: 6,
+            n_float_users: 6,
+            n_float_accesses: 150,
+            ..Self::default_scale()
+        }
+    }
+
+    /// A minimal hospital for unit tests (hundreds of accesses).
+    pub fn tiny() -> Self {
+        SynthConfig {
+            n_patients: 80,
+            n_teams: 3,
+            doctors_per_team: 2,
+            nurses_per_team: 2,
+            n_med_students: 3,
+            consult_service_size: 3,
+            n_float_users: 3,
+            n_float_accesses: 40,
+            ..Self::default_scale()
+        }
+    }
+
+    /// The default specialty list (16 names; the first two reproduce the
+    /// paper's Figures 10–11 showcases).
+    pub fn default_specialties() -> Vec<String> {
+        [
+            "Cancer Center",
+            "Psychiatry",
+            "Pediatrics",
+            "Cardiology",
+            "Neurology",
+            "Orthopedics",
+            "Dermatology",
+            "Ophthalmology",
+            "Obstetrics",
+            "Urology",
+            "Rheumatology",
+            "Gastroenterology",
+            "Pulmonology",
+            "Endocrinology",
+            "Nephrology",
+            "Family Medicine",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_down() {
+        let d = SynthConfig::default_scale();
+        let s = SynthConfig::small();
+        let t = SynthConfig::tiny();
+        assert!(d.n_patients > s.n_patients);
+        assert!(s.n_patients > t.n_patients);
+        assert_eq!(d.days, 7);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let c = SynthConfig::default_scale();
+        for p in [
+            c.p_appointment,
+            c.p_visit,
+            c.p_document,
+            c.p_lab,
+            c.p_medication,
+            c.p_radiology,
+            c.p_event_outside_window,
+            c.p_student_access,
+            c.p_order_followup,
+            c.p_repeat,
+        ] {
+            assert!((0.0..1.0).contains(&p), "probability {p} out of range");
+        }
+    }
+
+    #[test]
+    fn specialties_include_showcases() {
+        let s = SynthConfig::default_specialties();
+        assert!(s.iter().any(|x| x == "Cancer Center"));
+        assert!(s.iter().any(|x| x == "Psychiatry"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Clinical events: the reasons accesses happen.
+
+use crate::config::SynthConfig;
+use crate::world::{World, SERVICE_PATHOLOGY, SERVICE_PHARMACY, SERVICE_RADIOLOGY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One clinical event for a patient. User fields are 0-based user indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Outpatient appointment, scheduled with a doctor.
+    Appointment {
+        /// The appointment's doctor.
+        doctor: usize,
+    },
+    /// Inpatient visit with a doctor.
+    Visit {
+        /// The attending doctor.
+        doctor: usize,
+    },
+    /// A document (note) produced by a user.
+    Document {
+        /// The author.
+        author: usize,
+    },
+    /// Lab order: requested by a doctor, performed by pathology staff.
+    Lab {
+        /// Ordering doctor.
+        order: usize,
+        /// Pathology user who produced the result.
+        result: usize,
+    },
+    /// Medication order: requested by a doctor, signed by a pharmacist,
+    /// administered by a nurse (the paper's Medications table records all
+    /// three).
+    Medication {
+        /// Ordering doctor.
+        order: usize,
+        /// Signing pharmacist.
+        sign: usize,
+        /// Administering nurse.
+        admin: usize,
+    },
+    /// Radiology order: requested by a doctor, read by radiology staff.
+    Radiology {
+        /// Ordering doctor.
+        order: usize,
+        /// Reading radiologist.
+        read: usize,
+    },
+}
+
+/// A dated event for one patient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// 0-based patient index.
+    pub patient: usize,
+    /// Day within the window, 1-based (`1..=days`).
+    pub day: u32,
+    /// Minute within the day.
+    pub minute: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Whether the event row is *recorded* in the database. Unrecorded
+    /// events model the truncated observation window: the accesses they
+    /// cause appear in the log, the event rows do not.
+    pub recorded: bool,
+}
+
+impl Event {
+    /// Timestamp in minutes since the window start (day 1 at 00:00 is
+    /// minute 1440 so that "day 0" stays free for pre-window artifacts).
+    pub fn timestamp(&self) -> i64 {
+        i64::from(self.day) * 24 * 60 + i64::from(self.minute)
+    }
+}
+
+/// Generates the week's clinical events for every patient.
+pub fn generate_events(config: &SynthConfig, world: &World) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x5851_F42D));
+    let mut events = Vec::with_capacity(config.n_patients * 2);
+
+    for patient in 0..config.n_patients {
+        let team = &world.teams[world.patient_team[patient]];
+        if team.doctors.is_empty() {
+            continue;
+        }
+        // Data truncation: this patient's events happened, but outside the
+        // window — the rows are absent while the accesses remain.
+        let recorded = !rng.gen_bool(config.p_event_outside_window);
+        let mut clinical_day: Option<(u32, usize)> = None; // (day, doctor)
+
+        let day_time = |rng: &mut StdRng| -> (u32, u32) {
+            (
+                rng.gen_range(1..=config.days),
+                rng.gen_range(8 * 60..17 * 60),
+            )
+        };
+
+        if rng.gen_bool(config.p_appointment) {
+            let (day, minute) = day_time(&mut rng);
+            let doctor = team.doctors[rng.gen_range(0..team.doctors.len())];
+            clinical_day = Some((day, doctor));
+            events.push(Event {
+                patient,
+                day,
+                minute,
+                kind: EventKind::Appointment { doctor },
+                recorded,
+            });
+        }
+        if rng.gen_bool(config.p_visit) {
+            let (day, minute) = day_time(&mut rng);
+            let doctor = team.doctors[rng.gen_range(0..team.doctors.len())];
+            clinical_day.get_or_insert((day, doctor));
+            events.push(Event {
+                patient,
+                day,
+                minute,
+                kind: EventKind::Visit { doctor },
+                recorded,
+            });
+        }
+        if rng.gen_bool(config.p_document) {
+            let (day, minute) = day_time(&mut rng);
+            let author = team.doctors[rng.gen_range(0..team.doctors.len())];
+            events.push(Event {
+                patient,
+                day,
+                minute,
+                kind: EventKind::Document { author },
+                recorded,
+            });
+        }
+
+        // Orders hang off a clinical encounter.
+        if let Some((day, doctor)) = clinical_day {
+            let order_day = (day + u32::from(rng.gen_bool(0.5))).min(config.days);
+            if rng.gen_bool(config.p_lab) {
+                let result = pick(&mut rng, &world.service_members[SERVICE_PATHOLOGY]);
+                events.push(Event {
+                    patient,
+                    day: order_day,
+                    minute: rng.gen_range(8 * 60..20 * 60),
+                    kind: EventKind::Lab {
+                        order: doctor,
+                        result,
+                    },
+                    recorded,
+                });
+            }
+            if rng.gen_bool(config.p_medication) {
+                let sign = pick(&mut rng, &world.service_members[SERVICE_PHARMACY]);
+                let admin = if team.nurses.is_empty() {
+                    doctor
+                } else {
+                    pick(&mut rng, &team.nurses)
+                };
+                events.push(Event {
+                    patient,
+                    day: order_day,
+                    minute: rng.gen_range(8 * 60..20 * 60),
+                    kind: EventKind::Medication {
+                        order: doctor,
+                        sign,
+                        admin,
+                    },
+                    recorded,
+                });
+            }
+            if rng.gen_bool(config.p_radiology) {
+                let read = pick(&mut rng, &world.service_members[SERVICE_RADIOLOGY]);
+                events.push(Event {
+                    patient,
+                    day: order_day,
+                    minute: rng.gen_range(8 * 60..20 * 60),
+                    kind: EventKind::Radiology {
+                        order: doctor,
+                        read,
+                    },
+                    recorded,
+                });
+            }
+        }
+    }
+    events
+}
+
+fn pick(rng: &mut StdRng, pool: &[usize]) -> usize {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SynthConfig, World, Vec<Event>) {
+        let config = SynthConfig::tiny();
+        let world = World::generate(&config);
+        let events = generate_events(&config, &world);
+        (config, world, events)
+    }
+
+    #[test]
+    fn events_are_generated_and_deterministic() {
+        let (config, world, events) = setup();
+        assert!(!events.is_empty());
+        let again = generate_events(&config, &world);
+        assert_eq!(events, again);
+    }
+
+    #[test]
+    fn days_are_within_window() {
+        let (config, _, events) = setup();
+        for e in &events {
+            assert!((1..=config.days).contains(&e.day));
+            assert!(e.minute < 24 * 60);
+        }
+    }
+
+    #[test]
+    fn appointments_use_home_team_doctors() {
+        let (_, world, events) = setup();
+        for e in &events {
+            if let EventKind::Appointment { doctor } = e.kind {
+                let team = &world.teams[world.patient_team[e.patient]];
+                assert!(team.doctors.contains(&doctor));
+            }
+        }
+    }
+
+    #[test]
+    fn orders_reference_consult_services() {
+        let (_, world, events) = setup();
+        for e in &events {
+            match &e.kind {
+                EventKind::Lab { result, .. } => {
+                    assert!(world.service_members[SERVICE_PATHOLOGY].contains(result));
+                }
+                EventKind::Radiology { read, .. } => {
+                    assert!(world.service_members[SERVICE_RADIOLOGY].contains(read));
+                }
+                EventKind::Medication { sign, .. } => {
+                    assert!(world.service_members[SERVICE_PHARMACY].contains(sign));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_marks_a_fraction_unrecorded() {
+        let (config, _, events) = setup();
+        let unrecorded = events.iter().filter(|e| !e.recorded).count();
+        assert!(unrecorded > 0, "expected some unrecorded events");
+        let frac = unrecorded as f64 / events.len() as f64;
+        assert!(
+            frac < config.p_event_outside_window * 2.5 + 0.1,
+            "unrecorded fraction {frac} implausibly high"
+        );
+    }
+
+    #[test]
+    fn timestamps_order_by_day() {
+        let e1 = Event {
+            patient: 0,
+            day: 1,
+            minute: 30,
+            kind: EventKind::Document { author: 0 },
+            recorded: true,
+        };
+        let e2 = Event {
+            patient: 0,
+            day: 2,
+            minute: 0,
+            kind: EventKind::Document { author: 0 },
+            recorded: true,
+        };
+        assert!(e1.timestamp() < e2.timestamp());
+    }
+}

@@ -1,0 +1,359 @@
+//! Access-log generation: who touches which record, and why.
+
+use crate::config::SynthConfig;
+use crate::events::{Event, EventKind};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth reason for one access. Never visible to the miner; used to
+/// validate the generator and to analyze which mechanisms each template
+/// recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessReason {
+    /// The appointment/visit doctor opened the record.
+    PrimaryCare,
+    /// A team nurse or rotating student opened it because the team is
+    /// treating the patient (nothing in the database links them directly —
+    /// the paper's "missing data" case).
+    CareTeam,
+    /// A document author opened the record.
+    DocumentAuthor,
+    /// Consult staff fulfilled an order (lab result, radiology read,
+    /// pharmacy sign-off).
+    ConsultOrder,
+    /// A team nurse administered an ordered medication.
+    MedicationAdmin,
+    /// The ordering doctor re-checked results.
+    OrderFollowup,
+    /// The same user re-opened a record they had opened before.
+    Repeat,
+    /// Hospital-wide assist staff (vascular access, anesthesiology) — no
+    /// recorded reason exists.
+    FloatAssist,
+    /// Injected misuse (snooping) for detection experiments.
+    Snoop,
+}
+
+impl AccessReason {
+    /// Whether the database is *supposed* to contain an explanation path
+    /// for this access (given complete data and collaborative groups).
+    pub fn expected_explainable(self) -> bool {
+        !matches!(self, AccessReason::FloatAssist | AccessReason::Snoop)
+    }
+}
+
+/// One generated access, pre-log-materialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// 0-based user index.
+    pub user: usize,
+    /// 0-based patient index.
+    pub patient: usize,
+    /// 1-based day.
+    pub day: u32,
+    /// Minute within the day.
+    pub minute: u32,
+    /// Ground truth.
+    pub reason: AccessReason,
+}
+
+impl Access {
+    /// Minutes since window start.
+    pub fn timestamp(&self) -> i64 {
+        i64::from(self.day) * 24 * 60 + i64::from(self.minute)
+    }
+}
+
+/// Generates the full access stream for the window: event-driven accesses,
+/// float-pool noise, injected snoops, then geometric repeat chains; sorted
+/// chronologically.
+pub fn generate_accesses(
+    config: &SynthConfig,
+    world: &World,
+    events: &[Event],
+) -> Vec<Access> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xC2B2_AE35));
+    let mut accesses: Vec<Access> = Vec::with_capacity(events.len() * 4);
+
+    let push = |accesses: &mut Vec<Access>,
+                    user: usize,
+                    patient: usize,
+                    day: u32,
+                    minute: u32,
+                    reason: AccessReason| {
+        accesses.push(Access {
+            user,
+            patient,
+            day: day.min(config.days),
+            minute: minute.min(24 * 60 - 1),
+            reason,
+        });
+    };
+
+    for e in events {
+        match &e.kind {
+            EventKind::Appointment { doctor } | EventKind::Visit { doctor } => {
+                // The doctor works the record around the encounter.
+                push(
+                    &mut accesses,
+                    *doctor,
+                    e.patient,
+                    e.day,
+                    e.minute.saturating_sub(rng.gen_range(0..60)),
+                    AccessReason::PrimaryCare,
+                );
+                // Team nurses prep/men the encounter; the appointment row
+                // references only the doctor.
+                let team = &world.teams[world.patient_team[e.patient]];
+                if !team.nurses.is_empty() && config.team_nurse_accesses > 0 {
+                    let k = rng.gen_range(1..=config.team_nurse_accesses.min(team.nurses.len()));
+                    let mut nurses = team.nurses.clone();
+                    nurses.shuffle(&mut rng);
+                    for &nurse in nurses.iter().take(k) {
+                        push(
+                            &mut accesses,
+                            nurse,
+                            e.patient,
+                            e.day,
+                            e.minute.saturating_sub(rng.gen_range(0..120)),
+                            AccessReason::CareTeam,
+                        );
+                    }
+                }
+                for &student in &team.students {
+                    if rng.gen_bool(config.p_student_access) {
+                        push(
+                            &mut accesses,
+                            student,
+                            e.patient,
+                            e.day,
+                            e.minute + rng.gen_range(0..90),
+                            AccessReason::CareTeam,
+                        );
+                    }
+                }
+            }
+            EventKind::Document { author } => {
+                push(
+                    &mut accesses,
+                    *author,
+                    e.patient,
+                    e.day,
+                    e.minute,
+                    AccessReason::DocumentAuthor,
+                );
+            }
+            EventKind::Lab { order, result } => {
+                push(
+                    &mut accesses,
+                    *result,
+                    e.patient,
+                    e.day,
+                    e.minute + rng.gen_range(0..120),
+                    AccessReason::ConsultOrder,
+                );
+                if rng.gen_bool(config.p_order_followup) {
+                    push(
+                        &mut accesses,
+                        *order,
+                        e.patient,
+                        (e.day + 1).min(config.days),
+                        rng.gen_range(8 * 60..17 * 60),
+                        AccessReason::OrderFollowup,
+                    );
+                }
+            }
+            EventKind::Medication { order, sign, admin } => {
+                push(
+                    &mut accesses,
+                    *sign,
+                    e.patient,
+                    e.day,
+                    e.minute + rng.gen_range(0..60),
+                    AccessReason::ConsultOrder,
+                );
+                push(
+                    &mut accesses,
+                    *admin,
+                    e.patient,
+                    e.day,
+                    e.minute + rng.gen_range(60..240),
+                    AccessReason::MedicationAdmin,
+                );
+                if rng.gen_bool(config.p_order_followup / 2.0) {
+                    push(
+                        &mut accesses,
+                        *order,
+                        e.patient,
+                        (e.day + 1).min(config.days),
+                        rng.gen_range(8 * 60..17 * 60),
+                        AccessReason::OrderFollowup,
+                    );
+                }
+            }
+            EventKind::Radiology { order, read } => {
+                push(
+                    &mut accesses,
+                    *read,
+                    e.patient,
+                    e.day,
+                    e.minute + rng.gen_range(0..180),
+                    AccessReason::ConsultOrder,
+                );
+                if rng.gen_bool(config.p_order_followup) {
+                    push(
+                        &mut accesses,
+                        *order,
+                        e.patient,
+                        (e.day + 1).min(config.days),
+                        rng.gen_range(8 * 60..17 * 60),
+                        AccessReason::OrderFollowup,
+                    );
+                }
+            }
+        }
+    }
+
+    // Float-pool noise: hospital-wide assists with no recorded reason.
+    if !world.float_members.is_empty() {
+        for _ in 0..config.n_float_accesses {
+            let user = world.float_members[rng.gen_range(0..world.float_members.len())];
+            let patient = rng.gen_range(0..config.n_patients);
+            push(
+                &mut accesses,
+                user,
+                patient,
+                rng.gen_range(1..=config.days),
+                rng.gen_range(0..24 * 60),
+                AccessReason::FloatAssist,
+            );
+        }
+    }
+
+    // Injected snooping: a random user peeks at a record they have no
+    // relationship with (the VIP scenario).
+    for _ in 0..config.n_snoop_accesses {
+        let user = rng.gen_range(0..world.n_users());
+        let patient = rng.gen_range(0..config.n_patients);
+        push(
+            &mut accesses,
+            user,
+            patient,
+            rng.gen_range(1..=config.days),
+            rng.gen_range(0..24 * 60),
+            AccessReason::Snoop,
+        );
+    }
+
+    // Repeat chains: each access spawns another by the same user at a later
+    // time with probability p_repeat, repeatedly ("a majority of the
+    // accesses can be categorized as repeat accesses").
+    let mut i = 0;
+    while i < accesses.len() {
+        let a = accesses[i].clone();
+        if rng.gen_bool(config.p_repeat) {
+            let bump_day = u32::from(rng.gen_bool(0.4));
+            let day = (a.day + bump_day).min(config.days);
+            let minute = if bump_day == 0 {
+                (a.minute + rng.gen_range(10..240)).min(24 * 60 - 1)
+            } else {
+                rng.gen_range(0..24 * 60)
+            };
+            accesses.push(Access {
+                user: a.user,
+                patient: a.patient,
+                day,
+                minute,
+                reason: AccessReason::Repeat,
+            });
+        }
+        i += 1;
+    }
+
+    accesses.sort_by_key(|a| (a.timestamp(), a.user, a.patient));
+    accesses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::generate_events;
+
+    fn setup() -> (SynthConfig, World, Vec<Access>) {
+        let config = SynthConfig::tiny();
+        let world = World::generate(&config);
+        let events = generate_events(&config, &world);
+        let accesses = generate_accesses(&config, &world, &events);
+        (config, world, accesses)
+    }
+
+    #[test]
+    fn accesses_are_sorted_and_deterministic() {
+        let (config, world, accesses) = setup();
+        assert!(!accesses.is_empty());
+        for w in accesses.windows(2) {
+            assert!(w[0].timestamp() <= w[1].timestamp());
+        }
+        let events = generate_events(&config, &world);
+        assert_eq!(accesses, generate_accesses(&config, &world, &events));
+    }
+
+    #[test]
+    fn repeats_form_a_large_share() {
+        let (_, _, accesses) = setup();
+        let repeats = accesses
+            .iter()
+            .filter(|a| a.reason == AccessReason::Repeat)
+            .count();
+        let frac = repeats as f64 / accesses.len() as f64;
+        assert!(frac > 0.2, "repeat fraction {frac} too low");
+    }
+
+    #[test]
+    fn floats_access_random_patients() {
+        let (_, world, accesses) = setup();
+        let float_accesses: Vec<_> = accesses
+            .iter()
+            .filter(|a| a.reason == AccessReason::FloatAssist)
+            .collect();
+        assert!(!float_accesses.is_empty());
+        for a in float_accesses {
+            assert!(world.float_members.contains(&a.user));
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let (config, world, accesses) = setup();
+        for a in &accesses {
+            assert!(a.user < world.n_users());
+            assert!(a.patient < config.n_patients);
+            assert!((1..=config.days).contains(&a.day));
+            assert!(a.minute < 24 * 60);
+        }
+    }
+
+    #[test]
+    fn explainability_expectation_matches_reason() {
+        assert!(AccessReason::PrimaryCare.expected_explainable());
+        assert!(AccessReason::CareTeam.expected_explainable());
+        assert!(!AccessReason::FloatAssist.expected_explainable());
+        assert!(!AccessReason::Snoop.expected_explainable());
+    }
+
+    #[test]
+    fn snoops_appear_when_requested() {
+        let mut config = SynthConfig::tiny();
+        config.n_snoop_accesses = 5;
+        let world = World::generate(&config);
+        let events = generate_events(&config, &world);
+        let accesses = generate_accesses(&config, &world, &events);
+        let snoops = accesses
+            .iter()
+            .filter(|a| a.reason == AccessReason::Snoop)
+            .count();
+        assert_eq!(snoops, 5);
+    }
+}

@@ -1,0 +1,298 @@
+//! The CareWeb-shaped schema and its join metadata, reusable outside the
+//! generator (e.g. by tools loading real CSV extracts into the same
+//! layout).
+
+use eba_relational::{DataType, Database, TableId};
+
+/// Table ids of a freshly created CareWeb-shaped schema.
+#[derive(Debug, Clone, Copy)]
+pub struct CarewebTables {
+    /// The access log.
+    pub log: TableId,
+    /// Outpatient appointments (data set A).
+    pub appointments: TableId,
+    /// Inpatient visits (data set A).
+    pub visits: TableId,
+    /// Documents produced (data set A).
+    pub documents: TableId,
+    /// Lab orders (data set B).
+    pub labs: TableId,
+    /// Medication orders (data set B).
+    pub medications: TableId,
+    /// Radiology orders (data set B).
+    pub radiology: TableId,
+    /// User department codes.
+    pub users: TableId,
+    /// The audit-id↔caregiver-id mapping artifact, when enabled.
+    pub mapping: Option<TableId>,
+}
+
+impl CarewebTables {
+    /// All tables in a fixed order, paired with their names (useful for
+    /// CSV export/import directories).
+    pub fn named(&self) -> Vec<(&'static str, TableId)> {
+        let mut v = vec![
+            ("Log", self.log),
+            ("Appointments", self.appointments),
+            ("Visits", self.visits),
+            ("Documents", self.documents),
+            ("Labs", self.labs),
+            ("Medications", self.medications),
+            ("Radiology", self.radiology),
+            ("Users", self.users),
+        ];
+        if let Some(m) = self.mapping {
+            v.push(("Mapping", m));
+        }
+        v
+    }
+}
+
+/// Creates the CareWeb-shaped tables in an empty database.
+///
+/// # Panics
+/// Panics if any of the table names already exist.
+pub fn create_careweb_tables(db: &mut Database, with_mapping: bool) -> CarewebTables {
+    let log = db
+        .create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("Date", DataType::Date),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+                ("Action", DataType::Str),
+                ("Day", DataType::Int),
+                ("IsFirst", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let appointments = db
+        .create_table(
+            "Appointments",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("Doctor", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let visits = db
+        .create_table(
+            "Visits",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("Doctor", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let documents = db
+        .create_table(
+            "Documents",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("User", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let labs = db
+        .create_table(
+            "Labs",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("OrderUser", DataType::Int),
+                ("ResultUser", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let medications = db
+        .create_table(
+            "Medications",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("OrderUser", DataType::Int),
+                ("SignUser", DataType::Int),
+                ("AdminUser", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let radiology = db
+        .create_table(
+            "Radiology",
+            &[
+                ("Patient", DataType::Int),
+                ("Date", DataType::Date),
+                ("OrderUser", DataType::Int),
+                ("ReadUser", DataType::Int),
+            ],
+        )
+        .expect("fresh database");
+    let users = db
+        .create_table(
+            "Users",
+            &[("User", DataType::Int), ("Department", DataType::Str)],
+        )
+        .expect("fresh database");
+    let mapping = with_mapping.then(|| {
+        db.create_table(
+            "Mapping",
+            &[("AuditId", DataType::Int), ("CaregiverId", DataType::Int)],
+        )
+        .expect("fresh database")
+    });
+    CarewebTables {
+        log,
+        appointments,
+        visits,
+        documents,
+        labs,
+        medications,
+        radiology,
+        users,
+        mapping,
+    }
+}
+
+/// Declares the schema's join metadata (Def. 5's administrator input):
+/// patient FKs, user FKs (routed through the mapping table for data set B
+/// when present), the department-code self-join, and — optionally —
+/// cross-event relationships between ordering-user columns within one id
+/// space.
+///
+/// No self-relationships are declared on the Log itself: the paper allows
+/// self-joins only on the group id and department code, and the
+/// *undecorated* repeat-access template is vacuous (a row trivially joins
+/// with itself). The decorated repeat template stays hand-crafted.
+pub fn declare_careweb_relationships(
+    db: &mut Database,
+    with_mapping: bool,
+    cross_event_user_rels: bool,
+) {
+    for table in [
+        "Appointments",
+        "Visits",
+        "Documents",
+        "Labs",
+        "Medications",
+        "Radiology",
+    ] {
+        db.add_fk("Log", "Patient", table, "Patient")
+            .expect("typed columns");
+    }
+    let a_user_cols: &[(&str, &str)] = &[
+        ("Appointments", "Doctor"),
+        ("Visits", "Doctor"),
+        ("Documents", "User"),
+    ];
+    let b_user_cols: &[(&str, &str)] = &[
+        ("Labs", "OrderUser"),
+        ("Labs", "ResultUser"),
+        ("Medications", "OrderUser"),
+        ("Medications", "SignUser"),
+        ("Medications", "AdminUser"),
+        ("Radiology", "OrderUser"),
+        ("Radiology", "ReadUser"),
+    ];
+    for (t, c) in a_user_cols {
+        db.add_fk(t, c, "Log", "User").expect("typed columns");
+        db.add_fk(t, c, "Users", "User").expect("typed columns");
+    }
+    if with_mapping {
+        // Data set B speaks audit ids: only the mapping table connects it
+        // back to the caregiver-id world.
+        for (t, c) in b_user_cols {
+            db.add_fk(t, c, "Mapping", "AuditId").expect("typed columns");
+        }
+        db.add_fk("Mapping", "CaregiverId", "Log", "User")
+            .expect("typed columns");
+        db.add_fk("Mapping", "CaregiverId", "Users", "User")
+            .expect("typed columns");
+    } else {
+        for (t, c) in b_user_cols {
+            db.add_fk(t, c, "Log", "User").expect("typed columns");
+            db.add_fk(t, c, "Users", "User").expect("typed columns");
+        }
+    }
+    db.add_fk("Users", "User", "Log", "User").expect("typed columns");
+    // Department codes may be used in self-joins (the paper allows exactly
+    // this plus the Groups id, which `install_groups` adds later).
+    db.allow_self_join("Users", "Department").expect("column exists");
+    if cross_event_user_rels {
+        // Cross-event relationships only make sense within one id space.
+        let a_primary: &[(&str, &str)] = &[
+            ("Appointments", "Doctor"),
+            ("Visits", "Doctor"),
+            ("Documents", "User"),
+        ];
+        let b_primary: &[(&str, &str)] = &[
+            ("Labs", "OrderUser"),
+            ("Medications", "OrderUser"),
+            ("Radiology", "OrderUser"),
+        ];
+        let groups: Vec<Vec<(&str, &str)>> = if with_mapping {
+            vec![a_primary.to_vec(), b_primary.to_vec()]
+        } else {
+            vec![a_primary.iter().chain(b_primary).copied().collect()]
+        };
+        for cols in groups {
+            for (i, (t1, c1)) in cols.iter().enumerate() {
+                for (t2, c2) in cols.iter().skip(i + 1) {
+                    let a = db.attr(t1, c1).expect("column exists");
+                    let b = db.attr(t2, c2).expect("column exists");
+                    db.add_relationship(a, b, eba_relational::RelationshipKind::Administrator)
+                        .expect("typed columns");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_created_with_and_without_mapping() {
+        let mut db = Database::new();
+        let t = create_careweb_tables(&mut db, false);
+        assert!(t.mapping.is_none());
+        assert_eq!(t.named().len(), 8);
+        let mut db2 = Database::new();
+        let t2 = create_careweb_tables(&mut db2, true);
+        assert!(t2.mapping.is_some());
+        assert_eq!(t2.named().len(), 9);
+    }
+
+    #[test]
+    fn relationship_counts_differ_by_mapping_mode() {
+        let mut plain = Database::new();
+        create_careweb_tables(&mut plain, false);
+        declare_careweb_relationships(&mut plain, false, true);
+        let mut mapped = Database::new();
+        create_careweb_tables(&mut mapped, true);
+        declare_careweb_relationships(&mut mapped, true, true);
+        assert!(!plain.relationships().is_empty());
+        assert!(!mapped.relationships().is_empty());
+        // The mapped schema routes B-table user columns through Mapping
+        // and splits the cross-event cliques, so the totals differ.
+        assert_ne!(plain.relationships().len(), mapped.relationships().len());
+        // Both allow exactly the department self-join.
+        assert_eq!(plain.self_join_attrs().len(), 1);
+        assert_eq!(mapped.self_join_attrs().len(), 1);
+    }
+
+    #[test]
+    fn cross_event_toggle_changes_edge_count() {
+        let mut with = Database::new();
+        create_careweb_tables(&mut with, false);
+        declare_careweb_relationships(&mut with, false, true);
+        let mut without = Database::new();
+        create_careweb_tables(&mut without, false);
+        declare_careweb_relationships(&mut without, false, false);
+        assert!(with.relationships().len() > without.relationships().len());
+    }
+}

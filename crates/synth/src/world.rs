@@ -1,0 +1,295 @@
+//! The hospital's static world: users, teams, services, department codes.
+
+use crate::config::SynthConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A user's job within the hospital.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Physician on a care team.
+    Doctor,
+    /// Nurse on a care team.
+    Nurse,
+    /// Medical student rotating through a care team.
+    MedStudent,
+    /// Consult-service staff (radiology / pathology / pharmacy).
+    ConsultStaff,
+    /// Hospital-wide assist staff with no recorded reason for accesses.
+    Float,
+}
+
+/// Static metadata for one user.
+#[derive(Debug, Clone)]
+pub struct UserMeta {
+    /// 0-based user index (database ids are `index + 1`).
+    pub index: usize,
+    /// Department code, e.g. `"UMHS Pediatrics (Physicians)"` — note that
+    /// doctors and nurses of the *same* team carry different codes, the
+    /// paper's motivation for inferring collaborative groups.
+    pub department: String,
+    /// Job role.
+    pub role: Role,
+    /// Care team index, for team roles.
+    pub team: Option<usize>,
+    /// Consult service index, for consult staff.
+    pub service: Option<usize>,
+}
+
+/// A clinical care team: the ground-truth collaborative group.
+#[derive(Debug, Clone)]
+pub struct Team {
+    /// Specialty name, e.g. `"Cancer Center"`.
+    pub specialty: String,
+    /// User indexes of the team's doctors.
+    pub doctors: Vec<usize>,
+    /// User indexes of the team's nurses.
+    pub nurses: Vec<usize>,
+    /// User indexes of medical students currently rotating here.
+    pub students: Vec<usize>,
+}
+
+impl Team {
+    /// All members (doctors, nurses, students).
+    pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.doctors
+            .iter()
+            .chain(&self.nurses)
+            .chain(&self.students)
+            .copied()
+    }
+}
+
+/// The consult services, in fixed order.
+pub const SERVICES: [&str; 3] = ["Radiology", "Pathology", "Pharmacy"];
+/// Index of the radiology service in [`SERVICES`].
+pub const SERVICE_RADIOLOGY: usize = 0;
+/// Index of the pathology (labs) service.
+pub const SERVICE_PATHOLOGY: usize = 1;
+/// Index of the pharmacy service.
+pub const SERVICE_PHARMACY: usize = 2;
+
+/// The hospital's static structure.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// All users; `users[i].index == i`.
+    pub users: Vec<UserMeta>,
+    /// Care teams.
+    pub teams: Vec<Team>,
+    /// Consult-service member indexes, parallel to [`SERVICES`].
+    pub service_members: Vec<Vec<usize>>,
+    /// Float-pool member indexes.
+    pub float_members: Vec<usize>,
+    /// `patient_team[p]` is patient `p`'s home care team.
+    pub patient_team: Vec<usize>,
+}
+
+impl World {
+    /// Builds the static world deterministically from the config.
+    pub fn generate(config: &SynthConfig) -> World {
+        let mut users: Vec<UserMeta> = Vec::new();
+        let mut teams: Vec<Team> = Vec::new();
+        let push_user =
+            |users: &mut Vec<UserMeta>, department: String, role, team, service| -> usize {
+                let index = users.len();
+                users.push(UserMeta {
+                    index,
+                    department,
+                    role,
+                    team,
+                    service,
+                });
+                index
+            };
+
+        for t in 0..config.n_teams {
+            let base = &config.specialties[t % config.specialties.len()];
+            let specialty = if t < config.specialties.len() {
+                base.clone()
+            } else {
+                format!("{base} {}", t / config.specialties.len() + 1)
+            };
+            let mut team = Team {
+                specialty: specialty.clone(),
+                doctors: Vec::with_capacity(config.doctors_per_team),
+                nurses: Vec::with_capacity(config.nurses_per_team),
+                students: Vec::new(),
+            };
+            for _ in 0..config.doctors_per_team {
+                let dept = format!("UMHS {specialty} (Physicians)");
+                team.doctors
+                    .push(push_user(&mut users, dept, Role::Doctor, Some(t), None));
+            }
+            for _ in 0..config.nurses_per_team {
+                let dept = format!("Nursing - {specialty}");
+                team.nurses
+                    .push(push_user(&mut users, dept, Role::Nurse, Some(t), None));
+            }
+            teams.push(team);
+        }
+
+        let mut service_members: Vec<Vec<usize>> = Vec::with_capacity(SERVICES.len());
+        for (s, name) in SERVICES.iter().enumerate() {
+            let mut members = Vec::with_capacity(config.consult_service_size);
+            for _ in 0..config.consult_service_size {
+                members.push(push_user(
+                    &mut users,
+                    (*name).to_string(),
+                    Role::ConsultStaff,
+                    None,
+                    Some(s),
+                ));
+            }
+            service_members.push(members);
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9));
+        for s in 0..config.n_med_students {
+            let team = if config.n_teams == 0 {
+                0
+            } else {
+                rng.gen_range(0..config.n_teams)
+            };
+            let idx = push_user(
+                &mut users,
+                "Medical Students".to_string(),
+                Role::MedStudent,
+                Some(team),
+                None,
+            );
+            if let Some(t) = teams.get_mut(team) {
+                t.students.push(idx);
+            }
+            let _ = s;
+        }
+
+        let mut float_members = Vec::with_capacity(config.n_float_users);
+        for f in 0..config.n_float_users {
+            let dept = if f % 2 == 0 {
+                "Nursing - Vascular Access Service"
+            } else {
+                "Anesthesiology"
+            };
+            float_members.push(push_user(
+                &mut users,
+                dept.to_string(),
+                Role::Float,
+                None,
+                None,
+            ));
+        }
+
+        let patient_team = (0..config.n_patients)
+            .map(|_| rng.gen_range(0..config.n_teams.max(1)))
+            .collect();
+
+        World {
+            users,
+            teams,
+            service_members,
+            float_members,
+            patient_team,
+        }
+    }
+
+    /// Total user count.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of patients.
+    pub fn n_patients(&self) -> usize {
+        self.patient_team.len()
+    }
+
+    /// Distinct department codes, sorted.
+    pub fn departments(&self) -> Vec<&str> {
+        let mut deps: Vec<&str> = self.users.iter().map(|u| u.department.as_str()).collect();
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_has_expected_population() {
+        let config = SynthConfig::tiny();
+        let w = World::generate(&config);
+        let expected = config.n_teams * (config.doctors_per_team + config.nurses_per_team)
+            + SERVICES.len() * config.consult_service_size
+            + config.n_med_students
+            + config.n_float_users;
+        assert_eq!(w.n_users(), expected);
+        assert_eq!(w.n_patients(), config.n_patients);
+        // Indexes are self-consistent.
+        for (i, u) in w.users.iter().enumerate() {
+            assert_eq!(u.index, i);
+        }
+    }
+
+    #[test]
+    fn doctors_and_nurses_have_split_department_codes() {
+        let w = World::generate(&SynthConfig::tiny());
+        let team = &w.teams[0];
+        let doc_dept = &w.users[team.doctors[0]].department;
+        let nurse_dept = &w.users[team.nurses[0]].department;
+        assert_ne!(doc_dept, nurse_dept);
+        assert!(doc_dept.contains("(Physicians)"));
+        assert!(nurse_dept.starts_with("Nursing - "));
+        // But both carry the specialty name.
+        assert!(doc_dept.contains(&team.specialty));
+        assert!(nurse_dept.contains(&team.specialty));
+    }
+
+    #[test]
+    fn students_rotate_into_teams() {
+        let config = SynthConfig::tiny();
+        let w = World::generate(&config);
+        let placed: usize = w.teams.iter().map(|t| t.students.len()).sum();
+        assert_eq!(placed, config.n_med_students);
+        for u in w.users.iter().filter(|u| u.role == Role::MedStudent) {
+            assert_eq!(u.department, "Medical Students");
+            assert!(u.team.is_some());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SynthConfig::tiny();
+        let a = World::generate(&config);
+        let b = World::generate(&config);
+        assert_eq!(a.patient_team, b.patient_team);
+        assert_eq!(a.n_users(), b.n_users());
+    }
+
+    #[test]
+    fn every_patient_has_a_team() {
+        let w = World::generate(&SynthConfig::tiny());
+        for &t in &w.patient_team {
+            assert!(t < w.teams.len());
+        }
+    }
+
+    #[test]
+    fn department_codes_are_plentiful() {
+        let w = World::generate(&SynthConfig::tiny());
+        // 2 per team + 3 services + students + 2 float codes.
+        assert!(w.departments().len() >= 2 * 3 + 3 + 1 + 2);
+    }
+
+    #[test]
+    fn extra_teams_get_disambiguated_names() {
+        let mut config = SynthConfig::tiny();
+        config.n_teams = config.specialties.len() + 2;
+        let w = World::generate(&config);
+        let names: Vec<&str> = w.teams.iter().map(|t| t.specialty.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "team names must be unique");
+    }
+}

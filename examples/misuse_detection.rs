@@ -1,0 +1,101 @@
+//! Misuse detection: the paper's secondary application.
+//!
+//! "If we are able to automatically construct explanations for why accesses
+//! occurred, we can conceivably use this information to reduce the set of
+//! accesses that must be examined to those that are unexplained."
+//!
+//! Generates a hospital with injected snooping accesses (the Britney
+//! Spears / presidential-passport scenario), mines explanation templates
+//! from the log, and shows that (a) the unexplained set is a small fraction
+//! of the log, and (b) the snoops land in it.
+//!
+//! Run with: `cargo run --release --example misuse_detection`
+
+use eba::audit::groups::{collaborative_groups, install_groups};
+use eba::audit::handcrafted::HandcraftedTemplates;
+use eba::audit::portal::misuse_summary;
+use eba::audit::{split, Explainer};
+use eba::cluster::HierarchyConfig;
+use eba::core::{mine_one_way, ExplanationTemplate, LogSpec, MiningConfig};
+use eba::synth::{AccessReason, Hospital, SynthConfig};
+
+fn main() {
+    let config = SynthConfig {
+        n_snoop_accesses: 25,
+        ..SynthConfig::small()
+    };
+    let mut hospital = Hospital::generate(config);
+    let spec = LogSpec::conventional(&hospital.db).expect("Log table");
+
+    // Groups from the train period, then mine templates automatically.
+    let train = spec.with_filters(split::day_range(&hospital.log_cols, 1, 6));
+    let groups = collaborative_groups(&hospital.db, &train, HierarchyConfig::default(), 500)
+        .expect("Users table");
+    install_groups(&mut hospital.db, &groups).expect("installs");
+
+    let mining = MiningConfig {
+        support_frac: 0.01,
+        max_length: 4,
+        max_tables: 3,
+        ..MiningConfig::default()
+    };
+    let mined = mine_one_way(
+        &hospital.db,
+        &spec.with_filters(split::days_first(&hospital.log_cols, 1, 6)),
+        &mining,
+    );
+    println!(
+        "Mined {} templates from days 1-6 (support ≥ {} accesses).",
+        mined.templates.len(),
+        mined.threshold
+    );
+
+    // The explainer: mined templates + the hand-crafted decorated repeat
+    // template (repeat access is not minable without its temporal
+    // decoration — §2.1, explanation (C)).
+    let handcrafted = HandcraftedTemplates::build(&hospital.db, &spec).expect("schema");
+    let mut templates: Vec<ExplanationTemplate> = mined
+        .templates
+        .iter()
+        .map(|t| ExplanationTemplate::new(t.path.clone()))
+        .collect();
+    templates.push(handcrafted.repeat_access.clone());
+    let explainer = Explainer::new(templates);
+
+    let unexplained = explainer.unexplained_rows(&hospital.db, &spec);
+    let total = hospital.log_len();
+    println!(
+        "\n{} of {} accesses unexplained ({:.1}%) — the compliance office's review set shrank by {:.1}x.",
+        unexplained.len(),
+        total,
+        100.0 * unexplained.len() as f64 / total as f64,
+        total as f64 / unexplained.len().max(1) as f64,
+    );
+
+    // Where did the snoops go?
+    let snoops: Vec<u32> = (0..total as u32)
+        .filter(|&rid| hospital.reason_of(rid) == AccessReason::Snoop)
+        .collect();
+    let caught = snoops
+        .iter()
+        .filter(|rid| unexplained.contains(rid))
+        .count();
+    println!(
+        "Injected snooping accesses: {} — {} remain unexplained (flagged).",
+        snoops.len(),
+        caught
+    );
+
+    println!("\nTop users by unexplained accesses:");
+    println!("{:<8} {:>12} {:>18}", "user", "unexplained", "distinct patients");
+    for s in misuse_summary(&hospital.db, &spec, &explainer).into_iter().take(8) {
+        println!(
+            "{:<8} {:>12} {:>18}",
+            s.user.display(hospital.db.pool()).to_string(),
+            s.unexplained,
+            s.distinct_patients
+        );
+    }
+    println!("\n(Float-pool users — vascular access, anesthesiology — dominate, as the paper found;");
+    println!(" their work leaves no database trace, so they are flagged for manual review.)");
+}

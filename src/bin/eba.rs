@@ -1,0 +1,416 @@
+//! `eba` — command-line interface to the explanation-based auditing system.
+//!
+//! ```text
+//! eba synth --out DIR [--scale tiny|small|default] [--seed N] [--snoops N] [--mapping]
+//! eba mine --data DIR [--support F] [--max-length N] [--max-tables N]
+//!          [--algorithm one-way|two-way|bridge-2|bridge-3] [--groups] [--sql]
+//! eba explain --data DIR --lid N [--groups]
+//! eba report --data DIR --patient ID [--groups]
+//! eba investigate --data DIR [--top N] [--groups]
+//! ```
+//!
+//! `synth` writes a CareWeb-shaped data set as one CSV per table; the other
+//! subcommands load such a directory (yours or synthetic), so the same
+//! workflow runs on real extracts.
+
+use eba::audit::groups::{collaborative_groups, install_groups};
+use eba::audit::handcrafted::{same_group, EventTable, HandcraftedTemplates};
+use eba::audit::investigate::{diagnose, looks_like_snooping};
+use eba::audit::portal::{misuse_summary, patient_report};
+use eba::audit::Explainer;
+use eba::cluster::HierarchyConfig;
+use eba::core::describe::auto_description;
+use eba::core::{
+    mine_bridge, mine_one_way, mine_two_way, ExplanationTemplate, LogSpec, MiningConfig,
+    MiningResult,
+};
+use eba::relational::{csv, Database, Value};
+use eba::synth::{create_careweb_tables, declare_careweb_relationships, Hospital, LogColumns,
+    SynthConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage("missing subcommand");
+    };
+    let opts = Options::parse(rest);
+    let result = match command.as_str() {
+        "synth" => cmd_synth(&opts),
+        "mine" => cmd_mine(&opts),
+        "explain" => cmd_explain(&opts),
+        "report" => cmd_report(&opts),
+        "investigate" => cmd_investigate(&opts),
+        "help" | "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown subcommand `{other}`")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "eba — explanation-based auditing (Fabbri & LeFevre, VLDB 2011)\n\
+         \n\
+         usage:\n\
+         \x20 eba synth --out DIR [--scale tiny|small|default] [--seed N] [--snoops N] [--mapping]\n\
+         \x20 eba mine --data DIR [--support F] [--max-length N] [--max-tables N]\n\
+         \x20          [--algorithm one-way|two-way|bridge-2|bridge-3] [--groups] [--sql]\n\
+         \x20 eba explain --data DIR --lid N [--groups]\n\
+         \x20 eba report --data DIR --patient ID [--groups]\n\
+         \x20 eba investigate --data DIR [--top N] [--groups]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Minimal `--flag value` / `--switch` parser.
+struct Options {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                usage(&format!("unexpected argument `{arg}`"));
+            };
+            match name {
+                "groups" | "sql" | "mapping" => switches.push(name.to_string()),
+                _ => {
+                    let Some(value) = args.get(i + 1) else {
+                        usage(&format!("--{name} expects a value"));
+                    };
+                    values.insert(name.to_string(), value.clone());
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+        Options { values, switches }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> &str {
+        self.get(name)
+            .unwrap_or_else(|| usage(&format!("--{name} is required")))
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("invalid value for --{name}: `{v}`"))),
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+// ---------------------------------------------------------------- synth
+
+fn cmd_synth(opts: &Options) -> CliResult {
+    let out = PathBuf::from(opts.require("out"));
+    let mut config = match opts.get("scale").unwrap_or("small") {
+        "tiny" => SynthConfig::tiny(),
+        "small" => SynthConfig::small(),
+        "default" => SynthConfig::default_scale(),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    config.seed = opts.parsed("seed", config.seed);
+    config.n_snoop_accesses = opts.parsed("snoops", config.n_snoop_accesses);
+    config.use_mapping_table = opts.flag("mapping");
+
+    let hospital = Hospital::generate(config);
+    std::fs::create_dir_all(&out)?;
+    let mut tables: Vec<(&str, eba::relational::TableId)> = vec![
+        ("Log", hospital.t_log),
+        ("Appointments", hospital.t_appointments),
+        ("Visits", hospital.t_visits),
+        ("Documents", hospital.t_documents),
+        ("Labs", hospital.t_labs),
+        ("Medications", hospital.t_medications),
+        ("Radiology", hospital.t_radiology),
+        ("Users", hospital.t_users),
+    ];
+    if let Some(m) = hospital.t_mapping {
+        tables.push(("Mapping", m));
+    }
+    for (name, id) in tables {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(out.join(format!(
+            "{name}.csv"
+        )))?);
+        csv::export_table(&hospital.db, id, &mut file)?;
+    }
+    println!(
+        "wrote {} accesses, {} users, {} patients to {}",
+        hospital.log_len(),
+        hospital.world.n_users(),
+        hospital.world.n_patients(),
+        out.display()
+    );
+    Ok(())
+}
+
+// ----------------------------------------------------------------- load
+
+struct Loaded {
+    db: Database,
+    spec: LogSpec,
+    cols: LogColumns,
+    has_mapping: bool,
+}
+
+fn load_data(dir: &Path) -> Result<Loaded, Box<dyn std::error::Error>> {
+    let has_mapping = dir.join("Mapping.csv").exists();
+    let mut db = Database::new();
+    let tables = create_careweb_tables(&mut db, has_mapping);
+    for (name, id) in tables.named() {
+        let path = dir.join(format!("{name}.csv"));
+        let file = std::fs::File::open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        let mut reader = std::io::BufReader::new(file);
+        csv::import_table(&mut db, id, &mut reader)?;
+    }
+    declare_careweb_relationships(&mut db, has_mapping, true);
+    let spec = LogSpec::conventional(&db)?;
+    let schema = db.table(tables.log).schema();
+    let col = |name: &str| schema.col(name).expect("CareWeb log column");
+    let cols = LogColumns {
+        lid: col("Lid"),
+        date: col("Date"),
+        user: col("User"),
+        patient: col("Patient"),
+        action: col("Action"),
+        day: col("Day"),
+        is_first: col("IsFirst"),
+    };
+    Ok(Loaded {
+        db,
+        spec,
+        cols,
+        has_mapping,
+    })
+}
+
+/// Trains collaborative groups on the full log and installs them.
+fn add_groups(loaded: &mut Loaded) -> CliResult {
+    let model = collaborative_groups(
+        &loaded.db,
+        &loaded.spec,
+        HierarchyConfig::default(),
+        1_000,
+    )?;
+    install_groups(&mut loaded.db, &model)?;
+    Ok(())
+}
+
+/// The explanation suite: hand-crafted templates, plus depth-1 group
+/// templates when groups are installed.
+fn build_explainer(loaded: &Loaded, with_groups: bool) -> Result<Explainer, Box<dyn std::error::Error>> {
+    let handcrafted = HandcraftedTemplates::build(&loaded.db, &loaded.spec)?;
+    let mut templates: Vec<ExplanationTemplate> =
+        handcrafted.all().into_iter().cloned().collect();
+    if with_groups {
+        for e in EventTable::ALL {
+            templates.push(same_group(&loaded.db, &loaded.spec, e, Some(1))?);
+        }
+    }
+    Ok(Explainer::new(templates))
+}
+
+// ----------------------------------------------------------------- mine
+
+fn cmd_mine(opts: &Options) -> CliResult {
+    let mut loaded = load_data(Path::new(opts.require("data")))?;
+    let with_groups = opts.flag("groups");
+    if with_groups {
+        add_groups(&mut loaded)?;
+    }
+    let mut config = MiningConfig {
+        support_frac: opts.parsed("support", 0.01),
+        max_length: opts.parsed("max-length", 4),
+        max_tables: opts.parsed("max-tables", 3),
+        ..MiningConfig::default()
+    };
+    if loaded.has_mapping {
+        config
+            .exempt_tables
+            .push(loaded.db.table_id("Mapping")?);
+    }
+    let algorithm = opts.get("algorithm").unwrap_or("one-way");
+    let started = std::time::Instant::now();
+    let result: MiningResult = match algorithm {
+        "one-way" => mine_one_way(&loaded.db, &loaded.spec, &config),
+        "two-way" => mine_two_way(&loaded.db, &loaded.spec, &config),
+        other => match other.strip_prefix("bridge-").and_then(|n| n.parse().ok()) {
+            Some(ell) => mine_bridge(&loaded.db, &loaded.spec, &config, ell)?,
+            None => usage(&format!("unknown algorithm `{other}`")),
+        },
+    };
+    println!(
+        "mined {} templates in {:.2}s ({} support queries, threshold {} of {} accesses)\n",
+        result.templates.len(),
+        started.elapsed().as_secs_f64(),
+        result.stats.support_queries(),
+        result.threshold,
+        result.anchor_lids
+    );
+    for t in &result.templates {
+        println!(
+            "[len {}] support {:>6}  {}",
+            t.length(),
+            t.support,
+            auto_description(&loaded.db, &loaded.spec, &t.path)
+        );
+        if opts.flag("sql") {
+            let sql = eba::core::sql::template_sql(&loaded.db, &loaded.spec, &t.path);
+            for line in sql.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- explain
+
+fn cmd_explain(opts: &Options) -> CliResult {
+    let mut loaded = load_data(Path::new(opts.require("data")))?;
+    let with_groups = opts.flag("groups");
+    if with_groups {
+        add_groups(&mut loaded)?;
+    }
+    let lid: i64 = opts.parsed("lid", -1);
+    if lid < 0 {
+        usage("--lid is required");
+    }
+    let log = loaded.db.table(loaded.spec.table);
+    let rows = log.rows_with(loaded.cols.lid, Value::Int(lid));
+    let Some(&rid) = rows.first() else {
+        return Err(format!("no log record with Lid = {lid}").into());
+    };
+    let row = log.row(rid);
+    println!(
+        "log record {lid}: user {} accessed patient {}'s record at {}",
+        row[loaded.cols.user].display(loaded.db.pool()),
+        row[loaded.cols.patient].display(loaded.db.pool()),
+        row[loaded.cols.date].display(loaded.db.pool()),
+    );
+    let explainer = build_explainer(&loaded, with_groups)?;
+    let explanations = explainer.explain(&loaded.db, &loaded.spec, rid, 3)?;
+    if explanations.is_empty() {
+        println!("no explanation found; closest template verdicts:");
+        for d in diagnose(&loaded.db, &loaded.spec, &explainer, rid)?
+            .iter()
+            .take(3)
+        {
+            println!("  - {}", d.summary());
+        }
+    } else {
+        for e in explanations {
+            println!("  [len {}] {}", e.length, e.text);
+        }
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- report
+
+fn cmd_report(opts: &Options) -> CliResult {
+    let mut loaded = load_data(Path::new(opts.require("data")))?;
+    let with_groups = opts.flag("groups");
+    if with_groups {
+        add_groups(&mut loaded)?;
+    }
+    let patient: i64 = opts.parsed("patient", -1);
+    if patient < 0 {
+        usage("--patient is required");
+    }
+    let explainer = build_explainer(&loaded, with_groups)?;
+    let report = patient_report(
+        &loaded.db,
+        &loaded.spec,
+        &loaded.cols,
+        &explainer,
+        Value::Int(patient),
+    )?;
+    if report.is_empty() {
+        println!("no accesses recorded for patient {patient}");
+        return Ok(());
+    }
+    println!("access report for patient {patient} ({} accesses):", report.len());
+    for e in &report {
+        println!(
+            "  {:>6}  {:<16} user {:<6} {}",
+            e.lid.display(loaded.db.pool()).to_string(),
+            e.date.display(loaded.db.pool()).to_string(),
+            e.user.display(loaded.db.pool()).to_string(),
+            e.display_text()
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------- investigate
+
+fn cmd_investigate(opts: &Options) -> CliResult {
+    let mut loaded = load_data(Path::new(opts.require("data")))?;
+    let with_groups = opts.flag("groups");
+    if with_groups {
+        add_groups(&mut loaded)?;
+    }
+    let explainer = build_explainer(&loaded, with_groups)?;
+    let unexplained = explainer.unexplained_rows(&loaded.db, &loaded.spec);
+    let total = loaded.db.table(loaded.spec.table).len();
+    println!(
+        "{} of {} accesses unexplained ({:.1}%)",
+        unexplained.len(),
+        total,
+        100.0 * unexplained.len() as f64 / total.max(1) as f64
+    );
+    let mut snoop_like = 0usize;
+    for &rid in &unexplained {
+        if looks_like_snooping(&diagnose(&loaded.db, &loaded.spec, &explainer, rid)?) {
+            snoop_like += 1;
+        }
+    }
+    println!(
+        "{} look like snooping (the data points at a different user); {} are data gaps",
+        snoop_like,
+        unexplained.len() - snoop_like
+    );
+    let top: usize = opts.parsed("top", 10);
+    println!("\ntop users by unexplained accesses:");
+    for s in misuse_summary(&loaded.db, &loaded.spec, &explainer)
+        .into_iter()
+        .take(top)
+    {
+        println!(
+            "  user {:<8} {:>5} unexplained across {:>5} patients",
+            s.user.display(loaded.db.pool()).to_string(),
+            s.unexplained,
+            s.distinct_patients
+        );
+    }
+    Ok(())
+}

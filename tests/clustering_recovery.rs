@@ -1,0 +1,168 @@
+//! Does §4's pipeline recover the planted collaborative structure?
+//!
+//! The synthetic world plants ground-truth care teams (doctors + nurses +
+//! rotating students who co-access the same patients). These tests measure
+//! how well the inferred groups align with the plants — the synthetic
+//! analogue of the paper's manual inspection of the Cancer Center and
+//! Psychiatry groups.
+
+use eba::audit::groups::collaborative_groups;
+use eba::audit::split;
+use eba::cluster::HierarchyConfig;
+use eba::core::LogSpec;
+use eba::synth::{Hospital, Role, SynthConfig};
+
+struct Setup {
+    hospital: Hospital,
+    model: eba::audit::GroupsModel,
+}
+
+fn setup() -> Setup {
+    let hospital = Hospital::generate(SynthConfig::small());
+    let spec = LogSpec::conventional(&hospital.db).unwrap();
+    let train = spec.with_filters(split::day_range(&hospital.log_cols, 1, 6));
+    let model =
+        collaborative_groups(&hospital.db, &train, HierarchyConfig::default(), 500).unwrap();
+    Setup { hospital, model }
+}
+
+/// Pairwise co-membership precision/recall of the inferred depth-`d`
+/// groups against the planted teams (clinical staff only).
+fn pair_scores(s: &Setup, depth: usize) -> (f64, f64) {
+    let h = &s.hospital;
+    let clinical: Vec<usize> = h
+        .world
+        .users
+        .iter()
+        .filter(|u| matches!(u.role, Role::Doctor | Role::Nurse))
+        .map(|u| u.index)
+        .collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (i, &a) in clinical.iter().enumerate() {
+        for &b in clinical.iter().skip(i + 1) {
+            let same_team = h.world.users[a].team == h.world.users[b].team;
+            let ga = s.model.group_of(h.user_value(a), depth);
+            let gb = s.model.group_of(h.user_value(b), depth);
+            let same_group = ga.is_some() && ga == gb;
+            match (same_team, same_group) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    (precision, recall)
+}
+
+#[test]
+fn inferred_groups_align_with_planted_teams() {
+    let s = setup();
+    let (precision, recall) = pair_scores(&s, 1);
+    assert!(
+        precision > 0.5,
+        "pairwise precision {precision:.2} too low at depth 1"
+    );
+    assert!(recall > 0.5, "pairwise recall {recall:.2} too low at depth 1");
+}
+
+#[test]
+fn deeper_levels_are_purer() {
+    let s = setup();
+    let deepest = s.model.hierarchy.depth_count() - 1;
+    if deepest <= 1 {
+        return; // hierarchy did not refine further on this data
+    }
+    let (p1, _) = pair_scores(&s, 1);
+    let (pd, _) = pair_scores(&s, deepest);
+    assert!(
+        pd >= p1 - 0.05,
+        "precision should not degrade with depth: {p1:.2} → {pd:.2}"
+    );
+}
+
+#[test]
+fn doctors_and_nurses_of_a_team_share_groups_despite_department_codes() {
+    // The paper's key observation: Pediatrics physicians and
+    // Nursing-Pediatrics carry different department codes but belong to
+    // the same collaborative group.
+    let s = setup();
+    let h = &s.hospital;
+    let mut cross_code_together = 0usize;
+    let mut cross_code_total = 0usize;
+    for team in &h.world.teams {
+        for &d in &team.doctors {
+            for &n in &team.nurses {
+                cross_code_total += 1;
+                let gd = s.model.group_of(h.user_value(d), 1);
+                let gn = s.model.group_of(h.user_value(n), 1);
+                if gd.is_some() && gd == gn {
+                    cross_code_together += 1;
+                }
+            }
+        }
+    }
+    let frac = cross_code_together as f64 / cross_code_total.max(1) as f64;
+    assert!(
+        frac > 0.5,
+        "only {frac:.2} of doctor-nurse pairs share a group"
+    );
+}
+
+#[test]
+fn rotating_students_cluster_with_their_team_not_each_other() {
+    // "It would be incorrect to consider all medical students as their own
+    // collaborative group" — students should land with their rotation team.
+    let s = setup();
+    let h = &s.hospital;
+    let students: Vec<usize> = h
+        .world
+        .users
+        .iter()
+        .filter(|u| u.role == Role::MedStudent)
+        .map(|u| u.index)
+        .collect();
+    if students.len() < 2 {
+        return;
+    }
+    let mut with_team = 0usize;
+    let mut measured = 0usize;
+    for &st in &students {
+        let Some(team_idx) = h.world.users[st].team else {
+            continue;
+        };
+        let team = &h.world.teams[team_idx];
+        let gs = s.model.group_of(h.user_value(st), 1);
+        if gs.is_none() {
+            continue;
+        }
+        measured += 1;
+        let teammates_same = team
+            .doctors
+            .iter()
+            .chain(&team.nurses)
+            .filter(|&&m| s.model.group_of(h.user_value(m), 1) == gs)
+            .count();
+        if teammates_same * 2 >= team.doctors.len() + team.nurses.len() {
+            with_team += 1;
+        }
+    }
+    assert!(
+        with_team * 2 >= measured.max(1),
+        "only {with_team}/{measured} students clustered with their rotation team"
+    );
+}
+
+#[test]
+fn group_training_is_deterministic() {
+    let a = setup();
+    let b = setup();
+    assert_eq!(
+        a.model.hierarchy.assignment(1),
+        b.model.hierarchy.assignment(1)
+    );
+}

@@ -1,0 +1,162 @@
+//! The paper's audit-id ↔ caregiver-id extraction artifact (§5.3.3):
+//! data-set-B tables identify users by a different key, a mapping table
+//! switches between the spaces, and the miner exempts it from the table
+//! limit ("we did not count this added mapping table against the number of
+//! tables used"). Paths through a self-join *and* the mapping reach length
+//! 5, exactly as in Figure 13.
+
+use eba::audit::groups::{collaborative_groups, install_groups};
+use eba::audit::handcrafted::HandcraftedTemplates;
+use eba::audit::split;
+use eba::cluster::HierarchyConfig;
+use eba::core::{mine_one_way, LogSpec, MiningConfig};
+use eba::synth::{Hospital, SynthConfig};
+
+fn mapped_hospital() -> (Hospital, LogSpec) {
+    let config = SynthConfig {
+        use_mapping_table: true,
+        ..SynthConfig::tiny()
+    };
+    let mut hospital = Hospital::generate(config);
+    let spec = LogSpec::conventional(&hospital.db).unwrap();
+    let train = spec.with_filters(split::day_range(&hospital.log_cols, 1, 6));
+    let groups =
+        collaborative_groups(&hospital.db, &train, HierarchyConfig::default(), 500).unwrap();
+    install_groups(&mut hospital.db, &groups).unwrap();
+    (hospital, spec)
+}
+
+#[test]
+fn b_tables_use_a_separate_id_space() {
+    let (h, _) = mapped_hospital();
+    let labs = h.db.table(h.t_labs);
+    if labs.is_empty() {
+        return;
+    }
+    let result_col = labs.schema().col("ResultUser").unwrap();
+    for (_, row) in labs.iter() {
+        let eba::relational::Value::Int(id) = row[result_col] else {
+            panic!("int id")
+        };
+        assert!(
+            id > eba::synth::build::AUDIT_ID_OFFSET,
+            "B-table ids must live in the audit space, got {id}"
+        );
+    }
+    // The mapping table covers every user.
+    let mapping = h.db.table(h.t_mapping.unwrap());
+    assert_eq!(mapping.len(), h.world.n_users());
+}
+
+#[test]
+fn consult_templates_work_through_the_mapping() {
+    let (h, spec) = mapped_hospital();
+    let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+    // One hop longer than without the artifact.
+    assert_eq!(t.lab_result.length(), 3);
+    assert_eq!(t.med_sign.length(), 3);
+    assert_eq!(t.appt_with_dr.length(), 2, "data set A is unaffected");
+    // They still explain the consult accesses.
+    assert!(t.lab_result.support(&h.db, &spec).unwrap() > 0);
+    assert!(t.med_admin.support(&h.db, &spec).unwrap() > 0);
+}
+
+#[test]
+fn exempting_the_mapping_restores_group_templates_for_b_events() {
+    let (h, spec) = mapped_hospital();
+    let groups_t = h.db.table_id("Groups").unwrap();
+    let labs_t = h.t_labs;
+    let mapping_t = h.t_mapping.unwrap();
+    let mining_spec = spec.with_filters(split::days_first(&h.log_cols, 1, 6));
+
+    // Without the exemption: a group template over a B event needs
+    // Log + Labs + Mapping + Groups = 4 tables > T = 3.
+    let strict = MiningConfig {
+        support_frac: 0.005,
+        max_length: 5,
+        max_tables: 3,
+        ..MiningConfig::default()
+    };
+    let without = mine_one_way(&h.db, &mining_spec, &strict);
+    // "B-event group-expansion template": a B table plus *two* Groups
+    // aliases (the self-join of Example 4.2).
+    let is_b_group_expansion = |t: &eba::core::MinedTemplate| {
+        let tv = t.path.tuple_vars();
+        tv.contains(&labs_t) && tv.iter().filter(|x| **x == groups_t).count() >= 2
+    };
+    assert!(
+        !without.templates.iter().any(is_b_group_expansion),
+        "B-event group-expansion templates must be blocked without the exemption"
+    );
+
+    // With the exemption (the paper's setup), the length-5 templates appear
+    // if supported.
+    let exempt = MiningConfig {
+        exempt_tables: vec![mapping_t],
+        ..strict
+    };
+    let with = mine_one_way(&h.db, &mining_spec, &exempt);
+    assert!(
+        with.templates.len() >= without.templates.len(),
+        "exemption can only widen the search space"
+    );
+    for t in with.templates.iter().filter(|t| is_b_group_expansion(t)) {
+        assert_eq!(t.length(), 5, "B-event group-expansion templates have length 5");
+        assert_eq!(
+            t.path.table_count(spec.table, &[mapping_t]),
+            3,
+            "mapping is not counted"
+        );
+        assert_eq!(
+            t.path.table_count(spec.table, &[]),
+            4,
+            "without the exemption the same path counts 4 tables"
+        );
+    }
+    assert!(
+        with.templates.iter().any(is_b_group_expansion),
+        "expected at least one supported length-5 B-event group template"
+    );
+}
+
+#[test]
+fn cross_space_joins_are_never_declared() {
+    // There must be no declared relationship directly connecting an
+    // audit-id column to a caregiver-id column (only the mapping bridges
+    // them), otherwise joins would silently compare different id spaces.
+    let (h, _) = mapped_hospital();
+    let audit_cols: Vec<eba::relational::AttrRef> = [
+        ("Labs", "OrderUser"),
+        ("Labs", "ResultUser"),
+        ("Medications", "OrderUser"),
+        ("Medications", "SignUser"),
+        ("Medications", "AdminUser"),
+        ("Radiology", "OrderUser"),
+        ("Radiology", "ReadUser"),
+    ]
+    .iter()
+    .map(|(t, c)| h.db.attr(t, c).unwrap())
+    .collect();
+    let caregiver_cols: Vec<eba::relational::AttrRef> = [
+        ("Log", "User"),
+        ("Users", "User"),
+        ("Appointments", "Doctor"),
+        ("Visits", "Doctor"),
+        ("Documents", "User"),
+        ("Groups", "User"),
+        ("Mapping", "CaregiverId"),
+    ]
+    .iter()
+    .map(|(t, c)| h.db.attr(t, c).unwrap())
+    .collect();
+    for rel in h.db.relationships() {
+        let crosses = (audit_cols.contains(&rel.from) && caregiver_cols.contains(&rel.to))
+            || (audit_cols.contains(&rel.to) && caregiver_cols.contains(&rel.from));
+        assert!(
+            !crosses,
+            "cross-space relationship declared: {} = {}",
+            h.db.attr_name(rel.from),
+            h.db.attr_name(rel.to)
+        );
+    }
+}

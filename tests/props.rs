@@ -1,0 +1,353 @@
+//! Property-based tests over the core invariants:
+//!
+//! * chain-query evaluation agrees with a brute-force nested-loop join;
+//! * support is monotone under path extension (the pruning lemma of §3.2);
+//! * canonical keys are invariant under path reversal;
+//! * evaluation options (dedup) never change results;
+//! * metrics stay within bounds.
+
+use eba::core::{canonical::canonical_key, Direction, Edge, LogSpec, Path};
+use eba::core::edge::EdgeKind;
+use eba::relational::{
+    ChainQuery, ChainStep, DataType, Database, EvalOptions, TableId, Value,
+};
+use proptest::prelude::*;
+
+/// A small random two-table world: Log(Lid, User, Patient) and
+/// Event(Patient, Actor), with values drawn from small domains so joins
+/// actually happen.
+#[derive(Debug, Clone)]
+struct SmallWorld {
+    log_rows: Vec<(i64, i64, i64)>,   // (lid, user, patient)
+    event_rows: Vec<(i64, i64)>,      // (patient, actor)
+}
+
+fn small_world() -> impl Strategy<Value = SmallWorld> {
+    let log_row = (0..40i64, 0..8i64, 0..10i64);
+    let event_row = (0..10i64, 0..8i64);
+    (
+        prop::collection::vec(log_row, 1..25),
+        prop::collection::vec(event_row, 0..25),
+    )
+        .prop_map(|(mut log_rows, event_rows)| {
+            // Make lids unique (the schema's invariant).
+            for (i, r) in log_rows.iter_mut().enumerate() {
+                r.0 = i as i64;
+            }
+            SmallWorld {
+                log_rows,
+                event_rows,
+            }
+        })
+}
+
+fn materialize(w: &SmallWorld) -> (Database, TableId, TableId) {
+    let mut db = Database::new();
+    let log = db
+        .create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        )
+        .unwrap();
+    let event = db
+        .create_table(
+            "Event",
+            &[("Patient", DataType::Int), ("Actor", DataType::Int)],
+        )
+        .unwrap();
+    for &(lid, user, patient) in &w.log_rows {
+        db.insert(
+            log,
+            vec![Value::Int(lid), Value::Int(user), Value::Int(patient)],
+        )
+        .unwrap();
+    }
+    for &(patient, actor) in &w.event_rows {
+        db.insert(event, vec![Value::Int(patient), Value::Int(actor)])
+            .unwrap();
+    }
+    (db, log, event)
+}
+
+/// Brute force: which log rows have an event row with the same patient
+/// whose actor equals the log row's user?
+fn brute_force_closed(w: &SmallWorld) -> Vec<u32> {
+    w.log_rows
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, user, patient))| {
+            w.event_rows
+                .iter()
+                .any(|(p, a)| p == patient && a == user)
+        })
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Brute force for the open query: log rows whose patient has any event.
+fn brute_force_open(w: &SmallWorld) -> Vec<u32> {
+    w.log_rows
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, _, patient))| w.event_rows.iter().any(|(p, _)| p == patient))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chain_query_matches_brute_force(w in small_world()) {
+        let (db, log, event) = materialize(&w);
+        let closed = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        prop_assert_eq!(
+            closed.explained_rows(&db, EvalOptions::default()).unwrap(),
+            brute_force_closed(&w)
+        );
+        let open = ChainQuery { close_col: None, ..closed };
+        prop_assert_eq!(
+            open.explained_rows(&db, EvalOptions::default()).unwrap(),
+            brute_force_open(&w)
+        );
+    }
+
+    #[test]
+    fn dedup_option_never_changes_results(w in small_world()) {
+        let (db, log, event) = materialize(&w);
+        let q = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        let a = q.explained_rows(&db, EvalOptions { dedup: true }).unwrap();
+        let b = q.explained_rows(&db, EvalOptions { dedup: false }).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn support_is_monotone_under_extension(w in small_world()) {
+        // Extending `Log.Patient = E.Patient` with `E.Actor = Log.User`
+        // can only shrink the explained set (§3.2's pruning lemma).
+        let (db, log, event) = materialize(&w);
+        let open = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: None,
+            anchor_filters: vec![],
+        };
+        let closed = ChainQuery { close_col: Some(1), ..open.clone() };
+        let s_open = open.support(&db, EvalOptions::default()).unwrap();
+        let s_closed = closed.support(&db, EvalOptions::default()).unwrap();
+        prop_assert!(s_closed <= s_open);
+    }
+
+    #[test]
+    fn estimate_is_finite_and_bounded(w in small_world()) {
+        let (db, log, event) = materialize(&w);
+        let q = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        let est = eba::relational::estimate_support(&db, &q);
+        prop_assert!(est.is_finite());
+        prop_assert!(est >= 0.0);
+        prop_assert!(est <= w.log_rows.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn canonical_key_is_reversal_invariant(w in small_world()) {
+        let (db, _, _) = materialize(&w);
+        let spec = LogSpec::conventional(&db).unwrap();
+        let path = Path::seed(
+            &spec,
+            Direction::Forward,
+            Edge {
+                from: db.attr("Log", "Patient").unwrap(),
+                to: db.attr("Event", "Patient").unwrap(),
+                kind: EdgeKind::ForeignKey,
+            },
+        )
+        .unwrap()
+        .closed_by(
+            Edge {
+                from: db.attr("Event", "Actor").unwrap(),
+                to: db.attr("Log", "User").unwrap(),
+                kind: EdgeKind::ForeignKey,
+            },
+            &spec,
+        )
+        .unwrap();
+        let rev = path.reversed().unwrap();
+        prop_assert_eq!(canonical_key(&path, &spec), canonical_key(&rev, &spec));
+    }
+
+    #[test]
+    fn instance_counts_justify_explained_rows(w in small_world()) {
+        // A row is explained iff it has at least one instance.
+        let (db, log, event) = materialize(&w);
+        let q = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        let explained: std::collections::HashSet<u32> =
+            q.explained_rows(&db, EvalOptions::default()).unwrap().into_iter().collect();
+        for rid in 0..w.log_rows.len() as u32 {
+            let has_instance = !q.instances(&db, rid, 4).unwrap().is_empty();
+            prop_assert_eq!(has_instance, explained.contains(&rid), "row {}", rid);
+        }
+    }
+}
+
+/// A three-table world for two-step chains: Log, Event(Patient, Actor),
+/// Team(Member, Buddy) — the chain is
+/// `Log.Patient = Event.Patient AND Event.Actor = Team.Member AND
+/// Team.Buddy = Log.User`.
+#[derive(Debug, Clone)]
+struct TwoHopWorld {
+    log_rows: Vec<(i64, i64, i64)>,
+    event_rows: Vec<(i64, i64)>,
+    team_rows: Vec<(i64, i64)>,
+}
+
+fn two_hop_world() -> impl Strategy<Value = TwoHopWorld> {
+    (
+        prop::collection::vec((0..30i64, 0..6i64, 0..8i64), 1..20),
+        prop::collection::vec((0..8i64, 0..6i64), 0..20),
+        prop::collection::vec((0..6i64, 0..6i64), 0..20),
+    )
+        .prop_map(|(mut log_rows, event_rows, team_rows)| {
+            for (i, r) in log_rows.iter_mut().enumerate() {
+                r.0 = i as i64;
+            }
+            TwoHopWorld {
+                log_rows,
+                event_rows,
+                team_rows,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn two_step_chain_matches_brute_force(w in two_hop_world()) {
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let event = db
+            .create_table(
+                "Event",
+                &[("Patient", DataType::Int), ("Actor", DataType::Int)],
+            )
+            .unwrap();
+        let team = db
+            .create_table(
+                "Team",
+                &[("Member", DataType::Int), ("Buddy", DataType::Int)],
+            )
+            .unwrap();
+        for &(lid, user, patient) in &w.log_rows {
+            db.insert(log, vec![Value::Int(lid), Value::Int(user), Value::Int(patient)])
+                .unwrap();
+        }
+        for &(p, a) in &w.event_rows {
+            db.insert(event, vec![Value::Int(p), Value::Int(a)]).unwrap();
+        }
+        for &(m, b) in &w.team_rows {
+            db.insert(team, vec![Value::Int(m), Value::Int(b)]).unwrap();
+        }
+        let q = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1), ChainStep::new(team, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        let expected: Vec<u32> = w
+            .log_rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, user, patient))| {
+                w.event_rows.iter().any(|(p, actor)| {
+                    p == patient
+                        && w.team_rows
+                            .iter()
+                            .any(|(m, buddy)| m == actor && buddy == user)
+                })
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(q.explained_rows(&db, EvalOptions::default()).unwrap(), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn modularity_bounded_and_louvain_not_worse_than_singletons(
+        edges in prop::collection::vec((0usize..12, 0usize..12, 0.01f64..2.0), 1..40)
+    ) {
+        use eba::cluster::{louvain, modularity, GraphBuilder};
+        let mut b = GraphBuilder::new(12);
+        for (u, v, w) in &edges {
+            b.add_edge(*u, *v, *w);
+        }
+        let g = b.build();
+        let p = louvain(&g);
+        prop_assert!((-0.5..=1.0).contains(&p.modularity), "Q = {}", p.modularity);
+        let singletons: Vec<u32> = (0..12u32).collect();
+        let q_singletons = modularity(&g, &singletons);
+        prop_assert!(p.modularity >= q_singletons - 1e-9);
+        // Louvain's reported modularity matches recomputation.
+        prop_assert!((modularity(&g, &p.communities) - p.modularity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_matrix_rows_are_normalized(
+        pairs in prop::collection::vec((0u32..6, 0u32..8), 1..40)
+    ) {
+        use eba::cluster::AccessMatrix;
+        let m = AccessMatrix::from_pairs(6, 8, pairs);
+        for p in 0..6u32 {
+            let row_sum: f64 = (0..8u32).map(|u| m.entry(p, u)).sum();
+            // Each non-empty row of A sums to exactly 1 (k · 1/k).
+            prop_assert!(row_sum.abs() < 1e-9 || (row_sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The reproduction's shape claims must hold across random seeds, not just
+//! the checked-in one — otherwise the "reproduced shapes" would be seed
+//! flukes. This sweep rebuilds the (tiny) scenario under several seeds and
+//! re-asserts the core orderings of Figures 8/9/12/14.
+
+use eba::experiments::{fig_events, fig_groups, fig_handcrafted, fig_predictive, Scenario};
+use eba::synth::SynthConfig;
+
+fn scenario_with_seed(seed: u64) -> Scenario {
+    Scenario::build(SynthConfig {
+        seed,
+        ..SynthConfig::tiny()
+    })
+}
+
+const SEEDS: [u64; 3] = [7, 1234, 987_654_321];
+
+#[test]
+fn event_coverage_always_exceeds_handcrafted_recall() {
+    for seed in SEEDS {
+        let s = scenario_with_seed(seed);
+        let coverage = fig_events::fig08(&s).value("All", 0).unwrap();
+        let recall = fig_handcrafted::fig09(&s).value("All w/Dr.", 0).unwrap();
+        assert!(
+            recall < coverage,
+            "seed {seed}: recall {recall} ≥ coverage {coverage}"
+        );
+        assert!(coverage > 0.4, "seed {seed}: coverage {coverage}");
+    }
+}
+
+#[test]
+fn group_depth_tradeoff_holds_across_seeds() {
+    for seed in SEEDS {
+        let s = scenario_with_seed(seed);
+        let fig = fig_groups::fig12(&s);
+        let d0r = fig.value("Depth 0", 1).unwrap();
+        let d1r = fig.value("Depth 1", 1).unwrap();
+        let d0p = fig.value("Depth 0", 0).unwrap();
+        let d1p = fig.value("Depth 1", 0).unwrap();
+        assert!(d0r >= d1r - 1e-9, "seed {seed}: depth-0 recall not maximal");
+        assert!(
+            d1p >= d0p - 1e-9,
+            "seed {seed}: depth-1 precision {d1p} below depth-0 {d0p}"
+        );
+        // Groups beat department codes on recall.
+        let dept = fig.value("Same Dept.", 1).unwrap();
+        assert!(
+            d1r >= dept - 1e-9,
+            "seed {seed}: dept codes {dept} beat groups {d1r}"
+        );
+    }
+}
+
+#[test]
+fn mined_recall_rises_with_length_across_seeds() {
+    for seed in SEEDS {
+        let s = scenario_with_seed(seed);
+        let fig = fig_predictive::fig14(&s);
+        let lengths: Vec<_> = fig
+            .rows
+            .iter()
+            .filter(|r| r.label.starts_with("Length"))
+            .collect();
+        assert!(lengths.len() >= 2, "seed {seed}");
+        let first = lengths.first().unwrap().values[1].unwrap();
+        let last = lengths.last().unwrap().values[1].unwrap();
+        assert!(
+            last >= first,
+            "seed {seed}: recall fell with length ({first} → {last})"
+        );
+    }
+}
+
+#[test]
+fn repeat_accesses_dominate_single_categories_across_seeds() {
+    for seed in SEEDS {
+        let s = scenario_with_seed(seed);
+        let fig = fig_handcrafted::fig07(&s);
+        let repeat = fig.value("Repeat Access", 0).unwrap();
+        for label in ["Appt w/Dr.", "Visit w/Dr.", "Doc. w/Dr."] {
+            let v = fig.value(label, 0).unwrap();
+            assert!(
+                repeat >= v,
+                "seed {seed}: {label} ({v}) exceeded repeats ({repeat})"
+            );
+        }
+    }
+}
