@@ -167,12 +167,11 @@ mod tests {
         // The paper's density argument: uniform fake pairs rarely coincide
         // with real pairs.
         let (mut h, _) = setup();
-        let real_pairs: HashSet<(Value, Value)> = h
-            .db
-            .table(h.t_log)
-            .iter()
-            .map(|(_, row)| (row[h.log_cols.user], row[h.log_cols.patient]))
-            .collect();
+        let real_pairs: HashSet<(Value, Value)> =
+            h.db.table(h.t_log)
+                .iter()
+                .map(|(_, row)| (row[h.log_cols.user], row[h.log_cols.patient]))
+                .collect();
         let users = user_pool(&h.db);
         let patients: Vec<Value> = (0..h.world.n_patients())
             .map(|p| h.patient_value(p))

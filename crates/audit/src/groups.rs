@@ -43,12 +43,14 @@ pub fn collaborative_groups(
 ) -> Result<GroupsModel> {
     let users_t = db.table_id("Users")?;
     let users = db.table(users_t);
-    let user_col = users.schema().col("User").ok_or_else(|| {
-        eba_relational::Error::UnknownColumn {
-            table: "Users".into(),
-            column: "User".into(),
-        }
-    })?;
+    let user_col =
+        users
+            .schema()
+            .col("User")
+            .ok_or_else(|| eba_relational::Error::UnknownColumn {
+                table: "Users".into(),
+                column: "User".into(),
+            })?;
     let mut user_values: Vec<Value> = users.iter().map(|(_, row)| row[user_col]).collect();
     user_values.sort_unstable_by_key(|v| match v {
         Value::Int(i) => *i,
@@ -160,8 +162,7 @@ mod tests {
         let mut h = Hospital::generate(SynthConfig::tiny());
         let spec = LogSpec::conventional(&h.db).unwrap();
         let train = spec.with_filters(split::day_range(&h.log_cols, 1, 6));
-        let model =
-            collaborative_groups(&h.db, &train, HierarchyConfig::default(), 500).unwrap();
+        let model = collaborative_groups(&h.db, &train, HierarchyConfig::default(), 500).unwrap();
         install_groups(&mut h.db, &model).unwrap();
         (h, spec, model)
     }

@@ -165,15 +165,16 @@ impl HandcraftedTemplates {
         .named("Doc. w/Dr.")
         .described("[L.User] produced a document for [L.Patient] on [T1.Date].");
 
-        let repeat_path = Path::handcrafted(db, spec, &[("Log", "Patient", "User")])?.decorated(
-            1,
-            StepFilter {
-                col: date_col,
-                op: CmpOp::Lt,
-                rhs: Rhs::AnchorCol(date_col),
-            },
-        )
-        .expect("alias 1 exists");
+        let repeat_path = Path::handcrafted(db, spec, &[("Log", "Patient", "User")])?
+            .decorated(
+                1,
+                StepFilter {
+                    col: date_col,
+                    op: CmpOp::Lt,
+                    rhs: Rhs::AnchorCol(date_col),
+                },
+            )
+            .expect("alias 1 exists");
         let repeat_access = ExplanationTemplate::new(repeat_path)
             .named("Repeat Access")
             .described("[L.User] previously accessed [L.Patient]'s record (on [T1.Date]).");
@@ -184,7 +185,9 @@ impl HandcraftedTemplates {
             &user_hops(db, EventTable::Labs, "ResultUser"),
         )?)
         .named("Lab result")
-        .described("[L.User] produced a lab result for [L.Patient] ordered by user [T1.OrderUser].");
+        .described(
+            "[L.User] produced a lab result for [L.Patient] ordered by user [T1.OrderUser].",
+        );
 
         let med_sign = ExplanationTemplate::new(Path::handcrafted(
             db,
@@ -208,7 +211,9 @@ impl HandcraftedTemplates {
             &user_hops(db, EventTable::Radiology, "ReadUser"),
         )?)
         .named("Radiology read")
-        .described("[L.User] read a radiology study for [L.Patient] ordered by user [T1.OrderUser].");
+        .described(
+            "[L.User] read a radiology study for [L.Patient] ordered by user [T1.OrderUser].",
+        );
 
         Ok(HandcraftedTemplates {
             appt_with_dr,
@@ -237,7 +242,12 @@ impl HandcraftedTemplates {
 
     /// The consult-order set (data set B direct explanations).
     pub fn consult(&self) -> Vec<&ExplanationTemplate> {
-        vec![&self.lab_result, &self.med_sign, &self.med_admin, &self.rad_read]
+        vec![
+            &self.lab_result,
+            &self.med_sign,
+            &self.med_admin,
+            &self.rad_read,
+        ]
     }
 
     /// Every hand-crafted template.
@@ -320,7 +330,9 @@ pub fn same_group(
         Some(d) => format!("{} + group@{d}", event.label()),
         None => format!("{} + group", event.label()),
     };
-    Ok(ExplanationTemplate::new(path).named(name).described(format!(
+    Ok(ExplanationTemplate::new(path)
+        .named(name)
+        .described(format!(
         "[L.Patient] had {} with user [T1.{}], and [L.User] is in the same collaborative group.",
         event.phrase(),
         event.primary_user_col()

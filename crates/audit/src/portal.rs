@@ -47,6 +47,8 @@ pub fn patient_report(
     patient: Value,
 ) -> Result<Vec<ReportEntry>> {
     let log = db.table(spec.table);
+    // Validate every template query once, not once per access row.
+    let prepared = explainer.prepared(db, spec)?;
     let mut entries = Vec::new();
     for rid in log.rows_with(spec.patient_col, patient) {
         let row = log.row(rid);
@@ -57,7 +59,7 @@ pub fn patient_report(
         {
             continue;
         }
-        let explanation = explainer.explain(db, spec, rid, 1)?.into_iter().next();
+        let explanation = prepared.explain(db, spec, rid, 1).into_iter().next();
         entries.push(ReportEntry {
             row: rid,
             lid: row[cols.lid],
@@ -87,11 +89,7 @@ pub struct SuspectSummary {
 
 /// Groups the unexplained accesses by user, sorted by descending count
 /// (ties broken by user value for determinism).
-pub fn misuse_summary(
-    db: &Database,
-    spec: &LogSpec,
-    explainer: &Explainer,
-) -> Vec<SuspectSummary> {
+pub fn misuse_summary(db: &Database, spec: &LogSpec, explainer: &Explainer) -> Vec<SuspectSummary> {
     let log = db.table(spec.table);
     let mut per_user: HashMap<Value, (usize, std::collections::HashSet<Value>)> = HashMap::new();
     for rid in explainer.unexplained_rows(db, spec) {

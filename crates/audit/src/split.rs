@@ -5,8 +5,8 @@
 //! user opens a given patient's record). Those subsets are expressed as
 //! anchor filters over the log's derived `Day` and `IsFirst` columns.
 
-use eba_synth::LogColumns;
 use eba_relational::{CmpOp, ColId, Value};
+use eba_synth::LogColumns;
 
 /// Filters selecting days `lo..=hi` (1-based).
 pub fn day_range(cols: &LogColumns, lo: u32, hi: u32) -> Vec<(ColId, CmpOp, Value)> {

@@ -3,8 +3,8 @@
 //! The paper notes that "without the optimizations ... the run time
 //! increases by many hours" on CareWeb-scale data.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use eba_bench::bench_config;
+use eba_bench::harness::{criterion_group, criterion_main, Criterion};
 use eba_core::{mine_one_way, MiningConfig};
 use eba_experiments::Scenario;
 

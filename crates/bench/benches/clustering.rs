@@ -1,8 +1,8 @@
 //! Collaborative-group substrate benchmarks: building `W = AᵀA` from the
 //! log and clustering it (flat Louvain and the full hierarchy).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use eba_bench::bench_config;
+use eba_bench::harness::{criterion_group, criterion_main, Criterion};
 use eba_cluster::{louvain, AccessMatrix, Hierarchy, HierarchyConfig};
 use eba_synth::Hospital;
 

@@ -1,11 +1,13 @@
 //! Relational-substrate microbenchmarks: the support query
-//! (`COUNT(DISTINCT Log.Lid)` over a path), instance enumeration, and the
-//! estimator that powers the skip optimization.
+//! (`COUNT(DISTINCT Log.Lid)` over a path) through both the per-query row
+//! evaluator and the interned/cached engine, batch evaluation, instance
+//! enumeration, and the estimator that powers the skip optimization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use eba_bench::bench_config;
+use eba_bench::harness::{criterion_group, criterion_main, Criterion};
+use eba_core::{mine_one_way, MiningConfig};
 use eba_experiments::Scenario;
-use eba_relational::{estimate_support, EvalOptions};
+use eba_relational::{estimate_support, ChainQuery, Engine, EvalOptions};
 
 fn engine_benches(c: &mut Criterion) {
     let scenario = Scenario::build(bench_config());
@@ -23,20 +25,68 @@ fn engine_benches(c: &mut Criterion) {
     .path
     .to_chain_query(spec);
     let repeat = scenario.handcrafted.repeat_access.path.to_chain_query(spec);
+    let engine = Engine::new(db);
+
+    // A realistic shared-step candidate batch: the mined template set.
+    let mined = mine_one_way(
+        db,
+        spec,
+        &MiningConfig {
+            support_frac: 0.01,
+            max_length: 4,
+            max_tables: 3,
+            ..MiningConfig::default()
+        },
+    );
+    let batch: Vec<ChainQuery> = mined
+        .templates
+        .iter()
+        .map(|t| t.path.to_chain_query(spec))
+        .collect();
 
     let mut group = c.benchmark_group("engine");
     group.bench_function("support_len2_appt", |b| {
         b.iter(|| short.support(db, EvalOptions::default()).expect("valid"))
     });
+    group.bench_function("support_len2_appt_engine", |b| {
+        b.iter(|| {
+            engine
+                .support(db, &short, EvalOptions::default())
+                .expect("valid")
+        })
+    });
     group.bench_function("support_len4_group", |b| {
         b.iter(|| long.support(db, EvalOptions::default()).expect("valid"))
+    });
+    group.bench_function("support_len4_group_engine", |b| {
+        b.iter(|| {
+            engine
+                .support(db, &long, EvalOptions::default())
+                .expect("valid")
+        })
     });
     group.bench_function("support_decorated_repeat", |b| {
         b.iter(|| repeat.support(db, EvalOptions::default()).expect("valid"))
     });
     group.bench_function("support_len2_no_dedup", |b| {
-        b.iter(|| short.support(db, EvalOptions { dedup: false }).expect("valid"))
+        b.iter(|| {
+            short
+                .support(db, EvalOptions { dedup: false })
+                .expect("valid")
+        })
     });
+    group.bench_function("support_many_mined_seed", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|q| q.support(db, EvalOptions::default()).expect("valid"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("support_many_mined_engine", |b| {
+        b.iter(|| engine.support_many(db, &batch, EvalOptions::default()))
+    });
+    group.bench_function("engine_cold_snapshot", |b| b.iter(|| Engine::new(db)));
     group.bench_function("estimate_len4_group", |b| {
         b.iter(|| estimate_support(db, &long))
     });

@@ -1,8 +1,8 @@
 //! Figure 13's subject as a Criterion benchmark: the three mining
 //! algorithms on the same (bench-sized) hospital, at each maximum length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eba_bench::bench_config;
+use eba_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eba_core::{mine_bridge, mine_one_way, mine_two_way, MiningConfig};
 use eba_experiments::Scenario;
 
@@ -20,9 +20,19 @@ fn mining_benches(c: &mut Criterion) {
             max_tables: 3,
             ..MiningConfig::default()
         };
+        // The pre-engine path: every candidate re-scans its tables.
+        let seed_config = MiningConfig {
+            opt_engine: false,
+            ..config.clone()
+        };
         group.bench_with_input(
             BenchmarkId::new("one_way", max_length),
             &config,
+            |b, cfg| b.iter(|| mine_one_way(db, &spec, cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_way_seed", max_length),
+            &seed_config,
             |b, cfg| b.iter(|| mine_one_way(db, &spec, cfg)),
         );
         group.bench_with_input(

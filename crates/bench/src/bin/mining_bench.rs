@@ -1,0 +1,224 @@
+//! Mining-performance tracker: old per-query path vs. the interned/cached/
+//! parallel engine, with machine-readable output.
+//!
+//! ```text
+//! mining-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench]
+//! ```
+//!
+//! Runs the shared-step mining workloads (bottom-up one-way/two-way rounds
+//! and decoration refinement) twice each — `opt_engine: false` (every
+//! candidate re-scans its tables through `ChainQuery::support`, the
+//! pre-engine behaviour) and `opt_engine: true` (shared step-map cache +
+//! parallel batches) — asserts both mine the **same template set**, and
+//! reports criterion-style medians. With `--json` the medians land in a
+//! `BENCH_mining.json`-shaped file so the perf trajectory is diffable
+//! across PRs.
+
+use eba_bench::harness::{format_duration, median};
+use eba_bench::{bench_config, scale_config};
+use eba_core::mining::DecorationCandidate;
+use eba_core::{mine_one_way, mine_two_way, MiningConfig};
+use eba_experiments::Scenario;
+use std::time::{Duration, Instant};
+
+struct Workload {
+    name: String,
+    baseline: Duration,
+    engine: Duration,
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.baseline.as_secs_f64() / self.engine.as_secs_f64().max(1e-12)
+    }
+}
+
+fn measure(samples: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let durations: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    median(&durations)
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut samples = 5usize;
+    let mut scale = "bench".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| usage("missing --json path")))
+            }
+            "--samples" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --samples value"));
+                samples = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--samples expects an integer"));
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config = if scale == "bench" {
+        bench_config()
+    } else {
+        scale_config(&scale).unwrap_or_else(|| usage(&format!("unknown scale `{scale}`")))
+    };
+
+    eprintln!("# generating hospital (scale={scale})...");
+    let scenario = Scenario::build(config);
+    let spec = scenario.train_spec();
+    let db = &scenario.hospital.db;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "# {} log rows, {} threads, {} samples per measurement",
+        scenario.hospital.log_len(),
+        threads,
+        samples
+    );
+
+    let mut workloads: Vec<Workload> = Vec::new();
+    let mining = |max_length: usize, opt_engine: bool| MiningConfig {
+        support_frac: 0.01,
+        max_length,
+        max_tables: 3,
+        opt_engine,
+        ..MiningConfig::default()
+    };
+
+    for max_length in [3usize, 4] {
+        let on = mining(max_length, true);
+        let off = mining(max_length, false);
+        let mined_on = mine_one_way(db, &spec, &on);
+        let mined_off = mine_one_way(db, &spec, &off);
+        assert_eq!(
+            mined_on.key_set(),
+            mined_off.key_set(),
+            "engine changed the one-way template set at length {max_length}"
+        );
+        workloads.push(Workload {
+            name: format!("one_way/len{max_length}"),
+            baseline: measure(samples, || {
+                mine_one_way(db, &spec, &off);
+            }),
+            engine: measure(samples, || {
+                mine_one_way(db, &spec, &on);
+            }),
+        });
+    }
+
+    {
+        let on = mining(3, true);
+        let off = mining(3, false);
+        assert_eq!(
+            mine_two_way(db, &spec, &on).key_set(),
+            mine_two_way(db, &spec, &off).key_set(),
+            "engine changed the two-way template set"
+        );
+        workloads.push(Workload {
+            name: "two_way/len3".to_string(),
+            baseline: measure(samples, || {
+                mine_two_way(db, &spec, &off);
+            }),
+            engine: measure(samples, || {
+                mine_two_way(db, &spec, &on);
+            }),
+        });
+    }
+
+    // Decoration refinement over the mined set (constant-decorated chains).
+    {
+        let on = mining(4, true);
+        let off = mining(4, false);
+        let mined = mine_one_way(db, &spec, &on);
+        if let Ok(candidate) = DecorationCandidate::group_depths(db, 3) {
+            let threshold = mined.threshold;
+            workloads.push(Workload {
+                name: "refine/groups".to_string(),
+                baseline: measure(samples, || {
+                    eba_core::mining::refine(
+                        db,
+                        &spec,
+                        &mined.templates,
+                        &candidate,
+                        threshold,
+                        &off,
+                    );
+                }),
+                engine: measure(samples, || {
+                    eba_core::mining::refine(
+                        db,
+                        &spec,
+                        &mined.templates,
+                        &candidate,
+                        threshold,
+                        &on,
+                    );
+                }),
+            });
+        }
+    }
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>9}",
+        "workload", "baseline", "engine", "speedup"
+    );
+    for w in &workloads {
+        println!(
+            "{:<16} {:>14} {:>14} {:>8.2}x",
+            w.name,
+            format_duration(w.baseline),
+            format_duration(w.engine),
+            w.speedup()
+        );
+    }
+    let geomean =
+        (workloads.iter().map(|w| w.speedup().ln()).sum::<f64>() / workloads.len() as f64).exp();
+    println!("geomean speedup: {geomean:.2}x");
+
+    if let Some(path) = json_path {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"generated_by\": \"mining-bench\",\n");
+        json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+        json.push_str(&format!("  \"samples\": {samples},\n"));
+        json.push_str(&format!("  \"threads\": {threads},\n"));
+        json.push_str("  \"workloads\": [\n");
+        for (i, w) in workloads.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"baseline_median_ms\": {:.3}, \"engine_median_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+                w.name,
+                w.baseline.as_secs_f64() * 1e3,
+                w.engine.as_secs_f64() * 1e3,
+                w.speedup(),
+                if i + 1 < workloads.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!("  \"geomean_speedup\": {geomean:.2}\n"));
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("# wrote {path}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: mining-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

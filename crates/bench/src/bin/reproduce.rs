@@ -24,10 +24,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().unwrap_or_else(|| usage("missing --scale value")),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
-                seed = Some(v.parse().unwrap_or_else(|_| usage("--seed expects an integer")));
+                seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage("--seed expects an integer")),
+                );
             }
             "--csv" => csv_dir = Some(args.next().unwrap_or_else(|| usage("missing --csv dir"))),
             "--help" | "-h" => usage(""),
@@ -96,7 +103,9 @@ fn main() {
         let quarter = scenario.hospital.config.n_patients / 4;
         let half = scenario.hospital.config.n_patients / 2;
         let full = scenario.hospital.config.n_patients;
-        results.push(eba_experiments::ext_scaling::ext_scaling(&[quarter, half, full]));
+        results.push(eba_experiments::ext_scaling::ext_scaling(&[
+            quarter, half, full,
+        ]));
     }
 
     let mut stdout = std::io::stdout().lock();
@@ -113,11 +122,10 @@ fn main() {
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
         for r in &results {
-            let name = r
-                .id
-                .to_lowercase()
-                .replace(' ', "_")
-                .replace(['(', ')'], "");
+            let name =
+                r.id.to_lowercase()
+                    .replace(' ', "_")
+                    .replace(['(', ')'], "");
             let path = format!("{dir}/{name}.csv");
             std::fs::write(&path, r.to_csv()).expect("write csv");
             eprintln!("# wrote {path}");

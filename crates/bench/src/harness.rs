@@ -1,0 +1,238 @@
+//! A tiny criterion-compatible benchmark harness.
+//!
+//! The build environment has no network access to fetch `criterion`, so the
+//! bench targets (declared `harness = false`) use this drop-in subset
+//! instead: [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark takes `sample_size` timed
+//! samples (after one warm-up call) and reports the **median**, which is
+//! also what the `mining-bench` binary records into `BENCH_mining.json`.
+
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median sample duration.
+    pub median: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level driver (subset of criterion's).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    summaries: Vec<Summary>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// All measurements taken so far.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+}
+
+/// A benchmark identifier with an input parameter, e.g. `one_way/4`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// A named group sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            durations: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.record(&id, b);
+        self
+    }
+
+    /// Benchmarks `f` with an input reference (criterion-style).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            durations: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.record(&id, b);
+        self
+    }
+
+    /// Ends the group (report lines are printed as benchmarks run).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, id: &BenchmarkId, b: Bencher) {
+        let summary = Summary {
+            id: format!("{}/{}", self.name, id.0),
+            median: median(&b.durations),
+            samples: b.durations.len(),
+        };
+        println!(
+            "{:<44} median {:>12} ({} samples)",
+            summary.id,
+            format_duration(summary.median),
+            summary.samples
+        );
+        self.parent.summaries.push(summary);
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    durations: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once for warm-up, then `sample_size` timed times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        self.durations.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Median of a set of samples (zero when empty).
+pub fn median(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
+}
+
+/// `1.234 ms`-style rendering.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark suite function (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more suites.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let d = |ms| Duration::from_millis(ms);
+        assert_eq!(median(&[d(3), d(1), d(2)]), d(2));
+        assert_eq!(
+            median(&[d(1), d(2), d(3), d(10)]),
+            d(2) + Duration::from_micros(500)
+        );
+        assert_eq!(median(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn groups_collect_summaries() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("fast", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, n| {
+                b.iter(|| n * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.summaries().len(), 2);
+        assert_eq!(c.summaries()[0].id, "g/fast");
+        assert_eq!(c.summaries()[1].id, "g/param/7");
+        assert_eq!(c.summaries()[0].samples, 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -14,6 +14,8 @@
 //! * `cargo bench -p eba-bench --bench clustering` measures `W = AᵀA`
 //!   construction and Louvain clustering.
 
+pub mod harness;
+
 use eba_synth::SynthConfig;
 
 /// Resolves a `--scale` argument.

@@ -30,7 +30,11 @@ pub fn modularity(g: &WeightedGraph, partition: &[u32]) -> f64 {
         return 0.0;
     }
     let two_m = 2.0 * m;
-    let n_comms = partition.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let n_comms = partition
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     // Σ_in[c]: total A_ij for i,j in c (each internal edge twice, loops twice);
     // Σ_tot[c]: total degree of c.
     let mut sigma_in = vec![0.0f64; n_comms];

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this tiny crate provides
+//! the exact API surface the workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer ranges,
+//! [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`] — backed by the
+//! public-domain xoshiro256++ generator seeded via SplitMix64. Streams are
+//! fully deterministic per seed (which is all the synthesizer requires) but
+//! are *not* bit-compatible with upstream `rand`'s `StdRng`.
+
+/// A generator seedable from a `u64` (subset of upstream's trait).
+pub trait SeedableRng: Sized {
+    /// Creates a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen_range`] can produce. Mirrors upstream's
+/// `SampleUniform`; the *blanket* [`SampleRange`] impls over it are what
+/// lets inference resolve call sites like `a_u32 + rng.gen_range(10..240)`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widens to `i128` (every supported integer fits).
+    fn to_i128(self) -> i128;
+    /// Narrows back from `i128` (always in range by construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types usable as `gen_range` argument: `a..b` and `a..=b` over the
+/// integer types the workspace samples.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_one(self, rng: &mut impl RngCore) -> T;
+}
+
+/// The minimal generation core: a stream of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods (subset of upstream's `Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Uniform value in `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p = {p}");
+        // 53 uniform mantissa bits, like upstream's `f64` sampling.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_one(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let (start, end) = (self.start.to_i128(), self.end.to_i128());
+        let span = (end - start) as u128;
+        T::from_i128(start + uniform_below(rng, span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_one(self, rng: &mut impl RngCore) -> T {
+        let (start, end) = (self.start().to_i128(), self.end().to_i128());
+        assert!(start <= end, "cannot sample empty range");
+        let span = (end - start) as u128 + 1;
+        T::from_i128(start + uniform_below(rng, span) as i128)
+    }
+}
+
+/// Uniform draw from `0..span` by rejection sampling (no modulo bias).
+fn uniform_below(rng: &mut impl RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Full-width 64-bit range (e.g. `u64::MIN..=u64::MAX`): every
+        // 64-bit draw is already uniform, and `span as u64` would be 0.
+        return rng.next_u64() as u128;
+    }
+    if span == 1 {
+        return 0;
+    }
+    // Zone of the largest multiple of `span` that fits in a u64 (span is
+    // always well below 2^64 for the integer types above).
+    let span64 = span as u64;
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for upstream's `StdRng`: xoshiro256++ seeded
+    /// through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Subset of upstream's `SliceRandom`: in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly.
+        fn shuffle(&mut self, rng: &mut impl RngCore);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut impl RngCore) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let equal = (0..100).all(|_| a.gen_range(0..1_000_000i64) == c.gen_range(0..1_000_000i64));
+        assert!(!equal, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5..8usize);
+            assert!((5..8).contains(&v));
+            let w = rng.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&w));
+        }
+        // Both endpoints of an inclusive range are reachable.
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[(rng.gen_range(-3..=3i64) + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements should not shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}

@@ -99,9 +99,7 @@ fn encode(
 ) -> String {
     let mut conds: Vec<(Endpoint, Endpoint)> = conditions
         .iter()
-        .map(|&((t1, c1, a1), (t2, c2, a2))| {
-            ordered_pair((t1, c1, remap(a1)), (t2, c2, remap(a2)))
-        })
+        .map(|&((t1, c1, a1), (t2, c2, a2))| ordered_pair((t1, c1, remap(a1)), (t2, c2, remap(a2))))
         .collect();
     conds.sort_unstable();
 
@@ -210,7 +208,10 @@ mod tests {
             edge(&db, "Log", "User", "Appointments", "Doctor"),
         )
         .unwrap()
-        .closed_by(edge(&db, "Appointments", "Patient", "Log", "Patient"), &spec)
+        .closed_by(
+            edge(&db, "Appointments", "Patient", "Log", "Patient"),
+            &spec,
+        )
         .unwrap();
         assert_eq!(canonical_key(&fwd, &spec), canonical_key(&bwd, &spec));
     }
@@ -249,7 +250,10 @@ mod tests {
         .unwrap()
         .extended(edge(&db, "Doctor_Info", "Doctor", "Appointments", "Doctor"))
         .unwrap()
-        .closed_by(edge(&db, "Appointments", "Patient", "Log", "Patient"), &spec)
+        .closed_by(
+            edge(&db, "Appointments", "Patient", "Log", "Patient"),
+            &spec,
+        )
         .unwrap();
 
         assert_eq!(canonical_key(&fwd, &spec), canonical_key(&bwd, &spec));
@@ -276,12 +280,9 @@ mod tests {
     #[test]
     fn different_templates_have_different_keys() {
         let (db, spec) = db();
-        let a = crate::path::Path::handcrafted(
-            &db,
-            &spec,
-            &[("Appointments", "Patient", "Doctor")],
-        )
-        .unwrap();
+        let a =
+            crate::path::Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")])
+                .unwrap();
         let b = crate::path::Path::handcrafted(
             &db,
             &spec,
@@ -297,12 +298,9 @@ mod tests {
     #[test]
     fn decorations_change_the_key() {
         let (db, spec) = db();
-        let plain = crate::path::Path::handcrafted(
-            &db,
-            &spec,
-            &[("Appointments", "Patient", "Doctor")],
-        )
-        .unwrap();
+        let plain =
+            crate::path::Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")])
+                .unwrap();
         let decorated = plain
             .decorated(
                 1,
@@ -313,18 +311,18 @@ mod tests {
                 },
             )
             .unwrap();
-        assert_ne!(canonical_key(&plain, &spec), canonical_key(&decorated, &spec));
+        assert_ne!(
+            canonical_key(&plain, &spec),
+            canonical_key(&decorated, &spec)
+        );
     }
 
     #[test]
     fn anchor_filters_change_the_key() {
         let (db, spec) = db();
-        let p = crate::path::Path::handcrafted(
-            &db,
-            &spec,
-            &[("Appointments", "Patient", "Doctor")],
-        )
-        .unwrap();
+        let p =
+            crate::path::Path::handcrafted(&db, &spec, &[("Appointments", "Patient", "Doctor")])
+                .unwrap();
         let filtered = spec.with_filters(vec![(1, CmpOp::Ge, Value::Date(10))]);
         assert_ne!(canonical_key(&p, &spec), canonical_key(&p, &filtered));
     }

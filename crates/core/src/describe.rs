@@ -163,8 +163,11 @@ mod tests {
         let log = db.table_id("Log").unwrap();
         db.insert(appt, vec![alice, Value::Date(24 * 60), dave])
             .unwrap();
-        db.insert(log, vec![Value::Int(1), Value::Date(24 * 60 + 90), dave, alice])
-            .unwrap();
+        db.insert(
+            log,
+            vec![Value::Int(1), Value::Date(24 * 60 + 90), dave, alice],
+        )
+        .unwrap();
         let spec = LogSpec::conventional(&db).unwrap();
         (db, spec)
     }

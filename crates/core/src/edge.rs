@@ -155,7 +155,8 @@ mod tests {
             &[("Group_id", DataType::Int), ("User", DataType::Int)],
         )
         .unwrap();
-        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient")
+            .unwrap();
         db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
         db.add_fk("Groups", "User", "Log", "User").unwrap();
         db.allow_self_join("Groups", "Group_id").unwrap();

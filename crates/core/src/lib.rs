@@ -48,8 +48,7 @@ pub mod template;
 pub use edge::{Edge, EdgeKind, EdgeSet};
 pub use log_spec::LogSpec;
 pub use mining::{
-    mine_bridge, mine_one_way, mine_two_way, MinedTemplate, MiningConfig, MiningResult,
-    MiningStats,
+    mine_bridge, mine_one_way, mine_two_way, MinedTemplate, MiningConfig, MiningResult, MiningStats,
 };
 pub use path::{Direction, Path, PathError};
 pub use template::ExplanationTemplate;

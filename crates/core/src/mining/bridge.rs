@@ -246,7 +246,8 @@ mod tests {
             &[("Doctor", DataType::Int), ("Department", DataType::Str)],
         )
         .unwrap();
-        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient")
+            .unwrap();
         db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
         db.add_fk("Appointments", "Doctor", "Doctor_Info", "Doctor")
             .unwrap();

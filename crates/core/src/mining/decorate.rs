@@ -21,7 +21,9 @@ use crate::canonical::canonical_key;
 use crate::log_spec::LogSpec;
 use crate::mining::{MinedTemplate, MiningConfig};
 use crate::path::Path;
-use eba_relational::{CmpOp, ColId, Database, EvalOptions, Rhs, StepFilter, TableId, Value};
+use eba_relational::{
+    ChainQuery, CmpOp, ColId, Database, Engine, EvalOptions, Rhs, StepFilter, TableId, Value,
+};
 
 /// A column that may be pinned to a constant on every tuple variable of its
 /// table (e.g. `Groups.Depth` pinned to one hierarchy level).
@@ -42,18 +44,19 @@ impl DecorationCandidate {
     /// the table does not store).
     pub fn group_depths(db: &Database, max_depth: usize) -> eba_relational::Result<Self> {
         let table = db.table_id("Groups")?;
-        let col = db
-            .table(table)
-            .schema()
-            .col("Depth")
-            .ok_or_else(|| eba_relational::Error::UnknownColumn {
+        let col = db.table(table).schema().col("Depth").ok_or_else(|| {
+            eba_relational::Error::UnknownColumn {
                 table: "Groups".into(),
                 column: "Depth".into(),
-            })?;
+            }
+        })?;
         Ok(DecorationCandidate {
             table,
             col,
-            values: (1..=max_depth).rev().map(|d| Value::Int(d as i64)).collect(),
+            values: (1..=max_depth)
+                .rev()
+                .map(|d| Value::Int(d as i64))
+                .collect(),
         })
     }
 }
@@ -75,6 +78,11 @@ pub struct DecoratedTemplate {
 /// the candidate's table gets the most restrictive decoration that keeps
 /// support at or above `threshold`. Templates not touching the table (or
 /// where even the loosest value fails) are omitted from the output.
+///
+/// Evaluation proceeds value-round by value-round (most restrictive value
+/// first, across all still-unresolved templates), so each round is one
+/// batch the shared [`Engine`] evaluates in parallel — the same queries,
+/// in the same monotone order, as the one-at-a-time scan.
 pub fn refine(
     db: &Database,
     spec: &LogSpec,
@@ -83,41 +91,95 @@ pub fn refine(
     threshold: usize,
     config: &MiningConfig,
 ) -> Vec<DecoratedTemplate> {
+    let engine = config.opt_engine.then(|| Engine::new(db));
+    refine_with(
+        db,
+        spec,
+        templates,
+        candidate,
+        threshold,
+        config,
+        engine.as_ref(),
+    )
+}
+
+/// [`refine`] against a caller-provided engine: a caller that already
+/// holds an [`Engine`] over this database (e.g. one built per auditing
+/// session and used for several refinements) reuses its warm snapshot and
+/// step-map cache instead of paying [`refine`]'s fresh full-database scan.
+/// `None` evaluates through the per-query row evaluator regardless of
+/// `config.opt_engine`.
+pub fn refine_with(
+    db: &Database,
+    spec: &LogSpec,
+    templates: &[MinedTemplate],
+    candidate: &DecorationCandidate,
+    threshold: usize,
+    config: &MiningConfig,
+    engine: Option<&Engine>,
+) -> Vec<DecoratedTemplate> {
     let opts = EvalOptions {
         dedup: config.opt_dedup,
     };
+    // Templates still looking for their decoration value, with the aliases
+    // (1-based) of the candidate table on their path.
+    let mut pending: Vec<(&MinedTemplate, Vec<usize>)> = templates
+        .iter()
+        .filter_map(|t| {
+            let aliases: Vec<usize> = t
+                .path
+                .tuple_vars()
+                .iter()
+                .enumerate()
+                .filter(|(_, table)| **table == candidate.table)
+                .map(|(i, _)| i + 1)
+                .collect();
+            (!aliases.is_empty()).then_some((t, aliases))
+        })
+        .collect();
+
     let mut out = Vec::new();
-    for t in templates {
-        // Aliases (1-based) of the candidate table on this path.
-        let aliases: Vec<usize> = t
-            .path
-            .tuple_vars()
-            .iter()
-            .enumerate()
-            .filter(|(_, table)| **table == candidate.table)
-            .map(|(i, _)| i + 1)
-            .collect();
-        if aliases.is_empty() {
-            continue;
+    for v in &candidate.values {
+        if pending.is_empty() {
+            break;
         }
-        for v in &candidate.values {
-            let mut path = t.path.clone();
-            for &alias in &aliases {
-                path = path
-                    .decorated(
-                        alias,
-                        StepFilter {
-                            col: candidate.col,
-                            op: CmpOp::Eq,
-                            rhs: Rhs::Const(*v),
-                        },
-                    )
-                    .expect("alias indexes come from the path itself");
-            }
-            let support = path
-                .to_chain_query(spec)
-                .support(db, opts)
-                .expect("decorating a valid path keeps it valid");
+        let decorated: Vec<Path> = pending
+            .iter()
+            .map(|(t, aliases)| {
+                let mut path = t.path.clone();
+                for &alias in aliases {
+                    path = path
+                        .decorated(
+                            alias,
+                            StepFilter {
+                                col: candidate.col,
+                                op: CmpOp::Eq,
+                                rhs: Rhs::Const(*v),
+                            },
+                        )
+                        .expect("alias indexes come from the path itself");
+                }
+                path
+            })
+            .collect();
+        let queries: Vec<ChainQuery> = decorated.iter().map(|p| p.to_chain_query(spec)).collect();
+        let supports: Vec<usize> = match engine {
+            Some(engine) => engine
+                .support_many(db, &queries, opts)
+                .into_iter()
+                .map(|r| r.expect("decorating a valid path keeps it valid"))
+                .collect(),
+            None => queries
+                .iter()
+                .map(|q| {
+                    q.support(db, opts)
+                        .expect("decorating a valid path keeps it valid")
+                })
+                .collect(),
+        };
+
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for (((t, aliases), path), support) in pending.into_iter().zip(decorated).zip(supports) {
             if support >= threshold {
                 out.push(DecoratedTemplate {
                     path,
@@ -125,9 +187,11 @@ pub fn refine(
                     pinned: *v,
                     base_key: t.key.clone(),
                 });
-                break; // most restrictive supported value found
+            } else {
+                still_pending.push((t, aliases));
             }
         }
+        pending = still_pending;
     }
     out.sort_by(|a, b| {
         (a.path.length(), canonical_key(&a.path, spec))
@@ -209,9 +273,11 @@ mod tests {
             )
             .unwrap();
         }
-        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient")
+            .unwrap();
         db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
-        db.add_fk("Appointments", "Doctor", "Groups", "User").unwrap();
+        db.add_fk("Appointments", "Doctor", "Groups", "User")
+            .unwrap();
         db.add_fk("Groups", "User", "Log", "User").unwrap();
         db.allow_self_join("Groups", "Group_id").unwrap();
         let spec = LogSpec::conventional(&db).unwrap();

@@ -33,7 +33,7 @@ mod shared;
 mod two_way;
 
 pub use bridge::mine_bridge;
-pub use decorate::{refine, DecoratedTemplate, DecorationCandidate};
+pub use decorate::{refine, refine_with, DecoratedTemplate, DecorationCandidate};
 pub use one_way::mine_one_way;
 pub use two_way::mine_two_way;
 
@@ -68,6 +68,14 @@ pub struct MiningConfig {
     /// The estimator safety factor `c` (skip only when the estimate exceeds
     /// `c · S`); the paper uses a constant "like 10".
     pub skip_multiplier: f64,
+    /// Evaluate candidates through the shared
+    /// [`eba_relational::Engine`]: a per-run interned snapshot with a
+    /// memoized step-map cache, batch-evaluating each round's candidate
+    /// frontier in parallel. Off, every candidate re-scans its tables
+    /// through [`eba_relational::ChainQuery::support`] (the pre-engine
+    /// behaviour, kept for benchmarking the engine itself). Never changes
+    /// the mined set.
+    pub opt_engine: bool,
     /// Allow mined paths to traverse *fresh aliases of the log table*
     /// mid-path (e.g. "…the doctor accessed another patient who had an
     /// appointment with the accessing user"). Off by default: the paper's
@@ -89,6 +97,7 @@ impl Default for MiningConfig {
             opt_dedup: true,
             opt_skip: true,
             skip_multiplier: 10.0,
+            opt_engine: true,
             allow_log_aliases: false,
         }
     }

@@ -26,7 +26,14 @@ pub fn mine_one_way(db: &Database, spec: &LogSpec, config: &MiningConfig) -> Min
         // Open paths of length M−1 can still close (making length-M
         // explanations) but their continuations would exceed M.
         let keep_open = len + 1 < config.max_length;
-        frontier = expand_frontier(&mut ctx, &edges, &frontier, len, keep_open, &mut explanations);
+        frontier = expand_frontier(
+            &mut ctx,
+            &edges,
+            &frontier,
+            len,
+            keep_open,
+            &mut explanations,
+        );
         if frontier.is_empty() && len + 1 < config.max_length {
             // The remaining explanations (if any) can only come from this
             // frontier; nothing left to extend.
@@ -69,7 +76,8 @@ mod tests {
             &[("Doctor", DataType::Int), ("Department", DataType::Str)],
         )
         .unwrap();
-        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient")
+            .unwrap();
         db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
         db.add_fk("Appointments", "Doctor", "Doctor_Info", "Doctor")
             .unwrap();

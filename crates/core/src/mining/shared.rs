@@ -1,13 +1,25 @@
 //! Machinery shared by the three mining algorithms: the evaluation context
-//! (support cache, estimator, counters) and frontier expansion.
+//! (engine, support cache, estimator, counters) and frontier expansion.
+//!
+//! Each mining round is evaluated in two phases: candidate *generation*
+//! walks the frontier and the edge set (pure path algebra, cheap), then the
+//! round's whole candidate batch is *evaluated* at once through
+//! [`Ctx::supports_of`] — answering from the canonical-form cache where
+//! possible and handing the rest to the shared
+//! [`eba_relational::Engine`], which amortizes step-map construction across
+//! candidates and fans evaluation out over threads. The phases preserve the
+//! sequential algorithm's results and counters exactly: candidates are
+//! thresholded in generation order, and same-round duplicates of a
+//! canonical key count as cache hits just as they would when evaluated one
+//! by one.
 
 use crate::canonical::{canonical_key, CanonicalKey};
 use crate::edge::EdgeSet;
 use crate::log_spec::LogSpec;
 use crate::mining::{MinedTemplate, MiningConfig, MiningStats};
 use crate::path::{Direction, Path};
-use eba_relational::{estimate_support_hinted, Database, EvalOptions};
-use std::collections::HashMap;
+use eba_relational::{estimate_support_hinted, ChainQuery, Database, Engine, EvalOptions};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Evaluation context for one mining run.
@@ -19,6 +31,8 @@ pub(crate) struct Ctx<'a> {
     pub anchor_lids: usize,
     /// Fraction of the log passing the anchor filters (estimator hint).
     pub anchor_frac: f64,
+    /// The shared evaluation engine (`None` when `opt_engine` is off).
+    engine: Option<Engine>,
     cache: HashMap<CanonicalKey, usize>,
     pub stats: MiningStats,
 }
@@ -35,6 +49,7 @@ impl<'a> Ctx<'a> {
             threshold,
             anchor_lids,
             anchor_frac: anchor_lids as f64 / total as f64,
+            engine: config.opt_engine.then(|| Engine::new(db)),
             cache: HashMap::new(),
             stats: MiningStats::default(),
         }
@@ -46,8 +61,10 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Support of a path, going through the canonical-form cache when
-    /// enabled. Also returns the key so callers can dedupe.
+    /// Support of one path, going through the canonical-form cache when
+    /// enabled. Also returns the key so callers can dedupe. (The bridging
+    /// algorithm evaluates glued candidates one at a time; bottom-up rounds
+    /// use [`Ctx::supports_of`] instead.)
     pub fn support_of(&mut self, path: &Path, length: usize) -> (usize, CanonicalKey) {
         let key = canonical_key(path, self.spec);
         if self.config.opt_cache {
@@ -57,14 +74,82 @@ impl<'a> Ctx<'a> {
             }
         }
         let q = path.to_chain_query(self.spec);
-        let support = q
-            .support(self.db, self.eval_options())
-            .expect("paths constructed by the miner lower to valid queries");
+        let support = match &self.engine {
+            Some(engine) => engine.support(self.db, &q, self.eval_options()),
+            None => q.support(self.db, self.eval_options()),
+        }
+        .expect("paths constructed by the miner lower to valid queries");
         self.stats.at(length).support_queries += 1;
         if self.config.opt_cache {
             self.cache.insert(key.clone(), support);
         }
         (support, key)
+    }
+
+    /// Supports of a whole round's candidates, in input order.
+    ///
+    /// With the canonical-form cache on, each distinct key is evaluated at
+    /// most once (earlier rounds' results are reused, and same-round
+    /// duplicates count as cache hits — identical to one-by-one
+    /// evaluation). The queries actually evaluated go to the engine as one
+    /// parallel batch.
+    pub fn supports_of(
+        &mut self,
+        candidates: &[(&Path, &CanonicalKey)],
+        length: usize,
+    ) -> Vec<usize> {
+        let mut out: Vec<Option<usize>> = vec![None; candidates.len()];
+        let mut to_eval: Vec<usize> = Vec::new();
+        if self.config.opt_cache {
+            let mut scheduled: HashSet<&CanonicalKey> = HashSet::new();
+            for (i, (_, key)) in candidates.iter().enumerate() {
+                if let Some(&s) = self.cache.get(*key) {
+                    self.stats.at(length).cache_hits += 1;
+                    out[i] = Some(s);
+                } else if scheduled.insert(*key) {
+                    to_eval.push(i);
+                } else {
+                    // Same-round duplicate: filled from the cache below.
+                    self.stats.at(length).cache_hits += 1;
+                }
+            }
+        } else {
+            to_eval.extend(0..candidates.len());
+        }
+
+        let queries: Vec<ChainQuery> = to_eval
+            .iter()
+            .map(|&i| candidates[i].0.to_chain_query(self.spec))
+            .collect();
+        let supports: Vec<usize> = match &self.engine {
+            Some(engine) => engine
+                .support_many(self.db, &queries, self.eval_options())
+                .into_iter()
+                .map(|r| r.expect("paths constructed by the miner lower to valid queries"))
+                .collect(),
+            None => queries
+                .iter()
+                .map(|q| {
+                    q.support(self.db, self.eval_options())
+                        .expect("paths constructed by the miner lower to valid queries")
+                })
+                .collect(),
+        };
+        self.stats.at(length).support_queries += to_eval.len();
+        for (&i, &support) in to_eval.iter().zip(&supports) {
+            out[i] = Some(support);
+            if self.config.opt_cache {
+                self.cache.insert(candidates[i].1.clone(), support);
+            }
+        }
+        for (i, (_, key)) in candidates.iter().enumerate() {
+            if out[i].is_none() {
+                out[i] = Some(self.cache[*key]);
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("every candidate resolved"))
+            .collect()
     }
 
     /// §3.2.1 optimization 3: should this *open* path skip support
@@ -98,6 +183,7 @@ pub(crate) fn seed_frontier(ctx: &mut Ctx<'_>, edges: &EdgeSet, dir: Direction) 
         Direction::Backward => ctx.spec.end_attr(),
     };
     let mut seen: HashMap<CanonicalKey, Path> = HashMap::new();
+    let mut batch: Vec<Candidate> = Vec::new();
     for edge in edges.from_attr(anchor) {
         if edge.to.table == ctx.spec.table && !ctx.config.allow_log_aliases {
             continue; // a fresh log alias as the first hop
@@ -114,21 +200,64 @@ pub(crate) fn seed_frontier(ctx: &mut Ctx<'_>, edges: &EdgeSet, dir: Direction) 
             continue;
         }
         ctx.stats.at(1).candidates += 1;
-        if ctx.should_skip(&path) {
+        let key = canonical_key(&path, ctx.spec);
+        let skipped = ctx.should_skip(&path);
+        if skipped {
             ctx.stats.at(1).skipped += 1;
-            let key = canonical_key(&path, ctx.spec);
-            seen.entry(key).or_insert(path);
-            continue;
         }
-        let (support, key) = ctx.support_of(&path, 1);
-        if support >= ctx.threshold {
-            seen.entry(key).or_insert(path);
+        batch.push(Candidate {
+            path,
+            key,
+            closing: false,
+            skipped,
+        });
+    }
+    let supports = evaluate_batch(ctx, &batch, 1);
+    // Admit in generation order (first path with a key wins, exactly as the
+    // one-at-a-time loop admitted them).
+    for (candidate, support) in batch.into_iter().zip(supports) {
+        if candidate.skipped || support >= ctx.threshold {
+            seen.entry(candidate.key).or_insert(candidate.path);
         }
     }
     let mut frontier: Vec<(CanonicalKey, Path)> = seen.into_iter().collect();
     frontier.sort_by(|a, b| a.0.cmp(&b.0));
     ctx.stats.at(1).elapsed += started.elapsed();
     frontier.into_iter().map(|(_, p)| p).collect()
+}
+
+/// One generated (not yet evaluated) candidate of a round.
+struct Candidate {
+    path: Path,
+    key: CanonicalKey,
+    /// Closing candidates go to `explanations`; open ones to the next
+    /// frontier.
+    closing: bool,
+    /// Open candidates the estimator deemed non-selective: passed to the
+    /// next round without evaluation (§3.2.1 optimization 3).
+    skipped: bool,
+}
+
+/// Supports for a round's candidates, aligned with `batch` (skipped
+/// candidates are not evaluated and get a placeholder 0 — admission checks
+/// `skipped` first).
+fn evaluate_batch(ctx: &mut Ctx<'_>, batch: &[Candidate], length: usize) -> Vec<usize> {
+    let eval_idx: Vec<usize> = batch
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.skipped)
+        .map(|(i, _)| i)
+        .collect();
+    let keyed: Vec<(&Path, &CanonicalKey)> = eval_idx
+        .iter()
+        .map(|&i| (&batch[i].path, &batch[i].key))
+        .collect();
+    let supports = ctx.supports_of(&keyed, length);
+    let mut out = vec![0usize; batch.len()];
+    for (&i, s) in eval_idx.iter().zip(supports) {
+        out[i] = s;
+    }
+    out
 }
 
 /// Expands a frontier of open paths of length `len` by one edge. Closing
@@ -146,6 +275,7 @@ pub(crate) fn expand_frontier(
     let started = Instant::now();
     let next_len = len + 1;
     let mut next: HashMap<CanonicalKey, Path> = HashMap::new();
+    let mut batch: Vec<Candidate> = Vec::new();
     for path in frontier {
         let tip_table = path.tip().table;
         for edge in edges.from_table(tip_table) {
@@ -161,14 +291,13 @@ pub(crate) fn expand_frontier(
                     ) {
                         ctx.stats.at(next_len).candidates += 1;
                         // Explanations are never skipped (§3.2.1).
-                        let (support, key) = ctx.support_of(&closed, next_len);
-                        if support >= ctx.threshold {
-                            explanations.entry(key.clone()).or_insert(MinedTemplate {
-                                path: closed,
-                                support,
-                                key,
-                            });
-                        }
+                        let key = canonical_key(&closed, ctx.spec);
+                        batch.push(Candidate {
+                            path: closed,
+                            key,
+                            closing: true,
+                            skipped: false,
+                        });
                     }
                 }
             }
@@ -186,18 +315,38 @@ pub(crate) fn expand_frontier(
                         continue;
                     }
                     ctx.stats.at(next_len).candidates += 1;
-                    if ctx.should_skip(&open) {
+                    let key = canonical_key(&open, ctx.spec);
+                    let skipped = ctx.should_skip(&open);
+                    if skipped {
                         ctx.stats.at(next_len).skipped += 1;
-                        let key = canonical_key(&open, ctx.spec);
-                        next.entry(key).or_insert(open);
-                        continue;
                     }
-                    let (support, key) = ctx.support_of(&open, next_len);
-                    if support >= ctx.threshold {
-                        next.entry(key).or_insert(open);
-                    }
+                    batch.push(Candidate {
+                        path: open,
+                        key,
+                        closing: false,
+                        skipped,
+                    });
                 }
             }
+        }
+    }
+
+    // Evaluate the whole round at once, then admit in generation order
+    // (first path with a key wins, exactly as the one-at-a-time loop).
+    let supports = evaluate_batch(ctx, &batch, next_len);
+    for (candidate, support) in batch.into_iter().zip(supports) {
+        if candidate.closing {
+            if support >= ctx.threshold {
+                explanations
+                    .entry(candidate.key.clone())
+                    .or_insert(MinedTemplate {
+                        path: candidate.path,
+                        support,
+                        key: candidate.key,
+                    });
+            }
+        } else if candidate.skipped || support >= ctx.threshold {
+            next.entry(candidate.key).or_insert(candidate.path);
         }
     }
     let mut out: Vec<(CanonicalKey, Path)> = next.into_iter().collect();

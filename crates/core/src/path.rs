@@ -360,7 +360,9 @@ impl Path {
         hops: &[(&str, &str, &str)],
     ) -> eba_relational::Result<Path> {
         let path = Self::handcrafted_open(db, spec, hops)?;
-        let last = hops.last().expect("handcrafted paths need at least one hop");
+        let last = hops
+            .last()
+            .expect("handcrafted paths need at least one hop");
         let from = db.attr(last.0, last.2)?;
         let closing = Edge {
             from,
@@ -436,7 +438,8 @@ mod tests {
             &[("Doctor", DataType::Int), ("Department", DataType::Str)],
         )
         .unwrap();
-        db.add_fk("Log", "Patient", "Appointments", "Patient").unwrap();
+        db.add_fk("Log", "Patient", "Appointments", "Patient")
+            .unwrap();
         db.add_fk("Appointments", "Doctor", "Log", "User").unwrap();
         db.add_fk("Appointments", "Doctor", "Doctor_Info", "Doctor")
             .unwrap();
@@ -550,7 +553,10 @@ mod tests {
             edge(&db, "Log", "User", "Appointments", "Doctor"),
         )
         .unwrap()
-        .closed_by(edge(&db, "Appointments", "Patient", "Log", "Patient"), &spec)
+        .closed_by(
+            edge(&db, "Appointments", "Patient", "Log", "Patient"),
+            &spec,
+        )
         .unwrap();
         assert!(p.is_closed());
         assert_eq!(p.direction(), Direction::Forward);
@@ -570,7 +576,13 @@ mod tests {
             edge(&db, "Log", "Patient", "Appointments", "Patient"),
         )
         .unwrap();
-        assert!(p.connects(&edge(&db, "Appointments", "Doctor", "Doctor_Info", "Doctor")));
+        assert!(p.connects(&edge(
+            &db,
+            "Appointments",
+            "Doctor",
+            "Doctor_Info",
+            "Doctor"
+        )));
         assert!(!p.connects(&edge(&db, "Doctor_Info", "Doctor", "Log", "User")));
         let err = p
             .extended(edge(&db, "Doctor_Info", "Doctor", "Log", "User"))
@@ -605,8 +617,12 @@ mod tests {
             )
             .unwrap();
         assert_eq!(decorated.decorations().len(), 1);
-        assert!(decorated.decorated(0, decorated.decorations()[0].filter).is_err());
-        assert!(decorated.decorated(5, decorated.decorations()[0].filter).is_err());
+        assert!(decorated
+            .decorated(0, decorated.decorations()[0].filter)
+            .is_err());
+        assert!(decorated
+            .decorated(5, decorated.decorations()[0].filter)
+            .is_err());
         let q = decorated.to_chain_query(&spec);
         assert!(q.is_anchor_dependent());
         // Appointment on day 1 ≤ access on day 1: L1 still explained.

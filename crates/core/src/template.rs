@@ -27,7 +27,10 @@ impl ExplanationTemplate {
     /// Panics if the path is not closed (open paths are event predicates,
     /// not explanations).
     pub fn new(path: Path) -> Self {
-        assert!(path.is_closed(), "explanation templates must be closed paths");
+        assert!(
+            path.is_closed(),
+            "explanation templates must be closed paths"
+        );
         ExplanationTemplate {
             path,
             name: None,

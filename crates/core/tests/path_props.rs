@@ -34,7 +34,10 @@ fn build_db(shape: &ChainShape) -> (Database, LogSpec, Vec<TableId>) {
     let mut hops = Vec::new();
     for i in 0..shape.hops.len() {
         let t = db
-            .create_table(&format!("H{i}"), &[("A", DataType::Int), ("B", DataType::Int)])
+            .create_table(
+                &format!("H{i}"),
+                &[("A", DataType::Int), ("B", DataType::Int)],
+            )
             .unwrap();
         hops.push(t);
     }

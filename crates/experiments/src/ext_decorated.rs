@@ -16,8 +16,8 @@ use crate::figure::FigureResult;
 use crate::scenario::Scenario;
 use eba_audit::fake::{user_pool, FakeLog};
 use eba_audit::{metrics, split};
-use eba_core::mining::decorate::{refine, DecorationCandidate};
 use eba_core::mine_one_way;
+use eba_core::mining::decorate::{refine, DecorationCandidate};
 use eba_relational::{EvalOptions, RowId, Value};
 use std::collections::HashSet;
 
@@ -92,8 +92,7 @@ pub fn ext_decorated(s: &Scenario) -> FigureResult {
         "Depth-refined group templates vs plain mined templates (day-7 first accesses)",
         &["Precision", "Recall"],
     );
-    let (p_plain, r_plain) =
-        eval_paths(group_templates.iter().map(|t| &t.path).collect());
+    let (p_plain, r_plain) = eval_paths(group_templates.iter().map(|t| &t.path).collect());
     fig.push_row("Group templates, any depth", &[p_plain, r_plain]);
     let (p_ref, r_ref) = eval_paths(refined.iter().map(|d| &d.path).collect());
     fig.push_row("Group templates, depth-refined", &[p_ref, r_ref]);
@@ -130,7 +129,10 @@ pub fn ext_decorated(s: &Scenario) -> FigureResult {
             depths
         }
     ));
-    fig.note("implements the paper's §5.3.4 future work: restricting group depth to control precision".to_string());
+    fig.note(
+        "implements the paper's §5.3.4 future work: restricting group depth to control precision"
+            .to_string(),
+    );
     fig
 }
 

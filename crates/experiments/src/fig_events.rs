@@ -103,9 +103,7 @@ pub fn fig06(s: &Scenario) -> FigureResult {
 /// Figure 8: the same measurement restricted to **first** accesses.
 /// Paper: ~75% of first accesses reference a patient with some event.
 pub fn fig08(s: &Scenario) -> FigureResult {
-    let spec = s
-        .spec
-        .with_filters(split::first_only(&s.hospital.log_cols));
+    let spec = s.spec.with_filters(split::first_only(&s.hospital.log_cols));
     let mut fig = event_figure(
         s,
         &spec,

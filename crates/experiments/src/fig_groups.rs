@@ -147,7 +147,9 @@ pub fn fig12(s: &Scenario) -> FigureResult {
 
     // The paper's headline: combining the hand-crafted set with depth-1
     // groups explains over 94% of all day-7 accesses.
-    let day7_all = s.spec.with_filters(split::day_range(&s.hospital.log_cols, 7, 7));
+    let day7_all = s
+        .spec
+        .with_filters(split::day_range(&s.hospital.log_cols, 7, 7));
     let basic = s.handcrafted.all_with_repeat();
     let base_recall = {
         let c = metrics::evaluate(&db, &day7_all, &basic, Some(&fake), None);

@@ -76,7 +76,10 @@ pub fn fig07(s: &Scenario) -> FigureResult {
             ("All w/Dr.", 0.90),
         ],
     );
-    fig.note("events reference only the primary doctor, so recall is below Figure 6's event frequency".to_string());
+    fig.note(
+        "events reference only the primary doctor, so recall is below Figure 6's event frequency"
+            .to_string(),
+    );
     fig
 }
 
@@ -84,9 +87,7 @@ pub fn fig07(s: &Scenario) -> FigureResult {
 /// templates explain only ~11% of first accesses even though ~75% of those
 /// patients have an event — the gap the collaborative groups close.
 pub fn fig09(s: &Scenario) -> FigureResult {
-    let spec = s
-        .spec
-        .with_filters(split::first_only(&s.hospital.log_cols));
+    let spec = s.spec.with_filters(split::first_only(&s.hospital.log_cols));
     let mut fig = handcrafted_figure(
         s,
         &spec,
@@ -100,7 +101,10 @@ pub fn fig09(s: &Scenario) -> FigureResult {
             ("All w/Dr.", 0.11),
         ],
     );
-    fig.note("the gap to Figure 8's ~75% event coverage motivates §4's missing-data inference".to_string());
+    fig.note(
+        "the gap to Figure 8's ~75% event coverage motivates §4's missing-data inference"
+            .to_string(),
+    );
     fig
 }
 

@@ -2,9 +2,9 @@
 
 use crate::figure::{FigureResult, FigureRow};
 use crate::scenario::Scenario;
+use eba_audit::split;
 use eba_core::canonical::canonical_key;
 use eba_core::{mine_bridge, mine_one_way, mine_two_way, LogSpec, MiningConfig, MiningResult};
-use eba_audit::split;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The paper's mining parameters: s = 1%, T = 3 tables, lengths to M = 4
@@ -144,10 +144,7 @@ pub fn table1(s: &Scenario) -> FigureResult {
         &col_refs,
     );
 
-    let lengths: BTreeSet<usize> = mined
-        .iter()
-        .flat_map(|(_, m)| m.keys().copied())
-        .collect();
+    let lengths: BTreeSet<usize> = mined.iter().flat_map(|(_, m)| m.keys().copied()).collect();
     for length in lengths {
         let mut values: Vec<Option<f64>> = Vec::with_capacity(mined.len() + 1);
         let mut common: Option<BTreeSet<String>> = None;
@@ -180,7 +177,11 @@ mod tests {
     fn fig13_reports_identical_sets_and_monotone_times() {
         let s = scenario();
         let fig = fig13(&s);
-        assert!(fig.notes[0].contains("identical template sets: true"), "{}", fig.notes[0]);
+        assert!(
+            fig.notes[0].contains("identical template sets: true"),
+            "{}",
+            fig.notes[0]
+        );
         // Cumulative times are non-decreasing down the rows, per column.
         for col in 0..fig.columns.len() {
             let mut prev = 0.0;

@@ -17,7 +17,11 @@ use std::collections::HashSet;
 /// length 4 (groups) to ~73% (89%) at lower precision; "All" is close to
 /// length 4 because longer templates subsume shorter ones.
 pub fn fig14(s: &Scenario) -> FigureResult {
-    let mined = mine_one_way(&s.hospital.db, &s.train_spec(), &mining_config_for(&s.hospital));
+    let mined = mine_one_way(
+        &s.hospital.db,
+        &s.train_spec(),
+        &mining_config_for(&s.hospital),
+    );
 
     // Build the combined (real + fake) test database.
     let mut db = s.hospital.db.clone();
@@ -41,8 +45,8 @@ pub fn fig14(s: &Scenario) -> FigureResult {
     let anchors = metrics::anchor_rows(&db, &spec);
     let with_events = {
         // Event coverage on the combined database.
-        let preds = eba_audit::handcrafted::event_predicates(&db, &spec)
-            .expect("schema is CareWeb-shaped");
+        let preds =
+            eba_audit::handcrafted::event_predicates(&db, &spec).expect("schema is CareWeb-shaped");
         let mut all = HashSet::new();
         for (_, p) in &preds {
             all.extend(

@@ -47,11 +47,7 @@ pub struct FigureResult {
 
 impl FigureResult {
     /// Creates an empty result to be filled.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> FigureResult {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> FigureResult {
         FigureResult {
             id: id.into(),
             title: title.into(),

@@ -31,11 +31,10 @@ pub fn data_overview(s: &Scenario) -> FigureResult {
     fig.push_row("Labs", &[db.table(h.t_labs).len() as f64]);
     fig.push_row("Medications", &[db.table(h.t_medications).len() as f64]);
     fig.push_row("Radiology", &[db.table(h.t_radiology).len() as f64]);
-    fig.push_row(
-        "Department codes",
-        &[h.world.departments().len() as f64],
-    );
-    fig.note(format!("user-patient density = {density:.2e} (paper: 3.0e-4)"));
+    fig.push_row("Department codes", &[h.world.departments().len() as f64]);
+    fig.note(format!(
+        "user-patient density = {density:.2e} (paper: 3.0e-4)"
+    ));
     fig.note("paper scale: 4.5M accesses, 124K patients, 12K users, 51K appts, 3K visits, 76K docs, 45K labs, 242K meds, 17K radiology, 291 dept codes".to_string());
     fig
 }

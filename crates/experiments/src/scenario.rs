@@ -28,13 +28,8 @@ impl Scenario {
         let mut hospital = Hospital::generate(config);
         let spec = LogSpec::conventional(&hospital.db).expect("synth produces a Log table");
         let train = spec.with_filters(split::day_range(&hospital.log_cols, 1, 6));
-        let groups = collaborative_groups(
-            &hospital.db,
-            &train,
-            HierarchyConfig::default(),
-            500,
-        )
-        .expect("Users table exists");
+        let groups = collaborative_groups(&hospital.db, &train, HierarchyConfig::default(), 500)
+            .expect("Users table exists");
         install_groups(&mut hospital.db, &groups).expect("Groups table installs");
         let handcrafted =
             HandcraftedTemplates::build(&hospital.db, &spec).expect("CareWeb-shaped schema");

@@ -344,7 +344,12 @@ impl ChainQuery {
                 }
                 None => Value::Null,
             };
-            groups.entry(start).or_default().entry(close).or_default().push(rid);
+            groups
+                .entry(start)
+                .or_default()
+                .entry(close)
+                .or_default()
+                .push(rid);
         }
 
         let maps = self.build_step_maps(db, opts);
@@ -495,16 +500,27 @@ impl ChainQuery {
     /// view used by investigation tooling — a template that dies at step 1
     /// (no event at all) tells a different story than one whose frontier
     /// reaches the final step but misses the user.
+    ///
+    /// Validates the query on every call; investigation tooling invoking
+    /// this once per log row should validate once via
+    /// [`ChainQuery::into_prepared`] and call [`PreparedChain::trace`]
+    /// instead.
     pub fn trace(&self, db: &Database, log_row: RowId) -> Result<StepTrace> {
         self.validate(db)?;
+        Ok(self.trace_validated(db, log_row))
+    }
+
+    /// [`ChainQuery::trace`] without the validation pass (the query must
+    /// already have been validated against `db`).
+    fn trace_validated(&self, db: &Database, log_row: RowId) -> StepTrace {
         let log = db.table(self.log);
         let anchor = log.row(log_row);
         if !self.anchor_passes(anchor) || anchor[self.start_col].is_null() {
-            return Ok(StepTrace {
+            return StepTrace {
                 survivors: vec![0; self.steps.len()],
                 closed: false,
                 anchor_matches: false,
-            });
+            };
         }
         let mut frontier: HashSet<Value> = HashSet::new();
         frontier.insert(anchor[self.start_col]);
@@ -529,22 +545,22 @@ impl ChainQuery {
             survivors.push(frontier.len());
             if frontier.is_empty() {
                 survivors.resize(self.steps.len(), 0);
-                return Ok(StepTrace {
+                return StepTrace {
                     survivors,
                     closed: false,
                     anchor_matches: true,
-                });
+                };
             }
         }
         let closed = match self.close_col {
             None => true,
             Some(c) => !anchor[c].is_null() && frontier.contains(&anchor[c]),
         };
-        Ok(StepTrace {
+        StepTrace {
             survivors,
             closed,
             anchor_matches: true,
-        })
+        }
     }
 
     // ------------------------------------------------------------ instances
@@ -553,22 +569,31 @@ impl ChainQuery {
     /// row: the concrete step rows that justify the explanation. These are
     /// the paper's *explanation instances*, ready to be rendered as natural
     /// language.
+    ///
+    /// Validates the query on every call; per-row loops should validate
+    /// once via [`ChainQuery::into_prepared`] and call
+    /// [`PreparedChain::instances`] instead.
     pub fn instances(&self, db: &Database, log_row: RowId, limit: usize) -> Result<Vec<Instance>> {
         self.validate(db)?;
+        Ok(self.instances_validated(db, log_row, limit))
+    }
+
+    /// [`ChainQuery::instances`] without the validation pass.
+    fn instances_validated(&self, db: &Database, log_row: RowId, limit: usize) -> Vec<Instance> {
         let log = db.table(self.log);
         let anchor = log.row(log_row);
         if !self.anchor_passes(anchor) {
-            return Ok(Vec::new());
+            return Vec::new();
         }
         let start = anchor[self.start_col];
         if start.is_null() {
-            return Ok(Vec::new());
+            return Vec::new();
         }
         let close = match self.close_col {
             Some(c) => {
                 let v = anchor[c];
                 if v.is_null() {
-                    return Ok(Vec::new());
+                    return Vec::new();
                 }
                 Some(v)
             }
@@ -577,7 +602,7 @@ impl ChainQuery {
         let mut out = Vec::new();
         let mut stack = Vec::with_capacity(self.steps.len());
         self.search_instances(db, anchor, start, close, 0, limit, &mut stack, &mut out);
-        Ok(out)
+        out
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -627,6 +652,45 @@ impl ChainQuery {
             stack.pop();
         }
     }
+
+    /// Validates the query once and wraps it for per-row hot loops:
+    /// [`PreparedChain::trace`] and [`PreparedChain::instances`] skip the
+    /// full structural re-validation [`ChainQuery::trace`] and
+    /// [`ChainQuery::instances`] pay on every call.
+    pub fn into_prepared(self, db: &Database) -> Result<PreparedChain> {
+        self.validate(db)?;
+        Ok(PreparedChain { query: self })
+    }
+}
+
+/// A [`ChainQuery`] validated once against a database. Produced by
+/// [`ChainQuery::into_prepared`]; the per-row entry points do no
+/// re-validation, so investigation tooling can call them once per log row
+/// without paying the structural checks each time.
+///
+/// The wrapped query was validated against one specific database; using a
+/// prepared chain against a database with a different schema may panic on
+/// out-of-range tables or columns (appending rows is fine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedChain {
+    query: ChainQuery,
+}
+
+impl PreparedChain {
+    /// The underlying query.
+    pub fn query(&self) -> &ChainQuery {
+        &self.query
+    }
+
+    /// [`ChainQuery::trace`] without per-call validation.
+    pub fn trace(&self, db: &Database, log_row: RowId) -> StepTrace {
+        self.query.trace_validated(db, log_row)
+    }
+
+    /// [`ChainQuery::instances`] without per-call validation.
+    pub fn instances(&self, db: &Database, log_row: RowId, limit: usize) -> Vec<Instance> {
+        self.query.instances_validated(db, log_row, limit)
+    }
 }
 
 // ------------------------------------------------------------------ estimate
@@ -674,10 +738,7 @@ pub fn estimate_support_hinted(db: &Database, q: &ChainQuery, anchor_frac: f64) 
         survive *= p_any.clamp(0.0, 1.0);
         // Distinct exits per matching enter value: assume the distinct pairs
         // spread evenly, then cap by the exit column's distinct count.
-        let pairs_per_enter = exit
-            .avg_fanout()
-            .min(enter.avg_fanout())
-            .max(1.0);
+        let pairs_per_enter = exit.avg_fanout().min(enter.avg_fanout()).max(1.0);
         frontier = (frontier * p_one.max(1.0 / domain.max(1.0)) * enter.avg_fanout().max(1.0))
             .min(exit.distinct_count as f64)
             .max(pairs_per_enter.min(exit.distinct_count as f64));
@@ -789,7 +850,10 @@ mod tests {
         // Paper Example 3.1: template (A) has support 50% (only L1).
         let (db, log, appt, _) = figure3_db();
         let q = template_a(log, appt);
-        assert_eq!(q.explained_rows(&db, EvalOptions::default()).unwrap(), vec![0]);
+        assert_eq!(
+            q.explained_rows(&db, EvalOptions::default()).unwrap(),
+            vec![0]
+        );
         assert_eq!(q.support(&db, EvalOptions::default()).unwrap(), 1);
     }
 
@@ -880,7 +944,10 @@ mod tests {
         };
         assert!(q.is_anchor_dependent());
         // Only the *second* access is a repeat.
-        assert_eq!(q.explained_rows(&db, EvalOptions::default()).unwrap(), vec![1]);
+        assert_eq!(
+            q.explained_rows(&db, EvalOptions::default()).unwrap(),
+            vec![1]
+        );
     }
 
     #[test]
@@ -1012,9 +1079,7 @@ mod tests {
     fn trace_dies_at_first_unmatched_step() {
         let (mut db, log, _, info) = figure3_db();
         // A chain forced through an empty table dies at step 1.
-        let empty = db
-            .create_table("Empty", &[("X", DataType::Int)])
-            .unwrap();
+        let empty = db.create_table("Empty", &[("X", DataType::Int)]).unwrap();
         let q = ChainQuery {
             log,
             lid_col: 0,
@@ -1049,6 +1114,9 @@ mod tests {
         )
         .unwrap();
         let q = template_a(log, appt);
-        assert_eq!(q.explained_rows(&db, EvalOptions::default()).unwrap(), vec![0]);
+        assert_eq!(
+            q.explained_rows(&db, EvalOptions::default()).unwrap(),
+            vec![0]
+        );
     }
 }

@@ -19,12 +19,7 @@ use std::io::{BufRead, Write};
 /// Exports a table as CSV (header + rows).
 pub fn export_table(db: &Database, table: TableId, out: &mut impl Write) -> std::io::Result<()> {
     let t = db.table(table);
-    let header: Vec<&str> = t
-        .schema()
-        .columns
-        .iter()
-        .map(|c| c.name.as_str())
-        .collect();
+    let header: Vec<&str> = t.schema().columns.iter().map(|c| c.name.as_str()).collect();
     writeln!(out, "{}", header.join(","))?;
     let mut line = String::new();
     for (_, row) in t.iter() {
@@ -56,11 +51,7 @@ fn escape(s: &str) -> String {
 
 /// Imports CSV into an *existing* table. The header must name exactly the
 /// table's columns (in order). Returns the number of rows inserted.
-pub fn import_table(
-    db: &mut Database,
-    table: TableId,
-    reader: &mut impl BufRead,
-) -> Result<usize> {
+pub fn import_table(db: &mut Database, table: TableId, reader: &mut impl BufRead) -> Result<usize> {
     let schema = db.table(table).schema().clone();
     let mut lines = reader.lines();
     let header = lines
@@ -201,9 +192,7 @@ mod tests {
     fn header_is_validated() {
         let (_, _) = sample_db();
         let mut db = Database::new();
-        let t = db
-            .create_table("Log", &[("Lid", DataType::Int)])
-            .unwrap();
+        let t = db.create_table("Log", &[("Lid", DataType::Int)]).unwrap();
         let err = import_table(&mut db, t, &mut "Wrong\n1\n".as_bytes()).unwrap_err();
         assert!(matches!(err, Error::InvalidQuery(_)));
     }

@@ -83,11 +83,7 @@ impl Database {
     // ---------------------------------------------------------------- schema
 
     /// Creates a table from `(column, type)` pairs and registers it.
-    pub fn create_table(
-        &mut self,
-        name: &str,
-        columns: &[(&str, DataType)],
-    ) -> Result<TableId> {
+    pub fn create_table(&mut self, name: &str, columns: &[(&str, DataType)]) -> Result<TableId> {
         if self.by_name.contains_key(name) {
             return Err(Error::DuplicateTable(name.to_string()));
         }

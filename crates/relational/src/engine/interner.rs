@@ -1,0 +1,185 @@
+//! Value interning and columnar interned table storage.
+//!
+//! The [`Engine`](super::Engine) never joins on [`Value`]s directly: at
+//! construction it scans the database once, assigns every distinct non-null
+//! cell value a dense `u32` id, and stores each table column-major as
+//! `Vec<u32>`. Join evaluation then works purely on dense ids — frontier
+//! sets are bitset-deduplicated `Vec<u32>`s instead of `HashSet<Value>`s,
+//! and step maps are CSR arrays indexed by id ([`super::stepmap`]).
+//!
+//! Interning is *exact*: two cells get the same id iff their `Value`s are
+//! equal (`Int(3)` and `Date(3)` stay distinct), so id equality is exactly
+//! SQL equality for non-null values. NULL cells are stored as the reserved
+//! [`NULL_ID`] sentinel, which no join ever matches — the same "NULL never
+//! equi-joins" rule the row evaluator applies.
+
+use crate::database::Database;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Reserved id for SQL NULL. Never joins, never enters step maps.
+pub const NULL_ID: u32 = u32::MAX;
+
+/// Bijection between distinct non-null [`Value`]s and dense `u32` ids.
+#[derive(Debug, Default)]
+pub struct Interner {
+    ids: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl Interner {
+    /// Interns `v`, returning its dense id.
+    ///
+    /// # Panics
+    /// Panics on [`Value::Null`] (NULL has the reserved [`NULL_ID`]) and
+    /// when the id space is exhausted.
+    fn intern(&mut self, v: Value) -> u32 {
+        debug_assert!(!v.is_null(), "NULL is represented by NULL_ID");
+        if let Some(&id) = self.ids.get(&v) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("more than u32::MAX - 1 distinct values");
+        assert!(id != NULL_ID, "id space exhausted");
+        self.values.push(v);
+        self.ids.insert(v, id);
+        id
+    }
+
+    /// The id of `v`, if it occurs anywhere in the snapshot.
+    pub fn id_of(&self, v: &Value) -> Option<u32> {
+        self.ids.get(v).copied()
+    }
+
+    /// The value behind an id ([`NULL_ID`] resolves to [`Value::Null`]).
+    ///
+    /// # Panics
+    /// Panics if `id` is neither [`NULL_ID`] nor an id this interner issued.
+    pub fn value(&self, id: u32) -> Value {
+        if id == NULL_ID {
+            Value::Null
+        } else {
+            self.values[id as usize]
+        }
+    }
+
+    /// Number of distinct interned values — the size of the dense id space.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// One table stored column-major as interned ids.
+#[derive(Debug)]
+pub struct InternedTable {
+    /// `cols[c][r]` is the interned id of cell `(r, c)`.
+    pub cols: Vec<Vec<u32>>,
+    /// Number of rows.
+    pub n_rows: usize,
+}
+
+impl InternedTable {
+    /// The interned id at `(row, col)`.
+    #[inline]
+    pub fn id(&self, row: usize, col: usize) -> u32 {
+        self.cols[col][row]
+    }
+}
+
+/// A full interned, columnar snapshot of a [`Database`].
+///
+/// The snapshot is immutable and self-contained (`Send + Sync`), which is
+/// what lets batch evaluation fan out across threads — the live `Database`
+/// with its lazily-populated `RefCell` caches cannot cross thread
+/// boundaries.
+#[derive(Debug)]
+pub struct InternedDb {
+    /// One interned table per catalog table, in [`crate::TableId`] order.
+    pub tables: Vec<InternedTable>,
+    /// The shared id space.
+    pub interner: Interner,
+}
+
+impl InternedDb {
+    /// Scans `db` once and interns every cell of every table.
+    pub fn snapshot(db: &Database) -> Self {
+        let mut interner = Interner::default();
+        let tables = db
+            .table_ids()
+            .map(|tid| {
+                let table = db.table(tid);
+                let arity = table.schema().arity();
+                let mut cols: Vec<Vec<u32>> = (0..arity)
+                    .map(|_| Vec::with_capacity(table.len()))
+                    .collect();
+                for (_, row) in table.iter() {
+                    for (c, v) in row.iter().enumerate() {
+                        cols[c].push(if v.is_null() {
+                            NULL_ID
+                        } else {
+                            interner.intern(*v)
+                        });
+                    }
+                }
+                InternedTable {
+                    cols,
+                    n_rows: table.len(),
+                }
+            })
+            .collect();
+        InternedDb { tables, interner }
+    }
+
+    /// The interned table behind a catalog id.
+    #[inline]
+    pub fn table(&self, id: crate::database::TableId) -> &InternedTable {
+        &self.tables[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    #[test]
+    fn snapshot_interns_exactly() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", &[("A", DataType::Int), ("B", DataType::Date)])
+            .unwrap();
+        db.insert(t, vec![Value::Int(3), Value::Date(3)]).unwrap();
+        db.insert(t, vec![Value::Int(3), Value::Null]).unwrap();
+        let snap = InternedDb::snapshot(&db);
+        let it = snap.table(t);
+        // Int(3) and Date(3) are distinct values, hence distinct ids.
+        assert_ne!(it.id(0, 0), it.id(0, 1));
+        // The repeated Int(3) shares its id.
+        assert_eq!(it.id(0, 0), it.id(1, 0));
+        // NULL is the sentinel.
+        assert_eq!(it.id(1, 1), NULL_ID);
+        assert_eq!(snap.interner.value(NULL_ID), Value::Null);
+        assert_eq!(snap.interner.value(it.id(0, 0)), Value::Int(3));
+        assert_eq!(snap.interner.len(), 2);
+    }
+
+    #[test]
+    fn id_lookup_round_trips() {
+        let mut db = Database::new();
+        let t = db.create_table("T", &[("A", DataType::Int)]).unwrap();
+        for i in 0..10 {
+            db.insert(t, vec![Value::Int(i % 4)]).unwrap();
+        }
+        let snap = InternedDb::snapshot(&db);
+        for i in 0..4 {
+            let id = snap.interner.id_of(&Value::Int(i)).unwrap();
+            assert_eq!(snap.interner.value(id), Value::Int(i));
+        }
+        assert_eq!(snap.interner.id_of(&Value::Int(99)), None);
+        assert_eq!(snap.interner.len(), 4);
+    }
+}

@@ -1,0 +1,648 @@
+//! The batch chain-query evaluation engine.
+//!
+//! [`ChainQuery::support`](crate::ChainQuery::support) is correct but
+//! rebuilds every step's `enter → {exits}` map from a full table scan on
+//! every call, keys its frontiers on full tagged [`Value`](crate::Value)s,
+//! and evaluates one query at a time. Template mining evaluates thousands
+//! of candidate queries against the *same* database, and candidate paths
+//! overwhelmingly share steps — exactly the redundancy this module removes.
+//! Three layers (see the crate docs for the architecture overview):
+//!
+//! 1. **Interning** ([`interner`]): one scan snapshots the database into
+//!    columnar dense-`u32` form; frontier sets become bitset-deduplicated
+//!    `Vec<u32>`s.
+//! 2. **Step-map cache** ([`stepmap`]): each distinct step — keyed on
+//!    `(table, enter_col, exit_col, const-filters, dedup)` — is built once
+//!    per [`Engine`] and shared by every query that uses it.
+//! 3. **Batch parallelism** ([`parallel`]): [`Engine::support_many`]
+//!    evaluates a whole frontier of candidates against one cache, fanned
+//!    out over scoped threads.
+//!
+//! Results are **identical** to the row evaluator's — the same
+//! `explained_rows` and `support` for every query class (the
+//! `engine_equivalence` integration test enforces this differentially).
+//! Queries whose decorations reference the anchor log row have no shareable
+//! step maps; the engine transparently routes them to the per-row
+//! evaluator.
+//!
+//! The engine snapshots at construction: rows inserted into the `Database`
+//! afterwards are not visible to it. Build one engine per mining run (or
+//! after each batch of loads), not one per query.
+
+mod interner;
+mod parallel;
+mod stepmap;
+
+pub use interner::{InternedDb, InternedTable, Interner, NULL_ID};
+pub use parallel::{par_map, par_map_with};
+
+use crate::chain::{ChainQuery, EvalOptions};
+use crate::database::Database;
+use crate::error::Result;
+use crate::table::RowId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use stepmap::{StepKey, StepMap};
+
+/// A shared evaluation engine over one database snapshot. See the module
+/// docs.
+#[derive(Debug)]
+pub struct Engine {
+    snapshot: InternedDb,
+    cache: Mutex<HashMap<StepKey, Arc<StepMap>>>,
+    groups: Mutex<HashMap<GroupKey, Arc<LogGroups>>>,
+}
+
+/// Identity of a log grouping: all queries sharing the anchor shape (same
+/// log table, start/close columns and anchor filters) walk the same
+/// `(start, close) → rows` partition, so it is computed once per engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    log: crate::database::TableId,
+    start_col: crate::types::ColId,
+    close_col: Option<crate::types::ColId>,
+    anchor_filters: Vec<(
+        crate::types::ColId,
+        crate::chain::CmpOp,
+        crate::value::Value,
+    )>,
+}
+
+impl GroupKey {
+    fn of(q: &ChainQuery) -> GroupKey {
+        GroupKey {
+            log: q.log,
+            start_col: q.start_col,
+            close_col: q.close_col,
+            anchor_filters: q.anchor_filters.clone(),
+        }
+    }
+}
+
+/// One close bucket of a start group: `(close id, rows)`.
+type CloseBucket = (u32, Vec<RowId>);
+
+/// The log partitioned by `(start id, close id)`, flattened for iteration.
+#[derive(Debug)]
+struct LogGroups {
+    /// `(start, per-close rows)`; for open queries the close id is
+    /// [`NULL_ID`] (one bucket per start).
+    by_start: Vec<(u32, Vec<CloseBucket>)>,
+}
+
+impl Engine {
+    /// Snapshots `db` (one scan of every table) and starts with an empty
+    /// step-map cache.
+    pub fn new(db: &Database) -> Self {
+        Engine {
+            snapshot: InternedDb::snapshot(db),
+            cache: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The interned snapshot (exposed for diagnostics and tests).
+    pub fn snapshot(&self) -> &InternedDb {
+        &self.snapshot
+    }
+
+    /// Number of distinct step maps built so far.
+    pub fn cached_step_maps(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
+    /// Log row ids explained by `q`, identical to
+    /// [`ChainQuery::explained_rows`].
+    ///
+    /// `db` is used for validation and for the per-row fallback on
+    /// anchor-dependent queries; set-based evaluation runs on the snapshot.
+    pub fn explained_rows(
+        &self,
+        db: &Database,
+        q: &ChainQuery,
+        opts: EvalOptions,
+    ) -> Result<Vec<RowId>> {
+        q.validate(db)?;
+        if q.is_anchor_dependent() {
+            return q.explained_rows(db, opts);
+        }
+        let maps = self.maps_for(q, opts);
+        Ok(self.explained_grouped(q, &maps))
+    }
+
+    /// Support of `q` (distinct explained log ids), identical to
+    /// [`ChainQuery::support`].
+    pub fn support(&self, db: &Database, q: &ChainQuery, opts: EvalOptions) -> Result<usize> {
+        q.validate(db)?;
+        if q.is_anchor_dependent() {
+            return q.support(db, opts);
+        }
+        let maps = self.maps_for(q, opts);
+        Ok(self.support_grouped(q, &maps))
+    }
+
+    /// Batch support evaluation: one result per query, in input order.
+    ///
+    /// Builds every missing step map first (in parallel), then evaluates
+    /// the whole batch in parallel against the shared cache. This is the
+    /// API mining rounds call once per candidate frontier.
+    pub fn support_many(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Vec<Result<usize>> {
+        let mut results: Vec<Option<Result<usize>>> = queries
+            .iter()
+            .map(|q| match q.validate(db) {
+                Err(e) => Some(Err(e)),
+                Ok(()) => None,
+            })
+            .collect();
+
+        // Anchor-dependent queries have no shareable maps: per-row fallback,
+        // sequentially (the live Database cannot cross threads).
+        for (slot, q) in results.iter_mut().zip(queries) {
+            if slot.is_none() && q.is_anchor_dependent() {
+                *slot = Some(q.support(db, opts));
+            }
+        }
+
+        let batch: Vec<(usize, &ChainQuery)> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| (i, &queries[i]))
+            .collect();
+        self.build_missing_maps(batch.iter().map(|(_, q)| *q), opts);
+        // Pre-build the (few) log partitions the batch shares, so parallel
+        // workers don't redundantly compute the same grouping.
+        {
+            let mut seen = std::collections::HashSet::new();
+            for (_, q) in &batch {
+                if seen.insert(GroupKey::of(q)) {
+                    let _ = self.groups_for(q);
+                }
+            }
+        }
+
+        let with_maps: Vec<(usize, &ChainQuery, Vec<Arc<StepMap>>)> = batch
+            .into_iter()
+            .map(|(i, q)| {
+                let maps = self.maps_for(q, opts);
+                (i, q, maps)
+            })
+            .collect();
+        let supports = par_map(&with_maps, |(_, q, maps)| self.support_grouped(q, maps));
+        for ((i, _, _), support) in with_maps.iter().zip(supports) {
+            results[*i] = Some(Ok(support));
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query resolved"))
+            .collect()
+    }
+
+    // ----------------------------------------------------------- step maps
+
+    /// Builds (in parallel) every step map the batch needs that is not in
+    /// the cache yet.
+    fn build_missing_maps<'q>(
+        &self,
+        queries: impl Iterator<Item = &'q ChainQuery>,
+        opts: EvalOptions,
+    ) {
+        let mut missing: Vec<StepKey> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            let mut seen = std::collections::HashSet::new();
+            for q in queries {
+                for step in &q.steps {
+                    let key = StepKey::of(step, opts.dedup);
+                    if !cache.contains_key(&key) && seen.insert(key.clone()) {
+                        missing.push(key);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let built = par_map(&missing, |key| StepMap::build(key, &self.snapshot));
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        for (key, map) in missing.into_iter().zip(built) {
+            cache.entry(key).or_insert_with(|| Arc::new(map));
+        }
+    }
+
+    /// The step maps of `q`, building any that are missing.
+    fn maps_for(&self, q: &ChainQuery, opts: EvalOptions) -> Vec<Arc<StepMap>> {
+        q.steps
+            .iter()
+            .map(|step| {
+                let key = StepKey::of(step, opts.dedup);
+                if let Some(map) = self.cache.lock().expect("engine cache poisoned").get(&key) {
+                    return map.clone();
+                }
+                let built = Arc::new(StepMap::build(&key, &self.snapshot));
+                self.cache
+                    .lock()
+                    .expect("engine cache poisoned")
+                    .entry(key)
+                    .or_insert(built)
+                    .clone()
+            })
+            .collect()
+    }
+
+    // ----------------------------------------------------------- evaluation
+
+    /// Whether interned log row `r` passes the anchor filters.
+    #[inline]
+    fn anchor_passes(&self, q: &ChainQuery, log: &InternedTable, r: usize) -> bool {
+        q.anchor_filters.iter().all(|(col, op, v)| {
+            let lhs = self.snapshot.interner.value(log.cols[*col][r]);
+            op.eval(&lhs, v)
+        })
+    }
+
+    /// The `(start, close) → rows` partition of a query's anchor shape,
+    /// computed once per engine and shared by every query with the same
+    /// shape (one scan of the log instead of one per candidate).
+    fn groups_for(&self, q: &ChainQuery) -> Arc<LogGroups> {
+        let key = GroupKey::of(q);
+        if let Some(groups) = self
+            .groups
+            .lock()
+            .expect("engine groups poisoned")
+            .get(&key)
+        {
+            return groups.clone();
+        }
+        let log = self.snapshot.table(q.log);
+        // start id -> (close id, or NULL_ID for open queries) -> rows.
+        let mut groups: HashMap<u32, HashMap<u32, Vec<RowId>>> = HashMap::new();
+        for r in 0..log.n_rows {
+            if !self.anchor_passes(q, log, r) {
+                continue;
+            }
+            let start = log.cols[q.start_col][r];
+            if start == NULL_ID {
+                continue;
+            }
+            let close = match q.close_col {
+                Some(c) => {
+                    let v = log.cols[c][r];
+                    if v == NULL_ID {
+                        continue;
+                    }
+                    v
+                }
+                None => NULL_ID,
+            };
+            groups
+                .entry(start)
+                .or_default()
+                .entry(close)
+                .or_default()
+                .push(r as RowId);
+        }
+        let by_start = groups
+            .into_iter()
+            .map(|(start, closes)| (start, closes.into_iter().collect()))
+            .collect();
+        let built = Arc::new(LogGroups { by_start });
+        self.groups
+            .lock()
+            .expect("engine groups poisoned")
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Pair-invariant evaluation on interned ids (sorted ascending, exactly
+    /// as [`ChainQuery::explained_rows`] returns them).
+    fn explained_grouped(&self, q: &ChainQuery, maps: &[Arc<StepMap>]) -> Vec<RowId> {
+        let mut out = self.explained_grouped_unsorted(q, maps);
+        out.sort_unstable();
+        out
+    }
+
+    /// The explained rows in group-iteration (arbitrary) order — the
+    /// support path uses this to skip the sort it doesn't need.
+    fn explained_grouped_unsorted(&self, q: &ChainQuery, maps: &[Arc<StepMap>]) -> Vec<RowId> {
+        let groups = self.groups_for(q);
+        let mut out = Vec::new();
+        SCRATCH_MARKS.with(|cell| {
+            let mut marks = cell.borrow_mut();
+            marks.reserve_ids(self.snapshot.interner.len());
+            let mut frontier: Vec<u32> = Vec::new();
+            let mut next: Vec<u32> = Vec::new();
+            for (start, closes) in &groups.by_start {
+                frontier.clear();
+                frontier.push(*start);
+                let mut dead = false;
+                for map in maps {
+                    next.clear();
+                    for &v in &frontier {
+                        for &exit in map.exits_of(v) {
+                            if marks.insert(exit) {
+                                next.push(exit);
+                            }
+                        }
+                    }
+                    marks.remove_all(&next);
+                    std::mem::swap(&mut frontier, &mut next);
+                    if frontier.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                match q.close_col {
+                    None => {
+                        for (_, rows) in closes {
+                            out.extend_from_slice(rows);
+                        }
+                    }
+                    Some(_) => {
+                        for &v in &frontier {
+                            marks.insert(v);
+                        }
+                        for (close, rows) in closes {
+                            if marks.contains(*close) {
+                                out.extend_from_slice(rows);
+                            }
+                        }
+                        marks.remove_all(&frontier);
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// `COUNT(DISTINCT lid)` over the explained rows.
+    fn support_grouped(&self, q: &ChainQuery, maps: &[Arc<StepMap>]) -> usize {
+        let rows = self.explained_grouped_unsorted(q, maps);
+        let log = self.snapshot.table(q.log);
+        let lid_col = &log.cols[q.lid_col];
+        let mut lids = std::collections::HashSet::with_capacity(rows.len());
+        for r in rows {
+            lids.insert(lid_col[r as usize]);
+        }
+        lids.len()
+    }
+}
+
+std::thread_local! {
+    /// Per-thread scratch bitset for chain walks. Every evaluation leaves
+    /// it fully cleared (incremental `remove_all`), so reusing it across
+    /// queries avoids re-zeroing `O(id-space)` words per candidate.
+    static SCRATCH_MARKS: std::cell::RefCell<BitMarks> =
+        const { std::cell::RefCell::new(BitMarks { words: Vec::new() }) };
+}
+
+/// A reusable bitset over the dense id space, cleared incrementally so a
+/// long mining run never pays `O(id-space)` per frontier step (nor, via
+/// [`SCRATCH_MARKS`], an `O(id-space)` re-zeroing per candidate query).
+struct BitMarks {
+    words: Vec<u64>,
+}
+
+impl BitMarks {
+    /// Grows (zero-filled) to cover `n_ids`; never shrinks.
+    fn reserve_ids(&mut self, n_ids: usize) {
+        let need = n_ids.div_ceil(64);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Sets the bit; returns true when it was previously clear.
+    #[inline]
+    fn insert(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let bit = 1u64 << b;
+        let was_clear = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        was_clear
+    }
+
+    #[inline]
+    fn contains(&self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Clears exactly the given ids.
+    #[inline]
+    fn remove_all(&mut self, ids: &[u32]) {
+        for &id in ids {
+            let (w, b) = (id as usize / 64, id as usize % 64);
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainStep, CmpOp, Rhs, StepFilter};
+    use crate::database::TableId;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    /// Figure 3's database (same shape as the chain evaluator's tests).
+    fn figure3_db() -> (Database, TableId, TableId, TableId) {
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("Date", DataType::Date),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let appt = db
+            .create_table(
+                "Appointments",
+                &[
+                    ("Patient", DataType::Int),
+                    ("Date", DataType::Date),
+                    ("Doctor", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let info = db
+            .create_table(
+                "Doctor_Info",
+                &[("Doctor", DataType::Int), ("Department", DataType::Str)],
+            )
+            .unwrap();
+        let ped = db.str_value("Pediatrics");
+        db.insert(appt, vec![Value::Int(10), Value::Date(1), Value::Int(1)])
+            .unwrap();
+        db.insert(appt, vec![Value::Int(11), Value::Date(2), Value::Int(2)])
+            .unwrap();
+        db.insert(info, vec![Value::Int(2), ped]).unwrap();
+        db.insert(info, vec![Value::Int(1), ped]).unwrap();
+        db.insert(
+            log,
+            vec![Value::Int(1), Value::Date(1), Value::Int(1), Value::Int(10)],
+        )
+        .unwrap();
+        db.insert(
+            log,
+            vec![Value::Int(2), Value::Date(2), Value::Int(1), Value::Int(11)],
+        )
+        .unwrap();
+        (db, log, appt, info)
+    }
+
+    fn template_a(log: TableId, appt: TableId) -> ChainQuery {
+        ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 3,
+            steps: vec![ChainStep::new(appt, 0, 2)],
+            close_col: Some(2),
+            anchor_filters: vec![],
+        }
+    }
+
+    fn template_b(log: TableId, appt: TableId, info: TableId) -> ChainQuery {
+        ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 3,
+            steps: vec![
+                ChainStep::new(appt, 0, 2),
+                ChainStep::new(info, 0, 1),
+                ChainStep::new(info, 1, 0),
+            ],
+            close_col: Some(2),
+            anchor_filters: vec![],
+        }
+    }
+
+    #[test]
+    fn matches_row_evaluator_on_figure3() {
+        let (db, log, appt, info) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        for q in [template_a(log, appt), template_b(log, appt, info)] {
+            assert_eq!(
+                engine.explained_rows(&db, &q, opts).unwrap(),
+                q.explained_rows(&db, opts).unwrap()
+            );
+            assert_eq!(
+                engine.support(&db, &q, opts).unwrap(),
+                q.support(&db, opts).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn open_and_filtered_queries_match() {
+        let (db, log, appt, _) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let open = ChainQuery {
+            close_col: None,
+            ..template_a(log, appt)
+        };
+        assert_eq!(
+            engine.explained_rows(&db, &open, opts).unwrap(),
+            open.explained_rows(&db, opts).unwrap()
+        );
+        let mut filtered = template_a(log, appt);
+        filtered.anchor_filters = vec![(1, CmpOp::Ge, Value::Date(2))];
+        assert_eq!(
+            engine.explained_rows(&db, &filtered, opts).unwrap(),
+            filtered.explained_rows(&db, opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn anchor_dependent_queries_fall_back() {
+        let (db, log, appt, _) = figure3_db();
+        let engine = Engine::new(&db);
+        let mut q = template_a(log, appt);
+        q.steps[0].filters.push(StepFilter {
+            col: 1,
+            op: CmpOp::Le,
+            rhs: Rhs::AnchorCol(1),
+        });
+        assert!(q.is_anchor_dependent());
+        let opts = EvalOptions::default();
+        assert_eq!(
+            engine.explained_rows(&db, &q, opts).unwrap(),
+            q.explained_rows(&db, opts).unwrap()
+        );
+        // The fallback never populates the shared cache.
+        assert_eq!(engine.cached_step_maps(), 0);
+    }
+
+    #[test]
+    fn step_maps_are_shared_across_queries() {
+        let (db, log, appt, info) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let queries = vec![
+            template_a(log, appt),
+            template_b(log, appt, info),
+            ChainQuery {
+                close_col: None,
+                ..template_a(log, appt)
+            },
+        ];
+        let supports = engine.support_many(&db, &queries, opts);
+        // A and B share the Appointments step: 1 + 2 extra for B, 0 new for
+        // the open variant = 3 distinct maps.
+        assert_eq!(engine.cached_step_maps(), 3);
+        let expect: Vec<usize> = queries
+            .iter()
+            .map(|q| q.support(&db, opts).unwrap())
+            .collect();
+        let got: Vec<usize> = supports.into_iter().map(|s| s.unwrap()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn support_many_reports_invalid_queries_in_place() {
+        let (db, log, appt, _) = figure3_db();
+        let engine = Engine::new(&db);
+        let good = template_a(log, appt);
+        let bad = ChainQuery {
+            start_col: 9,
+            ..template_a(log, appt)
+        };
+        let results = engine.support_many(&db, &[bad, good.clone()], EvalOptions::default());
+        assert!(results[0].is_err());
+        assert_eq!(*results[1].as_ref().unwrap(), 1);
+    }
+
+    #[test]
+    fn dedup_toggle_changes_maps_not_results() {
+        let (mut db, log, appt, info) = figure3_db();
+        db.insert(appt, vec![Value::Int(10), Value::Date(5), Value::Int(1)])
+            .unwrap();
+        let engine = Engine::new(&db);
+        let q = template_b(log, appt, info);
+        let with = engine
+            .support(&db, &q, EvalOptions { dedup: true })
+            .unwrap();
+        let without = engine
+            .support(&db, &q, EvalOptions { dedup: false })
+            .unwrap();
+        assert_eq!(with, without);
+        // Both dedup settings cached their own maps.
+        assert_eq!(engine.cached_step_maps(), 6);
+    }
+}

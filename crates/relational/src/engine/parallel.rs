@@ -1,0 +1,108 @@
+//! Scoped-thread work-stealing `map`, the engine's parallel substrate.
+//!
+//! The build environment cannot fetch `rayon`, so batch evaluation uses a
+//! minimal equivalent built on `std::thread::scope`: workers pull item
+//! indexes from a shared atomic counter (natural load balancing for
+//! heterogeneous query costs) and the results are reassembled in input
+//! order. Worker panics propagate to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, in parallel, preserving input order.
+///
+/// Spawns at most `available_parallelism` threads; falls back to a
+/// sequential loop for single-item batches or single-core machines.
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    par_map_with(threads, items, f)
+}
+
+/// [`par_map`] with an explicit worker count (also what lets the threaded
+/// path be tested on single-core machines).
+pub fn par_map_with<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let counter = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                // Re-raise the worker's own panic payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        // Force the threaded path even on single-core machines.
+        let out = par_map_with(4, &items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(par_map(&items, |&x| x * 2), out);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7u8], |&x| x + 1), vec![8]);
+        assert_eq!(par_map_with(8, &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn all_work_lands_across_threads() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let sum: u64 = par_map_with(3, &items, |&x| x).into_iter().sum();
+        assert_eq!(sum, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let _ = par_map_with(2, &items, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Memoized per-step join maps in CSR form.
+//!
+//! A [`ChainQuery`](crate::ChainQuery) step is characterized — for
+//! anchor-independent evaluation — by `(table, enter_col, exit_col,
+//! const-filters, dedup)`. Candidate paths generated during one mining run
+//! overwhelmingly share steps (every extension of a frontier path repeats
+//! all of the parent's steps), so the engine builds each distinct step's
+//! `enter → {exits}` map **once** and shares it across all queries via the
+//! [`Engine`](super::Engine) cache.
+//!
+//! The map itself is a CSR array over the dense id space: `offsets` has one
+//! slot per interned id (plus one), `exits` concatenates the exit-id lists.
+//! Probing is two array loads — no hashing on the join hot path.
+
+use super::interner::{InternedDb, NULL_ID};
+use crate::chain::{ChainStep, CmpOp, Rhs};
+use crate::database::TableId;
+use crate::types::ColId;
+use crate::value::Value;
+
+/// Identity of a shareable step map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct StepKey {
+    pub table: TableId,
+    pub enter_col: ColId,
+    pub exit_col: ColId,
+    /// Constant filters in declaration order (order matters for identity
+    /// only, not results; canonicalizing it would merely improve sharing).
+    pub const_filters: Vec<(ColId, CmpOp, Value)>,
+    /// Whether distinct `(enter, exit)` projection is applied.
+    pub dedup: bool,
+}
+
+impl StepKey {
+    /// The key of a step under the given dedup setting.
+    ///
+    /// Steps with anchor-dependent filters have no shareable map; callers
+    /// must route those queries to the per-row evaluator first.
+    pub fn of(step: &ChainStep, dedup: bool) -> StepKey {
+        StepKey {
+            table: step.table,
+            enter_col: step.enter_col,
+            exit_col: step.exit_col,
+            const_filters: step
+                .filters
+                .iter()
+                .filter_map(|f| match f.rhs {
+                    Rhs::Const(c) => Some((f.col, f.op, c)),
+                    Rhs::AnchorCol(_) => None,
+                })
+                .collect(),
+            dedup,
+        }
+    }
+}
+
+/// A built `enter → exits` map (CSR over the dense id space).
+#[derive(Debug)]
+pub(crate) struct StepMap {
+    offsets: Vec<u32>,
+    exits: Vec<u32>,
+}
+
+impl StepMap {
+    /// Exit ids reachable from `enter` (with multiplicities unless the map
+    /// was built with dedup).
+    #[inline]
+    pub fn exits_of(&self, enter: u32) -> &[u32] {
+        let i = enter as usize;
+        &self.exits[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of stored `(enter, exit)` pairs.
+    #[cfg(test)]
+    pub fn pair_count(&self) -> usize {
+        self.exits.len()
+    }
+
+    /// Builds the map for `key` from the interned snapshot.
+    pub fn build(key: &StepKey, snapshot: &InternedDb) -> StepMap {
+        let table = snapshot.table(key.table);
+        let enter_col = &table.cols[key.enter_col];
+        let exit_col = &table.cols[key.exit_col];
+
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        'rows: for r in 0..table.n_rows {
+            let enter = enter_col[r];
+            let exit = exit_col[r];
+            if enter == NULL_ID || exit == NULL_ID {
+                continue;
+            }
+            for &(col, op, rhs) in &key.const_filters {
+                let lhs = snapshot.interner.value(table.cols[col][r]);
+                if !op.eval(&lhs, &rhs) {
+                    continue 'rows;
+                }
+            }
+            pairs.push((enter, exit));
+        }
+        if key.dedup {
+            pairs.sort_unstable();
+            pairs.dedup();
+        }
+
+        // Counting sort into CSR (pairs may arrive in row order when dedup
+        // is off; exit-list order never affects set-semantics evaluation).
+        let n_ids = snapshot.interner.len();
+        let mut counts = vec![0u32; n_ids + 1];
+        for &(enter, _) in &pairs {
+            counts[enter as usize + 1] += 1;
+        }
+        for i in 0..n_ids {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut exits = vec![0u32; pairs.len()];
+        for &(enter, exit) in &pairs {
+            let slot = &mut cursor[enter as usize];
+            exits[*slot as usize] = exit;
+            *slot += 1;
+        }
+        StepMap { offsets, exits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::types::DataType;
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "E",
+                &[
+                    ("Enter", DataType::Int),
+                    ("Exit", DataType::Int),
+                    ("Tag", DataType::Int),
+                ],
+            )
+            .unwrap();
+        for (e, x, tag) in [(1, 10, 0), (1, 10, 1), (1, 11, 0), (2, 10, 0)] {
+            db.insert(t, vec![Value::Int(e), Value::Int(x), Value::Int(tag)])
+                .unwrap();
+        }
+        db.insert(t, vec![Value::Null, Value::Int(9), Value::Int(0)])
+            .unwrap();
+        db.insert(t, vec![Value::Int(3), Value::Null, Value::Int(0)])
+            .unwrap();
+        (db, t)
+    }
+
+    fn ids(snap: &InternedDb, vals: &[i64]) -> Vec<u32> {
+        vals.iter()
+            .map(|&v| snap.interner.id_of(&Value::Int(v)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn dedup_collapses_duplicate_pairs() {
+        let (db, t) = setup();
+        let snap = InternedDb::snapshot(&db);
+        let step = ChainStep::new(t, 0, 1);
+        let with = StepMap::build(&StepKey::of(&step, true), &snap);
+        let without = StepMap::build(&StepKey::of(&step, false), &snap);
+        let [e1] = ids(&snap, &[1])[..] else { panic!() };
+        // (1,10) appears twice in the data: kept once with dedup.
+        assert_eq!(with.exits_of(e1).len(), 2);
+        assert_eq!(without.exits_of(e1).len(), 3);
+        assert_eq!(with.pair_count(), 3);
+        assert_eq!(without.pair_count(), 4);
+    }
+
+    #[test]
+    fn nulls_never_enter_the_map() {
+        let (db, t) = setup();
+        let snap = InternedDb::snapshot(&db);
+        let map = StepMap::build(&StepKey::of(&ChainStep::new(t, 0, 1), true), &snap);
+        let [e3] = ids(&snap, &[3])[..] else { panic!() };
+        // Row (3, NULL) contributes nothing; NULL enters are absent too.
+        assert!(map.exits_of(e3).is_empty());
+    }
+
+    #[test]
+    fn const_filters_restrict_rows() {
+        let (db, t) = setup();
+        let snap = InternedDb::snapshot(&db);
+        let mut step = ChainStep::new(t, 0, 1);
+        step.filters.push(crate::chain::StepFilter {
+            col: 2,
+            op: CmpOp::Eq,
+            rhs: Rhs::Const(Value::Int(1)),
+        });
+        let map = StepMap::build(&StepKey::of(&step, true), &snap);
+        let [e1, e2] = ids(&snap, &[1, 2])[..] else {
+            panic!()
+        };
+        assert_eq!(map.exits_of(e1).len(), 1); // only the Tag=1 row
+        assert!(map.exits_of(e2).is_empty());
+    }
+
+    #[test]
+    fn anchor_filters_are_excluded_from_keys() {
+        let (_, t) = setup();
+        let mut step = ChainStep::new(t, 0, 1);
+        step.filters.push(crate::chain::StepFilter {
+            col: 2,
+            op: CmpOp::Lt,
+            rhs: Rhs::AnchorCol(0),
+        });
+        // The anchor-dependent filter is not part of the shareable identity.
+        assert_eq!(
+            StepKey::of(&step, true),
+            StepKey::of(&ChainStep::new(t, 0, 1), true)
+        );
+    }
+}

@@ -23,6 +23,32 @@
 //! small, `Copy`, hashable scalar which keeps join evaluation allocation-free
 //! on the hot path.
 //!
+//! # The evaluation engine
+//!
+//! [`ChainQuery`] evaluates one query at a time against the live tables.
+//! Template mining instead evaluates *thousands* of candidate queries that
+//! overwhelmingly share structure, so the [`engine`] module layers a shared
+//! evaluation substrate on top:
+//!
+//! 1. **Value interner** ([`engine::InternedDb`]): one scan snapshots every
+//!    table into columnar dense-`u32` form (`Value` ↔ id bijection, NULL as
+//!    a sentinel), so frontier sets become bitset-deduplicated `Vec<u32>`s
+//!    instead of `HashSet<Value>`s and the snapshot is `Send + Sync`.
+//! 2. **Step-map cache** ([`Engine`]): each distinct step —
+//!    `(table, enter_col, exit_col, const-filters, dedup)` — gets its
+//!    `enter → {exits}` CSR map built **once** per engine and shared by
+//!    every query that traverses it; the `(start, close) → rows` partition
+//!    of the log is likewise computed once per anchor shape.
+//! 3. **Batch API** ([`Engine::support_many`]): a whole candidate frontier
+//!    is evaluated against one cache, fanned out across threads
+//!    ([`engine::par_map`]).
+//!
+//! The engine returns **byte-identical** results to [`ChainQuery`] for
+//! every query class (enforced differentially by the `engine_equivalence`
+//! integration test); anchor-dependent decorated queries are transparently
+//! routed to the per-row evaluator. `eba-core`'s miner drives all bottom-up
+//! rounds and decoration refinement through it (`MiningConfig::opt_engine`).
+//!
 //! ```
 //! use eba_relational::{Database, DataType, Value};
 //!
@@ -38,6 +64,7 @@
 pub mod chain;
 pub mod csv;
 pub mod database;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod plan;
@@ -49,10 +76,11 @@ pub mod types;
 pub mod value;
 
 pub use chain::{
-    estimate_support, estimate_support_hinted, ChainQuery, ChainStep, CmpOp, EvalOptions,
-    Instance, Rhs, StepFilter, StepTrace,
+    estimate_support, estimate_support_hinted, ChainQuery, ChainStep, CmpOp, EvalOptions, Instance,
+    PreparedChain, Rhs, StepFilter, StepTrace,
 };
 pub use database::{AttrRef, Database, RelationshipKind, TableId};
+pub use engine::Engine;
 pub use error::{Error, Result};
 pub use plan::{explain, Plan, PlanStep};
 pub use pool::{StringPool, Symbol};

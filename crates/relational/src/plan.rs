@@ -132,8 +132,11 @@ mod tests {
             )
             .unwrap();
         for i in 0..5i64 {
-            db.insert(log, vec![Value::Int(i), Value::Int(i % 2), Value::Int(i % 3)])
-                .unwrap();
+            db.insert(
+                log,
+                vec![Value::Int(i), Value::Int(i % 2), Value::Int(i % 3)],
+            )
+            .unwrap();
             db.insert(appt, vec![Value::Int(i % 3), Value::Int(i % 2)])
                 .unwrap();
         }

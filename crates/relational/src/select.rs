@@ -83,9 +83,12 @@ mod tests {
                 ],
             )
             .unwrap();
-        for (lid, date, user, patient) in
-            [(1, 10, 7, 42), (2, 20, 8, 42), (3, 30, 7, 43), (4, 40, 7, 42)]
-        {
+        for (lid, date, user, patient) in [
+            (1, 10, 7, 42),
+            (2, 20, 8, 42),
+            (3, 30, 7, 43),
+            (4, 40, 7, 42),
+        ] {
             db.insert(
                 log,
                 vec![

@@ -125,9 +125,7 @@ impl Table {
             return idx.clone();
         }
         let built = std::rc::Rc::new(HashIndex::build(self.rows.iter().map(|r| r[col])));
-        self.indexes
-            .borrow_mut()
-            .insert(col, built.clone());
+        self.indexes.borrow_mut().insert(col, built.clone());
         built
     }
 
@@ -178,7 +176,14 @@ mod tests {
     fn arity_is_checked() {
         let mut t = log_table();
         let err = t.insert(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, Error::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            err,
+            Error::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -197,12 +202,8 @@ mod tests {
     fn index_lookup_finds_all_matches() {
         let mut t = log_table();
         for (lid, user, patient) in [(1, 10, 100), (2, 11, 100), (3, 10, 101)] {
-            t.insert(vec![
-                Value::Int(lid),
-                Value::Int(user),
-                Value::Int(patient),
-            ])
-            .unwrap();
+            t.insert(vec![Value::Int(lid), Value::Int(user), Value::Int(patient)])
+                .unwrap();
         }
         assert_eq!(t.rows_with(2, Value::Int(100)), vec![0, 1]);
         assert_eq!(t.rows_with(1, Value::Int(10)), vec![0, 2]);

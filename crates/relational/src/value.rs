@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn cmp_only_within_type() {
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::Date(5).sql_cmp(&Value::Date(5)),
             Some(Ordering::Equal)

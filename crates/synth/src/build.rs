@@ -237,9 +237,7 @@ impl Hospital {
     /// Reverse of [`Hospital::user_value`].
     pub fn user_index(&self, v: Value) -> Option<usize> {
         match v {
-            Value::Int(i) if i >= 1 && (i as usize) <= self.world.n_users() => {
-                Some(i as usize - 1)
-            }
+            Value::Int(i) if i >= 1 && (i as usize) <= self.world.n_users() => Some(i as usize - 1),
             _ => None,
         }
     }

@@ -69,20 +69,16 @@ impl Access {
 /// Generates the full access stream for the window: event-driven accesses,
 /// float-pool noise, injected snoops, then geometric repeat chains; sorted
 /// chronologically.
-pub fn generate_accesses(
-    config: &SynthConfig,
-    world: &World,
-    events: &[Event],
-) -> Vec<Access> {
+pub fn generate_accesses(config: &SynthConfig, world: &World, events: &[Event]) -> Vec<Access> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0xC2B2_AE35));
     let mut accesses: Vec<Access> = Vec::with_capacity(events.len() * 4);
 
     let push = |accesses: &mut Vec<Access>,
-                    user: usize,
-                    patient: usize,
-                    day: u32,
-                    minute: u32,
-                    reason: AccessReason| {
+                user: usize,
+                patient: usize,
+                day: u32,
+                minute: u32,
+                reason: AccessReason| {
         accesses.push(Access {
             user,
             patient,

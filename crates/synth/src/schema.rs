@@ -205,7 +205,8 @@ pub fn declare_careweb_relationships(
         // Data set B speaks audit ids: only the mapping table connects it
         // back to the caregiver-id world.
         for (t, c) in b_user_cols {
-            db.add_fk(t, c, "Mapping", "AuditId").expect("typed columns");
+            db.add_fk(t, c, "Mapping", "AuditId")
+                .expect("typed columns");
         }
         db.add_fk("Mapping", "CaregiverId", "Log", "User")
             .expect("typed columns");
@@ -217,10 +218,12 @@ pub fn declare_careweb_relationships(
             db.add_fk(t, c, "Users", "User").expect("typed columns");
         }
     }
-    db.add_fk("Users", "User", "Log", "User").expect("typed columns");
+    db.add_fk("Users", "User", "Log", "User")
+        .expect("typed columns");
     // Department codes may be used in self-joins (the paper allows exactly
     // this plus the Groups id, which `install_groups` adds later).
-    db.allow_self_join("Users", "Department").expect("column exists");
+    db.allow_self_join("Users", "Department")
+        .expect("column exists");
     if cross_event_user_rels {
         // Cross-event relationships only make sense within one id space.
         let a_primary: &[(&str, &str)] = &[

@@ -46,8 +46,13 @@ fn main() {
         "{:>4} {:>8} {:>10} {:>8}   {:>6} {:>9}",
         "day", "accesses", "explained", "rate", "firsts", "explained"
     );
-    for s in daily_stats(&hospital.db, &spec, &hospital.log_cols, &explainer, hospital.config.days)
-    {
+    for s in daily_stats(
+        &hospital.db,
+        &spec,
+        &hospital.log_cols,
+        &explainer,
+        hospital.config.days,
+    ) {
         println!(
             "{:>4} {:>8} {:>10} {:>7.1}%   {:>6} {:>9}",
             s.day,

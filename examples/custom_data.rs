@@ -62,8 +62,10 @@ fn main() {
     println!("loaded {n_log} log rows and {n_appt} appointments");
 
     // The administrator's only job: declare what joins with what.
-    db.add_fk("Log", "Patient", "Appointments", "Patient").expect("ok");
-    db.add_fk("Appointments", "Doctor", "Log", "User").expect("ok");
+    db.add_fk("Log", "Patient", "Appointments", "Patient")
+        .expect("ok");
+    db.add_fk("Appointments", "Doctor", "Log", "User")
+        .expect("ok");
 
     // ---- 3. mine and explain ------------------------------------------
     let spec = LogSpec::conventional(&db).expect("Log table");
@@ -97,7 +99,6 @@ fn main() {
         .expect("appointment template mined from imported data");
     println!(
         "\nthe classic appointment template explains {} of {} accesses",
-        appt_template.support,
-        mined.anchor_lids
+        appt_template.support, mined.anchor_lids
     );
 }

@@ -19,9 +19,8 @@ fn main() {
     let mut hospital = Hospital::generate(SynthConfig::small());
     let spec = LogSpec::conventional(&hospital.db).expect("Log table");
     let train_days = spec.with_filters(split::day_range(&hospital.log_cols, 1, 6));
-    let groups =
-        collaborative_groups(&hospital.db, &train_days, HierarchyConfig::default(), 500)
-            .expect("Users table");
+    let groups = collaborative_groups(&hospital.db, &train_days, HierarchyConfig::default(), 500)
+        .expect("Users table");
     install_groups(&mut hospital.db, &groups).expect("installs");
 
     let mining_spec = spec.with_filters(split::days_first(&hospital.log_cols, 1, 6));

@@ -87,8 +87,14 @@ fn main() {
     );
 
     println!("\nTop users by unexplained accesses:");
-    println!("{:<8} {:>12} {:>18}", "user", "unexplained", "distinct patients");
-    for s in misuse_summary(&hospital.db, &spec, &explainer).into_iter().take(8) {
+    println!(
+        "{:<8} {:>12} {:>18}",
+        "user", "unexplained", "distinct patients"
+    );
+    for s in misuse_summary(&hospital.db, &spec, &explainer)
+        .into_iter()
+        .take(8)
+    {
         println!(
             "{:<8} {:>12} {:>18}",
             s.user.display(hospital.db.pool()).to_string(),
@@ -96,6 +102,8 @@ fn main() {
             s.distinct_patients
         );
     }
-    println!("\n(Float-pool users — vascular access, anesthesiology — dominate, as the paper found;");
+    println!(
+        "\n(Float-pool users — vascular access, anesthesiology — dominate, as the paper found;"
+    );
     println!(" their work leaves no database trace, so they are flagged for manual review.)");
 }

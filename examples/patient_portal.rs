@@ -33,8 +33,7 @@ fn main() {
     let handcrafted = HandcraftedTemplates::build(&hospital.db, &spec).expect("schema");
     let mut templates: Vec<_> = handcrafted.all().into_iter().cloned().collect();
     for event in EventTable::ALL {
-        templates
-            .push(same_group(&hospital.db, &spec, event, Some(1)).expect("Groups installed"));
+        templates.push(same_group(&hospital.db, &spec, event, Some(1)).expect("Groups installed"));
     }
     let explainer = Explainer::new(templates);
 

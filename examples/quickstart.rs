@@ -62,10 +62,14 @@ fn main() {
         .expect("row");
 
     // Join metadata (Def. 5): key/FK relationships + one allowed self-join.
-    db.add_fk("Log", "Patient", "Appointments", "Patient").expect("ok");
-    db.add_fk("Appointments", "Doctor", "Log", "User").expect("ok");
-    db.add_fk("Appointments", "Doctor", "Doctor_Info", "Doctor").expect("ok");
-    db.add_fk("Doctor_Info", "Doctor", "Log", "User").expect("ok");
+    db.add_fk("Log", "Patient", "Appointments", "Patient")
+        .expect("ok");
+    db.add_fk("Appointments", "Doctor", "Log", "User")
+        .expect("ok");
+    db.add_fk("Appointments", "Doctor", "Doctor_Info", "Doctor")
+        .expect("ok");
+    db.add_fk("Doctor_Info", "Doctor", "Log", "User")
+        .expect("ok");
     db.allow_self_join("Doctor_Info", "Department").expect("ok");
 
     let spec = LogSpec::conventional(&db).expect("Log table");
@@ -107,7 +111,11 @@ fn main() {
         println!("Explanations for log record {}:", lid.display(db.pool()));
         for t in [&template_a, &template_b] {
             for inst in t.instances(&db, &spec, row, 4).expect("valid") {
-                println!("  [len {}] {}", t.length(), t.render(&db, &spec, row, &inst));
+                println!(
+                    "  [len {}] {}",
+                    t.length(),
+                    t.render(&db, &spec, row, &inst)
+                );
             }
         }
         println!();

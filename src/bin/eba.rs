@@ -25,8 +25,9 @@ use eba::core::{
     MiningResult,
 };
 use eba::relational::{csv, Database, Value};
-use eba::synth::{create_careweb_tables, declare_careweb_relationships, Hospital, LogColumns,
-    SynthConfig};
+use eba::synth::{
+    create_careweb_tables, declare_careweb_relationships, Hospital, LogColumns, SynthConfig,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -156,9 +157,8 @@ fn cmd_synth(opts: &Options) -> CliResult {
         tables.push(("Mapping", m));
     }
     for (name, id) in tables {
-        let mut file = std::io::BufWriter::new(std::fs::File::create(out.join(format!(
-            "{name}.csv"
-        )))?);
+        let mut file =
+            std::io::BufWriter::new(std::fs::File::create(out.join(format!("{name}.csv")))?);
         csv::export_table(&hospital.db, id, &mut file)?;
     }
     println!(
@@ -214,22 +214,19 @@ fn load_data(dir: &Path) -> Result<Loaded, Box<dyn std::error::Error>> {
 
 /// Trains collaborative groups on the full log and installs them.
 fn add_groups(loaded: &mut Loaded) -> CliResult {
-    let model = collaborative_groups(
-        &loaded.db,
-        &loaded.spec,
-        HierarchyConfig::default(),
-        1_000,
-    )?;
+    let model = collaborative_groups(&loaded.db, &loaded.spec, HierarchyConfig::default(), 1_000)?;
     install_groups(&mut loaded.db, &model)?;
     Ok(())
 }
 
 /// The explanation suite: hand-crafted templates, plus depth-1 group
 /// templates when groups are installed.
-fn build_explainer(loaded: &Loaded, with_groups: bool) -> Result<Explainer, Box<dyn std::error::Error>> {
+fn build_explainer(
+    loaded: &Loaded,
+    with_groups: bool,
+) -> Result<Explainer, Box<dyn std::error::Error>> {
     let handcrafted = HandcraftedTemplates::build(&loaded.db, &loaded.spec)?;
-    let mut templates: Vec<ExplanationTemplate> =
-        handcrafted.all().into_iter().cloned().collect();
+    let mut templates: Vec<ExplanationTemplate> = handcrafted.all().into_iter().cloned().collect();
     if with_groups {
         for e in EventTable::ALL {
             templates.push(same_group(&loaded.db, &loaded.spec, e, Some(1))?);
@@ -253,9 +250,7 @@ fn cmd_mine(opts: &Options) -> CliResult {
         ..MiningConfig::default()
     };
     if loaded.has_mapping {
-        config
-            .exempt_tables
-            .push(loaded.db.table_id("Mapping")?);
+        config.exempt_tables.push(loaded.db.table_id("Mapping")?);
     }
     let algorithm = opts.get("algorithm").unwrap_or("one-way");
     let started = std::time::Instant::now();
@@ -358,7 +353,10 @@ fn cmd_report(opts: &Options) -> CliResult {
         println!("no accesses recorded for patient {patient}");
         return Ok(());
     }
-    println!("access report for patient {patient} ({} accesses):", report.len());
+    println!(
+        "access report for patient {patient} ({} accesses):",
+        report.len()
+    );
     for e in &report {
         println!(
             "  {:>6}  {:<16} user {:<6} {}",

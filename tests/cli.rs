@@ -26,7 +26,11 @@ fn synth(dir: &std::path::Path, extra: &[&str]) {
     let mut args = vec!["synth", "--out", dir.to_str().unwrap(), "--scale", "tiny"];
     args.extend_from_slice(extra);
     let out = eba(&args);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("Log.csv").exists());
     assert!(dir.join("Users.csv").exists());
 }
@@ -36,7 +40,11 @@ fn synth_then_mine_round_trips() {
     let dir = data_dir("mine");
     synth(&dir, &[]);
     let out = eba(&["mine", "--data", dir.to_str().unwrap(), "--groups"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     assert!(text.contains("mined"), "{text}");
     // The classic appointment template is always found.
@@ -81,7 +89,13 @@ fn explain_handles_found_and_missing_lids() {
         text.contains("[len ") || text.contains("closest template verdicts"),
         "{text}"
     );
-    let out = eba(&["explain", "--data", dir.to_str().unwrap(), "--lid", "999999"]);
+    let out = eba(&[
+        "explain",
+        "--data",
+        dir.to_str().unwrap(),
+        "--lid",
+        "999999",
+    ]);
     assert!(!out.status.success(), "missing lid must fail");
     assert!(String::from_utf8_lossy(&out.stderr).contains("no log record"));
     let _ = std::fs::remove_dir_all(&dir);
@@ -135,7 +149,11 @@ fn mapping_mode_round_trips_through_csv() {
     synth(&dir, &["--mapping"]);
     assert!(dir.join("Mapping.csv").exists());
     let out = eba(&["mine", "--data", dir.to_str().unwrap(), "--max-length", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = stdout(&out);
     // Consult templates route through the mapping (length 3).
     assert!(text.contains("Mapping(AuditId→CaregiverId)"), "{text}");

@@ -67,7 +67,10 @@ fn inferred_groups_align_with_planted_teams() {
         precision > 0.5,
         "pairwise precision {precision:.2} too low at depth 1"
     );
-    assert!(recall > 0.5, "pairwise recall {recall:.2} too low at depth 1");
+    assert!(
+        recall > 0.5,
+        "pairwise recall {recall:.2} too low at depth 1"
+    );
 }
 
 #[test]

@@ -17,8 +17,7 @@ fn pipeline(config: SynthConfig) -> (Hospital, LogSpec, Explainer) {
     install_groups(&mut hospital.db, &groups).unwrap();
 
     let handcrafted = HandcraftedTemplates::build(&hospital.db, &spec).unwrap();
-    let mut templates: Vec<ExplanationTemplate> =
-        handcrafted.all().into_iter().cloned().collect();
+    let mut templates: Vec<ExplanationTemplate> = handcrafted.all().into_iter().cloned().collect();
     for e in EventTable::ALL {
         templates.push(same_group(&hospital.db, &spec, e, Some(1)).unwrap());
     }
@@ -58,10 +57,7 @@ fn explainability_matches_ground_truth_labels() {
     ] {
         if let Some(&(expl, total)) = by_reason.get(&reason) {
             let frac = expl as f64 / total.max(1) as f64;
-            assert!(
-                frac > 0.65,
-                "{reason:?}: only {expl}/{total} explained"
-            );
+            assert!(frac > 0.65, "{reason:?}: only {expl}/{total} explained");
         }
     }
     // Float assists are mostly unexplained (they have no recorded reason;

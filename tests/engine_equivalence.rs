@@ -1,0 +1,335 @@
+//! Differential equivalence: the interned/cached/parallel [`Engine`] must
+//! return **byte-identical** `explained_rows` and `support` to the
+//! reference row evaluator ([`ChainQuery`]) for every query class —
+//! undecorated closed chains, open partial paths, constant-decorated and
+//! anchor-decorated chains, and anchor-filtered specs — on randomized
+//! databases, and mining must produce the same template set with the
+//! engine on and off.
+
+use eba::audit::handcrafted::{same_group, EventTable, HandcraftedTemplates};
+use eba::core::mining::{mine_one_way, mine_two_way, refine, DecorationCandidate};
+use eba::core::{LogSpec, MiningConfig};
+use eba::relational::{
+    ChainQuery, ChainStep, CmpOp, DataType, Database, Engine, EvalOptions, TableId, Value,
+};
+use eba::synth::{Hospital, SynthConfig};
+use proptest::prelude::*;
+
+/// Asserts the engine and the row evaluator agree exactly on one query,
+/// under both dedup settings.
+fn assert_equivalent(db: &Database, engine: &Engine, q: &ChainQuery, what: &str) {
+    for dedup in [true, false] {
+        let opts = EvalOptions { dedup };
+        let reference = q.explained_rows(db, opts).unwrap();
+        let via_engine = engine.explained_rows(db, q, opts).unwrap();
+        assert_eq!(
+            via_engine, reference,
+            "{what}: explained_rows (dedup={dedup})"
+        );
+        let s_ref = q.support(db, opts).unwrap();
+        let s_eng = engine.support(db, q, opts).unwrap();
+        assert_eq!(s_eng, s_ref, "{what}: support (dedup={dedup})");
+    }
+}
+
+/// Every query the synthetic hospital exercises: handcrafted closed
+/// templates (incl. the anchor-decorated repeat-access and the
+/// constant-decorated group templates), open event predicates, and mined
+/// templates.
+fn hospital_queries(db: &Database, spec: &LogSpec) -> Vec<(String, ChainQuery)> {
+    let mut queries: Vec<(String, ChainQuery)> = Vec::new();
+    let handcrafted = HandcraftedTemplates::build(db, spec).unwrap();
+    for t in handcrafted.all() {
+        queries.push((
+            format!("handcrafted len {}", t.length()),
+            t.path.to_chain_query(spec),
+        ));
+    }
+    if let Ok(grouped) = same_group(db, spec, EventTable::Appointments, Some(1)) {
+        queries.push((
+            "same_group depth 1".into(),
+            grouped.path.to_chain_query(spec),
+        ));
+    }
+    for (name, path) in eba::audit::handcrafted::event_predicates(db, spec).unwrap() {
+        queries.push((format!("open predicate {name}"), path.to_chain_query(spec)));
+    }
+    let mined = mine_one_way(
+        db,
+        spec,
+        &MiningConfig {
+            support_frac: 0.05,
+            max_length: 4,
+            max_tables: 3,
+            ..MiningConfig::default()
+        },
+    );
+    for t in &mined.templates {
+        queries.push((
+            format!("mined {}", t.key.as_str()),
+            t.path.to_chain_query(spec),
+        ));
+    }
+    queries
+}
+
+#[test]
+fn engine_matches_row_evaluator_on_synthetic_hospitals() {
+    for seed in [1u64, 7, 42] {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::tiny()
+        };
+        let h = Hospital::generate(config);
+        let spec = LogSpec::conventional(&h.db).unwrap();
+        let engine = Engine::new(&h.db);
+        for (what, q) in hospital_queries(&h.db, &spec) {
+            assert_equivalent(&h.db, &engine, &q, &format!("seed {seed}: {what}"));
+        }
+    }
+}
+
+#[test]
+fn engine_matches_under_anchor_filters() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let date_col = h.db.table(spec.table).schema().col("Date").unwrap();
+    // Mine on the first half of the window only.
+    let filtered = spec.with_filters(vec![(date_col, CmpOp::Le, Value::Date(4 * 24 * 60))]);
+    let engine = Engine::new(&h.db);
+    for (what, q) in hospital_queries(&h.db, &filtered) {
+        assert_equivalent(&h.db, &engine, &q, &format!("filtered: {what}"));
+    }
+}
+
+#[test]
+fn batch_evaluation_matches_one_by_one() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let engine = Engine::new(&h.db);
+    let queries: Vec<ChainQuery> = hospital_queries(&h.db, &spec)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    let opts = EvalOptions::default();
+    let batch = engine.support_many(&h.db, &queries, opts);
+    for (q, got) in queries.iter().zip(batch) {
+        assert_eq!(got.unwrap(), q.support(&h.db, opts).unwrap());
+    }
+}
+
+#[test]
+fn mining_is_identical_with_engine_on_and_off() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let base = MiningConfig {
+        support_frac: 0.02,
+        max_length: 4,
+        max_tables: 3,
+        ..MiningConfig::default()
+    };
+    let engine_off = MiningConfig {
+        opt_engine: false,
+        ..base.clone()
+    };
+    let on = mine_one_way(&h.db, &spec, &base);
+    let off = mine_one_way(&h.db, &spec, &engine_off);
+    assert_eq!(on.key_set(), off.key_set());
+    assert_eq!(on.threshold, off.threshold);
+    for (a, b) in on.templates.iter().zip(&off.templates) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.support, b.support);
+    }
+    // Identical support-query/cache accounting, engine or not.
+    assert_eq!(on.stats.support_queries(), off.stats.support_queries());
+    assert_eq!(on.stats.cache_hits(), off.stats.cache_hits());
+
+    let two_on = mine_two_way(&h.db, &spec, &base);
+    let two_off = mine_two_way(&h.db, &spec, &engine_off);
+    assert_eq!(two_on.key_set(), two_off.key_set());
+
+    // Decoration refinement picks the same pinned values and supports.
+    if let Ok(candidate) = DecorationCandidate::group_depths(&h.db, 3) {
+        let refined_on = refine(&h.db, &spec, &on.templates, &candidate, on.threshold, &base);
+        let refined_off = refine(
+            &h.db,
+            &spec,
+            &off.templates,
+            &candidate,
+            off.threshold,
+            &engine_off,
+        );
+        assert_eq!(refined_on.len(), refined_off.len());
+        for (a, b) in refined_on.iter().zip(&refined_off) {
+            assert_eq!(a.base_key, b.base_key);
+            assert_eq!(a.pinned, b.pinned);
+            assert_eq!(a.support, b.support);
+        }
+    }
+}
+
+// --------------------------------------------------------------- proptest
+
+/// A random two-hop world (same shape as `props.rs`): Log(Lid, User,
+/// Patient), Event(Patient, Actor), Team(Member, Buddy), with NULLs mixed
+/// in so the null-handling paths are exercised too.
+#[derive(Debug, Clone)]
+struct RandomWorld {
+    log_rows: Vec<(i64, i64, i64)>,
+    event_rows: Vec<(i64, i64, bool)>, // bool: actor is NULL
+    team_rows: Vec<(i64, i64)>,
+}
+
+fn random_world() -> impl Strategy<Value = RandomWorld> {
+    (
+        prop::collection::vec((0..40i64, 0..6i64, 0..8i64), 1..25),
+        prop::collection::vec((0..8i64, 0..6i64, 0..10i64), 0..25),
+        prop::collection::vec((0..6i64, 0..6i64), 0..15),
+    )
+        .prop_map(|(mut log_rows, event_rows, team_rows)| {
+            for (i, r) in log_rows.iter_mut().enumerate() {
+                r.0 = i as i64;
+            }
+            RandomWorld {
+                log_rows,
+                event_rows: event_rows
+                    .into_iter()
+                    .map(|(p, a, n)| (p, a, n == 0))
+                    .collect(),
+                team_rows,
+            }
+        })
+}
+
+fn materialize(w: &RandomWorld) -> (Database, TableId, TableId, TableId) {
+    let mut db = Database::new();
+    let log = db
+        .create_table(
+            "Log",
+            &[
+                ("Lid", DataType::Int),
+                ("User", DataType::Int),
+                ("Patient", DataType::Int),
+            ],
+        )
+        .unwrap();
+    let event = db
+        .create_table(
+            "Event",
+            &[("Patient", DataType::Int), ("Actor", DataType::Int)],
+        )
+        .unwrap();
+    let team = db
+        .create_table(
+            "Team",
+            &[("Member", DataType::Int), ("Buddy", DataType::Int)],
+        )
+        .unwrap();
+    for &(lid, user, patient) in &w.log_rows {
+        db.insert(
+            log,
+            vec![Value::Int(lid), Value::Int(user), Value::Int(patient)],
+        )
+        .unwrap();
+    }
+    for &(p, a, null_actor) in &w.event_rows {
+        let actor = if null_actor {
+            Value::Null
+        } else {
+            Value::Int(a)
+        };
+        db.insert(event, vec![Value::Int(p), actor]).unwrap();
+    }
+    for &(m, b) in &w.team_rows {
+        db.insert(team, vec![Value::Int(m), Value::Int(b)]).unwrap();
+    }
+    (db, log, event, team)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engine_matches_on_random_worlds(w in random_world()) {
+        let (db, log, event, team) = materialize(&w);
+        let engine = Engine::new(&db);
+        let one_hop = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        let open = ChainQuery { close_col: None, ..one_hop.clone() };
+        let two_hop = ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1), ChainStep::new(team, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        };
+        let filtered = ChainQuery {
+            anchor_filters: vec![(1, CmpOp::Ge, Value::Int(3))],
+            ..one_hop.clone()
+        };
+        let decorated = {
+            let mut q = one_hop.clone();
+            q.steps[0].filters.push(eba::relational::StepFilter {
+                col: 1,
+                op: CmpOp::Lt,
+                rhs: eba::relational::Rhs::Const(Value::Int(3)),
+            });
+            q
+        };
+        let anchor_dep = {
+            let mut q = one_hop.clone();
+            q.steps[0].filters.push(eba::relational::StepFilter {
+                col: 1,
+                op: CmpOp::Le,
+                rhs: eba::relational::Rhs::AnchorCol(1),
+            });
+            q
+        };
+        for (what, q) in [
+            ("one_hop", &one_hop),
+            ("open", &open),
+            ("two_hop", &two_hop),
+            ("filtered", &filtered),
+            ("decorated", &decorated),
+            ("anchor_dep", &anchor_dep),
+        ] {
+            for dedup in [true, false] {
+                let opts = EvalOptions { dedup };
+                prop_assert_eq!(
+                    engine.explained_rows(&db, q, opts).unwrap(),
+                    q.explained_rows(&db, opts).unwrap(),
+                    "{} (dedup={})", what, dedup
+                );
+                prop_assert_eq!(
+                    engine.support(&db, q, opts).unwrap(),
+                    q.support(&db, opts).unwrap(),
+                    "{} (dedup={})", what, dedup
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_rejects_what_the_evaluator_rejects() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let engine = Engine::new(&h.db);
+    let bad = ChainQuery {
+        log: spec.table,
+        lid_col: spec.lid_col,
+        start_col: 999,
+        steps: vec![],
+        close_col: None,
+        anchor_filters: vec![],
+    };
+    assert!(engine.support(&h.db, &bad, EvalOptions::default()).is_err());
+    assert!(bad.support(&h.db, EvalOptions::default()).is_err());
+}

@@ -101,7 +101,11 @@ fn exempting_the_mapping_restores_group_templates_for_b_events() {
         "exemption can only widen the search space"
     );
     for t in with.templates.iter().filter(|t| is_b_group_expansion(t)) {
-        assert_eq!(t.length(), 5, "B-event group-expansion templates have length 5");
+        assert_eq!(
+            t.length(),
+            5,
+            "B-event group-expansion templates have length 5"
+        );
         assert_eq!(
             t.path.table_count(spec.table, &[mapping_t]),
             3,

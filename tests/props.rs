@@ -6,11 +6,9 @@
 //! * evaluation options (dedup) never change results;
 //! * metrics stay within bounds.
 
-use eba::core::{canonical::canonical_key, Direction, Edge, LogSpec, Path};
 use eba::core::edge::EdgeKind;
-use eba::relational::{
-    ChainQuery, ChainStep, DataType, Database, EvalOptions, TableId, Value,
-};
+use eba::core::{canonical::canonical_key, Direction, Edge, LogSpec, Path};
+use eba::relational::{ChainQuery, ChainStep, DataType, Database, EvalOptions, TableId, Value};
 use proptest::prelude::*;
 
 /// A small random two-table world: Log(Lid, User, Patient) and
@@ -18,8 +16,8 @@ use proptest::prelude::*;
 /// actually happen.
 #[derive(Debug, Clone)]
 struct SmallWorld {
-    log_rows: Vec<(i64, i64, i64)>,   // (lid, user, patient)
-    event_rows: Vec<(i64, i64)>,      // (patient, actor)
+    log_rows: Vec<(i64, i64, i64)>, // (lid, user, patient)
+    event_rows: Vec<(i64, i64)>,    // (patient, actor)
 }
 
 fn small_world() -> impl Strategy<Value = SmallWorld> {
@@ -80,9 +78,7 @@ fn brute_force_closed(w: &SmallWorld) -> Vec<u32> {
         .iter()
         .enumerate()
         .filter(|(_, (_, user, patient))| {
-            w.event_rows
-                .iter()
-                .any(|(p, a)| p == patient && a == user)
+            w.event_rows.iter().any(|(p, a)| p == patient && a == user)
         })
         .map(|(i, _)| i as u32)
         .collect()
