@@ -5,7 +5,7 @@
 //! ascending order of path length" (§2.1).
 
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{Database, EvalOptions, PreparedChain, Result, RowId};
+use eba_relational::{ChainQuery, Database, Engine, EvalOptions, PreparedChain, Result, RowId};
 use std::collections::HashSet;
 
 /// One rendered explanation for a specific access.
@@ -76,13 +76,24 @@ impl Explainer {
             .explain(db, spec, row, instances_per_template))
     }
 
+    /// The suite lowered to chain queries, in template order.
+    fn suite_queries(&self, spec: &LogSpec) -> Vec<ChainQuery> {
+        self.templates
+            .iter()
+            .map(|t| t.path.to_chain_query(spec))
+            .collect()
+    }
+
     /// Rows (within the spec's anchor) explained by at least one template.
+    ///
+    /// One-off convenience that evaluates each template's query against
+    /// the cold database; an auditing session asking this repeatedly
+    /// should hold a warm [`Engine`] and use
+    /// [`Explainer::explained_rows_with`] instead.
     pub fn explained_rows(&self, db: &Database, spec: &LogSpec) -> HashSet<RowId> {
         let mut out = HashSet::new();
-        for t in &self.templates {
-            let rows = t
-                .path
-                .to_chain_query(spec)
+        for q in self.suite_queries(spec) {
+            let rows = q
                 .explained_rows(db, EvalOptions::default())
                 .expect("templates lower to valid queries");
             out.extend(rows);
@@ -90,10 +101,40 @@ impl Explainer {
         out
     }
 
+    /// [`Explainer::explained_rows`] through a shared [`Engine`]: the
+    /// whole suite is evaluated as one fanned-out batch, and the engine's
+    /// step maps and log partitions stay warm for the next question.
+    /// Results are identical to the per-query path.
+    pub fn explained_rows_with(
+        &self,
+        db: &Database,
+        spec: &LogSpec,
+        engine: &Engine,
+    ) -> HashSet<RowId> {
+        engine
+            .explained_union(db, &self.suite_queries(spec), EvalOptions::default())
+            .expect("templates lower to valid queries")
+    }
+
     /// Anchor rows *no* template explains — the paper's reduced set of
     /// potentially suspicious accesses.
     pub fn unexplained_rows(&self, db: &Database, spec: &LogSpec) -> Vec<RowId> {
         let explained = self.explained_rows(db, spec);
+        Self::anchor_complement(db, spec, &explained)
+    }
+
+    /// [`Explainer::unexplained_rows`] through a shared [`Engine`].
+    pub fn unexplained_rows_with(
+        &self,
+        db: &Database,
+        spec: &LogSpec,
+        engine: &Engine,
+    ) -> Vec<RowId> {
+        let explained = self.explained_rows_with(db, spec, engine);
+        Self::anchor_complement(db, spec, &explained)
+    }
+
+    fn anchor_complement(db: &Database, spec: &LogSpec, explained: &HashSet<RowId>) -> Vec<RowId> {
         crate::metrics::anchor_rows(db, spec)
             .into_iter()
             .filter(|rid| !explained.contains(rid))
@@ -205,6 +246,20 @@ mod tests {
         assert!(
             (float_explained as f64) < 0.2 * float_total as f64,
             "{float_explained}/{float_total} float accesses explained"
+        );
+    }
+
+    #[test]
+    fn engine_backed_suite_matches_per_query_path() {
+        let (h, spec, explainer) = setup();
+        let engine = eba_relational::Engine::new(&h.db);
+        assert_eq!(
+            explainer.explained_rows_with(&h.db, &spec, &engine),
+            explainer.explained_rows(&h.db, &spec)
+        );
+        assert_eq!(
+            explainer.unexplained_rows_with(&h.db, &spec, &engine),
+            explainer.unexplained_rows(&h.db, &spec)
         );
     }
 

@@ -158,18 +158,24 @@ mod tests {
     use crate::split;
     use eba_synth::{Hospital, Role, SynthConfig};
 
-    fn hospital_with_groups() -> (Hospital, LogSpec, GroupsModel) {
+    /// Builds the grouped hospital and a warm engine that was constructed
+    /// *before* [`install_groups`] and refreshed after — the long-running
+    /// session lifecycle (the refresh must pick up the new `Groups` table).
+    fn hospital_with_groups() -> (Hospital, LogSpec, GroupsModel, eba_relational::Engine) {
         let mut h = Hospital::generate(SynthConfig::tiny());
         let spec = LogSpec::conventional(&h.db).unwrap();
         let train = spec.with_filters(split::day_range(&h.log_cols, 1, 6));
         let model = collaborative_groups(&h.db, &train, HierarchyConfig::default(), 500).unwrap();
-        install_groups(&mut h.db, &model).unwrap();
-        (h, spec, model)
+        let mut engine = eba_relational::Engine::new(&h.db);
+        let groups_t = install_groups(&mut h.db, &model).unwrap();
+        let stats = engine.refresh(&h.db);
+        assert!(stats.delta.grown.contains(&groups_t));
+        (h, spec, model, engine)
     }
 
     #[test]
     fn groups_table_is_installed_with_metadata() {
-        let (h, _, model) = hospital_with_groups();
+        let (h, _, model, _) = hospital_with_groups();
         let t = h.db.table_id("Groups").unwrap();
         assert!(!h.db.table(t).is_empty());
         assert!(model.hierarchy.depth_count() >= 2);
@@ -188,7 +194,7 @@ mod tests {
 
     #[test]
     fn clustering_recovers_care_teams() {
-        let (h, _, model) = hospital_with_groups();
+        let (h, _, model, _) = hospital_with_groups();
         // At some depth, a team's doctors and nurses should share a group
         // more often than random users do.
         let depth = 1;
@@ -216,16 +222,21 @@ mod tests {
 
     #[test]
     fn group_template_explains_nurse_accesses() {
-        let (h, spec, _) = hospital_with_groups();
+        let (h, spec, _, engine) = hospital_with_groups();
         let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
         let group_tmpl = same_group(&h.db, &spec, EventTable::Appointments, None).unwrap();
+        // The refreshed engine evaluates templates that traverse the
+        // post-construction Groups table, identically to the cold path.
         let narrow: std::collections::HashSet<_> = t
             .appt_with_dr
-            .explained_rows(&h.db, &spec)
+            .explained_rows_with(&h.db, &spec, &engine)
             .unwrap()
             .into_iter()
             .collect();
-        let wide = group_tmpl.explained_rows(&h.db, &spec).unwrap();
+        let wide = group_tmpl
+            .explained_rows_with(&h.db, &spec, &engine)
+            .unwrap();
+        assert_eq!(wide, group_tmpl.explained_rows(&h.db, &spec).unwrap());
         // The group template explains accesses the direct template cannot —
         // specifically some nurse (CareTeam) accesses.
         let mut nurse_gain = 0;
@@ -247,18 +258,25 @@ mod tests {
 
     #[test]
     fn depth_decorated_template_is_narrower() {
-        let (h, spec, model) = hospital_with_groups();
+        let (h, spec, model, engine) = hospital_with_groups();
         let any = same_group(&h.db, &spec, EventTable::Appointments, None).unwrap();
         let deepest = (model.hierarchy.depth_count() - 1) as i64;
         let deep = same_group(&h.db, &spec, EventTable::Appointments, Some(deepest)).unwrap();
-        let any_n = any.explained_rows(&h.db, &spec).unwrap().len();
-        let deep_n = deep.explained_rows(&h.db, &spec).unwrap().len();
+        let any_n = any
+            .explained_rows_with(&h.db, &spec, &engine)
+            .unwrap()
+            .len();
+        let deep_n = deep
+            .explained_rows_with(&h.db, &spec, &engine)
+            .unwrap()
+            .len();
         assert!(deep_n <= any_n, "deeper groups explain fewer accesses");
+        assert_eq!(deep_n, deep.explained_rows(&h.db, &spec).unwrap().len());
     }
 
     #[test]
     fn group_of_unknown_user_is_none() {
-        let (_, _, model) = hospital_with_groups();
+        let (_, _, model, _) = hospital_with_groups();
         assert_eq!(model.group_of(Value::Int(999_999), 1), None);
     }
 }

@@ -358,6 +358,16 @@ mod tests {
         assert!(t.doc_with_dr.support(&h.db, &spec).unwrap() > 0);
         assert!(t.repeat_access.support(&h.db, &spec).unwrap() > 0);
         assert_eq!(t.all().len(), 8);
+        // One warm engine serves the whole suite with identical supports
+        // (the repeat-access template is anchor-dependent and exercises
+        // the per-row fallback).
+        let engine = eba_relational::Engine::new(&h.db);
+        for tmpl in t.all() {
+            assert_eq!(
+                tmpl.support_with(&h.db, &spec, &engine).unwrap(),
+                tmpl.support(&h.db, &spec).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::fake::FakeLog;
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{Database, EvalOptions, RowId};
+use eba_relational::{ChainQuery, Database, Engine, EvalOptions, RowId};
 use std::collections::HashSet;
 
 /// Counts underlying the three metrics.
@@ -88,6 +88,23 @@ pub fn explained_union(
     out
 }
 
+/// [`explained_union`] through a shared [`Engine`]: the template set is
+/// evaluated as one fanned-out batch against the engine's warm caches.
+pub fn explained_union_with(
+    db: &Database,
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    engine: &Engine,
+) -> HashSet<RowId> {
+    let queries: Vec<ChainQuery> = templates
+        .iter()
+        .map(|t| t.path.to_chain_query(spec))
+        .collect();
+    engine
+        .explained_union(db, &queries, EvalOptions::default())
+        .expect("templates lower to valid queries")
+}
+
 /// Builds a [`Confusion`] from precomputed row sets — the general entry
 /// point, also usable with open-path predicates (e.g. the depth-0
 /// "everyone in one group" baseline, whose explained set is just "patient
@@ -144,6 +161,27 @@ pub fn evaluate(
     )
 }
 
+/// [`evaluate`] through a shared [`Engine`] over `db` — what the
+/// experiments figures use so every template set of one figure shares one
+/// snapshot and cache.
+pub fn evaluate_with(
+    db: &Database,
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    fake: Option<&FakeLog>,
+    with_events: Option<&HashSet<RowId>>,
+    engine: &Engine,
+) -> Confusion {
+    let anchors = anchor_rows(db, spec);
+    let explained = explained_union_with(db, spec, templates, engine);
+    confusion_from_sets(
+        &anchors,
+        &explained,
+        |rid| fake.is_some_and(|f| f.is_fake(rid)),
+        with_events,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +227,23 @@ mod tests {
         assert!(c.recall() > 0.0);
         assert_eq!(c.precision(), 1.0);
         assert_eq!(c.real_with_events, c.real_total);
+    }
+
+    #[test]
+    fn engine_backed_union_and_confusion_match_per_query() {
+        let h = Hospital::generate(SynthConfig::tiny());
+        let spec = eba_core::LogSpec::conventional(&h.db).unwrap();
+        let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+        let engine = Engine::new(&h.db);
+        let suite = t.all();
+        assert_eq!(
+            explained_union_with(&h.db, &spec, &suite, &engine),
+            explained_union(&h.db, &spec, &suite)
+        );
+        assert_eq!(
+            evaluate_with(&h.db, &spec, &suite, None, None, &engine),
+            evaluate(&h.db, &spec, &suite, None, None)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::explain::{Explainer, RankedExplanation};
 use eba_core::LogSpec;
-use eba_relational::{Database, Result, RowId, Value};
+use eba_relational::{Database, Engine, Result, RowId, Value};
 use eba_synth::LogColumns;
 use std::collections::HashMap;
 
@@ -90,9 +90,29 @@ pub struct SuspectSummary {
 /// Groups the unexplained accesses by user, sorted by descending count
 /// (ties broken by user value for determinism).
 pub fn misuse_summary(db: &Database, spec: &LogSpec, explainer: &Explainer) -> Vec<SuspectSummary> {
+    summarize_unexplained(db, spec, explainer.unexplained_rows(db, spec))
+}
+
+/// [`misuse_summary`] through a shared [`Engine`]: the compliance office
+/// asks this alongside the unexplained list and the timeline, so all
+/// three views share one warm snapshot.
+pub fn misuse_summary_with(
+    db: &Database,
+    spec: &LogSpec,
+    explainer: &Explainer,
+    engine: &Engine,
+) -> Vec<SuspectSummary> {
+    summarize_unexplained(db, spec, explainer.unexplained_rows_with(db, spec, engine))
+}
+
+fn summarize_unexplained(
+    db: &Database,
+    spec: &LogSpec,
+    unexplained: Vec<RowId>,
+) -> Vec<SuspectSummary> {
     let log = db.table(spec.table);
     let mut per_user: HashMap<Value, (usize, std::collections::HashSet<Value>)> = HashMap::new();
-    for rid in explainer.unexplained_rows(db, spec) {
+    for rid in unexplained {
         let row = log.row(rid);
         let entry = per_user.entry(row[spec.user_col]).or_default();
         entry.0 += 1;
@@ -164,6 +184,16 @@ mod tests {
             .collect();
         assert!(!report_texts.is_empty());
         assert!(report_texts[0].contains("investigation"));
+    }
+
+    #[test]
+    fn engine_backed_summary_matches_per_query() {
+        let (h, spec, explainer) = setup();
+        let engine = Engine::new(&h.db);
+        assert_eq!(
+            misuse_summary_with(&h.db, &spec, &explainer, &engine),
+            misuse_summary(&h.db, &spec, &explainer)
+        );
     }
 
     #[test]

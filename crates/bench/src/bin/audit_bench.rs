@@ -1,0 +1,279 @@
+//! Audit-performance tracker: the per-query audit layer vs the shared
+//! warm [`Engine`], plus incremental snapshot refresh vs full rebuild.
+//!
+//! ```text
+//! audit-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench] [--append N]
+//! ```
+//!
+//! The paper's operational loop is an auditor repeatedly asking "which
+//! accesses does this template suite explain?" over an append-only log.
+//! Three workload families measure that loop:
+//!
+//! * **warm-engine suite evaluation** (`suite/*`, `timeline/daily`,
+//!   `portal/misuse`): the audit layer's per-query path (every call
+//!   re-scans tables per template) vs one warm engine answering the suite
+//!   as a fanned-out batch;
+//! * **cold vs warm engine** (`engine/cold_build`): constructing a fresh
+//!   engine per question vs holding one across questions;
+//! * **incremental append** (`refresh/append*`): `Engine::refresh` after a
+//!   batch of log appends vs re-snapshotting the whole database.
+//!
+//! Every engine-backed result is asserted equal to the per-query result
+//! before timing. With `--json` the medians land in `BENCH_audit.json`
+//! (same schema as `BENCH_mining.json`, shared via
+//! [`eba_bench::harness::write_bench_json`]).
+
+use eba_audit::fake::{user_pool, FakeLog};
+use eba_audit::handcrafted::{same_group, EventTable};
+use eba_audit::{portal, timeline, Explainer};
+use eba_bench::harness::{print_workloads, write_bench_json, Workload};
+use eba_bench::{bench_config, scale_config};
+use eba_experiments::Scenario;
+use eba_relational::{Engine, Value};
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut samples = 5usize;
+    let mut scale = "bench".to_string();
+    let mut append = 500usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| usage("missing --json path")))
+            }
+            "--samples" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --samples value"));
+                samples = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--samples expects an integer"));
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
+            "--append" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --append value"));
+                append = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--append expects an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config = if scale == "bench" {
+        bench_config()
+    } else {
+        scale_config(&scale).unwrap_or_else(|| usage(&format!("unknown scale `{scale}`")))
+    };
+
+    eprintln!("# generating hospital (scale={scale})...");
+    let scenario = Scenario::build(config);
+    let spec = &scenario.spec;
+    let db = &scenario.hospital.db;
+    let days = scenario.hospital.config.days;
+    let cols = &scenario.hospital.log_cols;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "# {} log rows, {} threads, {} samples per measurement",
+        scenario.hospital.log_len(),
+        threads,
+        samples
+    );
+
+    // The auditor's suite: every hand-crafted template (including the
+    // anchor-dependent repeat-access one, which exercises the engine's
+    // row-map-backed per-row path) plus the depth-1 collaborative-group
+    // templates.
+    let mut templates: Vec<_> = scenario.handcrafted.all().into_iter().cloned().collect();
+    for e in EventTable::ALL {
+        templates.push(same_group(db, spec, e, Some(1)).expect("Groups installed"));
+    }
+    let explainer = Explainer::new(templates);
+
+    // One warm engine for the whole session (the scenario's own engine is
+    // left untouched so the workloads control their cache state).
+    let engine = Engine::new(db);
+
+    // Differential guard: every engine-backed view must equal the
+    // per-query view before we time anything.
+    assert_eq!(
+        explainer.explained_rows_with(db, spec, &engine),
+        explainer.explained_rows(db, spec),
+        "engine changed the explained set"
+    );
+    assert_eq!(
+        explainer.unexplained_rows_with(db, spec, &engine),
+        explainer.unexplained_rows(db, spec),
+        "engine changed the unexplained set"
+    );
+    assert_eq!(
+        timeline::daily_stats_with(db, spec, cols, &explainer, days, &engine),
+        timeline::daily_stats(db, spec, cols, &explainer, days),
+        "engine changed the timeline"
+    );
+    assert_eq!(
+        portal::misuse_summary_with(db, spec, &explainer, &engine),
+        portal::misuse_summary(db, spec, &explainer),
+        "engine changed the misuse summary"
+    );
+
+    let mut workloads: Vec<Workload> = Vec::new();
+    workloads.push(Workload::compare(
+        "suite/explained",
+        samples,
+        || {
+            explainer.explained_rows(db, spec);
+        },
+        || {
+            explainer.explained_rows_with(db, spec, &engine);
+        },
+    ));
+    workloads.push(Workload::compare(
+        "suite/unexplained",
+        samples,
+        || {
+            explainer.unexplained_rows(db, spec);
+        },
+        || {
+            explainer.unexplained_rows_with(db, spec, &engine);
+        },
+    ));
+    workloads.push(Workload::compare(
+        "timeline/daily",
+        samples,
+        || {
+            timeline::daily_stats(db, spec, cols, &explainer, days);
+        },
+        || {
+            timeline::daily_stats_with(db, spec, cols, &explainer, days, &engine);
+        },
+    ));
+    workloads.push(Workload::compare(
+        "portal/misuse",
+        samples,
+        || {
+            portal::misuse_summary(db, spec, &explainer);
+        },
+        || {
+            portal::misuse_summary_with(db, spec, &explainer, &engine);
+        },
+    ));
+    // Cold engine per question vs one warm engine across questions.
+    workloads.push(Workload::compare(
+        "engine/cold_build",
+        samples,
+        || {
+            let cold = Engine::new(db);
+            explainer.explained_rows_with(db, spec, &cold);
+        },
+        || {
+            explainer.explained_rows_with(db, spec, &engine);
+        },
+    ));
+
+    // Incremental append: after each batch of `append` fresh log rows, an
+    // engine is brought up to date — by full re-snapshot (baseline) vs
+    // `Engine::refresh` (engine). The appends themselves are *outside* the
+    // timed region (ingest happens either way); both sides grow their own
+    // database clone at the same rate so the comparison stays balanced
+    // across samples.
+    {
+        let users = user_pool(db);
+        let patients: Vec<Value> = (0..scenario.hospital.world.n_patients())
+            .map(|p| scenario.hospital.patient_value(p))
+            .collect();
+        let t_log = scenario.hospital.t_log;
+        let timed_appends = |side: &mut dyn FnMut(&mut eba_relational::Database),
+                             db_side: &mut eba_relational::Database,
+                             seed0: u64|
+         -> std::time::Duration {
+            // One warm-up round, then `samples` timed rounds (matching
+            // `measure`'s shape), each preceded by an untimed append batch.
+            let mut durations = Vec::with_capacity(samples);
+            for i in 0..=samples {
+                FakeLog::inject(
+                    db_side,
+                    t_log,
+                    cols,
+                    &users,
+                    &patients,
+                    append,
+                    days,
+                    seed0 + i as u64,
+                );
+                let start = std::time::Instant::now();
+                side(db_side);
+                let elapsed = start.elapsed();
+                if i > 0 {
+                    durations.push(elapsed);
+                }
+            }
+            eba_bench::harness::median(&durations)
+        };
+
+        let mut db_rebuild = db.clone();
+        let baseline = timed_appends(
+            &mut |d| {
+                Engine::new(d);
+            },
+            &mut db_rebuild,
+            0xA0D17,
+        );
+
+        let mut db_refresh = db.clone();
+        let mut warm = Engine::new(&db_refresh);
+        // Warm the caches the way a live session would have.
+        explainer.explained_rows_with(&db_refresh, spec, &warm);
+        let engine_side = timed_appends(
+            &mut |d| {
+                warm.refresh(d);
+            },
+            &mut db_refresh,
+            0xB0D17,
+        );
+        workloads.push(Workload {
+            name: format!("refresh/append{append}"),
+            baseline,
+            engine: engine_side,
+            samples,
+        });
+
+        // The refreshed engine must agree with a fresh snapshot of the
+        // grown database.
+        let fresh = Engine::new(&db_refresh);
+        assert_eq!(
+            explainer.explained_rows_with(&db_refresh, spec, &warm),
+            explainer.explained_rows_with(&db_refresh, spec, &fresh),
+            "refresh diverged from a fresh snapshot"
+        );
+        assert_eq!(
+            explainer.explained_rows_with(&db_refresh, spec, &warm),
+            explainer.explained_rows(&db_refresh, spec),
+            "refresh diverged from the per-query path"
+        );
+    }
+
+    print_workloads(&workloads);
+
+    if let Some(path) = json_path {
+        write_bench_json(&path, "audit-bench", &scale, threads, &workloads).expect("write json");
+        eprintln!("# wrote {path}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: audit-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench] [--append N]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -11,39 +11,15 @@
 //! pre-engine behaviour) and `opt_engine: true` (shared step-map cache +
 //! parallel batches) — asserts both mine the **same template set**, and
 //! reports criterion-style medians. With `--json` the medians land in a
-//! `BENCH_mining.json`-shaped file so the perf trajectory is diffable
-//! across PRs.
+//! `BENCH_mining.json`-shaped file (same schema as `audit-bench`'s
+//! `BENCH_audit.json`, see [`eba_bench::harness::write_bench_json`]) so
+//! the perf trajectory is diffable across PRs.
 
-use eba_bench::harness::{format_duration, median};
+use eba_bench::harness::{print_workloads, write_bench_json, Workload};
 use eba_bench::{bench_config, scale_config};
 use eba_core::mining::DecorationCandidate;
 use eba_core::{mine_one_way, mine_two_way, MiningConfig};
 use eba_experiments::Scenario;
-use std::time::{Duration, Instant};
-
-struct Workload {
-    name: String,
-    baseline: Duration,
-    engine: Duration,
-}
-
-impl Workload {
-    fn speedup(&self) -> f64 {
-        self.baseline.as_secs_f64() / self.engine.as_secs_f64().max(1e-12)
-    }
-}
-
-fn measure(samples: usize, mut f: impl FnMut()) -> Duration {
-    f(); // warm-up
-    let durations: Vec<Duration> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed()
-        })
-        .collect();
-    median(&durations)
-}
 
 fn main() {
     let mut json_path: Option<String> = None;
@@ -109,15 +85,16 @@ fn main() {
             mined_off.key_set(),
             "engine changed the one-way template set at length {max_length}"
         );
-        workloads.push(Workload {
-            name: format!("one_way/len{max_length}"),
-            baseline: measure(samples, || {
+        workloads.push(Workload::compare(
+            format!("one_way/len{max_length}"),
+            samples,
+            || {
                 mine_one_way(db, &spec, &off);
-            }),
-            engine: measure(samples, || {
+            },
+            || {
                 mine_one_way(db, &spec, &on);
-            }),
-        });
+            },
+        ));
     }
 
     {
@@ -128,15 +105,40 @@ fn main() {
             mine_two_way(db, &spec, &off).key_set(),
             "engine changed the two-way template set"
         );
-        workloads.push(Workload {
-            name: "two_way/len3".to_string(),
-            baseline: measure(samples, || {
+        workloads.push(Workload::compare(
+            "two_way/len3",
+            samples,
+            || {
                 mine_two_way(db, &spec, &off);
-            }),
-            engine: measure(samples, || {
+            },
+            || {
                 mine_two_way(db, &spec, &on);
-            }),
-        });
+            },
+        ));
+    }
+
+    // The bridging algorithm, whose gluing phases batch through the shared
+    // engine like the bottom-up rounds.
+    {
+        let on = mining(4, true);
+        let off = mining(4, false);
+        let bridged_on = eba_core::mine_bridge(db, &spec, &on, 2).expect("Bridge-2 covers len 4");
+        let bridged_off = eba_core::mine_bridge(db, &spec, &off, 2).expect("Bridge-2 covers len 4");
+        assert_eq!(
+            bridged_on.key_set(),
+            bridged_off.key_set(),
+            "engine changed the bridged template set"
+        );
+        workloads.push(Workload::compare(
+            "bridge2/len4",
+            samples,
+            || {
+                eba_core::mine_bridge(db, &spec, &off, 2).unwrap();
+            },
+            || {
+                eba_core::mine_bridge(db, &spec, &on, 2).unwrap();
+            },
+        ));
     }
 
     // Decoration refinement over the mined set (constant-decorated chains).
@@ -146,9 +148,10 @@ fn main() {
         let mined = mine_one_way(db, &spec, &on);
         if let Ok(candidate) = DecorationCandidate::group_depths(db, 3) {
             let threshold = mined.threshold;
-            workloads.push(Workload {
-                name: "refine/groups".to_string(),
-                baseline: measure(samples, || {
+            workloads.push(Workload::compare(
+                "refine/groups",
+                samples,
+                || {
                     eba_core::mining::refine(
                         db,
                         &spec,
@@ -157,8 +160,8 @@ fn main() {
                         threshold,
                         &off,
                     );
-                }),
-                engine: measure(samples, || {
+                },
+                || {
                     eba_core::mining::refine(
                         db,
                         &spec,
@@ -167,50 +170,15 @@ fn main() {
                         threshold,
                         &on,
                     );
-                }),
-            });
-        }
-    }
-
-    println!(
-        "{:<16} {:>14} {:>14} {:>9}",
-        "workload", "baseline", "engine", "speedup"
-    );
-    for w in &workloads {
-        println!(
-            "{:<16} {:>14} {:>14} {:>8.2}x",
-            w.name,
-            format_duration(w.baseline),
-            format_duration(w.engine),
-            w.speedup()
-        );
-    }
-    let geomean =
-        (workloads.iter().map(|w| w.speedup().ln()).sum::<f64>() / workloads.len() as f64).exp();
-    println!("geomean speedup: {geomean:.2}x");
-
-    if let Some(path) = json_path {
-        let mut json = String::new();
-        json.push_str("{\n");
-        json.push_str("  \"generated_by\": \"mining-bench\",\n");
-        json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
-        json.push_str(&format!("  \"samples\": {samples},\n"));
-        json.push_str(&format!("  \"threads\": {threads},\n"));
-        json.push_str("  \"workloads\": [\n");
-        for (i, w) in workloads.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{\"name\": \"{}\", \"baseline_median_ms\": {:.3}, \"engine_median_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
-                w.name,
-                w.baseline.as_secs_f64() * 1e3,
-                w.engine.as_secs_f64() * 1e3,
-                w.speedup(),
-                if i + 1 < workloads.len() { "," } else { "" }
+                },
             ));
         }
-        json.push_str("  ],\n");
-        json.push_str(&format!("  \"geomean_speedup\": {geomean:.2}\n"));
-        json.push_str("}\n");
-        std::fs::write(&path, json).expect("write json");
+    }
+
+    print_workloads(&workloads);
+
+    if let Some(path) = json_path {
+        write_bench_json(&path, "mining-bench", &scale, threads, &workloads).expect("write json");
         eprintln!("# wrote {path}");
     }
 }

@@ -5,10 +5,127 @@
 //! instead: [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
 //! `bench_with_input`, [`BenchmarkId`], and the [`criterion_group!`] /
 //! [`criterion_main!`] macros. Each benchmark takes `sample_size` timed
-//! samples (after one warm-up call) and reports the **median**, which is
-//! also what the `mining-bench` binary records into `BENCH_mining.json`.
+//! samples (after one warm-up call) and reports the **median**.
+//!
+//! The perf-tracker binaries (`mining-bench` → `BENCH_mining.json`,
+//! `audit-bench` → `BENCH_audit.json`) share the comparative-workload
+//! machinery here: [`measure`], [`Workload`], [`geomean_speedup`],
+//! [`print_workloads`], and [`write_bench_json`], so both snapshots record
+//! `threads` and per-workload sample counts in the same shape and stay
+//! diffable across PRs.
 
 use std::time::{Duration, Instant};
+
+/// One comparative measurement: the same work done the slow way
+/// (`baseline`) and through the engine (`engine`).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `group/name` identifier.
+    pub name: String,
+    /// Median duration of the per-query / cold path.
+    pub baseline: Duration,
+    /// Median duration of the engine-backed path.
+    pub engine: Duration,
+    /// Timed samples behind each median.
+    pub samples: usize,
+}
+
+impl Workload {
+    /// Measures both sides of a workload with the same sample count.
+    pub fn compare(
+        name: impl Into<String>,
+        samples: usize,
+        baseline: impl FnMut(),
+        engine: impl FnMut(),
+    ) -> Workload {
+        Workload {
+            name: name.into(),
+            baseline: measure(samples, baseline),
+            engine: measure(samples, engine),
+            samples,
+        }
+    }
+
+    /// `baseline / engine` (guarding the zero-duration case).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.as_secs_f64() / self.engine.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Median duration of `samples` timed calls (after one warm-up call).
+pub fn measure(samples: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let durations: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    median(&durations)
+}
+
+/// Geometric mean of the workloads' speedups.
+pub fn geomean_speedup(workloads: &[Workload]) -> f64 {
+    if workloads.is_empty() {
+        return 1.0;
+    }
+    (workloads.iter().map(|w| w.speedup().ln()).sum::<f64>() / workloads.len() as f64).exp()
+}
+
+/// Prints the comparative table the perf-tracker binaries show.
+pub fn print_workloads(workloads: &[Workload]) {
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "workload", "baseline", "engine", "speedup"
+    );
+    for w in workloads {
+        println!(
+            "{:<28} {:>14} {:>14} {:>8.2}x",
+            w.name,
+            format_duration(w.baseline),
+            format_duration(w.engine),
+            w.speedup()
+        );
+    }
+    println!("geomean speedup: {:.2}x", geomean_speedup(workloads));
+}
+
+/// Writes the `BENCH_*.json` shape shared by `mining-bench` and
+/// `audit-bench`: generator, scale, thread count, and one entry per
+/// workload with both medians, the speedup, and the sample count.
+pub fn write_bench_json(
+    path: &str,
+    generated_by: &str,
+    scale: &str,
+    threads: usize,
+    workloads: &[Workload],
+) -> std::io::Result<()> {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"generated_by\": \"{generated_by}\",\n"));
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_median_ms\": {:.3}, \"engine_median_ms\": {:.3}, \"speedup\": {:.2}, \"samples\": {}}}{}\n",
+            w.name,
+            w.baseline.as_secs_f64() * 1e3,
+            w.engine.as_secs_f64() * 1e3,
+            w.speedup(),
+            w.samples,
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"geomean_speedup\": {:.2}\n",
+        geomean_speedup(workloads)
+    ));
+    json.push_str("}\n");
+    std::fs::write(path, json)
+}
 
 /// One finished measurement.
 #[derive(Debug, Clone)]
@@ -227,6 +344,47 @@ mod tests {
         assert_eq!(c.summaries()[0].id, "g/fast");
         assert_eq!(c.summaries()[1].id, "g/param/7");
         assert_eq!(c.summaries()[0].samples, 3);
+    }
+
+    #[test]
+    fn workload_speedup_and_geomean() {
+        let w = |b: u64, e: u64| Workload {
+            name: "w".into(),
+            baseline: Duration::from_millis(b),
+            engine: Duration::from_millis(e),
+            samples: 3,
+        };
+        assert!((w(40, 10).speedup() - 4.0).abs() < 1e-9);
+        // geomean(4x, 1x) = 2x.
+        assert!((geomean_speedup(&[w(40, 10), w(10, 10)]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean_speedup(&[]), 1.0);
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let w = Workload {
+            name: "suite/all".into(),
+            baseline: Duration::from_millis(12),
+            engine: Duration::from_millis(3),
+            samples: 5,
+        };
+        let dir = std::env::temp_dir().join("eba_bench_json_shape_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        write_bench_json(path.to_str().unwrap(), "audit-bench", "tiny", 4, &[w]).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        for needle in [
+            "\"generated_by\": \"audit-bench\"",
+            "\"threads\": 4",
+            "\"samples\": 5",
+            "\"baseline_median_ms\": 12.000",
+            "\"engine_median_ms\": 3.000",
+            "\"speedup\": 4.00",
+            "\"geomean_speedup\": 4.00",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,8 +17,13 @@
 //! middle edge (`n = 2ℓ + 1`) — so `Bridge-2` can mine to length 5 as in
 //! the paper's Figure 13. Configurations requiring `n > 2ℓ + 1` are
 //! rejected.
+//!
+//! Like the bottom-up rounds, each gluing phase first *generates* its
+//! whole candidate set and then evaluates it as one [`Ctx::supports_of`]
+//! batch against the shared engine, preserving the sequential results and
+//! counters exactly.
 
-use crate::canonical::CanonicalKey;
+use crate::canonical::{canonical_key, CanonicalKey};
 use crate::edge::EdgeSet;
 use crate::log_spec::LogSpec;
 use crate::mining::shared::{expand_frontier, finish, seed_frontier, Ctx};
@@ -101,6 +106,7 @@ pub fn mine_bridge(
         let k = n - ell + 1; // backward half length, 2 ≤ k ≤ ℓ
         let bwd_k = bwd_levels.get(k - 1).map(Vec::as_slice).unwrap_or(&[]);
         let idx = index_by_last(bwd_k);
+        let mut batch: Vec<(Path, CanonicalKey)> = Vec::new();
         for f in fwd_ell {
             let last = *f.edges().last().expect("paths are never empty");
             // The bridge edge is shared: the backward path's last edge must
@@ -109,9 +115,10 @@ pub fn mine_bridge(
                 continue;
             };
             for b in cands {
-                try_candidate(&mut ctx, &mut explanations, f, b, None, n);
+                batch.extend(glue_candidate(&mut ctx, f, b, None, n));
             }
         }
+        admit_batch(&mut ctx, &mut explanations, batch, n);
         ctx.stats.at(n).elapsed += started.elapsed();
     }
 
@@ -126,27 +133,31 @@ pub fn mine_bridge(
     if config.max_length >= 2 * ell {
         let n = 2 * ell;
         let started = Instant::now();
+        let mut batch: Vec<(Path, CanonicalKey)> = Vec::new();
         for f in fwd_ell {
             if let Some(partners) = bwd_by_tip.get(&f.tip().table) {
                 for b in partners {
-                    try_candidate(&mut ctx, &mut explanations, f, b, None, n);
+                    batch.extend(glue_candidate(&mut ctx, f, b, None, n));
                 }
             }
         }
+        admit_batch(&mut ctx, &mut explanations, batch, n);
         ctx.stats.at(n).elapsed += started.elapsed();
     }
     if config.max_length > 2 * ell {
         let n = 2 * ell + 1;
         let started = Instant::now();
+        let mut batch: Vec<(Path, CanonicalKey)> = Vec::new();
         for f in fwd_ell {
             for mid in edges.from_table(f.tip().table) {
                 if let Some(partners) = bwd_by_tip.get(&mid.to.table) {
                     for b in partners {
-                        try_candidate(&mut ctx, &mut explanations, f, b, Some(*mid), n);
+                        batch.extend(glue_candidate(&mut ctx, f, b, Some(*mid), n));
                     }
                 }
             }
         }
+        admit_batch(&mut ctx, &mut explanations, batch, n);
         ctx.stats.at(n).elapsed += started.elapsed();
     }
 
@@ -154,28 +165,25 @@ pub fn mine_bridge(
 }
 
 /// Glues a forward path, an optional middle edge, and a (reversed) backward
-/// path into a candidate template of length `n`, verifies its support, and
-/// records it.
+/// path into a candidate template of length `n`, returning it keyed for
+/// batch evaluation (`None` when the gluing is structurally impossible or
+/// the result violates the restrictions).
 ///
 /// Without a middle edge the gluing mode depends on lengths: when
 /// `n = f.len + b.len − 1` the two halves share their last edge (phase 2);
 /// when `n = f.len + b.len` the tips merge into one tuple variable
 /// (phase 3).
-fn try_candidate(
+fn glue_candidate(
     ctx: &mut Ctx<'_>,
-    explanations: &mut HashMap<CanonicalKey, MinedTemplate>,
     fwd: &Path,
     bwd: &Path,
     middle: Option<crate::edge::Edge>,
     n: usize,
-) {
+) -> Option<(Path, CanonicalKey)> {
     let shared_edge = middle.is_none() && n == fwd.length() + bwd.length() - 1;
     let mut path = fwd.clone();
     if let Some(mid) = middle {
-        match path.extended(mid) {
-            Ok(p) => path = p,
-            Err(_) => return,
-        }
+        path = path.extended(mid).ok()?;
     }
     // Append the backward half reversed, skipping its last edge when it is
     // the shared bridge edge.
@@ -185,15 +193,10 @@ fn try_candidate(
         bwd.length()
     };
     for i in (1..btake).rev() {
-        match path.extended(bwd.edges()[i].reversed()) {
-            Ok(p) => path = p,
-            Err(_) => return,
-        }
+        path = path.extended(bwd.edges()[i].reversed()).ok()?;
     }
     let closing = bwd.edges()[0].reversed();
-    let Ok(closed) = path.closed_by(closing, ctx.spec) else {
-        return;
-    };
+    let closed = path.closed_by(closing, ctx.spec).ok()?;
     debug_assert_eq!(closed.length(), n, "bridged candidate length mismatch");
     if !closed.is_restricted(
         ctx.spec.table,
@@ -201,16 +204,31 @@ fn try_candidate(
         ctx.config.max_tables,
         &ctx.config.exempt_tables,
     ) {
-        return;
+        return None;
     }
     ctx.stats.at(n).candidates += 1;
-    let (support, key) = ctx.support_of(&closed, n);
-    if support >= ctx.threshold {
-        explanations.entry(key.clone()).or_insert(MinedTemplate {
-            path: closed,
-            support,
-            key,
-        });
+    let key = canonical_key(&closed, ctx.spec);
+    Some((closed, key))
+}
+
+/// Evaluates one bridging round's glued candidates as a single batch
+/// through [`Ctx::supports_of`] — the same shared-engine fan-out the
+/// bottom-up rounds use — and admits them in generation order, exactly as
+/// the one-at-a-time loop did.
+fn admit_batch(
+    ctx: &mut Ctx<'_>,
+    explanations: &mut HashMap<CanonicalKey, MinedTemplate>,
+    batch: Vec<(Path, CanonicalKey)>,
+    n: usize,
+) {
+    let keyed: Vec<(&Path, &CanonicalKey)> = batch.iter().map(|(p, k)| (p, k)).collect();
+    let supports = ctx.supports_of(&keyed, n);
+    for ((path, key), support) in batch.into_iter().zip(supports) {
+        if support >= ctx.threshold {
+            explanations
+                .entry(key.clone())
+                .or_insert(MinedTemplate { path, support, key });
+        }
     }
 }
 

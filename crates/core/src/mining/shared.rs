@@ -1,11 +1,12 @@
 //! Machinery shared by the three mining algorithms: the evaluation context
 //! (engine, support cache, estimator, counters) and frontier expansion.
 //!
-//! Each mining round is evaluated in two phases: candidate *generation*
-//! walks the frontier and the edge set (pure path algebra, cheap), then the
-//! round's whole candidate batch is *evaluated* at once through
-//! [`Ctx::supports_of`] — answering from the canonical-form cache where
-//! possible and handing the rest to the shared
+//! Each mining round — the bottom-up frontiers *and* the bridging
+//! algorithm's gluing phases — is evaluated in two phases: candidate
+//! *generation* walks the frontier and the edge set (pure path algebra,
+//! cheap), then the round's whole candidate batch is *evaluated* at once
+//! through [`Ctx::supports_of`] — answering from the canonical-form cache
+//! where possible and handing the rest to the shared
 //! [`eba_relational::Engine`], which amortizes step-map construction across
 //! candidates and fans evaluation out over threads. The phases preserve the
 //! sequential algorithm's results and counters exactly: candidates are
@@ -59,31 +60,6 @@ impl<'a> Ctx<'a> {
         EvalOptions {
             dedup: self.config.opt_dedup,
         }
-    }
-
-    /// Support of one path, going through the canonical-form cache when
-    /// enabled. Also returns the key so callers can dedupe. (The bridging
-    /// algorithm evaluates glued candidates one at a time; bottom-up rounds
-    /// use [`Ctx::supports_of`] instead.)
-    pub fn support_of(&mut self, path: &Path, length: usize) -> (usize, CanonicalKey) {
-        let key = canonical_key(path, self.spec);
-        if self.config.opt_cache {
-            if let Some(&s) = self.cache.get(&key) {
-                self.stats.at(length).cache_hits += 1;
-                return (s, key);
-            }
-        }
-        let q = path.to_chain_query(self.spec);
-        let support = match &self.engine {
-            Some(engine) => engine.support(self.db, &q, self.eval_options()),
-            None => q.support(self.db, self.eval_options()),
-        }
-        .expect("paths constructed by the miner lower to valid queries");
-        self.stats.at(length).support_queries += 1;
-        if self.config.opt_cache {
-            self.cache.insert(key.clone(), support);
-        }
-        (support, key)
     }
 
     /// Supports of a whole round's candidates, in input order.

@@ -17,8 +17,8 @@ use crate::scenario::Scenario;
 use eba_audit::fake::{user_pool, FakeLog};
 use eba_audit::{metrics, split};
 use eba_core::mine_one_way;
-use eba_core::mining::decorate::{refine, DecorationCandidate};
-use eba_relational::{EvalOptions, RowId, Value};
+use eba_core::mining::decorate::{refine_with, DecorationCandidate};
+use eba_relational::{ChainQuery, Engine, EvalOptions, RowId, Value};
 use std::collections::HashSet;
 
 /// Compares plain mined group templates against their depth-refined
@@ -44,13 +44,16 @@ pub fn ext_decorated(s: &Scenario) -> FigureResult {
     let max_depth = s.groups.hierarchy.depth_count() - 1;
     let candidate =
         DecorationCandidate::group_depths(&s.hospital.db, max_depth).expect("Groups installed");
-    let refined = refine(
+    // Refinement re-evaluates the mined set against the *training*
+    // database — the scenario's warm engine already holds those step maps.
+    let refined = refine_with(
         &s.hospital.db,
         &train_spec,
         &group_templates,
         &candidate,
         mined.threshold,
         &config,
+        Some(&s.engine),
     );
 
     // Test environment: day-7 first accesses plus the fake log.
@@ -74,15 +77,14 @@ pub fn ext_decorated(s: &Scenario) -> FigureResult {
         .with_filters(split::days_first(&s.hospital.log_cols, 7, 7));
     let anchors = metrics::anchor_rows(&db, &spec);
 
+    // One warm engine over the combined test database serves all four
+    // template-set evaluations below.
+    let test_engine = Engine::new(&db);
     let eval_paths = |paths: Vec<&eba_core::Path>| -> (f64, f64) {
-        let mut rows: HashSet<RowId> = HashSet::new();
-        for p in paths {
-            rows.extend(
-                p.to_chain_query(&spec)
-                    .explained_rows(&db, EvalOptions::default())
-                    .expect("valid paths"),
-            );
-        }
+        let queries: Vec<ChainQuery> = paths.iter().map(|p| p.to_chain_query(&spec)).collect();
+        let rows: HashSet<RowId> = test_engine
+            .explained_union(&db, &queries, EvalOptions::default())
+            .expect("valid paths");
         let c = metrics::confusion_from_sets(&anchors, &rows, |r| fake.is_fake(r), None);
         (c.precision(), c.recall())
     };

@@ -6,21 +6,22 @@ use crate::scenario::Scenario;
 use eba_audit::handcrafted::event_predicates;
 use eba_audit::{metrics, split};
 use eba_core::LogSpec;
-use eba_relational::{EvalOptions, RowId};
+use eba_relational::{ChainQuery, Database, Engine, EvalOptions, RowId};
 use std::collections::HashSet;
+
+/// Union of rows whose patient has any data-set-A or B event, evaluated
+/// as one batch on `engine` (a warm engine over `db`).
+pub fn rows_with_any_event_on(db: &Database, spec: &LogSpec, engine: &Engine) -> HashSet<RowId> {
+    let preds = event_predicates(db, spec).expect("schema is CareWeb-shaped");
+    let queries: Vec<ChainQuery> = preds.iter().map(|(_, p)| p.to_chain_query(spec)).collect();
+    engine
+        .explained_union(db, &queries, EvalOptions::default())
+        .expect("valid predicate")
+}
 
 /// Union of rows whose patient has any data-set-A or B event.
 pub fn rows_with_any_event(s: &Scenario, spec: &LogSpec) -> HashSet<RowId> {
-    let preds = event_predicates(&s.hospital.db, spec).expect("schema is CareWeb-shaped");
-    let mut all = HashSet::new();
-    for (_, p) in &preds {
-        let rows = p
-            .to_chain_query(spec)
-            .explained_rows(&s.hospital.db, EvalOptions::default())
-            .expect("valid predicate");
-        all.extend(rows);
-    }
-    all
+    rows_with_any_event_on(&s.hospital.db, spec, &s.engine)
 }
 
 fn event_figure(
@@ -38,13 +39,13 @@ fn event_figure(
     let mut all: HashSet<RowId> = HashSet::new();
     let paper_of = |label: &str| paper.iter().find(|(l, _)| *l == label).map(|(_, v)| *v);
 
-    for (label, p) in &preds {
-        let rows: HashSet<RowId> = p
-            .to_chain_query(spec)
-            .explained_rows(db, EvalOptions::default())
-            .expect("valid predicate")
-            .into_iter()
-            .collect();
+    // One engine batch answers every event-predicate bar of the figure.
+    let queries: Vec<ChainQuery> = preds.iter().map(|(_, p)| p.to_chain_query(spec)).collect();
+    let per_pred = s
+        .engine
+        .explained_rows_many(db, &queries, EvalOptions::default());
+    for ((label, _), rows) in preds.iter().zip(per_pred) {
+        let rows: HashSet<RowId> = rows.expect("valid predicate").into_iter().collect();
         let recall = rows.len() as f64 / denominator;
         fig.rows.push(crate::figure::FigureRow::sparse(
             (*label).to_string(),
@@ -56,9 +57,7 @@ fn event_figure(
         let repeat: HashSet<RowId> = s
             .handcrafted
             .repeat_access
-            .path
-            .to_chain_query(spec)
-            .explained_rows(db, EvalOptions::default())
+            .explained_rows_with(db, spec, &s.engine)
             .expect("valid template")
             .into_iter()
             .collect();

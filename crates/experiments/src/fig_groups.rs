@@ -1,13 +1,14 @@
 //! Figures 10–12: collaborative groups — their composition and their
 //! predictive power.
 
+use crate::fig_events::rows_with_any_event_on;
 use crate::figure::{FigureResult, FigureRow};
 use crate::scenario::Scenario;
 use eba_audit::fake::{user_pool, FakeLog};
 use eba_audit::handcrafted::{same_department, same_group, EventTable};
 use eba_audit::{metrics, split};
 use eba_core::ExplanationTemplate;
-use eba_relational::Value;
+use eba_relational::{Engine, Value};
 use std::collections::HashMap;
 
 /// Figures 10 and 11: department-code composition of discovered top-level
@@ -100,7 +101,10 @@ pub fn fig12(s: &Scenario) -> FigureResult {
         .spec
         .with_filters(split::days_first(&s.hospital.log_cols, 7, 7));
     let anchors = metrics::anchor_rows(&db, &spec);
-    let with_events = rows_with_any_event_db(&db, s, &spec);
+    // One warm engine over the combined database serves every depth's
+    // template set, the department baseline, and the headline rows.
+    let engine = Engine::new(&db);
+    let with_events = rows_with_any_event_on(&db, &spec, &engine);
 
     let mut fig = FigureResult::new(
         "Figure 12",
@@ -127,7 +131,7 @@ pub fn fig12(s: &Scenario) -> FigureResult {
             .map(|e| same_group(&db, &spec, *e, Some(depth as i64)).expect("Groups installed"))
             .collect();
         let refs: Vec<&ExplanationTemplate> = templates.iter().collect();
-        let c = metrics::evaluate(&db, &spec, &refs, Some(&fake), Some(&with_events));
+        let c = metrics::evaluate_with(&db, &spec, &refs, Some(&fake), Some(&with_events), &engine);
         fig.push_row(
             format!("Depth {depth}"),
             &[c.precision(), c.recall(), c.normalized_recall()],
@@ -139,7 +143,7 @@ pub fn fig12(s: &Scenario) -> FigureResult {
         .map(|e| same_department(&db, &spec, *e).expect("Users table exists"))
         .collect();
     let refs: Vec<&ExplanationTemplate> = dept_templates.iter().collect();
-    let c = metrics::evaluate(&db, &spec, &refs, Some(&fake), Some(&with_events));
+    let c = metrics::evaluate_with(&db, &spec, &refs, Some(&fake), Some(&with_events), &engine);
     fig.push_row(
         "Same Dept.",
         &[c.precision(), c.recall(), c.normalized_recall()],
@@ -152,7 +156,7 @@ pub fn fig12(s: &Scenario) -> FigureResult {
         .with_filters(split::day_range(&s.hospital.log_cols, 7, 7));
     let basic = s.handcrafted.all_with_repeat();
     let base_recall = {
-        let c = metrics::evaluate(&db, &day7_all, &basic, Some(&fake), None);
+        let c = metrics::evaluate_with(&db, &day7_all, &basic, Some(&fake), None, &engine);
         c.recall()
     };
     let with_groups_recall = {
@@ -162,7 +166,7 @@ pub fn fig12(s: &Scenario) -> FigureResult {
         }
         set.extend(s.handcrafted.consult().into_iter().cloned());
         let refs: Vec<&ExplanationTemplate> = set.iter().collect();
-        metrics::evaluate(&db, &day7_all, &refs, Some(&fake), None).recall()
+        metrics::evaluate_with(&db, &day7_all, &refs, Some(&fake), None, &engine).recall()
     };
     fig.rows.push(FigureRow::sparse(
         "Day-7 all accesses: basic set",
@@ -174,26 +178,6 @@ pub fn fig12(s: &Scenario) -> FigureResult {
     ));
     fig.note("paper: depth 0 explains 81% of first accesses; depth 1 balances precision >90%; combined set explains >94% of all day-7 accesses".to_string());
     fig
-}
-
-/// [`rows_with_any_event`] against an alternate (fake-injected) database.
-fn rows_with_any_event_db(
-    db: &eba_relational::Database,
-    s: &Scenario,
-    spec: &eba_core::LogSpec,
-) -> std::collections::HashSet<eba_relational::RowId> {
-    let _ = s;
-    let preds =
-        eba_audit::handcrafted::event_predicates(db, spec).expect("schema is CareWeb-shaped");
-    let mut all = std::collections::HashSet::new();
-    for (_, p) in &preds {
-        all.extend(
-            p.to_chain_query(spec)
-                .explained_rows(db, eba_relational::EvalOptions::default())
-                .expect("valid predicate"),
-        );
-    }
-    all
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ fn handcrafted_figure(
 
     let mut all: HashSet<eba_relational::RowId> = HashSet::new();
     for (label, t) in &entries {
-        let rows = metrics::explained_union(db, spec, &[t]);
+        let rows = metrics::explained_union_with(db, spec, &[t], &s.engine);
         fig.rows.push(FigureRow::sparse(
             (*label).to_string(),
             vec![Some(rows.len() as f64 / denominator), paper_of(label)],
@@ -44,10 +44,11 @@ fn handcrafted_figure(
 
     // The consult-order templates (data set B), which the paper added
     // after finding consult services unexplained.
-    let consult = metrics::explained_union(
+    let consult = metrics::explained_union_with(
         db,
         spec,
         &s.handcrafted.consult().into_iter().collect::<Vec<_>>(),
+        &s.engine,
     );
     let mut with_consult = all;
     with_consult.extend(consult);

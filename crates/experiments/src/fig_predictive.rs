@@ -1,13 +1,14 @@
 //! Figure 14: predictive power of the *mined* templates.
 
-use crate::fig_events::rows_with_any_event;
+use crate::fig_events::{rows_with_any_event, rows_with_any_event_on};
 use crate::fig_mining::mining_config_for;
 use crate::figure::FigureResult;
 use crate::scenario::Scenario;
 use eba_audit::fake::{user_pool, FakeLog};
 use eba_audit::{metrics, split};
 use eba_core::mine_one_way;
-use eba_relational::{EvalOptions, RowId, Value};
+use eba_core::MinedTemplate;
+use eba_relational::{ChainQuery, Engine, EvalOptions, RowId, Value};
 use std::collections::HashSet;
 
 /// Figure 14: templates are mined from the first accesses of days 1–6 (with
@@ -43,20 +44,10 @@ pub fn fig14(s: &Scenario) -> FigureResult {
         .spec
         .with_filters(split::days_first(&s.hospital.log_cols, 7, 7));
     let anchors = metrics::anchor_rows(&db, &spec);
-    let with_events = {
-        // Event coverage on the combined database.
-        let preds =
-            eba_audit::handcrafted::event_predicates(&db, &spec).expect("schema is CareWeb-shaped");
-        let mut all = HashSet::new();
-        for (_, p) in &preds {
-            all.extend(
-                p.to_chain_query(&spec)
-                    .explained_rows(&db, EvalOptions::default())
-                    .expect("valid predicate"),
-            );
-        }
-        all
-    };
+    // One warm engine over the combined database serves every template
+    // group of the figure (and the event-coverage denominator).
+    let engine = Engine::new(&db);
+    let with_events = rows_with_any_event_on(&db, &spec, &engine);
 
     let mut fig = FigureResult::new(
         "Figure 14",
@@ -79,28 +70,25 @@ pub fn fig14(s: &Scenario) -> FigureResult {
         fig.push_row(label, &[c.precision(), c.recall(), c.normalized_recall()]);
     };
 
+    let explained_union = |templates: Vec<&MinedTemplate>| -> HashSet<RowId> {
+        let queries: Vec<ChainQuery> = templates
+            .iter()
+            .map(|t| t.path.to_chain_query(&spec))
+            .collect();
+        engine
+            .explained_union(&db, &queries, EvalOptions::default())
+            .expect("mined templates lower to valid queries")
+    };
     for length in &lengths {
-        let mut rows: HashSet<RowId> = HashSet::new();
-        for t in mined.of_length(*length) {
-            rows.extend(
-                t.path
-                    .to_chain_query(&spec)
-                    .explained_rows(&db, EvalOptions::default())
-                    .expect("mined templates lower to valid queries"),
-            );
-        }
-        eval_group(format!("Length {length}"), rows);
-    }
-    let mut all_rows: HashSet<RowId> = HashSet::new();
-    for t in &mined.templates {
-        all_rows.extend(
-            t.path
-                .to_chain_query(&spec)
-                .explained_rows(&db, EvalOptions::default())
-                .expect("mined templates lower to valid queries"),
+        eval_group(
+            format!("Length {length}"),
+            explained_union(mined.of_length(*length).collect()),
         );
     }
-    eval_group("All".to_string(), all_rows);
+    eval_group(
+        "All".to_string(),
+        explained_union(mined.templates.iter().collect()),
+    );
 
     // Context: how much of the test split is even explainable.
     let coverage = rows_with_any_event(s, &spec);

@@ -6,10 +6,12 @@ use eba_audit::handcrafted::HandcraftedTemplates;
 use eba_audit::split;
 use eba_cluster::HierarchyConfig;
 use eba_core::LogSpec;
+use eba_relational::Engine;
 use eba_synth::{Hospital, SynthConfig};
 
 /// A hospital ready for experiments: groups trained on days 1–6 and
-/// installed, hand-crafted templates built.
+/// installed, hand-crafted templates built, and one warm evaluation
+/// [`Engine`] shared by every figure that reads the unmodified database.
 #[derive(Debug)]
 pub struct Scenario {
     /// The hospital (database already contains the `Groups` table).
@@ -20,6 +22,10 @@ pub struct Scenario {
     pub groups: GroupsModel,
     /// The hand-crafted template suite.
     pub handcrafted: HandcraftedTemplates,
+    /// Warm engine over `hospital.db` (Groups included). Figures that
+    /// clone and mutate the database build their own engine over the
+    /// combined copy instead.
+    pub engine: Engine,
 }
 
 impl Scenario {
@@ -33,11 +39,13 @@ impl Scenario {
         install_groups(&mut hospital.db, &groups).expect("Groups table installs");
         let handcrafted =
             HandcraftedTemplates::build(&hospital.db, &spec).expect("CareWeb-shaped schema");
+        let engine = Engine::new(&hospital.db);
         Scenario {
             hospital,
             spec,
             groups,
             handcrafted,
+            engine,
         }
     }
 
@@ -70,5 +78,25 @@ mod tests {
         assert!(s.groups.hierarchy.depth_count() >= 2);
         assert!(s.train_spec().anchor_lid_count(&s.hospital.db) > 0);
         assert!(s.test_spec().anchor_lid_count(&s.hospital.db) > 0);
+    }
+
+    #[test]
+    fn scenario_engine_sees_the_groups_table() {
+        let s = Scenario::build(SynthConfig::tiny());
+        // The shared engine was built after install_groups, so group
+        // templates evaluate through it identically to the cold path.
+        let grouped = eba_audit::handcrafted::same_group(
+            &s.hospital.db,
+            &s.spec,
+            eba_audit::handcrafted::EventTable::Appointments,
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(
+            grouped
+                .explained_rows_with(&s.hospital.db, &s.spec, &s.engine)
+                .unwrap(),
+            grouped.explained_rows(&s.hospital.db, &s.spec).unwrap()
+        );
     }
 }

@@ -92,10 +92,18 @@ impl InternedTable {
 
 /// A full interned, columnar snapshot of a [`Database`].
 ///
-/// The snapshot is immutable and self-contained (`Send + Sync`), which is
-/// what lets batch evaluation fan out across threads — the live `Database`
-/// with its lazily-populated `RefCell` caches cannot cross thread
-/// boundaries.
+/// The snapshot is immutable between refreshes and self-contained
+/// (`Send + Sync`), which is what lets batch evaluation fan out across
+/// threads — the live `Database` with its lazily-populated `RefCell`
+/// caches cannot cross thread boundaries.
+///
+/// Because [`Table`](crate::Table)s are structurally append-only (there is
+/// no row update or delete API), a snapshot can be brought up to date
+/// *incrementally*: [`InternedDb::refresh`] scans only the rows appended
+/// since the last snapshot/refresh and interns only values it has never
+/// seen — existing ids are never reassigned, so data structures keyed on
+/// old ids (step maps over tables that did not grow, scratch bitsets)
+/// remain valid.
 #[derive(Debug)]
 pub struct InternedDb {
     /// One interned table per catalog table, in [`crate::TableId`] order.
@@ -104,34 +112,93 @@ pub struct InternedDb {
     pub interner: Interner,
 }
 
+/// What a [`InternedDb::refresh`] changed — the engine uses this to
+/// invalidate exactly the caches the append touched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshDelta {
+    /// Tables that gained rows (including tables created after the last
+    /// snapshot, which arrive with all their rows "new").
+    pub grown: Vec<crate::database::TableId>,
+    /// Total rows appended across all tables.
+    pub new_rows: usize,
+    /// Distinct values interned for the first time.
+    pub new_values: usize,
+}
+
+impl RefreshDelta {
+    /// True when the refresh found nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.grown.is_empty()
+    }
+}
+
 impl InternedDb {
     /// Scans `db` once and interns every cell of every table.
     pub fn snapshot(db: &Database) -> Self {
-        let mut interner = Interner::default();
-        let tables = db
-            .table_ids()
-            .map(|tid| {
-                let table = db.table(tid);
-                let arity = table.schema().arity();
-                let mut cols: Vec<Vec<u32>> = (0..arity)
-                    .map(|_| Vec::with_capacity(table.len()))
-                    .collect();
-                for (_, row) in table.iter() {
-                    for (c, v) in row.iter().enumerate() {
-                        cols[c].push(if v.is_null() {
-                            NULL_ID
-                        } else {
-                            interner.intern(*v)
-                        });
-                    }
+        let mut snap = InternedDb {
+            tables: Vec::new(),
+            interner: Interner::default(),
+        };
+        snap.refresh(db);
+        snap
+    }
+
+    /// Brings the snapshot up to date with `db`, scanning **only** the
+    /// rows appended since the last snapshot/refresh (plus any tables
+    /// created since). Returns which tables grew so callers can invalidate
+    /// dependent caches selectively.
+    ///
+    /// Interning is append-only: ids issued earlier keep their values, so
+    /// anything built against an un-grown table stays exact.
+    ///
+    /// # Panics
+    /// Panics if a table shrank — the `Table` API is append-only, so a
+    /// shorter table means `db` is not the database this snapshot was
+    /// built from.
+    pub fn refresh(&mut self, db: &Database) -> RefreshDelta {
+        let mut delta = RefreshDelta::default();
+        let values_before = self.interner.len();
+        for tid in db.table_ids() {
+            let table = db.table(tid);
+            let it = if tid.0 < self.tables.len() {
+                &mut self.tables[tid.0]
+            } else {
+                debug_assert_eq!(tid.0, self.tables.len(), "table ids are dense");
+                self.tables.push(InternedTable {
+                    cols: vec![Vec::new(); table.schema().arity()],
+                    n_rows: 0,
+                });
+                self.tables.last_mut().expect("just pushed")
+            };
+            assert!(
+                table.len() >= it.n_rows,
+                "table {} shrank ({} -> {} rows): snapshots only refresh \
+                 against the append-only database they were built from",
+                table.name(),
+                it.n_rows,
+                table.len()
+            );
+            if table.len() == it.n_rows {
+                continue;
+            }
+            for col in &mut it.cols {
+                col.reserve(table.len() - it.n_rows);
+            }
+            for r in it.n_rows..table.len() {
+                for (c, v) in table.row(r as crate::table::RowId).iter().enumerate() {
+                    it.cols[c].push(if v.is_null() {
+                        NULL_ID
+                    } else {
+                        self.interner.intern(*v)
+                    });
                 }
-                InternedTable {
-                    cols,
-                    n_rows: table.len(),
-                }
-            })
-            .collect();
-        InternedDb { tables, interner }
+            }
+            delta.new_rows += table.len() - it.n_rows;
+            it.n_rows = table.len();
+            delta.grown.push(tid);
+        }
+        delta.new_values = self.interner.len() - values_before;
+        delta
     }
 
     /// The interned table behind a catalog id.
@@ -165,6 +232,49 @@ mod tests {
         assert_eq!(snap.interner.value(NULL_ID), Value::Null);
         assert_eq!(snap.interner.value(it.id(0, 0)), Value::Int(3));
         assert_eq!(snap.interner.len(), 2);
+    }
+
+    #[test]
+    fn refresh_extends_without_reassigning_ids() {
+        let mut db = Database::new();
+        let t = db.create_table("T", &[("A", DataType::Int)]).unwrap();
+        db.insert(t, vec![Value::Int(1)]).unwrap();
+        let mut snap = InternedDb::snapshot(&db);
+        let id1 = snap.interner.id_of(&Value::Int(1)).unwrap();
+
+        // Appending an existing value grows the table but not the id space.
+        db.insert(t, vec![Value::Int(1)]).unwrap();
+        // A new value and a new table both extend the id space.
+        db.insert(t, vec![Value::Int(2)]).unwrap();
+        let u = db.create_table("U", &[("B", DataType::Int)]).unwrap();
+        db.insert(u, vec![Value::Int(2)]).unwrap();
+        db.insert(u, vec![Value::Int(3)]).unwrap();
+
+        let delta = snap.refresh(&db);
+        assert_eq!(delta.grown, vec![t, u]);
+        assert_eq!(delta.new_rows, 4);
+        assert_eq!(delta.new_values, 2); // Int(2), Int(3)
+        assert_eq!(snap.interner.id_of(&Value::Int(1)), Some(id1));
+        assert_eq!(snap.table(t).n_rows, 3);
+        assert_eq!(snap.table(t).id(1, 0), id1);
+        // The shared id space: U's Int(2) matches T's Int(2).
+        assert_eq!(snap.table(u).id(0, 0), snap.table(t).id(2, 0));
+
+        // A second refresh with nothing appended is a no-op.
+        let delta = snap.refresh(&db);
+        assert!(delta.is_empty());
+        assert_eq!(delta.new_rows, 0);
+    }
+
+    #[test]
+    fn refresh_interns_appended_nulls_as_sentinel() {
+        let mut db = Database::new();
+        let t = db.create_table("T", &[("A", DataType::Int)]).unwrap();
+        let mut snap = InternedDb::snapshot(&db);
+        db.insert(t, vec![Value::Null]).unwrap();
+        let delta = snap.refresh(&db);
+        assert_eq!(delta.new_values, 0);
+        assert_eq!(snap.table(t).id(0, 0), NULL_ID);
     }
 
     #[test]

@@ -14,35 +14,81 @@
 //! 2. **Step-map cache** ([`stepmap`]): each distinct step — keyed on
 //!    `(table, enter_col, exit_col, const-filters, dedup)` — is built once
 //!    per [`Engine`] and shared by every query that uses it.
-//! 3. **Batch parallelism** ([`parallel`]): [`Engine::support_many`]
-//!    evaluates a whole frontier of candidates against one cache, fanned
-//!    out over scoped threads.
+//! 3. **Batch parallelism** ([`parallel`]): [`Engine::support_many`] and
+//!    [`Engine::explained_rows_many`] evaluate a whole batch — a mining
+//!    frontier, or an auditor's entire template suite — against one cache,
+//!    fanned out over scoped threads.
 //!
 //! Results are **identical** to the row evaluator's — the same
 //! `explained_rows` and `support` for every query class (the
 //! `engine_equivalence` integration test enforces this differentially).
 //! Queries whose decorations reference the anchor log row have no shareable
-//! step maps; the engine transparently routes them to the per-row
-//! evaluator.
+//! *step* maps (the decoration must be re-evaluated per log row), so the
+//! engine routes them to its own per-row path over shared
+//! `(table, enter_col) → rows` **row maps** ([`stepmap::RowMap`]) —
+//! filter-free identity, one map per entered column, bitset frontiers —
+//! which keeps even the decorated part of an audit suite off the live
+//! tables' hash indexes.
 //!
-//! The engine snapshots at construction: rows inserted into the `Database`
-//! afterwards are not visible to it. Build one engine per mining run (or
-//! after each batch of loads), not one per query.
+//! # Snapshot lifecycle
+//!
+//! The engine snapshots at construction and answers from that snapshot
+//! only: rows inserted into the `Database` afterwards are **not** visible
+//! until [`Engine::refresh`] is called. Because tables are structurally
+//! append-only (there is no update/delete API), a refresh is incremental:
+//! it scans only the appended rows, extends the interner (existing ids are
+//! never reassigned) and the columnar tables in place, and then invalidates
+//! exactly the caches the append touched.
+//!
+//! # Cache invalidation rules
+//!
+//! On refresh, for every table that gained rows (or was created since the
+//! last snapshot):
+//!
+//! * **step maps and row maps over that table** are dropped — their CSR
+//!   arrays describe the old rows — and are lazily rebuilt on next use;
+//! * **log partitions anchored on that table** (the `(start, close) → rows`
+//!   groupings) are dropped likewise;
+//! * everything else is **kept**: a step/row map over an un-grown table
+//!   stays exact even though the id space grew, because a newly-interned
+//!   value cannot occur in rows that have not changed (probing such a map
+//!   with a new id yields the empty slice — see
+//!   [`StepMap::exits_of`](stepmap::StepMap)).
+//!
+//! # When to hold a warm engine
+//!
+//! Construction costs one full database scan; each distinct step map costs
+//! one table scan on first use. Those costs only amortize across queries,
+//! so hold **one engine per logical session** and refresh it as the log
+//! grows, rather than constructing one per call:
+//!
+//! * a mining run (thousands of candidates sharing steps),
+//! * an interactive audit session (every "which accesses does this suite
+//!   explain?" question re-uses the suite's step maps),
+//! * a long-running service over an append-only log ([`Engine::refresh`]
+//!   after each ingest batch keeps the snapshot warm at the cost of
+//!   scanning only the new rows).
+//!
+//! Do **not** share one engine across databases: a snapshot refreshed
+//! against a database it was not built from panics (table shrank) or
+//! silently diverges. Clones of a database count as different databases
+//! once either side mutates.
 
 mod interner;
 mod parallel;
 mod stepmap;
 
-pub use interner::{InternedDb, InternedTable, Interner, NULL_ID};
+pub use interner::{InternedDb, InternedTable, Interner, RefreshDelta, NULL_ID};
 pub use parallel::{par_map, par_map_with};
 
-use crate::chain::{ChainQuery, EvalOptions};
-use crate::database::Database;
+use crate::chain::{ChainQuery, EvalOptions, Rhs};
+use crate::database::{Database, TableId};
 use crate::error::Result;
 use crate::table::RowId;
+use crate::types::ColId;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use stepmap::{StepKey, StepMap};
+use stepmap::{RowMap, StepKey, StepMap};
 
 /// A shared evaluation engine over one database snapshot. See the module
 /// docs.
@@ -51,6 +97,23 @@ pub struct Engine {
     snapshot: InternedDb,
     cache: Mutex<HashMap<StepKey, Arc<StepMap>>>,
     groups: Mutex<HashMap<GroupKey, Arc<LogGroups>>>,
+    /// `(table, enter_col) → rows` maps for the anchor-dependent per-row
+    /// path; filter-free identity, so every decorated query shares them.
+    rowmaps: Mutex<HashMap<(TableId, ColId), Arc<RowMap>>>,
+}
+
+/// What one [`Engine::refresh`] did: the snapshot delta plus how many
+/// cached structures had to be dropped (everything else stayed warm).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Which tables grew, how many rows/values were appended.
+    pub delta: RefreshDelta,
+    /// Step maps dropped because their table grew.
+    pub dropped_step_maps: usize,
+    /// Log partitions dropped because their log table grew.
+    pub dropped_partitions: usize,
+    /// Per-row maps dropped because their table grew.
+    pub dropped_row_maps: usize,
 }
 
 /// Identity of a log grouping: all queries sharing the anchor shape (same
@@ -98,6 +161,7 @@ impl Engine {
             snapshot: InternedDb::snapshot(db),
             cache: Mutex::new(HashMap::new()),
             groups: Mutex::new(HashMap::new()),
+            rowmaps: Mutex::new(HashMap::new()),
         }
     }
 
@@ -111,11 +175,61 @@ impl Engine {
         self.cache.lock().expect("engine cache poisoned").len()
     }
 
+    /// Number of distinct log partitions built so far.
+    pub fn cached_partitions(&self) -> usize {
+        self.groups.lock().expect("engine groups poisoned").len()
+    }
+
+    /// Number of distinct per-row maps built so far (the anchor-dependent
+    /// path's cache).
+    pub fn cached_row_maps(&self) -> usize {
+        self.rowmaps.lock().expect("engine rowmaps poisoned").len()
+    }
+
+    /// Brings the engine up to date with `db` incrementally: scans only
+    /// the rows appended since construction (or the previous refresh) and
+    /// drops only the step maps and log partitions over tables that grew.
+    /// See the module docs for the invalidation rules.
+    ///
+    /// `db` must be the database this engine was built from (tables are
+    /// append-only, so "the same database, possibly longer"); refreshing
+    /// against an unrelated database panics when a table shrank and is
+    /// undefined otherwise.
+    pub fn refresh(&mut self, db: &Database) -> RefreshStats {
+        let delta = self.snapshot.refresh(db);
+        if delta.is_empty() {
+            return RefreshStats {
+                delta,
+                ..RefreshStats::default()
+            };
+        }
+        let grown: std::collections::HashSet<TableId> = delta.grown.iter().copied().collect();
+        let cache = self.cache.get_mut().expect("engine cache poisoned");
+        let maps_before = cache.len();
+        cache.retain(|key, _| !grown.contains(&key.table));
+        let dropped_step_maps = maps_before - cache.len();
+        let groups = self.groups.get_mut().expect("engine groups poisoned");
+        let parts_before = groups.len();
+        groups.retain(|key, _| !grown.contains(&key.log));
+        let dropped_partitions = parts_before - groups.len();
+        let rowmaps = self.rowmaps.get_mut().expect("engine rowmaps poisoned");
+        let rowmaps_before = rowmaps.len();
+        rowmaps.retain(|(table, _), _| !grown.contains(table));
+        let dropped_row_maps = rowmaps_before - rowmaps.len();
+        RefreshStats {
+            delta,
+            dropped_step_maps,
+            dropped_partitions,
+            dropped_row_maps,
+        }
+    }
+
     /// Log row ids explained by `q`, identical to
     /// [`ChainQuery::explained_rows`].
     ///
-    /// `db` is used for validation and for the per-row fallback on
-    /// anchor-dependent queries; set-based evaluation runs on the snapshot.
+    /// `db` is used for validation only; evaluation runs on the snapshot
+    /// (anchor-dependent decorated queries take the per-row path over the
+    /// shared row maps, everything else the grouped set-based path).
     pub fn explained_rows(
         &self,
         db: &Database,
@@ -124,7 +238,7 @@ impl Engine {
     ) -> Result<Vec<RowId>> {
         q.validate(db)?;
         if q.is_anchor_dependent() {
-            return q.explained_rows(db, opts);
+            return Ok(self.explained_anchor_dep(q, &self.rowmaps_for(q)));
         }
         let maps = self.maps_for(q, opts);
         Ok(self.explained_grouped(q, &maps))
@@ -135,7 +249,8 @@ impl Engine {
     pub fn support(&self, db: &Database, q: &ChainQuery, opts: EvalOptions) -> Result<usize> {
         q.validate(db)?;
         if q.is_anchor_dependent() {
-            return q.support(db, opts);
+            let rows = self.explained_anchor_dep(q, &self.rowmaps_for(q));
+            return Ok(self.distinct_lids(q, &rows));
         }
         let maps = self.maps_for(q, opts);
         Ok(self.support_grouped(q, &maps))
@@ -152,7 +267,76 @@ impl Engine {
         queries: &[ChainQuery],
         opts: EvalOptions,
     ) -> Vec<Result<usize>> {
-        let mut results: Vec<Option<Result<usize>>> = queries
+        self.eval_many(
+            db,
+            queries,
+            opts,
+            |q, maps| self.support_grouped(q, maps),
+            |q, rowmaps| {
+                let rows = self.explained_anchor_dep(q, rowmaps);
+                self.distinct_lids(q, &rows)
+            },
+        )
+    }
+
+    /// Batch `explained_rows` evaluation: one sorted row set per query, in
+    /// input order, identical to [`ChainQuery::explained_rows`] per query.
+    ///
+    /// This is the audit-layer entry point: an explainer evaluates its
+    /// whole template suite as one fanned-out batch, sharing step maps and
+    /// log partitions across the suite's templates.
+    pub fn explained_rows_many(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Vec<Result<Vec<RowId>>> {
+        self.eval_many(
+            db,
+            queries,
+            opts,
+            |q, maps| self.explained_grouped(q, maps),
+            |q, rowmaps| self.explained_anchor_dep(q, rowmaps),
+        )
+    }
+
+    /// Union of the rows explained by any of `queries` — the audit layer's
+    /// "which accesses does this template suite explain?" primitive, built
+    /// on [`Engine::explained_rows_many`]. Fails on the first invalid
+    /// query.
+    pub fn explained_union(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Result<std::collections::HashSet<RowId>> {
+        let mut out = std::collections::HashSet::new();
+        for rows in self.explained_rows_many(db, queries, opts) {
+            out.extend(rows?);
+        }
+        Ok(out)
+    }
+
+    /// The shared batch driver behind [`Engine::support_many`] and
+    /// [`Engine::explained_rows_many`]: validate everything, build the
+    /// batch's missing step maps, row maps, and log partitions once, then
+    /// fan evaluation out over scoped threads — `eval` for set-based
+    /// queries, `eval_ad` for anchor-dependent ones (which run per row on
+    /// the shared row maps).
+    fn eval_many<R, EV, AD>(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+        eval: EV,
+        eval_ad: AD,
+    ) -> Vec<Result<R>>
+    where
+        R: Send,
+        EV: Fn(&ChainQuery, &[Arc<StepMap>]) -> R + Sync,
+        AD: Fn(&ChainQuery, &[Arc<RowMap>]) -> R + Sync,
+    {
+        let mut results: Vec<Option<Result<R>>> = queries
             .iter()
             .map(|q| match q.validate(db) {
                 Err(e) => Some(Err(e)),
@@ -160,42 +344,51 @@ impl Engine {
             })
             .collect();
 
-        // Anchor-dependent queries have no shareable maps: per-row fallback,
-        // sequentially (the live Database cannot cross threads).
-        for (slot, q) in results.iter_mut().zip(queries) {
-            if slot.is_none() && q.is_anchor_dependent() {
-                *slot = Some(q.support(db, opts));
-            }
-        }
-
         let batch: Vec<(usize, &ChainQuery)> = results
             .iter()
             .enumerate()
             .filter(|(_, slot)| slot.is_none())
             .map(|(i, _)| (i, &queries[i]))
             .collect();
-        self.build_missing_maps(batch.iter().map(|(_, q)| *q), opts);
+        self.build_missing_maps(
+            batch
+                .iter()
+                .map(|(_, q)| *q)
+                .filter(|q| !q.is_anchor_dependent()),
+            opts,
+        );
         // Pre-build the (few) log partitions the batch shares, so parallel
         // workers don't redundantly compute the same grouping.
         {
             let mut seen = std::collections::HashSet::new();
             for (_, q) in &batch {
-                if seen.insert(GroupKey::of(q)) {
+                if !q.is_anchor_dependent() && seen.insert(GroupKey::of(q)) {
                     let _ = self.groups_for(q);
                 }
             }
         }
 
-        let with_maps: Vec<(usize, &ChainQuery, Vec<Arc<StepMap>>)> = batch
+        enum Prepared {
+            Grouped(Vec<Arc<StepMap>>),
+            PerRow(Vec<Arc<RowMap>>),
+        }
+        let with_maps: Vec<(usize, &ChainQuery, Prepared)> = batch
             .into_iter()
             .map(|(i, q)| {
-                let maps = self.maps_for(q, opts);
-                (i, q, maps)
+                let prepared = if q.is_anchor_dependent() {
+                    Prepared::PerRow(self.rowmaps_for(q))
+                } else {
+                    Prepared::Grouped(self.maps_for(q, opts))
+                };
+                (i, q, prepared)
             })
             .collect();
-        let supports = par_map(&with_maps, |(_, q, maps)| self.support_grouped(q, maps));
-        for ((i, _, _), support) in with_maps.iter().zip(supports) {
-            results[*i] = Some(Ok(support));
+        let outputs = par_map(&with_maps, |(_, q, prepared)| match prepared {
+            Prepared::Grouped(maps) => eval(q, maps),
+            Prepared::PerRow(rowmaps) => eval_ad(q, rowmaps),
+        });
+        for ((i, _, _), output) in with_maps.iter().zip(outputs) {
+            results[*i] = Some(Ok(output));
         }
         results
             .into_iter()
@@ -248,6 +441,36 @@ impl Engine {
                 self.cache
                     .lock()
                     .expect("engine cache poisoned")
+                    .entry(key)
+                    .or_insert(built)
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// The row maps of `q`'s steps (for the anchor-dependent per-row
+    /// path), building any that are missing.
+    fn rowmaps_for(&self, q: &ChainQuery) -> Vec<Arc<RowMap>> {
+        q.steps
+            .iter()
+            .map(|step| {
+                let key = (step.table, step.enter_col);
+                if let Some(map) = self
+                    .rowmaps
+                    .lock()
+                    .expect("engine rowmaps poisoned")
+                    .get(&key)
+                {
+                    return map.clone();
+                }
+                let built = Arc::new(RowMap::build(
+                    self.snapshot.table(step.table),
+                    step.enter_col,
+                    self.snapshot.interner.len(),
+                ));
+                self.rowmaps
+                    .lock()
+                    .expect("engine rowmaps poisoned")
                     .entry(key)
                     .or_insert(built)
                     .clone()
@@ -387,13 +610,97 @@ impl Engine {
     /// `COUNT(DISTINCT lid)` over the explained rows.
     fn support_grouped(&self, q: &ChainQuery, maps: &[Arc<StepMap>]) -> usize {
         let rows = self.explained_grouped_unsorted(q, maps);
+        self.distinct_lids(q, &rows)
+    }
+
+    /// Distinct log-id count over a set of explained rows (interning is
+    /// exact, so distinct ids are exactly distinct values).
+    fn distinct_lids(&self, q: &ChainQuery, rows: &[RowId]) -> usize {
         let log = self.snapshot.table(q.log);
         let lid_col = &log.cols[q.lid_col];
         let mut lids = std::collections::HashSet::with_capacity(rows.len());
-        for r in rows {
+        for &r in rows {
             lids.insert(lid_col[r as usize]);
         }
         lids.len()
+    }
+
+    // ----------------------------------------------- anchor-dependent path
+
+    /// Per-row evaluation of an anchor-dependent decorated query on the
+    /// interned snapshot — identical results to the row evaluator's
+    /// fallback, but probing shared CSR row maps instead of per-call hash
+    /// indexes, with bitset frontiers instead of `HashSet<Value>`s.
+    /// Returns rows in ascending order (the scan order).
+    fn explained_anchor_dep(&self, q: &ChainQuery, rowmaps: &[Arc<RowMap>]) -> Vec<RowId> {
+        let log = self.snapshot.table(q.log);
+        let interner = &self.snapshot.interner;
+        let step_tables: Vec<&InternedTable> = q
+            .steps
+            .iter()
+            .map(|s| self.snapshot.table(s.table))
+            .collect();
+        let mut out = Vec::new();
+        SCRATCH_MARKS.with(|cell| {
+            let mut marks = cell.borrow_mut();
+            marks.reserve_ids(interner.len());
+            let mut frontier: Vec<u32> = Vec::new();
+            let mut next: Vec<u32> = Vec::new();
+            for r in 0..log.n_rows {
+                if !self.anchor_passes(q, log, r) {
+                    continue;
+                }
+                let start = log.cols[q.start_col][r];
+                if start == NULL_ID {
+                    continue;
+                }
+                frontier.clear();
+                frontier.push(start);
+                let mut dead = false;
+                for ((step, table), rowmap) in q.steps.iter().zip(&step_tables).zip(rowmaps) {
+                    next.clear();
+                    for &v in &frontier {
+                        'rows: for &cand in rowmap.rows_of(v) {
+                            let cand = cand as usize;
+                            for f in &step.filters {
+                                let lhs = interner.value(table.cols[f.col][cand]);
+                                let rhs = match f.rhs {
+                                    Rhs::Const(c) => c,
+                                    Rhs::AnchorCol(col) => interner.value(log.cols[col][r]),
+                                };
+                                if !f.op.eval(&lhs, &rhs) {
+                                    continue 'rows;
+                                }
+                            }
+                            let exit = table.cols[step.exit_col][cand];
+                            if exit != NULL_ID && marks.insert(exit) {
+                                next.push(exit);
+                            }
+                        }
+                    }
+                    marks.remove_all(&next);
+                    std::mem::swap(&mut frontier, &mut next);
+                    if frontier.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                let explained = match q.close_col {
+                    None => true,
+                    Some(c) => {
+                        let close = log.cols[c][r];
+                        close != NULL_ID && frontier.contains(&close)
+                    }
+                };
+                if explained {
+                    out.push(r as RowId);
+                }
+            }
+        });
+        out
     }
 }
 
@@ -570,7 +877,7 @@ mod tests {
     }
 
     #[test]
-    fn anchor_dependent_queries_fall_back() {
+    fn anchor_dependent_queries_take_the_row_map_path() {
         let (db, log, appt, _) = figure3_db();
         let engine = Engine::new(&db);
         let mut q = template_a(log, appt);
@@ -585,8 +892,19 @@ mod tests {
             engine.explained_rows(&db, &q, opts).unwrap(),
             q.explained_rows(&db, opts).unwrap()
         );
-        // The fallback never populates the shared cache.
+        assert_eq!(
+            engine.support(&db, &q, opts).unwrap(),
+            q.support(&db, opts).unwrap()
+        );
+        // The per-row path populates the row-map cache, never the step-map
+        // cache (its identity would be wrong for anchor decorations).
         assert_eq!(engine.cached_step_maps(), 0);
+        assert_eq!(engine.cached_row_maps(), 1);
+        // The undecorated variant shares nothing with it.
+        let plain = template_a(log, appt);
+        let _ = engine.explained_rows(&db, &plain, opts).unwrap();
+        assert_eq!(engine.cached_step_maps(), 1);
+        assert_eq!(engine.cached_row_maps(), 1);
     }
 
     #[test]
@@ -626,6 +944,143 @@ mod tests {
         let results = engine.support_many(&db, &[bad, good.clone()], EvalOptions::default());
         assert!(results[0].is_err());
         assert_eq!(*results[1].as_ref().unwrap(), 1);
+    }
+
+    #[test]
+    fn explained_rows_many_matches_one_by_one() {
+        let (db, log, appt, info) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let queries = vec![
+            template_a(log, appt),
+            template_b(log, appt, info),
+            ChainQuery {
+                close_col: None,
+                ..template_a(log, appt)
+            },
+            ChainQuery {
+                start_col: 9, // invalid
+                ..template_a(log, appt)
+            },
+        ];
+        let batch = engine.explained_rows_many(&db, &queries, opts);
+        for (q, got) in queries.iter().take(3).zip(&batch) {
+            assert_eq!(got.as_ref().unwrap(), &q.explained_rows(&db, opts).unwrap());
+        }
+        assert!(batch[3].is_err());
+    }
+
+    #[test]
+    fn refresh_tracks_appends_and_invalidates_selectively() {
+        let (mut db, log, appt, info) = figure3_db();
+        let mut engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let qa = template_a(log, appt);
+        let qb = template_b(log, appt, info);
+        // Warm the caches: A and B share the Appointments map; B adds two
+        // Doctor_Info maps. One log partition (shared anchor shape).
+        let _ = engine.support_many(&db, &[qa.clone(), qb.clone()], opts);
+        assert_eq!(engine.cached_step_maps(), 3);
+        assert_eq!(engine.cached_partitions(), 1);
+
+        // Append an appointment: patient 11 now also sees doctor 1.
+        db.insert(appt, vec![Value::Int(11), Value::Date(3), Value::Int(1)])
+            .unwrap();
+        let stats = engine.refresh(&db);
+        assert_eq!(stats.delta.grown, vec![appt]);
+        assert_eq!(stats.delta.new_rows, 1);
+        // Only the Appointments map is dropped; Doctor_Info maps and the
+        // log partition stay warm.
+        assert_eq!(stats.dropped_step_maps, 1);
+        assert_eq!(stats.dropped_partitions, 0);
+        assert_eq!(engine.cached_step_maps(), 2);
+        assert_eq!(engine.cached_partitions(), 1);
+        for q in [&qa, &qb] {
+            assert_eq!(
+                engine.explained_rows(&db, q, opts).unwrap(),
+                q.explained_rows(&db, opts).unwrap()
+            );
+        }
+
+        // Append a log row: the partition goes, the step maps stay.
+        db.insert(
+            log,
+            vec![Value::Int(3), Value::Date(3), Value::Int(2), Value::Int(10)],
+        )
+        .unwrap();
+        let stats = engine.refresh(&db);
+        assert_eq!(stats.delta.grown, vec![log]);
+        assert_eq!(stats.dropped_partitions, 1);
+        assert_eq!(stats.dropped_step_maps, 0);
+        for q in [&qa, &qb] {
+            assert_eq!(
+                engine.explained_rows(&db, q, opts).unwrap(),
+                q.explained_rows(&db, opts).unwrap()
+            );
+            assert_eq!(
+                engine.support(&db, q, opts).unwrap(),
+                q.support(&db, opts).unwrap()
+            );
+        }
+
+        // Nothing appended: a refresh is a cheap no-op.
+        let stats = engine.refresh(&db);
+        assert!(stats.delta.is_empty());
+        assert_eq!(engine.cached_step_maps(), 3);
+    }
+
+    #[test]
+    fn refresh_picks_up_tables_created_after_construction() {
+        let (mut db, log, appt, _) = figure3_db();
+        let mut engine = Engine::new(&db);
+        let extra = db
+            .create_table(
+                "Extra",
+                &[("Patient", DataType::Int), ("Owner", DataType::Int)],
+            )
+            .unwrap();
+        db.insert(extra, vec![Value::Int(11), Value::Int(1)])
+            .unwrap();
+        let stats = engine.refresh(&db);
+        assert_eq!(stats.delta.grown, vec![extra]);
+        let q = ChainQuery {
+            steps: vec![ChainStep::new(extra, 0, 1)],
+            ..template_a(log, appt)
+        };
+        assert_eq!(
+            engine
+                .explained_rows(&db, &q, EvalOptions::default())
+                .unwrap(),
+            q.explained_rows(&db, EvalOptions::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn stale_step_maps_tolerate_ids_interned_after_refresh() {
+        let (mut db, log, appt, info) = figure3_db();
+        let mut engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let qb = template_b(log, appt, info);
+        let _ = engine.explained_rows(&db, &qb, opts).unwrap();
+        // Appending a log row with brand-new values grows the id space;
+        // the retained Appointments/Doctor_Info maps must treat those new
+        // ids as "no exits" rather than indexing out of bounds.
+        db.insert(
+            log,
+            vec![
+                Value::Int(99),
+                Value::Date(9),
+                Value::Int(77),
+                Value::Int(88),
+            ],
+        )
+        .unwrap();
+        let stats = engine.refresh(&db);
+        assert_eq!(stats.dropped_step_maps, 0);
+        assert_eq!(
+            engine.explained_rows(&db, &qb, opts).unwrap(),
+            qb.explained_rows(&db, opts).unwrap()
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! slot per interned id (plus one), `exits` concatenates the exit-id lists.
 //! Probing is two array loads — no hashing on the join hot path.
 
-use super::interner::{InternedDb, NULL_ID};
+use super::interner::{InternedDb, InternedTable, NULL_ID};
 use crate::chain::{ChainStep, CmpOp, Rhs};
 use crate::database::TableId;
 use crate::types::ColId;
@@ -64,9 +64,18 @@ pub(crate) struct StepMap {
 impl StepMap {
     /// Exit ids reachable from `enter` (with multiplicities unless the map
     /// was built with dedup).
+    ///
+    /// Ids interned *after* this map was built (an incremental refresh grew
+    /// some other table) fall past `offsets` and resolve to the empty
+    /// slice. That is exact, not an approximation: the map's own table did
+    /// not grow (else the engine would have dropped the map), so a value
+    /// unseen at build time cannot occur in any of its rows.
     #[inline]
     pub fn exits_of(&self, enter: u32) -> &[u32] {
         let i = enter as usize;
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
         &self.exits[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
@@ -121,6 +130,62 @@ impl StepMap {
             *slot += 1;
         }
         StepMap { offsets, exits }
+    }
+}
+
+/// A built `enter → row indexes` map (CSR over the dense id space) for one
+/// `(table, enter_col)` pair — the engine's substrate for evaluating
+/// *anchor-dependent* decorated queries per log row.
+///
+/// Unlike [`StepMap`] it carries no filters in its identity: decorations
+/// that reference the anchor row must be re-evaluated per anchor, so the
+/// map only pre-groups the table's rows by enter id and one map serves
+/// **every** decorated query entering the table on that column, under
+/// either dedup setting.
+#[derive(Debug)]
+pub(crate) struct RowMap {
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl RowMap {
+    /// Row indexes whose `enter_col` equals `enter` (empty for ids
+    /// interned after this map was built — exact for the same reason as
+    /// [`StepMap::exits_of`]).
+    #[inline]
+    pub fn rows_of(&self, enter: u32) -> &[u32] {
+        let i = enter as usize;
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Builds the map for one column of an interned table. NULL enters are
+    /// skipped (NULL never equi-joins).
+    pub fn build(table: &InternedTable, enter_col: ColId, n_ids: usize) -> RowMap {
+        let enter = &table.cols[enter_col];
+        let mut counts = vec![0u32; n_ids + 1];
+        for &e in enter {
+            if e != NULL_ID {
+                counts[e as usize + 1] += 1;
+            }
+        }
+        for i in 0..n_ids {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let total = offsets[n_ids] as usize;
+        let mut rows = vec![0u32; total];
+        for (r, &e) in enter.iter().enumerate() {
+            if e != NULL_ID {
+                let slot = &mut cursor[e as usize];
+                rows[*slot as usize] = r as u32;
+                *slot += 1;
+            }
+        }
+        RowMap { offsets, rows }
     }
 }
 
@@ -200,6 +265,25 @@ mod tests {
         };
         assert_eq!(map.exits_of(e1).len(), 1); // only the Tag=1 row
         assert!(map.exits_of(e2).is_empty());
+    }
+
+    #[test]
+    fn row_map_groups_rows_by_enter_id() {
+        let (db, _t) = setup();
+        let snap = InternedDb::snapshot(&db);
+        let table = snap.table(crate::database::TableId(0));
+        let map = RowMap::build(table, 0, snap.interner.len());
+        let [e1, e2, e3] = ids(&snap, &[1, 2, 3])[..] else {
+            panic!()
+        };
+        // Rows 0..=2 have Enter=1; row 3 has Enter=2; row 5 (Enter=3) has a
+        // NULL exit but is still listed (filters run per anchor row).
+        assert_eq!(map.rows_of(e1), &[0, 1, 2]);
+        assert_eq!(map.rows_of(e2), &[3]);
+        assert_eq!(map.rows_of(e3), &[5]);
+        // NULL enters (row 4) are in no bucket; out-of-range ids are empty.
+        assert_eq!(map.rows.len(), 5);
+        assert!(map.rows_of(snap.interner.len() as u32 + 7).is_empty());
     }
 
     #[test]

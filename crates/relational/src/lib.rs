@@ -39,15 +39,23 @@
 //!    `enter → {exits}` CSR map built **once** per engine and shared by
 //!    every query that traverses it; the `(start, close) → rows` partition
 //!    of the log is likewise computed once per anchor shape.
-//! 3. **Batch API** ([`Engine::support_many`]): a whole candidate frontier
-//!    is evaluated against one cache, fanned out across threads
-//!    ([`engine::par_map`]).
+//! 3. **Batch API** ([`Engine::support_many`],
+//!    [`Engine::explained_rows_many`]): a whole candidate frontier or
+//!    template suite is evaluated against one cache, fanned out across
+//!    threads ([`engine::par_map`]).
+//! 4. **Incremental refresh** ([`Engine::refresh`]): tables are
+//!    append-only, so a warm engine follows the growing log by scanning
+//!    only the appended rows and dropping only the caches over tables that
+//!    grew — a long-running auditing service keeps one engine per session
+//!    instead of re-snapshotting per query.
 //!
 //! The engine returns **byte-identical** results to [`ChainQuery`] for
 //! every query class (enforced differentially by the `engine_equivalence`
 //! integration test); anchor-dependent decorated queries are transparently
 //! routed to the per-row evaluator. `eba-core`'s miner drives all bottom-up
-//! rounds and decoration refinement through it (`MiningConfig::opt_engine`).
+//! rounds and decoration refinement through it (`MiningConfig::opt_engine`),
+//! and `eba-audit`'s explainer, metrics, timeline, and portal layers batch
+//! whole template suites through it.
 //!
 //! ```
 //! use eba_relational::{Database, DataType, Value};
@@ -80,7 +88,7 @@ pub use chain::{
     PreparedChain, Rhs, StepFilter, StepTrace,
 };
 pub use database::{AttrRef, Database, RelationshipKind, TableId};
-pub use engine::Engine;
+pub use engine::{Engine, RefreshDelta, RefreshStats};
 pub use error::{Error, Result};
 pub use plan::{explain, Plan, PlanStep};
 pub use pool::{StringPool, Symbol};

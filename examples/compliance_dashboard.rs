@@ -14,11 +14,12 @@
 use eba::audit::groups::{collaborative_groups, install_groups};
 use eba::audit::handcrafted::{same_group, EventTable, HandcraftedTemplates};
 use eba::audit::investigate::{diagnose, looks_like_snooping};
-use eba::audit::portal::misuse_summary;
-use eba::audit::timeline::daily_stats;
+use eba::audit::portal::misuse_summary_with;
+use eba::audit::timeline::daily_stats_with;
 use eba::audit::{split, Explainer};
 use eba::cluster::HierarchyConfig;
 use eba::core::LogSpec;
+use eba::relational::Engine;
 use eba::synth::{Hospital, SynthConfig};
 
 fn main() {
@@ -39,6 +40,9 @@ fn main() {
         templates.push(same_group(&hospital.db, &spec, e, Some(1)).expect("Groups installed"));
     }
     let explainer = Explainer::new(templates);
+    // One warm engine serves all three views below (and would follow the
+    // log via `Engine::refresh` in a long-running office session).
+    let engine = Engine::new(&hospital.db);
 
     // ---- 1. the timeline -----------------------------------------------
     println!("== Daily explanation timeline ==");
@@ -46,12 +50,13 @@ fn main() {
         "{:>4} {:>8} {:>10} {:>8}   {:>6} {:>9}",
         "day", "accesses", "explained", "rate", "firsts", "explained"
     );
-    for s in daily_stats(
+    for s in daily_stats_with(
         &hospital.db,
         &spec,
         &hospital.log_cols,
         &explainer,
         hospital.config.days,
+        &engine,
     ) {
         println!(
             "{:>4} {:>8} {:>10} {:>7.1}%   {:>6} {:>9}",
@@ -66,7 +71,7 @@ fn main() {
 
     // ---- 2. the triage queue -------------------------------------------
     println!("\n== Triage queue (top unexplained users) ==");
-    let queue = misuse_summary(&hospital.db, &spec, &explainer);
+    let queue = misuse_summary_with(&hospital.db, &spec, &explainer, &engine);
     for s in queue.iter().take(5) {
         println!(
             "user {:<6} {:>4} unexplained accesses across {:>4} patients",
@@ -78,7 +83,7 @@ fn main() {
 
     // ---- 3. investigation: classify the unexplained ---------------------
     println!("\n== Investigation of unexplained accesses ==");
-    let unexplained = explainer.unexplained_rows(&hospital.db, &spec);
+    let unexplained = explainer.unexplained_rows_with(&hospital.db, &spec, &engine);
     let mut snoop_like = 0usize;
     let mut data_gap = 0usize;
     for &rid in &unexplained {

@@ -13,7 +13,7 @@
 
 use eba::audit::groups::{collaborative_groups, install_groups};
 use eba::audit::handcrafted::HandcraftedTemplates;
-use eba::audit::portal::misuse_summary;
+use eba::audit::portal::misuse_summary_with;
 use eba::audit::{split, Explainer};
 use eba::cluster::HierarchyConfig;
 use eba::core::{mine_one_way, ExplanationTemplate, LogSpec, MiningConfig};
@@ -62,7 +62,9 @@ fn main() {
     templates.push(handcrafted.repeat_access.clone());
     let explainer = Explainer::new(templates);
 
-    let unexplained = explainer.unexplained_rows(&hospital.db, &spec);
+    // One warm engine answers both audit questions below.
+    let engine = eba::relational::Engine::new(&hospital.db);
+    let unexplained = explainer.unexplained_rows_with(&hospital.db, &spec, &engine);
     let total = hospital.log_len();
     println!(
         "\n{} of {} accesses unexplained ({:.1}%) — the compliance office's review set shrank by {:.1}x.",
@@ -91,7 +93,7 @@ fn main() {
         "{:<8} {:>12} {:>18}",
         "user", "unexplained", "distinct patients"
     );
-    for s in misuse_summary(&hospital.db, &spec, &explainer)
+    for s in misuse_summary_with(&hospital.db, &spec, &explainer, &engine)
         .into_iter()
         .take(8)
     {

@@ -16,7 +16,7 @@
 use eba::audit::groups::{collaborative_groups, install_groups};
 use eba::audit::handcrafted::{same_group, EventTable, HandcraftedTemplates};
 use eba::audit::investigate::{diagnose, looks_like_snooping};
-use eba::audit::portal::{misuse_summary, patient_report};
+use eba::audit::portal::patient_report;
 use eba::audit::Explainer;
 use eba::cluster::HierarchyConfig;
 use eba::core::describe::auto_description;
@@ -378,7 +378,9 @@ fn cmd_investigate(opts: &Options) -> CliResult {
         add_groups(&mut loaded)?;
     }
     let explainer = build_explainer(&loaded, with_groups)?;
-    let unexplained = explainer.unexplained_rows(&loaded.db, &loaded.spec);
+    // One warm engine serves the unexplained scan and the misuse summary.
+    let engine = eba::relational::Engine::new(&loaded.db);
+    let unexplained = explainer.unexplained_rows_with(&loaded.db, &loaded.spec, &engine);
     let total = loaded.db.table(loaded.spec.table).len();
     println!(
         "{} of {} accesses unexplained ({:.1}%)",
@@ -399,7 +401,7 @@ fn cmd_investigate(opts: &Options) -> CliResult {
     );
     let top: usize = opts.parsed("top", 10);
     println!("\ntop users by unexplained accesses:");
-    for s in misuse_summary(&loaded.db, &loaded.spec, &explainer)
+    for s in eba::audit::portal::misuse_summary_with(&loaded.db, &loaded.spec, &explainer, &engine)
         .into_iter()
         .take(top)
     {

@@ -5,8 +5,15 @@
 //! anchor-decorated chains, and anchor-filtered specs — on randomized
 //! databases, and mining must produce the same template set with the
 //! engine on and off.
+//!
+//! The same guarantee covers the engine-backed **audit layer**
+//! ([`Explainer::explained_rows_with`] and friends) and survives
+//! **incremental appends**: a warm engine brought up to date with
+//! [`Engine::refresh`] must keep matching both the per-query path and a
+//! freshly-built engine as the database grows.
 
 use eba::audit::handcrafted::{same_group, EventTable, HandcraftedTemplates};
+use eba::audit::{metrics, portal, timeline, Explainer};
 use eba::core::mining::{mine_one_way, mine_two_way, refine, DecorationCandidate};
 use eba::core::{LogSpec, MiningConfig};
 use eba::relational::{
@@ -119,6 +126,141 @@ fn batch_evaluation_matches_one_by_one() {
 }
 
 #[test]
+fn engine_backed_audit_layer_matches_per_query_path() {
+    for seed in [3u64, 11] {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::tiny()
+        };
+        let h = Hospital::generate(config);
+        let spec = LogSpec::conventional(&h.db).unwrap();
+        let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+        let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+        let engine = Engine::new(&h.db);
+        assert_eq!(
+            explainer.explained_rows_with(&h.db, &spec, &engine),
+            explainer.explained_rows(&h.db, &spec),
+            "seed {seed}: explained sets"
+        );
+        assert_eq!(
+            explainer.unexplained_rows_with(&h.db, &spec, &engine),
+            explainer.unexplained_rows(&h.db, &spec),
+            "seed {seed}: unexplained sets"
+        );
+        let suite = t.all();
+        assert_eq!(
+            metrics::explained_union_with(&h.db, &spec, &suite, &engine),
+            metrics::explained_union(&h.db, &spec, &suite),
+            "seed {seed}: metrics union"
+        );
+        assert_eq!(
+            metrics::evaluate_with(&h.db, &spec, &suite, None, None, &engine),
+            metrics::evaluate(&h.db, &spec, &suite, None, None),
+            "seed {seed}: confusion"
+        );
+        assert_eq!(
+            timeline::daily_stats_with(
+                &h.db,
+                &spec,
+                &h.log_cols,
+                &explainer,
+                h.config.days,
+                &engine
+            ),
+            timeline::daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days),
+            "seed {seed}: timeline"
+        );
+        assert_eq!(
+            portal::misuse_summary_with(&h.db, &spec, &explainer, &engine),
+            portal::misuse_summary(&h.db, &spec, &explainer),
+            "seed {seed}: misuse summary"
+        );
+    }
+}
+
+#[test]
+fn engine_backed_audit_survives_incremental_appends() {
+    let mut h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+    let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+    let mut engine = Engine::new(&h.db);
+    // Warm every cache the suite uses before the appends.
+    let _ = explainer.explained_rows_with(&h.db, &spec, &engine);
+
+    let users = eba::audit::fake::user_pool(&h.db);
+    let patients: Vec<Value> = (0..h.world.n_patients())
+        .map(|p| h.patient_value(p))
+        .collect();
+    for round in 0..3u64 {
+        // Append a batch of log rows (fake accesses are exactly appends)
+        // and, in round 1, some event rows too.
+        eba::audit::fake::FakeLog::inject(
+            &mut h.db,
+            h.t_log,
+            &h.log_cols,
+            &users,
+            &patients,
+            25,
+            h.config.days,
+            0xE0_u64 + round,
+        );
+        if round == 1 {
+            let appt = h.db.table_id("Appointments").unwrap();
+            let arity = h.db.table(appt).schema().arity();
+            let mut row = vec![Value::Null; arity];
+            let p_col = h.db.table(appt).schema().col("Patient").unwrap();
+            let d_col = h.db.table(appt).schema().col("Doctor").unwrap();
+            row[p_col] = patients[0];
+            row[d_col] = users[0];
+            h.db.insert(appt, row).unwrap();
+        }
+        let stats = engine.refresh(&h.db);
+        assert!(stats.delta.new_rows > 0, "round {round}: appends seen");
+
+        // The refreshed warm engine, a fresh engine, and the per-query
+        // path must agree exactly.
+        let per_query = explainer.explained_rows(&h.db, &spec);
+        assert_eq!(
+            explainer.explained_rows_with(&h.db, &spec, &engine),
+            per_query,
+            "round {round}: refreshed engine vs per-query"
+        );
+        let fresh = Engine::new(&h.db);
+        assert_eq!(
+            explainer.explained_rows_with(&h.db, &spec, &fresh),
+            per_query,
+            "round {round}: fresh engine vs per-query"
+        );
+        assert_eq!(
+            explainer.unexplained_rows_with(&h.db, &spec, &engine),
+            explainer.unexplained_rows(&h.db, &spec),
+            "round {round}: unexplained"
+        );
+        // And every individual query class still matches.
+        for (what, q) in hospital_queries(&h.db, &spec) {
+            assert_equivalent(&h.db, &engine, &q, &format!("round {round}: {what}"));
+        }
+    }
+}
+
+#[test]
+fn explained_rows_many_matches_one_by_one() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let engine = Engine::new(&h.db);
+    let queries: Vec<ChainQuery> = hospital_queries(&h.db, &spec)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    let opts = EvalOptions::default();
+    let batch = engine.explained_rows_many(&h.db, &queries, opts);
+    for (q, got) in queries.iter().zip(batch) {
+        assert_eq!(got.unwrap(), q.explained_rows(&h.db, opts).unwrap());
+    }
+}
+
+#[test]
 fn mining_is_identical_with_engine_on_and_off() {
     let h = Hospital::generate(SynthConfig::tiny());
     let spec = LogSpec::conventional(&h.db).unwrap();
@@ -172,12 +314,15 @@ fn mining_is_identical_with_engine_on_and_off() {
 
 /// A random two-hop world (same shape as `props.rs`): Log(Lid, User,
 /// Patient), Event(Patient, Actor), Team(Member, Buddy), with NULLs mixed
-/// in so the null-handling paths are exercised too.
+/// in so the null-handling paths are exercised too — plus a second batch
+/// of log/event rows appended later to exercise incremental refresh.
 #[derive(Debug, Clone)]
 struct RandomWorld {
     log_rows: Vec<(i64, i64, i64)>,
     event_rows: Vec<(i64, i64, bool)>, // bool: actor is NULL
     team_rows: Vec<(i64, i64)>,
+    log_appends: Vec<(i64, i64, i64)>,
+    event_appends: Vec<(i64, i64, bool)>,
 }
 
 fn random_world() -> impl Strategy<Value = RandomWorld> {
@@ -185,20 +330,32 @@ fn random_world() -> impl Strategy<Value = RandomWorld> {
         prop::collection::vec((0..40i64, 0..6i64, 0..8i64), 1..25),
         prop::collection::vec((0..8i64, 0..6i64, 0..10i64), 0..25),
         prop::collection::vec((0..6i64, 0..6i64), 0..15),
+        prop::collection::vec((0..40i64, 0..9i64, 0..12i64), 0..15),
+        prop::collection::vec((0..12i64, 0..9i64, 0..10i64), 0..15),
     )
-        .prop_map(|(mut log_rows, event_rows, team_rows)| {
-            for (i, r) in log_rows.iter_mut().enumerate() {
-                r.0 = i as i64;
-            }
-            RandomWorld {
-                log_rows,
-                event_rows: event_rows
-                    .into_iter()
-                    .map(|(p, a, n)| (p, a, n == 0))
-                    .collect(),
-                team_rows,
-            }
-        })
+        .prop_map(
+            |(mut log_rows, event_rows, team_rows, mut log_appends, event_appends)| {
+                for (i, r) in log_rows.iter_mut().enumerate() {
+                    r.0 = i as i64;
+                }
+                for (i, r) in log_appends.iter_mut().enumerate() {
+                    r.0 = (log_rows.len() + i) as i64;
+                }
+                RandomWorld {
+                    log_rows,
+                    event_rows: event_rows
+                        .into_iter()
+                        .map(|(p, a, n)| (p, a, n == 0))
+                        .collect(),
+                    team_rows,
+                    log_appends,
+                    event_appends: event_appends
+                        .into_iter()
+                        .map(|(p, a, n)| (p, a, n == 0))
+                        .collect(),
+                }
+            },
+        )
 }
 
 fn materialize(w: &RandomWorld) -> (Database, TableId, TableId, TableId) {
@@ -292,14 +449,15 @@ proptest! {
             });
             q
         };
-        for (what, q) in [
+        let queries = [
             ("one_hop", &one_hop),
             ("open", &open),
             ("two_hop", &two_hop),
             ("filtered", &filtered),
             ("decorated", &decorated),
             ("anchor_dep", &anchor_dep),
-        ] {
+        ];
+        for (what, q) in queries {
             for dedup in [true, false] {
                 let opts = EvalOptions { dedup };
                 prop_assert_eq!(
@@ -311,6 +469,42 @@ proptest! {
                     engine.support(&db, q, opts).unwrap(),
                     q.support(&db, opts).unwrap(),
                     "{} (dedup={})", what, dedup
+                );
+            }
+        }
+
+        // Append the second batch and refresh: the warm engine must keep
+        // matching the row evaluator on the grown database.
+        let mut db = db;
+        let mut engine = engine;
+        for &(lid, user, patient) in &w.log_appends {
+            db.insert(
+                log,
+                vec![Value::Int(lid), Value::Int(user), Value::Int(patient)],
+            )
+            .unwrap();
+        }
+        for &(p, a, null_actor) in &w.event_appends {
+            let actor = if null_actor {
+                Value::Null
+            } else {
+                Value::Int(a)
+            };
+            db.insert(event, vec![Value::Int(p), actor]).unwrap();
+        }
+        engine.refresh(&db);
+        for (what, q) in queries {
+            for dedup in [true, false] {
+                let opts = EvalOptions { dedup };
+                prop_assert_eq!(
+                    engine.explained_rows(&db, q, opts).unwrap(),
+                    q.explained_rows(&db, opts).unwrap(),
+                    "after refresh: {} (dedup={})", what, dedup
+                );
+                prop_assert_eq!(
+                    engine.support(&db, q, opts).unwrap(),
+                    q.support(&db, opts).unwrap(),
+                    "after refresh: {} (dedup={})", what, dedup
                 );
             }
         }
