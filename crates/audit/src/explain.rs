@@ -5,7 +5,9 @@
 //! ascending order of path length" (§2.1).
 
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{ChainQuery, Database, Engine, EvalOptions, PreparedChain, Result, RowId};
+use eba_relational::{
+    ChainQuery, Database, Engine, Epoch, EvalOptions, PreparedChain, Result, RowId,
+};
 use std::collections::HashSet;
 
 /// One rendered explanation for a specific access.
@@ -116,6 +118,13 @@ impl Explainer {
             .expect("templates lower to valid queries")
     }
 
+    /// [`Explainer::explained_rows`] against a pinned [`Epoch`]: the
+    /// session form — every question asked of the same epoch sees one
+    /// consistent log state while ingests publish new epochs behind it.
+    pub fn explained_rows_at(&self, spec: &LogSpec, epoch: &Epoch) -> HashSet<RowId> {
+        self.explained_rows_with(epoch.db(), spec, epoch.engine())
+    }
+
     /// Anchor rows *no* template explains — the paper's reduced set of
     /// potentially suspicious accesses.
     pub fn unexplained_rows(&self, db: &Database, spec: &LogSpec) -> Vec<RowId> {
@@ -132,6 +141,11 @@ impl Explainer {
     ) -> Vec<RowId> {
         let explained = self.explained_rows_with(db, spec, engine);
         Self::anchor_complement(db, spec, &explained)
+    }
+
+    /// [`Explainer::unexplained_rows`] against a pinned [`Epoch`].
+    pub fn unexplained_rows_at(&self, spec: &LogSpec, epoch: &Epoch) -> Vec<RowId> {
+        self.unexplained_rows_with(epoch.db(), spec, epoch.engine())
     }
 
     fn anchor_complement(db: &Database, spec: &LogSpec, explained: &HashSet<RowId>) -> Vec<RowId> {

@@ -83,6 +83,11 @@ impl FakeLog {
     pub fn is_fake(&self, row: RowId) -> bool {
         row >= self.first_row && (row as usize) < self.first_row as usize + self.count
     }
+
+    /// The injected row ids, ascending.
+    pub fn rows(&self) -> std::ops::Range<RowId> {
+        self.first_row..self.first_row + self.count as RowId
+    }
 }
 
 /// The distinct users of the database (from the `Users` table), for the

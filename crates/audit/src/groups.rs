@@ -168,7 +168,7 @@ mod tests {
         let model = collaborative_groups(&h.db, &train, HierarchyConfig::default(), 500).unwrap();
         let mut engine = eba_relational::Engine::new(&h.db);
         let groups_t = install_groups(&mut h.db, &model).unwrap();
-        let stats = engine.refresh(&h.db);
+        let stats = engine.refresh(&h.db).unwrap();
         assert!(stats.delta.grown.contains(&groups_t));
         (h, spec, model, engine)
     }

@@ -21,8 +21,18 @@
 //! * [`investigate`] — near-miss diagnosis of unexplained accesses (how far
 //!   did each template's path get, and did it point at a *different* user —
 //!   the snooping signature);
-//! * [`timeline`] — per-day explained/unexplained trends;
+//! * [`timeline`] — per-day explained/unexplained trends, with an explicit
+//!   overflow bucket for clock-skewed accesses so totals never silently
+//!   shrink;
 //! * [`split`] — train/test anchor filters over days and first accesses.
+//!
+//! Every view comes in three forms: a one-off per-query form, a `*_with`
+//! form over a warm [`eba_relational::Engine`], and a `*_at` form over a
+//! pinned [`eba_relational::Epoch`] from a
+//! [`eba_relational::SharedEngine`] — the session form a long-running
+//! service uses so its explanations, timeline, and triage queue all
+//! describe the same frozen log state while ingests publish new epochs
+//! behind it.
 
 pub mod explain;
 pub mod fake;

@@ -8,7 +8,7 @@
 
 use crate::fake::FakeLog;
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{ChainQuery, Database, Engine, EvalOptions, RowId};
+use eba_relational::{ChainQuery, Database, Engine, Epoch, EvalOptions, RowId};
 use std::collections::HashSet;
 
 /// Counts underlying the three metrics.
@@ -161,6 +161,16 @@ pub fn evaluate(
     )
 }
 
+/// [`explained_union`] against a pinned [`Epoch`] (the session form of
+/// [`explained_union_with`]).
+pub fn explained_union_at(
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    epoch: &Epoch,
+) -> HashSet<RowId> {
+    explained_union_with(epoch.db(), spec, templates, epoch.engine())
+}
+
 /// [`evaluate`] through a shared [`Engine`] over `db` — what the
 /// experiments figures use so every template set of one figure shares one
 /// snapshot and cache.
@@ -179,6 +189,26 @@ pub fn evaluate_with(
         &explained,
         |rid| fake.is_some_and(|f| f.is_fake(rid)),
         with_events,
+    )
+}
+
+/// [`evaluate`] against a pinned [`Epoch`] — anchors and explained sets
+/// are both read from the epoch's frozen database, so the confusion counts
+/// cannot straddle an ingest.
+pub fn evaluate_at(
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    fake: Option<&FakeLog>,
+    with_events: Option<&HashSet<RowId>>,
+    epoch: &Epoch,
+) -> Confusion {
+    evaluate_with(
+        epoch.db(),
+        spec,
+        templates,
+        fake,
+        with_events,
+        epoch.engine(),
     )
 }
 

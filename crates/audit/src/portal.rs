@@ -8,7 +8,7 @@
 
 use crate::explain::{Explainer, RankedExplanation};
 use eba_core::LogSpec;
-use eba_relational::{Database, Engine, Result, RowId, Value};
+use eba_relational::{Database, Engine, Epoch, Result, RowId, Value};
 use eba_synth::LogColumns;
 use std::collections::HashMap;
 
@@ -103,6 +103,17 @@ pub fn misuse_summary_with(
     engine: &Engine,
 ) -> Vec<SuspectSummary> {
     summarize_unexplained(db, spec, explainer.unexplained_rows_with(db, spec, engine))
+}
+
+/// [`misuse_summary`] against a pinned [`Epoch`]: the triage queue the
+/// compliance session sees is computed from the same frozen log as its
+/// timeline and unexplained list.
+pub fn misuse_summary_at(
+    spec: &LogSpec,
+    explainer: &Explainer,
+    epoch: &Epoch,
+) -> Vec<SuspectSummary> {
+    misuse_summary_with(epoch.db(), spec, explainer, epoch.engine())
 }
 
 fn summarize_unexplained(

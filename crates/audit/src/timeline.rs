@@ -8,14 +8,15 @@
 use crate::explain::Explainer;
 use crate::split;
 use eba_core::LogSpec;
-use eba_relational::{Database, Engine, RowId};
+use eba_relational::{Database, Engine, Epoch, RowId};
 use eba_synth::LogColumns;
 use std::collections::HashSet;
 
 /// One day's explanation statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DayStats {
-    /// 1-based day.
+    /// 1-based day — or [`DayStats::OVERFLOW_DAY`] for the bucket of
+    /// accesses whose timestamp fell outside the reporting window.
     pub day: u32,
     /// Accesses that day (within the spec's other filters).
     pub total: usize,
@@ -28,6 +29,9 @@ pub struct DayStats {
 }
 
 impl DayStats {
+    /// The `day` value of the out-of-window bucket ([`Timeline::overflow`]).
+    pub const OVERFLOW_DAY: u32 = 0;
+
     /// Fraction of the day's accesses explained (1.0 for an empty day).
     pub fn explained_rate(&self) -> f64 {
         if self.total == 0 {
@@ -35,6 +39,46 @@ impl DayStats {
         } else {
             self.explained as f64 / self.total as f64
         }
+    }
+
+    fn empty(day: u32) -> DayStats {
+        DayStats {
+            day,
+            total: 0,
+            explained: 0,
+            first_accesses: 0,
+            first_explained: 0,
+        }
+    }
+}
+
+/// The per-day compliance view: one [`DayStats`] per day of the window,
+/// plus an explicit bucket for everything *outside* it.
+///
+/// Real access logs carry clock skew — a misconfigured workstation stamps
+/// day 0 or day 400. Silently dropping those rows (what this module did
+/// before the overflow bucket existed) over-reports compliance: the
+/// dashboard's totals miss exactly the accesses most worth a look.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// Days `1..=days`, in order.
+    pub days: Vec<DayStats>,
+    /// Accesses whose `Day` was outside `1..=days` (or not an integer —
+    /// a NULL day counts as skew, not as silence). `day` is
+    /// [`DayStats::OVERFLOW_DAY`].
+    pub overflow: DayStats,
+}
+
+impl Timeline {
+    /// Accesses excluded from the per-day rows (the overflow bucket's
+    /// total) — zero on a well-formed log.
+    pub fn dropped(&self) -> usize {
+        self.overflow.total
+    }
+
+    /// Total accesses across the window *and* the overflow bucket.
+    pub fn total(&self) -> usize {
+        self.days.iter().map(|s| s.total).sum::<usize>() + self.overflow.total
     }
 }
 
@@ -45,7 +89,7 @@ pub fn daily_stats(
     cols: &LogColumns,
     explainer: &Explainer,
     days: u32,
-) -> Vec<DayStats> {
+) -> Timeline {
     // One evaluation over the whole log, then bucket by day.
     bucket_by_day(db, spec, cols, &explainer.explained_rows(db, spec), days)
 }
@@ -60,7 +104,7 @@ pub fn daily_stats_with(
     explainer: &Explainer,
     days: u32,
     engine: &Engine,
-) -> Vec<DayStats> {
+) -> Timeline {
     bucket_by_day(
         db,
         spec,
@@ -70,6 +114,19 @@ pub fn daily_stats_with(
     )
 }
 
+/// [`daily_stats`] against a pinned [`Epoch`]: the dashboard session's
+/// view, consistent with every other question asked of the same epoch
+/// while the log keeps ingesting behind it.
+pub fn daily_stats_at(
+    spec: &LogSpec,
+    cols: &LogColumns,
+    explainer: &Explainer,
+    days: u32,
+    epoch: &Epoch,
+) -> Timeline {
+    daily_stats_with(epoch.db(), spec, cols, explainer, days, epoch.engine())
+}
+
 /// Buckets a precomputed explained set by day.
 fn bucket_by_day(
     db: &Database,
@@ -77,17 +134,12 @@ fn bucket_by_day(
     cols: &LogColumns,
     explained: &HashSet<RowId>,
     days: u32,
-) -> Vec<DayStats> {
+) -> Timeline {
     let log = db.table(spec.table);
-    let mut stats: Vec<DayStats> = (1..=days)
-        .map(|day| DayStats {
-            day,
-            total: 0,
-            explained: 0,
-            first_accesses: 0,
-            first_explained: 0,
-        })
-        .collect();
+    let mut timeline = Timeline {
+        days: (1..=days).map(DayStats::empty).collect(),
+        overflow: DayStats::empty(DayStats::OVERFLOW_DAY),
+    };
     for (rid, row) in log.iter() {
         if !spec
             .anchor_filters
@@ -96,11 +148,13 @@ fn bucket_by_day(
         {
             continue;
         }
-        let eba_relational::Value::Int(day) = row[cols.day] else {
-            continue;
-        };
-        let Some(s) = stats.get_mut((day as usize).saturating_sub(1)) else {
-            continue;
+        // In-window accesses land in their day's bucket; clock-skewed or
+        // day-less ones land in the overflow bucket instead of vanishing.
+        let s = match row[cols.day] {
+            eba_relational::Value::Int(day) if (1..=days as i64).contains(&day) => {
+                &mut timeline.days[(day - 1) as usize]
+            }
+            _ => &mut timeline.overflow,
         };
         let is_first = row[cols.is_first] == eba_relational::Value::Int(1);
         let is_explained = explained.contains(&rid);
@@ -115,7 +169,7 @@ fn bucket_by_day(
             }
         }
     }
-    stats
+    timeline
 }
 
 /// Convenience: per-day stats over the full log (no extra filters).
@@ -125,7 +179,7 @@ pub fn full_timeline(
     cols: &LogColumns,
     explainer: &Explainer,
     days: u32,
-) -> Vec<DayStats> {
+) -> Timeline {
     let _ = split::day_range(cols, 1, days); // shape documentation only
     daily_stats(db, spec, cols, explainer, days)
 }
@@ -147,15 +201,48 @@ mod tests {
     #[test]
     fn daily_totals_sum_to_log_size() {
         let (h, spec, explainer) = setup();
-        let stats = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
-        assert_eq!(stats.len(), h.config.days as usize);
-        let total: usize = stats.iter().map(|s| s.total).sum();
-        assert_eq!(total, h.log_len());
-        for s in &stats {
+        let timeline = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
+        assert_eq!(timeline.days.len(), h.config.days as usize);
+        // A well-formed synthetic log has no clock skew.
+        assert_eq!(timeline.dropped(), 0);
+        assert_eq!(timeline.total(), h.log_len());
+        for s in &timeline.days {
             assert!(s.explained <= s.total);
             assert!(s.first_explained <= s.first_accesses);
             assert!(s.first_accesses <= s.total);
             assert!((0.0..=1.0).contains(&s.explained_rate()));
+        }
+    }
+
+    #[test]
+    fn clock_skewed_accesses_land_in_the_overflow_bucket() {
+        let (mut h, spec, explainer) = setup();
+        let before = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
+        // Three skewed accesses: day 0, day beyond the window, and a NULL
+        // day — none may vanish from the totals.
+        let arity = h.db.table(h.t_log).schema().arity();
+        for day in [
+            eba_relational::Value::Int(0),
+            eba_relational::Value::Int(h.config.days as i64 + 30),
+            eba_relational::Value::Null,
+        ] {
+            let mut row = vec![eba_relational::Value::Null; arity];
+            row[h.log_cols.lid] = eba_relational::Value::Int(1_000_000);
+            row[h.log_cols.date] = eba_relational::Value::Date(0);
+            row[h.log_cols.user] = eba_relational::Value::Int(1);
+            row[h.log_cols.patient] = eba_relational::Value::Int(1);
+            row[h.log_cols.day] = day;
+            row[h.log_cols.is_first] = eba_relational::Value::Int(0);
+            h.db.insert(h.t_log, row).unwrap();
+        }
+        let after = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
+        assert_eq!(after.dropped(), 3);
+        assert_eq!(after.overflow.day, DayStats::OVERFLOW_DAY);
+        assert_eq!(after.total(), h.log_len());
+        assert_eq!(after.total(), before.total() + 3);
+        // The in-window rows are untouched by the skewed appends.
+        for (b, a) in before.days.iter().zip(&after.days) {
+            assert_eq!(b.total, a.total);
         }
     }
 
@@ -177,9 +264,20 @@ mod tests {
     }
 
     #[test]
+    fn epoch_pinned_timeline_matches_per_query() {
+        let (h, spec, explainer) = setup();
+        let shared = eba_relational::SharedEngine::new(h.db.clone());
+        let epoch = shared.load();
+        assert_eq!(
+            daily_stats_at(&spec, &h.log_cols, &explainer, h.config.days, &epoch),
+            daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days)
+        );
+    }
+
+    #[test]
     fn first_accesses_sum_to_distinct_pairs() {
         let (h, spec, explainer) = setup();
-        let stats = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
+        let stats = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days).days;
         let firsts: usize = stats.iter().map(|s| s.first_accesses).sum();
         let mut pairs = std::collections::HashSet::new();
         for (_, row) in h.db.table(h.t_log).iter() {
@@ -193,7 +291,7 @@ mod tests {
         let (h, spec, explainer) = setup();
         // Restricting the spec to day 3 zeroes all other days.
         let day3 = spec.with_filters(split::day_range(&h.log_cols, 3, 3));
-        let stats = daily_stats(&h.db, &day3, &h.log_cols, &explainer, h.config.days);
+        let stats = daily_stats(&h.db, &day3, &h.log_cols, &explainer, h.config.days).days;
         for s in &stats {
             if s.day != 3 {
                 assert_eq!(s.total, 0);
@@ -207,7 +305,7 @@ mod tests {
     #[test]
     fn explained_rate_is_reasonably_stable_across_days() {
         let (h, spec, explainer) = setup();
-        let stats = full_timeline(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
+        let stats = full_timeline(&h.db, &spec, &h.log_cols, &explainer, h.config.days).days;
         let rates: Vec<f64> = stats
             .iter()
             .filter(|s| s.total > 20)

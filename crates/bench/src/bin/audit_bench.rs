@@ -16,7 +16,16 @@
 //! * **cold vs warm engine** (`engine/cold_build`): constructing a fresh
 //!   engine per question vs holding one across questions;
 //! * **incremental append** (`refresh/append*`): `Engine::refresh` after a
-//!   batch of log appends vs re-snapshotting the whole database.
+//!   batch of log appends vs re-snapshotting the whole database;
+//! * **concurrent handoff** (`concurrent/reader_during_ingest*`): reader
+//!   sessions fire the suite question at the exact moment an
+//!   ingest+refresh cycle is in flight. Baseline is the coarse-locked
+//!   service `&mut Engine` forces (one mutex over the database and
+//!   engine — the reader waits out the whole ingest+refresh and every
+//!   other reader); the engine side is [`SharedEngine`]'s epoch handoff,
+//!   where readers answer from a pinned immutable epoch and are never
+//!   blocked. The recorded statistic is the per-cycle worst reader
+//!   latency (median over cycles) — the tail a service's SLO is made of.
 //!
 //! Every engine-backed result is asserted equal to the per-query result
 //! before timing. With `--json` the medians land in `BENCH_audit.json`
@@ -28,8 +37,12 @@ use eba_audit::handcrafted::{same_group, EventTable};
 use eba_audit::{portal, timeline, Explainer};
 use eba_bench::harness::{print_workloads, write_bench_json, Workload};
 use eba_bench::{bench_config, scale_config};
+use eba_core::LogSpec;
 use eba_experiments::Scenario;
-use eba_relational::{Engine, Value};
+use eba_relational::{Database, Engine, SharedEngine, Value};
+use eba_synth::LogColumns;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut json_path: Option<String> = None;
@@ -178,6 +191,12 @@ fn main() {
         },
     ));
 
+    let users = user_pool(db);
+    let patients: Vec<Value> = (0..scenario.hospital.world.n_patients())
+        .map(|p| scenario.hospital.patient_value(p))
+        .collect();
+    let t_log = scenario.hospital.t_log;
+
     // Incremental append: after each batch of `append` fresh log rows, an
     // engine is brought up to date — by full re-snapshot (baseline) vs
     // `Engine::refresh` (engine). The appends themselves are *outside* the
@@ -185,11 +204,6 @@ fn main() {
     // database clone at the same rate so the comparison stays balanced
     // across samples.
     {
-        let users = user_pool(db);
-        let patients: Vec<Value> = (0..scenario.hospital.world.n_patients())
-            .map(|p| scenario.hospital.patient_value(p))
-            .collect();
-        let t_log = scenario.hospital.t_log;
         let timed_appends = |side: &mut dyn FnMut(&mut eba_relational::Database),
                              db_side: &mut eba_relational::Database,
                              seed0: u64|
@@ -233,7 +247,7 @@ fn main() {
         explainer.explained_rows_with(&db_refresh, spec, &warm);
         let engine_side = timed_appends(
             &mut |d| {
-                warm.refresh(d);
+                warm.refresh(d).expect("append-only refresh succeeds");
             },
             &mut db_refresh,
             0xB0D17,
@@ -243,6 +257,7 @@ fn main() {
             baseline,
             engine: engine_side,
             samples,
+            note: None,
         });
 
         // The refreshed engine must agree with a fresh snapshot of the
@@ -260,12 +275,227 @@ fn main() {
         );
     }
 
+    // Concurrent handoff: reader sessions ask the suite question at the
+    // exact moment an ingest+refresh cycle is in flight. The baseline
+    // serializes everything behind one mutex (the coupling `&mut Engine`
+    // forces on a service), so the reader's answer waits out the whole
+    // ingest+refresh; with the `SharedEngine` epoch handoff the reader
+    // answers from its pinned epoch and is never blocked by the writer.
+    // The recorded duration is the per-cycle worst reader latency
+    // (median over cycles) — the tail a service's SLO is made of.
+    {
+        let params = ConcurrentParams {
+            spec,
+            cols,
+            days,
+            t_log,
+            users: &users,
+            patients: &patients,
+            // The stress case is a bulk batch (a day's feed, not a
+            // trickle) landing while auditors work — 10x the incremental
+            // refresh workload's batch.
+            append: append * 10,
+            // One reader session per spare core (the writer gets the
+            // other): a single-core box still shows the blocking gap —
+            // the locked reader *waits out* the refresh, the epoch
+            // reader merely time-shares with it.
+            readers: threads.saturating_sub(1).clamp(1, 4),
+            cycles: samples.max(3),
+        };
+        // Differential guard: an epoch answers exactly like the per-query
+        // path before we time anything.
+        {
+            let shared = SharedEngine::new(db.clone());
+            let epoch = shared.load();
+            assert_eq!(
+                explainer.explained_rows_at(spec, &epoch),
+                explainer.explained_rows(db, spec),
+                "epoch changed the explained set"
+            );
+        }
+        let baseline = reader_during_ingest_locked(db, &explainer, &params);
+        let engine_side = reader_during_ingest_shared(db, &explainer, &params);
+        workloads.push(Workload {
+            name: format!("concurrent/reader_during_ingest{}", params.append),
+            baseline: baseline.worst_reader,
+            engine: engine_side.worst_reader,
+            samples: params.cycles,
+            note: Some(format!(
+                "reader answered before the in-flight ingest finished in \
+                 {}/{} cycles with the epoch handoff vs {}/{} under the \
+                 coarse lock ({} reader(s))",
+                engine_side.overlapped,
+                params.cycles,
+                baseline.overlapped,
+                params.cycles,
+                params.readers
+            )),
+        });
+    }
+
     print_workloads(&workloads);
 
     if let Some(path) = json_path {
         write_bench_json(&path, "audit-bench", &scale, threads, &workloads).expect("write json");
         eprintln!("# wrote {path}");
     }
+}
+
+/// Shape of the concurrent-handoff measurement.
+struct ConcurrentParams<'a> {
+    spec: &'a LogSpec,
+    cols: &'a LogColumns,
+    days: u32,
+    t_log: eba_relational::TableId,
+    users: &'a [Value],
+    patients: &'a [Value],
+    append: usize,
+    readers: usize,
+    cycles: usize,
+}
+
+/// Runs `cycles` rounds: each round, every reader thread and the writer
+/// rendezvous at a start barrier that the writer only reaches once its
+/// ingest is committed to being in flight (lock held / about to publish);
+/// the readers then each time one full suite question. A second
+/// rendezvous closes the round — the writer cannot start the next ingest
+/// (and, on the locked side, re-grab the service lock) until every reader
+/// got its answer. Returns the median over cycles of the per-cycle worst
+/// reader latency.
+fn drive_concurrent(
+    p: &ConcurrentParams,
+    read: impl Fn() + Sync,
+    mut write_batch: impl FnMut(u64, &std::sync::Barrier) -> Duration,
+) -> ConcurrentResult {
+    let barrier = std::sync::Barrier::new(p.readers + 1);
+    let per_cycle_worst = Mutex::new(vec![Duration::ZERO; p.cycles]);
+    let mut ingest_work = vec![Duration::ZERO; p.cycles];
+    std::thread::scope(|scope| {
+        for _ in 0..p.readers {
+            scope.spawn(|| {
+                for cycle in 0..p.cycles {
+                    barrier.wait(); // start: the ingest is in flight
+                    let start = Instant::now();
+                    read();
+                    let elapsed = start.elapsed();
+                    {
+                        let mut worst = per_cycle_worst.lock().unwrap();
+                        worst[cycle] = worst[cycle].max(elapsed);
+                    }
+                    barrier.wait(); // end of round
+                }
+            });
+        }
+        for (i, work) in ingest_work.iter_mut().enumerate() {
+            // `write_batch` hits the start barrier itself (with its lock
+            // already held where applicable), returns how long its
+            // ingest+refresh work took from that instant, and drops every
+            // guard before returning; the end-of-round barrier is here.
+            *work = write_batch(i as u64, &barrier);
+            barrier.wait(); // end of round
+        }
+    });
+    let worst = per_cycle_worst.into_inner().unwrap();
+    // A cycle "overlapped" when the slowest reader had its answer before
+    // the in-flight ingest+refresh finished — the thing a coarse lock
+    // makes impossible by construction.
+    let overlapped = worst
+        .iter()
+        .zip(&ingest_work)
+        .filter(|(r, w)| r < w)
+        .count();
+    ConcurrentResult {
+        worst_reader: eba_bench::harness::median(&worst),
+        overlapped,
+    }
+}
+
+/// What one side of the concurrent workload observed.
+struct ConcurrentResult {
+    /// Median over cycles of the per-cycle worst reader latency.
+    worst_reader: Duration,
+    /// Cycles in which every reader answered before the ingest finished.
+    overlapped: usize,
+}
+
+/// Reader-during-ingest latency under the coarse-locked service: one
+/// mutex over `(Database, Engine)`, which is what
+/// `Engine::refresh(&mut self)` forces — the writer takes the lock
+/// *before* releasing the readers, so every timed query waits out the
+/// whole ingest+refresh (and every other reader).
+fn reader_during_ingest_locked(
+    db: &Database,
+    explainer: &Explainer,
+    p: &ConcurrentParams,
+) -> ConcurrentResult {
+    let svc = Mutex::new((db.clone(), Engine::new(db)));
+    {
+        let g = svc.lock().unwrap();
+        explainer.explained_rows_with(&g.0, p.spec, &g.1); // warm the caches
+    }
+    drive_concurrent(
+        p,
+        || {
+            let g = svc.lock().unwrap();
+            explainer.explained_rows_with(&g.0, p.spec, &g.1);
+        },
+        |seed, barrier| {
+            let mut g = svc.lock().unwrap();
+            barrier.wait(); // readers start now, while the lock is held
+            let start = Instant::now();
+            let (db_side, engine_side) = &mut *g;
+            FakeLog::inject(
+                db_side,
+                p.t_log,
+                p.cols,
+                p.users,
+                p.patients,
+                p.append,
+                p.days,
+                0xC0_1000 + seed,
+            );
+            engine_side
+                .refresh(db_side)
+                .expect("append-only refresh succeeds");
+            start.elapsed()
+        },
+    )
+}
+
+/// Reader-during-ingest latency under the epoch handoff: the writer
+/// ingests into a private successor and publishes with a pointer swap;
+/// the readers pin whatever epoch is current and answer immediately.
+fn reader_during_ingest_shared(
+    db: &Database,
+    explainer: &Explainer,
+    p: &ConcurrentParams,
+) -> ConcurrentResult {
+    let shared = SharedEngine::new(db.clone());
+    explainer.explained_rows_at(p.spec, &shared.load()); // warm the caches
+    drive_concurrent(
+        p,
+        || {
+            let epoch = shared.load();
+            explainer.explained_rows_at(p.spec, &epoch);
+        },
+        |seed, barrier| {
+            barrier.wait(); // readers start now; the ingest runs beside them
+            let start = Instant::now();
+            shared.ingest(|db_side| {
+                FakeLog::inject(
+                    db_side,
+                    p.t_log,
+                    p.cols,
+                    p.users,
+                    p.patients,
+                    p.append,
+                    p.days,
+                    0xC0_2000 + seed,
+                );
+            });
+            start.elapsed()
+        },
+    )
 }
 
 fn usage(err: &str) -> ! {

@@ -28,6 +28,10 @@ pub struct Workload {
     pub engine: Duration,
     /// Timed samples behind each median.
     pub samples: usize,
+    /// Optional qualitative finding the durations alone cannot carry
+    /// (e.g. the concurrent workload's "reader answered while the ingest
+    /// was still in flight" count); lands in the JSON snapshot.
+    pub note: Option<String>,
 }
 
 impl Workload {
@@ -43,6 +47,7 @@ impl Workload {
             baseline: measure(samples, baseline),
             engine: measure(samples, engine),
             samples,
+            note: None,
         }
     }
 
@@ -87,6 +92,9 @@ pub fn print_workloads(workloads: &[Workload]) {
             format_duration(w.engine),
             w.speedup()
         );
+        if let Some(note) = &w.note {
+            println!("    ^ {note}");
+        }
     }
     println!("geomean speedup: {:.2}x", geomean_speedup(workloads));
 }
@@ -108,13 +116,18 @@ pub fn write_bench_json(
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
+        let note = match &w.note {
+            Some(n) => format!(", \"note\": \"{}\"", escape_json(n)),
+            None => String::new(),
+        };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"baseline_median_ms\": {:.3}, \"engine_median_ms\": {:.3}, \"speedup\": {:.2}, \"samples\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"baseline_median_ms\": {:.3}, \"engine_median_ms\": {:.3}, \"speedup\": {:.2}, \"samples\": {}{}}}{}\n",
             w.name,
             w.baseline.as_secs_f64() * 1e3,
             w.engine.as_secs_f64() * 1e3,
             w.speedup(),
             w.samples,
+            note,
             if i + 1 < workloads.len() { "," } else { "" }
         ));
     }
@@ -125,6 +138,21 @@ pub fn write_bench_json(
     ));
     json.push_str("}\n");
     std::fs::write(path, json)
+}
+
+/// Minimal JSON string escaping for free-text fields (quotes, backslashes
+/// and control characters) so a note can never corrupt the snapshot.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// One finished measurement.
@@ -353,6 +381,7 @@ mod tests {
             baseline: Duration::from_millis(b),
             engine: Duration::from_millis(e),
             samples: 3,
+            note: None,
         };
         assert!((w(40, 10).speedup() - 4.0).abs() < 1e-9);
         // geomean(4x, 1x) = 2x.
@@ -367,6 +396,7 @@ mod tests {
             baseline: Duration::from_millis(12),
             engine: Duration::from_millis(3),
             samples: 5,
+            note: Some("readers overlapped 5/5 ingests".into()),
         };
         let dir = std::env::temp_dir().join("eba_bench_json_shape_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -380,6 +410,7 @@ mod tests {
             "\"baseline_median_ms\": 12.000",
             "\"engine_median_ms\": 3.000",
             "\"speedup\": 4.00",
+            "\"note\": \"readers overlapped 5/5 ingests\"",
             "\"geomean_speedup\": 4.00",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

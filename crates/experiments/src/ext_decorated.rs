@@ -47,13 +47,13 @@ pub fn ext_decorated(s: &Scenario) -> FigureResult {
     // Refinement re-evaluates the mined set against the *training*
     // database — the scenario's warm engine already holds those step maps.
     let refined = refine_with(
-        &s.hospital.db,
+        s.epoch().db(),
         &train_spec,
         &group_templates,
         &candidate,
         mined.threshold,
         &config,
-        Some(&s.engine),
+        Some(s.engine()),
     );
 
     // Test environment: day-7 first accesses plus the fake log.

@@ -21,7 +21,7 @@ pub fn rows_with_any_event_on(db: &Database, spec: &LogSpec, engine: &Engine) ->
 
 /// Union of rows whose patient has any data-set-A or B event.
 pub fn rows_with_any_event(s: &Scenario, spec: &LogSpec) -> HashSet<RowId> {
-    rows_with_any_event_on(&s.hospital.db, spec, &s.engine)
+    rows_with_any_event_on(s.epoch().db(), spec, s.engine())
 }
 
 fn event_figure(
@@ -32,7 +32,9 @@ fn event_figure(
     include_repeat: bool,
     paper: &[(&str, f64)],
 ) -> FigureResult {
-    let db = &s.hospital.db;
+    // The epoch's database: provably the state the scenario engine was
+    // built over (identical content to `s.hospital.db`).
+    let db = s.epoch().db();
     let denominator = metrics::anchor_rows(db, spec).len().max(1) as f64;
     let mut fig = FigureResult::new(id, title, &["Recall", "Paper"]);
     let preds = event_predicates(db, spec).expect("schema is CareWeb-shaped");
@@ -42,7 +44,7 @@ fn event_figure(
     // One engine batch answers every event-predicate bar of the figure.
     let queries: Vec<ChainQuery> = preds.iter().map(|(_, p)| p.to_chain_query(spec)).collect();
     let per_pred = s
-        .engine
+        .engine()
         .explained_rows_many(db, &queries, EvalOptions::default());
     for ((label, _), rows) in preds.iter().zip(per_pred) {
         let rows: HashSet<RowId> = rows.expect("valid predicate").into_iter().collect();
@@ -57,7 +59,7 @@ fn event_figure(
         let repeat: HashSet<RowId> = s
             .handcrafted
             .repeat_access
-            .explained_rows_with(db, spec, &s.engine)
+            .explained_rows_with(db, spec, s.engine())
             .expect("valid template")
             .into_iter()
             .collect();

@@ -14,7 +14,9 @@ fn handcrafted_figure(
     include_repeat: bool,
     paper: &[(&str, f64)],
 ) -> FigureResult {
-    let db = &s.hospital.db;
+    // The epoch's database: provably the state the scenario engine was
+    // built over (identical content to `s.hospital.db`).
+    let db = s.epoch().db();
     let denominator = metrics::anchor_rows(db, spec).len().max(1) as f64;
     let mut fig = FigureResult::new(id, title, &["Recall", "Paper"]);
     let paper_of = |label: &str| paper.iter().find(|(l, _)| *l == label).map(|(_, v)| *v);
@@ -30,7 +32,7 @@ fn handcrafted_figure(
 
     let mut all: HashSet<eba_relational::RowId> = HashSet::new();
     for (label, t) in &entries {
-        let rows = metrics::explained_union_with(db, spec, &[t], &s.engine);
+        let rows = metrics::explained_union_with(db, spec, &[t], s.engine());
         fig.rows.push(FigureRow::sparse(
             (*label).to_string(),
             vec![Some(rows.len() as f64 / denominator), paper_of(label)],
@@ -48,7 +50,7 @@ fn handcrafted_figure(
         db,
         spec,
         &s.handcrafted.consult().into_iter().collect::<Vec<_>>(),
-        &s.engine,
+        s.engine(),
     );
     let mut with_consult = all;
     with_consult.extend(consult);

@@ -6,12 +6,15 @@ use eba_audit::handcrafted::HandcraftedTemplates;
 use eba_audit::split;
 use eba_cluster::HierarchyConfig;
 use eba_core::LogSpec;
-use eba_relational::Engine;
+use eba_relational::{Engine, Epoch, SharedEngine};
 use eba_synth::{Hospital, SynthConfig};
+use std::sync::Arc;
 
 /// A hospital ready for experiments: groups trained on days 1–6 and
-/// installed, hand-crafted templates built, and one warm evaluation
-/// [`Engine`] shared by every figure that reads the unmodified database.
+/// installed, hand-crafted templates built, and one [`SharedEngine`]
+/// session whose pinned [`Epoch`] serves every figure that reads the
+/// unmodified database — the same writer/reader lifecycle a live service
+/// uses, so the experiments exercise the production path.
 #[derive(Debug)]
 pub struct Scenario {
     /// The hospital (database already contains the `Groups` table).
@@ -22,10 +25,16 @@ pub struct Scenario {
     pub groups: GroupsModel,
     /// The hand-crafted template suite.
     pub handcrafted: HandcraftedTemplates,
-    /// Warm engine over `hospital.db` (Groups included). Figures that
-    /// clone and mutate the database build their own engine over the
+    /// The snapshot-handoff cell over a copy of `hospital.db` (Groups
+    /// included) — the scenario pays one extra database copy so the
+    /// epoch's `db`/`engine` pair is structurally consistent no matter
+    /// what later happens to `hospital.db`. Figures that pair a database
+    /// with [`Scenario::engine`] read [`Scenario::epoch`]`.db()`; figures
+    /// that clone and mutate the database build their own engine over the
     /// combined copy instead.
-    pub engine: Engine,
+    pub session: SharedEngine,
+    /// The epoch pinned at build time — identical data to `hospital.db`.
+    epoch: Arc<Epoch>,
 }
 
 impl Scenario {
@@ -39,14 +48,26 @@ impl Scenario {
         install_groups(&mut hospital.db, &groups).expect("Groups table installs");
         let handcrafted =
             HandcraftedTemplates::build(&hospital.db, &spec).expect("CareWeb-shaped schema");
-        let engine = Engine::new(&hospital.db);
+        let session = SharedEngine::new(hospital.db.clone());
+        let epoch = session.load();
         Scenario {
             hospital,
             spec,
             groups,
             handcrafted,
-            engine,
+            session,
+            epoch,
         }
+    }
+
+    /// The warm engine of the pinned epoch (same data as `hospital.db`).
+    pub fn engine(&self) -> &Engine {
+        self.epoch.engine()
+    }
+
+    /// The epoch every read-only figure shares.
+    pub fn epoch(&self) -> &Epoch {
+        &self.epoch
     }
 
     /// A small scenario for tests.
@@ -81,6 +102,25 @@ mod tests {
     }
 
     #[test]
+    fn scenario_session_follows_ingests_without_disturbing_the_pinned_epoch() {
+        let s = Scenario::build(SynthConfig::tiny());
+        let log = s.spec.table;
+        let rows_before = s.epoch().db().table(log).len();
+        let (_, report) = s.session.ingest(|db| {
+            let arity = db.table(log).schema().arity();
+            let mut row = vec![eba_relational::Value::Null; arity];
+            row[s.spec.lid_col] = eba_relational::Value::Int(1_000_000);
+            db.insert(log, row).unwrap();
+        });
+        assert_eq!(report.seq, 1);
+        assert!(report.rebuilt.is_none());
+        // The build-time epoch (what the figures share) is frozen...
+        assert_eq!(s.epoch().db().table(log).len(), rows_before);
+        // ...and the new epoch sees the ingested row.
+        assert_eq!(s.session.load().db().table(log).len(), rows_before + 1);
+    }
+
+    #[test]
     fn scenario_engine_sees_the_groups_table() {
         let s = Scenario::build(SynthConfig::tiny());
         // The shared engine was built after install_groups, so group
@@ -94,7 +134,7 @@ mod tests {
         .unwrap();
         assert_eq!(
             grouped
-                .explained_rows_with(&s.hospital.db, &s.spec, &s.engine)
+                .explained_rows_with(s.epoch().db(), &s.spec, s.engine())
                 .unwrap(),
             grouped.explained_rows(&s.hospital.db, &s.spec).unwrap()
         );

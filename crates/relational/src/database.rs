@@ -3,11 +3,12 @@
 use crate::error::{Error, Result};
 use crate::pool::{StringPool, Symbol};
 use crate::stats::ColumnStats;
+use crate::sync::unpoison;
 use crate::table::{RowId, Table};
 use crate::types::{ColId, DataType, TableSchema};
 use crate::value::Value;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Identifier of a table in the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,14 +52,33 @@ pub struct Relationship {
 }
 
 /// An in-memory database: tables, join metadata, and interned strings.
-#[derive(Debug, Clone)]
+///
+/// `Database` is `Send + Sync`: its lazily-populated caches (per-column
+/// hash indexes, column statistics) sit behind poison-tolerant locks, so a
+/// read-only snapshot — e.g. the one pinned inside an
+/// [`Epoch`](crate::engine::Epoch) — can serve query evaluation from many
+/// auditing sessions concurrently.
+#[derive(Debug)]
 pub struct Database {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
     relationships: Vec<Relationship>,
     self_join_attrs: Vec<AttrRef>,
     pool: StringPool,
-    stats_cache: RefCell<HashMap<AttrRef, ColumnStats>>,
+    stats_cache: RwLock<HashMap<AttrRef, ColumnStats>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            by_name: self.by_name.clone(),
+            relationships: self.relationships.clone(),
+            self_join_attrs: self.self_join_attrs.clone(),
+            pool: self.pool.clone(),
+            stats_cache: RwLock::new(unpoison(self.stats_cache.read()).clone()),
+        }
+    }
 }
 
 impl Default for Database {
@@ -76,7 +96,7 @@ impl Database {
             relationships: Vec::new(),
             self_join_attrs: Vec::new(),
             pool: StringPool::new(),
-            stats_cache: RefCell::new(HashMap::new()),
+            stats_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -115,9 +135,7 @@ impl Database {
     /// # Panics
     /// Panics if `id` is not a valid table id for this database.
     pub fn table_mut(&mut self, id: TableId) -> &mut Table {
-        self.stats_cache
-            .borrow_mut()
-            .retain(|attr, _| attr.table != id);
+        unpoison(self.stats_cache.write()).retain(|attr, _| attr.table != id);
         &mut self.tables[id.0]
     }
 
@@ -234,11 +252,11 @@ impl Database {
 
     /// Cached column statistics for `attr`.
     pub fn stats(&self, attr: AttrRef) -> ColumnStats {
-        if let Some(s) = self.stats_cache.borrow().get(&attr) {
+        if let Some(s) = unpoison(self.stats_cache.read()).get(&attr) {
             return *s;
         }
         let s = ColumnStats::compute(self.table(attr.table), attr.col);
-        self.stats_cache.borrow_mut().insert(attr, s);
+        unpoison(self.stats_cache.write()).insert(attr, s);
         s
     }
 }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 pub const NULL_ID: u32 = u32::MAX;
 
 /// Bijection between distinct non-null [`Value`]s and dense `u32` ids.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Interner {
     ids: HashMap<Value, u32>,
     values: Vec<Value>,
@@ -74,7 +74,7 @@ impl Interner {
 }
 
 /// One table stored column-major as interned ids.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InternedTable {
     /// `cols[c][r]` is the interned id of cell `(r, c)`.
     pub cols: Vec<Vec<u32>>,
@@ -94,8 +94,10 @@ impl InternedTable {
 ///
 /// The snapshot is immutable between refreshes and self-contained
 /// (`Send + Sync`), which is what lets batch evaluation fan out across
-/// threads — the live `Database` with its lazily-populated `RefCell`
-/// caches cannot cross thread boundaries.
+/// threads without ever touching the live `Database` (itself also
+/// `Send + Sync` now, but contended differently: its lazily-built index
+/// caches are lock-guarded, while the snapshot's columns are plain
+/// shared memory).
 ///
 /// Because [`Table`](crate::Table)s are structurally append-only (there is
 /// no row update or delete API), a snapshot can be brought up to date
@@ -104,13 +106,60 @@ impl InternedTable {
 /// seen — existing ids are never reassigned, so data structures keyed on
 /// old ids (step maps over tables that did not grow, scratch bitsets)
 /// remain valid.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InternedDb {
     /// One interned table per catalog table, in [`crate::TableId`] order.
     pub tables: Vec<InternedTable>,
     /// The shared id space.
     pub interner: Interner,
 }
+
+/// Why a refresh was refused. Refreshing is only defined against the
+/// append-only database a snapshot was built from; a shrinking table is the
+/// telltale of refreshing against an unrelated (or rolled-back) database.
+///
+/// A failed refresh leaves the snapshot **untouched** — shrinkage is
+/// detected in a read-only pre-pass before anything is interned — so the
+/// caller can keep serving from the old snapshot, or rebuild from scratch
+/// (what [`SharedEngine`](super::SharedEngine)'s writer does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshError {
+    /// A table has fewer rows than the snapshot recorded.
+    TableShrank {
+        /// Name of the offending table.
+        table: String,
+        /// Rows the snapshot holds.
+        had: usize,
+        /// Rows the database now reports.
+        now: usize,
+    },
+    /// The database has fewer tables than the snapshot recorded.
+    CatalogShrank {
+        /// Tables the snapshot holds.
+        had: usize,
+        /// Tables the database now reports.
+        now: usize,
+    },
+}
+
+impl std::fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefreshError::TableShrank { table, had, now } => write!(
+                f,
+                "table `{table}` shrank ({had} -> {now} rows): snapshots only refresh \
+                 against the append-only database they were built from"
+            ),
+            RefreshError::CatalogShrank { had, now } => write!(
+                f,
+                "catalog shrank ({had} -> {now} tables): snapshots only refresh \
+                 against the append-only database they were built from"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefreshError {}
 
 /// What a [`InternedDb::refresh`] changed — the engine uses this to
 /// invalidate exactly the caches the append touched.
@@ -139,7 +188,8 @@ impl InternedDb {
             tables: Vec::new(),
             interner: Interner::default(),
         };
-        snap.refresh(db);
+        snap.refresh(db)
+            .expect("a fresh snapshot has nothing to shrink");
         snap
     }
 
@@ -151,11 +201,29 @@ impl InternedDb {
     /// Interning is append-only: ids issued earlier keep their values, so
     /// anything built against an un-grown table stays exact.
     ///
-    /// # Panics
-    /// Panics if a table shrank — the `Table` API is append-only, so a
-    /// shorter table means `db` is not the database this snapshot was
+    /// # Errors
+    /// Returns a [`RefreshError`] — and leaves the snapshot untouched — if
+    /// a table (or the catalog) shrank: the `Table` API is append-only, so
+    /// a shorter table means `db` is not the database this snapshot was
     /// built from.
-    pub fn refresh(&mut self, db: &Database) -> RefreshDelta {
+    pub fn refresh(&mut self, db: &Database) -> Result<RefreshDelta, RefreshError> {
+        // Read-only pre-pass: refuse (without mutating anything) before a
+        // partial refresh could tear the snapshot.
+        if db.table_count() < self.tables.len() {
+            return Err(RefreshError::CatalogShrank {
+                had: self.tables.len(),
+                now: db.table_count(),
+            });
+        }
+        for tid in db.table_ids() {
+            if tid.0 < self.tables.len() && db.table(tid).len() < self.tables[tid.0].n_rows {
+                return Err(RefreshError::TableShrank {
+                    table: db.table(tid).name().to_string(),
+                    had: self.tables[tid.0].n_rows,
+                    now: db.table(tid).len(),
+                });
+            }
+        }
         let mut delta = RefreshDelta::default();
         let values_before = self.interner.len();
         for tid in db.table_ids() {
@@ -170,14 +238,6 @@ impl InternedDb {
                 });
                 self.tables.last_mut().expect("just pushed")
             };
-            assert!(
-                table.len() >= it.n_rows,
-                "table {} shrank ({} -> {} rows): snapshots only refresh \
-                 against the append-only database they were built from",
-                table.name(),
-                it.n_rows,
-                table.len()
-            );
             if table.len() == it.n_rows {
                 continue;
             }
@@ -198,7 +258,7 @@ impl InternedDb {
             delta.grown.push(tid);
         }
         delta.new_values = self.interner.len() - values_before;
-        delta
+        Ok(delta)
     }
 
     /// The interned table behind a catalog id.
@@ -250,7 +310,7 @@ mod tests {
         db.insert(u, vec![Value::Int(2)]).unwrap();
         db.insert(u, vec![Value::Int(3)]).unwrap();
 
-        let delta = snap.refresh(&db);
+        let delta = snap.refresh(&db).unwrap();
         assert_eq!(delta.grown, vec![t, u]);
         assert_eq!(delta.new_rows, 4);
         assert_eq!(delta.new_values, 2); // Int(2), Int(3)
@@ -261,9 +321,53 @@ mod tests {
         assert_eq!(snap.table(u).id(0, 0), snap.table(t).id(2, 0));
 
         // A second refresh with nothing appended is a no-op.
-        let delta = snap.refresh(&db);
+        let delta = snap.refresh(&db).unwrap();
         assert!(delta.is_empty());
         assert_eq!(delta.new_rows, 0);
+    }
+
+    #[test]
+    fn refresh_against_a_shrunk_database_fails_without_tearing() {
+        let mut db = Database::new();
+        let t = db.create_table("T", &[("A", DataType::Int)]).unwrap();
+        db.insert(t, vec![Value::Int(1)]).unwrap();
+        db.insert(t, vec![Value::Int(2)]).unwrap();
+        let mut snap = InternedDb::snapshot(&db);
+
+        // An unrelated database whose T has fewer rows.
+        let mut other = Database::new();
+        let ot = other.create_table("T", &[("A", DataType::Int)]).unwrap();
+        other.insert(ot, vec![Value::Int(9)]).unwrap();
+        let err = snap.refresh(&other).unwrap_err();
+        assert_eq!(
+            err,
+            RefreshError::TableShrank {
+                table: "T".into(),
+                had: 2,
+                now: 1
+            }
+        );
+        assert!(err.to_string().contains("shrank"));
+        // The snapshot is untouched and still refreshes against its own db.
+        assert_eq!(snap.table(t).n_rows, 2);
+        assert_eq!(snap.interner.len(), 2);
+        db.insert(t, vec![Value::Int(3)]).unwrap();
+        assert_eq!(snap.refresh(&db).unwrap().new_rows, 1);
+        assert_eq!(snap.table(t).n_rows, 3);
+    }
+
+    #[test]
+    fn refresh_against_a_shrunk_catalog_fails() {
+        let mut db = Database::new();
+        db.create_table("T", &[("A", DataType::Int)]).unwrap();
+        db.create_table("U", &[("B", DataType::Int)]).unwrap();
+        let mut snap = InternedDb::snapshot(&db);
+        let mut other = Database::new();
+        other.create_table("T", &[("A", DataType::Int)]).unwrap();
+        assert_eq!(
+            snap.refresh(&other).unwrap_err(),
+            RefreshError::CatalogShrank { had: 2, now: 1 }
+        );
     }
 
     #[test]
@@ -272,7 +376,7 @@ mod tests {
         let t = db.create_table("T", &[("A", DataType::Int)]).unwrap();
         let mut snap = InternedDb::snapshot(&db);
         db.insert(t, vec![Value::Null]).unwrap();
-        let delta = snap.refresh(&db);
+        let delta = snap.refresh(&db).unwrap();
         assert_eq!(delta.new_values, 0);
         assert_eq!(snap.table(t).id(0, 0), NULL_ID);
     }

@@ -70,20 +70,45 @@
 //!   scanning only the new rows).
 //!
 //! Do **not** share one engine across databases: a snapshot refreshed
-//! against a database it was not built from panics (table shrank) or
-//! silently diverges. Clones of a database count as different databases
-//! once either side mutates.
+//! against a database it was not built from fails with a typed
+//! [`RefreshError`] (table shrank) or silently diverges. Clones of a
+//! database count as different databases once either side mutates.
+//!
+//! # Serving queries while the log ingests
+//!
+//! [`Engine::refresh`] takes `&mut Engine`, so a service that refreshes
+//! the engine readers are using must serialize readers against every
+//! ingest. [`SharedEngine`] removes that coupling with an epoch-style
+//! snapshot handoff: readers [`load`](SharedEngine::load) an immutable
+//! [`Epoch`] (database + engine) and evaluate against it for their whole
+//! session, while the single writer forks the current engine
+//! ([`Engine::fork`]), refreshes the fork privately, and publishes it as
+//! the next epoch — a pointer swap, never a wait for in-flight queries.
+//! See [`shared`]'s module docs for the writer/reader pattern.
+//!
+//! # Panic hygiene
+//!
+//! The engine's caches are guarded by poison-tolerant locks
+//! ([`crate::sync::unpoison`]): they hold only memoized, immutable-once-
+//! inserted results, so a panicking query can never leave them in a state
+//! that is unsafe to read, and recovering the guard is always correct. A
+//! long-running auditor therefore survives a panicking query — subsequent
+//! queries keep answering (the `catch_unwind` regression tests below and
+//! in `tests/engine_equivalence.rs` enforce this).
 
 mod interner;
 mod parallel;
+mod shared;
 mod stepmap;
 
-pub use interner::{InternedDb, InternedTable, Interner, RefreshDelta, NULL_ID};
+pub use interner::{InternedDb, InternedTable, Interner, RefreshDelta, RefreshError, NULL_ID};
 pub use parallel::{par_map, par_map_with};
+pub use shared::{Epoch, IngestReport, SharedEngine};
 
 use crate::chain::{ChainQuery, EvalOptions, Rhs};
 use crate::database::{Database, TableId};
 use crate::error::Result;
+use crate::sync::unpoison;
 use crate::table::RowId;
 use crate::types::ColId;
 use std::collections::HashMap;
@@ -172,18 +197,18 @@ impl Engine {
 
     /// Number of distinct step maps built so far.
     pub fn cached_step_maps(&self) -> usize {
-        self.cache.lock().expect("engine cache poisoned").len()
+        unpoison(self.cache.lock()).len()
     }
 
     /// Number of distinct log partitions built so far.
     pub fn cached_partitions(&self) -> usize {
-        self.groups.lock().expect("engine groups poisoned").len()
+        unpoison(self.groups.lock()).len()
     }
 
     /// Number of distinct per-row maps built so far (the anchor-dependent
     /// path's cache).
     pub fn cached_row_maps(&self) -> usize {
-        self.rowmaps.lock().expect("engine rowmaps poisoned").len()
+        unpoison(self.rowmaps.lock()).len()
     }
 
     /// Brings the engine up to date with `db` incrementally: scans only
@@ -192,35 +217,55 @@ impl Engine {
     /// See the module docs for the invalidation rules.
     ///
     /// `db` must be the database this engine was built from (tables are
-    /// append-only, so "the same database, possibly longer"); refreshing
-    /// against an unrelated database panics when a table shrank and is
-    /// undefined otherwise.
-    pub fn refresh(&mut self, db: &Database) -> RefreshStats {
-        let delta = self.snapshot.refresh(db);
+    /// append-only, so "the same database, possibly longer"). Refreshing
+    /// against a database where a table shrank returns a typed
+    /// [`RefreshError`] and leaves the engine untouched — it keeps
+    /// answering from its current snapshot — so a long-running service can
+    /// log the mismatch and rebuild instead of dying.
+    pub fn refresh(&mut self, db: &Database) -> std::result::Result<RefreshStats, RefreshError> {
+        let delta = self.snapshot.refresh(db)?;
         if delta.is_empty() {
-            return RefreshStats {
+            return Ok(RefreshStats {
                 delta,
                 ..RefreshStats::default()
-            };
+            });
         }
         let grown: std::collections::HashSet<TableId> = delta.grown.iter().copied().collect();
-        let cache = self.cache.get_mut().expect("engine cache poisoned");
+        let cache = unpoison(self.cache.get_mut());
         let maps_before = cache.len();
         cache.retain(|key, _| !grown.contains(&key.table));
         let dropped_step_maps = maps_before - cache.len();
-        let groups = self.groups.get_mut().expect("engine groups poisoned");
+        let groups = unpoison(self.groups.get_mut());
         let parts_before = groups.len();
         groups.retain(|key, _| !grown.contains(&key.log));
         let dropped_partitions = parts_before - groups.len();
-        let rowmaps = self.rowmaps.get_mut().expect("engine rowmaps poisoned");
+        let rowmaps = unpoison(self.rowmaps.get_mut());
         let rowmaps_before = rowmaps.len();
         rowmaps.retain(|(table, _), _| !grown.contains(table));
         let dropped_row_maps = rowmaps_before - rowmaps.len();
-        RefreshStats {
+        Ok(RefreshStats {
             delta,
             dropped_step_maps,
             dropped_partitions,
             dropped_row_maps,
+        })
+    }
+
+    /// A private successor of this engine: same snapshot, same warm caches
+    /// (the cached maps are immutable and `Arc`-shared, so this is a
+    /// columnar memcpy plus cache-map clones — no re-interning, no map
+    /// rebuilds).
+    ///
+    /// This is the writer half of [`SharedEngine`]'s epoch handoff: the
+    /// published engine stays frozen for its readers while the fork is
+    /// refreshed against the grown database and published as the next
+    /// epoch.
+    pub fn fork(&self) -> Engine {
+        Engine {
+            snapshot: self.snapshot.clone(),
+            cache: Mutex::new(unpoison(self.cache.lock()).clone()),
+            groups: Mutex::new(unpoison(self.groups.lock()).clone()),
+            rowmaps: Mutex::new(unpoison(self.rowmaps.lock()).clone()),
         }
     }
 
@@ -407,7 +452,7 @@ impl Engine {
     ) {
         let mut missing: Vec<StepKey> = Vec::new();
         {
-            let cache = self.cache.lock().expect("engine cache poisoned");
+            let cache = unpoison(self.cache.lock());
             let mut seen = std::collections::HashSet::new();
             for q in queries {
                 for step in &q.steps {
@@ -422,7 +467,7 @@ impl Engine {
             return;
         }
         let built = par_map(&missing, |key| StepMap::build(key, &self.snapshot));
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        let mut cache = unpoison(self.cache.lock());
         for (key, map) in missing.into_iter().zip(built) {
             cache.entry(key).or_insert_with(|| Arc::new(map));
         }
@@ -434,13 +479,11 @@ impl Engine {
             .iter()
             .map(|step| {
                 let key = StepKey::of(step, opts.dedup);
-                if let Some(map) = self.cache.lock().expect("engine cache poisoned").get(&key) {
+                if let Some(map) = unpoison(self.cache.lock()).get(&key) {
                     return map.clone();
                 }
                 let built = Arc::new(StepMap::build(&key, &self.snapshot));
-                self.cache
-                    .lock()
-                    .expect("engine cache poisoned")
+                unpoison(self.cache.lock())
                     .entry(key)
                     .or_insert(built)
                     .clone()
@@ -455,12 +498,7 @@ impl Engine {
             .iter()
             .map(|step| {
                 let key = (step.table, step.enter_col);
-                if let Some(map) = self
-                    .rowmaps
-                    .lock()
-                    .expect("engine rowmaps poisoned")
-                    .get(&key)
-                {
+                if let Some(map) = unpoison(self.rowmaps.lock()).get(&key) {
                     return map.clone();
                 }
                 let built = Arc::new(RowMap::build(
@@ -468,9 +506,7 @@ impl Engine {
                     step.enter_col,
                     self.snapshot.interner.len(),
                 ));
-                self.rowmaps
-                    .lock()
-                    .expect("engine rowmaps poisoned")
+                unpoison(self.rowmaps.lock())
                     .entry(key)
                     .or_insert(built)
                     .clone()
@@ -494,12 +530,7 @@ impl Engine {
     /// shape (one scan of the log instead of one per candidate).
     fn groups_for(&self, q: &ChainQuery) -> Arc<LogGroups> {
         let key = GroupKey::of(q);
-        if let Some(groups) = self
-            .groups
-            .lock()
-            .expect("engine groups poisoned")
-            .get(&key)
-        {
+        if let Some(groups) = unpoison(self.groups.lock()).get(&key) {
             return groups.clone();
         }
         let log = self.snapshot.table(q.log);
@@ -535,9 +566,7 @@ impl Engine {
             .map(|(start, closes)| (start, closes.into_iter().collect()))
             .collect();
         let built = Arc::new(LogGroups { by_start });
-        self.groups
-            .lock()
-            .expect("engine groups poisoned")
+        unpoison(self.groups.lock())
             .entry(key)
             .or_insert(built)
             .clone()
@@ -556,9 +585,7 @@ impl Engine {
     fn explained_grouped_unsorted(&self, q: &ChainQuery, maps: &[Arc<StepMap>]) -> Vec<RowId> {
         let groups = self.groups_for(q);
         let mut out = Vec::new();
-        SCRATCH_MARKS.with(|cell| {
-            let mut marks = cell.borrow_mut();
-            marks.reserve_ids(self.snapshot.interner.len());
+        with_scratch_marks(self.snapshot.interner.len(), |marks| {
             let mut frontier: Vec<u32> = Vec::new();
             let mut next: Vec<u32> = Vec::new();
             for (start, closes) in &groups.by_start {
@@ -641,9 +668,7 @@ impl Engine {
             .map(|s| self.snapshot.table(s.table))
             .collect();
         let mut out = Vec::new();
-        SCRATCH_MARKS.with(|cell| {
-            let mut marks = cell.borrow_mut();
-            marks.reserve_ids(interner.len());
+        with_scratch_marks(interner.len(), |marks| {
             let mut frontier: Vec<u32> = Vec::new();
             let mut next: Vec<u32> = Vec::new();
             for r in 0..log.n_rows {
@@ -710,6 +735,30 @@ std::thread_local! {
     /// queries avoids re-zeroing `O(id-space)` words per candidate.
     static SCRATCH_MARKS: std::cell::RefCell<BitMarks> =
         const { std::cell::RefCell::new(BitMarks { words: Vec::new() }) };
+}
+
+/// Runs `f` with the thread's scratch bitset, grown to cover `n_ids`.
+///
+/// If `f` panics mid-walk the bitset is torn (bits left set), which would
+/// silently corrupt the *next* query on this thread once the panic is
+/// caught (a long-running service catches panics per request). The guard
+/// re-zeroes the whole bitset on unwind — the `O(id-space)` cost is paid
+/// only on the panic path.
+fn with_scratch_marks<R>(n_ids: usize, f: impl FnOnce(&mut BitMarks) -> R) -> R {
+    SCRATCH_MARKS.with(|cell| {
+        let mut marks = cell.borrow_mut();
+        marks.reserve_ids(n_ids);
+        struct ClearOnUnwind<'a>(&'a mut BitMarks);
+        impl Drop for ClearOnUnwind<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.words.fill(0);
+                }
+            }
+        }
+        let guard = ClearOnUnwind(&mut marks);
+        f(guard.0)
+    })
 }
 
 /// A reusable bitset over the dense id space, cleared incrementally so a
@@ -986,7 +1035,7 @@ mod tests {
         // Append an appointment: patient 11 now also sees doctor 1.
         db.insert(appt, vec![Value::Int(11), Value::Date(3), Value::Int(1)])
             .unwrap();
-        let stats = engine.refresh(&db);
+        let stats = engine.refresh(&db).unwrap();
         assert_eq!(stats.delta.grown, vec![appt]);
         assert_eq!(stats.delta.new_rows, 1);
         // Only the Appointments map is dropped; Doctor_Info maps and the
@@ -1008,7 +1057,7 @@ mod tests {
             vec![Value::Int(3), Value::Date(3), Value::Int(2), Value::Int(10)],
         )
         .unwrap();
-        let stats = engine.refresh(&db);
+        let stats = engine.refresh(&db).unwrap();
         assert_eq!(stats.delta.grown, vec![log]);
         assert_eq!(stats.dropped_partitions, 1);
         assert_eq!(stats.dropped_step_maps, 0);
@@ -1024,7 +1073,7 @@ mod tests {
         }
 
         // Nothing appended: a refresh is a cheap no-op.
-        let stats = engine.refresh(&db);
+        let stats = engine.refresh(&db).unwrap();
         assert!(stats.delta.is_empty());
         assert_eq!(engine.cached_step_maps(), 3);
     }
@@ -1041,7 +1090,7 @@ mod tests {
             .unwrap();
         db.insert(extra, vec![Value::Int(11), Value::Int(1)])
             .unwrap();
-        let stats = engine.refresh(&db);
+        let stats = engine.refresh(&db).unwrap();
         assert_eq!(stats.delta.grown, vec![extra]);
         let q = ChainQuery {
             steps: vec![ChainStep::new(extra, 0, 1)],
@@ -1075,12 +1124,117 @@ mod tests {
             ],
         )
         .unwrap();
-        let stats = engine.refresh(&db);
+        let stats = engine.refresh(&db).unwrap();
         assert_eq!(stats.dropped_step_maps, 0);
         assert_eq!(
             engine.explained_rows(&db, &qb, opts).unwrap(),
             qb.explained_rows(&db, opts).unwrap()
         );
+    }
+
+    #[test]
+    fn poisoned_cache_locks_do_not_kill_subsequent_queries() {
+        let (db, log, appt, info) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let q = template_b(log, appt, info);
+        let expected = q.explained_rows(&db, opts).unwrap();
+        // Poison every internal cache lock the way a panicking query
+        // would: panic on another thread while holding the guard.
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _cache = engine.cache.lock().unwrap();
+                    let _groups = engine.groups.lock().unwrap();
+                    let _rowmaps = engine.rowmaps.lock().unwrap();
+                    panic!("simulated mid-query panic");
+                })
+                .join()
+                .unwrap_err();
+        });
+        assert!(engine.cache.lock().is_err(), "cache lock is poisoned");
+        // The engine recovers the guards and keeps answering correctly,
+        // including cache misses (inserts into the poisoned maps).
+        assert_eq!(engine.explained_rows(&db, &q, opts).unwrap(), expected);
+        assert_eq!(
+            engine.support(&db, &q, opts).unwrap(),
+            q.support(&db, opts).unwrap()
+        );
+        let mut decorated = template_a(log, appt);
+        decorated.steps[0].filters.push(StepFilter {
+            col: 1,
+            op: CmpOp::Le,
+            rhs: Rhs::AnchorCol(1),
+        });
+        assert_eq!(
+            engine.explained_rows(&db, &decorated, opts).unwrap(),
+            decorated.explained_rows(&db, opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn panicking_evaluation_leaves_the_engine_usable() {
+        // An engine snapshotted before a table existed: evaluating a query
+        // over the new table against the *stale* snapshot panics (the
+        // misuse the docs warn about). The panic must not corrupt the
+        // engine for well-formed queries that follow.
+        let (mut db, log, appt, _) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let q = template_a(log, appt);
+        let expected = q.explained_rows(&db, opts).unwrap();
+        let extra = db
+            .create_table(
+                "Extra",
+                &[("Patient", DataType::Int), ("Owner", DataType::Int)],
+            )
+            .unwrap();
+        db.insert(extra, vec![Value::Int(10), Value::Int(1)])
+            .unwrap();
+        let stale = ChainQuery {
+            steps: vec![ChainStep::new(extra, 0, 1)],
+            ..template_a(log, appt)
+        };
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.explained_rows(&db, &stale, opts)
+            }));
+            assert!(caught.is_err(), "stale-snapshot evaluation panics");
+            // Same thread, same scratch state: results stay exact.
+            assert_eq!(engine.explained_rows(&db, &q, opts).unwrap(), expected);
+            assert_eq!(
+                engine.support(&db, &q, opts).unwrap(),
+                q.support(&db, opts).unwrap()
+            );
+        }
+        // The batch path recovers too (the panic crosses par_map).
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.support_many(&db, std::slice::from_ref(&stale), opts)
+        }));
+        assert!(caught.is_err());
+        let batch = engine.support_many(&db, std::slice::from_ref(&q), opts);
+        assert_eq!(*batch[0].as_ref().unwrap(), q.support(&db, opts).unwrap());
+    }
+
+    #[test]
+    fn refresh_error_leaves_the_engine_answering() {
+        let (db, log, appt, _) = figure3_db();
+        let mut engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let q = template_a(log, appt);
+        let expected = engine.explained_rows(&db, &q, opts).unwrap();
+        // Refreshing against an unrelated, shorter database is refused...
+        let (other, ..) = {
+            let mut other = Database::new();
+            let l = other
+                .create_table("OnlyLog", &[("Lid", DataType::Int)])
+                .unwrap();
+            (other, l)
+        };
+        let err = engine.refresh(&other).unwrap_err();
+        assert!(matches!(err, RefreshError::CatalogShrank { .. }));
+        // ...and the engine still answers from its intact snapshot.
+        assert_eq!(engine.explained_rows(&db, &q, opts).unwrap(), expected);
     }
 
     #[test]

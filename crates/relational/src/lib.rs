@@ -48,6 +48,15 @@
 //!    only the appended rows and dropping only the caches over tables that
 //!    grew — a long-running auditing service keeps one engine per session
 //!    instead of re-snapshotting per query.
+//! 5. **Snapshot handoff** ([`SharedEngine`]): a service answering audit
+//!    queries *while* the log ingests publishes immutable
+//!    [`Epoch`]s (database + engine, frozen together); readers pin one
+//!    epoch per session and are never blocked by a refresh, the single
+//!    writer refreshes a private fork and swaps it in atomically. The
+//!    [`Database`] itself is `Send + Sync` (poison-tolerant lazily-built
+//!    caches, [`sync::unpoison`]), so one epoch serves any number of
+//!    concurrent sessions — and a panicking query or ingest cannot poison
+//!    the service into permanent failure.
 //!
 //! The engine returns **byte-identical** results to [`ChainQuery`] for
 //! every query class (enforced differentially by the `engine_equivalence`
@@ -79,6 +88,7 @@ pub mod plan;
 pub mod pool;
 pub mod select;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod types;
 pub mod value;
@@ -88,7 +98,9 @@ pub use chain::{
     PreparedChain, Rhs, StepFilter, StepTrace,
 };
 pub use database::{AttrRef, Database, RelationshipKind, TableId};
-pub use engine::{Engine, RefreshDelta, RefreshStats};
+pub use engine::{
+    Engine, Epoch, IngestReport, RefreshDelta, RefreshError, RefreshStats, SharedEngine,
+};
 pub use error::{Error, Result};
 pub use plan::{explain, Plan, PlanStep};
 pub use pool::{StringPool, Symbol};

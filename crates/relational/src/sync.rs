@@ -1,0 +1,69 @@
+//! Poison-tolerant locking.
+//!
+//! Every `Mutex`/`RwLock` in this crate guards either append-only data or a
+//! memoization cache whose entries are immutable once inserted (`Arc`'d step
+//! maps, hash indexes, column statistics). A panic while such a guard is
+//! held can therefore never leave the protected value in a state that is
+//! unsafe to read: the worst case is a cache entry that was about to be
+//! inserted and wasn't, which the next caller simply recomputes.
+//!
+//! [`unpoison`] encodes that policy: it recovers the guard from a poisoned
+//! lock instead of propagating the poison. Without it, one panicking query
+//! turns into permanent failure of every subsequent query touching the same
+//! engine — the "death spiral" a long-running auditing service cannot
+//! afford (one bad request must not take the auditor offline).
+
+use std::sync::{LockResult, PoisonError};
+
+/// Unwraps a lock acquisition, recovering the guard when the lock was
+/// poisoned by a panicking holder.
+///
+/// Use only for locks whose protected value stays valid across a panic
+/// (memoization caches, append-only state) — which is every lock in this
+/// crate; see the module docs.
+#[inline]
+pub fn unpoison<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7i32));
+        let m2 = m.clone();
+        std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(m.lock().is_err(), "lock is poisoned");
+        assert_eq!(*unpoison(m.lock()), 7);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_rwlock() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let l2 = l.clone();
+        std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join()
+        .unwrap_err();
+        assert_eq!(unpoison(l.read()).len(), 3);
+        unpoison(l.write()).push(4);
+        assert_eq!(unpoison(l.read()).len(), 4);
+    }
+
+    #[test]
+    fn passes_through_healthy_locks() {
+        let m = Mutex::new(1);
+        *unpoison(m.lock()) += 1;
+        assert_eq!(*unpoison(m.lock()), 2);
+    }
+}

@@ -2,10 +2,11 @@
 
 use crate::error::{Error, Result};
 use crate::index::HashIndex;
+use crate::sync::unpoison;
 use crate::types::{ColId, TableSchema};
 use crate::value::Value;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// A row is a boxed slice of values, one per schema column.
 pub type Row = Box<[Value]>;
@@ -17,14 +18,30 @@ pub type RowId = u32;
 ///
 /// Tables are append-only: the auditing workload never updates or deletes
 /// (access logs are immutable by design), which keeps indexes valid once
-/// built.
-#[derive(Debug, Clone)]
+/// built. The index cache sits behind a poison-tolerant `RwLock` so that
+/// read-only query evaluation (`&Table`) can populate it from any thread —
+/// a pinned [`Epoch`](crate::engine::Epoch) is read concurrently by every
+/// auditing session that loaded it.
+#[derive(Debug)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Row>,
-    /// Lazily built hash indexes, one per column. `RefCell` so that read-only
-    /// query evaluation (`&Table`) can populate the cache.
-    indexes: RefCell<HashMap<ColId, std::rc::Rc<HashIndex>>>,
+    /// Lazily built hash indexes, one per column; entries are immutable
+    /// once inserted (shared via `Arc`), so recovering a poisoned guard is
+    /// always safe.
+    indexes: RwLock<HashMap<ColId, Arc<HashIndex>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            // Index objects are immutable; the clone shares them until its
+            // own inserts invalidate its copy of the cache.
+            indexes: RwLock::new(unpoison(self.indexes.read()).clone()),
+        }
+    }
 }
 
 impl Table {
@@ -33,7 +50,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
-            indexes: RefCell::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
         }
     }
 
@@ -80,7 +97,7 @@ impl Table {
         }
         let id = u32::try_from(self.rows.len()).expect("more than u32::MAX rows");
         self.rows.push(values.into_boxed_slice());
-        self.indexes.borrow_mut().clear();
+        unpoison(self.indexes.write()).clear();
         Ok(id)
     }
 
@@ -118,15 +135,17 @@ impl Table {
 
     /// Returns (building if necessary) the hash index for `col`.
     ///
-    /// The index is shared behind an `Rc` so callers can keep it across
+    /// The index is shared behind an `Arc` so callers can keep it across
     /// subsequent lookups without re-entering the cache.
-    pub fn index(&self, col: ColId) -> std::rc::Rc<HashIndex> {
-        if let Some(idx) = self.indexes.borrow().get(&col) {
+    pub fn index(&self, col: ColId) -> Arc<HashIndex> {
+        if let Some(idx) = unpoison(self.indexes.read()).get(&col) {
             return idx.clone();
         }
-        let built = std::rc::Rc::new(HashIndex::build(self.rows.iter().map(|r| r[col])));
-        self.indexes.borrow_mut().insert(col, built.clone());
-        built
+        let built = Arc::new(HashIndex::build(self.rows.iter().map(|r| r[col])));
+        unpoison(self.indexes.write())
+            .entry(col)
+            .or_insert(built)
+            .clone()
     }
 
     /// Row ids whose `col` equals `value` (empty for NULL probes, per SQL

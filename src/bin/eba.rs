@@ -378,10 +378,16 @@ fn cmd_investigate(opts: &Options) -> CliResult {
         add_groups(&mut loaded)?;
     }
     let explainer = build_explainer(&loaded, with_groups)?;
-    // One warm engine serves the unexplained scan and the misuse summary.
-    let engine = eba::relational::Engine::new(&loaded.db);
-    let unexplained = explainer.unexplained_rows_with(&loaded.db, &loaded.spec, &engine);
-    let total = loaded.db.table(loaded.spec.table).len();
+    // The session engine: the loaded database moves into a snapshot-
+    // handoff cell and the whole investigation pins one epoch — a live
+    // deployment tailing the log would `session.ingest(...)` concurrently
+    // and this session would neither block it nor see a torn view.
+    let spec = loaded.spec;
+    let session = eba::relational::SharedEngine::new(loaded.db);
+    let epoch = session.load();
+    let db = epoch.db();
+    let unexplained = explainer.unexplained_rows_at(&spec, &epoch);
+    let total = db.table(spec.table).len();
     println!(
         "{} of {} accesses unexplained ({:.1}%)",
         unexplained.len(),
@@ -390,7 +396,7 @@ fn cmd_investigate(opts: &Options) -> CliResult {
     );
     let mut snoop_like = 0usize;
     for &rid in &unexplained {
-        if looks_like_snooping(&diagnose(&loaded.db, &loaded.spec, &explainer, rid)?) {
+        if looks_like_snooping(&diagnose(db, &spec, &explainer, rid)?) {
             snoop_like += 1;
         }
     }
@@ -401,13 +407,13 @@ fn cmd_investigate(opts: &Options) -> CliResult {
     );
     let top: usize = opts.parsed("top", 10);
     println!("\ntop users by unexplained accesses:");
-    for s in eba::audit::portal::misuse_summary_with(&loaded.db, &loaded.spec, &explainer, &engine)
+    for s in eba::audit::portal::misuse_summary_at(&spec, &explainer, &epoch)
         .into_iter()
         .take(top)
     {
         println!(
             "  user {:<8} {:>5} unexplained across {:>5} patients",
-            s.user.display(loaded.db.pool()).to_string(),
+            s.user.display(db.pool()).to_string(),
             s.unexplained,
             s.distinct_patients
         );

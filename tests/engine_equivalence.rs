@@ -17,7 +17,8 @@ use eba::audit::{metrics, portal, timeline, Explainer};
 use eba::core::mining::{mine_one_way, mine_two_way, refine, DecorationCandidate};
 use eba::core::{LogSpec, MiningConfig};
 use eba::relational::{
-    ChainQuery, ChainStep, CmpOp, DataType, Database, Engine, EvalOptions, TableId, Value,
+    ChainQuery, ChainStep, CmpOp, DataType, Database, Engine, EvalOptions, RefreshError,
+    SharedEngine, TableId, Value,
 };
 use eba::synth::{Hospital, SynthConfig};
 use proptest::prelude::*;
@@ -215,7 +216,7 @@ fn engine_backed_audit_survives_incremental_appends() {
             row[d_col] = users[0];
             h.db.insert(appt, row).unwrap();
         }
-        let stats = engine.refresh(&h.db);
+        let stats = engine.refresh(&h.db).unwrap();
         assert!(stats.delta.new_rows > 0, "round {round}: appends seen");
 
         // The refreshed warm engine, a fresh engine, and the per-query
@@ -492,7 +493,7 @@ proptest! {
             };
             db.insert(event, vec![Value::Int(p), actor]).unwrap();
         }
-        engine.refresh(&db);
+        engine.refresh(&db).unwrap();
         for (what, q) in queries {
             for dedup in [true, false] {
                 let opts = EvalOptions { dedup };
@@ -509,6 +510,210 @@ proptest! {
             }
         }
     }
+}
+
+// ------------------------------------------------ concurrent snapshot handoff
+
+/// The tentpole guarantee: N reader threads query a [`SharedEngine`] while
+/// the writer appends + publishes. Every answer a reader observes must be
+/// exactly the answer of *some published epoch* — enforced by (a) epochs
+/// being internally consistent (engine result == row-evaluator result over
+/// the epoch's own frozen database), (b) sequence numbers moving only
+/// forward per reader, and (c) all observers agreeing on each epoch's
+/// contents (same seq ⇒ same log length).
+#[test]
+fn shared_engine_readers_always_observe_a_published_epoch() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+    let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+    let suite: Vec<ChainQuery> = explainer
+        .templates()
+        .iter()
+        .map(|t| t.path.to_chain_query(&spec))
+        .collect();
+    let users = eba::audit::fake::user_pool(&h.db);
+    let patients: Vec<Value> = (0..h.world.n_patients())
+        .map(|p| h.patient_value(p))
+        .collect();
+    let t_log = h.t_log;
+    let cols = h.log_cols;
+    let days = h.config.days;
+
+    let shared = SharedEngine::new(h.db.clone());
+    let rounds = 4u64;
+    let done = std::sync::atomic::AtomicBool::new(false);
+    // seq -> log length, filled in by whoever observes the epoch first;
+    // later observers of the same seq must agree (epochs are immutable).
+    let observed: std::sync::Mutex<std::collections::HashMap<u64, usize>> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
+    let observe = |seq: u64, log_len: usize| {
+        let mut map = observed.lock().unwrap();
+        let prior = map.insert(seq, log_len);
+        assert!(
+            prior.is_none_or(|len| len == log_len),
+            "seq {seq}: observers disagree on the epoch's log length"
+        );
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut last_seq = 0u64;
+                let mut checked = 0usize;
+                loop {
+                    let finished = done.load(std::sync::atomic::Ordering::Relaxed);
+                    let epoch = shared.load();
+                    assert!(epoch.seq() >= last_seq, "epoch went backwards");
+                    last_seq = epoch.seq();
+                    observe(epoch.seq(), epoch.db().table(spec.table).len());
+                    // The answer must be the published epoch's answer: the
+                    // engine agrees with the reference row evaluator over
+                    // the epoch's own frozen database, for the whole suite.
+                    let q = &suite[checked % suite.len()];
+                    assert_eq!(
+                        epoch
+                            .engine()
+                            .explained_rows(epoch.db(), q, EvalOptions::default())
+                            .unwrap(),
+                        q.explained_rows(epoch.db(), EvalOptions::default())
+                            .unwrap(),
+                        "epoch {} inconsistent",
+                        epoch.seq()
+                    );
+                    checked += 1;
+                    if finished {
+                        break;
+                    }
+                }
+                assert!(checked > 0);
+            });
+        }
+        for round in 0..rounds {
+            let (_, report) = shared.ingest(|db| {
+                eba::audit::fake::FakeLog::inject(
+                    db,
+                    t_log,
+                    &cols,
+                    &users,
+                    &patients,
+                    25,
+                    days,
+                    0xF00 + round,
+                );
+            });
+            assert_eq!(report.seq, round + 1);
+            assert!(report.rebuilt.is_none());
+            observe(report.seq, shared.load().db().table(spec.table).len());
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // Every published epoch was observed with a strictly growing log.
+    let map = observed.into_inner().unwrap();
+    let mut lens: Vec<(u64, usize)> = map.into_iter().collect();
+    lens.sort_unstable();
+    assert_eq!(lens.len() as u64, rounds + 1);
+    for w in lens.windows(2) {
+        assert!(w[0].1 < w[1].1, "log grows with every epoch");
+    }
+    // And the final epoch matches the per-query path on its own database.
+    let last = shared.load();
+    assert_eq!(last.seq(), rounds);
+    assert_eq!(
+        explainer.explained_rows_at(&spec, &last),
+        explainer.explained_rows(last.db(), &spec)
+    );
+}
+
+/// Regression (mutex-poison death spiral): a deliberately panicking query
+/// must not poison the engine — the same warm session keeps returning
+/// exact answers afterwards, on both the one-shot and the batch path.
+#[test]
+fn panicking_query_leaves_the_session_answering() {
+    let mut h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    let engine = Engine::new(&h.db);
+    let queries = hospital_queries(&h.db, &spec);
+    let opts = EvalOptions::default();
+    // Warm the session.
+    for (_, q) in &queries {
+        let _ = engine.explained_rows(&h.db, q, opts).unwrap();
+    }
+    // A query over a table the engine's snapshot has never seen panics
+    // (stale-snapshot misuse). It must not take the session down.
+    let extra =
+        h.db.create_table(
+            "PanicBait",
+            &[("Patient", DataType::Int), ("X", DataType::Int)],
+        )
+        .unwrap();
+    h.db.insert(extra, vec![Value::Int(1), Value::Int(2)])
+        .unwrap();
+    let stale = ChainQuery {
+        log: spec.table,
+        lid_col: spec.lid_col,
+        start_col: spec.patient_col,
+        steps: vec![ChainStep::new(extra, 0, 1)],
+        close_col: None,
+        anchor_filters: vec![],
+    };
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.explained_rows(&h.db, &stale, opts)
+    }));
+    assert!(caught.is_err(), "stale-snapshot query panics");
+
+    // Every query class still answers exactly — no poisoned locks, no
+    // torn scratch state.
+    for (what, q) in &queries {
+        assert_equivalent(&h.db, &engine, q, &format!("after panic: {what}"));
+    }
+    let batch: Vec<ChainQuery> = queries.iter().map(|(_, q)| q.clone()).collect();
+    for (q, got) in batch.iter().zip(engine.support_many(&h.db, &batch, opts)) {
+        assert_eq!(got.unwrap(), q.support(&h.db, opts).unwrap());
+    }
+}
+
+/// Regression (abort-on-shrink): refreshing against a database where a
+/// table shrank returns a typed error instead of taking the process down,
+/// and the engine keeps answering from its intact snapshot.
+#[test]
+fn refresh_against_shrunk_database_is_an_error_not_an_abort() {
+    let h = Hospital::generate(SynthConfig::tiny());
+    let spec = LogSpec::conventional(&h.db).unwrap();
+    // Engine over a grown copy; refreshing against the shorter original
+    // is exactly the "wrong database" misuse.
+    let mut grown = h.db.clone();
+    let users = eba::audit::fake::user_pool(&grown);
+    let patients: Vec<Value> = (0..h.world.n_patients())
+        .map(|p| h.patient_value(p))
+        .collect();
+    eba::audit::fake::FakeLog::inject(
+        &mut grown,
+        h.t_log,
+        &h.log_cols,
+        &users,
+        &patients,
+        10,
+        h.config.days,
+        7,
+    );
+    let mut engine = Engine::new(&grown);
+    let q = hospital_queries(&grown, &spec).remove(0).1;
+    let expected = engine
+        .explained_rows(&grown, &q, EvalOptions::default())
+        .unwrap();
+    let err = engine.refresh(&h.db).unwrap_err();
+    assert!(matches!(err, RefreshError::TableShrank { .. }));
+    assert_eq!(
+        engine
+            .explained_rows(&grown, &q, EvalOptions::default())
+            .unwrap(),
+        expected,
+        "engine unchanged after refused refresh"
+    );
+    // And a refresh against the right database still works afterwards.
+    assert!(engine.refresh(&grown).unwrap().delta.is_empty());
 }
 
 #[test]
