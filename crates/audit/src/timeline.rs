@@ -275,6 +275,63 @@ mod tests {
     }
 
     #[test]
+    fn clock_skewed_ingest_surfaces_through_the_epoch_pinned_path() {
+        // The overflow bucket must be visible through `daily_stats_at`
+        // (the session form a live service uses), not just the direct
+        // call: skewed rows arrive via `SharedEngine::ingest`, and the
+        // re-pinned epoch's timeline carries them in the overflow bucket
+        // while the old pin stays byte-stable.
+        let (h, spec, explainer) = setup();
+        let shared = eba_relational::SharedEngine::new(h.db.clone());
+        let pinned = shared.load();
+        let before = daily_stats_at(&spec, &h.log_cols, &explainer, h.config.days, &pinned);
+        assert_eq!(before.dropped(), 0);
+
+        let arity = h.db.table(h.t_log).schema().arity();
+        let cols = h.log_cols;
+        let days = h.config.days;
+        let (_, report) = shared.ingest(|db| {
+            for (i, day) in [
+                eba_relational::Value::Int(0),
+                eba_relational::Value::Int(days as i64 + 30),
+                eba_relational::Value::Null,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut row = vec![eba_relational::Value::Null; arity];
+                row[cols.lid] = eba_relational::Value::Int(2_000_000 + i as i64);
+                row[cols.date] = eba_relational::Value::Date(0);
+                row[cols.user] = eba_relational::Value::Int(1);
+                row[cols.patient] = eba_relational::Value::Int(1);
+                row[cols.day] = day;
+                row[cols.is_first] = eba_relational::Value::Int(0);
+                db.insert(h.t_log, row).unwrap();
+            }
+        });
+        assert!(report.fallback_warning().is_none());
+
+        // The old pin is untouched; the new epoch shows the skew.
+        assert_eq!(
+            daily_stats_at(&spec, &h.log_cols, &explainer, days, &pinned),
+            before
+        );
+        let fresh = shared.load();
+        let after = daily_stats_at(&spec, &h.log_cols, &explainer, days, &fresh);
+        assert_eq!(after.dropped(), 3);
+        assert_eq!(after.overflow.day, DayStats::OVERFLOW_DAY);
+        assert_eq!(after.total(), before.total() + 3);
+        for (b, a) in before.days.iter().zip(&after.days) {
+            assert_eq!(b.total, a.total, "in-window days untouched");
+        }
+        // And the epoch-pinned view equals the direct call on the same db.
+        assert_eq!(
+            after,
+            daily_stats(fresh.db(), &spec, &h.log_cols, &explainer, days)
+        );
+    }
+
+    #[test]
     fn first_accesses_sum_to_distinct_pairs() {
         let (h, spec, explainer) = setup();
         let stats = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days).days;

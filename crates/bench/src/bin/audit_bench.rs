@@ -26,6 +26,14 @@
 //!   where readers answer from a pinned immutable epoch and are never
 //!   blocked. The recorded statistic is the per-cycle worst reader
 //!   latency (median over cycles) — the tail a service's SLO is made of.
+//! * **served handoff** (`server/reader_during_ingest*`): the same
+//!   reader-vs-ingesting-writer duel, but the engine side runs against a
+//!   live `eba-serve` instance over **real TCP sockets** — persistent
+//!   reader sessions issue `REPIN` + `METRICS` while a writer connection
+//!   drives `INGEST` batches through the protocol's single-writer path.
+//!   Baseline is the same coarse-locked in-process service (which pays
+//!   *no* socket cost, so the comparison is conservative); the note
+//!   records the reader latency percentiles over every socket question.
 //!
 //! Every engine-backed result is asserted equal to the per-query result
 //! before timing. With `--json` the medians land in `BENCH_audit.json`
@@ -331,6 +339,33 @@ fn main() {
                 params.readers
             )),
         });
+
+        // The served variant: same duel, but the epoch-handoff side runs
+        // against a live `eba-serve` over TCP. The coarse-locked baseline
+        // pays no socket cost, so any speedup is real handoff win.
+        let served = reader_during_ingest_server(db, &explainer, &params);
+        workloads.push(Workload {
+            name: format!("server/reader_during_ingest{}", params.append),
+            baseline: baseline.worst_reader,
+            engine: served.result.worst_reader,
+            samples: params.cycles,
+            note: Some(format!(
+                "eba-serve over TCP ({} persistent reader session(s), REPIN+METRICS \
+                 per question, writer INGESTs {} rows/cycle): reader latency \
+                 p50 {:.3} ms / p95 {:.3} ms / max {:.3} ms over {} questions; \
+                 overlapped {}/{} cycles vs {}/{} for the socket-free coarse lock",
+                params.readers,
+                params.append,
+                served.p50.as_secs_f64() * 1e3,
+                served.p95.as_secs_f64() * 1e3,
+                served.max.as_secs_f64() * 1e3,
+                served.questions,
+                served.result.overlapped,
+                params.cycles,
+                baseline.overlapped,
+                params.cycles,
+            )),
+        });
     }
 
     print_workloads(&workloads);
@@ -496,6 +531,115 @@ fn reader_during_ingest_shared(
             start.elapsed()
         },
     )
+}
+
+/// What the served handoff measured: the per-cycle result plus the
+/// latency distribution across every socket question.
+struct ServedResult {
+    result: ConcurrentResult,
+    p50: Duration,
+    p95: Duration,
+    max: Duration,
+    questions: usize,
+}
+
+/// Reader-during-ingest latency against a live `eba-serve`: persistent
+/// reader sessions each issue `REPIN` + `METRICS` per cycle while a
+/// writer connection pushes an `INGEST` batch through the single-writer
+/// path; the same barrier choreography as [`drive_concurrent`], with one
+/// socket client per thread.
+fn reader_during_ingest_server(
+    db: &Database,
+    explainer: &Explainer,
+    p: &ConcurrentParams,
+) -> ServedResult {
+    use eba_server::{AuditService, Client, IngestRow, Server};
+
+    let service = AuditService::new(
+        db.clone(),
+        p.spec.clone(),
+        *p.cols,
+        explainer.clone(),
+        p.days,
+    );
+    let server = Server::spawn(service, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    // Warm the epoch's caches the way a live session would have.
+    {
+        let mut warm = Client::connect(addr).expect("warm session");
+        warm.send("METRICS").expect("warm question");
+    }
+    let as_int = |v: &Value| match v {
+        Value::Int(i) => *i,
+        _ => 0,
+    };
+    let rows: Vec<IngestRow> = (0..p.append)
+        .map(|i| IngestRow {
+            user: as_int(&p.users[i % p.users.len()]),
+            patient: as_int(&p.patients[(i * 13) % p.patients.len()]),
+            day: Some(1 + (i % p.days.max(1) as usize) as i64),
+        })
+        .collect();
+
+    let barrier = std::sync::Barrier::new(p.readers + 1);
+    let per_cycle_worst = Mutex::new(vec![Duration::ZERO; p.cycles]);
+    let all_latencies = Mutex::new(Vec::with_capacity(p.readers * p.cycles));
+    let mut ingest_work = vec![Duration::ZERO; p.cycles];
+    std::thread::scope(|scope| {
+        for _ in 0..p.readers {
+            scope.spawn(|| {
+                let mut session = Client::connect(addr).expect("reader session");
+                for cycle in 0..p.cycles {
+                    barrier.wait(); // start: the ingest is about to be in flight
+                    let start = Instant::now();
+                    session.send("REPIN").expect("repin");
+                    session.send("METRICS").expect("metrics");
+                    let elapsed = start.elapsed();
+                    {
+                        let mut worst = per_cycle_worst.lock().unwrap();
+                        worst[cycle] = worst[cycle].max(elapsed);
+                    }
+                    all_latencies.lock().unwrap().push(elapsed);
+                    barrier.wait(); // end of round
+                }
+            });
+        }
+        let mut writer = Client::connect(addr).expect("writer session");
+        for work in ingest_work.iter_mut() {
+            barrier.wait(); // readers fire now; the ingest runs beside them
+            let start = Instant::now();
+            let reply = writer.ingest(&rows).expect("ingest");
+            assert!(reply.is_ok(), "{}", reply.head);
+            *work = start.elapsed();
+            barrier.wait(); // end of round
+        }
+    });
+
+    let worst = per_cycle_worst.into_inner().unwrap();
+    let overlapped = worst
+        .iter()
+        .zip(&ingest_work)
+        .filter(|(r, w)| r < w)
+        .count();
+    let mut latencies = all_latencies.into_inner().unwrap();
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    ServedResult {
+        result: ConcurrentResult {
+            worst_reader: eba_bench::harness::median(&worst),
+            overlapped,
+        },
+        p50: percentile(0.50),
+        p95: percentile(0.95),
+        max: *latencies.last().unwrap_or(&Duration::ZERO),
+        questions: latencies.len(),
+    }
 }
 
 fn usage(err: &str) -> ! {

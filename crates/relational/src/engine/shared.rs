@@ -126,6 +126,24 @@ pub struct IngestReport {
     pub rebuilt: Option<RefreshError>,
 }
 
+impl IngestReport {
+    /// The operator-facing warning every caller should surface when the
+    /// writer fell back to a full rebuild (`None` on the normal
+    /// incremental path). The fallback keeps the service publishing, but
+    /// it costs a whole re-snapshot and usually means the ingest source
+    /// replaced state instead of appending — exactly the situation an
+    /// operator wants to hear about rather than have silently absorbed.
+    pub fn fallback_warning(&self) -> Option<String> {
+        self.rebuilt.as_ref().map(|err| {
+            format!(
+                "epoch {}: incremental refresh refused ({err}); \
+                 recovered by rebuilding the engine from scratch",
+                self.seq
+            )
+        })
+    }
+}
+
 /// The snapshot-handoff cell. See the module docs for the pattern.
 #[derive(Debug)]
 pub struct SharedEngine {
@@ -331,6 +349,41 @@ mod tests {
         });
         assert_eq!(report.seq, 1);
         assert_eq!(shared.load().db().table(event).len(), 2);
+    }
+
+    #[test]
+    fn rebuild_fallback_is_reported_with_a_warning() {
+        let (db, log, event) = world();
+        let shared = SharedEngine::new(db);
+        // A mutator that *replaces* the database (shrinking the catalog)
+        // refuses the incremental path; the writer must still publish.
+        let (_, report) = shared.ingest(|db| {
+            let mut fresh = Database::new();
+            let log2 = fresh
+                .create_table("Log", &[("Lid", DataType::Int)])
+                .unwrap();
+            fresh.insert(log2, vec![Value::Int(0)]).unwrap();
+            *db = fresh;
+        });
+        assert!(report.rebuilt.is_some());
+        let warning = report.fallback_warning().expect("fallback warns");
+        assert!(warning.contains("epoch 1"), "{warning}");
+        assert!(warning.contains("rebuilding"), "{warning}");
+        // The published epoch is the rebuilt one.
+        let epoch = shared.load();
+        assert_eq!(epoch.seq(), 1);
+        assert_eq!(epoch.db().table_id("Log").unwrap().0, 0);
+        // The normal path stays warning-free.
+        let shared = SharedEngine::new({
+            let (db, _, _) = world();
+            db
+        });
+        let (_, report) = shared.ingest(|db| {
+            db.insert(log, vec![Value::Int(1), Value::Int(1), Value::Int(7)])
+                .unwrap();
+            let _ = event;
+        });
+        assert!(report.fallback_warning().is_none());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! `eba-serve` — the standalone audit server over a synthetic hospital.
+//!
+//! ```text
+//! eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints one
+//! `listening on <addr>` line to stdout, and serves the line protocol
+//! (see `eba_server::protocol`) until killed. Deployments with real CSV
+//! data use `eba serve --data DIR` instead — same listener, same
+//! protocol, loaded data.
+
+use eba_server::{AuditService, Server};
+
+fn main() {
+    let mut addr = "127.0.0.1:4780".to_string();
+    let mut scale = "tiny".to_string();
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage("missing --addr value")),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --scale value"))
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
+                seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed expects an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config = match scale.as_str() {
+        "tiny" => eba_synth::SynthConfig::tiny(),
+        "small" => eba_synth::SynthConfig::small(),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    let config = eba_synth::SynthConfig { seed, ..config };
+
+    eprintln!("eba-serve: generating {scale} hospital (seed {seed})...");
+    let service = AuditService::from_hospital(eba_synth::Hospital::generate(config));
+    let log_len = service.shared().load().db().table(service.spec.table).len();
+    eprintln!(
+        "eba-serve: {} accesses, {} templates, {}-day window",
+        log_len,
+        service.explainer.templates().len(),
+        service.days
+    );
+    let server = Server::spawn(service, &addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The machine-readable line drive-by clients wait for.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.join();
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

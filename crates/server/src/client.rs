@@ -1,0 +1,180 @@
+//! A minimal blocking client for the `eba-serve` line protocol, used by
+//! the `eba client` subcommand, the socket-level test harness, and the
+//! server benchmark workload.
+
+use crate::protocol::IngestRow;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One parsed reply frame: the `OK`/`ERR` head line plus data lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The head line.
+    pub head: String,
+    /// The data lines (without the terminating `.`).
+    pub body: Vec<String>,
+}
+
+impl Reply {
+    /// Whether the head line reports success.
+    pub fn is_ok(&self) -> bool {
+        self.head.starts_with("OK")
+    }
+
+    /// The full reply as the bytes-on-the-wire text (head + body, newline
+    /// separated, without the frame terminator) — what the byte-stability
+    /// tests compare.
+    pub fn render(&self) -> String {
+        let mut out = self.head.clone();
+        for line in &self.body {
+            out.push('\n');
+            out.push_str(line);
+        }
+        out
+    }
+
+    /// Looks up `key <value>` in the head line's space-separated tokens
+    /// (e.g. `field("epoch")` on `OK metrics epoch 3` yields `Some("3")`).
+    pub fn field(&self, key: &str) -> Option<&str> {
+        let mut tokens = self.head.split_whitespace();
+        while let Some(t) = tokens.next() {
+            if t == key {
+                return tokens.next();
+            }
+        }
+        None
+    }
+
+    /// [`Reply::field`] over a body line's leading `key`, e.g.
+    /// `body_field("anchor_total")` on a `METRICS` reply.
+    pub fn body_field(&self, key: &str) -> Option<&str> {
+        self.body.iter().find_map(|line| {
+            let rest = line.strip_prefix(key)?;
+            rest.strip_prefix(' ')
+                .map(|r| r.split_whitespace().next().unwrap_or(""))
+        })
+    }
+}
+
+/// A connected protocol session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    greeting: Reply,
+}
+
+impl Client {
+    /// Connects and consumes the greeting frame.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response over small frames: Nagle + delayed ACK would
+        // add tens of milliseconds per question.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer,
+            greeting: Reply {
+                head: String::new(),
+                body: Vec::new(),
+            },
+        };
+        client.greeting = client.read_reply()?;
+        Ok(client)
+    }
+
+    /// The greeting frame the server sent on connect.
+    pub fn greeting(&self) -> &Reply {
+        &self.greeting
+    }
+
+    /// Sends one command line and reads the framed reply.
+    pub fn send(&mut self, line: &str) -> std::io::Result<Reply> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    /// Sends an `INGEST` batch (command line + row lines) and reads the
+    /// reply.
+    pub fn ingest(&mut self, rows: &[IngestRow]) -> std::io::Result<Reply> {
+        let mut batch = format!("INGEST {}\n", rows.len());
+        for r in rows {
+            batch.push_str(&r.render());
+            batch.push('\n');
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    /// Half-closes the write side (the server sees EOF); any buffered
+    /// replies can still be drained with [`Client::drain`].
+    pub fn finish_writes(&mut self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Reads everything until the server closes the connection.
+    pub fn drain(&mut self) -> std::io::Result<String> {
+        let mut rest = String::new();
+        self.reader.read_to_string(&mut rest)?;
+        Ok(rest)
+    }
+
+    /// Writes raw bytes (for protocol-fuzzing tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let mut head = String::new();
+        if self.reader.read_line(&mut head)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a reply head line",
+            ));
+        }
+        let head = head.trim_end().to_string();
+        let mut body = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a reply frame",
+                ));
+            }
+            let line = line.trim_end();
+            if line == "." {
+                return Ok(Reply { head, body });
+            }
+            body.push(line.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_fields_parse() {
+        let r = Reply {
+            head: "OK metrics epoch 3".into(),
+            body: vec!["anchor_total 120".into(), "recall 0.812500".into()],
+        };
+        assert!(r.is_ok());
+        assert_eq!(r.field("epoch"), Some("3"));
+        assert_eq!(r.field("metrics"), Some("epoch"));
+        assert_eq!(r.field("nope"), None);
+        assert_eq!(r.body_field("anchor_total"), Some("120"));
+        assert_eq!(r.body_field("recall"), Some("0.812500"));
+        assert_eq!(r.body_field("anchor"), None, "whole-key match only");
+        assert_eq!(
+            r.render(),
+            "OK metrics epoch 3\nanchor_total 120\nrecall 0.812500"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! # eba-server
+//!
+//! `eba-serve`: the always-on audit service the paper frames — the access
+//! log grows continuously while compliance officers and the patient
+//! portal issue audit questions against it. The hard concurrency
+//! substrate is [`eba_relational::SharedEngine`] (epoch snapshot
+//! handoff); this crate wires a TCP listener onto it:
+//!
+//! * **one session per connection**, thread-per-connection, std-only;
+//! * **epoch pinning per session**: a connection pins an
+//!   [`Epoch`](eba_relational::Epoch) when it opens and every audit
+//!   question ([`EXPLAIN`](protocol::Command::Explain),
+//!   `UNEXPLAINED`, `METRICS`, `TIMELINE`, `MISUSE`) answers from that
+//!   frozen snapshot — byte-stable no matter how many ingests land
+//!   meanwhile — until the session says `REPIN`;
+//! * **a single-writer ingest path**: `INGEST` batches go through
+//!   [`SharedEngine::ingest`](eba_relational::SharedEngine::ingest) and
+//!   the reply carries the published seq and the rebuild-fallback flag
+//!   (surfaced as a `warn` line, never silently dropped);
+//! * **typed protocol errors and a panic barrier**: malformed input gets
+//!   `ERR bad-request ...`; a panicking handler is recovered into
+//!   `ERR internal ...` and the session keeps serving (PR 3's poison
+//!   recovery guarantees the engine survives it);
+//! * **graceful shutdown**: [`Server::shutdown`] stops the listener,
+//!   unblocks in-flight sessions, and joins every thread.
+//!
+//! See [`protocol`] for the full command grammar and framing rules, and
+//! the repository `README.md` for the same, prose-first.
+
+pub mod client;
+pub mod listener;
+pub mod protocol;
+pub mod session;
+
+pub use client::{Client, Reply};
+pub use listener::Server;
+pub use protocol::{Command, IngestRow, ProtocolError, Response};
+pub use session::Session;
+
+use eba_audit::handcrafted::HandcraftedTemplates;
+use eba_audit::Explainer;
+use eba_core::LogSpec;
+use eba_relational::{Database, IngestReport, SharedEngine, Table, TableId, Value};
+use eba_synth::LogColumns;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Everything the server shares across sessions: the snapshot-handoff
+/// cell, the log layout, and the explanation suite.
+pub struct AuditService {
+    shared: SharedEngine,
+    /// The audit anchor (log table + lid/user/patient columns + filters).
+    pub spec: LogSpec,
+    /// The materialized log's column layout.
+    pub cols: LogColumns,
+    /// The template suite every session answers with.
+    pub explainer: Explainer,
+    /// The reporting window (1-based days) for `TIMELINE`.
+    pub days: u32,
+    warnings: Mutex<Vec<String>>,
+    /// The `INGEST` writer's incremental state (next fresh `Lid`, pairs
+    /// already seen) — without it every batch would rescan the whole log,
+    /// making cumulative ingest cost quadratic in log size.
+    writer_state: Mutex<Option<WriterState>>,
+}
+
+/// Incrementally-maintained writer state. `log_len` is the published log
+/// length the state was derived from: if it doesn't match (an ingest went
+/// through [`SharedEngine::ingest`] directly, or a publish failed after
+/// the state advanced), the state is stale and gets rebuilt by one scan.
+struct WriterState {
+    next_lid: i64,
+    seen: HashSet<(Value, Value)>,
+    log_len: usize,
+}
+
+impl WriterState {
+    fn scan(log: &Table, cols: &LogColumns) -> WriterState {
+        let next_lid = 1 + log
+            .iter()
+            .map(|(_, row)| match row[cols.lid] {
+                Value::Int(i) => i,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let seen = log
+            .iter()
+            .map(|(_, row)| (row[cols.user], row[cols.patient]))
+            .collect();
+        WriterState {
+            next_lid,
+            seen,
+            log_len: log.len(),
+        }
+    }
+}
+
+impl AuditService {
+    /// Assembles a service over a database. The initial epoch (seq 0) is
+    /// built here — one full snapshot scan.
+    pub fn new(
+        db: Database,
+        spec: LogSpec,
+        cols: LogColumns,
+        explainer: Explainer,
+        days: u32,
+    ) -> AuditService {
+        AuditService {
+            shared: SharedEngine::new(db),
+            spec,
+            cols,
+            explainer,
+            days,
+            warnings: Mutex::new(Vec::new()),
+            writer_state: Mutex::new(None),
+        }
+    }
+
+    /// Appends an `INGEST` batch to the log through the single-writer
+    /// path and publishes the successor epoch. Rows are materialized the
+    /// way the fake-log injector builds them: fresh consecutive `Lid`s, a
+    /// timestamp at midnight of the row's day (epoch 0 for a missing
+    /// day), the interned `view` action, and `IsFirst` computed against
+    /// the pairs already present.
+    ///
+    /// The lid/pair bookkeeping is maintained incrementally across
+    /// batches (one log scan the first time, or after an out-of-band
+    /// ingest made it stale), so a batch costs `O(batch)`, not `O(log)`.
+    ///
+    /// Panics only if the log schema rejects a constructed row (the
+    /// CareWeb shape never does); a panic inside the ingest closure
+    /// publishes nothing, and the session layer reports `ERR internal`.
+    pub fn ingest_rows(&self, rows: &[protocol::IngestRow]) -> IngestReport {
+        let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
+        let (_, report) = self.shared.ingest(|db| {
+            // Validate the cached state against the writer's private
+            // clone (same contents as the published epoch, under the
+            // writer lock — no TOCTOU with other ingests).
+            let log = db.table(self.spec.table);
+            if guard.as_ref().is_none_or(|s| s.log_len != log.len()) {
+                *guard = Some(WriterState::scan(log, &self.cols));
+            }
+            let state = guard.as_mut().expect("just ensured");
+            let arity = log.schema().arity();
+            // Materialize every row before inserting, so a mid-batch
+            // insert panic cannot leave the state half-advanced.
+            let mut staged = Vec::with_capacity(rows.len());
+            let mut overlay: HashSet<(Value, Value)> = HashSet::new();
+            for (offset, r) in rows.iter().enumerate() {
+                let user = Value::Int(r.user);
+                let patient = Value::Int(r.patient);
+                let is_first =
+                    !state.seen.contains(&(user, patient)) && overlay.insert((user, patient));
+                let (day, date) = match r.day {
+                    Some(d) => (Value::Int(d), Value::Date(d.max(0) * 24 * 60)),
+                    None => (Value::Null, Value::Date(0)),
+                };
+                let mut row = vec![Value::Null; arity];
+                row[self.cols.lid] = Value::Int(state.next_lid + offset as i64);
+                row[self.cols.date] = date;
+                row[self.cols.user] = user;
+                row[self.cols.patient] = patient;
+                row[self.cols.day] = day;
+                row[self.cols.is_first] = Value::Int(i64::from(is_first));
+                staged.push(row);
+            }
+            let action = db.str_value("view");
+            for mut row in staged {
+                row[self.cols.action] = action;
+                db.insert(self.spec.table, row)
+                    .expect("ingest row matches the log schema");
+            }
+            // Commit the bookkeeping only once the whole batch is in.
+            let state = guard.as_mut().expect("still present");
+            state.next_lid += rows.len() as i64;
+            state.seen.extend(overlay);
+            state.log_len = db.table(self.spec.table).len();
+        });
+        report
+    }
+
+    /// A tiny synthetic-hospital service with the hand-crafted template
+    /// suite — the zero-setup constructor the `eba-serve` binary, the
+    /// unit tests, and the benchmark workload share.
+    pub fn tiny_synthetic(seed: u64) -> AuditService {
+        let config = eba_synth::SynthConfig {
+            seed,
+            ..eba_synth::SynthConfig::tiny()
+        };
+        Self::from_hospital(eba_synth::Hospital::generate(config))
+    }
+
+    /// Wraps a generated hospital with the hand-crafted suite.
+    pub fn from_hospital(h: eba_synth::Hospital) -> AuditService {
+        let spec = LogSpec::conventional(&h.db).expect("synthetic Log table");
+        let t = HandcraftedTemplates::build(&h.db, &spec).expect("CareWeb schema");
+        let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+        let cols = h.log_cols;
+        let days = h.config.days;
+        Self::new(h.db, spec, cols, explainer, days)
+    }
+
+    /// The snapshot-handoff cell (readers `load`, the writer `ingest`s).
+    pub fn shared(&self) -> &SharedEngine {
+        &self.shared
+    }
+
+    /// Rebuild-fallback warnings recorded so far (oldest first) — the
+    /// operator-facing trail of every `INGEST` that had to fall back to a
+    /// full rebuild.
+    pub fn warnings(&self) -> Vec<String> {
+        lock_warnings(&self.warnings).clone()
+    }
+
+    /// Records an operator warning (also mirrored to stderr).
+    pub fn record_warning(&self, warning: String) {
+        eprintln!("eba-serve: warning: {warning}");
+        lock_warnings(&self.warnings).push(warning);
+    }
+}
+
+fn lock_warnings(m: &Mutex<Vec<String>>) -> std::sync::MutexGuard<'_, Vec<String>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Resolves the CareWeb log column layout from a log table's schema — the
+/// bridge a CSV-loaded deployment needs between [`LogSpec`] (which knows
+/// lid/user/patient) and the timeline's extra derived columns.
+pub fn log_columns(db: &Database, log: TableId) -> LogColumns {
+    let schema = db.table(log).schema();
+    let col = |name: &str| schema.col(name).expect("CareWeb log column");
+    LogColumns {
+        lid: col("Lid"),
+        date: col("Date"),
+        user: col("User"),
+        patient: col("Patient"),
+        action: col("Action"),
+        day: col("Day"),
+        is_first: col("IsFirst"),
+    }
+}
+
+/// The reporting window implied by a log: the maximum in-range `Day`
+/// value (at least 1). Rows with absurd or missing days don't widen the
+/// window — they are exactly what the overflow bucket is for.
+pub fn days_in_log(db: &Database, log: TableId, cols: &LogColumns) -> u32 {
+    db.table(log)
+        .iter()
+        .filter_map(|(_, row)| match row[cols.day] {
+            Value::Int(d) if (1..=3_650).contains(&d) => Some(d as u32),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_service_builds_and_serves_an_epoch() {
+        let svc = AuditService::tiny_synthetic(1);
+        let epoch = svc.shared().load();
+        assert_eq!(epoch.seq(), 0);
+        assert!(!epoch.db().table(svc.spec.table).is_empty());
+        assert!(!svc.explainer.templates().is_empty());
+        assert!(svc.days >= 1);
+        assert!(svc.warnings().is_empty());
+    }
+
+    #[test]
+    fn writer_state_survives_out_of_band_ingests() {
+        use crate::protocol::IngestRow;
+        let svc = AuditService::tiny_synthetic(2);
+        let row = |u: i64, p: i64| IngestRow {
+            user: u,
+            patient: p,
+            day: Some(1),
+        };
+        // Two protocol batches build up the incremental writer state.
+        svc.ingest_rows(&[row(1, 10_000), row(1, 10_000)]);
+        svc.ingest_rows(&[row(2, 10_001)]);
+        // An out-of-band ingest bypasses the cache entirely and plants a
+        // high lid the cache knows nothing about.
+        let table = svc.spec.table;
+        let cols = svc.cols;
+        svc.shared().ingest(|db| {
+            let arity = db.table(table).schema().arity();
+            let mut r = vec![Value::Null; arity];
+            r[cols.lid] = Value::Int(5_000_000);
+            r[cols.date] = Value::Date(0);
+            r[cols.user] = Value::Int(9);
+            r[cols.patient] = Value::Int(10_001);
+            r[cols.day] = Value::Int(1);
+            r[cols.is_first] = Value::Int(0);
+            db.insert(table, r).unwrap();
+        });
+        // The staleness check (published log length moved under the
+        // cache) forces a rescan: no lid may ever be issued twice.
+        svc.ingest_rows(&[row(3, 10_002)]);
+        let epoch = svc.shared().load();
+        let log = epoch.db().table(table);
+        let mut lids = std::collections::HashSet::new();
+        for (_, r) in log.iter() {
+            assert!(lids.insert(r[cols.lid]), "duplicate lid: {:?}", r[cols.lid]);
+        }
+        assert!(
+            lids.contains(&Value::Int(5_000_001)),
+            "fresh lids continue above the out-of-band maximum"
+        );
+    }
+
+    #[test]
+    fn days_in_log_ignores_skewed_stamps() {
+        let svc = AuditService::tiny_synthetic(1);
+        let epoch = svc.shared().load();
+        let days = days_in_log(epoch.db(), svc.spec.table, &svc.cols);
+        assert!(
+            (1..=svc.days).contains(&days),
+            "well-formed log ⇒ within the config window ({days} vs {})",
+            svc.days
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! The TCP listener: std-only thread-per-connection serving with a
+//! graceful shutdown that unblocks in-flight sessions.
+
+use crate::protocol::{Command, IngestRow, ProtocolError, Response};
+use crate::session::Session;
+use crate::AuditService;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A running `eba-serve` instance: the bound address, the shared service
+/// state, and the accept thread. Dropping the server shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<AuditService>,
+    inner: Option<Inner>,
+}
+
+struct Inner {
+    shutdown: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    conns: Arc<Mutex<Registry>>,
+}
+
+/// Live-connection registry: one cloned handle per open session, so
+/// shutdown can unblock sessions parked in `read`. Sessions deregister on
+/// exit — the clone must be dropped then, or the socket's fd (and the
+/// client's EOF) would linger for the life of the server.
+#[derive(Default)]
+struct Registry {
+    next_token: usize,
+    open: HashMap<usize, TcpStream>,
+}
+
+impl Registry {
+    fn register(&mut self, conn: TcpStream) -> usize {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.open.insert(token, conn);
+        token
+    }
+}
+
+/// Locks a registry mutex, recovering a poisoned guard (the registry is a
+/// plain list; a panicking session cannot leave it torn).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, one session thread per connection.
+    pub fn spawn(service: AuditService, addr: &str) -> std::io::Result<Server> {
+        let service = Arc::new(service);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Registry>> = Arc::default();
+        let accept = {
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("eba-serve-accept".into())
+                .spawn(move || accept_loop(listener, service, shutdown, conns))?
+        };
+        Ok(Server {
+            addr,
+            service,
+            inner: Some(Inner {
+                shutdown,
+                accept,
+                conns,
+            }),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (e.g. to compare server replies against
+    /// the library-level `*_at` answers for the same epoch).
+    pub fn service(&self) -> &Arc<AuditService> {
+        &self.service
+    }
+
+    /// Graceful shutdown: stop accepting, unblock every in-flight session
+    /// (their sockets are shut down, so blocked reads return EOF), and
+    /// join all session threads before returning. Idempotent.
+    pub fn shutdown(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        inner.shutdown.store(true, Ordering::SeqCst);
+        // Sessions blocked in read_line observe EOF and exit their loop.
+        for conn in lock(&inner.conns).open.values() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept call itself.
+        let _ = TcpStream::connect(self.addr);
+        let _ = inner.accept.join();
+    }
+
+    /// Blocks until the accept thread exits (i.e. until another thread
+    /// calls [`Server::shutdown`] or the process dies). Used by the
+    /// `eba-serve` binary and `eba serve`.
+    pub fn join(mut self) {
+        if let Some(inner) = self.inner.take() {
+            let _ = inner.accept.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<AuditService>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Registry>>,
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap finished sessions so a long-running server doesn't hold a
+        // handle per connection it ever served (dropping a finished
+        // thread's handle detaches and releases it; only live sessions
+        // are kept for the join at shutdown).
+        workers.retain(|w| !w.is_finished());
+        let Ok(stream) = stream else {
+            // Accept failures (e.g. EMFILE under fd exhaustion) do not
+            // dequeue the pending connection; without a pause this loop
+            // would busy-spin at 100% CPU until the condition clears.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        };
+        // Small request/response frames: without nodelay, Nagle + delayed
+        // ACK cost tens of milliseconds per question.
+        let _ = stream.set_nodelay(true);
+        let token = match stream.try_clone() {
+            Ok(clone) => lock(&conns).register(clone),
+            Err(_) => continue, // can't make the shutdown handle: drop it
+        };
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        let session_conns = conns.clone();
+        let worker = std::thread::Builder::new()
+            .name("eba-serve-session".into())
+            .spawn(move || {
+                serve_connection(stream, service, shutdown);
+                // Deregister (dropping the clone) so the client sees EOF
+                // now, not when the whole server exits.
+                lock(&session_conns).open.remove(&token);
+            });
+        match worker {
+            Ok(handle) => workers.push(handle),
+            Err(_) => {
+                // Thread exhaustion: drop the connection again.
+                lock(&conns).open.remove(&token);
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Drives one connection: greeting, then a command/reply loop until QUIT,
+/// EOF, or shutdown. A panic inside a command handler is recovered into
+/// an `ERR internal` reply — it never reaches the socket as a dead
+/// connection, and (PR 3's poison recovery) never takes the engine down.
+fn serve_connection(stream: TcpStream, service: Arc<AuditService>, shutdown: Arc<AtomicBool>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut session = Session::new(service);
+    if session.greeting().write_to(&mut writer).is_err() {
+        return;
+    }
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let parsed = Command::parse(&line);
+        let (response, quit) = match parsed {
+            Ok(None) => continue,
+            Ok(Some(Command::Quit)) => (session.handle(Command::Quit, vec![]), true),
+            Ok(Some(Command::Ingest { count })) => {
+                match read_batch(&mut reader, count) {
+                    // The batch was consumed whole even if a row is bad, so
+                    // the stream stays in sync with the command grammar.
+                    Ok(rows) => match parse_batch(&rows) {
+                        Ok(rows) => (
+                            dispatch(&mut session, Command::Ingest { count }, rows),
+                            false,
+                        ),
+                        Err(e) => (Response::err(&e), false),
+                    },
+                    Err(e) => (Response::err(&e), true),
+                }
+            }
+            Ok(Some(cmd)) => (dispatch(&mut session, cmd, vec![]), false),
+            Err(e) => (Response::err(&e), false),
+        };
+        if response.write_to(&mut writer).is_err() {
+            return;
+        }
+        if quit {
+            return;
+        }
+    }
+}
+
+/// Reads the `count` continuation lines of an `INGEST` batch.
+fn read_batch(
+    reader: &mut BufReader<TcpStream>,
+    count: usize,
+) -> Result<Vec<String>, ProtocolError> {
+    let mut rows = Vec::with_capacity(count.min(4096));
+    let mut line = String::new();
+    for i in 0..count {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                return Err(ProtocolError::TruncatedBatch {
+                    got: i,
+                    expected: count,
+                })
+            }
+            Ok(_) => rows.push(line.trim().to_string()),
+        }
+    }
+    Ok(rows)
+}
+
+fn parse_batch(lines: &[String]) -> Result<Vec<IngestRow>, ProtocolError> {
+    lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| IngestRow::parse(l, i))
+        .collect()
+}
+
+/// Runs one command with a panic barrier: a recovered unwind becomes a
+/// typed `ERR internal` reply and the session keeps serving (the engine's
+/// locks all recover from poisoning, so the next question still answers).
+fn dispatch(session: &mut Session, cmd: Command, rows: Vec<IngestRow>) -> Response {
+    let caught = catch_unwind(AssertUnwindSafe(|| session.handle(cmd, rows)));
+    match caught {
+        Ok(response) => response,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            ProtocolError::Internal(what).into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+
+    #[test]
+    fn spawn_serve_shutdown_round_trip() {
+        let mut server =
+            Server::spawn(AuditService::tiny_synthetic(3), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).expect("connect");
+        assert!(client.greeting().head.starts_with("OK eba-serve 1 epoch 0"));
+        let pong = client.send("PING").expect("ping");
+        assert_eq!(pong.head, "OK pong");
+        // Second concurrent session.
+        let mut other = Client::connect(addr).expect("connect 2");
+        assert!(other.send("SEQ").expect("seq").is_ok());
+        // Shutdown with both sessions still open: returns promptly, the
+        // clients observe EOF, and the port stops accepting.
+        server.shutdown();
+        assert!(client.send("PING").is_err(), "socket is gone");
+        assert!(TcpStream::connect(addr).is_err(), "listener closed");
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn quit_closes_only_that_session() {
+        let server = Server::spawn(AuditService::tiny_synthetic(3), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let mut a = Client::connect(addr).expect("a");
+        let mut b = Client::connect(addr).expect("b");
+        assert_eq!(a.send("QUIT").expect("quit").head, "OK bye");
+        assert!(a.send("PING").is_err(), "a is closed");
+        assert_eq!(b.send("PING").expect("b lives").head, "OK pong");
+    }
+}

@@ -1,0 +1,485 @@
+//! The `eba-serve` line protocol: command grammar, typed errors, and the
+//! uniformly framed reply.
+//!
+//! # Framing
+//!
+//! Requests are single `\n`-terminated ASCII lines (`\r\n` tolerated):
+//! a case-insensitive command keyword followed by space-separated
+//! arguments. Blank lines and lines starting with `#` are ignored, so the
+//! protocol is comfortable to drive from `nc`.
+//!
+//! Every reply — success or error — has the same frame: a head line
+//! beginning with `OK` or `ERR`, zero or more data lines, and a
+//! terminating line containing a single `.`. Data lines always begin with
+//! a lowercase keyword (never `.`), so a client reads until the lone dot
+//! and never needs per-command framing knowledge.
+//!
+//! # Commands
+//!
+//! ```text
+//! PING                    liveness probe
+//! PIN                     report the session's pinned epoch seq
+//! REPIN                   pin the latest published epoch
+//! SEQ                     published vs pinned sequence numbers
+//! EXPLAIN <lid>           ranked explanations for one access
+//! UNEXPLAINED [limit]     the unexplained accesses of the pinned epoch
+//! METRICS                 suite-level explanation metrics
+//! TIMELINE                per-day stats, incl. the clock-skew overflow bucket
+//! MISUSE [user]           one user's triage entry, or the top of the queue
+//! INGEST <n>              n rows follow, one per line: <user> <patient> <day|->
+//! QUIT                    close the session
+//! ```
+//!
+//! `INGEST` is the single-writer path: the batch goes through
+//! [`SharedEngine::ingest`](eba_relational::SharedEngine::ingest) and the
+//! reply carries the published seq plus the rebuild-fallback flag. All
+//! other commands answer from the session's pinned epoch, so a long audit
+//! sees one consistent snapshot until it chooses to `REPIN`.
+//!
+//! # Errors
+//!
+//! `ERR <code> <message>` with codes `bad-request` (parse/argument
+//! errors), `not-found` (lookups), and `internal` (a recovered panic —
+//! the connection and the service both survive it).
+
+use std::fmt;
+use std::io::Write;
+
+/// Upper bound on one `INGEST` batch, so a malformed count cannot make
+/// the server buffer unbounded input.
+pub const MAX_INGEST_BATCH: usize = 100_000;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `PING` — liveness probe.
+    Ping,
+    /// `PIN` — report the pinned epoch without changing it.
+    Pin,
+    /// `REPIN` — pin the latest published epoch.
+    Repin,
+    /// `SEQ` — published vs pinned sequence numbers.
+    Seq,
+    /// `EXPLAIN <lid>` — ranked explanations for one access.
+    Explain { lid: i64 },
+    /// `UNEXPLAINED [limit]` — unexplained accesses, optionally truncated.
+    Unexplained { limit: Option<usize> },
+    /// `METRICS` — suite-level explanation metrics over the pinned epoch.
+    Metrics,
+    /// `TIMELINE` — per-day stats plus the overflow bucket.
+    Timeline,
+    /// `MISUSE [user]` — one user's triage entry or the top of the queue.
+    Misuse { user: Option<i64> },
+    /// `INGEST <n>` — `n` rows follow on continuation lines.
+    Ingest { count: usize },
+    /// `QUIT` — close the session.
+    Quit,
+}
+
+impl Command {
+    /// Parses one request line (already stripped of its terminator).
+    /// Returns `Ok(None)` for blank and `#`-comment lines.
+    pub fn parse(line: &str) -> Result<Option<Command>, ProtocolError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line").to_ascii_uppercase();
+        let args: Vec<&str> = words.collect();
+        let arity = |max: usize, usage: &'static str| -> Result<(), ProtocolError> {
+            if args.len() > max {
+                Err(ProtocolError::Usage(usage))
+            } else {
+                Ok(())
+            }
+        };
+        let cmd = match keyword.as_str() {
+            "PING" => {
+                arity(0, "PING")?;
+                Command::Ping
+            }
+            "PIN" => {
+                arity(0, "PIN")?;
+                Command::Pin
+            }
+            "REPIN" => {
+                arity(0, "REPIN")?;
+                Command::Repin
+            }
+            "SEQ" => {
+                arity(0, "SEQ")?;
+                Command::Seq
+            }
+            "EXPLAIN" => {
+                arity(1, "EXPLAIN <lid>")?;
+                let lid = args.first().ok_or(ProtocolError::Usage("EXPLAIN <lid>"))?;
+                Command::Explain {
+                    lid: parse_int(lid, "lid")?,
+                }
+            }
+            "UNEXPLAINED" => {
+                arity(1, "UNEXPLAINED [limit]")?;
+                let limit = match args.first() {
+                    None => None,
+                    Some(v) => Some(parse_count(v, "limit")?),
+                };
+                Command::Unexplained { limit }
+            }
+            "METRICS" => {
+                arity(0, "METRICS")?;
+                Command::Metrics
+            }
+            "TIMELINE" => {
+                arity(0, "TIMELINE")?;
+                Command::Timeline
+            }
+            "MISUSE" => {
+                arity(1, "MISUSE [user]")?;
+                let user = match args.first() {
+                    None => None,
+                    Some(v) => Some(parse_int(v, "user")?),
+                };
+                Command::Misuse { user }
+            }
+            "INGEST" => {
+                arity(1, "INGEST <n>")?;
+                let n = args.first().ok_or(ProtocolError::Usage("INGEST <n>"))?;
+                let count = parse_count(n, "row count")?;
+                if count == 0 || count > MAX_INGEST_BATCH {
+                    return Err(ProtocolError::BatchSize {
+                        got: count,
+                        max: MAX_INGEST_BATCH,
+                    });
+                }
+                Command::Ingest { count }
+            }
+            "QUIT" => {
+                arity(0, "QUIT")?;
+                Command::Quit
+            }
+            other => return Err(ProtocolError::UnknownCommand(other.to_string())),
+        };
+        Ok(Some(cmd))
+    }
+}
+
+fn parse_int(s: &str, what: &'static str) -> Result<i64, ProtocolError> {
+    s.parse().map_err(|_| ProtocolError::BadInt {
+        what,
+        got: s.to_string(),
+    })
+}
+
+fn parse_count(s: &str, what: &'static str) -> Result<usize, ProtocolError> {
+    s.parse().map_err(|_| ProtocolError::BadInt {
+        what,
+        got: s.to_string(),
+    })
+}
+
+/// One row of an `INGEST` batch: `<user> <patient> <day|->`.
+///
+/// `day` is the 1-based reporting day; `-` means the source had no usable
+/// day stamp (it lands in the timeline's overflow bucket, like any other
+/// clock-skewed day value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestRow {
+    /// Accessing user id.
+    pub user: i64,
+    /// Accessed patient id.
+    pub patient: i64,
+    /// 1-based day of the access, or `None` for a missing stamp.
+    pub day: Option<i64>,
+}
+
+impl IngestRow {
+    /// Parses one continuation line of an `INGEST` batch.
+    pub fn parse(line: &str, index: usize) -> Result<IngestRow, ProtocolError> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [user, patient, day] = fields.as_slice() else {
+            return Err(ProtocolError::BadRow {
+                index,
+                reason: format!(
+                    "expected `<user> <patient> <day|->`, got {} field(s)",
+                    fields.len()
+                ),
+            });
+        };
+        let int = |s: &str, what: &str| -> Result<i64, ProtocolError> {
+            s.parse().map_err(|_| ProtocolError::BadRow {
+                index,
+                reason: format!("{what} `{s}` is not an integer"),
+            })
+        };
+        Ok(IngestRow {
+            user: int(user, "user")?,
+            patient: int(patient, "patient")?,
+            day: if *day == "-" {
+                None
+            } else {
+                Some(int(day, "day")?)
+            },
+        })
+    }
+
+    /// The wire form [`IngestRow::parse`] accepts.
+    pub fn render(&self) -> String {
+        match self.day {
+            Some(d) => format!("{} {} {}", self.user, self.patient, d),
+            None => format!("{} {} -", self.user, self.patient),
+        }
+    }
+}
+
+/// Typed protocol-level failures; every variant renders as one
+/// `ERR <code> <message>` head line. No panic reaches the socket: the
+/// session layer converts recovered panics to [`ProtocolError::Internal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The command keyword is not part of the grammar.
+    UnknownCommand(String),
+    /// Wrong argument shape; carries the usage string.
+    Usage(&'static str),
+    /// An argument that must be an integer was not.
+    BadInt {
+        /// What the argument denotes.
+        what: &'static str,
+        /// The offending token.
+        got: String,
+    },
+    /// An `INGEST` batch size outside `1..=MAX_INGEST_BATCH`.
+    BatchSize {
+        /// The requested count.
+        got: usize,
+        /// The allowed maximum.
+        max: usize,
+    },
+    /// A malformed `INGEST` continuation line.
+    BadRow {
+        /// 0-based row index within the batch.
+        index: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The connection ended mid-`INGEST` batch.
+    TruncatedBatch {
+        /// Rows received before the stream ended.
+        got: usize,
+        /// Rows announced.
+        expected: usize,
+    },
+    /// A lookup found nothing (e.g. an unknown lid).
+    NotFound(String),
+    /// A recovered panic; the session keeps serving.
+    Internal(String),
+}
+
+impl ProtocolError {
+    /// The machine-readable error code of the `ERR` head line.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::UnknownCommand(_)
+            | ProtocolError::Usage(_)
+            | ProtocolError::BadInt { .. }
+            | ProtocolError::BatchSize { .. }
+            | ProtocolError::BadRow { .. }
+            | ProtocolError::TruncatedBatch { .. } => "bad-request",
+            ProtocolError::NotFound(_) => "not-found",
+            ProtocolError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownCommand(kw) => write!(f, "unknown command `{kw}`"),
+            ProtocolError::Usage(usage) => write!(f, "usage: {usage}"),
+            ProtocolError::BadInt { what, got } => {
+                write!(f, "{what} `{got}` is not an integer")
+            }
+            ProtocolError::BatchSize { got, max } => {
+                write!(f, "ingest batch of {got} rows outside 1..={max}")
+            }
+            ProtocolError::BadRow { index, reason } => {
+                write!(f, "ingest row {index}: {reason}")
+            }
+            ProtocolError::TruncatedBatch { got, expected } => {
+                write!(f, "connection closed after {got} of {expected} ingest rows")
+            }
+            ProtocolError::NotFound(what) => write!(f, "{what}"),
+            ProtocolError::Internal(what) => write!(f, "recovered internal panic: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// One framed reply: the `OK`/`ERR` head line plus data lines, written
+/// with the terminating `.`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The head line (starts with `OK` or `ERR`).
+    pub head: String,
+    /// Data lines (each begins with a lowercase keyword, never `.`).
+    pub body: Vec<String>,
+}
+
+impl Response {
+    /// A success reply; `head` is appended to `OK `.
+    pub fn ok(head: impl Into<String>) -> Response {
+        Response {
+            head: format!("OK {}", head.into()),
+            body: Vec::new(),
+        }
+    }
+
+    /// An error reply.
+    pub fn err(e: &ProtocolError) -> Response {
+        Response {
+            head: format!("ERR {} {e}", e.code()),
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends one data line.
+    pub fn push(&mut self, line: impl Into<String>) {
+        let line = line.into();
+        debug_assert!(!line.starts_with('.'), "data lines must not start with '.'");
+        self.body.push(line);
+    }
+
+    /// Whether the head line reports success.
+    pub fn is_ok(&self) -> bool {
+        self.head.starts_with("OK")
+    }
+
+    /// Writes the framed reply (head, body, `.`) and flushes.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut out = String::with_capacity(self.head.len() + 2 + 16 * self.body.len());
+        out.push_str(&self.head);
+        out.push('\n');
+        for line in &self.body {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(".\n");
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+impl From<ProtocolError> for Response {
+    fn from(e: ProtocolError) -> Response {
+        Response::err(&e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_parse_case_insensitively() {
+        assert_eq!(Command::parse("ping").unwrap(), Some(Command::Ping));
+        assert_eq!(Command::parse("  PiNg  ").unwrap(), Some(Command::Ping));
+        assert_eq!(Command::parse("REPIN").unwrap(), Some(Command::Repin));
+        assert_eq!(
+            Command::parse("explain 42").unwrap(),
+            Some(Command::Explain { lid: 42 })
+        );
+        assert_eq!(
+            Command::parse("UNEXPLAINED").unwrap(),
+            Some(Command::Unexplained { limit: None })
+        );
+        assert_eq!(
+            Command::parse("UNEXPLAINED 5").unwrap(),
+            Some(Command::Unexplained { limit: Some(5) })
+        );
+        assert_eq!(
+            Command::parse("MISUSE -3").unwrap(),
+            Some(Command::Misuse { user: Some(-3) })
+        );
+        assert_eq!(
+            Command::parse("ingest 10").unwrap(),
+            Some(Command::Ingest { count: 10 })
+        );
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        assert_eq!(Command::parse("").unwrap(), None);
+        assert_eq!(Command::parse("   \t ").unwrap(), None);
+        assert_eq!(Command::parse("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_yield_typed_errors() {
+        assert!(matches!(
+            Command::parse("FROB").unwrap_err(),
+            ProtocolError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            Command::parse("EXPLAIN").unwrap_err(),
+            ProtocolError::Usage("EXPLAIN <lid>")
+        ));
+        assert!(matches!(
+            Command::parse("EXPLAIN twelve").unwrap_err(),
+            ProtocolError::BadInt { what: "lid", .. }
+        ));
+        assert!(matches!(
+            Command::parse("PING extra").unwrap_err(),
+            ProtocolError::Usage("PING")
+        ));
+        assert!(matches!(
+            Command::parse("INGEST 0").unwrap_err(),
+            ProtocolError::BatchSize { got: 0, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&format!("INGEST {}", MAX_INGEST_BATCH + 1)).unwrap_err(),
+            ProtocolError::BatchSize { .. }
+        ));
+        let err = Command::parse("MISUSE 1 2").unwrap_err();
+        assert_eq!(err.code(), "bad-request");
+    }
+
+    #[test]
+    fn ingest_rows_round_trip() {
+        for row in [
+            IngestRow {
+                user: 7,
+                patient: 10001,
+                day: Some(3),
+            },
+            IngestRow {
+                user: 1,
+                patient: 2,
+                day: None,
+            },
+        ] {
+            assert_eq!(IngestRow::parse(&row.render(), 0).unwrap(), row);
+        }
+        assert!(matches!(
+            IngestRow::parse("1 2", 4).unwrap_err(),
+            ProtocolError::BadRow { index: 4, .. }
+        ));
+        assert!(IngestRow::parse("1 x 3", 0).is_err());
+    }
+
+    #[test]
+    fn responses_are_dot_framed() {
+        let mut r = Response::ok("metrics epoch 0");
+        r.push("anchor_total 10");
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "OK metrics epoch 0\nanchor_total 10\n.\n"
+        );
+        assert!(r.is_ok());
+        let e = Response::err(&ProtocolError::NotFound("no log record".into()));
+        assert!(!e.is_ok());
+        assert!(e.head.starts_with("ERR not-found "));
+    }
+}

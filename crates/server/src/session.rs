@@ -1,0 +1,324 @@
+//! Per-connection sessions: one pinned [`Epoch`] per session, every
+//! audit question answered through the `*_at` forms against it.
+
+use crate::protocol::{Command, IngestRow, ProtocolError, Response};
+use crate::AuditService;
+use eba_audit::{metrics, portal, timeline};
+use eba_relational::{Epoch, Value};
+use std::sync::Arc;
+
+/// One connection's state: the shared service plus the epoch the session
+/// has pinned. Reads answer from the pin; `REPIN` advances it; `INGEST`
+/// goes through the service's single-writer path and deliberately does
+/// **not** move the pin (the ingesting auditor keeps their consistent
+/// view until they ask for the new one).
+pub struct Session {
+    service: Arc<AuditService>,
+    epoch: Arc<Epoch>,
+}
+
+impl Session {
+    /// Opens a session, pinning the currently published epoch.
+    pub fn new(service: Arc<AuditService>) -> Session {
+        let epoch = service.shared().load();
+        Session { service, epoch }
+    }
+
+    /// The banner sent when a connection opens.
+    pub fn greeting(&self) -> Response {
+        Response::ok(format!("eba-serve 1 epoch {}", self.epoch.seq()))
+    }
+
+    /// The session's pinned epoch.
+    pub fn epoch(&self) -> &Arc<Epoch> {
+        &self.epoch
+    }
+
+    /// Executes one read command against the pinned epoch, or an `INGEST`
+    /// batch through the writer path.
+    pub fn handle(&mut self, cmd: Command, rows: Vec<IngestRow>) -> Response {
+        match cmd {
+            Command::Ping => Response::ok("pong"),
+            Command::Pin => Response::ok(format!("epoch {}", self.epoch.seq())),
+            Command::Repin => {
+                self.epoch = self.service.shared().load();
+                Response::ok(format!("epoch {}", self.epoch.seq()))
+            }
+            Command::Seq => Response::ok(format!(
+                "published {} pinned {}",
+                self.service.shared().seq(),
+                self.epoch.seq()
+            )),
+            Command::Explain { lid } => self.explain(lid),
+            Command::Unexplained { limit } => self.unexplained(limit),
+            Command::Metrics => self.metrics(),
+            Command::Timeline => self.timeline(),
+            Command::Misuse { user } => self.misuse(user),
+            Command::Ingest { count } => {
+                debug_assert_eq!(rows.len(), count);
+                self.ingest(&rows)
+            }
+            Command::Quit => Response::ok("bye"),
+        }
+    }
+
+    fn explain(&self, lid: i64) -> Response {
+        let svc = &self.service;
+        let db = self.epoch.db();
+        let log = db.table(svc.spec.table);
+        let rows = log.rows_with(svc.cols.lid, Value::Int(lid));
+        let Some(&rid) = rows.first() else {
+            return ProtocolError::NotFound(format!("no log record with Lid = {lid}")).into();
+        };
+        let row = log.row(rid);
+        let explanations = match svc.explainer.explain(db, &svc.spec, rid, 3) {
+            Ok(e) => e,
+            Err(e) => return ProtocolError::Internal(e.to_string()).into(),
+        };
+        let mut resp = Response::ok(format!(
+            "explain lid {lid} user {} patient {} explanations {}",
+            row[svc.cols.user].display(db.pool()),
+            row[svc.cols.patient].display(db.pool()),
+            explanations.len()
+        ));
+        for e in &explanations {
+            resp.push(format!("len {} {}", e.length, e.text));
+        }
+        resp
+    }
+
+    fn unexplained(&self, limit: Option<usize>) -> Response {
+        let svc = &self.service;
+        let db = self.epoch.db();
+        let unexplained = svc.explainer.unexplained_rows_at(&svc.spec, &self.epoch);
+        let anchor_total = metrics::anchor_rows(db, &svc.spec).len();
+        let mut resp = Response::ok(format!(
+            "unexplained {} of {} epoch {}",
+            unexplained.len(),
+            anchor_total,
+            self.epoch.seq()
+        ));
+        let log = db.table(svc.spec.table);
+        let shown = limit.unwrap_or(unexplained.len());
+        for &rid in unexplained.iter().take(shown) {
+            let row = log.row(rid);
+            resp.push(format!(
+                "lid {} user {} patient {}",
+                row[svc.cols.lid].display(db.pool()),
+                row[svc.cols.user].display(db.pool()),
+                row[svc.cols.patient].display(db.pool())
+            ));
+        }
+        resp
+    }
+
+    fn metrics(&self) -> Response {
+        let svc = &self.service;
+        let suite: Vec<&eba_core::ExplanationTemplate> = svc.explainer.templates().iter().collect();
+        let c = metrics::evaluate_at(&svc.spec, &suite, None, None, &self.epoch);
+        let mut resp = Response::ok(format!("metrics epoch {}", self.epoch.seq()));
+        resp.push(format!("anchor_total {}", c.real_total));
+        resp.push(format!("explained {}", c.real_explained));
+        resp.push(format!("unexplained {}", c.real_total - c.real_explained));
+        resp.push(format!("recall {:.6}", c.recall()));
+        resp.push(format!("precision {:.6}", c.precision()));
+        resp
+    }
+
+    fn timeline(&self) -> Response {
+        let svc = &self.service;
+        let t =
+            timeline::daily_stats_at(&svc.spec, &svc.cols, &svc.explainer, svc.days, &self.epoch);
+        let mut resp = Response::ok(format!(
+            "timeline epoch {} days {} dropped {}",
+            self.epoch.seq(),
+            svc.days,
+            t.dropped()
+        ));
+        for s in &t.days {
+            resp.push(format!(
+                "day {} total {} explained {} firsts {} first_explained {}",
+                s.day, s.total, s.explained, s.first_accesses, s.first_explained
+            ));
+        }
+        let o = &t.overflow;
+        resp.push(format!(
+            "overflow total {} explained {} firsts {} first_explained {}",
+            o.total, o.explained, o.first_accesses, o.first_explained
+        ));
+        resp
+    }
+
+    fn misuse(&self, user: Option<i64>) -> Response {
+        let svc = &self.service;
+        let queue = portal::misuse_summary_at(&svc.spec, &svc.explainer, &self.epoch);
+        let pool = self.epoch.db().pool();
+        match user {
+            Some(user) => {
+                let hit = queue
+                    .iter()
+                    .enumerate()
+                    .find(|(_, s)| s.user == Value::Int(user));
+                match hit {
+                    Some((i, s)) => Response::ok(format!(
+                        "misuse user {user} unexplained {} distinct_patients {} rank {}",
+                        s.unexplained,
+                        s.distinct_patients,
+                        i + 1
+                    )),
+                    None => Response::ok(format!(
+                        "misuse user {user} unexplained 0 distinct_patients 0 rank -"
+                    )),
+                }
+            }
+            None => {
+                let top = 10.min(queue.len());
+                let mut resp = Response::ok(format!("misuse top {top} epoch {}", self.epoch.seq()));
+                for s in queue.iter().take(top) {
+                    resp.push(format!(
+                        "user {} unexplained {} distinct_patients {}",
+                        s.user.display(pool),
+                        s.unexplained,
+                        s.distinct_patients
+                    ));
+                }
+                resp
+            }
+        }
+    }
+
+    fn ingest(&mut self, rows: &[IngestRow]) -> Response {
+        let svc = &self.service;
+        let report = svc.ingest_rows(rows);
+        let mut resp = Response::ok(format!(
+            "ingest seq {} rows {} new_rows {} rebuilt {}",
+            report.seq,
+            rows.len(),
+            report.refresh.delta.new_rows,
+            u8::from(report.rebuilt.is_some())
+        ));
+        // Satellite fix: the rebuild fallback used to be recorded and
+        // silently dropped by every caller — surface it to the client
+        // *and* the operator log.
+        if let Some(warning) = report.fallback_warning() {
+            resp.push(format!("warn {warning}"));
+            svc.record_warning(warning);
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AuditService;
+
+    fn service() -> Arc<AuditService> {
+        Arc::new(AuditService::tiny_synthetic(7))
+    }
+
+    #[test]
+    fn session_pins_and_repins() {
+        let svc = service();
+        let mut s = Session::new(svc.clone());
+        assert_eq!(s.greeting().head, "OK eba-serve 1 epoch 0");
+        assert_eq!(
+            s.handle(Command::Pin, vec![]).head,
+            "OK epoch 0",
+            "pin reports without changing"
+        );
+        // An ingest elsewhere publishes epoch 1; the session stays on 0.
+        svc.ingest_rows(&[IngestRow {
+            user: 1,
+            patient: 10_000,
+            day: Some(1),
+        }]);
+        assert_eq!(s.handle(Command::Pin, vec![]).head, "OK epoch 0");
+        assert_eq!(
+            s.handle(Command::Seq, vec![]).head,
+            "OK published 1 pinned 0"
+        );
+        assert_eq!(s.handle(Command::Repin, vec![]).head, "OK epoch 1");
+    }
+
+    #[test]
+    fn reads_answer_from_the_pinned_epoch() {
+        let svc = service();
+        let mut s = Session::new(svc.clone());
+        let before = s.handle(Command::Metrics, vec![]);
+        assert!(before.is_ok());
+        let ingest = s.handle(
+            Command::Ingest { count: 2 },
+            vec![
+                IngestRow {
+                    user: 1,
+                    patient: 10_000,
+                    day: Some(2),
+                },
+                IngestRow {
+                    user: 2,
+                    patient: 10_001,
+                    day: None,
+                },
+            ],
+        );
+        assert!(ingest.is_ok(), "{}", ingest.head);
+        assert!(ingest.head.contains("rows 2"), "{}", ingest.head);
+        assert!(ingest.head.contains("rebuilt 0"), "{}", ingest.head);
+        // Still the old epoch: byte-identical metrics.
+        assert_eq!(s.handle(Command::Metrics, vec![]), before);
+        // After repinning the totals grew by the batch.
+        s.handle(Command::Repin, vec![]);
+        let after = s.handle(Command::Metrics, vec![]);
+        assert_ne!(after, before);
+        let total = |r: &Response| -> usize {
+            r.body
+                .iter()
+                .find_map(|l| l.strip_prefix("anchor_total "))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(total(&after), total(&before) + 2);
+    }
+
+    #[test]
+    fn explain_reports_missing_lids_as_not_found() {
+        let svc = service();
+        let mut s = Session::new(svc);
+        let r = s.handle(Command::Explain { lid: 99_999_999 }, vec![]);
+        assert!(r.head.starts_with("ERR not-found"), "{}", r.head);
+    }
+
+    #[test]
+    fn null_day_rows_land_in_the_overflow_bucket() {
+        let svc = service();
+        let mut s = Session::new(svc);
+        let overflow_total = |r: &Response| -> usize {
+            r.body
+                .iter()
+                .find_map(|l| l.strip_prefix("overflow total "))
+                .map(|rest| rest.split_whitespace().next().unwrap().parse().unwrap())
+                .unwrap()
+        };
+        let before = overflow_total(&s.handle(Command::Timeline, vec![]));
+        s.handle(
+            Command::Ingest { count: 2 },
+            vec![
+                IngestRow {
+                    user: 1,
+                    patient: 10_000,
+                    day: None,
+                },
+                IngestRow {
+                    user: 1,
+                    patient: 10_001,
+                    day: Some(9_999),
+                },
+            ],
+        );
+        s.handle(Command::Repin, vec![]);
+        let after = overflow_total(&s.handle(Command::Timeline, vec![]));
+        assert_eq!(after, before + 2);
+    }
+}

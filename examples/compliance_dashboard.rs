@@ -181,6 +181,12 @@ fn main() {
                 db.insert(hospital.t_log, row).unwrap();
             }
         });
+        // A refused incremental refresh (rebuild fallback) is an
+        // operational event the office must hear about, not a flag to
+        // silently absorb.
+        if let Some(warning) = report.fallback_warning() {
+            eprintln!("!! {warning}");
+        }
         let epoch: std::sync::Arc<Epoch> = session.load();
         let timeline = daily_stats_at(
             &spec,

@@ -1,4 +1,4 @@
-//! Misuse detection: the paper's secondary application.
+//! Misuse detection: the paper's secondary application — served live.
 //!
 //! "If we are able to automatically construct explanations for why accesses
 //! occurred, we can conceivably use this information to reduce the set of
@@ -6,22 +6,25 @@
 //!
 //! Generates a hospital with injected snooping accesses (the Britney
 //! Spears / presidential-passport scenario), mines explanation templates
-//! from the log, and shows that (a) the unexplained set is a small fraction
-//! of the log, and (b) the snoops land in it — then keeps detecting as
-//! new accesses stream in, via a [`SharedEngine`] refresh-on-ingest loop
-//! (the detector re-pins an epoch after each batch; a batch landing
-//! mid-scan can never block or tear the scan).
+//! from the log — and then, instead of calling the library directly, runs
+//! the whole investigation **against a live `eba-serve` instance over real
+//! TCP sockets**: the detector session pins an epoch, reads the
+//! unexplained set and the triage queue over the wire, `INGEST`s fresh
+//! suspicious batches through the single-writer path, and `REPIN`s to
+//! follow the log. A rebuild fallback reported by an ingest is surfaced
+//! as a warning instead of being silently dropped.
 //!
 //! Run with: `cargo run --release --example misuse_detection`
 
 use eba::audit::groups::{collaborative_groups, install_groups};
 use eba::audit::handcrafted::HandcraftedTemplates;
-use eba::audit::portal::misuse_summary_at;
 use eba::audit::{split, Explainer};
 use eba::cluster::HierarchyConfig;
 use eba::core::{mine_one_way, ExplanationTemplate, LogSpec, MiningConfig};
-use eba::relational::SharedEngine;
+use eba::relational::Value;
+use eba::server::{AuditService, Client, IngestRow, Server};
 use eba::synth::{AccessReason, Hospital, SynthConfig};
+use std::collections::HashSet;
 
 fn main() {
     let config = SynthConfig {
@@ -66,50 +69,70 @@ fn main() {
     templates.push(handcrafted.repeat_access.clone());
     let explainer = Explainer::new(templates);
 
-    // The detection service: one snapshot-handoff session answers both
-    // audit questions below from a single pinned epoch, and follows the
-    // growing log through `ingest` at the end.
-    let session = SharedEngine::new(hospital.db.clone());
-    let epoch = session.load();
-    let unexplained = explainer.unexplained_rows_at(&spec, &epoch);
-    let total = hospital.log_len();
+    // ---- the detection service goes live -------------------------------
+    // The database, spec and suite move into an `eba-serve` instance on an
+    // ephemeral port; everything below talks to it over a real socket.
+    let service = AuditService::new(
+        hospital.db.clone(),
+        spec.clone(),
+        hospital.log_cols,
+        explainer,
+        hospital.config.days,
+    );
+    let server = Server::spawn(service, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    println!("\neba-serve listening on {addr}; detector session connecting...");
+    let mut detector = Client::connect(addr).expect("connect");
+    println!("server greeting: {}", detector.greeting().head);
+
+    let unexplained = detector.send("UNEXPLAINED").expect("unexplained");
+    let count: usize = unexplained.field("unexplained").unwrap().parse().unwrap();
+    let total: usize = unexplained.field("of").unwrap().parse().unwrap();
     println!(
-        "\n{} of {} accesses unexplained ({:.1}%) — the compliance office's review set shrank by {:.1}x.",
-        unexplained.len(),
-        total,
-        100.0 * unexplained.len() as f64 / total as f64,
-        total as f64 / unexplained.len().max(1) as f64,
+        "\n{count} of {total} accesses unexplained ({:.1}%) — the compliance office's review set shrank by {:.1}x.",
+        100.0 * count as f64 / total as f64,
+        total as f64 / count.max(1) as f64,
     );
 
-    // Where did the snoops go?
-    let snoops: Vec<u32> = (0..total as u32)
-        .filter(|&rid| hospital.reason_of(rid) == AccessReason::Snoop)
-        .collect();
-    let caught = snoops
+    // Where did the snoops go? Match the wire listing's lids against the
+    // generator's ground truth.
+    let flagged_lids: HashSet<i64> = unexplained
+        .body
         .iter()
-        .filter(|rid| unexplained.contains(rid))
+        .filter_map(|line| line.strip_prefix("lid ")?.split_whitespace().next())
+        .filter_map(|lid| lid.parse().ok())
+        .collect();
+    let snoop_lids: Vec<i64> = (0..hospital.log_len() as u32)
+        .filter(|&rid| hospital.reason_of(rid) == AccessReason::Snoop)
+        .filter_map(
+            |rid| match hospital.db.table(hospital.t_log).row(rid)[hospital.log_cols.lid] {
+                Value::Int(lid) => Some(lid),
+                _ => None,
+            },
+        )
+        .collect();
+    let caught = snoop_lids
+        .iter()
+        .filter(|l| flagged_lids.contains(l))
         .count();
     println!(
         "Injected snooping accesses: {} — {} remain unexplained (flagged).",
-        snoops.len(),
+        snoop_lids.len(),
         caught
     );
 
-    println!("\nTop users by unexplained accesses:");
+    println!("\nTop users by unexplained accesses (MISUSE over the wire):");
     println!(
         "{:<8} {:>12} {:>18}",
         "user", "unexplained", "distinct patients"
     );
-    for s in misuse_summary_at(&spec, &explainer, &epoch)
-        .into_iter()
-        .take(8)
-    {
-        println!(
-            "{:<8} {:>12} {:>18}",
-            s.user.display(hospital.db.pool()).to_string(),
-            s.unexplained,
-            s.distinct_patients
-        );
+    let top = detector.send("MISUSE").expect("misuse");
+    for line in top.body.iter().take(8) {
+        let mut f = line.split_whitespace();
+        let user = f.nth(1).unwrap_or("?");
+        let unexplained = f.nth(1).unwrap_or("?");
+        let patients = f.nth(1).unwrap_or("?");
+        println!("{user:<8} {unexplained:>12} {patients:>18}");
     }
     println!(
         "\n(Float-pool users — vascular access, anesthesiology — dominate, as the paper found;"
@@ -117,37 +140,46 @@ fn main() {
     println!(" their work leaves no database trace, so they are flagged for manual review.)");
 
     // ---- the detector keeps up with the log ------------------------------
-    // A fresh wave of uniformly-random accesses (the paper's fake-log
-    // methodology — behaviourally identical to snooping) streams in as two
-    // batches. Each ingest publishes a new epoch; re-pinning and re-running
-    // the unexplained scan flags the new wave without rebuilding anything.
+    // Two fresh waves of uniformly-random accesses (the paper's fake-log
+    // methodology — behaviourally identical to snooping) stream in through
+    // the protocol's single-writer INGEST path. Each batch publishes a new
+    // epoch; the detector REPINs and re-reads the unexplained count. A
+    // `rebuilt 1` reply (the incremental refresh was refused and the
+    // engine was rebuilt) is surfaced as a warning, never dropped.
     println!("\n== Live ingest: two more batches of suspicious accesses ==");
     let users = eba::audit::fake::user_pool(&hospital.db);
-    let patients: Vec<_> = (0..hospital.world.n_patients())
+    let patients: Vec<Value> = (0..hospital.world.n_patients())
         .map(|p| hospital.patient_value(p))
         .collect();
-    for round in 0..2u64 {
-        let (fake, report) = session.ingest(|db| {
-            eba::audit::fake::FakeLog::inject(
-                db,
-                hospital.t_log,
-                &hospital.log_cols,
-                &users,
-                &patients,
-                20,
-                hospital.config.days,
-                0x5E_u64 + round,
-            )
-        });
-        let epoch = session.load();
-        let unexplained = explainer.unexplained_rows_at(&spec, &epoch);
-        let caught = fake.rows().filter(|r| unexplained.contains(r)).count();
+    let as_int = |v: &Value| match v {
+        Value::Int(i) => *i,
+        _ => 0,
+    };
+    for round in 0..2usize {
+        let rows: Vec<IngestRow> = (0..20)
+            .map(|i| IngestRow {
+                user: as_int(&users[(round * 31 + i * 17) % users.len()]),
+                patient: as_int(&patients[(round * 53 + i * 29) % patients.len()]),
+                day: Some(1 + ((round + i) % hospital.config.days as usize) as i64),
+            })
+            .collect();
+        let reply = detector.ingest(&rows).expect("ingest");
+        for warn in reply.body.iter().filter(|l| l.starts_with("warn ")) {
+            eprintln!("!! {warn}");
+        }
+        let repin = detector.send("REPIN").expect("repin");
+        let fresh = detector.send("UNEXPLAINED 0").expect("recount");
         println!(
-            "epoch {}: +{} injected accesses, {} of them flagged unexplained ({} total unexplained)",
-            report.seq,
-            report.refresh.delta.new_rows,
-            caught,
-            unexplained.len()
+            "epoch {}: +{} injected accesses (rebuilt {}), {} total unexplained after {}",
+            reply.field("seq").unwrap(),
+            reply.field("rows").unwrap(),
+            reply.field("rebuilt").unwrap(),
+            fresh.field("unexplained").unwrap(),
+            repin.head.trim_start_matches("OK "),
         );
     }
+
+    let _ = detector.send("QUIT");
+    drop(server); // graceful shutdown: joins the in-flight session threads
+    println!("\nserver shut down cleanly.");
 }

@@ -7,11 +7,15 @@
 //! eba explain --data DIR --lid N [--groups]
 //! eba report --data DIR --patient ID [--groups]
 //! eba investigate --data DIR [--top N] [--groups]
+//! eba serve --data DIR [--addr HOST:PORT] [--groups]
+//! eba client --addr HOST:PORT --send "COMMAND ..."
 //! ```
 //!
 //! `synth` writes a CareWeb-shaped data set as one CSV per table; the other
 //! subcommands load such a directory (yours or synthetic), so the same
-//! workflow runs on real extracts.
+//! workflow runs on real extracts. `serve` exposes the same audit surface
+//! as a long-running TCP service (the `eba-serve` line protocol — see
+//! `crates/server`); `client` drives one such command from a script.
 
 use eba::audit::groups::{collaborative_groups, install_groups};
 use eba::audit::handcrafted::{same_group, EventTable, HandcraftedTemplates};
@@ -44,6 +48,8 @@ fn main() {
         "explain" => cmd_explain(&opts),
         "report" => cmd_report(&opts),
         "investigate" => cmd_investigate(&opts),
+        "serve" => cmd_serve(&opts),
+        "client" => cmd_client(&opts),
         "help" | "--help" | "-h" => usage(""),
         other => usage(&format!("unknown subcommand `{other}`")),
     };
@@ -66,7 +72,9 @@ fn usage(err: &str) -> ! {
          \x20          [--algorithm one-way|two-way|bridge-2|bridge-3] [--groups] [--sql]\n\
          \x20 eba explain --data DIR --lid N [--groups]\n\
          \x20 eba report --data DIR --patient ID [--groups]\n\
-         \x20 eba investigate --data DIR [--top N] [--groups]"
+         \x20 eba investigate --data DIR [--top N] [--groups]\n\
+         \x20 eba serve --data DIR [--addr HOST:PORT] [--groups]\n\
+         \x20 eba client --addr HOST:PORT --send \"COMMAND ...\""
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -193,17 +201,7 @@ fn load_data(dir: &Path) -> Result<Loaded, Box<dyn std::error::Error>> {
     }
     declare_careweb_relationships(&mut db, has_mapping, true);
     let spec = LogSpec::conventional(&db)?;
-    let schema = db.table(tables.log).schema();
-    let col = |name: &str| schema.col(name).expect("CareWeb log column");
-    let cols = LogColumns {
-        lid: col("Lid"),
-        date: col("Date"),
-        user: col("User"),
-        patient: col("Patient"),
-        action: col("Action"),
-        day: col("Day"),
-        is_first: col("IsFirst"),
-    };
+    let cols = eba::server::log_columns(&db, tables.log);
     Ok(Loaded {
         db,
         spec,
@@ -365,6 +363,67 @@ fn cmd_report(opts: &Options) -> CliResult {
             e.user.display(loaded.db.pool()).to_string(),
             e.display_text()
         );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- serve
+
+/// `eba serve`: the CSV-loaded deployment of the `eba-serve` audit
+/// service — same listener, same line protocol as the standalone binary,
+/// but over your data. Prints one `listening on <addr>` line to stdout
+/// (port 0 picks an ephemeral port) and serves until killed.
+fn cmd_serve(opts: &Options) -> CliResult {
+    let mut loaded = load_data(Path::new(opts.require("data")))?;
+    let with_groups = opts.flag("groups");
+    if with_groups {
+        add_groups(&mut loaded)?;
+    }
+    let explainer = build_explainer(&loaded, with_groups)?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:4780");
+    let days = eba::server::days_in_log(&loaded.db, loaded.spec.table, &loaded.cols);
+    let service =
+        eba::server::AuditService::new(loaded.db, loaded.spec, loaded.cols, explainer, days);
+    let log_len = service.shared().load().db().table(service.spec.table).len();
+    eprintln!(
+        "eba serve: {} accesses, {} templates, {}-day window",
+        log_len,
+        service.explainer.templates().len(),
+        service.days
+    );
+    let server = eba::server::Server::spawn(service, addr)?;
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.join();
+    Ok(())
+}
+
+/// `eba client`: sends one protocol command to a running server and
+/// prints the framed reply. An `ERR` reply exits non-zero, so scripts can
+/// branch on it.
+fn cmd_client(opts: &Options) -> CliResult {
+    let addr = opts.require("addr");
+    let command = opts.require("send");
+    if command.trim().to_ascii_uppercase().starts_with("INGEST") {
+        return Err(
+            "INGEST needs continuation lines; drive it from the library \
+                    client (eba::server::Client::ingest) or a script over nc"
+                .into(),
+        );
+    }
+    let mut client =
+        eba::server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reply = client.send(command)?;
+    {
+        // `writeln!`, not `println!`: a downstream `| head` closing the
+        // pipe early must not panic a scripting-oriented subcommand.
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), "{}", reply.render());
+    }
+    let _ = client.send("QUIT");
+    if !reply.is_ok() {
+        exit(1);
     }
     Ok(())
 }

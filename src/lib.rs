@@ -14,6 +14,8 @@
 //! * [`synth`] — synthetic CareWeb-like hospital data generator (§5.2)
 //! * [`core`] — explanation templates and mining algorithms (§2–3)
 //! * [`audit`] — user-centric auditing, misuse triage and evaluation (§5)
+//! * [`server`] — `eba-serve`: the concurrent audit service (line protocol
+//!   over TCP, epoch-pinned sessions on a `SharedEngine`)
 //! * [`experiments`] — per-figure/table reproduction of the evaluation
 //!
 //! ## Quickstart
@@ -29,4 +31,5 @@ pub use eba_cluster as cluster;
 pub use eba_core as core;
 pub use eba_experiments as experiments;
 pub use eba_relational as relational;
+pub use eba_server as server;
 pub use eba_synth as synth;

@@ -160,6 +160,70 @@ fn mapping_mode_round_trips_through_csv() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Kills the child on drop, so a failing assertion cannot leak a live
+/// `eba serve` process (and its bound port) past the test run.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_and_client_round_trip_over_a_real_port() {
+    use std::io::BufRead;
+
+    let dir = data_dir("serve");
+    synth(&dir, &[]);
+    // `--addr 127.0.0.1:0` picks an ephemeral port; the server announces
+    // it on stdout as `listening on <addr>`.
+    let mut server = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_eba"))
+            .args([
+                "serve",
+                "--data",
+                dir.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("server spawns"),
+    );
+    let mut line = String::new();
+    std::io::BufReader::new(server.0.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+
+    // A successful command prints the framed reply and exits zero.
+    let out = eba(&["client", "--addr", &addr, "--send", "METRICS"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("OK metrics epoch 0"), "{text}");
+    assert!(text.contains("anchor_total "), "{text}");
+    assert!(text.contains("recall "), "{text}");
+
+    // An ERR reply exits non-zero (scripts can branch on it).
+    let out = eba(&["client", "--addr", &addr, "--send", "FROB"]);
+    assert!(!out.status.success(), "ERR reply must exit non-zero");
+    assert!(stdout(&out).contains("ERR bad-request"), "{}", stdout(&out));
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let out = eba(&["mine"]);

@@ -1,0 +1,154 @@
+//! Shared scaffolding for the concurrency suites: the synthetic audit
+//! world, the readers-vs-writer thread harness, and the epoch-agreement
+//! log. Used by both the library-level stress test
+//! (`tests/engine_equivalence.rs`) and the socket-level server suite
+//! (`tests/server_e2e.rs`) — the same invariants, checked at two layers.
+
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+use eba::audit::handcrafted::HandcraftedTemplates;
+use eba::audit::Explainer;
+use eba::core::LogSpec;
+use eba::relational::{ChainQuery, Value};
+use eba::synth::{Hospital, SynthConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The standard concurrency-test world: a tiny synthetic hospital, its
+/// conventional log spec, the hand-crafted template suite, and the
+/// user/patient pools an ingesting writer samples from.
+pub struct AuditWorld {
+    pub hospital: Hospital,
+    pub spec: LogSpec,
+    pub explainer: Explainer,
+    pub users: Vec<Value>,
+    pub patients: Vec<Value>,
+}
+
+impl AuditWorld {
+    /// Builds the world at `tiny` scale with the given seed.
+    pub fn tiny(seed: u64) -> AuditWorld {
+        let config = SynthConfig {
+            seed,
+            ..SynthConfig::tiny()
+        };
+        let hospital = Hospital::generate(config);
+        let spec = LogSpec::conventional(&hospital.db).expect("synthetic Log table");
+        let t = HandcraftedTemplates::build(&hospital.db, &spec).expect("CareWeb schema");
+        let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+        let users = eba::audit::fake::user_pool(&hospital.db);
+        let patients: Vec<Value> = (0..hospital.world.n_patients())
+            .map(|p| hospital.patient_value(p))
+            .collect();
+        AuditWorld {
+            hospital,
+            spec,
+            explainer,
+            users,
+            patients,
+        }
+    }
+
+    /// The suite lowered to chain queries, in template order.
+    pub fn suite(&self) -> Vec<ChainQuery> {
+        self.explainer
+            .templates()
+            .iter()
+            .map(|t| t.path.to_chain_query(&self.spec))
+            .collect()
+    }
+
+    /// Appends one batch of fake accesses to `db` (the writer's ingest
+    /// payload; deterministic per `seed`).
+    pub fn inject_batch(&self, db: &mut eba::relational::Database, count: usize, seed: u64) {
+        eba::audit::fake::FakeLog::inject(
+            db,
+            self.hospital.t_log,
+            &self.hospital.log_cols,
+            &self.users,
+            &self.patients,
+            count,
+            self.hospital.config.days,
+            seed,
+        );
+    }
+}
+
+/// Observations of published epochs, keyed by sequence number: whoever
+/// sees an epoch first records its log length, and every later observer
+/// of the same seq must agree — epochs are immutable, so disagreement
+/// means a torn snapshot.
+#[derive(Default)]
+pub struct EpochLog {
+    observed: Mutex<HashMap<u64, usize>>,
+}
+
+impl EpochLog {
+    pub fn new() -> EpochLog {
+        EpochLog::default()
+    }
+
+    /// Records one observation of epoch `seq` with `log_len` rows.
+    pub fn observe(&self, seq: u64, log_len: usize) {
+        let mut map = self.observed.lock().unwrap();
+        let prior = map.insert(seq, log_len);
+        assert!(
+            prior.is_none_or(|len| len == log_len),
+            "seq {seq}: observers disagree on the epoch's log length \
+             ({prior:?} vs {log_len})"
+        );
+    }
+
+    /// Asserts that exactly epochs `0..=rounds` were observed and that
+    /// the log grew strictly with every publication.
+    pub fn assert_log_grew_each_epoch(self, rounds: u64) {
+        let map = self.observed.into_inner().unwrap();
+        let mut lens: Vec<(u64, usize)> = map.into_iter().collect();
+        lens.sort_unstable();
+        assert_eq!(lens.len() as u64, rounds + 1, "every epoch was observed");
+        for w in lens.windows(2) {
+            assert!(w[0].1 < w[1].1, "log grows with every epoch: {lens:?}");
+        }
+    }
+}
+
+/// Runs `readers` concurrent reader loops against one writer: each
+/// reader is called with the shared done flag and must keep observing
+/// until it is set (observing at least once *after* it is set, so the
+/// final epoch is always covered); the writer runs to completion on the
+/// harness thread, then the flag flips. Panics in any thread fail the
+/// test.
+pub fn readers_vs_writer(
+    readers: usize,
+    reader: impl Fn(usize, &AtomicBool) + Sync,
+    writer: impl FnOnce(),
+) {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for i in 0..readers {
+            let done = &done;
+            let reader = &reader;
+            scope.spawn(move || reader(i, done));
+        }
+        writer();
+        done.store(true, Ordering::Relaxed);
+    });
+}
+
+/// The canonical reader loop shape: `body` runs once per iteration until
+/// the done flag is observed set, and exactly once more afterwards (the
+/// pre-read snapshot of the flag decides the exit, so the iteration that
+/// sees `done` still runs in full).
+pub fn reader_loop(done: &AtomicBool, mut body: impl FnMut(usize)) {
+    let mut iterations = 0usize;
+    loop {
+        let finished = done.load(Ordering::Relaxed);
+        body(iterations);
+        iterations += 1;
+        if finished {
+            break;
+        }
+    }
+    assert!(iterations > 0);
+}

@@ -23,6 +23,8 @@ use eba::relational::{
 use eba::synth::{Hospital, SynthConfig};
 use proptest::prelude::*;
 
+mod common;
+
 /// Asserts the engine and the row evaluator agree exactly on one query,
 /// under both dedup settings.
 fn assert_equivalent(db: &Database, engine: &Engine, q: &ChainQuery, what: &str) {
@@ -404,6 +406,66 @@ fn materialize(w: &RandomWorld) -> (Database, TableId, TableId, TableId) {
     (db, log, event, team)
 }
 
+/// The query classes every random-world property exercises: undecorated
+/// closed/open chains, two-hop, anchor-filtered, constant-decorated, and
+/// anchor-dependent decorated.
+fn random_world_query_classes(
+    log: TableId,
+    event: TableId,
+    team: TableId,
+) -> Vec<(&'static str, ChainQuery)> {
+    let one_hop = ChainQuery {
+        log,
+        lid_col: 0,
+        start_col: 2,
+        steps: vec![ChainStep::new(event, 0, 1)],
+        close_col: Some(1),
+        anchor_filters: vec![],
+    };
+    let open = ChainQuery {
+        close_col: None,
+        ..one_hop.clone()
+    };
+    let two_hop = ChainQuery {
+        log,
+        lid_col: 0,
+        start_col: 2,
+        steps: vec![ChainStep::new(event, 0, 1), ChainStep::new(team, 0, 1)],
+        close_col: Some(1),
+        anchor_filters: vec![],
+    };
+    let filtered = ChainQuery {
+        anchor_filters: vec![(1, CmpOp::Ge, Value::Int(3))],
+        ..one_hop.clone()
+    };
+    let decorated = {
+        let mut q = one_hop.clone();
+        q.steps[0].filters.push(eba::relational::StepFilter {
+            col: 1,
+            op: CmpOp::Lt,
+            rhs: eba::relational::Rhs::Const(Value::Int(3)),
+        });
+        q
+    };
+    let anchor_dep = {
+        let mut q = one_hop.clone();
+        q.steps[0].filters.push(eba::relational::StepFilter {
+            col: 1,
+            op: CmpOp::Le,
+            rhs: eba::relational::Rhs::AnchorCol(1),
+        });
+        q
+    };
+    vec![
+        ("one_hop", one_hop),
+        ("open", open),
+        ("two_hop", two_hop),
+        ("filtered", filtered),
+        ("decorated", decorated),
+        ("anchor_dep", anchor_dep),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -411,54 +473,8 @@ proptest! {
     fn engine_matches_on_random_worlds(w in random_world()) {
         let (db, log, event, team) = materialize(&w);
         let engine = Engine::new(&db);
-        let one_hop = ChainQuery {
-            log,
-            lid_col: 0,
-            start_col: 2,
-            steps: vec![ChainStep::new(event, 0, 1)],
-            close_col: Some(1),
-            anchor_filters: vec![],
-        };
-        let open = ChainQuery { close_col: None, ..one_hop.clone() };
-        let two_hop = ChainQuery {
-            log,
-            lid_col: 0,
-            start_col: 2,
-            steps: vec![ChainStep::new(event, 0, 1), ChainStep::new(team, 0, 1)],
-            close_col: Some(1),
-            anchor_filters: vec![],
-        };
-        let filtered = ChainQuery {
-            anchor_filters: vec![(1, CmpOp::Ge, Value::Int(3))],
-            ..one_hop.clone()
-        };
-        let decorated = {
-            let mut q = one_hop.clone();
-            q.steps[0].filters.push(eba::relational::StepFilter {
-                col: 1,
-                op: CmpOp::Lt,
-                rhs: eba::relational::Rhs::Const(Value::Int(3)),
-            });
-            q
-        };
-        let anchor_dep = {
-            let mut q = one_hop.clone();
-            q.steps[0].filters.push(eba::relational::StepFilter {
-                col: 1,
-                op: CmpOp::Le,
-                rhs: eba::relational::Rhs::AnchorCol(1),
-            });
-            q
-        };
-        let queries = [
-            ("one_hop", &one_hop),
-            ("open", &open),
-            ("two_hop", &two_hop),
-            ("filtered", &filtered),
-            ("decorated", &decorated),
-            ("anchor_dep", &anchor_dep),
-        ];
-        for (what, q) in queries {
+        let queries = random_world_query_classes(log, event, team);
+        for (what, q) in &queries {
             for dedup in [true, false] {
                 let opts = EvalOptions { dedup };
                 prop_assert_eq!(
@@ -494,7 +510,7 @@ proptest! {
             db.insert(event, vec![Value::Int(p), actor]).unwrap();
         }
         engine.refresh(&db).unwrap();
-        for (what, q) in queries {
+        for (what, q) in &queries {
             for dedup in [true, false] {
                 let opts = EvalOptions { dedup };
                 prop_assert_eq!(
@@ -510,6 +526,67 @@ proptest! {
             }
         }
     }
+
+    /// Satellite property (PR 4): `RefreshError`'s **read-only pre-pass**
+    /// invariant. A refused refresh — `TableShrank` from refreshing
+    /// against a database with fewer rows, `CatalogShrank` against one
+    /// with fewer tables — must leave the engine answering *identically*
+    /// to before the failed call, for every query class, and a subsequent
+    /// refresh against the right database must still succeed.
+    #[test]
+    fn failed_refresh_prepass_leaves_the_engine_intact(w in random_world()) {
+        let (db, log, event, team) = materialize(&w);
+        // Grow a copy: the generated appends plus one guaranteed row, so
+        // the original is always strictly shorter.
+        let mut grown = db.clone();
+        for &(lid, user, patient) in &w.log_appends {
+            grown
+                .insert(log, vec![Value::Int(lid), Value::Int(user), Value::Int(patient)])
+                .unwrap();
+        }
+        grown
+            .insert(log, vec![Value::Int(1_000_000), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        let queries = random_world_query_classes(log, event, team);
+        let opts = EvalOptions::default();
+        let answers = |engine: &Engine, db: &Database| -> Vec<(Vec<_>, usize)> {
+            queries
+                .iter()
+                .map(|(_, q)| {
+                    (
+                        engine.explained_rows(db, q, opts).unwrap(),
+                        engine.support(db, q, opts).unwrap(),
+                    )
+                })
+                .collect()
+        };
+
+        // TableShrank: a warm engine over the grown database refuses to
+        // refresh against the shorter original...
+        let mut engine = Engine::new(&grown);
+        let before = answers(&engine, &grown);
+        let err = engine.refresh(&db).unwrap_err();
+        prop_assert!(matches!(err, RefreshError::TableShrank { .. }), "{:?}", err);
+        // ...and keeps answering exactly as before the failed call.
+        prop_assert_eq!(&answers(&engine, &grown), &before, "TableShrank left damage");
+        // A refresh against the right database still works afterwards.
+        prop_assert!(engine.refresh(&grown).unwrap().delta.is_empty());
+        prop_assert_eq!(&answers(&engine, &grown), &before, "no-op refresh changed answers");
+
+        // CatalogShrank: an engine over a database with one extra table
+        // refuses to refresh against one without it — same invariant.
+        let mut wider = grown.clone();
+        let extra = wider
+            .create_table("Extra", &[("Patient", DataType::Int), ("Y", DataType::Int)])
+            .unwrap();
+        wider.insert(extra, vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let mut engine = Engine::new(&wider);
+        let before = answers(&engine, &wider);
+        let err = engine.refresh(&grown).unwrap_err();
+        prop_assert!(matches!(err, RefreshError::CatalogShrank { .. }), "{:?}", err);
+        prop_assert_eq!(&answers(&engine, &wider), &before, "CatalogShrank left damage");
+        prop_assert!(engine.refresh(&wider).unwrap().delta.is_empty());
+    }
 }
 
 // ------------------------------------------------ concurrent snapshot handoff
@@ -523,106 +600,62 @@ proptest! {
 /// contents (same seq ⇒ same log length).
 #[test]
 fn shared_engine_readers_always_observe_a_published_epoch() {
-    let h = Hospital::generate(SynthConfig::tiny());
-    let spec = LogSpec::conventional(&h.db).unwrap();
-    let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
-    let explainer = Explainer::new(t.all().into_iter().cloned().collect());
-    let suite: Vec<ChainQuery> = explainer
-        .templates()
-        .iter()
-        .map(|t| t.path.to_chain_query(&spec))
-        .collect();
-    let users = eba::audit::fake::user_pool(&h.db);
-    let patients: Vec<Value> = (0..h.world.n_patients())
-        .map(|p| h.patient_value(p))
-        .collect();
-    let t_log = h.t_log;
-    let cols = h.log_cols;
-    let days = h.config.days;
-
-    let shared = SharedEngine::new(h.db.clone());
+    let world = common::AuditWorld::tiny(SynthConfig::tiny().seed);
+    let spec = &world.spec;
+    let suite = world.suite();
+    let shared = SharedEngine::new(world.hospital.db.clone());
     let rounds = 4u64;
-    let done = std::sync::atomic::AtomicBool::new(false);
-    // seq -> log length, filled in by whoever observes the epoch first;
-    // later observers of the same seq must agree (epochs are immutable).
-    let observed: std::sync::Mutex<std::collections::HashMap<u64, usize>> =
-        std::sync::Mutex::new(std::collections::HashMap::new());
-    let observe = |seq: u64, log_len: usize| {
-        let mut map = observed.lock().unwrap();
-        let prior = map.insert(seq, log_len);
-        assert!(
-            prior.is_none_or(|len| len == log_len),
-            "seq {seq}: observers disagree on the epoch's log length"
-        );
-    };
+    let epochs = common::EpochLog::new();
+    // Pin down the initial epoch before any thread runs: under a loaded
+    // scheduler the writer can publish seq 1 before a reader's first
+    // load, and seq 0 would otherwise go unobserved.
+    epochs.observe(0, shared.load().db().table(spec.table).len());
 
-    std::thread::scope(|scope| {
-        for _ in 0..3 {
-            scope.spawn(|| {
-                let mut last_seq = 0u64;
-                let mut checked = 0usize;
-                loop {
-                    let finished = done.load(std::sync::atomic::Ordering::Relaxed);
-                    let epoch = shared.load();
-                    assert!(epoch.seq() >= last_seq, "epoch went backwards");
-                    last_seq = epoch.seq();
-                    observe(epoch.seq(), epoch.db().table(spec.table).len());
-                    // The answer must be the published epoch's answer: the
-                    // engine agrees with the reference row evaluator over
-                    // the epoch's own frozen database, for the whole suite.
-                    let q = &suite[checked % suite.len()];
-                    assert_eq!(
-                        epoch
-                            .engine()
-                            .explained_rows(epoch.db(), q, EvalOptions::default())
-                            .unwrap(),
-                        q.explained_rows(epoch.db(), EvalOptions::default())
-                            .unwrap(),
-                        "epoch {} inconsistent",
-                        epoch.seq()
-                    );
-                    checked += 1;
-                    if finished {
-                        break;
-                    }
-                }
-                assert!(checked > 0);
-            });
-        }
-        for round in 0..rounds {
-            let (_, report) = shared.ingest(|db| {
-                eba::audit::fake::FakeLog::inject(
-                    db,
-                    t_log,
-                    &cols,
-                    &users,
-                    &patients,
-                    25,
-                    days,
-                    0xF00 + round,
+    common::readers_vs_writer(
+        3,
+        |_, done| {
+            let mut last_seq = 0u64;
+            common::reader_loop(done, |checked| {
+                let epoch = shared.load();
+                assert!(epoch.seq() >= last_seq, "epoch went backwards");
+                last_seq = epoch.seq();
+                epochs.observe(epoch.seq(), epoch.db().table(spec.table).len());
+                // The answer must be the published epoch's answer: the
+                // engine agrees with the reference row evaluator over
+                // the epoch's own frozen database, for the whole suite.
+                let q = &suite[checked % suite.len()];
+                assert_eq!(
+                    epoch
+                        .engine()
+                        .explained_rows(epoch.db(), q, EvalOptions::default())
+                        .unwrap(),
+                    q.explained_rows(epoch.db(), EvalOptions::default())
+                        .unwrap(),
+                    "epoch {} inconsistent",
+                    epoch.seq()
                 );
             });
-            assert_eq!(report.seq, round + 1);
-            assert!(report.rebuilt.is_none());
-            observe(report.seq, shared.load().db().table(spec.table).len());
-        }
-        done.store(true, std::sync::atomic::Ordering::Relaxed);
-    });
+        },
+        || {
+            for round in 0..rounds {
+                let (_, report) = shared.ingest(|db| {
+                    world.inject_batch(db, 25, 0xF00 + round);
+                });
+                assert_eq!(report.seq, round + 1);
+                assert!(report.rebuilt.is_none());
+                epochs.observe(report.seq, shared.load().db().table(spec.table).len());
+            }
+        },
+    );
 
     // Every published epoch was observed with a strictly growing log.
-    let map = observed.into_inner().unwrap();
-    let mut lens: Vec<(u64, usize)> = map.into_iter().collect();
-    lens.sort_unstable();
-    assert_eq!(lens.len() as u64, rounds + 1);
-    for w in lens.windows(2) {
-        assert!(w[0].1 < w[1].1, "log grows with every epoch");
-    }
+    epochs.assert_log_grew_each_epoch(rounds);
     // And the final epoch matches the per-query path on its own database.
     let last = shared.load();
     assert_eq!(last.seq(), rounds);
     assert_eq!(
-        explainer.explained_rows_at(&spec, &last),
-        explainer.explained_rows(last.db(), &spec)
+        world.explainer.explained_rows_at(spec, &last),
+        world.explainer.explained_rows(last.db(), spec)
     );
 }
 
