@@ -165,8 +165,9 @@ mod tests {
         // Pick the most-accessed patient.
         let log = h.db.table(h.t_log);
         let idx = log.index(h.log_cols.patient);
-        let (&patient, rows) = idx
+        let (patient, rows) = idx
             .groups()
+            .into_iter()
             .max_by_key(|(_, rows)| rows.len())
             .expect("log not empty");
         let expected = rows.len();

@@ -283,6 +283,98 @@ fn main() {
         );
     }
 
+    // Epoch publication cost: what one published epoch *copies*. The
+    // baseline simulates flat storage — every `Value` cell of the
+    // database plus every interned `u32` cell of the engine snapshot is
+    // copied, which is exactly the memcpy a flat `Database::clone` +
+    // `Engine::fork` paid per ingest. The engine side runs the real
+    // thing: a full segmented `SharedEngine::ingest` (clone + fork +
+    // incremental refresh + publish), which shares all sealed segments
+    // and copies only tails — `O(batch)`. The `_large` variant re-runs
+    // both sides after growing the database ~8x with the *same* batch
+    // size: the flat copy grows with the database, the segmented
+    // publication does not. The note records the copy-meter evidence.
+    {
+        let shared = SharedEngine::new(db.clone());
+        explainer.explained_rows_at(spec, &shared.load()); // warm the caches
+        let seed = std::cell::Cell::new(0xD0_0000u64);
+        let ingest_once = |shared: &SharedEngine| {
+            seed.set(seed.get() + 1);
+            let s = seed.get();
+            shared.ingest(|db_side| {
+                FakeLog::inject(db_side, t_log, cols, &users, &patients, append, days, s);
+            });
+        };
+
+        let publish_workload = |name: String, shared: &SharedEngine| -> Workload {
+            // Baseline: flat-storage publication copy of the current epoch.
+            let mut sink_v: Vec<Value> = Vec::new();
+            let mut sink_u: Vec<u32> = Vec::new();
+            let baseline = eba_bench::harness::measure(samples, || {
+                let epoch = shared.load();
+                sink_v.clear();
+                sink_u.clear();
+                for tid in epoch.db().table_ids() {
+                    for (_, row) in epoch.db().table(tid).iter() {
+                        sink_v.extend_from_slice(row);
+                    }
+                    for col in &epoch.engine().snapshot().table(tid).cols {
+                        sink_u.extend(col.iter().copied());
+                    }
+                }
+                std::hint::black_box(sink_v.len() + sink_u.len());
+            });
+            // Engine: the real segmented publication of one batch.
+            let engine_side = eba_bench::harness::measure(samples, || ingest_once(shared));
+            // Copy-meter evidence for one more publication.
+            eba_relational::segment::reset_copied_bytes();
+            ingest_once(shared);
+            let seg_bytes = eba_relational::segment::copied_bytes();
+            let epoch = shared.load();
+            let mut flat_bytes = 0u64;
+            let mut log_rows = 0usize;
+            for tid in epoch.db().table_ids() {
+                let t = epoch.db().table(tid);
+                if tid == t_log {
+                    log_rows = t.len();
+                }
+                flat_bytes +=
+                    (t.len() * t.schema().arity()) as u64 * std::mem::size_of::<Value>() as u64;
+                let it = epoch.engine().snapshot().table(tid);
+                flat_bytes += (it.n_rows * it.cols.len()) as u64 * 4;
+            }
+            Workload {
+                name,
+                baseline,
+                engine: engine_side,
+                samples,
+                note: Some(format!(
+                    "bytes copied per published epoch: segmented {} vs flat {} \
+                     ({:.1}x fewer; {} log rows, batch {})",
+                    seg_bytes,
+                    flat_bytes,
+                    flat_bytes as f64 / (seg_bytes.max(1)) as f64,
+                    log_rows,
+                    append,
+                )),
+            }
+        };
+
+        workloads.push(publish_workload(
+            format!("publish/ingest_epoch_cost{append}"),
+            &shared,
+        ));
+        // Grow the database ~8x (same batch size), then measure again.
+        let before = shared.load().db().table(t_log).len();
+        while shared.load().db().table(t_log).len() < before * 8 {
+            ingest_once(&shared);
+        }
+        workloads.push(publish_workload(
+            format!("publish/ingest_epoch_cost{append}_large"),
+            &shared,
+        ));
+    }
+
     // Concurrent handoff: reader sessions ask the suite question at the
     // exact moment an ingest+refresh cycle is in flight. The baseline
     // serializes everything behind one mutex (the coupling `&mut Engine`

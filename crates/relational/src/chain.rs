@@ -454,7 +454,7 @@ impl ChainQuery {
                 let table = db.table(step.table);
                 next.clear();
                 for v in frontier.iter() {
-                    for &cand in index.get(*v) {
+                    for cand in index.rows_of(*v) {
                         // Self-join on the log itself must not bind the
                         // anchor row as its own witness when the decoration
                         // compares the anchor to the step (e.g. repeat
@@ -531,7 +531,7 @@ impl ChainQuery {
             let index = table.index(step.enter_col);
             next.clear();
             for v in frontier.iter() {
-                for &cand in index.get(*v) {
+                for cand in index.rows_of(*v) {
                     let row = table.row(cand);
                     if step.passes_all_filters(row, anchor) {
                         let exit = row[step.exit_col];
@@ -635,7 +635,7 @@ impl ChainQuery {
         let step = &self.steps[depth];
         let table = db.table(step.table);
         let index = table.index(step.enter_col);
-        for &cand in index.get(current) {
+        for cand in index.rows_of(current) {
             if out.len() >= limit {
                 return;
             }

@@ -66,17 +66,23 @@ pub struct Database {
     self_join_attrs: Vec<AttrRef>,
     pool: StringPool,
     stats_cache: RwLock<HashMap<AttrRef, ColumnStats>>,
+    seg_rows: usize,
 }
 
 impl Clone for Database {
     fn clone(&self) -> Self {
         Database {
+            // Tables are segmented ([`crate::segment::SegVec`]): the
+            // clone shares every sealed row segment by pointer and copies
+            // only each table's small mutable tail — this is what makes
+            // epoch publication `O(batch)`.
             tables: self.tables.clone(),
             by_name: self.by_name.clone(),
             relationships: self.relationships.clone(),
             self_join_attrs: self.self_join_attrs.clone(),
             pool: self.pool.clone(),
             stats_cache: RwLock::new(unpoison(self.stats_cache.read()).clone()),
+            seg_rows: self.seg_rows,
         }
     }
 }
@@ -97,6 +103,30 @@ impl Database {
             self_join_attrs: Vec::new(),
             pool: StringPool::new(),
             stats_cache: RwLock::new(HashMap::new()),
+            seg_rows: crate::segment::DEFAULT_SEGMENT_ROWS,
+        }
+    }
+
+    /// Sets the row-segment capacity used by tables created *after* this
+    /// call (existing tables keep theirs). Tests use tiny capacities to
+    /// exercise segment sealing and cross-epoch sharing on small data.
+    pub fn set_segment_rows(&mut self, seg_rows: usize) {
+        assert!(seg_rows > 0, "segment capacity must be positive");
+        self.seg_rows = seg_rows;
+    }
+
+    /// The row-segment capacity tables created next will use.
+    pub fn segment_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Seals every table's mutable tail into immutable shared segments
+    /// (contents and row ids unchanged — only the share boundary moves),
+    /// so the next clone of this database copies nothing but empty
+    /// tails.
+    pub fn seal(&mut self) {
+        for t in &mut self.tables {
+            t.seal();
         }
     }
 
@@ -108,8 +138,10 @@ impl Database {
             return Err(Error::DuplicateTable(name.to_string()));
         }
         let id = TableId(self.tables.len());
-        self.tables
-            .push(Table::new(TableSchema::new(name, columns)));
+        self.tables.push(Table::with_segment_rows(
+            TableSchema::new(name, columns),
+            self.seg_rows,
+        ));
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }

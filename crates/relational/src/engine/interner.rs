@@ -14,20 +14,45 @@
 //! equi-joins" rule the row evaluator applies.
 
 use crate::database::Database;
+use crate::segment::{LayeredMap, SegVec};
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// Reserved id for SQL NULL. Never joins, never enters step maps.
 pub const NULL_ID: u32 = u32::MAX;
 
 /// Bijection between distinct non-null [`Value`]s and dense `u32` ids.
-#[derive(Debug, Default, Clone)]
+///
+/// Both directions are stored in epoch-shareable form: `id → value` is a
+/// segmented [`SegVec`] (sealed segments `Arc`-shared between forks),
+/// `value → id` an LSM-style [`LayeredMap`] (immutable layers shared,
+/// only the small tail copied). Cloning the interner — half of what
+/// [`Engine::fork`](super::Engine::fork) does — is therefore `O(recent
+/// values)`, not `O(distinct values)`; without this the reverse map alone
+/// would make every epoch publication `O(database)` again (log ids are
+/// distinct per row).
+#[derive(Debug, Clone)]
 pub struct Interner {
-    ids: HashMap<Value, u32>,
-    values: Vec<Value>,
+    ids: LayeredMap<Value, u32>,
+    values: SegVec<Value>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::with_granularity(crate::segment::DEFAULT_SEGMENT_ROWS)
+    }
 }
 
 impl Interner {
+    /// An empty interner sealing its value segments (and lookup layers)
+    /// every `granularity` entries. [`InternedDb::snapshot`] mirrors the
+    /// source database's segment capacity so publication cost bounds
+    /// track the database's own.
+    pub fn with_granularity(granularity: usize) -> Self {
+        Interner {
+            ids: LayeredMap::with_tail_cap(granularity.max(1)),
+            values: SegVec::new(granularity.max(1)),
+        }
+    }
     /// Interns `v`, returning its dense id.
     ///
     /// # Panics
@@ -58,7 +83,7 @@ impl Interner {
         if id == NULL_ID {
             Value::Null
         } else {
-            self.values[id as usize]
+            *self.values.get(id as usize)
         }
     }
 
@@ -73,11 +98,15 @@ impl Interner {
     }
 }
 
-/// One table stored column-major as interned ids.
+/// One table stored column-major as interned ids, each column a
+/// segmented [`SegVec`]: sealed segments are immutable and `Arc`-shared
+/// between engine forks (epochs), the tail is what a fork copies.
 #[derive(Debug, Clone)]
 pub struct InternedTable {
-    /// `cols[c][r]` is the interned id of cell `(r, c)`.
-    pub cols: Vec<Vec<u32>>,
+    /// `cols[c][r]` is the interned id of cell `(r, c)`. Full scans
+    /// should iterate [`SegVec::chunks`]/[`SegVec::iter`] rather than
+    /// index row-by-row.
+    pub cols: Vec<SegVec<u32>>,
     /// Number of rows.
     pub n_rows: usize,
 }
@@ -140,6 +169,14 @@ pub enum RefreshError {
         /// Tables the database now reports.
         now: usize,
     },
+    /// The caller declared the database **replaced** rather than extended
+    /// (an operator reload): even when every table's row count lines up,
+    /// existing cells may differ, so an incremental refresh — which skips
+    /// rows it has already interned — would silently keep answering from
+    /// the replaced data. [`SharedEngine::replace`](super::SharedEngine)
+    /// refuses the incremental path up front with this reason and
+    /// rebuilds from scratch.
+    Replaced,
 }
 
 impl std::fmt::Display for RefreshError {
@@ -154,6 +191,11 @@ impl std::fmt::Display for RefreshError {
                 f,
                 "catalog shrank ({had} -> {now} tables): snapshots only refresh \
                  against the append-only database they were built from"
+            ),
+            RefreshError::Replaced => write!(
+                f,
+                "database replaced wholesale: a replacement is never assumed to be \
+                 an append-only extension of the published epoch"
             ),
         }
     }
@@ -186,7 +228,7 @@ impl InternedDb {
     pub fn snapshot(db: &Database) -> Self {
         let mut snap = InternedDb {
             tables: Vec::new(),
-            interner: Interner::default(),
+            interner: Interner::with_granularity(db.segment_rows()),
         };
         snap.refresh(db)
             .expect("a fresh snapshot has nothing to shrink");
@@ -233,16 +275,17 @@ impl InternedDb {
             } else {
                 debug_assert_eq!(tid.0, self.tables.len(), "table ids are dense");
                 self.tables.push(InternedTable {
-                    cols: vec![Vec::new(); table.schema().arity()],
+                    // Mirror the source table's segment capacity so the
+                    // snapshot's share boundaries track the database's.
+                    cols: (0..table.schema().arity())
+                        .map(|_| SegVec::new(table.segment_rows()))
+                        .collect(),
                     n_rows: 0,
                 });
                 self.tables.last_mut().expect("just pushed")
             };
             if table.len() == it.n_rows {
                 continue;
-            }
-            for col in &mut it.cols {
-                col.reserve(table.len() - it.n_rows);
             }
             for r in it.n_rows..table.len() {
                 for (c, v) in table.row(r as crate::table::RowId).iter().enumerate() {

@@ -45,10 +45,14 @@
 //! On refresh, for every table that gained rows (or was created since the
 //! last snapshot):
 //!
-//! * **step maps and row maps over that table** are dropped — their CSR
-//!   arrays describe the old rows — and are lazily rebuilt on next use;
-//! * **log partitions anchored on that table** (the `(start, close) → rows`
-//!   groupings) are dropped likewise;
+//! * **step maps over that table** are dropped — their CSR arrays
+//!   describe the old rows — and are lazily rebuilt on next use;
+//! * **row maps and log partitions over that table** are **kept**: they
+//!   are chunked by row range ([`stepmap::RowMapChunks`],
+//!   [`GroupChunks`]), and because tables are append-only a chunk over
+//!   old rows stays exact forever — growth appends one chunk over just
+//!   the new rows on next use (`O(batch)`), with periodic compaction
+//!   bounding the chunk count;
 //! * everything else is **kept**: a step/row map over an un-grown table
 //!   stays exact even though the id space grew, because a newly-interned
 //!   value cannot occur in rows that have not changed (probing such a map
@@ -113,7 +117,7 @@ use crate::table::RowId;
 use crate::types::ColId;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use stepmap::{RowMap, StepKey, StepMap};
+use stepmap::{RowMap, RowMapChunks, StepKey, StepMap, MAX_CACHE_CHUNKS};
 
 /// A shared evaluation engine over one database snapshot. See the module
 /// docs.
@@ -121,24 +125,30 @@ use stepmap::{RowMap, StepKey, StepMap};
 pub struct Engine {
     snapshot: InternedDb,
     cache: Mutex<HashMap<StepKey, Arc<StepMap>>>,
-    groups: Mutex<HashMap<GroupKey, Arc<LogGroups>>>,
+    groups: Mutex<HashMap<GroupKey, GroupChunks>>,
     /// `(table, enter_col) → rows` maps for the anchor-dependent per-row
     /// path; filter-free identity, so every decorated query shares them.
-    rowmaps: Mutex<HashMap<(TableId, ColId), Arc<RowMap>>>,
+    /// Chunked by row range: growth appends a chunk over the new rows.
+    rowmaps: Mutex<HashMap<(TableId, ColId), RowMapChunks>>,
 }
 
-/// What one [`Engine::refresh`] did: the snapshot delta plus how many
-/// cached structures had to be dropped (everything else stayed warm).
+/// What one [`Engine::refresh`] did: the snapshot delta, how many step
+/// maps had to be dropped, and how many chunked caches merely went stale
+/// (they extend themselves over just the appended rows on next use —
+/// `O(batch)`, not a rebuild).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefreshStats {
     /// Which tables grew, how many rows/values were appended.
     pub delta: RefreshDelta,
-    /// Step maps dropped because their table grew.
+    /// Step maps dropped because their table grew (rebuilt lazily from a
+    /// full scan on next use — their CSR identity is whole-table).
     pub dropped_step_maps: usize,
-    /// Log partitions dropped because their log table grew.
-    pub dropped_partitions: usize,
-    /// Per-row maps dropped because their table grew.
-    pub dropped_row_maps: usize,
+    /// Log partitions left stale by the append: **kept**, and extended
+    /// over only the new rows when next queried.
+    pub stale_partitions: usize,
+    /// Per-row maps left stale by the append: **kept**, and extended
+    /// over only the new rows when next queried.
+    pub stale_row_maps: usize,
 }
 
 /// Identity of a log grouping: all queries sharing the anchor shape (same
@@ -170,12 +180,25 @@ impl GroupKey {
 /// One close bucket of a start group: `(close id, rows)`.
 type CloseBucket = (u32, Vec<RowId>);
 
-/// The log partitioned by `(start id, close id)`, flattened for iteration.
+/// One chunk of a log partition: a contiguous row range grouped by
+/// `(start id, close id)`. Chunks over already-partitioned rows are
+/// immutable and `Arc`-shared across engine forks; growth appends a new
+/// chunk over just the appended rows ([`GroupChunks`]).
 #[derive(Debug)]
-struct LogGroups {
-    /// `(start, per-close rows)`; for open queries the close id is
-    /// [`NULL_ID`] (one bucket per start).
-    by_start: Vec<(u32, Vec<CloseBucket>)>,
+struct GroupChunk {
+    /// `start → per-close rows` within this chunk's range; for open
+    /// queries the close id is [`NULL_ID`] (one bucket per start).
+    by_start: HashMap<u32, Vec<CloseBucket>>,
+}
+
+/// The chunked per-anchor-shape log partition: `Arc`-shared chunks over
+/// disjoint row ranges covering `[0, covered)` of the log.
+#[derive(Debug, Clone, Default)]
+struct GroupChunks {
+    chunks: Vec<Arc<GroupChunk>>,
+    /// Log rows covered by the chunks (the log's `n_rows` when last
+    /// extended).
+    covered: usize,
 }
 
 impl Engine {
@@ -235,19 +258,23 @@ impl Engine {
         let maps_before = cache.len();
         cache.retain(|key, _| !grown.contains(&key.table));
         let dropped_step_maps = maps_before - cache.len();
-        let groups = unpoison(self.groups.get_mut());
-        let parts_before = groups.len();
-        groups.retain(|key, _| !grown.contains(&key.log));
-        let dropped_partitions = parts_before - groups.len();
-        let rowmaps = unpoison(self.rowmaps.get_mut());
-        let rowmaps_before = rowmaps.len();
-        rowmaps.retain(|(table, _), _| !grown.contains(table));
-        let dropped_row_maps = rowmaps_before - rowmaps.len();
+        // Chunked caches are *kept*: a partition or row map over rows that
+        // existed before the append is still exact (tables are
+        // append-only), so growth only marks them stale — they extend
+        // themselves over the new rows on next use, in `O(batch)`.
+        let stale_partitions = unpoison(self.groups.get_mut())
+            .keys()
+            .filter(|key| grown.contains(&key.log))
+            .count();
+        let stale_row_maps = unpoison(self.rowmaps.get_mut())
+            .keys()
+            .filter(|(table, _)| grown.contains(table))
+            .count();
         Ok(RefreshStats {
             delta,
             dropped_step_maps,
-            dropped_partitions,
-            dropped_row_maps,
+            stale_partitions,
+            stale_row_maps,
         })
     }
 
@@ -379,7 +406,7 @@ impl Engine {
     where
         R: Send,
         EV: Fn(&ChainQuery, &[Arc<StepMap>]) -> R + Sync,
-        AD: Fn(&ChainQuery, &[Arc<RowMap>]) -> R + Sync,
+        AD: Fn(&ChainQuery, &[RowMapChunks]) -> R + Sync,
     {
         let mut results: Vec<Option<Result<R>>> = queries
             .iter()
@@ -415,7 +442,7 @@ impl Engine {
 
         enum Prepared {
             Grouped(Vec<Arc<StepMap>>),
-            PerRow(Vec<Arc<RowMap>>),
+            PerRow(Vec<RowMapChunks>),
         }
         let with_maps: Vec<(usize, &ChainQuery, Prepared)> = batch
             .into_iter()
@@ -492,26 +519,54 @@ impl Engine {
     }
 
     /// The row maps of `q`'s steps (for the anchor-dependent per-row
-    /// path), building any that are missing.
-    fn rowmaps_for(&self, q: &ChainQuery) -> Vec<Arc<RowMap>> {
+    /// path), building or **extending** any that are missing or stale:
+    /// a stale entry gains one chunk over just the appended rows.
+    fn rowmaps_for(&self, q: &ChainQuery) -> Vec<RowMapChunks> {
         q.steps
             .iter()
-            .map(|step| {
-                let key = (step.table, step.enter_col);
-                if let Some(map) = unpoison(self.rowmaps.lock()).get(&key) {
-                    return map.clone();
-                }
-                let built = Arc::new(RowMap::build(
-                    self.snapshot.table(step.table),
-                    step.enter_col,
-                    self.snapshot.interner.len(),
-                ));
-                unpoison(self.rowmaps.lock())
-                    .entry(key)
-                    .or_insert(built)
-                    .clone()
-            })
+            .map(|step| self.rowmap_for(step.table, step.enter_col))
             .collect()
+    }
+
+    fn rowmap_for(&self, table: TableId, col: ColId) -> RowMapChunks {
+        let key = (table, col);
+        let it = self.snapshot.table(table);
+        let n_rows = it.n_rows;
+        let mut state = match unpoison(self.rowmaps.lock()).get(&key) {
+            Some(state) if state.covered == n_rows => return state.clone(),
+            Some(state) => state.clone(),
+            None => RowMapChunks::default(),
+        };
+        // Extend outside the lock: scan only the uncovered suffix.
+        state.chunks.push(Arc::new(RowMap::build_range(
+            it,
+            col,
+            state.covered,
+            n_rows,
+        )));
+        state.covered = n_rows;
+        if state.chunks.len() > MAX_CACHE_CHUNKS {
+            // Amortized compaction: one full rebuild every
+            // `MAX_CACHE_CHUNKS` extensions bounds per-probe overhead.
+            state.chunks = vec![Arc::new(RowMap::build(it, col))];
+        }
+        let mut cache = unpoison(self.rowmaps.lock());
+        match cache.get(&key) {
+            // A concurrent extender got further, or as far with no more
+            // chunks (ties prefer the compacter state, so a paid-for
+            // compaction is never discarded): theirs wins.
+            Some(existing)
+                if existing.covered > state.covered
+                    || (existing.covered == state.covered
+                        && existing.chunks.len() <= state.chunks.len()) =>
+            {
+                existing.clone()
+            }
+            _ => {
+                cache.insert(key, state.clone());
+                state
+            }
+        }
     }
 
     // ----------------------------------------------------------- evaluation
@@ -519,32 +574,38 @@ impl Engine {
     /// Whether interned log row `r` passes the anchor filters.
     #[inline]
     fn anchor_passes(&self, q: &ChainQuery, log: &InternedTable, r: usize) -> bool {
-        q.anchor_filters.iter().all(|(col, op, v)| {
+        self.anchor_passes_filters(&q.anchor_filters, log, r)
+    }
+
+    #[inline]
+    fn anchor_passes_filters(
+        &self,
+        filters: &[(ColId, crate::chain::CmpOp, crate::value::Value)],
+        log: &InternedTable,
+        r: usize,
+    ) -> bool {
+        filters.iter().all(|(col, op, v)| {
             let lhs = self.snapshot.interner.value(log.cols[*col][r]);
             op.eval(&lhs, v)
         })
     }
 
-    /// The `(start, close) → rows` partition of a query's anchor shape,
-    /// computed once per engine and shared by every query with the same
-    /// shape (one scan of the log instead of one per candidate).
-    fn groups_for(&self, q: &ChainQuery) -> Arc<LogGroups> {
-        let key = GroupKey::of(q);
-        if let Some(groups) = unpoison(self.groups.lock()).get(&key) {
-            return groups.clone();
-        }
-        let log = self.snapshot.table(q.log);
+    /// Builds one partition chunk for rows `[from, to)` of the key's log.
+    fn build_group_chunk(&self, key: &GroupKey, from: usize, to: usize) -> GroupChunk {
+        let log = self.snapshot.table(key.log);
         // start id -> (close id, or NULL_ID for open queries) -> rows.
+        // The start column drives the scan chunk-wise (no per-element
+        // segment resolution); close/filter columns are probed per
+        // surviving row.
         let mut groups: HashMap<u32, HashMap<u32, Vec<RowId>>> = HashMap::new();
-        for r in 0..log.n_rows {
-            if !self.anchor_passes(q, log, r) {
-                continue;
-            }
-            let start = log.cols[q.start_col][r];
+        for (r, &start) in log.cols[key.start_col].iter_range(from, to) {
             if start == NULL_ID {
                 continue;
             }
-            let close = match q.close_col {
+            if !self.anchor_passes_filters(&key.anchor_filters, log, r) {
+                continue;
+            }
+            let close = match key.close_col {
                 Some(c) => {
                     let v = log.cols[c][r];
                     if v == NULL_ID {
@@ -561,15 +622,50 @@ impl Engine {
                 .or_default()
                 .push(r as RowId);
         }
-        let by_start = groups
-            .into_iter()
-            .map(|(start, closes)| (start, closes.into_iter().collect()))
-            .collect();
-        let built = Arc::new(LogGroups { by_start });
-        unpoison(self.groups.lock())
-            .entry(key)
-            .or_insert(built)
-            .clone()
+        GroupChunk {
+            by_start: groups
+                .into_iter()
+                .map(|(start, closes)| (start, closes.into_iter().collect()))
+                .collect(),
+        }
+    }
+
+    /// The `(start, close) → rows` partition of a query's anchor shape,
+    /// computed once per engine and shared by every query with the same
+    /// shape (one scan of the log instead of one per candidate). When the
+    /// log has grown since the partition was built, it is **extended** by
+    /// a chunk over just the new rows — `O(batch)`, with the old chunks
+    /// still shared across forks.
+    fn groups_for(&self, q: &ChainQuery) -> GroupChunks {
+        let key = GroupKey::of(q);
+        let n_rows = self.snapshot.table(q.log).n_rows;
+        let mut state = match unpoison(self.groups.lock()).get(&key) {
+            Some(state) if state.covered == n_rows => return state.clone(),
+            Some(state) => state.clone(),
+            None => GroupChunks::default(),
+        };
+        let chunk = self.build_group_chunk(&key, state.covered, n_rows);
+        state.chunks.push(Arc::new(chunk));
+        state.covered = n_rows;
+        if state.chunks.len() > MAX_CACHE_CHUNKS {
+            state.chunks = vec![Arc::new(self.build_group_chunk(&key, 0, n_rows))];
+        }
+        let mut cache = unpoison(self.groups.lock());
+        match cache.get(&key) {
+            // See `rowmap_for`: further coverage wins; ties prefer the
+            // state with fewer chunks so compactions are kept.
+            Some(existing)
+                if existing.covered > state.covered
+                    || (existing.covered == state.covered
+                        && existing.chunks.len() <= state.chunks.len()) =>
+            {
+                existing.clone()
+            }
+            _ => {
+                cache.insert(key, state.clone());
+                state
+            }
+        }
     }
 
     /// Pair-invariant evaluation on interned ids (sorted ascending, exactly
@@ -582,15 +678,32 @@ impl Engine {
 
     /// The explained rows in group-iteration (arbitrary) order — the
     /// support path uses this to skip the sort it doesn't need.
+    ///
+    /// The partition is chunked by row range ([`GroupChunks`]); the chain
+    /// is still walked **once per distinct start across all chunks**
+    /// (deduplicated via the scratch bitset), so chunking never repeats a
+    /// walk — each surviving start then collects its rows from every
+    /// chunk's bucket.
     fn explained_grouped_unsorted(&self, q: &ChainQuery, maps: &[Arc<StepMap>]) -> Vec<RowId> {
         let groups = self.groups_for(q);
         let mut out = Vec::new();
         with_scratch_marks(self.snapshot.interner.len(), |marks| {
+            // Distinct starts across chunks.
+            let mut starts: Vec<u32> = Vec::new();
+            for chunk in &groups.chunks {
+                for &start in chunk.by_start.keys() {
+                    if marks.insert(start) {
+                        starts.push(start);
+                    }
+                }
+            }
+            marks.remove_all(&starts);
+
             let mut frontier: Vec<u32> = Vec::new();
             let mut next: Vec<u32> = Vec::new();
-            for (start, closes) in &groups.by_start {
+            for &start in &starts {
                 frontier.clear();
-                frontier.push(*start);
+                frontier.push(start);
                 let mut dead = false;
                 for map in maps {
                     next.clear();
@@ -613,17 +726,25 @@ impl Engine {
                 }
                 match q.close_col {
                     None => {
-                        for (_, rows) in closes {
-                            out.extend_from_slice(rows);
+                        for chunk in &groups.chunks {
+                            if let Some(closes) = chunk.by_start.get(&start) {
+                                for (_, rows) in closes {
+                                    out.extend_from_slice(rows);
+                                }
+                            }
                         }
                     }
                     Some(_) => {
                         for &v in &frontier {
                             marks.insert(v);
                         }
-                        for (close, rows) in closes {
-                            if marks.contains(*close) {
-                                out.extend_from_slice(rows);
+                        for chunk in &groups.chunks {
+                            if let Some(closes) = chunk.by_start.get(&start) {
+                                for (close, rows) in closes {
+                                    if marks.contains(*close) {
+                                        out.extend_from_slice(rows);
+                                    }
+                                }
                             }
                         }
                         marks.remove_all(&frontier);
@@ -659,7 +780,7 @@ impl Engine {
     /// fallback, but probing shared CSR row maps instead of per-call hash
     /// indexes, with bitset frontiers instead of `HashSet<Value>`s.
     /// Returns rows in ascending order (the scan order).
-    fn explained_anchor_dep(&self, q: &ChainQuery, rowmaps: &[Arc<RowMap>]) -> Vec<RowId> {
+    fn explained_anchor_dep(&self, q: &ChainQuery, rowmaps: &[RowMapChunks]) -> Vec<RowId> {
         let log = self.snapshot.table(q.log);
         let interner = &self.snapshot.interner;
         let step_tables: Vec<&InternedTable> = q
@@ -685,7 +806,7 @@ impl Engine {
                 for ((step, table), rowmap) in q.steps.iter().zip(&step_tables).zip(rowmaps) {
                     next.clear();
                     for &v in &frontier {
-                        'rows: for &cand in rowmap.rows_of(v) {
+                        'rows: for cand in rowmap.rows_of(v) {
                             let cand = cand as usize;
                             for f in &step.filters {
                                 let lhs = interner.value(table.cols[f.col][cand]);
@@ -1041,7 +1162,7 @@ mod tests {
         // Only the Appointments map is dropped; Doctor_Info maps and the
         // log partition stay warm.
         assert_eq!(stats.dropped_step_maps, 1);
-        assert_eq!(stats.dropped_partitions, 0);
+        assert_eq!(stats.stale_partitions, 0);
         assert_eq!(engine.cached_step_maps(), 2);
         assert_eq!(engine.cached_partitions(), 1);
         for q in [&qa, &qb] {
@@ -1051,7 +1172,8 @@ mod tests {
             );
         }
 
-        // Append a log row: the partition goes, the step maps stay.
+        // Append a log row: the partition goes stale (kept, extended
+        // over just the new row on next use); the step maps stay.
         db.insert(
             log,
             vec![Value::Int(3), Value::Date(3), Value::Int(2), Value::Int(10)],
@@ -1059,8 +1181,13 @@ mod tests {
         .unwrap();
         let stats = engine.refresh(&db).unwrap();
         assert_eq!(stats.delta.grown, vec![log]);
-        assert_eq!(stats.dropped_partitions, 1);
+        assert_eq!(stats.stale_partitions, 1);
         assert_eq!(stats.dropped_step_maps, 0);
+        assert_eq!(
+            engine.cached_partitions(),
+            1,
+            "the stale partition is kept, not dropped"
+        );
         for q in [&qa, &qb] {
             assert_eq!(
                 engine.explained_rows(&db, q, opts).unwrap(),

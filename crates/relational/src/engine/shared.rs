@@ -65,13 +65,16 @@
 //!
 //! # Costs
 //!
-//! Publishing pays one clone of the database (a columnar memcpy of `Copy`
-//! values) and one [`Engine::fork`] (snapshot memcpy + cache-map clones of
-//! `Arc`s) per ingest batch, on the writer thread — that is the price of
-//! keeping every published epoch immutable without persistent data
-//! structures. The refresh itself stays incremental (only appended rows
-//! are scanned; caches over un-grown tables stay warm across epochs), so
-//! batch your appends: one `ingest` per arriving batch, not per row.
+//! Publishing pays one clone of the database and one [`Engine::fork`]
+//! per ingest batch, on the writer thread. Storage is segmented
+//! ([`crate::segment`]): both operations share every sealed segment by
+//! pointer and copy only the small mutable tails, so publication is
+//! **`O(batch)`**, not `O(db)` — the storage-equivalence suite and
+//! `audit-bench`'s `publish/ingest_epoch_cost*` workloads meter exactly
+//! this. The refresh itself is incremental too (only appended rows are
+//! scanned; caches over un-grown tables stay warm across epochs, and
+//! log partitions / row maps extend chunk-wise), so batch your appends:
+//! one `ingest` per arriving batch, not per row.
 
 use super::{Engine, RefreshError, RefreshStats};
 use crate::database::Database;
@@ -217,6 +220,34 @@ impl SharedEngine {
         };
         *unpoison(self.current.write()) = Arc::new(Epoch { db, engine, seq });
         (out, report)
+    }
+
+    /// Replaces the published database **wholesale** (an operator reload
+    /// of a corrected dataset) and publishes the successor epoch.
+    ///
+    /// Unlike [`SharedEngine::ingest`], this never attempts the
+    /// incremental refresh: an incremental pass only rescans rows
+    /// *appended* since the snapshot, so a replacement whose row counts
+    /// happen to line up with the published epoch's would keep the
+    /// engine answering from the replaced cells. The engine is rebuilt
+    /// from scratch unconditionally and the report carries
+    /// [`RefreshError::Replaced`] as the rebuild reason, so
+    /// [`IngestReport::fallback_warning`] fires exactly like an
+    /// ingest-path fallback — a reload is an operator-visible event,
+    /// never silently absorbed. Readers pinned to older epochs are
+    /// untouched until their next load.
+    pub fn replace(&self, db: Database) -> IngestReport {
+        let mut next_seq = unpoison(self.writer.lock());
+        let engine = Engine::new(&db);
+        *next_seq += 1;
+        let seq = *next_seq;
+        let report = IngestReport {
+            seq,
+            refresh: RefreshStats::default(),
+            rebuilt: Some(RefreshError::Replaced),
+        };
+        *unpoison(self.current.write()) = Arc::new(Epoch { db, engine, seq });
+        report
     }
 }
 
@@ -384,6 +415,65 @@ mod tests {
             let _ = event;
         });
         assert!(report.fallback_warning().is_none());
+    }
+
+    #[test]
+    fn replace_rebuilds_even_when_nothing_shrank() {
+        // The hole `replace` exists to close: a replacement whose row
+        // counts line up with the published epoch's would pass the
+        // incremental refresh's shrink checks, yet its *cells* differ —
+        // an incremental pass would keep answering from the old data.
+        let (db, log, event) = world();
+        let shared = SharedEngine::new(db);
+        let q = query(log, event);
+        let before = shared
+            .load()
+            .engine()
+            .explained_rows(shared.load().db(), &q, EvalOptions::default())
+            .unwrap();
+        // Same shape, same row counts, different cells: the event now
+        // names actor 2, not 1, so the old answer is wrong for it.
+        let mut corrected = Database::new();
+        let log2 = corrected
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let event2 = corrected
+            .create_table(
+                "Event",
+                &[("Patient", DataType::Int), ("Actor", DataType::Int)],
+            )
+            .unwrap();
+        corrected
+            .insert(event2, vec![Value::Int(7), Value::Int(2)])
+            .unwrap();
+        corrected
+            .insert(log2, vec![Value::Int(0), Value::Int(1), Value::Int(7)])
+            .unwrap();
+        let report = shared.replace(corrected);
+        assert_eq!(report.seq, 1);
+        assert_eq!(report.rebuilt, Some(RefreshError::Replaced));
+        let warning = report.fallback_warning().expect("reload warns");
+        assert!(warning.contains("replaced"), "{warning}");
+        // The published epoch answers from the *corrected* data, exactly
+        // like a from-scratch engine would.
+        let epoch = shared.load();
+        let after = epoch
+            .engine()
+            .explained_rows(epoch.db(), &q, EvalOptions::default())
+            .unwrap();
+        assert_eq!(
+            after,
+            q.explained_rows(epoch.db(), EvalOptions::default())
+                .unwrap()
+        );
+        assert_ne!(after, before, "the corrected cells change the answer");
     }
 
     #[test]

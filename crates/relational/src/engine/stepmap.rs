@@ -92,9 +92,9 @@ impl StepMap {
         let exit_col = &table.cols[key.exit_col];
 
         let mut pairs: Vec<(u32, u32)> = Vec::new();
-        'rows: for r in 0..table.n_rows {
-            let enter = enter_col[r];
-            let exit = exit_col[r];
+        // Sequential scan over the segmented columns: chained chunk
+        // iteration, no per-row segment lookup.
+        'rows: for (r, (&enter, &exit)) in enter_col.iter().zip(exit_col.iter()).enumerate() {
             if enter == NULL_ID || exit == NULL_ID {
                 continue;
             }
@@ -134,58 +134,133 @@ impl StepMap {
 }
 
 /// A built `enter → row indexes` map (CSR over the dense id space) for one
-/// `(table, enter_col)` pair — the engine's substrate for evaluating
-/// *anchor-dependent* decorated queries per log row.
+/// `(table, enter_col)` pair and one contiguous **row range** — the
+/// engine's substrate for evaluating *anchor-dependent* decorated queries
+/// per log row.
 ///
 /// Unlike [`StepMap`] it carries no filters in its identity: decorations
 /// that reference the anchor row must be re-evaluated per anchor, so the
 /// map only pre-groups the table's rows by enter id and one map serves
 /// **every** decorated query entering the table on that column, under
 /// either dedup setting.
+///
+/// Because tables are append-only, a map over rows `[from, to)` stays
+/// valid forever — growth appends *new* chunks instead of invalidating
+/// old ones ([`RowMapChunks`]), so bringing the cache up to date after an
+/// ingest scans only the appended rows.
 #[derive(Debug)]
 pub(crate) struct RowMap {
+    /// First enter id the CSR covers; ids below (or past the end) probe
+    /// empty. Offset-compressing to the `[base, base + span)` id range
+    /// actually present keeps a chunk's memory and build cost
+    /// proportional to the *chunk*, not to the whole (ever-growing)
+    /// interner id space.
+    base: u32,
     offsets: Vec<u32>,
     rows: Vec<u32>,
 }
 
 impl RowMap {
-    /// Row indexes whose `enter_col` equals `enter` (empty for ids
-    /// interned after this map was built — exact for the same reason as
-    /// [`StepMap::exits_of`]).
+    /// Row indexes (global table row ids) whose `enter_col` equals
+    /// `enter` within this chunk's range (empty for ids outside the
+    /// chunk's id span — exact for the same reason as
+    /// [`StepMap::exits_of`]: an id absent at build time cannot occur in
+    /// rows that have not changed).
     #[inline]
     pub fn rows_of(&self, enter: u32) -> &[u32] {
-        let i = enter as usize;
+        if enter < self.base {
+            return &[];
+        }
+        let i = (enter - self.base) as usize;
         if i + 1 >= self.offsets.len() {
             return &[];
         }
         &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// Builds the map for one column of an interned table. NULL enters are
-    /// skipped (NULL never equi-joins).
-    pub fn build(table: &InternedTable, enter_col: ColId, n_ids: usize) -> RowMap {
+    /// Builds the map over all rows of one column of an interned table.
+    pub fn build(table: &InternedTable, enter_col: ColId) -> RowMap {
+        Self::build_range(table, enter_col, 0, table.n_rows)
+    }
+
+    /// Builds the map over rows `[from, to)`, storing *global* row ids.
+    /// NULL enters are skipped (NULL never equi-joins). Scans are
+    /// chunk-wise ([`crate::segment::SegVec::iter_range`]) so neither
+    /// extension nor the periodic compaction rebuild pays per-element
+    /// segment resolution.
+    pub fn build_range(table: &InternedTable, enter_col: ColId, from: usize, to: usize) -> RowMap {
         let enter = &table.cols[enter_col];
-        let mut counts = vec![0u32; n_ids + 1];
-        for &e in enter {
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for (_, &e) in enter.iter_range(from, to) {
             if e != NULL_ID {
-                counts[e as usize + 1] += 1;
+                lo = lo.min(e);
+                hi = hi.max(e);
             }
         }
-        for i in 0..n_ids {
+        if lo > hi {
+            // No non-null enters in the range.
+            return RowMap {
+                base: 0,
+                offsets: vec![0],
+                rows: Vec::new(),
+            };
+        }
+        let span = (hi - lo) as usize + 1;
+        let mut counts = vec![0u32; span + 1];
+        for (_, &e) in enter.iter_range(from, to) {
+            if e != NULL_ID {
+                counts[(e - lo) as usize + 1] += 1;
+            }
+        }
+        for i in 0..span {
             counts[i + 1] += counts[i];
         }
         let offsets = counts;
         let mut cursor = offsets.clone();
-        let total = offsets[n_ids] as usize;
+        let total = offsets[span] as usize;
         let mut rows = vec![0u32; total];
-        for (r, &e) in enter.iter().enumerate() {
+        for (r, &e) in enter.iter_range(from, to) {
             if e != NULL_ID {
-                let slot = &mut cursor[e as usize];
+                let slot = &mut cursor[(e - lo) as usize];
                 rows[*slot as usize] = r as u32;
                 *slot += 1;
             }
         }
-        RowMap { offsets, rows }
+        RowMap {
+            base: lo,
+            offsets,
+            rows,
+        }
+    }
+}
+
+/// How many chunks a [`RowMapChunks`] (or a log-partition stack) may
+/// accumulate before it is compacted into one chunk covering everything.
+/// Bounds the per-probe chunk overhead while keeping extension `O(batch)`
+/// amortized.
+pub(crate) const MAX_CACHE_CHUNKS: usize = 8;
+
+/// The chunked per-`(table, enter_col)` row-map cache entry: `Arc`-shared
+/// chunks over disjoint, contiguous row ranges covering `[0, covered)`.
+/// Growth appends a chunk over just the new rows; chunks over old rows
+/// are shared with every engine fork that inherited them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RowMapChunks {
+    pub chunks: Vec<std::sync::Arc<RowMap>>,
+    /// Rows covered by the chunks (the table's `n_rows` when last
+    /// extended).
+    pub covered: usize,
+}
+
+impl RowMapChunks {
+    /// Candidate rows for `enter`, across all chunks (ascending: chunks
+    /// are in row order and each chunk's lists are ascending).
+    #[inline]
+    pub fn rows_of(&self, enter: u32) -> impl Iterator<Item = u32> + '_ {
+        self.chunks
+            .iter()
+            .flat_map(move |c| c.rows_of(enter).iter().copied())
     }
 }
 
@@ -272,7 +347,7 @@ mod tests {
         let (db, _t) = setup();
         let snap = InternedDb::snapshot(&db);
         let table = snap.table(crate::database::TableId(0));
-        let map = RowMap::build(table, 0, snap.interner.len());
+        let map = RowMap::build(table, 0);
         let [e1, e2, e3] = ids(&snap, &[1, 2, 3])[..] else {
             panic!()
         };
@@ -284,6 +359,36 @@ mod tests {
         // NULL enters (row 4) are in no bucket; out-of-range ids are empty.
         assert_eq!(map.rows.len(), 5);
         assert!(map.rows_of(snap.interner.len() as u32 + 7).is_empty());
+    }
+
+    #[test]
+    fn range_chunks_are_offset_compressed_and_exact() {
+        let (db, t) = setup();
+        let snap = InternedDb::snapshot(&db);
+        let table = snap.table(t);
+        // A chunk over the last two rows only (the NULL-enter row and
+        // Enter=3); its CSR covers just the id span present, and probes
+        // outside that span — below base or past the end — are empty.
+        let chunk = RowMap::build_range(table, 0, 4, 6);
+        let [e1, e3] = ids(&snap, &[1, 3])[..] else {
+            panic!()
+        };
+        assert_eq!(chunk.rows_of(e3), &[5]);
+        assert!(chunk.rows_of(e1).is_empty(), "id below the chunk's base");
+        assert!(chunk.rows_of(u32::MAX - 1).is_empty());
+        assert_eq!(chunk.offsets.len(), 2, "CSR sized to the span, not n_ids");
+        // An all-NULL (or empty) range yields an empty chunk.
+        let empty = RowMap::build_range(table, 0, 4, 5);
+        assert!(empty.rows.is_empty());
+        assert!(empty.rows_of(e1).is_empty());
+        // Chunks over [0,4) + [4,6) together equal the full build.
+        let full = RowMap::build(table, 0);
+        let head = RowMap::build_range(table, 0, 0, 4);
+        for &e in &ids(&snap, &[1, 2, 3]) {
+            let mut merged: Vec<u32> = head.rows_of(e).to_vec();
+            merged.extend_from_slice(chunk.rows_of(e));
+            assert_eq!(merged, full.rows_of(e));
+        }
     }
 
     #[test]

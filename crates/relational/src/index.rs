@@ -1,29 +1,49 @@
 //! Hash indexes over single columns.
+//!
+//! With segmented storage ([`crate::segment`]) a table's rows live in
+//! immutable sealed segments plus a mutable tail, so the index layer is
+//! segmented the same way: one immutable [`HashIndex`] per sealed segment
+//! (shared via `Arc` across table clones — i.e. across epochs) plus a
+//! small index over the tail, composed into a [`TableIndex`] view. An
+//! append therefore invalidates only the tail's part; indexes over sealed
+//! data survive ingests and are shared between epochs.
 
 use crate::table::RowId;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An equality index: value → row ids holding that value.
 ///
 /// NULLs are excluded: SQL equi-joins never match NULL, so indexing them
-/// would only waste memory.
+/// would only waste memory. Row ids are *global* table row ids — an index
+/// over a segment is built with that segment's base offset.
 #[derive(Debug, Default, Clone)]
 pub struct HashIndex {
     map: HashMap<Value, Vec<RowId>>,
+    entries: usize,
 }
 
 impl HashIndex {
-    /// Builds an index from a column iterator (in row order).
+    /// Builds an index from a column iterator (in row order), numbering
+    /// rows from 0.
     pub fn build<I: IntoIterator<Item = Value>>(column: I) -> Self {
+        Self::build_offset(column, 0)
+    }
+
+    /// Builds an index from a column iterator whose first element is
+    /// table row `base` — the segment-local form.
+    pub fn build_offset<I: IntoIterator<Item = Value>>(column: I, base: RowId) -> Self {
         let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+        let mut entries = 0usize;
         for (row, value) in column.into_iter().enumerate() {
             if value.is_null() {
                 continue;
             }
-            map.entry(value).or_default().push(row as RowId);
+            entries += 1;
+            map.entry(value).or_default().push(base + row as RowId);
         }
-        Self { map }
+        Self { map, entries }
     }
 
     /// Row ids whose column equals `value` (never matches NULL).
@@ -41,9 +61,88 @@ impl HashIndex {
         self.map.len()
     }
 
+    /// Number of non-null rows indexed.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
     /// Iterate over `(value, row ids)` groups.
     pub fn groups(&self) -> impl Iterator<Item = (&Value, &[RowId])> {
         self.map.iter().map(|(v, rows)| (v, rows.as_slice()))
+    }
+}
+
+/// A whole-column index view composed from per-segment parts: one
+/// immutable [`HashIndex`] per sealed segment plus one over the tail, in
+/// row order. Cheap to clone (a handful of `Arc`s); parts over sealed
+/// segments are shared across table clones, so a warm index survives both
+/// an ingest and an epoch publication.
+#[derive(Debug, Clone)]
+pub struct TableIndex {
+    parts: Vec<Arc<HashIndex>>,
+}
+
+impl TableIndex {
+    /// Composes a view from per-segment parts (in row order).
+    pub(crate) fn new(parts: Vec<Arc<HashIndex>>) -> Self {
+        TableIndex { parts }
+    }
+
+    /// The per-segment parts, in row order (sealed segments first, the
+    /// tail part last). Exposed so tests can assert `Arc::ptr_eq` reuse.
+    pub fn parts(&self) -> &[Arc<HashIndex>] {
+        &self.parts
+    }
+
+    /// Row ids whose column equals `value`, ascending (empty for NULL
+    /// probes, per SQL equality).
+    pub fn rows_of(&self, value: Value) -> impl Iterator<Item = RowId> + '_ {
+        let null = value.is_null();
+        self.parts
+            .iter()
+            .filter(move |_| !null)
+            .flat_map(move |p| p.get(value).iter().copied())
+    }
+
+    /// True if any row holds `value`.
+    pub fn contains(&self, value: Value) -> bool {
+        self.parts.iter().any(|p| p.contains(value))
+    }
+
+    /// Number of non-null rows indexed.
+    pub fn entry_count(&self) -> usize {
+        self.parts.iter().map(|p| p.entry_count()).sum()
+    }
+
+    /// Number of distinct non-null values across all segments.
+    pub fn distinct_count(&self) -> usize {
+        match self.parts.len() {
+            0 => 0,
+            1 => self.parts[0].distinct_count(),
+            _ => {
+                let mut seen = std::collections::HashSet::new();
+                for p in &self.parts {
+                    seen.extend(p.groups().map(|(v, _)| *v));
+                }
+                seen.len()
+            }
+        }
+    }
+
+    /// Merged `(value, row ids)` groups across all segments, materialized
+    /// (row ids ascending per value; group order arbitrary).
+    pub fn groups(&self) -> Vec<(Value, Vec<RowId>)> {
+        let mut merged: HashMap<Value, Vec<RowId>> = HashMap::new();
+        for p in &self.parts {
+            for (v, rows) in p.groups() {
+                merged.entry(*v).or_default().extend_from_slice(rows);
+            }
+        }
+        let mut out: Vec<(Value, Vec<RowId>)> = merged.into_iter().collect();
+        for (_, rows) in &mut out {
+            rows.sort_unstable();
+        }
+        out
     }
 }
 
@@ -63,13 +162,21 @@ mod tests {
         assert_eq!(idx.get(Value::Int(8)), &[1]);
         assert_eq!(idx.get(Value::Int(9)), &[] as &[RowId]);
         assert_eq!(idx.distinct_count(), 2);
+        assert_eq!(idx.entry_count(), 3);
     }
 
     #[test]
     fn nulls_are_not_indexed() {
         let idx = HashIndex::build(vec![Value::Null, Value::Null]);
         assert_eq!(idx.distinct_count(), 0);
+        assert_eq!(idx.entry_count(), 0);
         assert!(!idx.contains(Value::Null));
+    }
+
+    #[test]
+    fn offset_build_numbers_rows_globally() {
+        let idx = HashIndex::build_offset(vec![Value::Int(5), Value::Int(5)], 10);
+        assert_eq!(idx.get(Value::Int(5)), &[10, 11]);
     }
 
     #[test]
@@ -80,5 +187,38 @@ mod tests {
             total += rows.len();
         }
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn table_index_merges_segment_parts_in_row_order() {
+        let a = Arc::new(HashIndex::build_offset(
+            vec![Value::Int(1), Value::Int(2), Value::Null],
+            0,
+        ));
+        let b = Arc::new(HashIndex::build_offset(
+            vec![Value::Int(2), Value::Int(3)],
+            3,
+        ));
+        let idx = TableIndex::new(vec![a, b]);
+        assert_eq!(idx.rows_of(Value::Int(2)).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(idx.rows_of(Value::Int(9)).count(), 0);
+        assert_eq!(idx.rows_of(Value::Null).count(), 0);
+        assert!(idx.contains(Value::Int(3)));
+        assert!(!idx.contains(Value::Null));
+        assert_eq!(idx.entry_count(), 4);
+        assert_eq!(idx.distinct_count(), 3);
+        let mut groups = idx.groups();
+        groups.sort_by_key(|(v, _)| match v {
+            Value::Int(i) => *i,
+            _ => unreachable!(),
+        });
+        assert_eq!(
+            groups,
+            vec![
+                (Value::Int(1), vec![0]),
+                (Value::Int(2), vec![1, 3]),
+                (Value::Int(3), vec![4]),
+            ]
+        );
     }
 }

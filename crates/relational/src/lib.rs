@@ -23,6 +23,14 @@
 //! small, `Copy`, hashable scalar which keeps join evaluation allocation-free
 //! on the hot path.
 //!
+//! Storage is **segmented and append-only** ([`segment`]): table row
+//! heaps, interned engine columns, and the interner's lookup maps live
+//! in immutable `Arc`-shared sealed segments plus a small mutable tail,
+//! so cloning a [`Database`] or forking an [`Engine`] — epoch
+//! publication — copies only the tails (`O(batch)`), and per-column hash
+//! indexes are cached per segment so appends never drop warm indexes
+//! over sealed data.
+//!
 //! # The evaluation engine
 //!
 //! [`ChainQuery`] evaluates one query at a time against the live tables.
@@ -86,6 +94,7 @@ pub mod error;
 pub mod index;
 pub mod plan;
 pub mod pool;
+pub mod segment;
 pub mod select;
 pub mod stats;
 pub mod sync;
@@ -102,8 +111,10 @@ pub use engine::{
     Engine, Epoch, IngestReport, RefreshDelta, RefreshError, RefreshStats, SharedEngine,
 };
 pub use error::{Error, Result};
+pub use index::{HashIndex, TableIndex};
 pub use plan::{explain, Plan, PlanStep};
 pub use pool::{StringPool, Symbol};
+pub use segment::{SegVec, DEFAULT_SEGMENT_ROWS};
 pub use select::Selection;
 pub use stats::ColumnStats;
 pub use table::{Row, RowId, Table};

@@ -25,10 +25,9 @@ impl ColumnStats {
     /// Computes statistics by scanning the table's index for `col`.
     pub fn compute(table: &Table, col: ColId) -> Self {
         let idx = table.index(col);
-        let non_null: usize = idx.groups().map(|(_, rows)| rows.len()).sum();
         ColumnStats {
             row_count: table.len(),
-            non_null_count: non_null,
+            non_null_count: idx.entry_count(),
             distinct_count: idx.distinct_count(),
         }
     }

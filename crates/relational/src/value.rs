@@ -10,7 +10,11 @@ use std::fmt;
 /// `Value` is deliberately small and `Copy`: strings are interned
 /// ([`Symbol`]) and dates are stored as an integer number of minutes since
 /// an arbitrary epoch (the access logs the paper studies have minute
-/// resolution timestamps, e.g. `Mon Jan 03 10:16:57 2010`).
+/// resolution timestamps, e.g. `Mon Jan 03 10:16:57 2010`). Being `Copy`
+/// with no interior mutability is also what lets sealed storage segments
+/// ([`crate::segment::SegVec`]) be shared immutably across epochs: a cell
+/// can be handed to any thread by memcpy and can never change under a
+/// reader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// SQL NULL. Per SQL semantics, NULL never equi-joins with anything,

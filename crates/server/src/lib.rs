@@ -206,6 +206,28 @@ impl AuditService {
         &self.shared
     }
 
+    /// Operator reload: replaces the published database wholesale (e.g. a
+    /// corrected dataset) and publishes the successor epoch via
+    /// [`SharedEngine::replace`] — the engine is rebuilt from scratch
+    /// unconditionally (a replacement is never assumed to extend the
+    /// published log, even when row counts line up), and the rebuild is
+    /// recorded as an operator warning (surfaced by the `WARNINGS`
+    /// command) exactly like an `INGEST`-path fallback, never silently
+    /// absorbed. Pinned sessions keep answering from their epoch until
+    /// they `REPIN`.
+    pub fn replace_database(&self, db: Database) -> IngestReport {
+        // Serialize with `ingest_rows` and drop its incremental lid/pair
+        // state: it described the replaced log.
+        let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = None;
+        let report = self.shared.replace(db);
+        drop(guard);
+        if let Some(warning) = report.fallback_warning() {
+            self.record_warning(warning);
+        }
+        report
+    }
+
     /// Rebuild-fallback warnings recorded so far (oldest first) — the
     /// operator-facing trail of every `INGEST` that had to fall back to a
     /// full rebuild.

@@ -27,6 +27,7 @@
 //! TIMELINE                per-day stats, incl. the clock-skew overflow bucket
 //! MISUSE [user]           one user's triage entry, or the top of the queue
 //! INGEST <n>              n rows follow, one per line: <user> <patient> <day|->
+//! WARNINGS                operator warnings recorded so far (rebuild fallbacks)
 //! QUIT                    close the session
 //! ```
 //!
@@ -72,6 +73,10 @@ pub enum Command {
     Misuse { user: Option<i64> },
     /// `INGEST <n>` — `n` rows follow on continuation lines.
     Ingest { count: usize },
+    /// `WARNINGS` — operator warnings recorded so far (every rebuild
+    /// fallback, whether triggered by an `INGEST` or an operator
+    /// database reload).
+    Warnings,
     /// `QUIT` — close the session.
     Quit,
 }
@@ -153,6 +158,10 @@ impl Command {
                     });
                 }
                 Command::Ingest { count }
+            }
+            "WARNINGS" => {
+                arity(0, "WARNINGS")?;
+                Command::Warnings
             }
             "QUIT" => {
                 arity(0, "QUIT")?;
@@ -405,6 +414,7 @@ mod tests {
             Command::parse("ingest 10").unwrap(),
             Some(Command::Ingest { count: 10 })
         );
+        assert_eq!(Command::parse("warnings").unwrap(), Some(Command::Warnings));
     }
 
     #[test]

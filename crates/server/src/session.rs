@@ -58,6 +58,14 @@ impl Session {
                 debug_assert_eq!(rows.len(), count);
                 self.ingest(&rows)
             }
+            Command::Warnings => {
+                let warnings = self.service.warnings();
+                let mut resp = Response::ok(format!("warnings {}", warnings.len()));
+                for w in warnings {
+                    resp.push(format!("warn {w}"));
+                }
+                resp
+            }
             Command::Quit => Response::ok("bye"),
         }
     }

@@ -40,8 +40,9 @@ fn main() {
     // Pick the most-accessed patient — the busiest report.
     let log = hospital.db.table(hospital.t_log);
     let idx = log.index(hospital.log_cols.patient);
-    let (&patient, _) = idx
+    let (patient, _) = idx
         .groups()
+        .into_iter()
         .max_by_key(|(_, rows)| rows.len())
         .expect("log not empty");
 

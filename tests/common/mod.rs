@@ -9,11 +9,11 @@
 use eba::audit::handcrafted::HandcraftedTemplates;
 use eba::audit::Explainer;
 use eba::core::LogSpec;
-use eba::relational::{ChainQuery, Value};
+use eba::relational::{ChainQuery, Table, Value};
 use eba::synth::{Hospital, SynthConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The standard concurrency-test world: a tiny synthetic hospital, its
 /// conventional log spec, the hand-crafted template suite, and the
@@ -110,6 +110,28 @@ impl EpochLog {
         for w in lens.windows(2) {
             assert!(w[0].1 < w[1].1, "log grows with every epoch: {lens:?}");
         }
+    }
+}
+
+/// Asserts the segmented-storage epoch-sharing invariant: every sealed
+/// row segment `older` had is present — **by pointer** (`Arc::ptr_eq`) —
+/// at the same position in `newer`. A pinned old epoch and the freshly
+/// published one thus share all but the newest rows; a failure means a
+/// publication copied (or worse, mutated a clone of) sealed data.
+pub fn assert_sealed_segments_shared(older: &Table, newer: &Table, what: &str) {
+    let old_segs = older.sealed_row_segments();
+    let new_segs = newer.sealed_row_segments();
+    assert!(
+        old_segs.len() <= new_segs.len(),
+        "{what}: the newer epoch lost sealed segments ({} -> {})",
+        old_segs.len(),
+        new_segs.len()
+    );
+    for (i, (a, b)) in old_segs.iter().zip(new_segs).enumerate() {
+        assert!(
+            Arc::ptr_eq(a, b),
+            "{what}: sealed segment {i} was copied instead of shared"
+        );
     }
 }
 

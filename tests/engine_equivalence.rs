@@ -603,13 +603,41 @@ fn shared_engine_readers_always_observe_a_published_epoch() {
     let world = common::AuditWorld::tiny(SynthConfig::tiny().seed);
     let spec = &world.spec;
     let suite = world.suite();
-    let shared = SharedEngine::new(world.hospital.db.clone());
+    // Seal the seed data so the initial epoch already owns sealed
+    // (Arc-shared) row segments — the segment-sharing assertions below
+    // then cover real sharing, not empty prefixes.
+    let shared = SharedEngine::new({
+        let mut db = world.hospital.db.clone();
+        db.seal();
+        db
+    });
     let rounds = 4u64;
     let epochs = common::EpochLog::new();
     // Pin down the initial epoch before any thread runs: under a loaded
     // scheduler the writer can publish seq 1 before a reader's first
     // load, and seq 0 would otherwise go unobserved.
     epochs.observe(0, shared.load().db().table(spec.table).len());
+    // A pinned session: its epoch must answer byte-identically for the
+    // whole run even though every newer epoch shares its sealed
+    // segments (catches in-place mutation of a shared chunk).
+    let pinned = shared.load();
+    let pinned_answers: Vec<Vec<eba::relational::RowId>> = suite
+        .iter()
+        .map(|q| {
+            pinned
+                .engine()
+                .explained_rows(pinned.db(), q, EvalOptions::default())
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        !pinned
+            .db()
+            .table(spec.table)
+            .sealed_row_segments()
+            .is_empty(),
+        "sealed seed data spans at least one segment"
+    );
 
     common::readers_vs_writer(
         3,
@@ -633,6 +661,22 @@ fn shared_engine_readers_always_observe_a_published_epoch() {
                         .unwrap(),
                     "epoch {} inconsistent",
                     epoch.seq()
+                );
+                // Segmented storage: the current epoch shares the pinned
+                // epoch's sealed log segments by pointer...
+                common::assert_sealed_segments_shared(
+                    pinned.db().table(spec.table),
+                    epoch.db().table(spec.table),
+                    "pinned epoch vs current",
+                );
+                // ...and the pinned epoch's answers stay byte-stable.
+                assert_eq!(
+                    pinned
+                        .engine()
+                        .explained_rows(pinned.db(), q, EvalOptions::default())
+                        .unwrap(),
+                    pinned_answers[checked % suite.len()],
+                    "pinned epoch answer drifted under concurrent ingests"
                 );
             });
         },

@@ -31,8 +31,16 @@ mod common;
 /// compare wire answers against library-level `*_at` answers.
 fn spawn_world_server(seed: u64) -> (common::AuditWorld, Server) {
     let world = common::AuditWorld::tiny(seed);
+    // Seal the seed data: the served epoch then owns sealed (Arc-shared)
+    // row segments, so the segment-sharing assertions below exercise
+    // real cross-epoch sharing over the wire path too.
+    let db = {
+        let mut db = world.hospital.db.clone();
+        db.seal();
+        db
+    };
     let service = AuditService::new(
-        world.hospital.db.clone(),
+        db,
         world.spec.clone(),
         world.hospital.log_cols,
         world.explainer.clone(),
@@ -316,10 +324,34 @@ fn concurrent_socket_sessions_always_observe_published_epochs() {
     // Seq 0 is only reachable before the first ingest; record it up
     // front so a fast writer cannot leave it unobserved.
     epochs.observe(0, base_len);
+    // Library handle on the initial epoch: newer epochs must keep
+    // sharing its sealed segments while the wire sessions hammer it.
+    let pinned_epoch = server.service().shared().load();
+    assert!(
+        !pinned_epoch
+            .db()
+            .table(world.spec.table)
+            .sealed_row_segments()
+            .is_empty(),
+        "the served seed data is sealed"
+    );
 
     common::readers_vs_writer(
-        3,
-        |_, done| {
+        4,
+        |i, done| {
+            if i == 0 {
+                // The pinned session: never REPINs, so every reply must
+                // be byte-identical for the whole run even though the
+                // writer publishes epochs that share its sealed
+                // segments.
+                let mut session = Client::connect(addr).expect("pinned reader connects");
+                let first = session.send("METRICS").expect("metrics").render();
+                common::reader_loop(done, |_| {
+                    let again = session.send("METRICS").expect("metrics").render();
+                    assert_eq!(again, first, "pinned session reply drifted under ingest");
+                });
+                return;
+            }
             let mut session = Client::connect(addr).expect("reader connects");
             let mut last_seq = 0u64;
             common::reader_loop(done, |_| {
@@ -358,6 +390,17 @@ fn concurrent_socket_sessions_always_observe_published_epochs() {
         },
     );
     epochs.assert_log_grew_each_epoch(rounds);
+
+    // Every published epoch kept sharing the initial epoch's sealed
+    // segments by pointer (the `O(batch)` publication invariant, checked
+    // over the served path).
+    let last_epoch = server.service().shared().load();
+    assert_eq!(last_epoch.seq(), rounds);
+    common::assert_sealed_segments_shared(
+        pinned_epoch.db().table(world.spec.table),
+        last_epoch.db().table(world.spec.table),
+        "served initial epoch vs final epoch",
+    );
 
     // The final epoch over the wire matches the library view.
     let mut c = Client::connect(addr).expect("post-hoc session");
@@ -455,6 +498,72 @@ fn timeline_overflow_is_served_over_the_wire() {
     assert_eq!(after.body, expected);
 }
 
+/// Satellite: the rebuild fallback still fires **over the server path**
+/// on segmented storage. An operator reload that is not an append-only
+/// extension (the log shrinks back to the seed copy) refuses the
+/// incremental refresh; the service recovers by rebuilding, records the
+/// warning, and serves it over the wire via `WARNINGS` — while pinned
+/// sessions stay byte-stable and a `REPIN` lands on the rebuilt epoch.
+#[test]
+fn rebuild_fallback_warning_fires_over_the_server_path() {
+    let (world, server) = spawn_world_server(61);
+    let addr = server.local_addr();
+
+    let mut pinned = Client::connect(addr).expect("pinned session");
+    let before = pinned.send("METRICS").expect("metrics").render();
+    assert_eq!(
+        pinned.send("WARNINGS").unwrap().head,
+        "OK warnings 0",
+        "a healthy service has no warnings"
+    );
+
+    // Grow the published log over the wire (epoch 1)...
+    let mut writer = Client::connect(addr).expect("writer session");
+    let reply = writer.ingest(&batch(&world, 10, Some(1))).expect("ingest");
+    assert!(reply.is_ok(), "{}", reply.head);
+    assert_eq!(reply.field("rebuilt"), Some("0"));
+
+    // ...then reload the (shorter) seed copy: TableShrank → rebuild
+    // fallback, published as epoch 2.
+    let report = server.service().replace_database(world.hospital.db.clone());
+    assert!(
+        report.rebuilt.is_some(),
+        "replacement must trigger fallback"
+    );
+    assert_eq!(report.seq, 2);
+
+    // The warning is served over the wire.
+    let warnings = pinned.send("WARNINGS").expect("warnings");
+    assert_eq!(warnings.head, "OK warnings 1");
+    assert!(
+        warnings.body[0].contains("rebuilding"),
+        "{}",
+        warnings.body[0]
+    );
+
+    // The pinned session is untouched by the fallback...
+    assert_eq!(
+        pinned.send("METRICS").unwrap().render(),
+        before,
+        "pinned session drifted across a rebuild fallback"
+    );
+    // ...and a REPIN lands on the rebuilt epoch, whose contents are the
+    // seed database again (same metrics body, new epoch in the head).
+    assert_eq!(pinned.send("REPIN").unwrap().head, "OK epoch 2");
+    let after = pinned.send("METRICS").unwrap();
+    assert_eq!(after.head, "OK metrics epoch 2");
+    assert_eq!(
+        after.body,
+        before
+            .lines()
+            .skip(1)
+            .take_while(|l| *l != ".")
+            .map(str::to_string)
+            .collect::<Vec<_>>(),
+        "the rebuilt epoch serves the seed contents"
+    );
+}
+
 /// Shutdown with sessions mid-flight: returns promptly, in-flight
 /// sessions observe EOF instead of hanging, the port stops accepting.
 #[test]
@@ -496,7 +605,7 @@ fn fuzz_server_addr() -> SocketAddr {
 
 /// Renders one junk request line from fuzz integers.
 fn junk_line(selector: u8, a: i64, b: i64) -> String {
-    match selector % 14 {
+    match selector % 15 {
         0 => format!("EXPLAIN {a}"),
         1 => format!("EXPLAIN {a} {b}"),
         2 => "METRICS".into(),
@@ -511,6 +620,7 @@ fn junk_line(selector: u8, a: i64, b: i64) -> String {
         11 => format!("PIN extra {b}"),
         12 => format!("INGEST {a} {b}"),
         13 => format!("TIMELINE {}", "x".repeat((a.unsigned_abs() % 200) as usize)),
+        14 => format!("WARNINGS{}", if a % 2 == 0 { "" } else { " extra" }),
         _ => unreachable!(),
     }
 }
@@ -524,7 +634,7 @@ proptest! {
     /// a fresh session still answers afterwards.
     #[test]
     fn malformed_input_never_kills_the_session(
-        lines in prop::collection::vec((0u8..14, 0i64..60, -5i64..1_000_000), 1..25)
+        lines in prop::collection::vec((0u8..15, 0i64..60, -5i64..1_000_000), 1..25)
     ) {
         let addr = fuzz_server_addr();
         let mut c = Client::connect(addr).expect("connect");
