@@ -375,6 +375,109 @@ fn main() {
         ));
     }
 
+    // Cold start after a crash: a durable store's recovered batches can
+    // be replayed through the normal publication path (one epoch per
+    // batch — clone, fork, refresh, publish, once per batch in the
+    // history) or bulk-loaded into the base database with a single engine
+    // build at the end, which is what `AuditService::new_durable` does on
+    // boot. Both sides end at the same epoch; the differential guard
+    // asserts identical explained sets before timing.
+    {
+        use eba_relational::pile::{default_checkpoint_rows, plain_batch, replay_into};
+        use eba_relational::{Durability, DurableStore, SharedMem};
+
+        let n_batches = 8usize;
+        let pile_mem = SharedMem::new();
+        let wal_mem = SharedMem::new();
+        {
+            let (mut store, _, _) = DurableStore::open_on(
+                Box::new(pile_mem.clone()),
+                Box::new(wal_mem.clone()),
+                "bench",
+                Durability::Relaxed,
+                default_checkpoint_rows(),
+            )
+            .expect("fresh in-memory store");
+            let shared = SharedEngine::new(db.clone());
+            for b in 0..n_batches {
+                shared
+                    .ingest_with(
+                        |d| {
+                            let first = d.table(t_log).len() as u64;
+                            FakeLog::inject(
+                                d,
+                                t_log,
+                                cols,
+                                &users,
+                                &patients,
+                                append,
+                                days,
+                                0xE0_3000 + b as u64,
+                            );
+                            first
+                        },
+                        |d, &first, seq| {
+                            let t = d.table(t_log);
+                            let rows: Vec<Vec<Value>> = (first..t.len() as u64)
+                                .map(|r| t.row(r as u32).to_vec())
+                                .collect();
+                            let name = t.schema().name.clone();
+                            store.append(plain_batch(d, seq, &name, first, &rows))
+                        },
+                    )
+                    .expect("in-memory media never fails");
+            }
+        }
+        let (_, batches, report) = DurableStore::open_on(
+            Box::new(pile_mem.clone()),
+            Box::new(wal_mem.clone()),
+            "bench-recover",
+            Durability::Relaxed,
+            default_checkpoint_rows(),
+        )
+        .expect("recovery of a cleanly written store");
+        assert_eq!(report.batches(), n_batches, "{}", report.summary());
+
+        let bulk_db = {
+            let mut d = db.clone();
+            replay_into(&mut d, &batches).expect("bulk replay");
+            d
+        };
+        {
+            let shared = SharedEngine::new(db.clone());
+            for b in &batches {
+                shared.ingest(|d| {
+                    replay_into(d, std::slice::from_ref(b)).expect("per-batch replay");
+                });
+            }
+            let cold = Engine::new(&bulk_db);
+            assert_eq!(
+                explainer.explained_rows_at(spec, &shared.load()),
+                explainer.explained_rows_with(&bulk_db, spec, &cold),
+                "replay strategies diverged"
+            );
+        }
+        workloads.push(Workload::compare(
+            format!("cold_start/recovery_replay{}x{append}", n_batches),
+            samples,
+            || {
+                let shared = SharedEngine::new(db.clone());
+                for b in &batches {
+                    shared.ingest(|d| {
+                        replay_into(d, std::slice::from_ref(b)).expect("per-batch replay");
+                    });
+                }
+                std::hint::black_box(shared.seq());
+            },
+            || {
+                let mut d = db.clone();
+                replay_into(&mut d, &batches).expect("bulk replay");
+                let engine = Engine::new(&d);
+                std::hint::black_box(engine.snapshot().table(t_log).n_rows);
+            },
+        ));
+    }
+
     // Concurrent handoff: reader sessions ask the suite question at the
     // exact moment an ingest+refresh cycle is in flight. The baseline
     // serializes everything behind one mutex (the coupling `&mut Engine`

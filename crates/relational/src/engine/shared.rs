@@ -196,6 +196,38 @@ impl SharedEngine {
     /// and **nothing is published**: the current epoch stays exactly as
     /// it was, and subsequent ingests proceed normally.
     pub fn ingest<R>(&self, mutate: impl FnOnce(&mut Database) -> R) -> (R, IngestReport) {
+        let (out, report) = self
+            .ingest_with(mutate, |_, _, _| Ok::<(), std::convert::Infallible>(()))
+            .unwrap_or_else(|e| match e {});
+        (out, report)
+    }
+
+    /// [`SharedEngine::ingest`] with a **persist hook**: after `mutate`
+    /// has been applied and the successor engine refreshed — but *before*
+    /// anything is published — `persist` is called with the mutated
+    /// database, `mutate`'s output, and the sequence number the epoch
+    /// would publish as. Only if it returns `Ok` is the epoch published
+    /// (and the sequence counter advanced).
+    ///
+    /// This is the durable-ingest ordering contract: a service that
+    /// writes the batch to a [`DurableStore`](crate::pile::DurableStore)
+    /// inside `persist` acknowledges only states that are already on
+    /// disk, so the **published history is always a prefix of the durable
+    /// history** — a crash can lose an un-acknowledged batch, never
+    /// acknowledge an un-durable one.
+    ///
+    /// On `Err` the private clone is dropped, nothing is published, the
+    /// sequence number is not consumed, and the error is returned with
+    /// the writer lock released — the next ingest proceeds normally.
+    ///
+    /// # Panic safety
+    /// Exactly as [`SharedEngine::ingest`]: a panic in `mutate`,
+    /// the refresh, or `persist` publishes nothing.
+    pub fn ingest_with<R, E>(
+        &self,
+        mutate: impl FnOnce(&mut Database) -> R,
+        persist: impl FnOnce(&Database, &R, u64) -> Result<(), E>,
+    ) -> Result<(R, IngestReport), E> {
         let mut next_seq = unpoison(self.writer.lock());
         let base = self.load();
         let mut db = base.db.clone();
@@ -211,15 +243,16 @@ impl SharedEngine {
                 (RefreshStats::default(), Some(err))
             }
         };
-        *next_seq += 1;
-        let seq = *next_seq;
+        let seq = *next_seq + 1;
+        persist(&db, &out, seq)?;
+        *next_seq = seq;
         let report = IngestReport {
             seq,
             refresh,
             rebuilt,
         };
         *unpoison(self.current.write()) = Arc::new(Epoch { db, engine, seq });
-        (out, report)
+        Ok((out, report))
     }
 
     /// Replaces the published database **wholesale** (an operator reload
@@ -474,6 +507,44 @@ mod tests {
                 .unwrap()
         );
         assert_ne!(after, before, "the corrected cells change the answer");
+    }
+
+    #[test]
+    fn failed_persist_publishes_nothing_and_frees_the_seq() {
+        let (db, log, _) = world();
+        let shared = SharedEngine::new(db);
+        // The hook sees the mutated database and the would-be seq...
+        let err = shared
+            .ingest_with(
+                |db| {
+                    db.insert(log, vec![Value::Int(1), Value::Int(1), Value::Int(7)])
+                        .unwrap();
+                },
+                |db, _, seq| {
+                    assert_eq!(seq, 1);
+                    assert_eq!(db.table(log).len(), 2, "hook sees the mutation");
+                    Err("disk full")
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, "disk full");
+        // ...but nothing was published and the seq was not consumed.
+        assert_eq!(shared.seq(), 0);
+        assert_eq!(shared.load().db().table(log).len(), 1);
+        let (_, report) = shared
+            .ingest_with(
+                |db| {
+                    db.insert(log, vec![Value::Int(1), Value::Int(1), Value::Int(7)])
+                        .unwrap();
+                },
+                |_, _, seq| {
+                    assert_eq!(seq, 1, "the failed attempt's seq is reused");
+                    Ok::<(), &str>(())
+                },
+            )
+            .unwrap();
+        assert_eq!(report.seq, 1);
+        assert_eq!(shared.load().db().table(log).len(), 2);
     }
 
     #[test]

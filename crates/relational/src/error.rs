@@ -1,4 +1,6 @@
-//! Error type shared by all engine operations.
+//! Error types shared by all engine operations: [`Error`] for schema,
+//! loading and query evaluation, and [`PileError`] for the durability
+//! layer ([`crate::pile`] / [`crate::wal`]).
 
 use std::fmt;
 
@@ -82,6 +84,114 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Errors raised by the durability layer ([`crate::pile`] /
+/// [`crate::wal`]). Every failure mode a durable store can hit is a typed
+/// variant — corruption that can be *safely* repaired (a torn tail from a
+/// crash mid-write) is instead truncated and reported through
+/// [`crate::pile::RecoveryReport`], never an error and never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PileError {
+    /// An underlying I/O operation failed (the error is carried as text
+    /// so `PileError` stays `Clone`/`Eq` for differential tests).
+    Io {
+        /// The file the operation was against.
+        file: String,
+        /// What was being attempted (`open`, `append`, `sync`, ...).
+        op: &'static str,
+        /// The rendered `std::io::Error`.
+        err: String,
+    },
+    /// The file exists but does not start with the expected magic — it is
+    /// not (this kind of) pile/WAL file. Nothing is touched.
+    NotAStore {
+        /// The file that was opened.
+        file: String,
+        /// The magic bytes expected.
+        expected: String,
+        /// The bytes found (lossy-rendered).
+        found: String,
+    },
+    /// The file carries a format version this build does not speak
+    /// (typically: written by a newer version). Nothing is touched —
+    /// downgrading software must not destroy a newer store.
+    UnsupportedVersion {
+        /// The file that was opened.
+        file: String,
+        /// The version found in the header.
+        found: u32,
+        /// The single version this build supports.
+        supported: u32,
+    },
+    /// A record passed its checksum but its payload does not decode —
+    /// either a format bug or in-place tampering. Refused outright
+    /// (truncating would silently discard data that *claims* to be
+    /// valid).
+    Corrupt {
+        /// The file the record was read from.
+        file: String,
+        /// Byte offset of the record.
+        offset: u64,
+        /// What failed to decode.
+        what: String,
+    },
+    /// The store's row numbering does not line up with the database it is
+    /// being replayed into (or appended from) — e.g. the base CSVs
+    /// changed underneath an existing pile.
+    BaseMismatch {
+        /// The table whose row count disagrees.
+        table: String,
+        /// The row offset the store expected next.
+        expected: u64,
+        /// The row offset that was presented.
+        found: u64,
+    },
+    /// Replaying a recovered batch into the database was rejected by the
+    /// schema (wrong arity/types — the store belongs to another schema).
+    Replay(Error),
+}
+
+impl fmt::Display for PileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PileError::Io { file, op, err } => write!(f, "{file}: {op} failed: {err}"),
+            PileError::NotAStore {
+                file,
+                expected,
+                found,
+            } => write!(f, "{file}: not a {expected} file (starts with {found:?})"),
+            PileError::UnsupportedVersion {
+                file,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{file}: format version {found} not supported (this build speaks {supported})"
+            ),
+            PileError::Corrupt { file, offset, what } => {
+                write!(f, "{file}: corrupt record at byte {offset}: {what}")
+            }
+            PileError::BaseMismatch {
+                table,
+                expected,
+                found,
+            } => write!(
+                f,
+                "store/database mismatch on `{table}`: store continues at row {expected}, \
+                 database presents row {found} (did the base data change under the pile?)"
+            ),
+            PileError::Replay(e) => write!(f, "replaying a recovered batch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PileError {}
+
+impl From<Error> for PileError {
+    fn from(e: Error) -> PileError {
+        PileError::Replay(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -92,6 +92,7 @@ pub mod database;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod pile;
 pub mod plan;
 pub mod pool;
 pub mod segment;
@@ -101,6 +102,7 @@ pub mod sync;
 pub mod table;
 pub mod types;
 pub mod value;
+pub mod wal;
 
 pub use chain::{
     estimate_support, estimate_support_hinted, ChainQuery, ChainStep, CmpOp, EvalOptions, Instance,
@@ -110,8 +112,9 @@ pub use database::{AttrRef, Database, RelationshipKind, TableId};
 pub use engine::{
     Engine, Epoch, IngestReport, RefreshDelta, RefreshError, RefreshStats, SharedEngine,
 };
-pub use error::{Error, Result};
+pub use error::{Error, PileError, Result};
 pub use index::{HashIndex, TableIndex};
+pub use pile::{Batch, Durability, DurableStore, PlainValue, RecoveryReport};
 pub use plan::{explain, Plan, PlanStep};
 pub use pool::{StringPool, Symbol};
 pub use segment::{SegVec, DEFAULT_SEGMENT_ROWS};
@@ -120,3 +123,4 @@ pub use stats::ColumnStats;
 pub use table::{Row, RowId, Table};
 pub use types::{ColId, Column, DataType, TableSchema};
 pub use value::Value;
+pub use wal::{FaultAfter, Media, RecordFile, ScanReport, SharedMem};

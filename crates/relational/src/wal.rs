@@ -1,0 +1,640 @@
+//! Framed, checksummed record files — the byte-level substrate of the
+//! durability layer ([`crate::pile`]).
+//!
+//! Both durable files (the segment pile and the write-ahead log) share
+//! one on-disk grammar:
+//!
+//! ```text
+//! file   := header record*
+//! header := magic[8] version:u32le            (12 bytes)
+//! record := len:u32le crc32:u32le payload[len]
+//! ```
+//!
+//! The CRC-32 (IEEE) covers the payload only. Appends always go to the
+//! end of the last *valid* record, so a crash can tear at most the final
+//! record: [`RecordFile::open`] scans the file, stops at the first frame
+//! whose length is implausible, runs past EOF, or fails its checksum,
+//! **truncates** the file there, and reports the dropped bytes in a
+//! [`ScanReport`] — torn tails are repaired, never panicked on and never
+//! silently served. A bad magic or an unknown format version is a typed
+//! [`PileError`] instead: those files were not written by this code (or
+//! were written by newer code), and repairing would destroy them.
+//!
+//! I/O goes through the [`Media`] trait so the fault-injection suite can
+//! run the *exact* production code paths against an in-memory buffer
+//! ([`SharedMem`]) wrapped in a byte-budgeted failure injector
+//! ([`FaultAfter`]) — a crash at any byte of any write is reachable
+//! deterministically.
+
+use crate::error::PileError;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::{Arc, Mutex};
+
+/// Bytes of the fixed file header (magic + version).
+pub const HEADER_LEN: u64 = 12;
+
+/// Upper bound on one record's payload, so a garbage length field cannot
+/// make recovery attempt a multi-gigabyte allocation.
+pub const MAX_RECORD_LEN: u32 = 1 << 28;
+
+// ---------------------------------------------------------------- checksum
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip/zip use, implemented here because the workspace is
+/// dependency-free by design.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut state = !0u32;
+    for &b in bytes {
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    !state
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+// ------------------------------------------------------------------ media
+
+/// The byte-level surface a [`RecordFile`] writes through. [`std::fs::File`]
+/// is the production implementation; tests substitute [`SharedMem`] (an
+/// in-memory file whose bytes survive "the process") and [`FaultAfter`]
+/// (which injects a torn write after a byte budget).
+pub trait Media: Send {
+    /// Reads into `buf` at the current position (standard `Read` contract).
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+    /// Writes from `buf` at the current position; may write fewer bytes.
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize>;
+    /// Repositions (standard `Seek` contract); returns the new position.
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64>;
+    /// Forces written bytes to stable storage (fsync).
+    fn sync(&mut self) -> std::io::Result<()>;
+    /// Truncates (or extends with zeros) to exactly `len` bytes.
+    fn set_len(&mut self, len: u64) -> std::io::Result<()>;
+}
+
+impl Media for std::fs::File {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        Read::read(self, buf)
+    }
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Write::write(self, buf)
+    }
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        Seek::seek(self, pos)
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.sync_data()
+    }
+    fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+        std::fs::File::set_len(self, len)
+    }
+}
+
+/// An in-memory "file" over a shared byte buffer. Clones share the bytes
+/// (each with its own cursor), so a test can hand one clone to a
+/// [`RecordFile`], "crash" it (drop it mid-write via [`FaultAfter`]), and
+/// reopen the surviving bytes through another clone — a process restart
+/// without a process.
+#[derive(Clone, Default)]
+pub struct SharedMem {
+    buf: Arc<Mutex<Vec<u8>>>,
+    pos: u64,
+}
+
+impl SharedMem {
+    /// An empty shared buffer.
+    pub fn new() -> SharedMem {
+        SharedMem::default()
+    }
+
+    /// A snapshot of the current bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Replaces the bytes wholesale (to set up a corruption scenario).
+    pub fn set_bytes(&self, bytes: Vec<u8>) {
+        *self.buf.lock().unwrap_or_else(|e| e.into_inner()) = bytes;
+    }
+}
+
+impl Media for SharedMem {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        let pos = (self.pos as usize).min(buf.len());
+        let n = out.len().min(buf.len() - pos);
+        out[..n].copy_from_slice(&buf[pos..pos + n]);
+        drop(buf);
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        let pos = self.pos as usize;
+        if buf.len() < pos {
+            buf.resize(pos, 0);
+        }
+        let overlap = data.len().min(buf.len().saturating_sub(pos));
+        buf[pos..pos + overlap].copy_from_slice(&data[..overlap]);
+        buf.extend_from_slice(&data[overlap..]);
+        drop(buf);
+        self.pos += data.len() as u64;
+        Ok(data.len())
+    }
+
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        let len = self.buf.lock().unwrap_or_else(|e| e.into_inner()).len() as i64;
+        let next = match pos {
+            SeekFrom::Start(p) => p as i64,
+            SeekFrom::End(d) => len + d,
+            SeekFrom::Current(d) => self.pos as i64 + d,
+        };
+        if next < 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "seek before start",
+            ));
+        }
+        self.pos = next as u64;
+        Ok(self.pos)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        buf.resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+/// Fault injection: passes everything through to the inner media until a
+/// byte budget is exhausted, then *tears the write* — the first write that
+/// crosses the budget persists only its prefix and fails, and every write
+/// after it fails outright. Reads and seeks are unaffected, so recovery
+/// can reopen the torn bytes. This is the "kill -9 at byte N" of the
+/// differential suite, deterministic and sweepable.
+pub struct FaultAfter<M: Media> {
+    inner: M,
+    remaining: u64,
+}
+
+impl<M: Media> FaultAfter<M> {
+    /// Wraps `inner`, allowing exactly `budget` more written bytes.
+    pub fn new(inner: M, budget: u64) -> FaultAfter<M> {
+        FaultAfter {
+            inner,
+            remaining: budget,
+        }
+    }
+}
+
+fn injected_fault() -> std::io::Error {
+    std::io::Error::other("injected write fault (byte budget exhausted)")
+}
+
+impl<M: Media> Media for FaultAfter<M> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
+
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(injected_fault());
+        }
+        let n = data.len().min(self.remaining as usize);
+        // Persist the prefix fully (the tear happens at the budget
+        // boundary, not wherever the inner media feels like stopping).
+        let mut written = 0;
+        while written < n {
+            written += self.inner.write(&data[written..n])?;
+        }
+        self.remaining -= n as u64;
+        if n < data.len() {
+            return Err(injected_fault());
+        }
+        Ok(n)
+    }
+
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        if self.remaining == 0 {
+            return Err(injected_fault());
+        }
+        self.inner.sync()
+    }
+
+    fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+        if self.remaining == 0 {
+            return Err(injected_fault());
+        }
+        self.inner.set_len(len)
+    }
+}
+
+// ------------------------------------------------------------- record file
+
+/// What [`RecordFile::open`] found: how many records were read, and what
+/// (if anything) had to be dropped to get back to a valid file.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Valid records recovered.
+    pub records: usize,
+    /// Bytes truncated off the tail (0 for a clean file).
+    pub truncated_bytes: u64,
+    /// Human-readable descriptions of everything dropped or repaired.
+    pub notes: Vec<String>,
+}
+
+/// The valid payloads [`RecordFile::open`] recovered, in file order,
+/// each with the byte offset its record starts at (what error reports
+/// point into).
+pub type RawRecords = Vec<(u64, Vec<u8>)>;
+
+/// One framed record file (see the module docs for the grammar): appends
+/// length-prefixed, checksummed records; opening scans, repairs a torn
+/// tail, and returns every valid payload with its byte offset.
+pub struct RecordFile {
+    media: Box<dyn Media>,
+    /// Display label for errors (the path, for real files).
+    label: String,
+    /// Logical end of valid data — where the next append goes.
+    end: u64,
+}
+
+impl RecordFile {
+    /// Opens (initializing an empty file with a fresh header) and scans.
+    /// Returns the file positioned for appends, the valid payloads in
+    /// order with their byte offsets, and the scan report.
+    pub fn open(
+        mut media: Box<dyn Media>,
+        label: &str,
+        magic: [u8; 8],
+        version: u32,
+    ) -> Result<(RecordFile, RawRecords, ScanReport), PileError> {
+        let io = |op: &'static str, err: std::io::Error| PileError::Io {
+            file: label.to_string(),
+            op,
+            err: err.to_string(),
+        };
+        let file_len = media.seek(SeekFrom::End(0)).map_err(|e| io("open", e))?;
+        let mut report = ScanReport::default();
+
+        if file_len < HEADER_LEN {
+            // Brand new (0 bytes, the normal create path) or a crash tore
+            // the header itself before any record existed. Reinitialize.
+            if file_len > 0 {
+                report.truncated_bytes = file_len;
+                report
+                    .notes
+                    .push(format!("torn {file_len}-byte header reinitialized"));
+            }
+            media.set_len(0).map_err(|e| io("truncate", e))?;
+            media.seek(SeekFrom::Start(0)).map_err(|e| io("seek", e))?;
+            let mut header = [0u8; HEADER_LEN as usize];
+            header[..8].copy_from_slice(&magic);
+            header[8..].copy_from_slice(&version.to_le_bytes());
+            write_all(&mut *media, &header).map_err(|e| io("write header", e))?;
+            let file = RecordFile {
+                media,
+                label: label.to_string(),
+                end: HEADER_LEN,
+            };
+            return Ok((file, Vec::new(), report));
+        }
+
+        media.seek(SeekFrom::Start(0)).map_err(|e| io("seek", e))?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        read_exact(&mut *media, &mut header).map_err(|e| io("read header", e))?;
+        if header[..8] != magic {
+            return Err(PileError::NotAStore {
+                file: label.to_string(),
+                expected: String::from_utf8_lossy(&magic).into_owned(),
+                found: String::from_utf8_lossy(&header[..8]).into_owned(),
+            });
+        }
+        let found = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if found != version {
+            return Err(PileError::UnsupportedVersion {
+                file: label.to_string(),
+                found,
+                supported: version,
+            });
+        }
+
+        // Scan records until EOF or the first torn/corrupt frame.
+        let mut payloads = Vec::new();
+        let mut off = HEADER_LEN;
+        let torn: Option<String> = loop {
+            let remaining = file_len - off;
+            if remaining == 0 {
+                break None;
+            }
+            if remaining < 8 {
+                break Some(format!("{remaining}-byte frame header at byte {off}"));
+            }
+            let mut frame = [0u8; 8];
+            read_exact(&mut *media, &mut frame).map_err(|e| io("read frame", e))?;
+            let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(frame[4..].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN {
+                break Some(format!("implausible record length {len} at byte {off}"));
+            }
+            if u64::from(len) > remaining - 8 {
+                break Some(format!(
+                    "record at byte {off} claims {len} bytes but only {} remain",
+                    remaining - 8
+                ));
+            }
+            let mut payload = vec![0u8; len as usize];
+            read_exact(&mut *media, &mut payload).map_err(|e| io("read record", e))?;
+            if crc32(&payload) != crc {
+                break Some(format!("checksum mismatch at byte {off}"));
+            }
+            payloads.push((off, payload));
+            off += 8 + u64::from(len);
+            report.records += 1;
+        };
+        if let Some(what) = torn {
+            // Nothing after a torn frame can be trusted (appends are
+            // strictly sequential) — cut back to the last valid record.
+            report.truncated_bytes = file_len - off;
+            report.notes.push(format!(
+                "dropped {} trailing byte(s): {what}",
+                file_len - off
+            ));
+            media.set_len(off).map_err(|e| io("truncate", e))?;
+        }
+        let file = RecordFile {
+            media,
+            label: label.to_string(),
+            end: off,
+        };
+        Ok((file, payloads, report))
+    }
+
+    fn io(&self, op: &'static str, err: std::io::Error) -> PileError {
+        PileError::Io {
+            file: self.label.clone(),
+            op,
+            err: err.to_string(),
+        }
+    }
+
+    /// The file's display label (its path, for real files).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Byte offset appends currently go to (header + valid records).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Appends one framed record. On failure the logical end does not
+    /// advance, so a retry (or the next open's scan) overwrites the torn
+    /// bytes instead of stacking garbage after them.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), PileError> {
+        assert!(
+            payload.len() as u64 <= u64::from(MAX_RECORD_LEN),
+            "record payload exceeds MAX_RECORD_LEN"
+        );
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.media
+            .seek(SeekFrom::Start(self.end))
+            .map_err(|e| self.io("seek", e))?;
+        write_all(&mut *self.media, &frame).map_err(|e| self.io("append", e))?;
+        self.end += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), PileError> {
+        self.media.sync().map_err(|e| self.io("sync", e))
+    }
+
+    /// Drops every record, keeping the header (the WAL reset after a
+    /// checkpoint).
+    pub fn reset(&mut self) -> Result<(), PileError> {
+        self.truncate_to(HEADER_LEN)
+    }
+
+    /// Truncates to `offset` (a record boundary the caller got from
+    /// [`RecordFile::open`]) — used when a higher layer rejects a suffix
+    /// of decoded records (e.g. a continuity gap).
+    pub fn truncate_to(&mut self, offset: u64) -> Result<(), PileError> {
+        self.media
+            .set_len(offset)
+            .map_err(|e| self.io("truncate", e))?;
+        self.end = offset;
+        Ok(())
+    }
+}
+
+fn write_all(media: &mut dyn Media, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        let n = media.write(buf)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        buf = &buf[n..];
+    }
+    Ok(())
+}
+
+fn read_exact(media: &mut dyn Media, mut buf: &mut [u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        let n = media.read(buf)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        buf = &mut buf[n..];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 8] = *b"EBATEST1";
+
+    fn open_mem(mem: &SharedMem) -> (RecordFile, Vec<(u64, Vec<u8>)>, ScanReport) {
+        RecordFile::open(Box::new(mem.clone()), "mem", MAGIC, 1).expect("open")
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_with_offsets() {
+        let mem = SharedMem::new();
+        let (mut f, payloads, report) = open_mem(&mem);
+        assert!(payloads.is_empty());
+        assert_eq!(report.records, 0);
+        f.append(b"alpha").unwrap();
+        f.append(b"").unwrap();
+        f.append(&[0xFF; 300]).unwrap();
+        drop(f);
+        let (_, payloads, report) = open_mem(&mem);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(payloads[0], (HEADER_LEN, b"alpha".to_vec()));
+        assert_eq!(payloads[1].1, b"");
+        assert_eq!(payloads[2].1, vec![0xFF; 300]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let mem = SharedMem::new();
+        let (mut f, _, _) = open_mem(&mem);
+        f.append(b"keep me").unwrap();
+        f.append(b"tear me").unwrap();
+        drop(f);
+        let whole = mem.bytes();
+        // Chop mid-way through the second record's payload.
+        for cut in 1..(8 + 7) {
+            let torn = mem.clone();
+            torn.set_bytes(whole[..whole.len() - cut].to_vec());
+            let (f, payloads, report) = open_mem(&torn);
+            assert_eq!(report.records, 1, "cut {cut}");
+            assert_eq!(payloads.len(), 1);
+            assert_eq!(payloads[0].1, b"keep me");
+            assert!(report.truncated_bytes > 0);
+            assert_eq!(f.end(), torn.bytes().len() as u64, "file was repaired");
+        }
+    }
+
+    #[test]
+    fn bit_flip_drops_the_record_and_its_suffix() {
+        let mem = SharedMem::new();
+        let (mut f, _, _) = open_mem(&mem);
+        f.append(b"first").unwrap();
+        f.append(b"second").unwrap();
+        drop(f);
+        let mut bytes = mem.bytes();
+        // Flip one payload bit of the *first* record: it and everything
+        // after it (appends are sequential, trust ends at the tear) go.
+        let off = HEADER_LEN as usize + 8;
+        bytes[off] ^= 0x01;
+        mem.set_bytes(bytes);
+        let (_, payloads, report) = open_mem(&mem);
+        assert!(payloads.is_empty());
+        assert_eq!(report.records, 0);
+        assert!(
+            report.notes.iter().any(|n| n.contains("checksum")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let mem = SharedMem::new();
+        drop(open_mem(&mem));
+        let result = RecordFile::open(Box::new(mem.clone()), "mem", *b"OTHERMAG", 1);
+        assert!(matches!(result, Err(PileError::NotAStore { .. })));
+        let newer = RecordFile::open(Box::new(mem.clone()), "mem", MAGIC, 2);
+        assert!(matches!(
+            newer,
+            Err(PileError::UnsupportedVersion {
+                found: 1,
+                supported: 2,
+                ..
+            })
+        ));
+        // Neither error touched the bytes.
+        let (_, _, report) = open_mem(&mem);
+        assert_eq!(report.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn torn_header_is_reinitialized() {
+        let mem = SharedMem::new();
+        drop(open_mem(&mem));
+        mem.set_bytes(mem.bytes()[..5].to_vec());
+        let (f, payloads, report) = open_mem(&mem);
+        assert!(payloads.is_empty());
+        assert_eq!(report.truncated_bytes, 5);
+        assert_eq!(f.end(), HEADER_LEN);
+    }
+
+    #[test]
+    fn reset_keeps_the_header_and_drops_records() {
+        let mem = SharedMem::new();
+        let (mut f, _, _) = open_mem(&mem);
+        f.append(b"gone").unwrap();
+        f.reset().unwrap();
+        f.append(b"kept").unwrap();
+        drop(f);
+        let (_, payloads, _) = open_mem(&mem);
+        assert_eq!(payloads.len(), 1);
+        assert_eq!(payloads[0].1, b"kept");
+    }
+
+    #[test]
+    fn fault_after_tears_exactly_at_the_budget() {
+        let mem = SharedMem::new();
+        drop(open_mem(&mem)); // write the header with unlimited budget
+        let clean_len = mem.bytes().len() as u64;
+        let budget = 10u64;
+        let faulty = FaultAfter::new(mem.clone(), budget);
+        let (mut f, _, _) =
+            RecordFile::open(Box::new(faulty), "mem", MAGIC, 1).expect("header already valid");
+        let err = f.append(b"this record is longer than the budget");
+        assert!(err.is_err(), "write must fail at the budget");
+        // Exactly `budget` torn bytes landed; reopening repairs them.
+        assert_eq!(mem.bytes().len() as u64, clean_len + budget);
+        let (_, payloads, report) = open_mem(&mem);
+        assert!(payloads.is_empty());
+        assert_eq!(report.truncated_bytes, budget);
+    }
+
+    #[test]
+    fn append_after_failure_overwrites_the_torn_bytes() {
+        let mem = SharedMem::new();
+        drop(open_mem(&mem));
+        let faulty = FaultAfter::new(mem.clone(), 5);
+        let (mut f, _, _) = RecordFile::open(Box::new(faulty), "mem", MAGIC, 1).unwrap();
+        assert!(f.append(b"doomed write").is_err());
+        drop(f);
+        // "Restart": reopen the surviving bytes and append normally.
+        let (mut f, _, _) = open_mem(&mem);
+        f.append(b"healthy").unwrap();
+        drop(f);
+        let (_, payloads, report) = open_mem(&mem);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(payloads.len(), 1);
+        assert_eq!(payloads[0].1, b"healthy");
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]
+//!           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints one
@@ -9,13 +10,23 @@
 //! (see `eba_server::protocol`) until killed. Deployments with real CSV
 //! data use `eba serve --data DIR` instead — same listener, same
 //! protocol, loaded data.
+//!
+//! With `--pile FILE` acknowledged `INGEST` batches are durable: startup
+//! recovers everything previously acknowledged over the same
+//! seed/scale's base data, and `--fsync strict` (the default) fsyncs
+//! each batch before its reply. `--timeout SECS` bounds idle sessions
+//! (0 disables the deadline).
 
-use eba_server::{AuditService, Server};
+use eba_server::{AuditService, Server, ServerConfig};
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:4780".to_string();
     let mut scale = "tiny".to_string();
     let mut seed = 7u64;
+    let mut pile: Option<String> = None;
+    let mut fsync = "strict".to_string();
+    let mut timeout_secs = 120u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,6 +42,20 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--seed expects an integer"));
             }
+            "--pile" => pile = Some(args.next().unwrap_or_else(|| usage("missing --pile value"))),
+            "--fsync" => {
+                fsync = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --fsync value"))
+            }
+            "--timeout" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --timeout value"));
+                timeout_secs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--timeout expects seconds"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
         }
@@ -41,9 +66,28 @@ fn main() {
         other => usage(&format!("unknown scale `{other}`")),
     };
     let config = eba_synth::SynthConfig { seed, ..config };
+    let policy = eba_relational::Durability::parse(&fsync)
+        .unwrap_or_else(|| usage(&format!("--fsync expects strict|relaxed, got `{fsync}`")));
 
     eprintln!("eba-serve: generating {scale} hospital (seed {seed})...");
-    let service = AuditService::from_hospital(eba_synth::Hospital::generate(config));
+    let hospital = eba_synth::Hospital::generate(config);
+    let service = match &pile {
+        None => AuditService::from_hospital(hospital),
+        Some(path) => {
+            let svc =
+                AuditService::from_hospital_durable(hospital, std::path::Path::new(path), policy)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: cannot open durable store {path}: {e}");
+                        std::process::exit(1);
+                    });
+            let report = svc.recovery_report().expect("durable service");
+            eprintln!(
+                "eba-serve: durable ({policy} fsync) pile {path}; {}",
+                report.summary()
+            );
+            svc
+        }
+    };
     let log_len = service.shared().load().db().table(service.spec.table).len();
     eprintln!(
         "eba-serve: {} accesses, {} templates, {}-day window",
@@ -51,7 +95,12 @@ fn main() {
         service.explainer.templates().len(),
         service.days
     );
-    let server = Server::spawn(service, &addr).unwrap_or_else(|e| {
+    let timeout = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
+    let server_config = ServerConfig {
+        read_timeout: timeout,
+        write_timeout: timeout,
+    };
+    let server = Server::spawn_with(service, &addr, server_config).unwrap_or_else(|e| {
         eprintln!("error: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
@@ -66,6 +115,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]");
+    eprintln!(
+        "usage: eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]\n\
+         \x20                [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -5,6 +5,30 @@
 use crate::protocol::IngestRow;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side socket deadlines. The defaults bound every blocking call:
+/// a dead server (or a black-holed route) turns into an `Err` after the
+/// deadline instead of hanging the caller forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// How long to wait for the TCP connect to complete.
+    pub connect_timeout: Duration,
+    /// Deadline for each blocking read (`None`: wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each blocking write (`None`: wait forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(30),
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(120)),
+        }
+    }
+}
 
 /// One parsed reply frame: the `OK`/`ERR` head line plus data lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,12 +88,40 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and consumes the greeting frame.
+    /// Connects with the default deadlines ([`ClientConfig::default`])
+    /// and consumes the greeting frame.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`Client::connect`] with explicit deadlines: the connect itself is
+    /// bounded by `connect_timeout` (each resolved address is tried in
+    /// turn), and every later read/write by the respective deadline.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Client> {
+        let mut last_err = None;
+        let mut writer = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+                Ok(stream) => {
+                    writer = Some(stream);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let writer = writer.ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no candidates",
+                )
+            })
+        })?;
         // Request/response over small frames: Nagle + delayed ACK would
         // add tens of milliseconds per question.
         writer.set_nodelay(true)?;
+        writer.set_read_timeout(config.read_timeout)?;
+        writer.set_write_timeout(config.write_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         let mut client = Client {
             reader,
@@ -126,6 +178,13 @@ impl Client {
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.writer.write_all(bytes)?;
         self.writer.flush()
+    }
+
+    /// Reads one framed reply without sending anything first — for tests
+    /// that drive the wire with [`Client::send_raw`] and for replies the
+    /// server initiates (e.g. `ERR timeout` on an expired deadline).
+    pub fn read_reply_frame(&mut self) -> std::io::Result<Reply> {
+        self.read_reply()
     }
 
     fn read_reply(&mut self) -> std::io::Result<Reply> {

@@ -21,6 +21,12 @@
 //!   `ERR bad-request ...`; a panicking handler is recovered into
 //!   `ERR internal ...` and the session keeps serving (PR 3's poison
 //!   recovery guarantees the engine survives it);
+//! * **opt-in durability**: [`AuditService::new_durable`] wires a
+//!   [`DurableStore`] (segment pile + WAL,
+//!   [`eba_relational::pile`]) into the ingest path — the batch is on
+//!   disk *before* the epoch publishes, so an acknowledged `INGEST`
+//!   survives a crash, and startup replays the store back into the
+//!   engine (`RECOVERY` reports what was recovered);
 //! * **graceful shutdown**: [`Server::shutdown`] stops the listener,
 //!   unblocks in-flight sessions, and joins every thread.
 //!
@@ -32,17 +38,19 @@ pub mod listener;
 pub mod protocol;
 pub mod session;
 
-pub use client::{Client, Reply};
-pub use listener::Server;
+pub use client::{Client, ClientConfig, Reply};
+pub use listener::{Server, ServerConfig};
 pub use protocol::{Command, IngestRow, ProtocolError, Response};
 pub use session::Session;
 
 use eba_audit::handcrafted::HandcraftedTemplates;
 use eba_audit::Explainer;
 use eba_core::LogSpec;
-use eba_relational::{Database, IngestReport, SharedEngine, Table, TableId, Value};
+use eba_relational::pile::{self, Durability, DurableStore, RecoveryReport};
+use eba_relational::{Database, IngestReport, PileError, SharedEngine, Table, TableId, Value};
 use eba_synth::LogColumns;
 use std::collections::HashSet;
+use std::path::Path;
 use std::sync::Mutex;
 
 /// Everything the server shares across sessions: the snapshot-handoff
@@ -62,6 +70,13 @@ pub struct AuditService {
     /// already seen) — without it every batch would rescan the whole log,
     /// making cumulative ingest cost quadratic in log size.
     writer_state: Mutex<Option<WriterState>>,
+    /// The durable store every acknowledged `INGEST` is appended to
+    /// (`None` for a volatile service). Locked only on the writer path,
+    /// inside the `SharedEngine` writer serialization.
+    persist: Mutex<Option<DurableStore>>,
+    /// What startup recovery replayed (set only by the durable
+    /// constructors; surfaced by the `RECOVERY` command).
+    recovery: Mutex<Option<RecoveryReport>>,
 }
 
 /// Incrementally-maintained writer state. `log_len` is the published log
@@ -114,7 +129,63 @@ impl AuditService {
             days,
             warnings: Mutex::new(Vec::new()),
             writer_state: Mutex::new(None),
+            persist: Mutex::new(None),
+            recovery: Mutex::new(None),
         }
+    }
+
+    /// Assembles a **durable** service: opens (creating if absent) the
+    /// segment pile at `pile_path` and its WAL, replays every recovered
+    /// batch into `db` *before* the initial epoch is built (one bulk
+    /// insert pass, one engine build — the cold-start path `audit-bench`
+    /// meters as `cold_start/recovery_replay`), and wires the store into
+    /// the ingest path so every acknowledged `INGEST` is durable under
+    /// `policy`.
+    ///
+    /// `db` must be the same base data the store was built over (the
+    /// CSVs / synthetic seed from before any durable ingest) — a store
+    /// whose row offsets don't line up is a typed
+    /// [`PileError::BaseMismatch`], never a silently wrong log.
+    ///
+    /// Recovery drops (torn tails, discontinuities) become operator
+    /// warnings immediately; the full report stays available through
+    /// [`AuditService::recovery_report`] / the `RECOVERY` command.
+    pub fn new_durable(
+        mut db: Database,
+        spec: LogSpec,
+        cols: LogColumns,
+        explainer: Explainer,
+        days: u32,
+        pile_path: &Path,
+        policy: Durability,
+    ) -> Result<AuditService, PileError> {
+        let (store, batches, report) =
+            DurableStore::open(pile_path, policy, pile::default_checkpoint_rows())?;
+        pile::replay_into(&mut db, &batches)?;
+        let days = days.max(days_in_log(&db, spec.table, &cols));
+        let svc = Self::new(db, spec, cols, explainer, days);
+        for w in report.warnings() {
+            svc.record_warning(w);
+        }
+        *svc.persist.lock().unwrap_or_else(|e| e.into_inner()) = Some(store);
+        *svc.recovery.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+        Ok(svc)
+    }
+
+    /// What startup recovery replayed, if this service is durable.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Whether acknowledged ingests are persisted to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.persist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
     }
 
     /// Appends an `INGEST` batch to the log through the single-writer
@@ -128,56 +199,77 @@ impl AuditService {
     /// batches (one log scan the first time, or after an out-of-band
     /// ingest made it stale), so a batch costs `O(batch)`, not `O(log)`.
     ///
+    /// On a durable service the batch is appended to the store **before**
+    /// the epoch is published ([`SharedEngine::ingest_with`]'s ordering
+    /// contract): an `Err` means nothing was published and nothing was
+    /// acknowledged — the client may retry once the disk recovers (the
+    /// writer's incremental state self-heals by rescanning).
+    ///
     /// Panics only if the log schema rejects a constructed row (the
     /// CareWeb shape never does); a panic inside the ingest closure
     /// publishes nothing, and the session layer reports `ERR internal`.
-    pub fn ingest_rows(&self, rows: &[protocol::IngestRow]) -> IngestReport {
+    pub fn ingest_rows(&self, rows: &[protocol::IngestRow]) -> Result<IngestReport, PileError> {
         let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
-        let (_, report) = self.shared.ingest(|db| {
-            // Validate the cached state against the writer's private
-            // clone (same contents as the published epoch, under the
-            // writer lock — no TOCTOU with other ingests).
-            let log = db.table(self.spec.table);
-            if guard.as_ref().is_none_or(|s| s.log_len != log.len()) {
-                *guard = Some(WriterState::scan(log, &self.cols));
-            }
-            let state = guard.as_mut().expect("just ensured");
-            let arity = log.schema().arity();
-            // Materialize every row before inserting, so a mid-batch
-            // insert panic cannot leave the state half-advanced.
-            let mut staged = Vec::with_capacity(rows.len());
-            let mut overlay: HashSet<(Value, Value)> = HashSet::new();
-            for (offset, r) in rows.iter().enumerate() {
-                let user = Value::Int(r.user);
-                let patient = Value::Int(r.patient);
-                let is_first =
-                    !state.seen.contains(&(user, patient)) && overlay.insert((user, patient));
-                let (day, date) = match r.day {
-                    Some(d) => (Value::Int(d), Value::Date(d.max(0) * 24 * 60)),
-                    None => (Value::Null, Value::Date(0)),
+        let mut store = self.persist.lock().unwrap_or_else(|e| e.into_inner());
+        let (_, report) = self.shared.ingest_with(
+            |db| {
+                // Validate the cached state against the writer's private
+                // clone (same contents as the published epoch, under the
+                // writer lock — no TOCTOU with other ingests).
+                let log = db.table(self.spec.table);
+                if guard.as_ref().is_none_or(|s| s.log_len != log.len()) {
+                    *guard = Some(WriterState::scan(log, &self.cols));
+                }
+                let state = guard.as_mut().expect("just ensured");
+                let arity = log.schema().arity();
+                let first_row = log.len() as u64;
+                // Materialize every row before inserting, so a mid-batch
+                // insert panic cannot leave the state half-advanced.
+                let mut staged = Vec::with_capacity(rows.len());
+                let mut overlay: HashSet<(Value, Value)> = HashSet::new();
+                for (offset, r) in rows.iter().enumerate() {
+                    let user = Value::Int(r.user);
+                    let patient = Value::Int(r.patient);
+                    let is_first =
+                        !state.seen.contains(&(user, patient)) && overlay.insert((user, patient));
+                    let (day, date) = match r.day {
+                        Some(d) => (Value::Int(d), Value::Date(d.max(0) * 24 * 60)),
+                        None => (Value::Null, Value::Date(0)),
+                    };
+                    let mut row = vec![Value::Null; arity];
+                    row[self.cols.lid] = Value::Int(state.next_lid + offset as i64);
+                    row[self.cols.date] = date;
+                    row[self.cols.user] = user;
+                    row[self.cols.patient] = patient;
+                    row[self.cols.day] = day;
+                    row[self.cols.is_first] = Value::Int(i64::from(is_first));
+                    staged.push(row);
+                }
+                let action = db.str_value("view");
+                for row in &mut staged {
+                    row[self.cols.action] = action;
+                    db.insert(self.spec.table, row.clone())
+                        .expect("ingest row matches the log schema");
+                }
+                // Commit the bookkeeping only once the whole batch is in.
+                // (If the persist hook then refuses, the published log
+                // length won't match `log_len` and the next ingest
+                // rescans — the staleness guard self-heals the state.)
+                let state = guard.as_mut().expect("still present");
+                state.next_lid += rows.len() as i64;
+                state.seen.extend(overlay);
+                state.log_len = db.table(self.spec.table).len();
+                (first_row, staged)
+            },
+            |db, (first_row, staged), seq| {
+                let Some(store) = store.as_mut() else {
+                    return Ok(());
                 };
-                let mut row = vec![Value::Null; arity];
-                row[self.cols.lid] = Value::Int(state.next_lid + offset as i64);
-                row[self.cols.date] = date;
-                row[self.cols.user] = user;
-                row[self.cols.patient] = patient;
-                row[self.cols.day] = day;
-                row[self.cols.is_first] = Value::Int(i64::from(is_first));
-                staged.push(row);
-            }
-            let action = db.str_value("view");
-            for mut row in staged {
-                row[self.cols.action] = action;
-                db.insert(self.spec.table, row)
-                    .expect("ingest row matches the log schema");
-            }
-            // Commit the bookkeeping only once the whole batch is in.
-            let state = guard.as_mut().expect("still present");
-            state.next_lid += rows.len() as i64;
-            state.seen.extend(overlay);
-            state.log_len = db.table(self.spec.table).len();
-        });
-        report
+                let table = &db.table(self.spec.table).schema().name;
+                store.append(pile::plain_batch(db, seq, table, *first_row, staged))
+            },
+        )?;
+        Ok(report)
     }
 
     /// A tiny synthetic-hospital service with the hand-crafted template
@@ -199,6 +291,23 @@ impl AuditService {
         let cols = h.log_cols;
         let days = h.config.days;
         Self::new(h.db, spec, cols, explainer, days)
+    }
+
+    /// [`AuditService::from_hospital`] with a durable store: previously
+    /// acknowledged ingests are recovered from `pile_path` (same seed ⇒
+    /// same base data ⇒ the store's row offsets line up) and every new
+    /// acknowledged `INGEST` is persisted under `policy`.
+    pub fn from_hospital_durable(
+        h: eba_synth::Hospital,
+        pile_path: &Path,
+        policy: Durability,
+    ) -> Result<AuditService, PileError> {
+        let spec = LogSpec::conventional(&h.db).expect("synthetic Log table");
+        let t = HandcraftedTemplates::build(&h.db, &spec).expect("CareWeb schema");
+        let explainer = Explainer::new(t.all().into_iter().cloned().collect());
+        let cols = h.log_cols;
+        let days = h.config.days;
+        Self::new_durable(h.db, spec, cols, explainer, days, pile_path, policy)
     }
 
     /// The snapshot-handoff cell (readers `load`, the writer `ingest`s).
@@ -302,8 +411,8 @@ mod tests {
             day: Some(1),
         };
         // Two protocol batches build up the incremental writer state.
-        svc.ingest_rows(&[row(1, 10_000), row(1, 10_000)]);
-        svc.ingest_rows(&[row(2, 10_001)]);
+        svc.ingest_rows(&[row(1, 10_000), row(1, 10_000)]).unwrap();
+        svc.ingest_rows(&[row(2, 10_001)]).unwrap();
         // An out-of-band ingest bypasses the cache entirely and plants a
         // high lid the cache knows nothing about.
         let table = svc.spec.table;
@@ -321,7 +430,7 @@ mod tests {
         });
         // The staleness check (published log length moved under the
         // cache) forces a rescan: no lid may ever be issued twice.
-        svc.ingest_rows(&[row(3, 10_002)]);
+        svc.ingest_rows(&[row(3, 10_002)]).unwrap();
         let epoch = svc.shared().load();
         let log = epoch.db().table(table);
         let mut lids = std::collections::HashSet::new();
@@ -332,6 +441,45 @@ mod tests {
             lids.contains(&Value::Int(5_000_001)),
             "fresh lids continue above the out-of-band maximum"
         );
+    }
+
+    #[test]
+    fn durable_service_recovers_acknowledged_ingests() {
+        let pile =
+            std::env::temp_dir().join(format!("eba-durable-lib-test-{}.pile", std::process::id()));
+        let _ = std::fs::remove_file(&pile);
+        let _ = std::fs::remove_file(DurableStore::wal_path(&pile));
+        let hospital = |seed| {
+            eba_synth::Hospital::generate(eba_synth::SynthConfig {
+                seed,
+                ..eba_synth::SynthConfig::tiny()
+            })
+        };
+        let row = |u: i64, p: i64| crate::protocol::IngestRow {
+            user: u,
+            patient: p,
+            day: Some(1),
+        };
+        let anchor = {
+            let svc = AuditService::from_hospital_durable(hospital(3), &pile, Durability::Strict)
+                .unwrap();
+            assert!(svc.is_durable());
+            assert_eq!(svc.recovery_report().unwrap().batches(), 0);
+            svc.ingest_rows(&[row(1, 10_000), row(2, 10_001)]).unwrap();
+            svc.ingest_rows(&[row(3, 10_002)]).unwrap();
+            svc.shared().load().db().table(svc.spec.table).len()
+        };
+        // "Restart": the same base data plus the recovered store must
+        // reproduce the acknowledged log exactly.
+        let svc =
+            AuditService::from_hospital_durable(hospital(3), &pile, Durability::Strict).unwrap();
+        let report = svc.recovery_report().expect("durable service");
+        assert_eq!(report.batches(), 2);
+        assert_eq!(report.rows, 3);
+        assert!(!report.lost_data());
+        assert_eq!(svc.shared().load().db().table(svc.spec.table).len(), anchor);
+        let _ = std::fs::remove_file(&pile);
+        let _ = std::fs::remove_file(DurableStore::wal_path(&pile));
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The TCP listener: std-only thread-per-connection serving with a
-//! graceful shutdown that unblocks in-flight sessions.
+//! graceful shutdown that unblocks in-flight sessions, per-session
+//! socket deadlines (a stalled peer gets `ERR timeout` and is closed,
+//! never pinning a thread forever), and capped-exponential backoff on
+//! accept failures.
 
 use crate::protocol::{Command, IngestRow, ProtocolError, Response};
 use crate::session::Session;
@@ -11,6 +14,38 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket policy. The defaults (2-minute read and write
+/// deadlines) keep an interactive auditor comfortable while bounding how
+/// long one stalled peer — a slowloris, a wedged script, a half-dead NAT
+/// mapping — can pin a session thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How long one blocking read may wait for the peer (`None`: forever).
+    /// On expiry the session answers `ERR timeout` and closes.
+    pub read_timeout: Option<Duration>,
+    /// How long one blocking write may stall on the peer (`None`:
+    /// forever). On expiry the connection is dropped (the write side is
+    /// the one that's wedged — a reply cannot be delivered either).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(120)),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The read deadline in whole seconds, for the `ERR timeout` message.
+    fn read_timeout_secs(&self) -> u64 {
+        self.read_timeout.map_or(0, |d| d.as_secs().max(1))
+    }
+}
 
 /// A running `eba-serve` instance: the bound address, the shared service
 /// state, and the accept thread. Dropping the server shuts it down.
@@ -53,8 +88,18 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections, one session thread per connection.
+    /// accepting connections, one session thread per connection, with the
+    /// default socket deadlines ([`ServerConfig::default`]).
     pub fn spawn(service: AuditService, addr: &str) -> std::io::Result<Server> {
+        Self::spawn_with(service, addr, ServerConfig::default())
+    }
+
+    /// [`Server::spawn`] with explicit socket deadlines.
+    pub fn spawn_with(
+        service: AuditService,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let service = Arc::new(service);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -66,7 +111,7 @@ impl Server {
             let conns = conns.clone();
             std::thread::Builder::new()
                 .name("eba-serve-accept".into())
-                .spawn(move || accept_loop(listener, service, shutdown, conns))?
+                .spawn(move || accept_loop(listener, service, shutdown, conns, config))?
         };
         Ok(Server {
             addr,
@@ -123,13 +168,64 @@ impl Drop for Server {
     }
 }
 
+/// Backoff policy for accept failures (e.g. EMFILE under fd exhaustion):
+/// an accept error does not dequeue the pending connection, so without a
+/// pause the loop busy-spins at 100% CPU until the condition clears — but
+/// a fixed pause either wastes latency when the glitch was transient or
+/// spins too hot when it isn't. Delays double from 10 ms up to a 2 s cap
+/// and reset on the next successful accept; the consecutive-failure
+/// count is surfaced through the operator log at every power of two
+/// (1st, 2nd, 4th, 8th, ... — loud enough to see, quiet enough not to
+/// flood the log during a long outage).
+struct AcceptBackoff {
+    delay: Duration,
+    consecutive_failures: u64,
+}
+
+impl AcceptBackoff {
+    const INITIAL: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(2);
+
+    fn new() -> AcceptBackoff {
+        AcceptBackoff {
+            delay: Self::INITIAL,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Records a successful accept: the next failure starts over.
+    fn success(&mut self) {
+        self.delay = Self::INITIAL;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records one failed accept. Returns how long to sleep before
+    /// retrying, and — at power-of-two failure counts — an operator
+    /// warning carrying the streak length and the error.
+    fn failure(&mut self, err: &std::io::Error) -> (Duration, Option<String>) {
+        self.consecutive_failures += 1;
+        let delay = self.delay;
+        self.delay = (self.delay * 2).min(Self::CAP);
+        let warning = self.consecutive_failures.is_power_of_two().then(|| {
+            format!(
+                "accept failed {} time(s) in a row ({err}); retrying in {} ms",
+                self.consecutive_failures,
+                delay.as_millis()
+            )
+        });
+        (delay, warning)
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     service: Arc<AuditService>,
     shutdown: Arc<AtomicBool>,
     conns: Arc<Mutex<Registry>>,
+    config: ServerConfig,
 ) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = AcceptBackoff::new();
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -139,16 +235,27 @@ fn accept_loop(
         // thread's handle detaches and releases it; only live sessions
         // are kept for the join at shutdown).
         workers.retain(|w| !w.is_finished());
-        let Ok(stream) = stream else {
-            // Accept failures (e.g. EMFILE under fd exhaustion) do not
-            // dequeue the pending connection; without a pause this loop
-            // would busy-spin at 100% CPU until the condition clears.
-            std::thread::sleep(std::time::Duration::from_millis(50));
-            continue;
+        let stream = match stream {
+            Ok(stream) => {
+                backoff.success();
+                stream
+            }
+            Err(err) => {
+                let (delay, warning) = backoff.failure(&err);
+                if let Some(warning) = warning {
+                    service.record_warning(warning);
+                }
+                std::thread::sleep(delay);
+                continue;
+            }
         };
         // Small request/response frames: without nodelay, Nagle + delayed
         // ACK cost tens of milliseconds per question.
         let _ = stream.set_nodelay(true);
+        // Socket deadlines: a peer that stops driving its side of the
+        // protocol gets `ERR timeout`, not a pinned thread.
+        let _ = stream.set_read_timeout(config.read_timeout);
+        let _ = stream.set_write_timeout(config.write_timeout);
         let token = match stream.try_clone() {
             Ok(clone) => lock(&conns).register(clone),
             Err(_) => continue, // can't make the shutdown handle: drop it
@@ -159,7 +266,7 @@ fn accept_loop(
         let worker = std::thread::Builder::new()
             .name("eba-serve-session".into())
             .spawn(move || {
-                serve_connection(stream, service, shutdown);
+                serve_connection(stream, service, shutdown, config);
                 // Deregister (dropping the clone) so the client sees EOF
                 // now, not when the whole server exits.
                 lock(&session_conns).open.remove(&token);
@@ -177,11 +284,27 @@ fn accept_loop(
     }
 }
 
+/// Whether an I/O error is a socket deadline expiring (the two kinds
+/// platforms report for `SO_RCVTIMEO`/`SO_SNDTIMEO`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Drives one connection: greeting, then a command/reply loop until QUIT,
-/// EOF, or shutdown. A panic inside a command handler is recovered into
-/// an `ERR internal` reply — it never reaches the socket as a dead
-/// connection, and (PR 3's poison recovery) never takes the engine down.
-fn serve_connection(stream: TcpStream, service: Arc<AuditService>, shutdown: Arc<AtomicBool>) {
+/// EOF, shutdown, or an expired socket deadline (answered with
+/// `ERR timeout`, then closed). A panic inside a command handler is
+/// recovered into an `ERR internal` reply — it never reaches the socket
+/// as a dead connection, and (PR 3's poison recovery) never takes the
+/// engine down.
+fn serve_connection(
+    stream: TcpStream,
+    service: Arc<AuditService>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -191,6 +314,9 @@ fn serve_connection(stream: TcpStream, service: Arc<AuditService>, shutdown: Arc
     if session.greeting().write_to(&mut writer).is_err() {
         return;
     }
+    let timeout_reply = Response::err(&ProtocolError::Timeout {
+        seconds: config.read_timeout_secs(),
+    });
     let mut line = String::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -198,7 +324,14 @@ fn serve_connection(stream: TcpStream, service: Arc<AuditService>, shutdown: Arc
         }
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
+            Ok(0) => return,
+            Err(e) => {
+                if is_timeout(&e) {
+                    // Best-effort courtesy reply; the close is the point.
+                    let _ = timeout_reply.write_to(&mut writer);
+                }
+                return;
+            }
             Ok(_) => {}
         }
         let parsed = Command::parse(&line);
@@ -206,7 +339,7 @@ fn serve_connection(stream: TcpStream, service: Arc<AuditService>, shutdown: Arc
             Ok(None) => continue,
             Ok(Some(Command::Quit)) => (session.handle(Command::Quit, vec![]), true),
             Ok(Some(Command::Ingest { count })) => {
-                match read_batch(&mut reader, count) {
+                match read_batch(&mut reader, count, config.read_timeout_secs()) {
                     // The batch was consumed whole even if a row is bad, so
                     // the stream stays in sync with the command grammar.
                     Ok(rows) => match parse_batch(&rows) {
@@ -231,16 +364,25 @@ fn serve_connection(stream: TcpStream, service: Arc<AuditService>, shutdown: Arc
     }
 }
 
-/// Reads the `count` continuation lines of an `INGEST` batch.
+/// Reads the `count` continuation lines of an `INGEST` batch. A peer
+/// that announces a batch and then stalls past the read deadline gets
+/// `ERR timeout` (and the connection closed) — exactly the slowloris
+/// shape the deadline exists for.
 fn read_batch(
     reader: &mut BufReader<TcpStream>,
     count: usize,
+    timeout_secs: u64,
 ) -> Result<Vec<String>, ProtocolError> {
     let mut rows = Vec::with_capacity(count.min(4096));
     let mut line = String::new();
     for i in 0..count {
         line.clear();
         match reader.read_line(&mut line) {
+            Err(e) if is_timeout(&e) => {
+                return Err(ProtocolError::Timeout {
+                    seconds: timeout_secs,
+                })
+            }
             Ok(0) | Err(_) => {
                 return Err(ProtocolError::TruncatedBatch {
                     got: i,
@@ -303,6 +445,74 @@ mod tests {
         assert!(TcpStream::connect(addr).is_err(), "listener closed");
         // Idempotent.
         server.shutdown();
+    }
+
+    #[test]
+    fn accept_backoff_doubles_caps_and_resets() {
+        let mut b = AcceptBackoff::new();
+        let err = || std::io::Error::other("emfile");
+        let mut delays = Vec::new();
+        let mut warnings = 0;
+        for _ in 0..12 {
+            let (delay, warning) = b.failure(&err());
+            delays.push(delay);
+            warnings += usize::from(warning.is_some());
+        }
+        assert_eq!(delays[0], Duration::from_millis(10));
+        assert_eq!(delays[1], Duration::from_millis(20));
+        assert_eq!(delays[7], Duration::from_millis(1280));
+        assert_eq!(delays[8], Duration::from_secs(2), "capped");
+        assert_eq!(delays[11], Duration::from_secs(2), "stays capped");
+        // Warned at streaks 1, 2, 4, 8 — not on every failure.
+        assert_eq!(warnings, 4);
+        let (_, w) = b.failure(&err());
+        assert!(w.is_none(), "13 is not a power of two");
+        // A success resets both the delay and the streak.
+        b.success();
+        let (delay, warning) = b.failure(&err());
+        assert_eq!(delay, Duration::from_millis(10));
+        let warning = warning.expect("first failure of a new streak warns");
+        assert!(warning.contains("1 time(s)"), "{warning}");
+        assert!(warning.contains("emfile"), "{warning}");
+    }
+
+    #[test]
+    fn idle_session_gets_err_timeout_then_eof() {
+        let config = ServerConfig {
+            read_timeout: Some(Duration::from_millis(150)),
+            write_timeout: Some(Duration::from_secs(5)),
+        };
+        let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
+            .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // A live session inside the deadline answers normally...
+        assert_eq!(client.send("PING").expect("ping").head, "OK pong");
+        // ...then goes idle past it: the server sends `ERR timeout` and
+        // closes, which the drained tail shows in full.
+        std::thread::sleep(Duration::from_millis(400));
+        let tail = client.drain().expect("drain the close");
+        assert!(tail.starts_with("ERR timeout "), "{tail}");
+        assert!(tail.contains("idle"), "{tail}");
+        assert!(tail.ends_with(".\n"), "framed to the end: {tail}");
+    }
+
+    #[test]
+    fn stalled_ingest_batch_gets_err_timeout() {
+        let config = ServerConfig {
+            read_timeout: Some(Duration::from_millis(150)),
+            write_timeout: Some(Duration::from_secs(5)),
+        };
+        let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
+            .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Announce a 3-row batch, send one row, stall: the slowloris shape.
+        client.send_raw(b"INGEST 3\n1 10000 1\n").expect("partial");
+        let reply = client.read_reply_frame().expect("timeout reply");
+        assert!(reply.head.starts_with("ERR timeout "), "{}", reply.head);
+        // The server closed the connection after the reply.
+        assert_eq!(client.drain().expect("eof"), "");
+        // The stalled batch was never acknowledged, so nothing published.
+        assert_eq!(server.service().shared().seq(), 0);
     }
 
     #[test]

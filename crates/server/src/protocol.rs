@@ -28,6 +28,7 @@
 //! MISUSE [user]           one user's triage entry, or the top of the queue
 //! INGEST <n>              n rows follow, one per line: <user> <patient> <day|->
 //! WARNINGS                operator warnings recorded so far (rebuild fallbacks)
+//! RECOVERY                what startup recovery replayed from the durable store
 //! QUIT                    close the session
 //! ```
 //!
@@ -40,8 +41,11 @@
 //! # Errors
 //!
 //! `ERR <code> <message>` with codes `bad-request` (parse/argument
-//! errors), `not-found` (lookups), and `internal` (a recovered panic —
-//! the connection and the service both survive it).
+//! errors), `not-found` (lookups), `timeout` (the session idled past the
+//! configured socket deadline — sent once, then the connection closes),
+//! `persist` (an `INGEST` could not be made durable; **nothing was
+//! published** — retry after the operator fixes the disk), and `internal`
+//! (a recovered panic — the connection and the service both survive it).
 
 use std::fmt;
 use std::io::Write;
@@ -77,6 +81,9 @@ pub enum Command {
     /// fallback, whether triggered by an `INGEST` or an operator
     /// database reload).
     Warnings,
+    /// `RECOVERY` — what startup recovery replayed from the durable
+    /// store (or that the service is volatile).
+    Recovery,
     /// `QUIT` — close the session.
     Quit,
 }
@@ -162,6 +169,10 @@ impl Command {
             "WARNINGS" => {
                 arity(0, "WARNINGS")?;
                 Command::Warnings
+            }
+            "RECOVERY" => {
+                arity(0, "RECOVERY")?;
+                Command::Recovery
             }
             "QUIT" => {
                 arity(0, "QUIT")?;
@@ -280,6 +291,16 @@ pub enum ProtocolError {
     },
     /// A lookup found nothing (e.g. an unknown lid).
     NotFound(String),
+    /// The session sat past its socket deadline; the reply is sent once
+    /// and the connection is closed.
+    Timeout {
+        /// The configured deadline, in seconds.
+        seconds: u64,
+    },
+    /// An `INGEST` batch could not be made durable. Nothing was
+    /// published: the acknowledged history is still a prefix of the
+    /// durable one, and the client may retry.
+    Persist(String),
     /// A recovered panic; the session keeps serving.
     Internal(String),
 }
@@ -295,6 +316,8 @@ impl ProtocolError {
             | ProtocolError::BadRow { .. }
             | ProtocolError::TruncatedBatch { .. } => "bad-request",
             ProtocolError::NotFound(_) => "not-found",
+            ProtocolError::Timeout { .. } => "timeout",
+            ProtocolError::Persist(_) => "persist",
             ProtocolError::Internal(_) => "internal",
         }
     }
@@ -318,6 +341,12 @@ impl fmt::Display for ProtocolError {
                 write!(f, "connection closed after {got} of {expected} ingest rows")
             }
             ProtocolError::NotFound(what) => write!(f, "{what}"),
+            ProtocolError::Timeout { seconds } => {
+                write!(f, "session idle past the {seconds}s limit; closing")
+            }
+            ProtocolError::Persist(what) => {
+                write!(f, "batch not durable, nothing published: {what}")
+            }
             ProtocolError::Internal(what) => write!(f, "recovered internal panic: {what}"),
         }
     }

@@ -66,6 +66,7 @@ impl Session {
                 }
                 resp
             }
+            Command::Recovery => self.recovery(),
             Command::Quit => Response::ok("bye"),
         }
     }
@@ -195,9 +196,41 @@ impl Session {
         }
     }
 
+    fn recovery(&self) -> Response {
+        let svc = &self.service;
+        match svc.recovery_report() {
+            None => Response::ok("recovery volatile"),
+            Some(r) => {
+                let mut resp = Response::ok(format!(
+                    "recovery durable batches {} rows {} wal_batches {} dropped {}",
+                    r.batches(),
+                    r.rows,
+                    r.wal_batches,
+                    r.dropped.len()
+                ));
+                resp.push(format!("summary {}", r.summary()));
+                for d in &r.dropped {
+                    resp.push(format!("dropped {d}"));
+                }
+                for n in &r.notes {
+                    resp.push(format!("note {n}"));
+                }
+                resp
+            }
+        }
+    }
+
     fn ingest(&mut self, rows: &[IngestRow]) -> Response {
         let svc = &self.service;
-        let report = svc.ingest_rows(rows);
+        let report = match svc.ingest_rows(rows) {
+            Ok(report) => report,
+            Err(e) => {
+                // Nothing was published and nothing is durable; tell the
+                // operator and the client the same story.
+                svc.record_warning(format!("ingest not persisted: {e}"));
+                return ProtocolError::Persist(e.to_string()).into();
+            }
+        };
         let mut resp = Response::ok(format!(
             "ingest seq {} rows {} new_rows {} rebuilt {}",
             report.seq,
@@ -240,7 +273,8 @@ mod tests {
             user: 1,
             patient: 10_000,
             day: Some(1),
-        }]);
+        }])
+        .unwrap();
         assert_eq!(s.handle(Command::Pin, vec![]).head, "OK epoch 0");
         assert_eq!(
             s.handle(Command::Seq, vec![]).head,
@@ -296,6 +330,15 @@ mod tests {
         let mut s = Session::new(svc);
         let r = s.handle(Command::Explain { lid: 99_999_999 }, vec![]);
         assert!(r.head.starts_with("ERR not-found"), "{}", r.head);
+    }
+
+    #[test]
+    fn volatile_service_reports_recovery_as_volatile() {
+        let svc = service();
+        let mut s = Session::new(svc);
+        let r = s.handle(Command::Recovery, vec![]);
+        assert_eq!(r.head, "OK recovery volatile");
+        assert!(r.body.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! eba report --data DIR --patient ID [--groups]
 //! eba investigate --data DIR [--top N] [--groups]
 //! eba serve --data DIR [--addr HOST:PORT] [--groups]
+//!           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]
 //! eba client --addr HOST:PORT --send "COMMAND ..."
 //! ```
 //!
@@ -74,6 +75,7 @@ fn usage(err: &str) -> ! {
          \x20 eba report --data DIR --patient ID [--groups]\n\
          \x20 eba investigate --data DIR [--top N] [--groups]\n\
          \x20 eba serve --data DIR [--addr HOST:PORT] [--groups]\n\
+         \x20           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]\n\
          \x20 eba client --addr HOST:PORT --send \"COMMAND ...\""
     );
     exit(if err.is_empty() { 0 } else { 2 });
@@ -373,6 +375,13 @@ fn cmd_report(opts: &Options) -> CliResult {
 /// service — same listener, same line protocol as the standalone binary,
 /// but over your data. Prints one `listening on <addr>` line to stdout
 /// (port 0 picks an ephemeral port) and serves until killed.
+///
+/// With `--pile FILE` the service is **durable**: startup recovers every
+/// previously acknowledged `INGEST` from the segment pile (+ its
+/// `FILE.wal`), and every new acknowledged batch is persisted before the
+/// reply — under `--fsync strict` (the default) it is fsynced first, so
+/// an acknowledged batch survives power loss. `--timeout SECS` bounds
+/// how long an idle peer may hold a session (0 disables the deadline).
 fn cmd_serve(opts: &Options) -> CliResult {
     let mut loaded = load_data(Path::new(opts.require("data")))?;
     let with_groups = opts.flag("groups");
@@ -382,8 +391,29 @@ fn cmd_serve(opts: &Options) -> CliResult {
     let explainer = build_explainer(&loaded, with_groups)?;
     let addr = opts.get("addr").unwrap_or("127.0.0.1:4780");
     let days = eba::server::days_in_log(&loaded.db, loaded.spec.table, &loaded.cols);
-    let service =
-        eba::server::AuditService::new(loaded.db, loaded.spec, loaded.cols, explainer, days);
+    let service = match opts.get("pile") {
+        None => {
+            eba::server::AuditService::new(loaded.db, loaded.spec, loaded.cols, explainer, days)
+        }
+        Some(pile) => {
+            let policy = parse_fsync(opts);
+            let svc = eba::server::AuditService::new_durable(
+                loaded.db,
+                loaded.spec,
+                loaded.cols,
+                explainer,
+                days,
+                Path::new(pile),
+                policy,
+            )?;
+            let report = svc.recovery_report().expect("durable service");
+            eprintln!(
+                "eba serve: durable ({policy} fsync) pile {pile}; {}",
+                report.summary()
+            );
+            svc
+        }
+    };
     let log_len = service.shared().load().db().table(service.spec.table).len();
     eprintln!(
         "eba serve: {} accesses, {} templates, {}-day window",
@@ -391,12 +421,30 @@ fn cmd_serve(opts: &Options) -> CliResult {
         service.explainer.templates().len(),
         service.days
     );
-    let server = eba::server::Server::spawn(service, addr)?;
+    let server = eba::server::Server::spawn_with(service, addr, server_config(opts))?;
     println!("listening on {}", server.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush()?;
     server.join();
     Ok(())
+}
+
+/// `--fsync strict|relaxed` (default strict: an acknowledged `INGEST`
+/// survives power loss).
+fn parse_fsync(opts: &Options) -> eba::relational::Durability {
+    let v = opts.get("fsync").unwrap_or("strict");
+    eba::relational::Durability::parse(v)
+        .unwrap_or_else(|| usage(&format!("--fsync expects strict|relaxed, got `{v}`")))
+}
+
+/// `--timeout SECS` → the server's socket deadlines (0 disables them).
+fn server_config(opts: &Options) -> eba::server::ServerConfig {
+    let secs: u64 = opts.parsed("timeout", 120);
+    let timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    eba::server::ServerConfig {
+        read_timeout: timeout,
+        write_timeout: timeout,
+    }
 }
 
 /// `eba client`: sends one protocol command to a running server and

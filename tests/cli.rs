@@ -224,6 +224,113 @@ fn serve_and_client_round_trip_over_a_real_port() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Spawns `eba serve` with the given extra args and returns the child
+/// plus the announced address.
+fn spawn_serve(dir: &std::path::Path, extra: &[&str]) -> (KillOnDrop, String) {
+    use std::io::BufRead;
+
+    let mut args = vec![
+        "serve",
+        "--data",
+        dir.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+    ];
+    args.extend_from_slice(extra);
+    let mut server = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_eba"))
+            .args(&args)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("server spawns"),
+    );
+    let mut line = String::new();
+    std::io::BufReader::new(server.0.stdout.take().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (server, addr)
+}
+
+/// The durability smoke at full distance: a served process is SIGKILLed
+/// with an acknowledged history *and* an unfinished `INGEST` batch still
+/// on the wire; the restarted process must recover exactly the
+/// acknowledged rows and report it over `RECOVERY`.
+#[test]
+fn sigkill_mid_ingest_recovers_every_acknowledged_batch() {
+    use eba::server::protocol::IngestRow;
+    use eba::server::Client;
+
+    let dir = data_dir("kill");
+    synth(&dir, &[]);
+    let pile = dir.join("log.pile");
+    let pile_args = ["--pile", pile.to_str().unwrap()];
+
+    let (server, addr) = spawn_serve(&dir, &pile_args);
+    let mut client = Client::connect(&addr).expect("client connects");
+    let base: u64 = client
+        .send("METRICS")
+        .unwrap()
+        .body_field("anchor_total")
+        .expect("anchor_total line")
+        .parse()
+        .unwrap();
+
+    // Five acknowledged batches of two rows each...
+    for b in 0..5i64 {
+        let rows: Vec<IngestRow> = (0..2)
+            .map(|i| IngestRow {
+                user: 1 + b,
+                patient: 10000 + i,
+                day: Some(1 + b),
+            })
+            .collect();
+        let reply = client.ingest(&rows).expect("ingest reply");
+        assert!(reply.is_ok(), "{}", reply.head);
+    }
+    // ...then a batch that never finishes: the header promises three rows
+    // but only one is sent before the process dies mid-protocol.
+    client
+        .send_raw(b"INGEST 3\n1 10000 1\n")
+        .expect("partial batch");
+    drop(server); // SIGKILL, no shutdown path runs
+
+    let (_server2, addr2) = spawn_serve(&dir, &pile_args);
+    let mut client = Client::connect(&addr2).expect("client reconnects");
+    let recovered: u64 = client
+        .send("METRICS")
+        .unwrap()
+        .body_field("anchor_total")
+        .expect("anchor_total line")
+        .parse()
+        .unwrap();
+    assert_eq!(
+        recovered,
+        base + 10,
+        "exactly the acknowledged rows survive the kill — no more, no less"
+    );
+    let reply = client.send("RECOVERY").unwrap();
+    assert!(
+        reply.head.starts_with("OK recovery durable"),
+        "{}",
+        reply.head
+    );
+    assert_eq!(reply.field("dropped"), Some("0"), "{}", reply.head);
+    let batches: u64 = reply
+        .field("batches")
+        .expect("batches field")
+        .parse()
+        .unwrap();
+    assert_eq!(batches, 5, "{}", reply.head);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let out = eba(&["mine"]);
