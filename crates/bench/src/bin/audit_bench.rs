@@ -561,6 +561,34 @@ fn main() {
                 params.cycles,
             )),
         });
+
+        // Admission control under a connection storm: the same pinned
+        // reader question, once against an uncapped server absorbing the
+        // whole storm, once against a capped one shedding most of it
+        // with `ERR busy`. Baseline = uncapped, engine = capped; the gap
+        // is what the cap buys the reader's tail.
+        let questions = (samples.max(3)) * 12;
+        let uncapped = overload_storm_server(db, &explainer, &params, 0, questions);
+        let capped = overload_storm_server(db, &explainer, &params, STORM_CAP, questions);
+        workloads.push(Workload {
+            name: "server/overload_storm".into(),
+            baseline: uncapped.p50,
+            engine: capped.p50,
+            samples: questions,
+            note: Some(format!(
+                "{STORM_CONNECTORS} connectors storming while one pinned reader asks \
+                 METRICS {questions}x: uncapped p50 {:.3} ms / p95 {:.3} ms \
+                 ({} storm requests served, 0 shed) vs --max-conn {STORM_CAP} \
+                 p50 {:.3} ms / p95 {:.3} ms ({} served, {} shed with ERR busy)",
+                uncapped.p50.as_secs_f64() * 1e3,
+                uncapped.p95.as_secs_f64() * 1e3,
+                uncapped.served,
+                capped.p50.as_secs_f64() * 1e3,
+                capped.p95.as_secs_f64() * 1e3,
+                capped.served,
+                capped.shed,
+            )),
+        });
     }
 
     print_workloads(&workloads);
@@ -834,6 +862,103 @@ fn reader_during_ingest_server(
         p95: percentile(0.95),
         max: *latencies.last().unwrap_or(&Duration::ZERO),
         questions: latencies.len(),
+    }
+}
+
+/// Storm shape for `server/overload_storm`: connector threads churning
+/// short sessions against the admission cap.
+const STORM_CONNECTORS: usize = 16;
+const STORM_CAP: usize = 4;
+
+/// One pinned reader's latency distribution under the storm.
+struct StormResult {
+    p50: Duration,
+    p95: Duration,
+    /// Storm requests that were admitted and answered.
+    served: usize,
+    /// Storm connections refused with `ERR busy`.
+    shed: usize,
+}
+
+/// Runs a connection storm against `eba-serve` with the given admission
+/// cap (0 = unlimited) while one pinned session times `questions`
+/// `METRICS` answers. Storm connectors churn connect→METRICS→drop in a
+/// tight loop; refused connects count as shed and back off briefly, the
+/// way a retrying client would.
+fn overload_storm_server(
+    db: &Database,
+    explainer: &Explainer,
+    p: &ConcurrentParams,
+    cap: usize,
+    questions: usize,
+) -> StormResult {
+    use eba_server::{AuditService, Client, Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let service = AuditService::new(
+        db.clone(),
+        p.spec.clone(),
+        *p.cols,
+        explainer.clone(),
+        p.days,
+    );
+    let config = ServerConfig {
+        max_connections: cap,
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn_with(service, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // The pinned reader takes its slot (and warms the epoch) before the
+    // storm starts.
+    let mut pinned = Client::connect(addr).expect("pinned session");
+    pinned.send("METRICS").expect("warm question");
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let mut latencies = Vec::with_capacity(questions);
+    std::thread::scope(|scope| {
+        for _ in 0..STORM_CONNECTORS {
+            scope.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    match Client::connect(addr) {
+                        Ok(mut c) => {
+                            if c.send("METRICS").is_ok() {
+                                served.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Err(_) => {
+                            // `ERR busy` (or a backlogged connect): the
+                            // typed shed path. Back off like a client.
+                            shed.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..questions {
+            let start = Instant::now();
+            pinned.send("METRICS").expect("pinned question");
+            latencies.push(start.elapsed());
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    StormResult {
+        p50: percentile(0.50),
+        p95: percentile(0.95),
+        served: served.load(Ordering::SeqCst),
+        shed: shed.load(Ordering::SeqCst),
     }
 }
 

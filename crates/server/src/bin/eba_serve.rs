@@ -3,6 +3,7 @@
 //! ```text
 //! eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]
 //!           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]
+//!           [--max-conn N]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints one
@@ -15,7 +16,9 @@
 //! recovers everything previously acknowledged over the same
 //! seed/scale's base data, and `--fsync strict` (the default) fsyncs
 //! each batch before its reply. `--timeout SECS` bounds idle sessions
-//! (0 disables the deadline).
+//! (0 disables the deadline). `--max-conn N` caps concurrent sessions;
+//! connections over the cap get a typed `ERR busy` greeting and a
+//! close, never a silent drop (0 removes the cap).
 
 use eba_server::{AuditService, Server, ServerConfig};
 use std::time::Duration;
@@ -27,6 +30,7 @@ fn main() {
     let mut pile: Option<String> = None;
     let mut fsync = "strict".to_string();
     let mut timeout_secs = 120u64;
+    let mut max_conn = ServerConfig::default().max_connections;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,6 +59,14 @@ fn main() {
                 timeout_secs = v
                     .parse()
                     .unwrap_or_else(|_| usage("--timeout expects seconds"));
+            }
+            "--max-conn" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --max-conn value"));
+                max_conn = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-conn expects a count (0: unlimited)"));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
@@ -99,6 +111,8 @@ fn main() {
     let server_config = ServerConfig {
         read_timeout: timeout,
         write_timeout: timeout,
+        max_connections: max_conn,
+        ..ServerConfig::default()
     };
     let server = Server::spawn_with(service, &addr, server_config).unwrap_or_else(|e| {
         eprintln!("error: cannot bind {addr}: {e}");
@@ -117,7 +131,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]\n\
-         \x20                [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]"
+         \x20                [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]\n\
+         \x20                [--max-conn N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

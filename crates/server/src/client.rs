@@ -4,8 +4,76 @@
 
 use crate::protocol::IngestRow;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Capped exponential backoff for transient rejections: connect refusals
+/// and the server's typed overload answers (`ERR busy` at admission,
+/// `ERR overloaded` on a shed ingest). Both rejections are safe to
+/// retry by construction — a busy server closed without starting a
+/// session, and a shed ingest published nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many retries after the first attempt (0: fail fast).
+    pub retries: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on the per-attempt delay.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every transient rejection surfaces immediately.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        retries: 0,
+        base: Duration::from_millis(0),
+        cap: Duration::from_millis(0),
+    };
+
+    /// A sensible interactive default: 5 retries, 50 ms doubling to a
+    /// 2 s cap — at most ~4 s of accumulated waiting.
+    pub fn backoff() -> RetryPolicy {
+        RetryPolicy {
+            retries: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): `base << attempt`
+    /// capped at `cap`, then scaled by a jitter factor in `[0.5, 1.0)` so
+    /// a fleet of rejected clients does not reconverge in lockstep.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        // 0.5 + jitter/2 where jitter is uniform-ish in [0, 1).
+        let jitter = (next_jitter() % 1_000) as f64 / 1_000.0;
+        exp.mul_f64(0.5 + jitter / 2.0)
+    }
+}
+
+/// Process-global xorshift state for retry jitter. Seeded from the clock
+/// once; quality only has to be "clients desynchronize", not crypto.
+fn next_jitter() -> u64 {
+    static STATE: AtomicU64 = AtomicU64::new(0);
+    let mut x = STATE.load(Ordering::Relaxed);
+    if x == 0 {
+        x = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0x9e37_79b9)
+            | 1;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    STATE.store(x, Ordering::Relaxed);
+    x
+}
 
 /// Client-side socket deadlines. The defaults bound every blocking call:
 /// a dead server (or a black-holed route) turns into an `Err` after the
@@ -18,6 +86,9 @@ pub struct ClientConfig {
     pub read_timeout: Option<Duration>,
     /// Deadline for each blocking write (`None`: wait forever).
     pub write_timeout: Option<Duration>,
+    /// Backoff for transient rejections (defaults to [`RetryPolicy::NONE`]
+    /// so nothing retries unless the caller opts in).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -26,6 +97,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(30),
             read_timeout: Some(Duration::from_secs(120)),
             write_timeout: Some(Duration::from_secs(120)),
+            retry: RetryPolicy::NONE,
         }
     }
 }
@@ -85,6 +157,19 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     greeting: Reply,
+    config: ClientConfig,
+}
+
+/// Whether a failed connection attempt is worth retrying under the
+/// configured policy: the server refused/reset us (including the typed
+/// `ERR busy` greeting, which arrives as `ConnectionRefused`).
+fn connect_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
 }
 
 impl Client {
@@ -94,14 +179,37 @@ impl Client {
         Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// [`Client::connect`] with explicit deadlines: the connect itself is
-    /// bounded by `connect_timeout` (each resolved address is tried in
-    /// turn), and every later read/write by the respective deadline.
+    /// [`Client::connect`] with explicit deadlines and retry policy: the
+    /// connect itself is bounded by `connect_timeout` (each resolved
+    /// address is tried in turn), every later read/write by the
+    /// respective deadline, and refused/busy attempts are retried with
+    /// capped exponential backoff per `config.retry`.
     pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no candidates",
+            ));
+        }
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect_once(&addrs, config) {
+                Ok(client) => return Ok(client),
+                Err(e) if connect_retryable(&e) && attempt < config.retry.retries => {
+                    std::thread::sleep(config.retry.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn connect_once(addrs: &[SocketAddr], config: ClientConfig) -> std::io::Result<Client> {
         let mut last_err = None;
         let mut writer = None;
-        for addr in addr.to_socket_addrs()? {
-            match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+        for addr in addrs {
+            match TcpStream::connect_timeout(addr, config.connect_timeout) {
                 Ok(stream) => {
                     writer = Some(stream);
                     break;
@@ -130,8 +238,21 @@ impl Client {
                 head: String::new(),
                 body: Vec::new(),
             },
+            config,
         };
         client.greeting = client.read_reply()?;
+        if !client.greeting.is_ok() {
+            // Admission control answered in the greeting position and is
+            // about to close. `ERR busy` maps to `ConnectionRefused` so
+            // the retry loop treats it like any other refusal; anything
+            // else is a hard error.
+            let head = client.greeting.head.clone();
+            return Err(if head.starts_with("ERR busy") {
+                std::io::Error::new(std::io::ErrorKind::ConnectionRefused, head)
+            } else {
+                std::io::Error::other(head)
+            });
+        }
         Ok(client)
     }
 
@@ -159,6 +280,27 @@ impl Client {
         self.writer.write_all(batch.as_bytes())?;
         self.writer.flush()?;
         self.read_reply()
+    }
+
+    /// [`Client::ingest`], retrying `ERR overloaded` sheds under the
+    /// session's [`RetryPolicy`]. A shed batch published nothing (the
+    /// server refuses before touching the engine), so resending the same
+    /// rows is exactly-once safe. Returns the final reply — still `ERR
+    /// overloaded` if every retry was shed.
+    pub fn ingest_with_retry(&mut self, rows: &[IngestRow]) -> std::io::Result<Reply> {
+        let policy = self.config.retry;
+        let mut attempt = 0u32;
+        loop {
+            let reply = self.ingest(rows)?;
+            if reply.is_ok()
+                || !reply.head.starts_with("ERR overloaded")
+                || attempt >= policy.retries
+            {
+                return Ok(reply);
+            }
+            std::thread::sleep(policy.delay(attempt));
+            attempt += 1;
+        }
     }
 
     /// Half-closes the write side (the server sees EOF); any buffered
@@ -217,6 +359,32 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_delay_is_capped_exponential_with_bounded_jitter() {
+        let p = RetryPolicy {
+            retries: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(1),
+        };
+        for attempt in 0..12 {
+            let nominal = Duration::from_millis(100)
+                .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .unwrap_or(p.cap)
+                .min(p.cap);
+            let d = p.delay(attempt);
+            assert!(d >= nominal.mul_f64(0.5), "attempt {attempt}: {d:?}");
+            assert!(d <= nominal, "attempt {attempt}: {d:?} over {nominal:?}");
+        }
+        // Deep attempts never overflow the shift — they just sit at cap.
+        assert!(p.delay(40) <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retry_none_is_the_default_and_fails_fast() {
+        assert_eq!(ClientConfig::default().retry, RetryPolicy::NONE);
+        assert_eq!(RetryPolicy::NONE.retries, 0);
+    }
 
     #[test]
     fn reply_fields_parse() {

@@ -34,11 +34,13 @@
 //! the repository `README.md` for the same, prose-first.
 
 pub mod client;
+pub mod frame;
 pub mod listener;
 pub mod protocol;
 pub mod session;
 
-pub use client::{Client, ClientConfig, Reply};
+pub use client::{Client, ClientConfig, Reply, RetryPolicy};
+pub use frame::{BoundedLineReader, FrameLine};
 pub use listener::{Server, ServerConfig};
 pub use protocol::{Command, IngestRow, ProtocolError, Response};
 pub use session::Session;
@@ -51,7 +53,20 @@ use eba_relational::{Database, IngestReport, PileError, SharedEngine, Table, Tab
 use eba_synth::LogColumns;
 use std::collections::HashSet;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Default cap on concurrent `INGEST` batches (one writing + waiters)
+/// before new batches are shed with `ERR overloaded`. Writers serialize
+/// on the `SharedEngine` writer lock, so queue depth is pure added
+/// latency: beyond a few waiters, telling the client to come back later
+/// beats making it wait out the whole queue against its own deadline.
+pub const DEFAULT_INGEST_QUEUE: usize = 4;
+
+/// Cap on the retained operator warning log: the service keeps serving
+/// under a warning storm (every warning still reaches stderr) instead of
+/// growing a `Vec` without bound for the life of the process.
+const MAX_WARNINGS: usize = 1_000;
 
 /// Everything the server shares across sessions: the snapshot-handoff
 /// cell, the log layout, and the explanation suite.
@@ -77,6 +92,52 @@ pub struct AuditService {
     /// What startup recovery replayed (set only by the durable
     /// constructors; surfaced by the `RECOVERY` command).
     recovery: Mutex<Option<RecoveryReport>>,
+    /// `INGEST` batches currently inside the writer path (one holding
+    /// the writer lock, the rest waiting on it) — the saturation gauge
+    /// [`AuditService::try_ingest_rows`] sheds against.
+    ingest_in_flight: AtomicUsize,
+    /// Cap on `ingest_in_flight` before new batches are shed
+    /// (0 = never shed). [`DEFAULT_INGEST_QUEUE`] by default; the
+    /// listener applies `ServerConfig::max_ingest_queue` at spawn.
+    max_ingest_queue: AtomicUsize,
+    /// Batches shed so far (the overload counter the operator log and
+    /// the bench's storm workload report).
+    shed_ingests: AtomicU64,
+}
+
+/// Why [`AuditService::try_ingest_rows`] refused a batch.
+#[derive(Debug)]
+pub enum IngestRejected {
+    /// The writer path is saturated: the batch was shed before doing any
+    /// work. Nothing was published, nothing is durable; retry later.
+    Overloaded {
+        /// Batches already in flight when this one was refused.
+        in_flight: usize,
+    },
+    /// The durable store refused the batch (same contract as
+    /// [`AuditService::ingest_rows`]'s `Err`: nothing published).
+    Persist(PileError),
+}
+
+/// RAII occupancy of the ingest-in-flight gauge: entering bumps the
+/// gauge, dropping (on every exit path, shed ones included) restores it.
+struct InflightSlot<'a> {
+    gauge: &'a AtomicUsize,
+    /// The gauge value *including* this slot, at entry.
+    occupancy: usize,
+}
+
+impl<'a> InflightSlot<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> InflightSlot<'a> {
+        let occupancy = gauge.fetch_add(1, Ordering::SeqCst) + 1;
+        InflightSlot { gauge, occupancy }
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Incrementally-maintained writer state. `log_len` is the published log
@@ -131,6 +192,9 @@ impl AuditService {
             writer_state: Mutex::new(None),
             persist: Mutex::new(None),
             recovery: Mutex::new(None),
+            ingest_in_flight: AtomicUsize::new(0),
+            max_ingest_queue: AtomicUsize::new(DEFAULT_INGEST_QUEUE),
+            shed_ingests: AtomicU64::new(0),
         }
     }
 
@@ -208,7 +272,67 @@ impl AuditService {
     /// Panics only if the log schema rejects a constructed row (the
     /// CareWeb shape never does); a panic inside the ingest closure
     /// publishes nothing, and the session layer reports `ERR internal`.
+    ///
+    /// This library path always queues (it maintains the in-flight gauge
+    /// but never sheds); the serving path uses
+    /// [`AuditService::try_ingest_rows`], which sheds at the cap.
     pub fn ingest_rows(&self, rows: &[protocol::IngestRow]) -> Result<IngestReport, PileError> {
+        let _slot = InflightSlot::enter(&self.ingest_in_flight);
+        self.ingest_rows_inner(rows)
+    }
+
+    /// [`AuditService::ingest_rows`] with graceful load shedding: when
+    /// the writer path already has `max_ingest_queue` batches in flight
+    /// (one writing + waiters), the batch is refused up front with
+    /// [`IngestRejected::Overloaded`] — a cheap, typed refusal instead of
+    /// an unbounded queue of sessions blocked on the writer lock. Reads
+    /// are untouched: they answer from pinned epochs and never shed.
+    pub fn try_ingest_rows(
+        &self,
+        rows: &[protocol::IngestRow],
+    ) -> Result<IngestReport, IngestRejected> {
+        let limit = self.max_ingest_queue.load(Ordering::SeqCst);
+        let slot = InflightSlot::enter(&self.ingest_in_flight);
+        if limit > 0 && slot.occupancy > limit {
+            let in_flight = slot.occupancy - 1;
+            let shed = self.shed_ingests.fetch_add(1, Ordering::SeqCst) + 1;
+            // Power-of-two streak logging, same cadence as the accept
+            // backoff: loud enough to see, quiet under a sustained storm.
+            if shed.is_power_of_two() {
+                self.record_warning(format!(
+                    "ingest shed: writer saturated ({in_flight} batch(es) in flight, \
+                     cap {limit}); {shed} shed so far"
+                ));
+            }
+            return Err(IngestRejected::Overloaded { in_flight });
+        }
+        self.ingest_rows_inner(rows)
+            .map_err(IngestRejected::Persist)
+    }
+
+    /// The ingest-queue cap ([`DEFAULT_INGEST_QUEUE`] unless configured;
+    /// 0 = never shed).
+    pub fn max_ingest_queue(&self) -> usize {
+        self.max_ingest_queue.load(Ordering::SeqCst)
+    }
+
+    /// Reconfigures the ingest-queue cap (the listener applies
+    /// `ServerConfig::max_ingest_queue` here at spawn).
+    pub fn set_max_ingest_queue(&self, limit: usize) {
+        self.max_ingest_queue.store(limit, Ordering::SeqCst);
+    }
+
+    /// `INGEST` batches currently inside the writer path.
+    pub fn ingest_in_flight(&self) -> usize {
+        self.ingest_in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Batches shed with `ERR overloaded` since startup.
+    pub fn shed_ingest_count(&self) -> u64 {
+        self.shed_ingests.load(Ordering::SeqCst)
+    }
+
+    fn ingest_rows_inner(&self, rows: &[protocol::IngestRow]) -> Result<IngestReport, PileError> {
         let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
         let mut store = self.persist.lock().unwrap_or_else(|e| e.into_inner());
         let (_, report) = self.shared.ingest_with(
@@ -344,10 +468,21 @@ impl AuditService {
         lock_warnings(&self.warnings).clone()
     }
 
-    /// Records an operator warning (also mirrored to stderr).
+    /// Records an operator warning (also mirrored to stderr). The
+    /// retained log is capped at 1 000 entries — the cap itself is
+    /// recorded once, and later warnings still reach stderr — so a
+    /// warning storm cannot grow process memory without bound.
     pub fn record_warning(&self, warning: String) {
         eprintln!("eba-serve: warning: {warning}");
-        lock_warnings(&self.warnings).push(warning);
+        let mut warnings = lock_warnings(&self.warnings);
+        match warnings.len().cmp(&MAX_WARNINGS) {
+            std::cmp::Ordering::Less => warnings.push(warning),
+            std::cmp::Ordering::Equal => warnings.push(format!(
+                "warning log capped at {MAX_WARNINGS} entries; \
+                 further warnings go to stderr only"
+            )),
+            std::cmp::Ordering::Greater => {}
+        }
     }
 }
 

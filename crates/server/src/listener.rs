@@ -1,14 +1,19 @@
 //! The TCP listener: std-only thread-per-connection serving with a
 //! graceful shutdown that unblocks in-flight sessions, per-session
 //! socket deadlines (a stalled peer gets `ERR timeout` and is closed,
-//! never pinning a thread forever), and capped-exponential backoff on
-//! accept failures.
+//! never pinning a thread forever), capped-exponential backoff on
+//! accept failures, and the overload-protection layer: admission
+//! control at the connection cap (`ERR busy`, never a silent drop),
+//! bounded request frames (`ERR toolong`), a batch-row cap enforced
+//! before any row line is read, and write-stall teardown with a logged
+//! reason.
 
-use crate::protocol::{Command, IngestRow, ProtocolError, Response};
+use crate::frame::{BoundedLineReader, FrameLine};
+use crate::protocol::{Command, IngestRow, ProtocolError, Response, MAX_INGEST_BATCH};
 use crate::session::Session;
-use crate::AuditService;
+use crate::{AuditService, DEFAULT_INGEST_QUEUE};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -16,10 +21,12 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-connection socket policy. The defaults (2-minute read and write
-/// deadlines) keep an interactive auditor comfortable while bounding how
-/// long one stalled peer — a slowloris, a wedged script, a half-dead NAT
-/// mapping — can pin a session thread.
+/// Per-connection socket policy and resource limits. The deadline
+/// defaults (2-minute read and write) keep an interactive auditor
+/// comfortable while bounding how long one stalled peer — a slowloris, a
+/// wedged script, a half-dead NAT mapping — can pin a session thread;
+/// the caps bound what any one peer (or all of them together) can make
+/// the server hold in memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// How long one blocking read may wait for the peer (`None`: forever).
@@ -27,8 +34,28 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// How long one blocking write may stall on the peer (`None`:
     /// forever). On expiry the connection is dropped (the write side is
-    /// the one that's wedged — a reply cannot be delivered either).
+    /// the one that's wedged — a reply cannot be delivered either) and
+    /// the teardown reason lands in the operator log.
     pub write_timeout: Option<Duration>,
+    /// Cap on concurrently open sessions (0 = unlimited). An excess
+    /// connection gets one `ERR busy` frame in greeting position — with
+    /// a `retry-after-ms` hint — and is closed; never a silent drop.
+    pub max_connections: usize,
+    /// Cap on one inbound request line, in bytes (0 = unlimited). An
+    /// overlong line gets `ERR toolong` and the connection is closed —
+    /// the bounded frame reader never buffers past the cap, so one peer
+    /// cannot OOM the server with a single newline-free stream.
+    pub max_line_bytes: usize,
+    /// Cap on one `INGEST` batch's announced row count (0 = only the
+    /// absolute [`MAX_INGEST_BATCH`] bound applies). An oversized header
+    /// is refused with `ERR toolong` *before* any row line is read; the
+    /// session stays usable.
+    pub max_batch_rows: usize,
+    /// Cap on concurrent `INGEST` batches in the writer path (one
+    /// writing + waiters) before new batches are shed with
+    /// `ERR overloaded` (0 = never shed). Applied to the service at
+    /// spawn; read commands never shed.
+    pub max_ingest_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -36,6 +63,10 @@ impl Default for ServerConfig {
         ServerConfig {
             read_timeout: Some(Duration::from_secs(120)),
             write_timeout: Some(Duration::from_secs(120)),
+            max_connections: 256,
+            max_line_bytes: 64 * 1024,
+            max_batch_rows: MAX_INGEST_BATCH,
+            max_ingest_queue: DEFAULT_INGEST_QUEUE,
         }
     }
 }
@@ -100,6 +131,7 @@ impl Server {
         addr: &str,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        service.set_max_ingest_queue(config.max_ingest_queue);
         let service = Arc::new(service);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -133,6 +165,15 @@ impl Server {
     /// the library-level `*_at` answers for the same epoch).
     pub fn service(&self) -> &Arc<AuditService> {
         &self.service
+    }
+
+    /// How many sessions are currently open — the admission-control
+    /// gauge, and the observable the chaos suite polls to prove sessions
+    /// are reaped (no leaked workers) after every failure mode.
+    pub fn live_sessions(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| lock(&inner.conns).open.len())
     }
 
     /// Graceful shutdown: stop accepting, unblock every in-flight session
@@ -217,6 +258,39 @@ impl AcceptBackoff {
     }
 }
 
+/// Shed-at-the-cap accounting for the accept loop: counts refused
+/// connections and surfaces the live/max gauge in the operator log at
+/// power-of-two shed counts (same cadence as [`AcceptBackoff`] — loud
+/// enough to see, quiet enough not to flood the log during a storm).
+struct ShedGauge {
+    shed: u64,
+}
+
+impl ShedGauge {
+    fn new() -> ShedGauge {
+        ShedGauge { shed: 0 }
+    }
+
+    fn shed(&mut self, live: usize, max: usize) -> Option<String> {
+        self.shed += 1;
+        self.shed.is_power_of_two().then(|| {
+            format!(
+                "connection shed at the cap: {live} live / max {max}; {} shed so far",
+                self.shed
+            )
+        })
+    }
+}
+
+/// Refuses one over-cap connection: one `ERR busy` frame (with the
+/// `retry-after-ms` hint), then close. The write gets a short deadline of
+/// its own so a peer that won't read its refusal cannot stall the accept
+/// loop behind it.
+fn reject_busy(mut stream: TcpStream, live: usize, max: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = Response::err(&ProtocolError::Busy { live, max }).write_to(&mut stream);
+}
+
 fn accept_loop(
     listener: TcpListener,
     service: Arc<AuditService>,
@@ -226,6 +300,7 @@ fn accept_loop(
 ) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     let mut backoff = AcceptBackoff::new();
+    let mut gauge = ShedGauge::new();
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -256,9 +331,23 @@ fn accept_loop(
         // protocol gets `ERR timeout`, not a pinned thread.
         let _ = stream.set_read_timeout(config.read_timeout);
         let _ = stream.set_write_timeout(config.write_timeout);
-        let token = match stream.try_clone() {
-            Ok(clone) => lock(&conns).register(clone),
-            Err(_) => continue, // can't make the shutdown handle: drop it
+        let Ok(clone) = stream.try_clone() else {
+            continue; // can't make the shutdown handle: drop it
+        };
+        // Admission control: the cap check and the registration share one
+        // lock scope, so a burst of accepts cannot overshoot the cap.
+        let token = {
+            let mut registry = lock(&conns);
+            let live = registry.open.len();
+            if config.max_connections > 0 && live >= config.max_connections {
+                drop(registry);
+                if let Some(warning) = gauge.shed(live, config.max_connections) {
+                    service.record_warning(warning);
+                }
+                reject_busy(stream, live, config.max_connections);
+                continue;
+            }
+            registry.register(clone)
         };
         let service = service.clone();
         let shutdown = shutdown.clone();
@@ -308,9 +397,13 @@ fn serve_connection(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown-peer".to_string());
+    let mut reader = BoundedLineReader::new(BufReader::new(read_half), config.max_line_bytes);
     let mut writer = stream;
-    let mut session = Session::new(service);
+    let mut session = Session::new(service.clone());
     if session.greeting().write_to(&mut writer).is_err() {
         return;
     }
@@ -322,9 +415,18 @@ fn serve_connection(
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return,
+            Ok(FrameLine::Line) => {}
+            Ok(FrameLine::Eof) => return,
+            Ok(FrameLine::TooLong) => {
+                // The rest of the overlong line was never consumed, so
+                // resyncing is impossible by construction: reply, close.
+                let _ = Response::err(&ProtocolError::LineTooLong {
+                    max: config.max_line_bytes,
+                })
+                .write_to(&mut writer);
+                return;
+            }
             Err(e) => {
                 if is_timeout(&e) {
                     // Best-effort courtesy reply; the close is the point.
@@ -332,14 +434,27 @@ fn serve_connection(
                 }
                 return;
             }
-            Ok(_) => {}
         }
         let parsed = Command::parse(&line);
         let (response, quit) = match parsed {
             Ok(None) => continue,
             Ok(Some(Command::Quit)) => (session.handle(Command::Quit, vec![]), true),
+            Ok(Some(Command::Ingest { count }))
+                if config.max_batch_rows > 0 && count > config.max_batch_rows =>
+            {
+                // Refused from the header alone — not a single row line
+                // is read or buffered, and the session stays usable. (A
+                // conforming client stops sending rows on the error.)
+                (
+                    Response::err(&ProtocolError::BatchSize {
+                        got: count,
+                        max: config.max_batch_rows,
+                    }),
+                    false,
+                )
+            }
             Ok(Some(Command::Ingest { count })) => {
-                match read_batch(&mut reader, count, config.read_timeout_secs()) {
+                match read_batch(&mut reader, count, &config) {
                     // The batch was consumed whole even if a row is bad, so
                     // the stream stays in sync with the command grammar.
                     Ok(rows) => match parse_batch(&rows) {
@@ -355,7 +470,16 @@ fn serve_connection(
             Ok(Some(cmd)) => (dispatch(&mut session, cmd, vec![]), false),
             Err(e) => (Response::err(&e), false),
         };
-        if response.write_to(&mut writer).is_err() {
+        if let Err(e) = response.write_to(&mut writer) {
+            if is_timeout(&e) {
+                // A peer that stopped reading its replies: the write-side
+                // deadline fired. Tear the session down with the reason
+                // on record — one stalled reader never wedges a worker.
+                service.record_warning(format!(
+                    "session {peer}: reply write stalled past the deadline ({e}); \
+                     dropping the session"
+                ));
+            }
             return;
         }
         if quit {
@@ -367,29 +491,34 @@ fn serve_connection(
 /// Reads the `count` continuation lines of an `INGEST` batch. A peer
 /// that announces a batch and then stalls past the read deadline gets
 /// `ERR timeout` (and the connection closed) — exactly the slowloris
-/// shape the deadline exists for.
+/// shape the deadline exists for; an overlong row line is `ERR toolong`
+/// with the same reply-then-close contract.
 fn read_batch(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut BoundedLineReader<BufReader<TcpStream>>,
     count: usize,
-    timeout_secs: u64,
+    config: &ServerConfig,
 ) -> Result<Vec<String>, ProtocolError> {
     let mut rows = Vec::with_capacity(count.min(4096));
     let mut line = String::new();
     for i in 0..count {
-        line.clear();
         match reader.read_line(&mut line) {
-            Err(e) if is_timeout(&e) => {
-                return Err(ProtocolError::Timeout {
-                    seconds: timeout_secs,
+            Ok(FrameLine::Line) => rows.push(line.trim().to_string()),
+            Ok(FrameLine::TooLong) => {
+                return Err(ProtocolError::LineTooLong {
+                    max: config.max_line_bytes,
                 })
             }
-            Ok(0) | Err(_) => {
+            Err(e) if is_timeout(&e) => {
+                return Err(ProtocolError::Timeout {
+                    seconds: config.read_timeout_secs(),
+                })
+            }
+            Ok(FrameLine::Eof) | Err(_) => {
                 return Err(ProtocolError::TruncatedBatch {
                     got: i,
                     expected: count,
                 })
             }
-            Ok(_) => rows.push(line.trim().to_string()),
         }
     }
     Ok(rows)
@@ -481,6 +610,7 @@ mod tests {
         let config = ServerConfig {
             read_timeout: Some(Duration::from_millis(150)),
             write_timeout: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
         };
         let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
             .expect("bind");
@@ -501,6 +631,7 @@ mod tests {
         let config = ServerConfig {
             read_timeout: Some(Duration::from_millis(150)),
             write_timeout: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
         };
         let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
             .expect("bind");
@@ -513,6 +644,92 @@ mod tests {
         assert_eq!(client.drain().expect("eof"), "");
         // The stalled batch was never acknowledged, so nothing published.
         assert_eq!(server.service().shared().seq(), 0);
+    }
+
+    #[test]
+    fn oversized_ingest_header_is_refused_and_the_session_stays_usable() {
+        let config = ServerConfig {
+            max_batch_rows: 10,
+            ..ServerConfig::default()
+        };
+        let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
+            .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // The count alone condemns the batch: no row is read, no memory
+        // reserved, and the reply is typed.
+        let reply = client.send("INGEST 11").expect("refusal");
+        assert!(reply.head.starts_with("ERR toolong "), "{}", reply.head);
+        assert!(reply.head.contains("1..=10"), "{}", reply.head);
+        // Same session, conforming batch: accepted.
+        let rows: Vec<_> = ["1 10000 1", "2 10001 2"]
+            .iter()
+            .enumerate()
+            .map(|(i, l)| crate::protocol::IngestRow::parse(l, i).unwrap())
+            .collect();
+        let reply = client.ingest(&rows).expect("small batch");
+        assert_eq!(reply.head, "OK ingest seq 1 rows 2 new_rows 2 rebuilt 0");
+        assert_eq!(server.service().shared().seq(), 1);
+    }
+
+    #[test]
+    fn overlong_request_line_gets_err_toolong_then_close() {
+        let config = ServerConfig {
+            max_line_bytes: 128,
+            ..ServerConfig::default()
+        };
+        let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
+            .expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let long = format!("EXPLAIN {}\n", "9".repeat(500));
+        client.send_raw(long.as_bytes()).expect("send");
+        let reply = client.read_reply_frame().expect("toolong reply");
+        assert!(reply.head.starts_with("ERR toolong "), "{}", reply.head);
+        assert!(reply.head.contains("128"), "{}", reply.head);
+        // Reply-then-close: nothing after the frame.
+        assert_eq!(client.drain().expect("eof"), "");
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_err_busy_and_frees_on_close() {
+        let config = ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        };
+        let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
+            .expect("bind");
+        let addr = server.local_addr();
+        let mut a = Client::connect(addr).expect("a");
+        let _b = Client::connect(addr).expect("b");
+        // Third connection: admission control answers `ERR busy` in the
+        // greeting position, then closes — never a silent drop.
+        let Err(err) = Client::connect(addr) else {
+            panic!("third connection admitted over the cap");
+        };
+        let text = err.to_string();
+        assert!(text.contains("ERR busy "), "{text}");
+        assert!(text.contains("retry-after-ms"), "{text}");
+        // The shed is on the operator record.
+        assert!(server
+            .service()
+            .warnings()
+            .iter()
+            .any(|w| w.contains("connection shed at the cap")));
+        // Freeing a slot re-admits.
+        assert_eq!(a.send("QUIT").expect("quit").head, "OK bye");
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut admitted = None;
+        while std::time::Instant::now() < deadline {
+            match Client::connect(addr) {
+                Ok(c) => {
+                    admitted = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let mut c = admitted.expect("slot freed after QUIT");
+        assert_eq!(c.send("PING").expect("ping").head, "OK pong");
     }
 
     #[test]

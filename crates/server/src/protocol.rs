@@ -43,9 +43,17 @@
 //! `ERR <code> <message>` with codes `bad-request` (parse/argument
 //! errors), `not-found` (lookups), `timeout` (the session idled past the
 //! configured socket deadline — sent once, then the connection closes),
-//! `persist` (an `INGEST` could not be made durable; **nothing was
-//! published** — retry after the operator fixes the disk), and `internal`
-//! (a recovered panic — the connection and the service both survive it).
+//! `busy` (the server is at its connection cap; sent in greeting
+//! position, then the connection closes — carries a `retry-after-ms`
+//! hint), `toolong` (a request line over the frame cap — sent once, then
+//! close — or an `INGEST` count over the batch cap, rejected *before*
+//! any row line is read; the session stays usable), `overloaded` (the
+//! single-writer ingest path is saturated; the batch was shed — nothing
+//! read, nothing published — and the reply carries a `retry-after-ms`
+//! hint; read commands never shed), `persist` (an `INGEST` could not be
+//! made durable; **nothing was published** — retry after the operator
+//! fixes the disk), and `internal` (a recovered panic — the connection
+//! and the service both survive it).
 
 use std::fmt;
 use std::io::Write;
@@ -53,6 +61,18 @@ use std::io::Write;
 /// Upper bound on one `INGEST` batch, so a malformed count cannot make
 /// the server buffer unbounded input.
 pub const MAX_INGEST_BATCH: usize = 100_000;
+
+/// The `retry-after-ms` hint attached to an `ERR busy` rejection: how
+/// long a shed connection should wait before reconnecting. Sessions turn
+/// over on human timescales, so a fixed second is an honest hint.
+pub const BUSY_RETRY_AFTER_MS: u64 = 1_000;
+
+/// The `retry-after-ms` hint for an `ERR overloaded` shed, scaled by how
+/// deep the writer queue was when the batch was refused: each in-flight
+/// ingest ahead of the client is worth ~100 ms of writer time.
+pub fn overload_retry_after_ms(in_flight: usize) -> u64 {
+    100 * in_flight.max(1) as u64
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -289,6 +309,13 @@ pub enum ProtocolError {
         /// Rows announced.
         expected: usize,
     },
+    /// A request line exceeded the session's frame cap; the reply is
+    /// sent once and the connection is closed (the overlong tail is
+    /// never buffered).
+    LineTooLong {
+        /// The configured cap, in bytes.
+        max: usize,
+    },
     /// A lookup found nothing (e.g. an unknown lid).
     NotFound(String),
     /// The session sat past its socket deadline; the reply is sent once
@@ -296,6 +323,24 @@ pub enum ProtocolError {
     Timeout {
         /// The configured deadline, in seconds.
         seconds: u64,
+    },
+    /// The server is at its connection cap. Sent in greeting position to
+    /// the excess connection, which is then closed — a typed refusal,
+    /// never a silent drop.
+    Busy {
+        /// Open sessions at the moment of refusal.
+        live: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The single-writer ingest path is saturated; this batch was shed
+    /// before any row line was read. Nothing was published and nothing
+    /// is durable — the client retries after the hint. Read commands
+    /// are never shed.
+    Overloaded {
+        /// Ingests already in flight (writing or waiting) when the
+        /// batch was refused.
+        in_flight: usize,
     },
     /// An `INGEST` batch could not be made durable. Nothing was
     /// published: the acknowledged history is still a prefix of the
@@ -312,11 +357,16 @@ impl ProtocolError {
             ProtocolError::UnknownCommand(_)
             | ProtocolError::Usage(_)
             | ProtocolError::BadInt { .. }
-            | ProtocolError::BatchSize { .. }
             | ProtocolError::BadRow { .. }
             | ProtocolError::TruncatedBatch { .. } => "bad-request",
+            // A zero-row batch is malformed; an oversized one is a
+            // resource-limit refusal, same family as an overlong line.
+            ProtocolError::BatchSize { got: 0, .. } => "bad-request",
+            ProtocolError::BatchSize { .. } | ProtocolError::LineTooLong { .. } => "toolong",
             ProtocolError::NotFound(_) => "not-found",
             ProtocolError::Timeout { .. } => "timeout",
+            ProtocolError::Busy { .. } => "busy",
+            ProtocolError::Overloaded { .. } => "overloaded",
             ProtocolError::Persist(_) => "persist",
             ProtocolError::Internal(_) => "internal",
         }
@@ -340,9 +390,27 @@ impl fmt::Display for ProtocolError {
             ProtocolError::TruncatedBatch { got, expected } => {
                 write!(f, "connection closed after {got} of {expected} ingest rows")
             }
+            ProtocolError::LineTooLong { max } => {
+                write!(f, "request line exceeds the {max}-byte frame cap; closing")
+            }
             ProtocolError::NotFound(what) => write!(f, "{what}"),
             ProtocolError::Timeout { seconds } => {
                 write!(f, "session idle past the {seconds}s limit; closing")
+            }
+            ProtocolError::Busy { live, max } => {
+                write!(
+                    f,
+                    "connection cap reached ({live} live / max {max}); \
+                     retry-after-ms {BUSY_RETRY_AFTER_MS}"
+                )
+            }
+            ProtocolError::Overloaded { in_flight } => {
+                write!(
+                    f,
+                    "ingest writer saturated ({in_flight} batch(es) in flight); \
+                     batch shed, nothing published; retry-after-ms {}",
+                    overload_retry_after_ms(*in_flight)
+                )
             }
             ProtocolError::Persist(what) => {
                 write!(f, "batch not durable, nothing published: {what}")
@@ -481,6 +549,35 @@ mod tests {
         ));
         let err = Command::parse("MISUSE 1 2").unwrap_err();
         assert_eq!(err.code(), "bad-request");
+    }
+
+    #[test]
+    fn overload_errors_carry_typed_codes_and_retry_hints() {
+        // A zero batch is malformed; an oversized one is a limit refusal.
+        assert_eq!(
+            ProtocolError::BatchSize { got: 0, max: 10 }.code(),
+            "bad-request"
+        );
+        assert_eq!(
+            ProtocolError::BatchSize { got: 11, max: 10 }.code(),
+            "toolong"
+        );
+        assert_eq!(ProtocolError::LineTooLong { max: 4096 }.code(), "toolong");
+        let busy = ProtocolError::Busy { live: 64, max: 64 };
+        assert_eq!(busy.code(), "busy");
+        assert!(busy.to_string().contains("retry-after-ms"), "{busy}");
+        let shed = ProtocolError::Overloaded { in_flight: 3 };
+        assert_eq!(shed.code(), "overloaded");
+        assert!(
+            shed.to_string()
+                .contains(&format!("retry-after-ms {}", overload_retry_after_ms(3))),
+            "{shed}"
+        );
+        // The hint scales with queue depth but never reads zero.
+        assert_eq!(overload_retry_after_ms(0), 100);
+        assert!(overload_retry_after_ms(5) > overload_retry_after_ms(1));
+        let head = Response::err(&shed).head;
+        assert!(head.starts_with("ERR overloaded "), "{head}");
     }
 
     #[test]

@@ -222,9 +222,15 @@ impl Session {
 
     fn ingest(&mut self, rows: &[IngestRow]) -> Response {
         let svc = &self.service;
-        let report = match svc.ingest_rows(rows) {
+        let report = match svc.try_ingest_rows(rows) {
             Ok(report) => report,
-            Err(e) => {
+            Err(crate::IngestRejected::Overloaded { in_flight }) => {
+                // Shed: the writer queue is saturated. Typed refusal with
+                // a retry hint; the session itself stays usable (reads
+                // still answer from the pinned epoch).
+                return ProtocolError::Overloaded { in_flight }.into();
+            }
+            Err(crate::IngestRejected::Persist(e)) => {
                 // Nothing was published and nothing is durable; tell the
                 // operator and the client the same story.
                 svc.record_warning(format!("ingest not persisted: {e}"));

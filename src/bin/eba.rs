@@ -76,7 +76,8 @@ fn usage(err: &str) -> ! {
          \x20 eba investigate --data DIR [--top N] [--groups]\n\
          \x20 eba serve --data DIR [--addr HOST:PORT] [--groups]\n\
          \x20           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]\n\
-         \x20 eba client --addr HOST:PORT --send \"COMMAND ...\""
+         \x20           [--max-conn N]\n\
+         \x20 eba client --addr HOST:PORT --send \"COMMAND ...\" [--retries N]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -437,19 +438,24 @@ fn parse_fsync(opts: &Options) -> eba::relational::Durability {
         .unwrap_or_else(|| usage(&format!("--fsync expects strict|relaxed, got `{v}`")))
 }
 
-/// `--timeout SECS` → the server's socket deadlines (0 disables them).
+/// `--timeout SECS` → the server's socket deadlines (0 disables them);
+/// `--max-conn N` → the concurrent-session cap (0 removes it).
 fn server_config(opts: &Options) -> eba::server::ServerConfig {
     let secs: u64 = opts.parsed("timeout", 120);
     let timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    let defaults = eba::server::ServerConfig::default();
     eba::server::ServerConfig {
         read_timeout: timeout,
         write_timeout: timeout,
+        max_connections: opts.parsed("max-conn", defaults.max_connections),
+        ..defaults
     }
 }
 
 /// `eba client`: sends one protocol command to a running server and
 /// prints the framed reply. An `ERR` reply exits non-zero, so scripts can
-/// branch on it.
+/// branch on it. `--retries N` retries refused or `ERR busy` connects
+/// with capped exponential backoff before giving up.
 fn cmd_client(opts: &Options) -> CliResult {
     let addr = opts.require("addr");
     let command = opts.require("send");
@@ -460,8 +466,15 @@ fn cmd_client(opts: &Options) -> CliResult {
                 .into(),
         );
     }
-    let mut client =
-        eba::server::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let config = eba::server::ClientConfig {
+        retry: eba::server::RetryPolicy {
+            retries: opts.parsed("retries", eba::server::RetryPolicy::backoff().retries),
+            ..eba::server::RetryPolicy::backoff()
+        },
+        ..eba::server::ClientConfig::default()
+    };
+    let mut client = eba::server::Client::connect_with(addr, config)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let reply = client.send(command)?;
     {
         // `writeln!`, not `println!`: a downstream `| head` closing the

@@ -1,0 +1,147 @@
+//! A fault-injecting TCP proxy for the network chaos suite.
+//!
+//! The proxy sits between a test client and a real `eba-serve` listener
+//! and applies one [`Plan`] per accepted connection: forwarding cleanly,
+//! tearing the server→client stream mid-frame, cutting the
+//! client→server stream mid-request, or stalling replies. Faults are
+//! injected at the byte level — the server under test sees an ordinary
+//! peer that misbehaves exactly the way real networks do.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What one proxied connection does to its traffic.
+#[derive(Debug, Clone, Copy)]
+pub enum Plan {
+    /// Forward both directions untouched.
+    Clean,
+    /// Forward server→client replies for `n` bytes, then sever both
+    /// directions: the client sees a torn reply frame.
+    TearReplyAfter(usize),
+    /// Forward client→server requests for `n` bytes, then sever both
+    /// directions: the server sees a request cut off mid-line (or
+    /// mid-`INGEST` batch).
+    CutRequestAfter(usize),
+    /// Hold every server→client byte for the given pause before
+    /// delivering it — a slow, congested path.
+    StallRepliesFor(Duration),
+}
+
+/// A listening proxy that pops one [`Plan`] per accepted connection
+/// (falling back to [`Plan::Clean`] when the queue is empty).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    plans: Arc<Mutex<VecDeque<Plan>>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Spawns the proxy on an ephemeral port, forwarding to `upstream`.
+    pub fn spawn(upstream: SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let plans: Arc<Mutex<VecDeque<Plan>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let plans = plans.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(client) = conn else { continue };
+                    let plan = plans.lock().unwrap().pop_front().unwrap_or(Plan::Clean);
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    run_connection(client, server, plan);
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            plans,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address test clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queues the plan for the next accepted connection.
+    pub fn push_plan(&self, plan: Plan) {
+        self.plans.lock().unwrap().push_back(plan);
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so the thread observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the two pump threads for one proxied connection. The pumps are
+/// detached: they die when either side closes or the fault budget runs
+/// out, and the severing `shutdown(Both)` on their peers guarantees that
+/// happens promptly.
+fn run_connection(client: TcpStream, server: TcpStream, plan: Plan) {
+    let (c2s_budget, s2c_budget, stall) = match plan {
+        Plan::Clean => (usize::MAX, usize::MAX, None),
+        Plan::TearReplyAfter(n) => (usize::MAX, n, None),
+        Plan::CutRequestAfter(n) => (n, usize::MAX, None),
+        Plan::StallRepliesFor(pause) => (usize::MAX, usize::MAX, Some(pause)),
+    };
+    {
+        let (from, to) = (client.try_clone(), server.try_clone());
+        if let (Ok(from), Ok(to)) = (from, to) {
+            std::thread::spawn(move || pump(from, to, c2s_budget, None));
+        }
+    }
+    std::thread::spawn(move || pump(server, client, s2c_budget, stall));
+}
+
+/// Copies bytes `from → to` until EOF, an error, or `budget` bytes have
+/// been forwarded — at which point both sockets are severed in both
+/// directions (the "torn frame" the chaos suite is about). `stall`
+/// delays each chunk before forwarding it.
+fn pump(mut from: TcpStream, mut to: TcpStream, mut budget: usize, stall: Option<Duration>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if let Some(pause) = stall {
+            std::thread::sleep(pause);
+        }
+        let send = n.min(budget);
+        if to.write_all(&buf[..send]).is_err() {
+            break;
+        }
+        budget -= send;
+        if budget == 0 {
+            // Fault budget exhausted: tear the connection, both sides,
+            // both directions, right now.
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

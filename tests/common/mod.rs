@@ -6,6 +6,8 @@
 
 #![allow(dead_code)] // each test binary uses the subset it needs
 
+pub mod chaos;
+
 use eba::audit::handcrafted::HandcraftedTemplates;
 use eba::audit::Explainer;
 use eba::core::LogSpec;

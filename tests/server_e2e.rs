@@ -564,6 +564,68 @@ fn rebuild_fallback_warning_fires_over_the_server_path() {
     );
 }
 
+/// Satellite: a client that announces an `INGEST` batch and disconnects
+/// mid-batch publishes **nothing** and persists **nothing** — the torn
+/// batch is all-or-nothing at both the epoch layer and the durable pile
+/// — and the worker thread is reaped, not leaked.
+#[test]
+fn mid_ingest_disconnect_publishes_nothing_and_persists_nothing() {
+    let world = common::AuditWorld::tiny(67);
+    let dir = std::env::temp_dir().join(format!("eba-e2e-midingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let pile = dir.join("pile.seg");
+
+    // Same seed ⇒ same base data: the second world's hospital moves into
+    // the durable service while `world` keeps one for building batches.
+    let service = AuditService::from_hospital_durable(
+        common::AuditWorld::tiny(67).hospital,
+        &pile,
+        eba::relational::Durability::Strict,
+    )
+    .expect("open durable store");
+    let mut server = Server::spawn(service, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Announce 5 rows, deliver 2, vanish.
+    let mut torn = Client::connect(addr).expect("torn client");
+    torn.send_raw(b"INGEST 5\n1 10000 1\n2 10001 2\n")
+        .expect("partial batch");
+    drop(torn);
+
+    // The worker observes the truncation and is reaped.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.live_sessions() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(server.live_sessions(), 0, "torn session not reaped");
+    assert_eq!(
+        server.service().shared().seq(),
+        0,
+        "a truncated batch must publish nothing"
+    );
+
+    // The service is unharmed: a complete batch from a fresh session
+    // publishes epoch 1 and is acknowledged (hence durable).
+    let mut fresh = Client::connect(addr).expect("fresh client");
+    let reply = fresh.ingest(&batch(&world, 4, Some(2))).expect("ingest");
+    assert!(reply.is_ok(), "{}", reply.head);
+    assert_eq!(reply.field("seq"), Some("1"));
+    server.shutdown();
+
+    // Reopen the pile: exactly the acknowledged batch was persisted —
+    // nothing from the torn one.
+    let (_store, batches, _report) = eba::relational::DurableStore::open(
+        &pile,
+        eba::relational::Durability::Strict,
+        eba::relational::pile::default_checkpoint_rows(),
+    )
+    .expect("reopen pile");
+    assert_eq!(batches.len(), 1, "only the acked batch is on disk");
+    assert_eq!(batches[0].rows.len(), 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Shutdown with sessions mid-flight: returns promptly, in-flight
 /// sessions observe EOF instead of hanging, the port stops accepting.
 #[test]
