@@ -6,7 +6,7 @@
 
 use eba_core::{ExplanationTemplate, LogSpec};
 use eba_relational::{
-    ChainQuery, Database, Engine, Epoch, EvalOptions, PreparedChain, Result, RowId,
+    ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, PreparedChain, Result, RowId,
 };
 use std::collections::HashSet;
 
@@ -125,6 +125,17 @@ impl Explainer {
         self.explained_rows_with(epoch.db(), spec, epoch.engine())
     }
 
+    /// [`Explainer::explained_rows`] against a pinned **epoch vector** —
+    /// the sharded session form. Each shard evaluates the whole suite
+    /// against its warm engine in parallel; the unions merge into
+    /// **global** row ids, identical to what [`Explainer::explained_rows`]
+    /// returns on the unsharded database.
+    pub fn explained_rows_at_shards(&self, spec: &LogSpec, shards: &EpochVec) -> HashSet<RowId> {
+        shards
+            .explained_union(&self.suite_queries(spec), EvalOptions::default())
+            .expect("templates lower to valid queries")
+    }
+
     /// Anchor rows *no* template explains — the paper's reduced set of
     /// potentially suspicious accesses.
     pub fn unexplained_rows(&self, db: &Database, spec: &LogSpec) -> Vec<RowId> {
@@ -146,6 +157,25 @@ impl Explainer {
     /// [`Explainer::unexplained_rows`] against a pinned [`Epoch`].
     pub fn unexplained_rows_at(&self, spec: &LogSpec, epoch: &Epoch) -> Vec<RowId> {
         self.unexplained_rows_with(epoch.db(), spec, epoch.engine())
+    }
+
+    /// [`Explainer::unexplained_rows`] against a pinned epoch vector:
+    /// per-shard complements gathered into ascending **global** row ids —
+    /// byte-identical to the unsharded answer, because anchor filters
+    /// evaluate per row and shards partition the log.
+    pub fn unexplained_rows_at_shards(&self, spec: &LogSpec, shards: &EpochVec) -> Vec<RowId> {
+        let mut out: Vec<RowId> = shards
+            .par_map_shards(|_, shard| {
+                self.unexplained_rows_with(shard.db(), spec, shard.engine())
+                    .into_iter()
+                    .map(|local| shard.to_global(local))
+                    .collect::<Vec<RowId>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     fn anchor_complement(db: &Database, spec: &LogSpec, explained: &HashSet<RowId>) -> Vec<RowId> {
@@ -275,6 +305,29 @@ mod tests {
             explainer.unexplained_rows_with(&h.db, &spec, &engine),
             explainer.unexplained_rows(&h.db, &spec)
         );
+    }
+
+    #[test]
+    fn sharded_suite_matches_unsharded_oracle() {
+        let (h, spec, explainer) = setup();
+        let key = eba_relational::ShardKey {
+            table: spec.table,
+            col: spec.patient_col,
+        };
+        for n in [1, 3] {
+            let sharded = eba_relational::ShardedEngine::new(h.db.clone(), key, n);
+            let shards = sharded.load();
+            assert_eq!(
+                explainer.explained_rows_at_shards(&spec, &shards),
+                explainer.explained_rows(&h.db, &spec),
+                "{n} shards"
+            );
+            assert_eq!(
+                explainer.unexplained_rows_at_shards(&spec, &shards),
+                explainer.unexplained_rows(&h.db, &spec),
+                "{n} shards"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::fake::FakeLog;
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{ChainQuery, Database, Engine, Epoch, EvalOptions, RowId};
+use eba_relational::{ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, RowId};
 use std::collections::HashSet;
 
 /// Counts underlying the three metrics.
@@ -171,6 +171,39 @@ pub fn explained_union_at(
     explained_union_with(epoch.db(), spec, templates, epoch.engine())
 }
 
+/// [`explained_union`] against a pinned **epoch vector**: shards evaluate
+/// the template set in parallel and the unions merge into global row ids.
+pub fn explained_union_at_shards(
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    shards: &EpochVec,
+) -> HashSet<RowId> {
+    let queries: Vec<ChainQuery> = templates
+        .iter()
+        .map(|t| t.path.to_chain_query(spec))
+        .collect();
+    shards
+        .explained_union(&queries, EvalOptions::default())
+        .expect("templates lower to valid queries")
+}
+
+/// [`anchor_rows`] against a pinned epoch vector, in ascending **global**
+/// row id order — byte-identical to the unsharded call.
+pub fn anchor_rows_at_shards(shards: &EpochVec, spec: &LogSpec) -> Vec<RowId> {
+    let mut out: Vec<RowId> = shards
+        .par_map_shards(|_, shard| {
+            anchor_rows(shard.db(), spec)
+                .into_iter()
+                .map(|local| shard.to_global(local))
+                .collect::<Vec<RowId>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    out.sort_unstable();
+    out
+}
+
 /// [`evaluate`] through a shared [`Engine`] over `db` — what the
 /// experiments figures use so every template set of one figure shares one
 /// snapshot and cache.
@@ -209,6 +242,27 @@ pub fn evaluate_at(
         fake,
         with_events,
         epoch.engine(),
+    )
+}
+
+/// [`evaluate`] against a pinned epoch vector. `fake` and `with_events`
+/// speak global row ids (they were built against the unsharded log), and
+/// so do the anchors and explained sets gathered here — the confusion
+/// counts are identical to [`evaluate`] on the oracle database.
+pub fn evaluate_at_shards(
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    fake: Option<&FakeLog>,
+    with_events: Option<&HashSet<RowId>>,
+    shards: &EpochVec,
+) -> Confusion {
+    let anchors = anchor_rows_at_shards(shards, spec);
+    let explained = explained_union_at_shards(spec, templates, shards);
+    confusion_from_sets(
+        &anchors,
+        &explained,
+        |rid| fake.is_some_and(|f| f.is_fake(rid)),
+        with_events,
     )
 }
 
@@ -274,6 +328,35 @@ mod tests {
             evaluate_with(&h.db, &spec, &suite, None, None, &engine),
             evaluate(&h.db, &spec, &suite, None, None)
         );
+    }
+
+    #[test]
+    fn sharded_metrics_match_unsharded_oracle() {
+        let h = Hospital::generate(SynthConfig::tiny());
+        let spec = eba_core::LogSpec::conventional(&h.db).unwrap();
+        let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+        let suite = t.all();
+        let key = eba_relational::ShardKey {
+            table: spec.table,
+            col: spec.patient_col,
+        };
+        for n in [1, 3] {
+            let sharded = eba_relational::ShardedEngine::new(h.db.clone(), key, n);
+            let shards = sharded.load();
+            assert_eq!(
+                anchor_rows_at_shards(&shards, &spec),
+                anchor_rows(&h.db, &spec),
+                "{n} shards"
+            );
+            assert_eq!(
+                explained_union_at_shards(&spec, &suite, &shards),
+                explained_union(&h.db, &spec, &suite)
+            );
+            assert_eq!(
+                evaluate_at_shards(&spec, &suite, None, None, &shards),
+                evaluate(&h.db, &spec, &suite, None, None)
+            );
+        }
     }
 
     #[test]

@@ -8,12 +8,12 @@
 
 use crate::explain::{Explainer, RankedExplanation};
 use eba_core::LogSpec;
-use eba_relational::{Database, Engine, Epoch, Result, RowId, Value};
+use eba_relational::{Database, Engine, Epoch, EpochVec, Result, RowId, Value};
 use eba_synth::LogColumns;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One line of a patient's access report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportEntry {
     /// Log row.
     pub row: RowId,
@@ -116,19 +116,101 @@ pub fn misuse_summary_at(
     misuse_summary_with(epoch.db(), spec, explainer, epoch.engine())
 }
 
+/// [`misuse_summary`] against a pinned **epoch vector**. Per-shard
+/// `user → (count, patients)` maps merge by summing counts and unioning
+/// patient sets (a user's accesses — and even one patient's accesses, if
+/// the spec's patient column is not the partition key — may straddle
+/// shards), then rank identically to the unsharded path.
+pub fn misuse_summary_at_shards(
+    spec: &LogSpec,
+    explainer: &Explainer,
+    shards: &EpochVec,
+) -> Vec<SuspectSummary> {
+    let per_shard = shards.par_map_shards(|_, shard| {
+        per_user_unexplained(
+            shard.db(),
+            spec,
+            explainer.unexplained_rows_at(spec, shard.epoch()),
+        )
+    });
+    let mut merged: HashMap<Value, (usize, HashSet<Value>)> = HashMap::new();
+    for map in per_shard {
+        for (user, (count, patients)) in map {
+            let entry = merged.entry(user).or_default();
+            entry.0 += count;
+            entry.1.extend(patients);
+        }
+    }
+    rank_suspects(merged)
+}
+
+/// [`patient_report`] against a pinned epoch vector: each shard reports
+/// its slice of the patient's accesses (row ids mapped back to global),
+/// gathered chronologically. Under patient-keyed sharding all entries come
+/// from one shard; the merge stays correct for any partition key.
+pub fn patient_report_at_shards(
+    spec: &LogSpec,
+    cols: &LogColumns,
+    explainer: &Explainer,
+    patient: Value,
+    shards: &EpochVec,
+) -> Result<Vec<ReportEntry>> {
+    let per_shard = shards.par_map_shards(|_, shard| {
+        patient_report(shard.db(), spec, cols, explainer, patient).map(|entries| {
+            entries
+                .into_iter()
+                .map(|mut e| {
+                    e.row = shard.to_global(e.row);
+                    e
+                })
+                .collect::<Vec<ReportEntry>>()
+        })
+    });
+    let mut out = Vec::new();
+    for entries in per_shard {
+        out.extend(entries?);
+    }
+    // Same order as the unsharded report: by date, ties in log order
+    // (its stable sort keeps the ascending row ids it scanned).
+    out.sort_by_key(|e| {
+        (
+            match e.date {
+                Value::Date(d) => d,
+                _ => i64::MAX,
+            },
+            e.row,
+        )
+    });
+    Ok(out)
+}
+
 fn summarize_unexplained(
     db: &Database,
     spec: &LogSpec,
     unexplained: Vec<RowId>,
 ) -> Vec<SuspectSummary> {
+    rank_suspects(per_user_unexplained(db, spec, unexplained))
+}
+
+/// `user → (unexplained count, distinct patients)` — the associative
+/// intermediate both the unsharded and the scatter-gather summary rank.
+fn per_user_unexplained(
+    db: &Database,
+    spec: &LogSpec,
+    unexplained: Vec<RowId>,
+) -> HashMap<Value, (usize, HashSet<Value>)> {
     let log = db.table(spec.table);
-    let mut per_user: HashMap<Value, (usize, std::collections::HashSet<Value>)> = HashMap::new();
+    let mut per_user: HashMap<Value, (usize, HashSet<Value>)> = HashMap::new();
     for rid in unexplained {
         let row = log.row(rid);
         let entry = per_user.entry(row[spec.user_col]).or_default();
         entry.0 += 1;
         entry.1.insert(row[spec.patient_col]);
     }
+    per_user
+}
+
+fn rank_suspects(per_user: HashMap<Value, (usize, HashSet<Value>)>) -> Vec<SuspectSummary> {
     let mut out: Vec<SuspectSummary> = per_user
         .into_iter()
         .map(|(user, (unexplained, patients))| SuspectSummary {
@@ -206,6 +288,39 @@ mod tests {
             misuse_summary_with(&h.db, &spec, &explainer, &engine),
             misuse_summary(&h.db, &spec, &explainer)
         );
+    }
+
+    #[test]
+    fn sharded_portal_views_match_unsharded_oracle() {
+        let (h, spec, explainer) = setup();
+        let key = eba_relational::ShardKey {
+            table: spec.table,
+            col: spec.patient_col,
+        };
+        // The busiest patient exercises a non-trivial report.
+        let log = h.db.table(h.t_log);
+        let idx = log.index(h.log_cols.patient);
+        let (patient, _) = idx
+            .groups()
+            .into_iter()
+            .max_by_key(|(_, rows)| rows.len())
+            .expect("log not empty");
+        let oracle_summary = misuse_summary(&h.db, &spec, &explainer);
+        let oracle_report = patient_report(&h.db, &spec, &h.log_cols, &explainer, patient).unwrap();
+        for n in [1, 3] {
+            let sharded = eba_relational::ShardedEngine::new(h.db.clone(), key, n);
+            let shards = sharded.load();
+            assert_eq!(
+                misuse_summary_at_shards(&spec, &explainer, &shards),
+                oracle_summary,
+                "{n} shards"
+            );
+            assert_eq!(
+                patient_report_at_shards(&spec, &h.log_cols, &explainer, patient, &shards).unwrap(),
+                oracle_report,
+                "{n} shards"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::explain::Explainer;
 use crate::split;
 use eba_core::LogSpec;
-use eba_relational::{Database, Engine, Epoch, RowId};
+use eba_relational::{Database, Engine, Epoch, EpochVec, RowId};
 use eba_synth::LogColumns;
 use std::collections::HashSet;
 
@@ -125,6 +125,42 @@ pub fn daily_stats_at(
     epoch: &Epoch,
 ) -> Timeline {
     daily_stats_with(epoch.db(), spec, cols, explainer, days, epoch.engine())
+}
+
+/// [`daily_stats`] against a pinned **epoch vector**: each shard buckets
+/// its own slice of the log in parallel and the day buckets sum — every
+/// [`DayStats`] field is a count over disjoint row sets, so the merge is
+/// exact, overflow bucket included.
+pub fn daily_stats_at_shards(
+    spec: &LogSpec,
+    cols: &LogColumns,
+    explainer: &Explainer,
+    days: u32,
+    shards: &EpochVec,
+) -> Timeline {
+    let per_shard = shards
+        .par_map_shards(|_, shard| daily_stats_at(spec, cols, explainer, days, shard.epoch()));
+    let mut merged = Timeline {
+        days: (1..=days).map(DayStats::empty).collect(),
+        overflow: DayStats::empty(DayStats::OVERFLOW_DAY),
+    };
+    for t in per_shard {
+        for (m, s) in merged.days.iter_mut().zip(&t.days) {
+            m.add(s);
+        }
+        merged.overflow.add(&t.overflow);
+    }
+    merged
+}
+
+impl DayStats {
+    fn add(&mut self, other: &DayStats) {
+        debug_assert_eq!(self.day, other.day);
+        self.total += other.total;
+        self.explained += other.explained;
+        self.first_accesses += other.first_accesses;
+        self.first_explained += other.first_explained;
+    }
 }
 
 /// Buckets a precomputed explained set by day.
@@ -329,6 +365,25 @@ mod tests {
             after,
             daily_stats(fresh.db(), &spec, &h.log_cols, &explainer, days)
         );
+    }
+
+    #[test]
+    fn sharded_timeline_matches_unsharded_oracle() {
+        let (h, spec, explainer) = setup();
+        let key = eba_relational::ShardKey {
+            table: spec.table,
+            col: spec.patient_col,
+        };
+        let oracle = daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days);
+        for n in [1, 3] {
+            let sharded = eba_relational::ShardedEngine::new(h.db.clone(), key, n);
+            let shards = sharded.load();
+            assert_eq!(
+                daily_stats_at_shards(&spec, &h.log_cols, &explainer, h.config.days, &shards),
+                oracle,
+                "{n} shards"
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! audit-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench] [--append N]
+//!             [--shards N]
 //! ```
 //!
 //! The paper's operational loop is an auditor repeatedly asking "which
@@ -15,6 +16,11 @@
 //!   as a fanned-out batch;
 //! * **cold vs warm engine** (`engine/cold_build`): constructing a fresh
 //!   engine per question vs holding one across questions;
+//! * **sharded scatter-gather** (`shard/suite_scatter_gather{N}`): the
+//!   suite evaluated by an N-shard [`eba_relational::ShardedEngine`]
+//!   epoch vector — per-shard engines in parallel, global merge — vs the
+//!   warm single engine (`--shards N` restricts the sweep to one count,
+//!   the CI smoke runs `--shards 4`);
 //! * **incremental append** (`refresh/append*`): `Engine::refresh` after a
 //!   batch of log appends vs re-snapshotting the whole database;
 //! * **concurrent handoff** (`concurrent/reader_during_ingest*`): reader
@@ -57,6 +63,7 @@ fn main() {
     let mut samples = 5usize;
     let mut scale = "bench".to_string();
     let mut append = 500usize;
+    let mut shard_counts = vec![1usize, 4, 8];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -83,6 +90,18 @@ fn main() {
                 append = v
                     .parse()
                     .unwrap_or_else(|_| usage("--append expects an integer"));
+            }
+            "--shards" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --shards value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards expects a positive integer"));
+                if n == 0 {
+                    usage("--shards expects a positive integer");
+                }
+                shard_counts = vec![n];
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),
@@ -198,6 +217,41 @@ fn main() {
             explainer.explained_rows_with(db, spec, &engine);
         },
     ));
+
+    // Sharded scatter-gather: the whole suite fanned out over N
+    // hash-partitioned shards evaluated in parallel and merged, vs the
+    // same warm single engine answering it sequentially. Shard count 1
+    // prices the epoch-vector layer itself (it should be noise); 4 and 8
+    // show what per-shard parallelism buys. The differential guard
+    // asserts the merged global explained set equals the single-engine
+    // set before anything is timed.
+    for &n_shards in &shard_counts {
+        let sharded = eba_relational::ShardedEngine::new(
+            db.clone(),
+            eba_relational::ShardKey {
+                table: spec.table,
+                col: spec.patient_col,
+            },
+            n_shards,
+        );
+        let vec = sharded.load();
+        explainer.explained_rows_at_shards(spec, &vec); // warm per-shard caches
+        assert_eq!(
+            explainer.explained_rows_at_shards(spec, &vec),
+            explainer.explained_rows_with(db, spec, &engine),
+            "{n_shards}-shard scatter-gather changed the explained set"
+        );
+        workloads.push(Workload::compare(
+            format!("shard/suite_scatter_gather{n_shards}"),
+            samples,
+            || {
+                explainer.explained_rows_with(db, spec, &engine);
+            },
+            || {
+                explainer.explained_rows_at_shards(spec, &vec);
+            },
+        ));
+    }
 
     let users = user_pool(db);
     let patients: Vec<Value> = (0..scenario.hospital.world.n_patients())
@@ -967,7 +1021,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: audit-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench] [--append N]"
+        "usage: audit-bench [--json PATH] [--samples N] [--scale tiny|small|default|bench] \
+         [--append N] [--shards N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

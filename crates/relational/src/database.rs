@@ -113,6 +113,12 @@ impl Database {
     pub fn set_segment_rows(&mut self, seg_rows: usize) {
         assert!(seg_rows > 0, "segment capacity must be positive");
         self.seg_rows = seg_rows;
+        // The string pool shares the granularity so its sealing cadence
+        // tracks the tables'; it can only be re-granulated while empty
+        // (symbols are indexes into the existing segments).
+        if self.pool.is_empty() {
+            self.pool = StringPool::with_granularity(seg_rows);
+        }
     }
 
     /// The row-segment capacity tables created next will use.
@@ -128,6 +134,22 @@ impl Database {
         for t in &mut self.tables {
             t.seal();
         }
+        self.pool.seal();
+    }
+
+    /// A clone of this database with table `id`'s rows removed (schema,
+    /// relationships, pool, and every other table shared/cloned as
+    /// usual). This is how [`ShardedEngine`](crate::engine::ShardedEngine)
+    /// builds per-shard databases: dimension tables and the string pool
+    /// stay identical — so [`Symbol`]s align across shards — while the
+    /// partitioned log is re-inserted shard by shard.
+    pub(crate) fn clone_with_empty_table(&self, id: TableId) -> Database {
+        let mut db = self.clone();
+        let seg_rows = db.tables[id.0].segment_rows();
+        let schema = db.tables[id.0].schema().clone();
+        db.tables[id.0] = Table::with_segment_rows(schema, seg_rows);
+        unpoison(db.stats_cache.write()).retain(|attr, _| attr.table != id);
+        db
     }
 
     // ---------------------------------------------------------------- schema

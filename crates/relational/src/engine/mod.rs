@@ -102,11 +102,16 @@
 
 mod interner;
 mod parallel;
+mod sharded;
 mod shared;
 mod stepmap;
 
 pub use interner::{InternedDb, InternedTable, Interner, RefreshDelta, RefreshError, NULL_ID};
 pub use parallel::{par_map, par_map_with};
+pub use sharded::{
+    shard_of, EpochVec, ShardEpoch, ShardKey, ShardRefresh, ShardedBatch, ShardedEngine,
+    ShardedIngestReport,
+};
 pub use shared::{Epoch, IngestReport, SharedEngine};
 
 use crate::chain::{ChainQuery, EvalOptions, Rhs};

@@ -1,0 +1,1002 @@
+//! Sharded scatter-gather engine: the log hash-partitioned into N shards,
+//! each with its own segmented storage and warm [`Engine`], published
+//! together as one atomically-swapped epoch *vector*.
+//!
+//! # Why sharding works here
+//!
+//! Explanation-based auditing is embarrassingly parallel at access-log
+//! granularity: explained/unexplained row sets, misuse metrics, and
+//! timeline day buckets all merge associatively. One [`SharedEngine`] is
+//! one writer and one monolithic snapshot; a [`ShardedEngine`] splits the
+//! log by a hash of the partition column (conventionally the patient —
+//! exactly the attribute the paper's per-patient explanations group by),
+//! runs per-shard incremental refresh, and answers suite questions by
+//! [`par_map`] across shards plus an associative merge.
+//!
+//! # What is partitioned and what is replicated
+//!
+//! Only the log table is partitioned. Every shard database is a clone of
+//! the same base, so dimension tables and the string pool share their
+//! sealed segments via `Arc` *across shards* as well as across epochs —
+//! and, critically, [`Symbol`](crate::pool::Symbol)s are identical in
+//! every shard, which is what makes cross-shard `Value` comparison (and
+//! the associative merges) sound. All interning during ingest goes
+//! through [`ShardedBatch::str_value`], which interns into every shard
+//! and asserts the symbols stayed aligned.
+//!
+//! # Global row ids
+//!
+//! Readers and the audit layer keep speaking *global* log row ids — the
+//! ids the unsharded oracle would assign (insertion order across the
+//! whole log). Each shard carries a `local → global` map in a
+//! [`SegVec`], so publishing a shard epoch stays `O(batch)`: the map's
+//! sealed segments are `Arc`-shared like every other column.
+//!
+//! # Publication
+//!
+//! [`ShardedEngine::ingest_with`] mirrors [`SharedEngine::ingest_with`]
+//! exactly — private clones, per-shard fork + incremental refresh with a
+//! full-rebuild fallback, a persist hook that runs *before* anything is
+//! published (published ⊆ durable), and a single pointer swap publishing
+//! the whole [`EpochVec`] under one sequence number. Readers pin the
+//! vector, so every epoch-pinned byte-stability guarantee carries over
+//! unchanged.
+
+use super::parallel::par_map;
+use super::shared::Epoch;
+use super::{Engine, RefreshError, RefreshStats};
+use crate::chain::{ChainQuery, EvalOptions};
+use crate::database::{Database, TableId};
+use crate::error::Result;
+use crate::pool::StringPool;
+use crate::segment::SegVec;
+use crate::sync::unpoison;
+use crate::table::RowId;
+use crate::types::ColId;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The log partitioning key: which table is sharded, and the column whose
+/// hash routes a row to its shard (conventionally `Log.Patient`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardKey {
+    /// The partitioned (log) table. Every other table is replicated.
+    pub table: TableId,
+    /// The routing column within that table.
+    pub col: ColId,
+}
+
+/// Deterministic shard routing: FNV-1a over the value's tag and payload
+/// (strings hash their text, not their pool-relative symbol, so routing
+/// is stable across pools and restarts). `Null` routes to shard 0.
+pub fn shard_of(v: &Value, pool: &StringPool, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match v {
+        Value::Null => return 0,
+        Value::Int(i) => {
+            eat(&[1]);
+            eat(&i.to_le_bytes());
+        }
+        Value::Str(sym) => {
+            eat(&[2]);
+            eat(pool.resolve(*sym).as_bytes());
+        }
+        Value::Date(m) => {
+            eat(&[3]);
+            eat(&m.to_le_bytes());
+        }
+    }
+    (h % n_shards as u64) as usize
+}
+
+/// One shard of a published [`EpochVec`]: the shard's epoch (database +
+/// warm engine frozen at the vector's seq) plus its `local → global` row
+/// id map.
+#[derive(Debug, Clone)]
+pub struct ShardEpoch {
+    epoch: Arc<Epoch>,
+    to_global: SegVec<RowId>,
+}
+
+impl ShardEpoch {
+    /// The shard's epoch — pass its `db`/`engine` pair to any audit-layer
+    /// `*_with` function, or the epoch itself to the `*_at` forms.
+    pub fn epoch(&self) -> &Arc<Epoch> {
+        &self.epoch
+    }
+
+    /// The shard's database state.
+    pub fn db(&self) -> &Database {
+        self.epoch.db()
+    }
+
+    /// The warm engine over this shard's database.
+    pub fn engine(&self) -> &Engine {
+        self.epoch.engine()
+    }
+
+    /// Local log rows in this shard.
+    pub fn log_len(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Maps a shard-local log row id to the global (oracle-order) id.
+    ///
+    /// # Panics
+    /// Panics when `local` is not a log row of this shard.
+    pub fn to_global(&self, local: RowId) -> RowId {
+        *self.to_global.get(local as usize)
+    }
+
+    /// Binary-searches for a global id in this shard's (sorted) map.
+    fn find_global(&self, global: RowId) -> Option<RowId> {
+        let n = self.to_global.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match (*self.to_global.get(mid)).cmp(&global) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid as RowId),
+            }
+        }
+        None
+    }
+}
+
+/// The atomically-published vector of shard epochs, all frozen at one
+/// sequence number. Readers pin the whole vector ([`ShardedEngine::load`])
+/// and every scatter-gather answer below is computed against it, so a
+/// pinned session sees one consistent state of the world across all
+/// shards — exactly the single-epoch guarantee, vector-shaped.
+#[derive(Debug)]
+pub struct EpochVec {
+    shards: Box<[ShardEpoch]>,
+    key: ShardKey,
+    seq: u64,
+    global_log_len: usize,
+}
+
+impl EpochVec {
+    /// Publication sequence number (0 initial, +1 per ingest), shared by
+    /// every shard in the vector.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard epochs, in shard order.
+    pub fn shards(&self) -> &[ShardEpoch] {
+        &self.shards
+    }
+
+    /// The partitioning key.
+    pub fn key(&self) -> ShardKey {
+        self.key
+    }
+
+    /// Total log rows across all shards (the global log length).
+    pub fn global_log_len(&self) -> usize {
+        self.global_log_len
+    }
+
+    /// Which shard a routing value lands in.
+    pub fn shard_of_value(&self, v: &Value) -> usize {
+        shard_of(v, self.shards[0].db().pool(), self.shards.len())
+    }
+
+    /// Locates a global log row id: `(shard, local id)`.
+    pub fn locate(&self, global: RowId) -> Option<(usize, RowId)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(s, shard)| shard.find_global(global).map(|local| (s, local)))
+    }
+
+    /// Applies `f` to every shard in parallel, preserving shard order.
+    pub fn par_map_shards<R: Send>(&self, f: impl Fn(usize, &ShardEpoch) -> R + Sync) -> Vec<R> {
+        let idx: Vec<usize> = (0..self.shards.len()).collect();
+        par_map(&idx, |&s| f(s, &self.shards[s]))
+    }
+
+    /// Global log row ids explained by `q` — scatter across shards,
+    /// gather sorted. Byte-identical to the unsharded oracle's
+    /// [`Engine::explained_rows`].
+    pub fn explained_rows(&self, q: &ChainQuery, opts: EvalOptions) -> Result<Vec<RowId>> {
+        let per_shard = self.par_map_shards(|_, shard| {
+            shard
+                .engine()
+                .explained_rows(shard.db(), q, opts)
+                .map(|rows| {
+                    rows.into_iter()
+                        .map(|r| shard.to_global(r))
+                        .collect::<Vec<RowId>>()
+                })
+        });
+        let mut out = Vec::new();
+        for rows in per_shard {
+            out.extend(rows?);
+        }
+        // Per-shard lists are already sorted (local order is a
+        // subsequence of global order); one sort merges them.
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Support of `q` (distinct explained log ids). Lid values can repeat
+    /// across shards, so supports do not sum: the distinct lid *value*
+    /// sets are gathered and unioned — sound because symbols align across
+    /// shard pools.
+    pub fn support(&self, q: &ChainQuery, opts: EvalOptions) -> Result<usize> {
+        let per_shard = self.par_map_shards(|_, shard| -> Result<HashSet<Value>> {
+            let rows = shard.engine().explained_rows(shard.db(), q, opts)?;
+            let log = shard.db().table(q.log);
+            Ok(rows.into_iter().map(|r| log.cell(r, q.lid_col)).collect())
+        });
+        let mut lids = HashSet::new();
+        for set in per_shard {
+            lids.extend(set?);
+        }
+        Ok(lids.len())
+    }
+
+    /// Batch [`EpochVec::explained_rows`]: one globally-sorted row set per
+    /// query, in input order. Each shard evaluates the whole suite as one
+    /// batch (sharing step maps and partitions exactly as the unsharded
+    /// engine does), then the per-query answers merge.
+    pub fn explained_rows_many(
+        &self,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Vec<Result<Vec<RowId>>> {
+        let per_shard: Vec<Vec<Result<Vec<RowId>>>> = self.par_map_shards(|_, shard| {
+            shard
+                .engine()
+                .explained_rows_many(shard.db(), queries, opts)
+                .into_iter()
+                .map(|rows| {
+                    rows.map(|rows| {
+                        rows.into_iter()
+                            .map(|r| shard.to_global(r))
+                            .collect::<Vec<RowId>>()
+                    })
+                })
+                .collect()
+        });
+        (0..queries.len())
+            .map(|qi| {
+                let mut out = Vec::new();
+                for shard_results in &per_shard {
+                    match &shard_results[qi] {
+                        Ok(rows) => out.extend(rows.iter().copied()),
+                        Err(e) => return Err(e.clone()),
+                    }
+                }
+                out.sort_unstable();
+                Ok(out)
+            })
+            .collect()
+    }
+
+    /// Union of the global rows explained by any of `queries` — the audit
+    /// layer's suite primitive, scatter-gathered. Fails on the first
+    /// invalid query.
+    pub fn explained_union(
+        &self,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Result<HashSet<RowId>> {
+        let mut out = HashSet::new();
+        for rows in self.explained_rows_many(queries, opts) {
+            out.extend(rows?);
+        }
+        Ok(out)
+    }
+}
+
+/// What one shard's refresh did during a sharded ingest.
+#[derive(Debug, Clone)]
+pub struct ShardRefresh {
+    /// The incremental refresh stats (empty when `rebuilt` is set).
+    pub refresh: RefreshStats,
+    /// Set when this shard's incremental refresh was refused and the
+    /// writer recovered by rebuilding the shard engine from scratch.
+    pub rebuilt: Option<RefreshError>,
+}
+
+/// What one [`ShardedEngine::ingest_with`] published.
+#[derive(Debug, Clone)]
+pub struct ShardedIngestReport {
+    /// Sequence number of the epoch vector this ingest published.
+    pub seq: u64,
+    /// Per-shard refresh outcomes, in shard order.
+    pub shards: Vec<ShardRefresh>,
+}
+
+impl ShardedIngestReport {
+    /// Total rows appended across all shards.
+    pub fn new_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.refresh.delta.new_rows).sum()
+    }
+
+    /// True when any shard fell back to a full rebuild.
+    pub fn rebuilt_any(&self) -> bool {
+        self.shards.iter().any(|s| s.rebuilt.is_some())
+    }
+
+    /// Operator-facing warnings, one per shard that fell back to a full
+    /// rebuild (empty on the normal incremental path) — the sharded form
+    /// of [`super::IngestReport::fallback_warning`].
+    pub fn fallback_warnings(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.rebuilt.as_ref().map(|err| {
+                    format!(
+                        "epoch {} shard {i}: incremental refresh refused ({err}); \
+                         recovered by rebuilding the shard engine from scratch",
+                        self.seq
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// The writer's view of an in-flight sharded ingest: one private database
+/// clone per shard plus the global row id counter. All mutation of a
+/// sharded engine goes through this — it routes log rows, replicates
+/// dimension rows, and keeps the shard string pools symbol-aligned.
+pub struct ShardedBatch {
+    key: ShardKey,
+    dbs: Vec<Database>,
+    maps: Vec<SegVec<RowId>>,
+    global_len: usize,
+}
+
+impl ShardedBatch {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// Total log rows across all shards, counting rows staged so far.
+    pub fn global_log_len(&self) -> usize {
+        self.global_len
+    }
+
+    /// Which shard a routing value lands in.
+    pub fn shard_of(&self, v: &Value) -> usize {
+        shard_of(v, self.dbs[0].pool(), self.dbs.len())
+    }
+
+    /// One shard's database (reads see rows staged so far).
+    pub fn db(&self, shard: usize) -> &Database {
+        &self.dbs[shard]
+    }
+
+    /// The shard-aligned string pool (shard 0's; all shards' pools are
+    /// identical by construction).
+    pub fn pool(&self) -> &StringPool {
+        self.dbs[0].pool()
+    }
+
+    /// Inserts one log row, routed by the hash of its partition column.
+    /// Returns the row's **global** id (the id the unsharded oracle would
+    /// assign).
+    pub fn insert_log(&mut self, row: Vec<Value>) -> Result<RowId> {
+        let shard = self.shard_of(&row[self.key.col]);
+        let local = self.dbs[shard].insert(self.key.table, row)?;
+        debug_assert_eq!(local as usize, self.maps[shard].len());
+        let global = RowId::try_from(self.global_len).expect("more than u32::MAX log rows");
+        self.maps[shard].push(global);
+        self.global_len += 1;
+        Ok(global)
+    }
+
+    /// Inserts one dimension row, replicated into every shard.
+    ///
+    /// # Panics
+    /// Panics when `table` is the partitioned log table — log rows must
+    /// go through [`ShardedBatch::insert_log`] to get a global id.
+    pub fn insert_dim(&mut self, table: TableId, row: Vec<Value>) -> Result<()> {
+        assert!(
+            table != self.key.table,
+            "log rows must be inserted via insert_log"
+        );
+        for db in &mut self.dbs {
+            db.insert(table, row.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Interns a string into **every** shard pool and returns the (single,
+    /// shared) symbol value — the only sound way to mint string values
+    /// during a sharded ingest.
+    ///
+    /// # Panics
+    /// Panics if the shard pools have drifted out of alignment (a bug:
+    /// all interning is supposed to flow through here).
+    pub fn str_value(&mut self, s: &str) -> Value {
+        let first = self.dbs[0].intern(s);
+        for db in &mut self.dbs[1..] {
+            let sym = db.intern(s);
+            assert_eq!(sym, first, "shard string pools drifted out of alignment");
+        }
+        Value::Str(first)
+    }
+}
+
+/// The sharded snapshot-handoff cell: [`SharedEngine`]'s contract — one
+/// serialized writer, wait-free readers, persist-before-publish — over an
+/// [`EpochVec`] instead of a single epoch.
+///
+/// [`SharedEngine`]: super::SharedEngine
+#[derive(Debug)]
+pub struct ShardedEngine {
+    current: RwLock<Arc<EpochVec>>,
+    /// Serializes writers; holds the next sequence number.
+    writer: Mutex<u64>,
+    key: ShardKey,
+}
+
+impl ShardedEngine {
+    /// Partitions `db`'s log table into `n_shards` by the hash of
+    /// `key.col` and builds the initial epoch vector (seq 0): one
+    /// database clone + engine per shard, dimension tables and the pool
+    /// `Arc`-shared across all of them.
+    ///
+    /// # Panics
+    /// Panics when `n_shards` is zero.
+    pub fn new(db: Database, key: ShardKey, n_shards: usize) -> ShardedEngine {
+        assert!(n_shards > 0, "shard count must be positive");
+        let shards = Self::partition(&db, key, n_shards, 0);
+        ShardedEngine {
+            current: RwLock::new(Arc::new(EpochVec {
+                shards,
+                key,
+                seq: 0,
+                global_log_len: db.table(key.table).len(),
+            })),
+            writer: Mutex::new(0),
+            key,
+        }
+    }
+
+    fn partition(db: &Database, key: ShardKey, n_shards: usize, seq: u64) -> Box<[ShardEpoch]> {
+        // Route every log row once, then build each shard's database and
+        // engine in parallel.
+        let log = db.table(key.table);
+        let mut routed: Vec<Vec<RowId>> = vec![Vec::new(); n_shards];
+        for r in 0..log.len() {
+            let v = log.cell(r as RowId, key.col);
+            routed[shard_of(&v, db.pool(), n_shards)].push(r as RowId);
+        }
+        let built: Vec<ShardEpoch> = par_map(&routed, |globals| {
+            let mut shard_db = db.clone_with_empty_table(key.table);
+            let mut map = SegVec::new(shard_db.table(key.table).segment_rows());
+            for &g in globals {
+                shard_db
+                    .insert(key.table, log.row(g).to_vec())
+                    .expect("re-inserting a validated log row");
+                map.push(g);
+            }
+            // Seal the rebuilt shard: contents unchanged, but every later
+            // ingest fork then clones shared segments instead of copying
+            // the whole re-inserted tail — partitioning must not cost the
+            // `O(batch)` publication invariant its head start.
+            shard_db.seal();
+            map.seal();
+            let engine = Engine::new(&shard_db);
+            ShardEpoch {
+                epoch: Arc::new(Epoch::assemble(shard_db, engine, seq)),
+                to_global: map,
+            }
+        });
+        built.into_boxed_slice()
+    }
+
+    /// Pins the current epoch vector. Effectively wait-free, exactly like
+    /// [`SharedEngine::load`](super::SharedEngine::load): the read lock
+    /// guards a single `Arc` clone.
+    pub fn load(&self) -> Arc<EpochVec> {
+        unpoison(self.current.read()).clone()
+    }
+
+    /// Sequence number of the current epoch vector.
+    pub fn seq(&self) -> u64 {
+        self.load().seq
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.load().shard_count()
+    }
+
+    /// The partitioning key.
+    pub fn key(&self) -> ShardKey {
+        self.key
+    }
+
+    /// Applies `mutate` to a private [`ShardedBatch`] (one database clone
+    /// per shard), refreshes a private fork of every shard engine, and
+    /// publishes the successor epoch vector. Returns `mutate`'s output
+    /// and the per-shard report. Writers serialize; readers never block.
+    ///
+    /// # Panic safety
+    /// A panic in `mutate` or any refresh drops the private clones and
+    /// publishes nothing.
+    pub fn ingest<R>(
+        &self,
+        mutate: impl FnOnce(&mut ShardedBatch) -> R,
+    ) -> (R, ShardedIngestReport) {
+        let (out, report) = self
+            .ingest_with(mutate, |_, _, _| Ok::<(), std::convert::Infallible>(()))
+            .unwrap_or_else(|e| match e {});
+        (out, report)
+    }
+
+    /// [`ShardedEngine::ingest`] with a **persist hook**, the sharded form
+    /// of [`SharedEngine::ingest_with`](super::SharedEngine::ingest_with):
+    /// `persist` runs after every shard has been mutated and refreshed but
+    /// *before* anything is published, with the staged batch and the
+    /// would-be seq. `Err` publishes nothing and frees the seq — the
+    /// published history stays a prefix of the durable history, shard
+    /// assignment notwithstanding (the durable log is recorded in global
+    /// row order and re-partitioned deterministically on recovery).
+    pub fn ingest_with<R, E>(
+        &self,
+        mutate: impl FnOnce(&mut ShardedBatch) -> R,
+        persist: impl FnOnce(&ShardedBatch, &R, u64) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(R, ShardedIngestReport), E> {
+        let mut next_seq = unpoison(self.writer.lock());
+        let base = self.load();
+        let mut batch = ShardedBatch {
+            key: self.key,
+            dbs: base.shards.iter().map(|s| s.db().clone()).collect(),
+            maps: base.shards.iter().map(|s| s.to_global.clone()).collect(),
+            global_len: base.global_log_len,
+        };
+        let out = mutate(&mut batch);
+        let seq = *next_seq + 1;
+
+        // Fork + refresh every shard in parallel (shards whose tables did
+        // not grow refresh in O(1); the fallback rebuild is per-shard).
+        let idx: Vec<usize> = (0..base.shards.len()).collect();
+        let refreshed: Vec<(Engine, ShardRefresh)> = par_map(&idx, |&s| {
+            let db = &batch.dbs[s];
+            let mut engine = base.shards[s].engine().fork();
+            match engine.refresh(db) {
+                Ok(stats) => (
+                    engine,
+                    ShardRefresh {
+                        refresh: stats,
+                        rebuilt: None,
+                    },
+                ),
+                Err(err) => (
+                    Engine::new(db),
+                    ShardRefresh {
+                        refresh: RefreshStats::default(),
+                        rebuilt: Some(err),
+                    },
+                ),
+            }
+        });
+
+        persist(&batch, &out, seq)?;
+        *next_seq = seq;
+
+        let ShardedBatch {
+            dbs,
+            maps,
+            global_len,
+            ..
+        } = batch;
+        let mut report = ShardedIngestReport {
+            seq,
+            shards: Vec::with_capacity(dbs.len()),
+        };
+        let shards: Vec<ShardEpoch> = dbs
+            .into_iter()
+            .zip(maps)
+            .zip(refreshed)
+            .map(|((db, to_global), (engine, shard_report))| {
+                report.shards.push(shard_report);
+                ShardEpoch {
+                    epoch: Arc::new(Epoch::assemble(db, engine, seq)),
+                    to_global,
+                }
+            })
+            .collect();
+        *unpoison(self.current.write()) = Arc::new(EpochVec {
+            shards: shards.into_boxed_slice(),
+            key: self.key,
+            seq,
+            global_log_len: global_len,
+        });
+        Ok((out, report))
+    }
+
+    /// Replaces the published state **wholesale** (an operator reload):
+    /// re-partitions `db` from scratch and publishes the successor vector.
+    /// Every shard reports [`RefreshError::Replaced`], so the fallback
+    /// warnings fire exactly like the unsharded
+    /// [`SharedEngine::replace`](super::SharedEngine::replace).
+    pub fn replace(&self, db: Database) -> ShardedIngestReport {
+        let mut next_seq = unpoison(self.writer.lock());
+        let n = self.shard_count();
+        *next_seq += 1;
+        let seq = *next_seq;
+        let shards = Self::partition(&db, self.key, n, seq);
+        let report = ShardedIngestReport {
+            seq,
+            shards: (0..n)
+                .map(|_| ShardRefresh {
+                    refresh: RefreshStats::default(),
+                    rebuilt: Some(RefreshError::Replaced),
+                })
+                .collect(),
+        };
+        *unpoison(self.current.write()) = Arc::new(EpochVec {
+            shards,
+            key: self.key,
+            seq,
+            global_log_len: db.table(self.key.table).len(),
+        });
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainStep;
+    use crate::types::DataType;
+
+    fn world() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let event = db
+            .create_table(
+                "Event",
+                &[("Patient", DataType::Int), ("Actor", DataType::Int)],
+            )
+            .unwrap();
+        for p in 0..8i64 {
+            db.insert(event, vec![Value::Int(p), Value::Int(p % 3)])
+                .unwrap();
+        }
+        for i in 0..20i64 {
+            db.insert(
+                log,
+                vec![Value::Int(i), Value::Int(i % 3), Value::Int(i % 8)],
+            )
+            .unwrap();
+        }
+        (db, log, event)
+    }
+
+    fn key(db: &Database, log: TableId) -> ShardKey {
+        let col = db.table(log).schema().col("Patient").unwrap();
+        ShardKey { table: log, col }
+    }
+
+    fn query(log: TableId, event: TableId) -> ChainQuery {
+        ChainQuery {
+            log,
+            lid_col: 0,
+            start_col: 2,
+            steps: vec![ChainStep::new(event, 0, 1)],
+            close_col: Some(1),
+            anchor_filters: vec![],
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_total() {
+        let mut pool = StringPool::new();
+        let s = Value::Str(pool.intern("Pediatrics"));
+        for n in [1usize, 2, 4, 7] {
+            for v in [Value::Null, Value::Int(42), Value::Date(99), s] {
+                let a = shard_of(&v, &pool, n);
+                assert_eq!(a, shard_of(&v, &pool, n));
+                assert!(a < n);
+            }
+            assert_eq!(shard_of(&Value::Null, &pool, n), 0);
+        }
+        // String routing hashes text, not the pool-relative symbol.
+        let mut other = StringPool::new();
+        other.intern("something-else-first");
+        let s2 = Value::Str(other.intern("Pediatrics"));
+        assert_eq!(shard_of(&s, &pool, 4), shard_of(&s2, &other, 4));
+    }
+
+    #[test]
+    fn partitioning_matches_the_oracle_byte_for_byte() {
+        let (db, log, event) = world();
+        let q = query(log, event);
+        let oracle = q.explained_rows(&db, EvalOptions::default()).unwrap();
+        let oracle_support = q.support(&db, EvalOptions::default()).unwrap();
+        for n in [1usize, 2, 3, 4, 16] {
+            let sharded = ShardedEngine::new(db.clone(), key(&db, log), n);
+            let vec = sharded.load();
+            assert_eq!(vec.shard_count(), n);
+            assert_eq!(vec.global_log_len(), 20);
+            assert_eq!(
+                vec.shards().iter().map(ShardEpoch::log_len).sum::<usize>(),
+                20,
+                "shards partition the log"
+            );
+            assert_eq!(
+                vec.explained_rows(&q, EvalOptions::default()).unwrap(),
+                oracle,
+                "{n} shards"
+            );
+            assert_eq!(
+                vec.support(&q, EvalOptions::default()).unwrap(),
+                oracle_support
+            );
+            let many = vec.explained_rows_many(std::slice::from_ref(&q), EvalOptions::default());
+            assert_eq!(many[0].as_ref().unwrap(), &oracle);
+            let union = vec
+                .explained_union(std::slice::from_ref(&q), EvalOptions::default())
+                .unwrap();
+            assert_eq!(union, oracle.iter().copied().collect());
+        }
+    }
+
+    #[test]
+    fn global_ids_round_trip_through_locate() {
+        let (db, log, _) = world();
+        let sharded = ShardedEngine::new(db, key_of(log), 4);
+        let vec = sharded.load();
+        for g in 0..20u32 {
+            let (s, local) = vec.locate(g).expect("every global id is somewhere");
+            assert_eq!(vec.shards()[s].to_global(local), g);
+        }
+        assert!(vec.locate(20).is_none());
+
+        fn key_of(log: TableId) -> ShardKey {
+            ShardKey { table: log, col: 2 }
+        }
+    }
+
+    #[test]
+    fn ingest_routes_replicates_and_publishes_one_seq() {
+        let (db, log, event) = world();
+        let q = query(log, event);
+        let k = key(&db, log);
+        let mut oracle_db = db.clone();
+        let sharded = ShardedEngine::new(db, k, 3);
+        let pinned = sharded.load();
+
+        let ((), report) = sharded.ingest(|batch| {
+            batch
+                .insert_dim(event, vec![Value::Int(40), Value::Int(1)])
+                .unwrap();
+            for i in 20..26i64 {
+                let g = batch
+                    .insert_log(vec![Value::Int(i), Value::Int(1), Value::Int(i % 41)])
+                    .unwrap();
+                assert_eq!(g as i64, i, "global ids continue the oracle order");
+            }
+        });
+        assert_eq!(report.seq, 1);
+        assert_eq!(report.new_rows(), 6 + 3, "6 log rows + dim row x3 shards");
+        assert!(!report.rebuilt_any());
+        assert!(report.fallback_warnings().is_empty());
+
+        // The pinned vector is untouched; the new one answers like the
+        // oracle over the equivalently-grown database.
+        assert_eq!(pinned.global_log_len(), 20);
+        oracle_db
+            .insert(event, vec![Value::Int(40), Value::Int(1)])
+            .unwrap();
+        for i in 20..26i64 {
+            oracle_db
+                .insert(log, vec![Value::Int(i), Value::Int(1), Value::Int(i % 41)])
+                .unwrap();
+        }
+        let new = sharded.load();
+        assert_eq!(new.seq(), 1);
+        assert_eq!(new.global_log_len(), 26);
+        for shard in new.shards() {
+            assert_eq!(shard.epoch().seq(), 1, "one seq across the vector");
+        }
+        assert_eq!(
+            new.explained_rows(&q, EvalOptions::default()).unwrap(),
+            q.explained_rows(&oracle_db, EvalOptions::default())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn failed_persist_publishes_nothing_and_frees_the_seq() {
+        let (db, log, _) = world();
+        let k = key(&db, log);
+        let sharded = ShardedEngine::new(db, k, 2);
+        let err = sharded
+            .ingest_with(
+                |batch| {
+                    batch
+                        .insert_log(vec![Value::Int(99), Value::Int(0), Value::Int(1)])
+                        .unwrap();
+                },
+                |batch, _, seq| {
+                    assert_eq!(seq, 1);
+                    assert_eq!(batch.global_log_len(), 21, "hook sees the staged rows");
+                    Err("disk full")
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, "disk full");
+        assert_eq!(sharded.seq(), 0);
+        assert_eq!(sharded.load().global_log_len(), 20);
+        let ((), report) = sharded.ingest(|batch| {
+            batch
+                .insert_log(vec![Value::Int(99), Value::Int(0), Value::Int(1)])
+                .unwrap();
+        });
+        assert_eq!(report.seq, 1, "the failed attempt's seq is reused");
+        assert_eq!(sharded.load().global_log_len(), 21);
+        let _ = log;
+    }
+
+    #[test]
+    fn panicking_ingest_publishes_nothing_and_recovers() {
+        let (db, log, _) = world();
+        let k = key(&db, log);
+        let sharded = ShardedEngine::new(db, k, 2);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sharded.ingest(|batch| {
+                batch
+                    .insert_log(vec![Value::Int(50), Value::Int(0), Value::Int(3)])
+                    .unwrap();
+                panic!("ingest source glitched");
+            })
+        }));
+        assert!(panic.is_err());
+        assert_eq!(sharded.seq(), 0);
+        assert_eq!(sharded.load().global_log_len(), 20);
+        let ((), report) = sharded.ingest(|batch| {
+            batch
+                .insert_log(vec![Value::Int(50), Value::Int(0), Value::Int(3)])
+                .unwrap();
+        });
+        assert_eq!(report.seq, 1);
+        let _ = log;
+    }
+
+    #[test]
+    fn replace_repartitions_and_warns() {
+        let (db, log, event) = world();
+        let k = key(&db, log);
+        let q = query(log, event);
+        let sharded = ShardedEngine::new(db.clone(), k, 4);
+        // A corrected world: same shape, different cells.
+        let (mut corrected, _, _) = world();
+        let ev = corrected.table_id("Event").unwrap();
+        corrected
+            .insert(ev, vec![Value::Int(0), Value::Int(2)])
+            .unwrap();
+        let report = sharded.replace(corrected.clone());
+        assert_eq!(report.seq, 1);
+        assert!(report.rebuilt_any());
+        assert_eq!(report.fallback_warnings().len(), 4);
+        assert!(report.fallback_warnings()[0].contains("replaced"));
+        let vec = sharded.load();
+        assert_eq!(
+            vec.explained_rows(&q, EvalOptions::default()).unwrap(),
+            q.explained_rows(&corrected, EvalOptions::default())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn str_value_keeps_shard_pools_aligned() {
+        let mut db = Database::new();
+        let log = db
+            .create_table("Log", &[("Lid", DataType::Int), ("Dept", DataType::Str)])
+            .unwrap();
+        let dept = db.str_value("Radiology");
+        db.insert(log, vec![Value::Int(0), dept]).unwrap();
+        let k = ShardKey { table: log, col: 1 };
+        let sharded = ShardedEngine::new(db, k, 3);
+        let ((), _) = sharded.ingest(|batch| {
+            let a = batch.str_value("Radiology");
+            assert_eq!(a, dept, "existing strings resolve to the same symbol");
+            let b = batch.str_value("Pediatrics");
+            batch.insert_log(vec![Value::Int(1), b]).unwrap();
+            batch.insert_log(vec![Value::Int(2), a]).unwrap();
+        });
+        let vec = sharded.load();
+        assert_eq!(vec.global_log_len(), 3);
+        // Every shard pool resolves the new symbol identically.
+        for shard in vec.shards() {
+            assert!(shard.db().pool().get("Pediatrics").is_some());
+        }
+        // The two new rows may land in different shards but keep global order.
+        assert!(vec.locate(1).is_some() && vec.locate(2).is_some());
+    }
+
+    #[test]
+    fn empty_and_skewed_shards_are_fine() {
+        // All rows one patient: every row lands in one shard, the rest
+        // stay empty — and answers still match the oracle.
+        let mut db = Database::new();
+        let log = db
+            .create_table(
+                "Log",
+                &[
+                    ("Lid", DataType::Int),
+                    ("User", DataType::Int),
+                    ("Patient", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let event = db
+            .create_table(
+                "Event",
+                &[("Patient", DataType::Int), ("Actor", DataType::Int)],
+            )
+            .unwrap();
+        db.insert(event, vec![Value::Int(7), Value::Int(1)])
+            .unwrap();
+        for i in 0..5i64 {
+            db.insert(log, vec![Value::Int(i), Value::Int(1), Value::Int(7)])
+                .unwrap();
+        }
+        let q = query(log, event);
+        let oracle = q.explained_rows(&db, EvalOptions::default()).unwrap();
+        let sharded = ShardedEngine::new(db.clone(), key(&db, log), 4);
+        let vec = sharded.load();
+        let lens: Vec<usize> = vec.shards().iter().map(ShardEpoch::log_len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 5);
+        assert_eq!(lens.iter().filter(|&&l| l == 0).count(), 3, "{lens:?}");
+        assert_eq!(
+            vec.explained_rows(&q, EvalOptions::default()).unwrap(),
+            oracle
+        );
+        // An entirely empty log partitions into all-empty shards.
+        let mut empty = Database::new();
+        let elog = empty
+            .create_table("Log", &[("Lid", DataType::Int), ("Patient", DataType::Int)])
+            .unwrap();
+        let sharded = ShardedEngine::new(
+            empty,
+            ShardKey {
+                table: elog,
+                col: 1,
+            },
+            3,
+        );
+        assert_eq!(sharded.load().global_log_len(), 0);
+    }
+}

@@ -97,6 +97,13 @@ pub struct Epoch {
 }
 
 impl Epoch {
+    /// Assembles an epoch from parts. Crate-internal: this is how the
+    /// sharded engine ([`super::ShardedEngine`]) publishes one epoch per
+    /// shard under the vector's shared sequence number.
+    pub(super) fn assemble(db: Database, engine: Engine, seq: u64) -> Epoch {
+        Epoch { db, engine, seq }
+    }
+
     /// The epoch's database state (pass as the `db` argument of the
     /// audit-layer `*_with` functions).
     pub fn db(&self) -> &Database {

@@ -110,7 +110,9 @@ pub use chain::{
 };
 pub use database::{AttrRef, Database, RelationshipKind, TableId};
 pub use engine::{
-    Engine, Epoch, IngestReport, RefreshDelta, RefreshError, RefreshStats, SharedEngine,
+    shard_of, Engine, Epoch, EpochVec, IngestReport, RefreshDelta, RefreshError, RefreshStats,
+    ShardEpoch, ShardKey, ShardRefresh, ShardedBatch, ShardedEngine, ShardedIngestReport,
+    SharedEngine,
 };
 pub use error::{Error, PileError, Result};
 pub use index::{HashIndex, TableIndex};

@@ -308,8 +308,14 @@ impl<K: Eq + Hash + Clone, V: Clone> LayeredMap<K, V> {
         self.total == 0
     }
 
-    /// Looks a key up: the tail first, then layers newest-first.
-    pub fn get(&self, key: &K) -> Option<&V> {
+    /// Looks a key up: the tail first, then layers newest-first. Accepts
+    /// any borrowed form of the key (`&str` for `Box<str>` keys), like
+    /// `HashMap::get`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
         if let Some(v) = self.tail.get(key) {
             return Some(v);
         }
@@ -348,6 +354,23 @@ impl<K: Eq + Hash + Clone, V: Clone> LayeredMap<K, V> {
     /// Number of immutable layers currently stacked (diagnostics).
     pub fn layer_count(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The immutable layers themselves, oldest first. Exposed so the
+    /// cross-epoch sharing suite can assert `Arc::ptr_eq` between clones
+    /// — the same invariant [`SegVec::sealed_segments`] exposes for rows.
+    pub fn layers(&self) -> &[Arc<HashMap<K, V>>] {
+        &self.layers
+    }
+
+    /// Seals the current tail into a layer (without the geometric merge),
+    /// so clones made afterwards share everything inserted so far. The
+    /// explicit form for snapshot/ops flows and sharing tests; the insert
+    /// path seals and merges automatically at the tail capacity.
+    pub fn seal(&mut self) {
+        if !self.tail.is_empty() {
+            self.layers.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
     }
 }
 

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]
-//!           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]
-//!           [--max-conn N]
+//!           [--shards N] [--pile FILE] [--fsync strict|relaxed]
+//!           [--timeout SECS] [--max-conn N]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints one
@@ -11,6 +11,12 @@
 //! (see `eba_server::protocol`) until killed. Deployments with real CSV
 //! data use `eba serve --data DIR` instead — same listener, same
 //! protocol, loaded data.
+//!
+//! `--shards N` hash-partitions the access log by patient into N shards;
+//! each `INGEST` refreshes the shards in parallel and sessions pin the
+//! whole published epoch vector, so every answer stays byte-identical to
+//! the single-shard server. Defaults to `EBA_SHARDS` (then
+//! `EBA_TEST_SHARDS`), else 1.
 //!
 //! With `--pile FILE` acknowledged `INGEST` batches are durable: startup
 //! recovers everything previously acknowledged over the same
@@ -27,6 +33,7 @@ fn main() {
     let mut addr = "127.0.0.1:4780".to_string();
     let mut scale = "tiny".to_string();
     let mut seed = 7u64;
+    let mut shards = eba_server::default_shard_count();
     let mut pile: Option<String> = None;
     let mut fsync = "strict".to_string();
     let mut timeout_secs = 120u64;
@@ -45,6 +52,17 @@ fn main() {
                 seed = v
                     .parse()
                     .unwrap_or_else(|_| usage("--seed expects an integer"));
+            }
+            "--shards" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing --shards value"));
+                shards = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards expects a positive count"));
+                if shards == 0 {
+                    usage("--shards expects a positive count");
+                }
             }
             "--pile" => pile = Some(args.next().unwrap_or_else(|| usage("missing --pile value"))),
             "--fsync" => {
@@ -84,14 +102,18 @@ fn main() {
     eprintln!("eba-serve: generating {scale} hospital (seed {seed})...");
     let hospital = eba_synth::Hospital::generate(config);
     let service = match &pile {
-        None => AuditService::from_hospital(hospital),
+        None => AuditService::from_hospital_sharded(hospital, shards),
         Some(path) => {
-            let svc =
-                AuditService::from_hospital_durable(hospital, std::path::Path::new(path), policy)
-                    .unwrap_or_else(|e| {
-                        eprintln!("error: cannot open durable store {path}: {e}");
-                        std::process::exit(1);
-                    });
+            let svc = AuditService::from_hospital_durable_sharded(
+                hospital,
+                std::path::Path::new(path),
+                policy,
+                shards,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot open durable store {path}: {e}");
+                std::process::exit(1);
+            });
             let report = svc.recovery_report().expect("durable service");
             eprintln!(
                 "eba-serve: durable ({policy} fsync) pile {path}; {}",
@@ -100,12 +122,13 @@ fn main() {
             svc
         }
     };
-    let log_len = service.shared().load().db().table(service.spec.table).len();
+    let log_len = service.sharded().load().global_log_len();
     eprintln!(
-        "eba-serve: {} accesses, {} templates, {}-day window",
+        "eba-serve: {} accesses, {} templates, {}-day window, {} shard(s)",
         log_len,
         service.explainer.templates().len(),
-        service.days
+        service.days,
+        service.shard_count()
     );
     let timeout = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
     let server_config = ServerConfig {
@@ -131,8 +154,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: eba-serve [--addr HOST:PORT] [--scale tiny|small] [--seed N]\n\
-         \x20                [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]\n\
-         \x20                [--max-conn N]"
+         \x20                [--shards N] [--pile FILE] [--fsync strict|relaxed]\n\
+         \x20                [--timeout SECS] [--max-conn N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -3,20 +3,26 @@
 //! `eba-serve`: the always-on audit service the paper frames — the access
 //! log grows continuously while compliance officers and the patient
 //! portal issue audit questions against it. The hard concurrency
-//! substrate is [`eba_relational::SharedEngine`] (epoch snapshot
-//! handoff); this crate wires a TCP listener onto it:
+//! substrate is [`eba_relational::ShardedEngine`] (the log hash-
+//! partitioned by patient into `--shards N` engines, published together
+//! as one atomically-swapped epoch vector); this crate wires a TCP
+//! listener onto it:
 //!
 //! * **one session per connection**, thread-per-connection, std-only;
-//! * **epoch pinning per session**: a connection pins an
-//!   [`Epoch`](eba_relational::Epoch) when it opens and every audit
+//! * **epoch-vector pinning per session**: a connection pins an
+//!   [`EpochVec`](eba_relational::EpochVec) when it opens and every audit
 //!   question ([`EXPLAIN`](protocol::Command::Explain),
-//!   `UNEXPLAINED`, `METRICS`, `TIMELINE`, `MISUSE`) answers from that
-//!   frozen snapshot — byte-stable no matter how many ingests land
-//!   meanwhile — until the session says `REPIN`;
+//!   `UNEXPLAINED`, `METRICS`, `TIMELINE`, `MISUSE`) scatter-gathers
+//!   across that frozen vector of shard snapshots — byte-stable no
+//!   matter how many ingests land meanwhile, and byte-identical to one
+//!   unsharded engine's answers — until the session says `REPIN`
+//!   (`SHARDS` reports the partition layout);
 //! * **a single-writer ingest path**: `INGEST` batches go through
-//!   [`SharedEngine::ingest`](eba_relational::SharedEngine::ingest) and
-//!   the reply carries the published seq and the rebuild-fallback flag
-//!   (surfaced as a `warn` line, never silently dropped);
+//!   [`ShardedEngine::ingest`](eba_relational::ShardedEngine::ingest) —
+//!   rows routed to their shard by the patient hash, every shard
+//!   refreshed incrementally in parallel — and the reply carries the
+//!   published seq and the rebuild-fallback flag (surfaced as a `warn`
+//!   line, never silently dropped);
 //! * **typed protocol errors and a panic barrier**: malformed input gets
 //!   `ERR bad-request ...`; a panicking handler is recovered into
 //!   `ERR internal ...` and the session keeps serving (PR 3's poison
@@ -49,16 +55,35 @@ use eba_audit::handcrafted::HandcraftedTemplates;
 use eba_audit::Explainer;
 use eba_core::LogSpec;
 use eba_relational::pile::{self, Durability, DurableStore, RecoveryReport};
-use eba_relational::{Database, IngestReport, PileError, SharedEngine, Table, TableId, Value};
+use eba_relational::{
+    Database, PileError, ShardKey, ShardedBatch, ShardedEngine, ShardedIngestReport, TableId, Value,
+};
 use eba_synth::LogColumns;
 use std::collections::HashSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// The service's default shard count: `EBA_SHARDS` (or, for the test
+/// harness, `EBA_TEST_SHARDS`) when set to a positive integer, else 1.
+/// One shard is the exact unsharded engine — the `shard_equivalence`
+/// suite proves the two indistinguishable — so sharding is pure opt-in.
+pub fn default_shard_count() -> usize {
+    for var in ["EBA_SHARDS", "EBA_TEST_SHARDS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    1
+}
+
 /// Default cap on concurrent `INGEST` batches (one writing + waiters)
 /// before new batches are shed with `ERR overloaded`. Writers serialize
-/// on the `SharedEngine` writer lock, so queue depth is pure added
+/// on the `ShardedEngine` writer lock, so queue depth is pure added
 /// latency: beyond a few waiters, telling the client to come back later
 /// beats making it wait out the whole queue against its own deadline.
 pub const DEFAULT_INGEST_QUEUE: usize = 4;
@@ -71,7 +96,7 @@ const MAX_WARNINGS: usize = 1_000;
 /// Everything the server shares across sessions: the snapshot-handoff
 /// cell, the log layout, and the explanation suite.
 pub struct AuditService {
-    shared: SharedEngine,
+    sharded: ShardedEngine,
     /// The audit anchor (log table + lid/user/patient columns + filters).
     pub spec: LogSpec,
     /// The materialized log's column layout.
@@ -87,7 +112,7 @@ pub struct AuditService {
     writer_state: Mutex<Option<WriterState>>,
     /// The durable store every acknowledged `INGEST` is appended to
     /// (`None` for a volatile service). Locked only on the writer path,
-    /// inside the `SharedEngine` writer serialization.
+    /// inside the `ShardedEngine` writer serialization.
     persist: Mutex<Option<DurableStore>>,
     /// What startup recovery replayed (set only by the durable
     /// constructors; surfaced by the `RECOVERY` command).
@@ -142,39 +167,40 @@ impl Drop for InflightSlot<'_> {
 
 /// Incrementally-maintained writer state. `log_len` is the published log
 /// length the state was derived from: if it doesn't match (an ingest went
-/// through [`SharedEngine::ingest`] directly, or a publish failed after
+/// through [`ShardedEngine::ingest`] directly, or a publish failed after
 /// the state advanced), the state is stale and gets rebuilt by one scan.
 struct WriterState {
     next_lid: i64,
     seen: HashSet<(Value, Value)>,
+    /// The **global** (cross-shard) log length the state was derived from.
     log_len: usize,
 }
 
 impl WriterState {
-    fn scan(log: &Table, cols: &LogColumns) -> WriterState {
-        let next_lid = 1 + log
-            .iter()
-            .map(|(_, row)| match row[cols.lid] {
-                Value::Int(i) => i,
-                _ => 0,
-            })
-            .max()
-            .unwrap_or(0);
-        let seen = log
-            .iter()
-            .map(|(_, row)| (row[cols.user], row[cols.patient]))
-            .collect();
+    fn scan(batch: &ShardedBatch, table: TableId, cols: &LogColumns) -> WriterState {
+        let mut next_lid = 1;
+        let mut seen = HashSet::new();
+        for shard in 0..batch.shard_count() {
+            let log = batch.db(shard).table(table);
+            for (_, row) in log.iter() {
+                if let Value::Int(i) = row[cols.lid] {
+                    next_lid = next_lid.max(i + 1);
+                }
+                seen.insert((row[cols.user], row[cols.patient]));
+            }
+        }
         WriterState {
             next_lid,
             seen,
-            log_len: log.len(),
+            log_len: batch.global_log_len(),
         }
     }
 }
 
 impl AuditService {
-    /// Assembles a service over a database. The initial epoch (seq 0) is
-    /// built here — one full snapshot scan.
+    /// Assembles a service over a database with [`default_shard_count`]
+    /// shards. The initial epoch vector (seq 0) is built here — one full
+    /// partition-and-snapshot pass.
     pub fn new(
         db: Database,
         spec: LogSpec,
@@ -182,8 +208,28 @@ impl AuditService {
         explainer: Explainer,
         days: u32,
     ) -> AuditService {
+        Self::new_sharded(db, spec, cols, explainer, days, default_shard_count())
+    }
+
+    /// [`AuditService::new`] with an explicit shard count (`--shards N`):
+    /// the log is hash-partitioned by patient into `n_shards` engines
+    /// published together as one epoch vector; every audit question
+    /// scatter-gathers across them with answers byte-identical to one
+    /// shard's.
+    pub fn new_sharded(
+        db: Database,
+        spec: LogSpec,
+        cols: LogColumns,
+        explainer: Explainer,
+        days: u32,
+        n_shards: usize,
+    ) -> AuditService {
+        let key = ShardKey {
+            table: spec.table,
+            col: spec.patient_col,
+        };
         AuditService {
-            shared: SharedEngine::new(db),
+            sharded: ShardedEngine::new(db, key, n_shards.max(1)),
             spec,
             cols,
             explainer,
@@ -215,7 +261,7 @@ impl AuditService {
     /// warnings immediately; the full report stays available through
     /// [`AuditService::recovery_report`] / the `RECOVERY` command.
     pub fn new_durable(
-        mut db: Database,
+        db: Database,
         spec: LogSpec,
         cols: LogColumns,
         explainer: Explainer,
@@ -223,13 +269,51 @@ impl AuditService {
         pile_path: &Path,
         policy: Durability,
     ) -> Result<AuditService, PileError> {
-        let (store, batches, report) =
+        Self::new_durable_sharded(
+            db,
+            spec,
+            cols,
+            explainer,
+            days,
+            pile_path,
+            policy,
+            default_shard_count(),
+        )
+    }
+
+    /// [`AuditService::new_durable`] with an explicit shard count. The
+    /// durable layout is shard-agnostic — one global pile/WAL recording
+    /// batches in global row order — so the same store can be reopened
+    /// with a *different* `--shards N` and recovery still reproduces the
+    /// acknowledged log exactly: the replayed database is re-partitioned
+    /// deterministically by the routing hash. `RECOVERY` reports how the
+    /// recovered rows landed per shard.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_durable_sharded(
+        mut db: Database,
+        spec: LogSpec,
+        cols: LogColumns,
+        explainer: Explainer,
+        days: u32,
+        pile_path: &Path,
+        policy: Durability,
+        n_shards: usize,
+    ) -> Result<AuditService, PileError> {
+        let (store, batches, mut report) =
             DurableStore::open(pile_path, policy, pile::default_checkpoint_rows())?;
         pile::replay_into(&mut db, &batches)?;
         let days = days.max(days_in_log(&db, spec.table, &cols));
-        let svc = Self::new(db, spec, cols, explainer, days);
+        let svc = Self::new_sharded(db, spec, cols, explainer, days, n_shards);
         for w in report.warnings() {
             svc.record_warning(w);
+        }
+        // Per-shard recovery accounting: where the recovered log landed
+        // after deterministic re-partitioning.
+        let epochs = svc.sharded.load();
+        for (i, shard) in epochs.shards().iter().enumerate() {
+            report
+                .notes
+                .push(format!("shard {i}: {} log rows", shard.log_len()));
         }
         *svc.persist.lock().unwrap_or_else(|e| e.into_inner()) = Some(store);
         *svc.recovery.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
@@ -264,7 +348,7 @@ impl AuditService {
     /// ingest made it stale), so a batch costs `O(batch)`, not `O(log)`.
     ///
     /// On a durable service the batch is appended to the store **before**
-    /// the epoch is published ([`SharedEngine::ingest_with`]'s ordering
+    /// the epoch is published ([`ShardedEngine::ingest_with`]'s ordering
     /// contract): an `Err` means nothing was published and nothing was
     /// acknowledged — the client may retry once the disk recovers (the
     /// writer's incremental state self-heals by rescanning).
@@ -276,7 +360,10 @@ impl AuditService {
     /// This library path always queues (it maintains the in-flight gauge
     /// but never sheds); the serving path uses
     /// [`AuditService::try_ingest_rows`], which sheds at the cap.
-    pub fn ingest_rows(&self, rows: &[protocol::IngestRow]) -> Result<IngestReport, PileError> {
+    pub fn ingest_rows(
+        &self,
+        rows: &[protocol::IngestRow],
+    ) -> Result<ShardedIngestReport, PileError> {
         let _slot = InflightSlot::enter(&self.ingest_in_flight);
         self.ingest_rows_inner(rows)
     }
@@ -290,7 +377,7 @@ impl AuditService {
     pub fn try_ingest_rows(
         &self,
         rows: &[protocol::IngestRow],
-    ) -> Result<IngestReport, IngestRejected> {
+    ) -> Result<ShardedIngestReport, IngestRejected> {
         let limit = self.max_ingest_queue.load(Ordering::SeqCst);
         let slot = InflightSlot::enter(&self.ingest_in_flight);
         if limit > 0 && slot.occupancy > limit {
@@ -332,21 +419,26 @@ impl AuditService {
         self.shed_ingests.load(Ordering::SeqCst)
     }
 
-    fn ingest_rows_inner(&self, rows: &[protocol::IngestRow]) -> Result<IngestReport, PileError> {
+    fn ingest_rows_inner(
+        &self,
+        rows: &[protocol::IngestRow],
+    ) -> Result<ShardedIngestReport, PileError> {
         let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
         let mut store = self.persist.lock().unwrap_or_else(|e| e.into_inner());
-        let (_, report) = self.shared.ingest_with(
-            |db| {
+        let (_, report) = self.sharded.ingest_with(
+            |batch| {
                 // Validate the cached state against the writer's private
-                // clone (same contents as the published epoch, under the
-                // writer lock — no TOCTOU with other ingests).
-                let log = db.table(self.spec.table);
-                if guard.as_ref().is_none_or(|s| s.log_len != log.len()) {
-                    *guard = Some(WriterState::scan(log, &self.cols));
+                // clones (same contents as the published epoch vector,
+                // under the writer lock — no TOCTOU with other ingests).
+                if guard
+                    .as_ref()
+                    .is_none_or(|s| s.log_len != batch.global_log_len())
+                {
+                    *guard = Some(WriterState::scan(batch, self.spec.table, &self.cols));
                 }
                 let state = guard.as_mut().expect("just ensured");
-                let arity = log.schema().arity();
-                let first_row = log.len() as u64;
+                let arity = batch.db(0).table(self.spec.table).schema().arity();
+                let first_row = batch.global_log_len() as u64;
                 // Materialize every row before inserting, so a mid-batch
                 // insert panic cannot leave the state half-advanced.
                 let mut staged = Vec::with_capacity(rows.len());
@@ -369,10 +461,14 @@ impl AuditService {
                     row[self.cols.is_first] = Value::Int(i64::from(is_first));
                     staged.push(row);
                 }
-                let action = db.str_value("view");
+                let action = batch.str_value("view");
                 for row in &mut staged {
                     row[self.cols.action] = action;
-                    db.insert(self.spec.table, row.clone())
+                    // Routed to its shard by the patient hash; the batch
+                    // assigns the same global row id the unsharded log
+                    // would, which is what the durable store records.
+                    batch
+                        .insert_log(row.clone())
                         .expect("ingest row matches the log schema");
                 }
                 // Commit the bookkeeping only once the whole batch is in.
@@ -382,13 +478,17 @@ impl AuditService {
                 let state = guard.as_mut().expect("still present");
                 state.next_lid += rows.len() as i64;
                 state.seen.extend(overlay);
-                state.log_len = db.table(self.spec.table).len();
+                state.log_len = batch.global_log_len();
                 (first_row, staged)
             },
-            |db, (first_row, staged), seq| {
+            |batch, (first_row, staged), seq| {
                 let Some(store) = store.as_mut() else {
                     return Ok(());
                 };
+                // Shard-agnostic durable layout: one pile, batches in
+                // global row order. Any shard's database resolves the
+                // staged symbols (the pools are aligned by construction).
+                let db = batch.db(0);
                 let table = &db.table(self.spec.table).schema().name;
                 store.append(pile::plain_batch(db, seq, table, *first_row, staged))
             },
@@ -400,21 +500,31 @@ impl AuditService {
     /// suite — the zero-setup constructor the `eba-serve` binary, the
     /// unit tests, and the benchmark workload share.
     pub fn tiny_synthetic(seed: u64) -> AuditService {
+        Self::tiny_synthetic_sharded(seed, default_shard_count())
+    }
+
+    /// [`AuditService::tiny_synthetic`] with an explicit shard count.
+    pub fn tiny_synthetic_sharded(seed: u64, n_shards: usize) -> AuditService {
         let config = eba_synth::SynthConfig {
             seed,
             ..eba_synth::SynthConfig::tiny()
         };
-        Self::from_hospital(eba_synth::Hospital::generate(config))
+        Self::from_hospital_sharded(eba_synth::Hospital::generate(config), n_shards)
     }
 
     /// Wraps a generated hospital with the hand-crafted suite.
     pub fn from_hospital(h: eba_synth::Hospital) -> AuditService {
+        Self::from_hospital_sharded(h, default_shard_count())
+    }
+
+    /// [`AuditService::from_hospital`] with an explicit shard count.
+    pub fn from_hospital_sharded(h: eba_synth::Hospital, n_shards: usize) -> AuditService {
         let spec = LogSpec::conventional(&h.db).expect("synthetic Log table");
         let t = HandcraftedTemplates::build(&h.db, &spec).expect("CareWeb schema");
         let explainer = Explainer::new(t.all().into_iter().cloned().collect());
         let cols = h.log_cols;
         let days = h.config.days;
-        Self::new(h.db, spec, cols, explainer, days)
+        Self::new_sharded(h.db, spec, cols, explainer, days, n_shards)
     }
 
     /// [`AuditService::from_hospital`] with a durable store: previously
@@ -426,36 +536,56 @@ impl AuditService {
         pile_path: &Path,
         policy: Durability,
     ) -> Result<AuditService, PileError> {
+        Self::from_hospital_durable_sharded(h, pile_path, policy, default_shard_count())
+    }
+
+    /// [`AuditService::from_hospital_durable`] with an explicit shard
+    /// count — the store layout is shard-agnostic, so any count works
+    /// over an existing pile.
+    pub fn from_hospital_durable_sharded(
+        h: eba_synth::Hospital,
+        pile_path: &Path,
+        policy: Durability,
+        n_shards: usize,
+    ) -> Result<AuditService, PileError> {
         let spec = LogSpec::conventional(&h.db).expect("synthetic Log table");
         let t = HandcraftedTemplates::build(&h.db, &spec).expect("CareWeb schema");
         let explainer = Explainer::new(t.all().into_iter().cloned().collect());
         let cols = h.log_cols;
         let days = h.config.days;
-        Self::new_durable(h.db, spec, cols, explainer, days, pile_path, policy)
+        Self::new_durable_sharded(
+            h.db, spec, cols, explainer, days, pile_path, policy, n_shards,
+        )
     }
 
-    /// The snapshot-handoff cell (readers `load`, the writer `ingest`s).
-    pub fn shared(&self) -> &SharedEngine {
-        &self.shared
+    /// The sharded snapshot-handoff cell (readers `load` the epoch
+    /// vector, the writer `ingest`s).
+    pub fn sharded(&self) -> &ShardedEngine {
+        &self.sharded
+    }
+
+    /// Number of log shards this service partitions across.
+    pub fn shard_count(&self) -> usize {
+        self.sharded.shard_count()
     }
 
     /// Operator reload: replaces the published database wholesale (e.g. a
     /// corrected dataset) and publishes the successor epoch via
-    /// [`SharedEngine::replace`] — the engine is rebuilt from scratch
+    /// [`ShardedEngine::replace`] — every shard engine is rebuilt from scratch
     /// unconditionally (a replacement is never assumed to extend the
     /// published log, even when row counts line up), and the rebuild is
     /// recorded as an operator warning (surfaced by the `WARNINGS`
     /// command) exactly like an `INGEST`-path fallback, never silently
     /// absorbed. Pinned sessions keep answering from their epoch until
     /// they `REPIN`.
-    pub fn replace_database(&self, db: Database) -> IngestReport {
+    pub fn replace_database(&self, db: Database) -> ShardedIngestReport {
         // Serialize with `ingest_rows` and drop its incremental lid/pair
         // state: it described the replaced log.
         let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
         *guard = None;
-        let report = self.shared.replace(db);
+        let report = self.sharded.replace(db);
         drop(guard);
-        if let Some(warning) = report.fallback_warning() {
+        for warning in report.fallback_warnings() {
             self.record_warning(warning);
         }
         report
@@ -528,12 +658,33 @@ mod tests {
     #[test]
     fn tiny_service_builds_and_serves_an_epoch() {
         let svc = AuditService::tiny_synthetic(1);
-        let epoch = svc.shared().load();
-        assert_eq!(epoch.seq(), 0);
-        assert!(!epoch.db().table(svc.spec.table).is_empty());
+        let epochs = svc.sharded().load();
+        assert_eq!(epochs.seq(), 0);
+        assert!(epochs.global_log_len() > 0);
+        assert_eq!(
+            epochs
+                .shards()
+                .iter()
+                .map(|s| s.db().table(svc.spec.table).len())
+                .sum::<usize>(),
+            epochs.global_log_len()
+        );
         assert!(!svc.explainer.templates().is_empty());
         assert!(svc.days >= 1);
         assert!(svc.warnings().is_empty());
+    }
+
+    #[test]
+    fn shard_count_follows_the_explicit_request() {
+        let svc = AuditService::tiny_synthetic_sharded(1, 3);
+        assert_eq!(svc.shard_count(), 3);
+        let epochs = svc.sharded().load();
+        assert_eq!(epochs.shard_count(), 3);
+        assert_eq!(
+            epochs.shards().iter().map(|s| s.log_len()).sum::<usize>(),
+            epochs.global_log_len(),
+            "shards partition the log"
+        );
     }
 
     #[test]
@@ -552,8 +703,8 @@ mod tests {
         // high lid the cache knows nothing about.
         let table = svc.spec.table;
         let cols = svc.cols;
-        svc.shared().ingest(|db| {
-            let arity = db.table(table).schema().arity();
+        svc.sharded().ingest(|batch| {
+            let arity = batch.db(0).table(table).schema().arity();
             let mut r = vec![Value::Null; arity];
             r[cols.lid] = Value::Int(5_000_000);
             r[cols.date] = Value::Date(0);
@@ -561,16 +712,17 @@ mod tests {
             r[cols.patient] = Value::Int(10_001);
             r[cols.day] = Value::Int(1);
             r[cols.is_first] = Value::Int(0);
-            db.insert(table, r).unwrap();
+            batch.insert_log(r).unwrap();
         });
         // The staleness check (published log length moved under the
         // cache) forces a rescan: no lid may ever be issued twice.
         svc.ingest_rows(&[row(3, 10_002)]).unwrap();
-        let epoch = svc.shared().load();
-        let log = epoch.db().table(table);
+        let epochs = svc.sharded().load();
         let mut lids = std::collections::HashSet::new();
-        for (_, r) in log.iter() {
-            assert!(lids.insert(r[cols.lid]), "duplicate lid: {:?}", r[cols.lid]);
+        for shard in epochs.shards() {
+            for (_, r) in shard.db().table(table).iter() {
+                assert!(lids.insert(r[cols.lid]), "duplicate lid: {:?}", r[cols.lid]);
+            }
         }
         assert!(
             lids.contains(&Value::Int(5_000_001)),
@@ -602,7 +754,7 @@ mod tests {
             assert_eq!(svc.recovery_report().unwrap().batches(), 0);
             svc.ingest_rows(&[row(1, 10_000), row(2, 10_001)]).unwrap();
             svc.ingest_rows(&[row(3, 10_002)]).unwrap();
-            svc.shared().load().db().table(svc.spec.table).len()
+            svc.sharded().load().global_log_len()
         };
         // "Restart": the same base data plus the recovered store must
         // reproduce the acknowledged log exactly.
@@ -612,7 +764,12 @@ mod tests {
         assert_eq!(report.batches(), 2);
         assert_eq!(report.rows, 3);
         assert!(!report.lost_data());
-        assert_eq!(svc.shared().load().db().table(svc.spec.table).len(), anchor);
+        assert_eq!(svc.sharded().load().global_log_len(), anchor);
+        assert!(
+            report.notes.iter().any(|n| n.starts_with("shard 0:")),
+            "recovery reports per-shard placement: {:?}",
+            report.notes
+        );
         let _ = std::fs::remove_file(&pile);
         let _ = std::fs::remove_file(DurableStore::wal_path(&pile));
     }
@@ -620,8 +777,13 @@ mod tests {
     #[test]
     fn days_in_log_ignores_skewed_stamps() {
         let svc = AuditService::tiny_synthetic(1);
-        let epoch = svc.shared().load();
-        let days = days_in_log(epoch.db(), svc.spec.table, &svc.cols);
+        let epochs = svc.sharded().load();
+        let days = epochs
+            .shards()
+            .iter()
+            .map(|s| days_in_log(s.db(), svc.spec.table, &svc.cols))
+            .max()
+            .unwrap();
         assert!(
             (1..=svc.days).contains(&days),
             "well-formed log ⇒ within the config window ({days} vs {})",

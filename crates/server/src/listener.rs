@@ -643,7 +643,7 @@ mod tests {
         // The server closed the connection after the reply.
         assert_eq!(client.drain().expect("eof"), "");
         // The stalled batch was never acknowledged, so nothing published.
-        assert_eq!(server.service().shared().seq(), 0);
+        assert_eq!(server.service().sharded().seq(), 0);
     }
 
     #[test]
@@ -668,7 +668,7 @@ mod tests {
             .collect();
         let reply = client.ingest(&rows).expect("small batch");
         assert_eq!(reply.head, "OK ingest seq 1 rows 2 new_rows 2 rebuilt 0");
-        assert_eq!(server.service().shared().seq(), 1);
+        assert_eq!(server.service().sharded().seq(), 1);
     }
 
     #[test]

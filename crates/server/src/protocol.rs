@@ -21,6 +21,7 @@
 //! PIN                     report the session's pinned epoch seq
 //! REPIN                   pin the latest published epoch
 //! SEQ                     published vs pinned sequence numbers
+//! SHARDS                  shard count, live seq, per-shard log row counts
 //! EXPLAIN <lid>           ranked explanations for one access
 //! UNEXPLAINED [limit]     the unexplained accesses of the pinned epoch
 //! METRICS                 suite-level explanation metrics
@@ -85,6 +86,9 @@ pub enum Command {
     Repin,
     /// `SEQ` — published vs pinned sequence numbers.
     Seq,
+    /// `SHARDS` — shard count, live seq, and per-shard log row counts of
+    /// the pinned epoch vector.
+    Shards,
     /// `EXPLAIN <lid>` — ranked explanations for one access.
     Explain { lid: i64 },
     /// `UNEXPLAINED [limit]` — unexplained accesses, optionally truncated.
@@ -142,6 +146,10 @@ impl Command {
             "SEQ" => {
                 arity(0, "SEQ")?;
                 Command::Seq
+            }
+            "SHARDS" => {
+                arity(0, "SHARDS")?;
+                Command::Shards
             }
             "EXPLAIN" => {
                 arity(1, "EXPLAIN <lid>")?;

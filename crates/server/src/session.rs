@@ -1,54 +1,59 @@
-//! Per-connection sessions: one pinned [`Epoch`] per session, every
-//! audit question answered through the `*_at` forms against it.
+//! Per-connection sessions: one pinned [`EpochVec`] per session, every
+//! audit question scatter-gathered through the `*_at_shards` forms
+//! against it. Shard count 1 degenerates to exactly the old single-epoch
+//! session (the `shard_equivalence` suite proves the answers identical),
+//! so the protocol surface is unchanged apart from the added `SHARDS`
+//! report.
 
 use crate::protocol::{Command, IngestRow, ProtocolError, Response};
 use crate::AuditService;
 use eba_audit::{metrics, portal, timeline};
-use eba_relational::{Epoch, Value};
+use eba_relational::{EpochVec, RowId, Value};
 use std::sync::Arc;
 
-/// One connection's state: the shared service plus the epoch the session
-/// has pinned. Reads answer from the pin; `REPIN` advances it; `INGEST`
-/// goes through the service's single-writer path and deliberately does
-/// **not** move the pin (the ingesting auditor keeps their consistent
-/// view until they ask for the new one).
+/// One connection's state: the shared service plus the epoch vector the
+/// session has pinned. Reads answer from the pin; `REPIN` advances it;
+/// `INGEST` goes through the service's single-writer path and
+/// deliberately does **not** move the pin (the ingesting auditor keeps
+/// their consistent view until they ask for the new one).
 pub struct Session {
     service: Arc<AuditService>,
-    epoch: Arc<Epoch>,
+    epochs: Arc<EpochVec>,
 }
 
 impl Session {
-    /// Opens a session, pinning the currently published epoch.
+    /// Opens a session, pinning the currently published epoch vector.
     pub fn new(service: Arc<AuditService>) -> Session {
-        let epoch = service.shared().load();
-        Session { service, epoch }
+        let epochs = service.sharded().load();
+        Session { service, epochs }
     }
 
     /// The banner sent when a connection opens.
     pub fn greeting(&self) -> Response {
-        Response::ok(format!("eba-serve 1 epoch {}", self.epoch.seq()))
+        Response::ok(format!("eba-serve 1 epoch {}", self.epochs.seq()))
     }
 
-    /// The session's pinned epoch.
-    pub fn epoch(&self) -> &Arc<Epoch> {
-        &self.epoch
+    /// The session's pinned epoch vector.
+    pub fn epochs(&self) -> &Arc<EpochVec> {
+        &self.epochs
     }
 
-    /// Executes one read command against the pinned epoch, or an `INGEST`
-    /// batch through the writer path.
+    /// Executes one read command against the pinned epoch vector, or an
+    /// `INGEST` batch through the writer path.
     pub fn handle(&mut self, cmd: Command, rows: Vec<IngestRow>) -> Response {
         match cmd {
             Command::Ping => Response::ok("pong"),
-            Command::Pin => Response::ok(format!("epoch {}", self.epoch.seq())),
+            Command::Pin => Response::ok(format!("epoch {}", self.epochs.seq())),
             Command::Repin => {
-                self.epoch = self.service.shared().load();
-                Response::ok(format!("epoch {}", self.epoch.seq()))
+                self.epochs = self.service.sharded().load();
+                Response::ok(format!("epoch {}", self.epochs.seq()))
             }
             Command::Seq => Response::ok(format!(
                 "published {} pinned {}",
-                self.service.shared().seq(),
-                self.epoch.seq()
+                self.service.sharded().seq(),
+                self.epochs.seq()
             )),
+            Command::Shards => self.shards(),
             Command::Explain { lid } => self.explain(lid),
             Command::Unexplained { limit } => self.unexplained(limit),
             Command::Metrics => self.metrics(),
@@ -71,15 +76,42 @@ impl Session {
         }
     }
 
+    /// Resolves a pinned **global** log row id to its shard and row.
+    fn locate(&self, global: RowId) -> (usize, RowId) {
+        self.epochs
+            .locate(global)
+            .expect("global id came from this epoch vector")
+    }
+
+    fn shards(&self) -> Response {
+        let live = self.service.sharded().seq();
+        let mut resp = Response::ok(format!(
+            "shards {} seq {} pinned {}",
+            self.epochs.shard_count(),
+            live,
+            self.epochs.seq()
+        ));
+        for (i, shard) in self.epochs.shards().iter().enumerate() {
+            resp.push(format!("shard {i} rows {}", shard.log_len()));
+        }
+        resp
+    }
+
     fn explain(&self, lid: i64) -> Response {
         let svc = &self.service;
-        let db = self.epoch.db();
-        let log = db.table(svc.spec.table);
-        let rows = log.rows_with(svc.cols.lid, Value::Int(lid));
-        let Some(&rid) = rows.first() else {
+        // The lid is not the partition key, so probe every shard's lid
+        // index; the one holding the row explains it locally.
+        let hit = self.epochs.shards().iter().find_map(|shard| {
+            let log = shard.db().table(svc.spec.table);
+            log.rows_with(svc.cols.lid, Value::Int(lid))
+                .first()
+                .map(|&rid| (shard, rid))
+        });
+        let Some((shard, rid)) = hit else {
             return ProtocolError::NotFound(format!("no log record with Lid = {lid}")).into();
         };
-        let row = log.row(rid);
+        let db = shard.db();
+        let row = db.table(svc.spec.table).row(rid);
         let explanations = match svc.explainer.explain(db, &svc.spec, rid, 3) {
             Ok(e) => e,
             Err(e) => return ProtocolError::Internal(e.to_string()).into(),
@@ -98,19 +130,21 @@ impl Session {
 
     fn unexplained(&self, limit: Option<usize>) -> Response {
         let svc = &self.service;
-        let db = self.epoch.db();
-        let unexplained = svc.explainer.unexplained_rows_at(&svc.spec, &self.epoch);
-        let anchor_total = metrics::anchor_rows(db, &svc.spec).len();
+        let unexplained = svc
+            .explainer
+            .unexplained_rows_at_shards(&svc.spec, &self.epochs);
+        let anchor_total = metrics::anchor_rows_at_shards(&self.epochs, &svc.spec).len();
         let mut resp = Response::ok(format!(
             "unexplained {} of {} epoch {}",
             unexplained.len(),
             anchor_total,
-            self.epoch.seq()
+            self.epochs.seq()
         ));
-        let log = db.table(svc.spec.table);
         let shown = limit.unwrap_or(unexplained.len());
-        for &rid in unexplained.iter().take(shown) {
-            let row = log.row(rid);
+        for &global in unexplained.iter().take(shown) {
+            let (shard, rid) = self.locate(global);
+            let db = self.epochs.shards()[shard].db();
+            let row = db.table(svc.spec.table).row(rid);
             resp.push(format!(
                 "lid {} user {} patient {}",
                 row[svc.cols.lid].display(db.pool()),
@@ -124,8 +158,8 @@ impl Session {
     fn metrics(&self) -> Response {
         let svc = &self.service;
         let suite: Vec<&eba_core::ExplanationTemplate> = svc.explainer.templates().iter().collect();
-        let c = metrics::evaluate_at(&svc.spec, &suite, None, None, &self.epoch);
-        let mut resp = Response::ok(format!("metrics epoch {}", self.epoch.seq()));
+        let c = metrics::evaluate_at_shards(&svc.spec, &suite, None, None, &self.epochs);
+        let mut resp = Response::ok(format!("metrics epoch {}", self.epochs.seq()));
         resp.push(format!("anchor_total {}", c.real_total));
         resp.push(format!("explained {}", c.real_explained));
         resp.push(format!("unexplained {}", c.real_total - c.real_explained));
@@ -136,11 +170,16 @@ impl Session {
 
     fn timeline(&self) -> Response {
         let svc = &self.service;
-        let t =
-            timeline::daily_stats_at(&svc.spec, &svc.cols, &svc.explainer, svc.days, &self.epoch);
+        let t = timeline::daily_stats_at_shards(
+            &svc.spec,
+            &svc.cols,
+            &svc.explainer,
+            svc.days,
+            &self.epochs,
+        );
         let mut resp = Response::ok(format!(
             "timeline epoch {} days {} dropped {}",
-            self.epoch.seq(),
+            self.epochs.seq(),
             svc.days,
             t.dropped()
         ));
@@ -160,8 +199,8 @@ impl Session {
 
     fn misuse(&self, user: Option<i64>) -> Response {
         let svc = &self.service;
-        let queue = portal::misuse_summary_at(&svc.spec, &svc.explainer, &self.epoch);
-        let pool = self.epoch.db().pool();
+        let queue = portal::misuse_summary_at_shards(&svc.spec, &svc.explainer, &self.epochs);
+        let pool = self.epochs.shards()[0].db().pool();
         match user {
             Some(user) => {
                 let hit = queue
@@ -182,7 +221,8 @@ impl Session {
             }
             None => {
                 let top = 10.min(queue.len());
-                let mut resp = Response::ok(format!("misuse top {top} epoch {}", self.epoch.seq()));
+                let mut resp =
+                    Response::ok(format!("misuse top {top} epoch {}", self.epochs.seq()));
                 for s in queue.iter().take(top) {
                     resp.push(format!(
                         "user {} unexplained {} distinct_patients {}",
@@ -227,7 +267,7 @@ impl Session {
             Err(crate::IngestRejected::Overloaded { in_flight }) => {
                 // Shed: the writer queue is saturated. Typed refusal with
                 // a retry hint; the session itself stays usable (reads
-                // still answer from the pinned epoch).
+                // still answer from the pinned epoch vector).
                 return ProtocolError::Overloaded { in_flight }.into();
             }
             Err(crate::IngestRejected::Persist(e)) => {
@@ -241,13 +281,13 @@ impl Session {
             "ingest seq {} rows {} new_rows {} rebuilt {}",
             report.seq,
             rows.len(),
-            report.refresh.delta.new_rows,
-            u8::from(report.rebuilt.is_some())
+            report.new_rows(),
+            u8::from(report.rebuilt_any())
         ));
-        // Satellite fix: the rebuild fallback used to be recorded and
-        // silently dropped by every caller — surface it to the client
-        // *and* the operator log.
-        if let Some(warning) = report.fallback_warning() {
+        // Satellite fix (PR 4): the rebuild fallback used to be recorded
+        // and silently dropped by every caller — surface it to the client
+        // *and* the operator log, per shard.
+        for warning in report.fallback_warnings() {
             resp.push(format!("warn {warning}"));
             svc.record_warning(warning);
         }
@@ -262,6 +302,10 @@ mod tests {
 
     fn service() -> Arc<AuditService> {
         Arc::new(AuditService::tiny_synthetic(7))
+    }
+
+    fn sharded_service(n: usize) -> Arc<AuditService> {
+        Arc::new(AuditService::tiny_synthetic_sharded(7, n))
     }
 
     #[test]
@@ -328,6 +372,58 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(total(&after), total(&before) + 2);
+    }
+
+    #[test]
+    fn sharded_session_answers_match_the_single_shard_session() {
+        // The full protocol surface, differentially: every read command's
+        // bytes at 4 shards equal the 1-shard session's.
+        let mut single = Session::new(sharded_service(1));
+        let mut sharded = Session::new(sharded_service(4));
+        let cmds = [
+            Command::Metrics,
+            Command::Timeline,
+            Command::Unexplained { limit: Some(25) },
+            Command::Misuse { user: None },
+            Command::Explain { lid: 1 },
+        ];
+        for cmd in cmds {
+            assert_eq!(
+                single.handle(cmd.clone(), vec![]),
+                sharded.handle(cmd.clone(), vec![]),
+                "{cmd:?} diverged between 1 and 4 shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_reports_partition_layout() {
+        let svc = sharded_service(3);
+        let mut s = Session::new(svc.clone());
+        let r = s.handle(Command::Shards, vec![]);
+        assert_eq!(r.head, "OK shards 3 seq 0 pinned 0");
+        assert_eq!(r.body.len(), 3);
+        let total: usize = r
+            .body
+            .iter()
+            .map(|l| {
+                l.split_whitespace()
+                    .last()
+                    .unwrap()
+                    .parse::<usize>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, svc.sharded().load().global_log_len());
+        // The pin holds the old layout while an ingest publishes.
+        svc.ingest_rows(&[IngestRow {
+            user: 1,
+            patient: 10_000,
+            day: Some(1),
+        }])
+        .unwrap();
+        let r = s.handle(Command::Shards, vec![]);
+        assert_eq!(r.head, "OK shards 3 seq 1 pinned 0");
     }
 
     #[test]

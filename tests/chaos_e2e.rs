@@ -55,17 +55,23 @@ fn marked_batch(marker: i64, rows: usize) -> Vec<IngestRow> {
 /// How many rows of `marked_batch(marker, rows)` are in the published
 /// log.
 fn marker_rows_published(service: &AuditService, marker: i64, rows: usize) -> usize {
-    let epoch = service.shared().load();
-    let log = epoch.db().table(service.spec.table);
+    let epochs = service.sharded().load();
     let user_col = service.cols.user;
-    (0..log.len() as u32)
-        .filter(|&rid| {
-            let Value::Int(u) = log.row(rid)[user_col] else {
-                return false;
-            };
-            u >= marker && u < marker + rows as i64
+    epochs
+        .shards()
+        .iter()
+        .map(|shard| {
+            let log = shard.db().table(service.spec.table);
+            (0..log.len() as u32)
+                .filter(|&rid| {
+                    let Value::Int(u) = log.row(rid)[user_col] else {
+                        return false;
+                    };
+                    u >= marker && u < marker + rows as i64
+                })
+                .count()
         })
-        .count()
+        .sum()
 }
 
 /// Tentpole invariant 1: a connection storm at 4× the cap. Every

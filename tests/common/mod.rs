@@ -11,11 +11,25 @@ pub mod chaos;
 use eba::audit::handcrafted::HandcraftedTemplates;
 use eba::audit::Explainer;
 use eba::core::LogSpec;
-use eba::relational::{ChainQuery, Table, Value};
+use eba::relational::{ChainQuery, StringPool, Table, Value};
 use eba::synth::{Hospital, SynthConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Shard count the concurrency suites run at, from `EBA_TEST_SHARDS`
+/// (CI runs the workspace at both `1` and `4`); defaults to 1, so a
+/// plain `cargo test` exercises the degenerate single-shard engine.
+/// `AuditService` constructors read the same variable through
+/// [`eba::server::default_shard_count`], so the library- and socket-level
+/// suites agree on the partition layout without threading a parameter.
+pub fn test_shards() -> usize {
+    std::env::var("EBA_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
 
 /// The standard concurrency-test world: a tiny synthetic hospital, its
 /// conventional log spec, the hand-crafted template suite, and the
@@ -133,6 +147,43 @@ pub fn assert_sealed_segments_shared(older: &Table, newer: &Table, what: &str) {
         assert!(
             Arc::ptr_eq(a, b),
             "{what}: sealed segment {i} was copied instead of shared"
+        );
+    }
+}
+
+/// The same invariant for the string interner: every sealed symbol
+/// segment and every sealed lookup layer of `older` is present by
+/// pointer in `newer`. Interned strings dominate a long-lived log's
+/// heap, so a publication that silently copied the pool would turn the
+/// `O(batch)` epoch cost into `O(total strings)` without any row-segment
+/// assertion noticing.
+pub fn assert_interner_shared(older: &StringPool, newer: &StringPool, what: &str) {
+    let old_segs = older.sealed_segments();
+    let new_segs = newer.sealed_segments();
+    assert!(
+        old_segs.len() <= new_segs.len(),
+        "{what}: the newer pool lost sealed symbol segments ({} -> {})",
+        old_segs.len(),
+        new_segs.len()
+    );
+    for (i, (a, b)) in old_segs.iter().zip(new_segs).enumerate() {
+        assert!(
+            Arc::ptr_eq(a, b),
+            "{what}: interner symbol segment {i} was copied instead of shared"
+        );
+    }
+    let old_layers = older.lookup_layers();
+    let new_layers = newer.lookup_layers();
+    assert!(
+        old_layers.len() <= new_layers.len(),
+        "{what}: the newer pool lost lookup layers ({} -> {})",
+        old_layers.len(),
+        new_layers.len()
+    );
+    for (i, (a, b)) in old_layers.iter().zip(new_layers).enumerate() {
+        assert!(
+            Arc::ptr_eq(a, b),
+            "{what}: interner lookup layer {i} was copied instead of shared"
         );
     }
 }

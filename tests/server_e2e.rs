@@ -85,6 +85,20 @@ fn protocol_round_trips_over_a_real_socket() {
     assert_eq!(c.send("pin").unwrap().head, "OK epoch 0");
     assert_eq!(c.send("SEQ").unwrap().head, "OK published 0 pinned 0");
 
+    // SHARDS: layout report — one body line per shard, row counts
+    // summing to the served log (the suite runs at EBA_TEST_SHARDS).
+    let shards = c.send("SHARDS").unwrap();
+    assert!(shards.is_ok(), "{}", shards.head);
+    let n: usize = shards.field("shards").unwrap().parse().unwrap();
+    assert_eq!(n, common::test_shards());
+    assert_eq!(shards.body.len(), n);
+    let total: usize = shards
+        .body
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+        .sum();
+    assert_eq!(total, world.hospital.log_len());
+
     // EXPLAIN: a real access answers; the reply's data lines are the
     // ranked explanations.
     let lid = first_lid(&world);
@@ -161,6 +175,71 @@ fn protocol_round_trips_over_a_real_socket() {
     assert_eq!(again.send("PING").unwrap().head, "OK pong");
 }
 
+/// Satellite: a server running an explicitly sharded service answers
+/// every read command byte-identically to the single-shard server over
+/// real sockets, and `SHARDS` reports the partition layout (row counts
+/// summing to the log, live seq advancing while the pin holds).
+#[test]
+fn sharded_server_matches_single_shard_server_over_the_wire() {
+    let world = common::AuditWorld::tiny(29);
+    let spawn = |n: usize| {
+        let service = AuditService::new_sharded(
+            world.hospital.db.clone(),
+            world.spec.clone(),
+            world.hospital.log_cols,
+            world.explainer.clone(),
+            world.hospital.config.days,
+            n,
+        );
+        Server::spawn(service, "127.0.0.1:0").expect("bind ephemeral port")
+    };
+    let single = spawn(1);
+    let sharded = spawn(4);
+    let mut a = Client::connect(single.local_addr()).expect("connect single");
+    let mut b = Client::connect(sharded.local_addr()).expect("connect sharded");
+
+    let lid = first_lid(&world);
+    for cmd in [
+        "METRICS".to_string(),
+        "TIMELINE".to_string(),
+        "UNEXPLAINED".to_string(),
+        "MISUSE".to_string(),
+        format!("EXPLAIN {lid}"),
+    ] {
+        assert_eq!(
+            a.send(&cmd).expect("single").render(),
+            b.send(&cmd).expect("sharded").render(),
+            "`{cmd}` diverged between 1 and 4 shards over the wire"
+        );
+    }
+
+    // The layout report.
+    let r = b.send("SHARDS").unwrap();
+    assert_eq!(r.head, "OK shards 4 seq 0 pinned 0");
+    assert_eq!(r.body.len(), 4);
+    let total: usize = r
+        .body
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+        .sum();
+    assert_eq!(total, world.hospital.log_len());
+
+    // An ingest on the sharded server advances the live seq; the pinned
+    // session's layout report keeps describing its pin.
+    let reply = b.ingest(&batch(&world, 8, Some(1))).expect("ingest");
+    assert!(reply.is_ok(), "{}", reply.head);
+    assert_eq!(b.send("SHARDS").unwrap().head, "OK shards 4 seq 1 pinned 0");
+    b.send("REPIN").unwrap();
+    let repinned = b.send("SHARDS").unwrap();
+    assert_eq!(repinned.head, "OK shards 4 seq 1 pinned 1");
+    let total_after: usize = repinned
+        .body
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+        .sum();
+    assert_eq!(total_after, world.hospital.log_len() + 8);
+}
+
 /// The tentpole acceptance test: a pinned session's answers are
 /// byte-identical before and after a concurrent `INGEST` publishes a new
 /// epoch, they match the library `*_at` answers for the pinned seq, and
@@ -176,7 +255,7 @@ fn pinned_session_is_byte_stable_across_ingest_until_repin() {
     let lid = first_lid(&world);
 
     // The library view of epoch 0, pinned before any ingest.
-    let epoch0 = server.service().shared().load();
+    let epoch0 = server.service().sharded().load();
     assert_eq!(epoch0.seq(), 0);
 
     let mut session = Client::connect(addr).expect("reader session");
@@ -195,11 +274,13 @@ fn pinned_session_is_byte_stable_across_ingest_until_repin() {
     };
     let before = ask_all(&mut session);
 
-    // Wire answers == library `*_at` answers for the pinned epoch 0.
-    let assert_matches_library = |rendered: &[String], epoch: &eba::relational::Epoch| {
+    // Wire answers == library `*_at_shards` answers for the pinned epoch
+    // vector (at EBA_TEST_SHARDS=1 this is exactly the old single-epoch
+    // `*_at` comparison — the scatter-gather layer proves the rest).
+    let assert_matches_library = |rendered: &[String], epochs: &eba::relational::EpochVec| {
         let suite: Vec<&eba::core::ExplanationTemplate> =
             world.explainer.templates().iter().collect();
-        let c = metrics::evaluate_at(spec, &suite, None, None, epoch);
+        let c = metrics::evaluate_at_shards(spec, &suite, None, None, epochs);
         let m = &rendered[0];
         assert!(
             m.contains(&format!("\nanchor_total {}", c.real_total)),
@@ -211,7 +292,7 @@ fn pinned_session_is_byte_stable_across_ingest_until_repin() {
         );
         assert!(m.contains(&format!("\nrecall {:.6}", c.recall())), "{m}");
 
-        let t = timeline::daily_stats_at(spec, cols, &world.explainer, days, epoch);
+        let t = timeline::daily_stats_at_shards(spec, cols, &world.explainer, days, epochs);
         let tl = &rendered[1];
         for s in &t.days {
             assert!(
@@ -233,32 +314,35 @@ fn pinned_session_is_byte_stable_across_ingest_until_repin() {
             "{tl}"
         );
 
-        let unexplained = world.explainer.unexplained_rows_at(spec, epoch);
+        let unexplained = world.explainer.unexplained_rows_at_shards(spec, epochs);
         let u = &rendered[2];
         assert!(
             u.contains(&format!("OK unexplained {} of ", unexplained.len())),
             "{u}"
         );
-        let log = epoch.db().table(spec.table);
-        // Every unexplained row appears, in ascending row order.
+        // Every unexplained row appears, in ascending global row order
+        // (resolved through the shard that owns it).
         let mut at = 0usize;
-        for &rid in &unexplained {
-            let row = log.row(rid);
+        for &global in &unexplained {
+            let (s, rid) = epochs.locate(global).expect("listed row exists");
+            let db = epochs.shards()[s].db();
+            let row = db.table(spec.table).row(rid);
             let needle = format!(
                 "\nlid {} user {} patient {}",
-                row[cols.lid].display(epoch.db().pool()),
-                row[cols.user].display(epoch.db().pool()),
-                row[cols.patient].display(epoch.db().pool())
+                row[cols.lid].display(db.pool()),
+                row[cols.user].display(db.pool()),
+                row[cols.patient].display(db.pool())
             );
             let pos = u[at..].find(&needle).unwrap_or_else(|| {
-                panic!("unexplained row {rid} missing or out of order: {needle}")
+                panic!("unexplained row {global} missing or out of order: {needle}")
             });
             at += pos + needle.len();
         }
 
+        let (s0, rid0) = epochs.locate(0).expect("row 0 exists");
         let explanations = world
             .explainer
-            .explain(epoch.db(), spec, 0, 3)
+            .explain(epochs.shards()[s0].db(), spec, rid0, 3)
             .expect("valid suite");
         let e = &rendered[3];
         assert!(
@@ -294,7 +378,7 @@ fn pinned_session_is_byte_stable_across_ingest_until_repin() {
     // REPIN: the session moves to epoch 1 and now matches the library
     // answers for the *new* epoch (which differ — the log grew).
     assert_eq!(session.send("REPIN").unwrap().head, "OK epoch 1");
-    let epoch1 = server.service().shared().load();
+    let epoch1 = server.service().sharded().load();
     assert_eq!(epoch1.seq(), 1);
     let after = ask_all(&mut session);
     assert_ne!(after, before, "the new epoch sees the ingested batch");
@@ -324,17 +408,20 @@ fn concurrent_socket_sessions_always_observe_published_epochs() {
     // Seq 0 is only reachable before the first ingest; record it up
     // front so a fast writer cannot leave it unobserved.
     epochs.observe(0, base_len);
-    // Library handle on the initial epoch: newer epochs must keep
+    // Library handle on the initial epoch vector: newer epochs must keep
     // sharing its sealed segments while the wire sessions hammer it.
-    let pinned_epoch = server.service().shared().load();
-    assert!(
-        !pinned_epoch
-            .db()
-            .table(world.spec.table)
-            .sealed_row_segments()
-            .is_empty(),
-        "the served seed data is sealed"
-    );
+    let pinned_epoch = server.service().sharded().load();
+    for shard in pinned_epoch.shards() {
+        assert!(
+            shard.log_len() == 0
+                || !shard
+                    .db()
+                    .table(world.spec.table)
+                    .sealed_row_segments()
+                    .is_empty(),
+            "the served seed data is sealed in every non-empty shard"
+        );
+    }
 
     common::readers_vs_writer(
         4,
@@ -392,15 +479,27 @@ fn concurrent_socket_sessions_always_observe_published_epochs() {
     epochs.assert_log_grew_each_epoch(rounds);
 
     // Every published epoch kept sharing the initial epoch's sealed
-    // segments by pointer (the `O(batch)` publication invariant, checked
-    // over the served path).
-    let last_epoch = server.service().shared().load();
+    // segments by pointer (the `O(batch)`-per-shard publication
+    // invariant, checked over the served path) — rows *and* the interner.
+    let last_epoch = server.service().sharded().load();
     assert_eq!(last_epoch.seq(), rounds);
-    common::assert_sealed_segments_shared(
-        pinned_epoch.db().table(world.spec.table),
-        last_epoch.db().table(world.spec.table),
-        "served initial epoch vs final epoch",
-    );
+    for (s, (old, new)) in pinned_epoch
+        .shards()
+        .iter()
+        .zip(last_epoch.shards())
+        .enumerate()
+    {
+        common::assert_sealed_segments_shared(
+            old.db().table(world.spec.table),
+            new.db().table(world.spec.table),
+            &format!("served initial epoch vs final epoch, shard {s}"),
+        );
+        common::assert_interner_shared(
+            old.db().pool(),
+            new.db().pool(),
+            &format!("served initial epoch vs final epoch, shard {s}"),
+        );
+    }
 
     // The final epoch over the wire matches the library view.
     let mut c = Client::connect(addr).expect("post-hoc session");
@@ -408,7 +507,7 @@ fn concurrent_socket_sessions_always_observe_published_epochs() {
         c.send("SEQ").unwrap().head,
         format!("OK published {rounds} pinned {rounds}")
     );
-    let last = server.service().shared().load();
+    let last = server.service().sharded().load();
     let m = c.send("METRICS").unwrap();
     assert_eq!(
         m.body_field("unexplained")
@@ -417,7 +516,7 @@ fn concurrent_socket_sessions_always_observe_published_epochs() {
             .unwrap(),
         world
             .explainer
-            .unexplained_rows_at(&world.spec, &last)
+            .unexplained_rows_at_shards(&world.spec, &last)
             .len()
     );
 }
@@ -469,13 +568,13 @@ fn timeline_overflow_is_served_over_the_wire() {
 
     // The wire response equals the library's epoch-pinned view, line by
     // line (this is the daily_stats_at path, not the direct call).
-    let epoch = server.service().shared().load();
-    let t = timeline::daily_stats_at(
+    let epochs = server.service().sharded().load();
+    let t = timeline::daily_stats_at_shards(
         &world.spec,
         &world.hospital.log_cols,
         &world.explainer,
         days,
-        &epoch,
+        &epochs,
     );
     assert_eq!(t.dropped(), 3);
     let mut expected: Vec<String> = t
@@ -526,15 +625,16 @@ fn rebuild_fallback_warning_fires_over_the_server_path() {
     // ...then reload the (shorter) seed copy: TableShrank → rebuild
     // fallback, published as epoch 2.
     let report = server.service().replace_database(world.hospital.db.clone());
-    assert!(
-        report.rebuilt.is_some(),
-        "replacement must trigger fallback"
-    );
+    assert!(report.rebuilt_any(), "replacement must trigger fallback");
     assert_eq!(report.seq, 2);
 
-    // The warning is served over the wire.
+    // The warning is served over the wire — one per shard, since every
+    // shard engine refuses a wholesale replacement and rebuilds.
     let warnings = pinned.send("WARNINGS").expect("warnings");
-    assert_eq!(warnings.head, "OK warnings 1");
+    assert_eq!(
+        warnings.head,
+        format!("OK warnings {}", common::test_shards())
+    );
     assert!(
         warnings.body[0].contains("rebuilding"),
         "{}",
@@ -600,7 +700,7 @@ fn mid_ingest_disconnect_publishes_nothing_and_persists_nothing() {
     }
     assert_eq!(server.live_sessions(), 0, "torn session not reaped");
     assert_eq!(
-        server.service().shared().seq(),
+        server.service().sharded().seq(),
         0,
         "a truncated batch must publish nothing"
     );
