@@ -7,6 +7,7 @@
 use eba_core::{ExplanationTemplate, LogSpec};
 use eba_relational::{
     ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, PreparedChain, Result, RowId,
+    RowSet,
 };
 use std::collections::HashSet;
 
@@ -104,17 +105,27 @@ impl Explainer {
     }
 
     /// [`Explainer::explained_rows`] through a shared [`Engine`]: the
-    /// whole suite is evaluated as one fanned-out batch, and the engine's
-    /// step maps and log partitions stay warm for the next question.
-    /// Results are identical to the per-query path.
+    /// whole suite is evaluated as one fused batch
+    /// ([`Engine::eval_suite`]), and the engine's step maps and log
+    /// partitions stay warm for the next question. Results are identical
+    /// to the per-query path.
     pub fn explained_rows_with(
         &self,
         db: &Database,
         spec: &LogSpec,
         engine: &Engine,
     ) -> HashSet<RowId> {
+        self.explained_rowset_with(db, spec, engine)
+            .iter()
+            .collect()
+    }
+
+    /// [`Explainer::explained_rows_with`] in compressed [`RowSet`] form —
+    /// the shape the fused suite driver produces, and what the timeline
+    /// and portal layers consume without ever hashing a row id.
+    pub fn explained_rowset_with(&self, db: &Database, spec: &LogSpec, engine: &Engine) -> RowSet {
         engine
-            .explained_union(db, &self.suite_queries(spec), EvalOptions::default())
+            .explained_union_rowset(db, &self.suite_queries(spec), EvalOptions::default())
             .expect("templates lower to valid queries")
     }
 
@@ -125,14 +136,27 @@ impl Explainer {
         self.explained_rows_with(epoch.db(), spec, epoch.engine())
     }
 
+    /// [`Explainer::explained_rowset_with`] against a pinned [`Epoch`].
+    pub fn explained_rowset_at(&self, spec: &LogSpec, epoch: &Epoch) -> RowSet {
+        self.explained_rowset_with(epoch.db(), spec, epoch.engine())
+    }
+
     /// [`Explainer::explained_rows`] against a pinned **epoch vector** —
     /// the sharded session form. Each shard evaluates the whole suite
     /// against its warm engine in parallel; the unions merge into
     /// **global** row ids, identical to what [`Explainer::explained_rows`]
     /// returns on the unsharded database.
     pub fn explained_rows_at_shards(&self, spec: &LogSpec, shards: &EpochVec) -> HashSet<RowId> {
+        self.explained_rowset_at_shards(spec, shards)
+            .iter()
+            .collect()
+    }
+
+    /// [`Explainer::explained_rows_at_shards`] in compressed form: the
+    /// per-shard global-id bitmaps fold with the associative union.
+    pub fn explained_rowset_at_shards(&self, spec: &LogSpec, shards: &EpochVec) -> RowSet {
         shards
-            .explained_union(&self.suite_queries(spec), EvalOptions::default())
+            .explained_union_rowset(&self.suite_queries(spec), EvalOptions::default())
             .expect("templates lower to valid queries")
     }
 
@@ -140,18 +164,34 @@ impl Explainer {
     /// potentially suspicious accesses.
     pub fn unexplained_rows(&self, db: &Database, spec: &LogSpec) -> Vec<RowId> {
         let explained = self.explained_rows(db, spec);
-        Self::anchor_complement(db, spec, &explained)
+        crate::metrics::anchor_rows(db, spec)
+            .into_iter()
+            .filter(|rid| !explained.contains(rid))
+            .collect()
     }
 
-    /// [`Explainer::unexplained_rows`] through a shared [`Engine`].
+    /// [`Explainer::unexplained_rows`] through a shared [`Engine`]: the
+    /// anchor rows and the fused suite's explained set meet as row-set
+    /// algebra — `anchors \ explained` is one compressed difference, and
+    /// the result reads out already sorted.
     pub fn unexplained_rows_with(
         &self,
         db: &Database,
         spec: &LogSpec,
         engine: &Engine,
     ) -> Vec<RowId> {
-        let explained = self.explained_rows_with(db, spec, engine);
-        Self::anchor_complement(db, spec, &explained)
+        self.unexplained_rowset_with(db, spec, engine).to_vec()
+    }
+
+    /// [`Explainer::unexplained_rows_with`] in compressed form.
+    pub fn unexplained_rowset_with(
+        &self,
+        db: &Database,
+        spec: &LogSpec,
+        engine: &Engine,
+    ) -> RowSet {
+        let anchors = RowSet::from_sorted_vec(&crate::metrics::anchor_rows(db, spec));
+        anchors.difference(&self.explained_rowset_with(db, spec, engine))
     }
 
     /// [`Explainer::unexplained_rows`] against a pinned [`Epoch`].
@@ -160,29 +200,18 @@ impl Explainer {
     }
 
     /// [`Explainer::unexplained_rows`] against a pinned epoch vector:
-    /// per-shard complements gathered into ascending **global** row ids —
-    /// byte-identical to the unsharded answer, because anchor filters
-    /// evaluate per row and shards partition the log.
+    /// per-shard complements returned as **global-id** [`RowSet`]s and
+    /// folded with the associative union — byte-identical to the
+    /// unsharded answer, because anchor filters evaluate per row and
+    /// shards partition the log (no re-sort needed: local ascending
+    /// order maps to ascending global ids).
     pub fn unexplained_rows_at_shards(&self, spec: &LogSpec, shards: &EpochVec) -> Vec<RowId> {
-        let mut out: Vec<RowId> = shards
-            .par_map_shards(|_, shard| {
-                self.unexplained_rows_with(shard.db(), spec, shard.engine())
-                    .into_iter()
-                    .map(|local| shard.to_global(local))
-                    .collect::<Vec<RowId>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        out.sort_unstable();
-        out
-    }
-
-    fn anchor_complement(db: &Database, spec: &LogSpec, explained: &HashSet<RowId>) -> Vec<RowId> {
-        crate::metrics::anchor_rows(db, spec)
-            .into_iter()
-            .filter(|rid| !explained.contains(rid))
-            .collect()
+        let per_shard = shards.par_map_shards(|_, shard| {
+            let local = self.unexplained_rowset_with(shard.db(), spec, shard.engine());
+            let global: Vec<RowId> = local.iter().map(|r| shard.to_global(r)).collect();
+            RowSet::from_sorted_vec(&global)
+        });
+        RowSet::union_all(per_shard).to_vec()
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::fake::FakeLog;
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, RowId};
+use eba_relational::{ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, RowId, RowSet};
 use std::collections::HashSet;
 
 /// Counts underlying the three metrics.
@@ -89,19 +89,33 @@ pub fn explained_union(
 }
 
 /// [`explained_union`] through a shared [`Engine`]: the template set is
-/// evaluated as one fanned-out batch against the engine's warm caches.
+/// evaluated as one fused batch against the engine's warm caches.
 pub fn explained_union_with(
     db: &Database,
     spec: &LogSpec,
     templates: &[&ExplanationTemplate],
     engine: &Engine,
 ) -> HashSet<RowId> {
+    explained_union_rowset_with(db, spec, templates, engine)
+        .iter()
+        .collect()
+}
+
+/// [`explained_union_with`] in compressed form: the fused suite driver's
+/// per-template bitmaps folded into one [`RowSet`] — no intermediate
+/// hash set, and the natural input for [`confusion_from_rowset`].
+pub fn explained_union_rowset_with(
+    db: &Database,
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    engine: &Engine,
+) -> RowSet {
     let queries: Vec<ChainQuery> = templates
         .iter()
         .map(|t| t.path.to_chain_query(spec))
         .collect();
     engine
-        .explained_union(db, &queries, EvalOptions::default())
+        .explained_union_rowset(db, &queries, EvalOptions::default())
         .expect("templates lower to valid queries")
 }
 
@@ -115,6 +129,31 @@ pub fn confusion_from_sets(
     is_fake: impl Fn(RowId) -> bool,
     with_events: Option<&HashSet<RowId>>,
 ) -> Confusion {
+    confusion_from_membership(
+        anchors,
+        |rid| explained.contains(&rid),
+        is_fake,
+        with_events,
+    )
+}
+
+/// [`confusion_from_sets`] with the explained set in compressed
+/// [`RowSet`] form — what the fused suite paths produce.
+pub fn confusion_from_rowset(
+    anchors: &[RowId],
+    explained: &RowSet,
+    is_fake: impl Fn(RowId) -> bool,
+    with_events: Option<&HashSet<RowId>>,
+) -> Confusion {
+    confusion_from_membership(anchors, |rid| explained.contains(rid), is_fake, with_events)
+}
+
+fn confusion_from_membership(
+    anchors: &[RowId],
+    explained: impl Fn(RowId) -> bool,
+    is_fake: impl Fn(RowId) -> bool,
+    with_events: Option<&HashSet<RowId>>,
+) -> Confusion {
     let mut c = Confusion {
         real_explained: 0,
         fake_explained: 0,
@@ -125,7 +164,7 @@ pub fn confusion_from_sets(
     for &rid in anchors {
         if is_fake(rid) {
             c.fake_total += 1;
-            if explained.contains(&rid) {
+            if explained(rid) {
                 c.fake_explained += 1;
             }
         } else {
@@ -133,7 +172,7 @@ pub fn confusion_from_sets(
             if with_events.is_none_or(|s| s.contains(&rid)) {
                 c.real_with_events += 1;
             }
-            if explained.contains(&rid) {
+            if explained(rid) {
                 c.real_explained += 1;
             }
         }
@@ -178,12 +217,24 @@ pub fn explained_union_at_shards(
     templates: &[&ExplanationTemplate],
     shards: &EpochVec,
 ) -> HashSet<RowId> {
+    explained_union_rowset_at_shards(spec, templates, shards)
+        .iter()
+        .collect()
+}
+
+/// [`explained_union_at_shards`] in compressed form: per-shard global-id
+/// bitmaps folded with the associative union.
+pub fn explained_union_rowset_at_shards(
+    spec: &LogSpec,
+    templates: &[&ExplanationTemplate],
+    shards: &EpochVec,
+) -> RowSet {
     let queries: Vec<ChainQuery> = templates
         .iter()
         .map(|t| t.path.to_chain_query(spec))
         .collect();
     shards
-        .explained_union(&queries, EvalOptions::default())
+        .explained_union_rowset(&queries, EvalOptions::default())
         .expect("templates lower to valid queries")
 }
 
@@ -216,8 +267,8 @@ pub fn evaluate_with(
     engine: &Engine,
 ) -> Confusion {
     let anchors = anchor_rows(db, spec);
-    let explained = explained_union_with(db, spec, templates, engine);
-    confusion_from_sets(
+    let explained = explained_union_rowset_with(db, spec, templates, engine);
+    confusion_from_rowset(
         &anchors,
         &explained,
         |rid| fake.is_some_and(|f| f.is_fake(rid)),
@@ -257,8 +308,8 @@ pub fn evaluate_at_shards(
     shards: &EpochVec,
 ) -> Confusion {
     let anchors = anchor_rows_at_shards(shards, spec);
-    let explained = explained_union_at_shards(spec, templates, shards);
-    confusion_from_sets(
+    let explained = explained_union_rowset_at_shards(spec, templates, shards);
+    confusion_from_rowset(
         &anchors,
         &explained,
         |rid| fake.is_some_and(|f| f.is_fake(rid)),

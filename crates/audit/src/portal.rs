@@ -95,7 +95,9 @@ pub fn misuse_summary(db: &Database, spec: &LogSpec, explainer: &Explainer) -> V
 
 /// [`misuse_summary`] through a shared [`Engine`]: the compliance office
 /// asks this alongside the unexplained list and the timeline, so all
-/// three views share one warm snapshot.
+/// three views share one warm snapshot. The unexplained residue arrives
+/// as the fused suite's compressed row-set difference
+/// (`anchors \ explained`), already sorted.
 pub fn misuse_summary_with(
     db: &Database,
     spec: &LogSpec,

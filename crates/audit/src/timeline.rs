@@ -10,7 +10,6 @@ use crate::split;
 use eba_core::LogSpec;
 use eba_relational::{Database, Engine, Epoch, EpochVec, RowId};
 use eba_synth::LogColumns;
-use std::collections::HashSet;
 
 /// One day's explanation statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +90,15 @@ pub fn daily_stats(
     days: u32,
 ) -> Timeline {
     // One evaluation over the whole log, then bucket by day.
-    bucket_by_day(db, spec, cols, &explainer.explained_rows(db, spec), days)
+    let explained = explainer.explained_rows(db, spec);
+    bucket_by_day(db, spec, cols, |rid| explained.contains(&rid), days)
 }
 
 /// [`daily_stats`] through a shared [`Engine`]: the compliance dashboard
 /// recomputes this view repeatedly as the log grows, so the suite is
-/// evaluated as one batch against the warm (refreshable) engine.
+/// evaluated as one fused batch against the warm (refreshable) engine
+/// and the day buckets probe the compressed [`eba_relational::RowSet`]
+/// directly — no intermediate hash set.
 pub fn daily_stats_with(
     db: &Database,
     spec: &LogSpec,
@@ -105,13 +107,8 @@ pub fn daily_stats_with(
     days: u32,
     engine: &Engine,
 ) -> Timeline {
-    bucket_by_day(
-        db,
-        spec,
-        cols,
-        &explainer.explained_rows_with(db, spec, engine),
-        days,
-    )
+    let explained = explainer.explained_rowset_with(db, spec, engine);
+    bucket_by_day(db, spec, cols, |rid| explained.contains(rid), days)
 }
 
 /// [`daily_stats`] against a pinned [`Epoch`]: the dashboard session's
@@ -163,12 +160,13 @@ impl DayStats {
     }
 }
 
-/// Buckets a precomputed explained set by day.
+/// Buckets the log by day against an explained-membership predicate
+/// (a hash set on the cold path, a compressed row set on the warm ones).
 fn bucket_by_day(
     db: &Database,
     spec: &LogSpec,
     cols: &LogColumns,
-    explained: &HashSet<RowId>,
+    explained: impl Fn(RowId) -> bool,
     days: u32,
 ) -> Timeline {
     let log = db.table(spec.table);
@@ -193,7 +191,7 @@ fn bucket_by_day(
             _ => &mut timeline.overflow,
         };
         let is_first = row[cols.is_first] == eba_relational::Value::Int(1);
-        let is_explained = explained.contains(&rid);
+        let is_explained = explained(rid);
         s.total += 1;
         if is_explained {
             s.explained += 1;

@@ -53,7 +53,10 @@ use eba_bench::harness::{print_workloads, write_bench_json, Workload};
 use eba_bench::{bench_config, scale_config};
 use eba_core::LogSpec;
 use eba_experiments::Scenario;
-use eba_relational::{Database, Engine, SharedEngine, Value};
+use eba_relational::{
+    ChainQuery, CmpOp, Database, Engine, EvalOptions, Rhs, RowId, RowSet, SharedEngine, StepFilter,
+    Value,
+};
 use eba_synth::LogColumns;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -217,6 +220,131 @@ fn main() {
             explainer.explained_rows_with(db, spec, &engine);
         },
     ));
+
+    // The fused single-pass driver against the old per-template loop, at
+    // policy-family sizes 1 and 8: the anchor-dependent repeat-access
+    // template plus "repeat access since day D" variants (one extra
+    // constant decoration each), the paper's decorated-template class.
+    // Per template the old path scans the whole log; the fused driver
+    // scans it once, reading each anchor row's candidate set once and
+    // testing it against every policy's decorations. fused1 prices the
+    // driver's own overhead — one policy gives fusion nothing to
+    // amortize. The guard asserts the fused sets equal the per-template
+    // path slot for slot before anything is timed.
+    let all_queries: Vec<ChainQuery> = explainer
+        .templates()
+        .iter()
+        .map(|t| t.path.to_chain_query(spec))
+        .collect();
+    let opts = EvalOptions::default();
+    let policy_family: Vec<ChainQuery> = {
+        let date_col = db
+            .table(spec.table)
+            .schema()
+            .col("Date")
+            .expect("log has a Date column");
+        let base = &scenario.handcrafted.repeat_access.path;
+        let mut family = vec![base.to_chain_query(spec)];
+        for i in 1..8i64 {
+            let since_minutes = i * (days as i64) / 8 * 24 * 60;
+            let path = base
+                .decorated(
+                    1,
+                    StepFilter {
+                        col: date_col,
+                        op: CmpOp::Ge,
+                        rhs: Rhs::Const(Value::Date(since_minutes)),
+                    },
+                )
+                .expect("alias 1 exists");
+            family.push(path.to_chain_query(spec));
+        }
+        family
+    };
+    for &k in &[1usize, 8] {
+        let k = k.min(policy_family.len());
+        let fused_suite = &policy_family[..k];
+        let per_template: Vec<Vec<RowId>> = fused_suite
+            .iter()
+            .map(|q| engine.explained_rows(db, q, opts).expect("valid suite"))
+            .collect();
+        let fused: Vec<Vec<RowId>> = engine
+            .eval_suite(db, fused_suite, opts)
+            .into_iter()
+            .map(|s| s.expect("valid suite").to_vec())
+            .collect();
+        assert_eq!(fused, per_template, "fused driver changed a suite answer");
+        let mut w = Workload::compare(
+            format!("suite/fused{k}"),
+            samples,
+            || {
+                for q in fused_suite {
+                    std::hint::black_box(engine.explained_rows(db, q, opts).expect("valid"));
+                }
+            },
+            || {
+                std::hint::black_box(engine.eval_suite(db, fused_suite, opts));
+            },
+        );
+        w.note = Some(format!(
+            "one fused log scan vs {k} per-template scan(s) of the decorated \
+             repeat-access policy family, same warm engine; guard asserted \
+             identical explained sets slot for slot"
+        ));
+        workloads.push(w);
+    }
+
+    // The compressed row-set algebra against hash-set algebra, over the
+    // *real* suite answers: union every template's explained set, then
+    // subtract the union from the anchor rows (the unexplained residue).
+    // The guard asserts both algebras produce the same sorted residue.
+    {
+        let suite_sets: Vec<Vec<RowId>> = all_queries
+            .iter()
+            .map(|q| engine.explained_rows(db, q, opts).expect("valid suite"))
+            .collect();
+        let suite_rowsets: Vec<RowSet> = suite_sets
+            .iter()
+            .map(|v| RowSet::from_sorted_vec(v))
+            .collect();
+        let anchors = eba_audit::metrics::anchor_rows(db, spec);
+        let anchor_set = RowSet::from_sorted_vec(&anchors);
+        let via_hash: Vec<RowId> = {
+            let mut union: std::collections::HashSet<RowId> = std::collections::HashSet::new();
+            for s in &suite_sets {
+                union.extend(s.iter().copied());
+            }
+            anchors
+                .iter()
+                .copied()
+                .filter(|r| !union.contains(r))
+                .collect()
+        };
+        let via_rowset = anchor_set
+            .difference(&RowSet::union_all(suite_rowsets.iter().cloned()))
+            .to_vec();
+        assert_eq!(via_rowset, via_hash, "row-set algebra changed the residue");
+        workloads.push(Workload::compare(
+            "rowset/union_difference",
+            samples,
+            || {
+                let mut union: std::collections::HashSet<RowId> = std::collections::HashSet::new();
+                for s in &suite_sets {
+                    union.extend(s.iter().copied());
+                }
+                let residue: Vec<RowId> = anchors
+                    .iter()
+                    .copied()
+                    .filter(|r| !union.contains(r))
+                    .collect();
+                std::hint::black_box(residue.len());
+            },
+            || {
+                let union = RowSet::union_all(suite_rowsets.iter().cloned());
+                std::hint::black_box(anchor_set.difference(&union).len());
+            },
+        ));
+    }
 
     // Sharded scatter-gather: the whole suite fanned out over N
     // hash-partitioned shards evaluated in parallel and merged, vs the

@@ -114,12 +114,14 @@ pub use sharded::{
 };
 pub use shared::{Epoch, IngestReport, SharedEngine};
 
-use crate::chain::{ChainQuery, EvalOptions, Rhs};
+use crate::chain::{ChainQuery, EvalOptions, Rhs, StepFilter};
 use crate::database::{Database, TableId};
 use crate::error::Result;
+use crate::rowset::RowSet;
 use crate::sync::unpoison;
 use crate::table::RowId;
 use crate::types::ColId;
+use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use stepmap::{RowMap, RowMapChunks, StepKey, StepMap, MAX_CACHE_CHUNKS};
@@ -204,6 +206,123 @@ struct GroupChunks {
     /// Log rows covered by the chunks (the log's `n_rows` when last
     /// extended).
     covered: usize,
+}
+
+/// One set-based template of a fused-suite bucket: its result slot and
+/// warm step maps.
+struct GroupedTemplate<'q> {
+    slot: usize,
+    q: &'q ChainQuery,
+    maps: Vec<Arc<StepMap>>,
+}
+
+/// One anchor-shape bucket of a fused suite: the shared log partition,
+/// its distinct starts (gathered once), and every template walking it.
+struct GroupedBucket<'q> {
+    groups: GroupChunks,
+    starts: Vec<u32>,
+    templates: Vec<GroupedTemplate<'q>>,
+}
+
+/// One anchor-dependent template of a fused-suite scan.
+struct PerRowTemplate<'q> {
+    slot: usize,
+    q: &'q ChainQuery,
+    rowmaps: Vec<RowMapChunks>,
+}
+
+/// Every anchor-dependent template over one log table: fused into a
+/// single scan of that log.
+struct PerRowBucket<'q> {
+    log: TableId,
+    templates: Vec<PerRowTemplate<'q>>,
+}
+
+/// A family of anchor-dependent templates sharing the anchor start
+/// column and the first step's (table, enter column) — for any anchor
+/// row their step-0 candidate sets are identical, so one candidate pass
+/// serves every member. The plan pre-factors the members' step-0
+/// filters: `filters` holds each distinct filter once, `universal`
+/// indexes the ones every member requires (a miss skips the candidate
+/// family-wide), and `member_extras[m]` indexes member `m`'s remaining
+/// filters.
+struct FamilyPlan {
+    members: Vec<usize>,
+    filters: Vec<StepFilter>,
+    universal: Vec<usize>,
+    member_extras: Vec<Vec<usize>>,
+}
+
+/// Groups a per-row bucket's templates into [`FamilyPlan`]s.
+fn plan_families(templates: &[PerRowTemplate]) -> Vec<FamilyPlan> {
+    let mut families: Vec<FamilyPlan> = Vec::new();
+    let mut ix: HashMap<(ColId, TableId, ColId), usize> = HashMap::new();
+    let mut member_all: Vec<Vec<Vec<usize>>> = Vec::new();
+    for (t, tmpl) in templates.iter().enumerate() {
+        let s0 = &tmpl.q.steps[0];
+        let fam = match ix.entry((tmpl.q.start_col, s0.table, s0.enter_col)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(families.len());
+                families.push(FamilyPlan {
+                    members: Vec::new(),
+                    filters: Vec::new(),
+                    universal: Vec::new(),
+                    member_extras: Vec::new(),
+                });
+                member_all.push(Vec::new());
+                families.len() - 1
+            }
+        };
+        let plan = &mut families[fam];
+        let indices: Vec<usize> = s0
+            .filters
+            .iter()
+            .map(|f| match plan.filters.iter().position(|g| g == f) {
+                Some(i) => i,
+                None => {
+                    plan.filters.push(*f);
+                    plan.filters.len() - 1
+                }
+            })
+            .collect();
+        plan.members.push(t);
+        member_all[fam].push(indices);
+    }
+    for (plan, all) in families.iter_mut().zip(&member_all) {
+        plan.universal = (0..plan.filters.len())
+            .filter(|i| all.iter().all(|m| m.contains(i)))
+            .collect();
+        plan.member_extras = all
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .copied()
+                    .filter(|i| !plan.universal.contains(i))
+                    .collect()
+            })
+            .collect();
+    }
+    families
+}
+
+/// Splits `[0, n)` into at most `parts` contiguous near-even ranges
+/// (none empty).
+fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let hi = lo + base + usize::from(i < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
 }
 
 impl Engine {
@@ -360,38 +479,542 @@ impl Engine {
     /// input order, identical to [`ChainQuery::explained_rows`] per query.
     ///
     /// This is the audit-layer entry point: an explainer evaluates its
-    /// whole template suite as one fanned-out batch, sharing step maps and
-    /// log partitions across the suite's templates.
+    /// whole template suite as one fanned-out batch. It rides the fused
+    /// suite driver ([`Engine::eval_suite`]): one pass over each shared
+    /// log partition / log scan evaluates **all** templates, and the
+    /// per-query [`RowSet`]s convert to the legacy sorted `Vec` form
+    /// without a sort (bitmap iteration is ordered).
     pub fn explained_rows_many(
         &self,
         db: &Database,
         queries: &[ChainQuery],
         opts: EvalOptions,
     ) -> Vec<Result<Vec<RowId>>> {
-        self.eval_many(
-            db,
-            queries,
-            opts,
-            |q, maps| self.explained_grouped(q, maps),
-            |q, rowmaps| self.explained_anchor_dep(q, rowmaps),
-        )
+        self.eval_suite(db, queries, opts)
+            .into_iter()
+            .map(|set| set.map(|s| s.to_vec()))
+            .collect()
     }
 
     /// Union of the rows explained by any of `queries` — the audit layer's
     /// "which accesses does this template suite explain?" primitive, built
-    /// on [`Engine::explained_rows_many`]. Fails on the first invalid
-    /// query.
+    /// on [`Engine::eval_suite`]. Fails on the first invalid query.
     pub fn explained_union(
         &self,
         db: &Database,
         queries: &[ChainQuery],
         opts: EvalOptions,
     ) -> Result<std::collections::HashSet<RowId>> {
-        let mut out = std::collections::HashSet::new();
-        for rows in self.explained_rows_many(db, queries, opts) {
-            out.extend(rows?);
+        Ok(self
+            .explained_union_rowset(db, queries, opts)?
+            .iter()
+            .collect())
+    }
+
+    /// [`Engine::explained_union`] in compressed form: the union of every
+    /// template's explained rows as one [`RowSet`], with no intermediate
+    /// hash set. Fails on the first invalid query.
+    pub fn explained_union_rowset(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Result<RowSet> {
+        let mut sets = Vec::with_capacity(queries.len());
+        for set in self.eval_suite(db, queries, opts) {
+            sets.push(set?);
         }
-        Ok(out)
+        Ok(RowSet::union_all(sets))
+    }
+
+    /// The fused suite driver: evaluates **all** templates against each
+    /// log chunk before moving on, returning one compressed [`RowSet`]
+    /// of explained rows per query (input order; invalid queries report
+    /// their error in place).
+    ///
+    /// Where [`Engine::eval_many`] fans out *per query* — so N templates
+    /// sharing an anchor shape re-walk the same partition's distinct
+    /// starts N times, and N decorated templates re-scan the log N times
+    /// — this driver groups the suite first and pays each scan once:
+    ///
+    /// * **set-based templates** are bucketed by anchor shape
+    ///   ([`GroupKey`]); per bucket, the distinct starts and each start's
+    ///   close buckets are gathered once, then every template's chain is
+    ///   walked against them (shared scratch bitset, per-chunk warm step
+    ///   maps). Parallelism is over *start ranges*, not templates, so a
+    ///   one-template suite still uses every core;
+    /// * **anchor-dependent templates** are bucketed by log table; one
+    ///   scan of `0..n_rows` evaluates every decorated template against
+    ///   each row (parallel over row ranges).
+    ///
+    /// Workers emit per-template [`RowSet`]s that merge associatively,
+    /// so the fan-out/fan-in never re-sorts: results are identical to
+    /// [`ChainQuery::explained_rows`] per query (the
+    /// `rowset_equivalence` suite enforces this differentially).
+    pub fn eval_suite(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Vec<Result<RowSet>> {
+        let mut results: Vec<Option<Result<RowSet>>> = queries
+            .iter()
+            .map(|q| q.validate(db).err().map(Err))
+            .collect();
+        let valid: Vec<(usize, &ChainQuery)> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| (i, &queries[i]))
+            .collect();
+        self.build_missing_maps(
+            valid
+                .iter()
+                .map(|(_, q)| *q)
+                .filter(|q| !q.is_anchor_dependent()),
+            opts,
+        );
+
+        // Bucket set-based templates by anchor shape; each bucket owns
+        // the shared partition and its distinct starts, gathered once.
+        let mut grouped: Vec<GroupedBucket> = Vec::new();
+        let mut bucket_ix: HashMap<GroupKey, usize> = HashMap::new();
+        // Bucket anchor-dependent templates by log table: one fused scan
+        // per log evaluates all of them.
+        let mut per_row: Vec<PerRowBucket> = Vec::new();
+        let mut per_row_ix: HashMap<TableId, usize> = HashMap::new();
+        for (slot, q) in &valid {
+            if q.is_anchor_dependent() {
+                let ix = *per_row_ix.entry(q.log).or_insert_with(|| {
+                    per_row.push(PerRowBucket {
+                        log: q.log,
+                        templates: Vec::new(),
+                    });
+                    per_row.len() - 1
+                });
+                per_row[ix].templates.push(PerRowTemplate {
+                    slot: *slot,
+                    q,
+                    rowmaps: self.rowmaps_for(q),
+                });
+            } else {
+                let key = GroupKey::of(q);
+                let ix = match bucket_ix.get(&key) {
+                    Some(&ix) => ix,
+                    None => {
+                        let groups = self.groups_for(q);
+                        let mut starts: Vec<u32> = Vec::new();
+                        with_scratch_marks(self.snapshot.interner.len(), |marks| {
+                            for chunk in &groups.chunks {
+                                for &start in chunk.by_start.keys() {
+                                    if marks.insert(start) {
+                                        starts.push(start);
+                                    }
+                                }
+                            }
+                            marks.remove_all(&starts);
+                        });
+                        grouped.push(GroupedBucket {
+                            groups,
+                            starts,
+                            templates: Vec::new(),
+                        });
+                        bucket_ix.insert(key, grouped.len() - 1);
+                        grouped.len() - 1
+                    }
+                };
+                grouped[ix].templates.push(GroupedTemplate {
+                    slot: *slot,
+                    q,
+                    maps: self.maps_for(q, opts),
+                });
+            }
+        }
+
+        // Templates holding pointer-equal map prefixes walk as one: sort
+        // each bucket by map identity so shared prefixes are adjacent
+        // (slice results carry their slot, so output order is free).
+        for bucket in &mut grouped {
+            bucket.templates.sort_by(|a, b| {
+                let ptrs = |t: &GroupedTemplate| -> Vec<usize> {
+                    t.maps.iter().map(|m| Arc::as_ptr(m) as usize).collect()
+                };
+                ptrs(a).cmp(&ptrs(b))
+            });
+        }
+
+        // One work item per (bucket, range slice): parallelism is over
+        // the data, so even a single-template suite fans out.
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        enum Work {
+            Grouped { bucket: usize, lo: usize, hi: usize },
+            PerRow { bucket: usize, lo: usize, hi: usize },
+        }
+        let mut work: Vec<Work> = Vec::new();
+        for (b, bucket) in grouped.iter().enumerate() {
+            for (lo, hi) in split_ranges(bucket.starts.len(), threads) {
+                work.push(Work::Grouped { bucket: b, lo, hi });
+            }
+        }
+        for (b, bucket) in per_row.iter().enumerate() {
+            let n_rows = self.snapshot.table(bucket.log).n_rows;
+            for (lo, hi) in split_ranges(n_rows, threads) {
+                work.push(Work::PerRow { bucket: b, lo, hi });
+            }
+        }
+        let outputs = par_map(&work, |item| match *item {
+            Work::Grouped { bucket, lo, hi } => self.eval_grouped_slice(&grouped[bucket], lo, hi),
+            Work::PerRow { bucket, lo, hi } => self.eval_per_row_slice(&per_row[bucket], lo, hi),
+        });
+
+        // Fan-in: every valid query starts from the empty set (a bucket
+        // with no rows produces no work items), then absorbs its slice
+        // results — the union is associative, so slice order is free.
+        for (slot, _) in &valid {
+            results[*slot] = Some(Ok(RowSet::new()));
+        }
+        for slice in outputs {
+            for (slot, set) in slice {
+                if let Some(Ok(acc)) = &mut results[slot] {
+                    acc.union_with(&set);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query resolved"))
+            .collect()
+    }
+
+    /// Walks every template of one grouped bucket over the starts in
+    /// `[lo, hi)`. Two redundancies the per-query path pays N times are
+    /// paid at most once per start here:
+    ///
+    /// * **close buckets** are gathered across chunks lazily, on the
+    ///   first template whose walk survives — a start every template
+    ///   dies on costs no bucket lookups at all;
+    /// * **shared chain prefixes** are walked once. Step maps are
+    ///   cache-shared `Arc`s, so templates whose chains begin with the
+    ///   same steps hold pointer-equal maps; the bucket's templates are
+    ///   pre-sorted to make such prefixes adjacent, and a per-depth
+    ///   frontier stack lets each template resume from the deepest
+    ///   frontier its predecessor already computed.
+    ///
+    /// Hits accumulate in a plain vector per template (a log row belongs
+    /// to exactly one start group, so no deduplication is needed) and
+    /// compress to a [`RowSet`] in one sort at the end — per-row set
+    /// inserts would pay a container search each, the sort pays once.
+    fn eval_grouped_slice(
+        &self,
+        bucket: &GroupedBucket,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<(usize, RowSet)> {
+        let mut hits: Vec<Vec<RowId>> = vec![Vec::new(); bucket.templates.len()];
+        with_scratch_marks(self.snapshot.interner.len(), |marks| {
+            // frontiers[d] = the frontier after step d of the chain most
+            // recently walked from the current start (valid to `computed`).
+            let mut frontiers: Vec<Vec<u32>> = Vec::new();
+            let mut close_rows: Vec<(u32, &[RowId])> = Vec::new();
+            for &start in &bucket.starts[lo..hi] {
+                let mut gathered = false;
+                let mut computed = 0usize;
+                let mut prev_maps: &[Arc<StepMap>] = &[];
+                for (t, tmpl) in bucket.templates.iter().enumerate() {
+                    let mut depth = 0;
+                    while depth < computed
+                        && depth < tmpl.maps.len()
+                        && Arc::ptr_eq(&tmpl.maps[depth], &prev_maps[depth])
+                    {
+                        depth += 1;
+                    }
+                    prev_maps = &tmpl.maps;
+                    let mut dead = depth > 0 && frontiers[depth - 1].is_empty();
+                    while !dead && depth < tmpl.maps.len() {
+                        if frontiers.len() == depth {
+                            frontiers.push(Vec::new());
+                        }
+                        let (done, rest) = frontiers.split_at_mut(depth);
+                        let next = &mut rest[0];
+                        next.clear();
+                        let from: &[u32] = match depth {
+                            0 => std::slice::from_ref(&start),
+                            d => &done[d - 1],
+                        };
+                        for &v in from {
+                            for &exit in tmpl.maps[depth].exits_of(v) {
+                                if marks.insert(exit) {
+                                    next.push(exit);
+                                }
+                            }
+                        }
+                        marks.remove_all(next);
+                        dead = next.is_empty();
+                        depth += 1;
+                    }
+                    computed = depth;
+                    if dead {
+                        continue;
+                    }
+                    let frontier: &[u32] = match tmpl.maps.len() {
+                        0 => std::slice::from_ref(&start),
+                        d => &frontiers[d - 1],
+                    };
+                    if !gathered {
+                        gathered = true;
+                        close_rows.clear();
+                        for chunk in &bucket.groups.chunks {
+                            if let Some(closes) = chunk.by_start.get(&start) {
+                                for (close, rows) in closes {
+                                    close_rows.push((*close, rows));
+                                }
+                            }
+                        }
+                    }
+                    match tmpl.q.close_col {
+                        None => {
+                            for &(_, rows) in &close_rows {
+                                hits[t].extend_from_slice(rows);
+                            }
+                        }
+                        Some(_) => {
+                            for &v in frontier {
+                                marks.insert(v);
+                            }
+                            for &(close, rows) in &close_rows {
+                                if marks.contains(close) {
+                                    hits[t].extend_from_slice(rows);
+                                }
+                            }
+                            marks.remove_all(frontier);
+                        }
+                    }
+                }
+            }
+        });
+        bucket
+            .templates
+            .iter()
+            .zip(hits)
+            .map(|(tmpl, mut rows)| {
+                rows.sort_unstable();
+                (tmpl.slot, RowSet::from_sorted_vec(&rows))
+            })
+            .collect()
+    }
+
+    /// One fused scan over log rows `[lo, hi)` evaluating every
+    /// anchor-dependent template of the bucket against each row — the
+    /// "one log scan, N templates" half of the fused driver.
+    ///
+    /// Templates sharing the anchor start column and the first step's
+    /// (table, enter column) form a *family*: their candidate rows are
+    /// identical for a given anchor row, so the candidate set is read
+    /// once per row for the whole family. Within the candidate pass,
+    /// each *distinct* step-0 filter is evaluated at most once (N
+    /// decorated variants of one policy share their base decoration),
+    /// filters required by every member short-circuit the candidate, and
+    /// anchor-side comparison values are hoisted out of the candidate
+    /// loop entirely.
+    fn eval_per_row_slice(
+        &self,
+        bucket: &PerRowBucket,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<(usize, RowSet)> {
+        let log = self.snapshot.table(bucket.log);
+        let interner = &self.snapshot.interner;
+        // The scan visits rows in ascending order, so each template's
+        // hits are already sorted and unique — they compress to a
+        // `RowSet` without a sort.
+        let mut hits: Vec<Vec<u32>> = vec![Vec::new(); bucket.templates.len()];
+        let step_tables: Vec<Vec<&InternedTable>> = bucket
+            .templates
+            .iter()
+            .map(|t| {
+                t.q.steps
+                    .iter()
+                    .map(|s| self.snapshot.table(s.table))
+                    .collect()
+            })
+            .collect();
+        let families = plan_families(&bucket.templates);
+        with_scratch_marks(interner.len(), |marks| {
+            let mut alive: Vec<usize> = Vec::new();
+            let mut fronts: Vec<Vec<u32>> = vec![Vec::new(); bucket.templates.len()];
+            let mut scratch: Vec<u32> = Vec::new();
+            let mut rhs_vals: Vec<Value> = Vec::new();
+            let mut passes: Vec<bool> = Vec::new();
+            for r in lo..hi {
+                for fam in &families {
+                    alive.clear();
+                    for (pos, &t) in fam.members.iter().enumerate() {
+                        if self.anchor_passes(bucket.templates[t].q, log, r) {
+                            alive.push(pos);
+                        }
+                    }
+                    let Some(&pos0) = alive.first() else { continue };
+                    let t0 = fam.members[pos0];
+                    let start = log.cols[bucket.templates[t0].q.start_col][r];
+                    if start == NULL_ID {
+                        continue;
+                    }
+                    if alive.len() == 1 {
+                        // One live template: the dedup-during-iteration
+                        // walk is strictly cheaper than the fused pass.
+                        let tmpl = &bucket.templates[t0];
+                        let frontier = &mut fronts[t0];
+                        frontier.clear();
+                        frontier.push(start);
+                        if self.ad_walk(
+                            tmpl,
+                            &step_tables[t0],
+                            log,
+                            r,
+                            0,
+                            frontier,
+                            &mut scratch,
+                            marks,
+                        ) {
+                            hits[t0].push(r as u32);
+                        }
+                        continue;
+                    }
+                    // Fused candidate pass: hoist each distinct filter's
+                    // anchor-side value, then read every candidate row
+                    // once. A failed universal filter skips the
+                    // candidate for the whole family.
+                    rhs_vals.clear();
+                    for f in &fam.filters {
+                        rhs_vals.push(match f.rhs {
+                            Rhs::Const(c) => c,
+                            Rhs::AnchorCol(col) => interner.value(log.cols[col][r]),
+                        });
+                    }
+                    for &pos in &alive {
+                        fronts[fam.members[pos]].clear();
+                    }
+                    let table0 = step_tables[t0][0];
+                    'cand: for cand in bucket.templates[t0].rowmaps[0].rows_of(start) {
+                        let cand = cand as usize;
+                        for &i in &fam.universal {
+                            let f = &fam.filters[i];
+                            let lhs = interner.value(table0.cols[f.col][cand]);
+                            if !f.op.eval(&lhs, &rhs_vals[i]) {
+                                continue 'cand;
+                            }
+                        }
+                        passes.clear();
+                        passes.resize(fam.filters.len(), true);
+                        for (i, f) in fam.filters.iter().enumerate() {
+                            if !fam.universal.contains(&i) {
+                                let lhs = interner.value(table0.cols[f.col][cand]);
+                                passes[i] = f.op.eval(&lhs, &rhs_vals[i]);
+                            }
+                        }
+                        for &pos in &alive {
+                            if fam.member_extras[pos].iter().all(|&i| passes[i]) {
+                                let t = fam.members[pos];
+                                let step = &bucket.templates[t].q.steps[0];
+                                let exit = table0.cols[step.exit_col][cand];
+                                if exit != NULL_ID {
+                                    fronts[t].push(exit);
+                                }
+                            }
+                        }
+                    }
+                    // Remaining steps and the close check are per
+                    // template — frontiers diverge after the decorations.
+                    for &pos in &alive {
+                        let t = fam.members[pos];
+                        let tmpl = &bucket.templates[t];
+                        let frontier = &mut fronts[t];
+                        frontier.retain(|&v| marks.insert(v));
+                        marks.remove_all(frontier);
+                        if frontier.is_empty() {
+                            continue;
+                        }
+                        if self.ad_walk(
+                            tmpl,
+                            &step_tables[t],
+                            log,
+                            r,
+                            1,
+                            frontier,
+                            &mut scratch,
+                            marks,
+                        ) {
+                            hits[t].push(r as u32);
+                        }
+                    }
+                }
+            }
+        });
+        bucket
+            .templates
+            .iter()
+            .zip(hits)
+            .map(|(tmpl, rows)| (tmpl.slot, RowSet::from_sorted_vec(&rows)))
+            .collect()
+    }
+
+    /// Walks `tmpl`'s steps from `skip` onward for anchor row `r`, with
+    /// `frontier` holding the entry frontier, and answers the close
+    /// check: whether `r` is explained. Shared by the singleton fast
+    /// path (`skip == 0`, frontier seeded with the start value) and the
+    /// fused family pass (`skip == 1`, frontier produced by the shared
+    /// candidate scan).
+    #[allow(clippy::too_many_arguments)]
+    fn ad_walk(
+        &self,
+        tmpl: &PerRowTemplate,
+        tables: &[&InternedTable],
+        log: &InternedTable,
+        r: usize,
+        skip: usize,
+        frontier: &mut Vec<u32>,
+        next: &mut Vec<u32>,
+        marks: &mut BitMarks,
+    ) -> bool {
+        let interner = &self.snapshot.interner;
+        let q = tmpl.q;
+        let later = q.steps.iter().zip(tables).zip(&tmpl.rowmaps).skip(skip);
+        for ((step, table), rowmap) in later {
+            next.clear();
+            for &v in frontier.iter() {
+                'rows: for cand in rowmap.rows_of(v) {
+                    let cand = cand as usize;
+                    for f in &step.filters {
+                        let lhs = interner.value(table.cols[f.col][cand]);
+                        let rhs = match f.rhs {
+                            Rhs::Const(c) => c,
+                            Rhs::AnchorCol(col) => interner.value(log.cols[col][r]),
+                        };
+                        if !f.op.eval(&lhs, &rhs) {
+                            continue 'rows;
+                        }
+                    }
+                    let exit = table.cols[step.exit_col][cand];
+                    if exit != NULL_ID && marks.insert(exit) {
+                        next.push(exit);
+                    }
+                }
+            }
+            marks.remove_all(next);
+            std::mem::swap(frontier, next);
+            if frontier.is_empty() {
+                return false;
+            }
+        }
+        match q.close_col {
+            None => true,
+            Some(c) => {
+                let close = log.cols[c][r];
+                close != NULL_ID && frontier.contains(&close)
+            }
+        }
     }
 
     /// The shared batch driver behind [`Engine::support_many`] and

@@ -49,6 +49,7 @@ use crate::chain::{ChainQuery, EvalOptions};
 use crate::database::{Database, TableId};
 use crate::error::Result;
 use crate::pool::StringPool;
+use crate::rowset::RowSet;
 use crate::segment::SegVec;
 use crate::sync::unpoison;
 use crate::table::RowId;
@@ -256,41 +257,58 @@ impl EpochVec {
         Ok(lids.len())
     }
 
+    /// Fused suite evaluation across every shard: each shard runs
+    /// [`Engine::eval_suite`] (one partition walk / log scan for the
+    /// whole suite) and returns its explained rows as **global-id**
+    /// [`RowSet`]s; the per-shard bitmaps then fold together with the
+    /// associative union — the shard payload needs no re-sort and no
+    /// coordinator-side hash set, which is exactly the shape a
+    /// multi-node scatter-gather would put on the wire.
+    pub fn eval_suite(&self, queries: &[ChainQuery], opts: EvalOptions) -> Vec<Result<RowSet>> {
+        let per_shard: Vec<Vec<Result<RowSet>>> = self.par_map_shards(|_, shard| {
+            shard
+                .engine()
+                .eval_suite(shard.db(), queries, opts)
+                .into_iter()
+                .map(|set| {
+                    set.map(|s| {
+                        // Local ascending order is a subsequence of global
+                        // order, so the mapped ids are already sorted.
+                        let global: Vec<RowId> = s.iter().map(|r| shard.to_global(r)).collect();
+                        RowSet::from_sorted_vec(&global)
+                    })
+                })
+                .collect()
+        });
+        let mut columns: Vec<std::vec::IntoIter<Result<RowSet>>> =
+            per_shard.into_iter().map(|v| v.into_iter()).collect();
+        (0..queries.len())
+            .map(|_| {
+                let row: Vec<Result<RowSet>> = columns
+                    .iter_mut()
+                    .map(|it| it.next().expect("one result per query per shard"))
+                    .collect();
+                let mut sets = Vec::with_capacity(row.len());
+                for set in row {
+                    sets.push(set?);
+                }
+                Ok(RowSet::union_all(sets))
+            })
+            .collect()
+    }
+
     /// Batch [`EpochVec::explained_rows`]: one globally-sorted row set per
-    /// query, in input order. Each shard evaluates the whole suite as one
-    /// batch (sharing step maps and partitions exactly as the unsharded
-    /// engine does), then the per-query answers merge.
+    /// query, in input order. Rides [`EpochVec::eval_suite`]: each shard
+    /// evaluates the whole suite fused, and the associatively-merged
+    /// global bitmaps read out already sorted.
     pub fn explained_rows_many(
         &self,
         queries: &[ChainQuery],
         opts: EvalOptions,
     ) -> Vec<Result<Vec<RowId>>> {
-        let per_shard: Vec<Vec<Result<Vec<RowId>>>> = self.par_map_shards(|_, shard| {
-            shard
-                .engine()
-                .explained_rows_many(shard.db(), queries, opts)
-                .into_iter()
-                .map(|rows| {
-                    rows.map(|rows| {
-                        rows.into_iter()
-                            .map(|r| shard.to_global(r))
-                            .collect::<Vec<RowId>>()
-                    })
-                })
-                .collect()
-        });
-        (0..queries.len())
-            .map(|qi| {
-                let mut out = Vec::new();
-                for shard_results in &per_shard {
-                    match &shard_results[qi] {
-                        Ok(rows) => out.extend(rows.iter().copied()),
-                        Err(e) => return Err(e.clone()),
-                    }
-                }
-                out.sort_unstable();
-                Ok(out)
-            })
+        self.eval_suite(queries, opts)
+            .into_iter()
+            .map(|set| set.map(|s| s.to_vec()))
             .collect()
     }
 
@@ -302,11 +320,21 @@ impl EpochVec {
         queries: &[ChainQuery],
         opts: EvalOptions,
     ) -> Result<HashSet<RowId>> {
-        let mut out = HashSet::new();
-        for rows in self.explained_rows_many(queries, opts) {
-            out.extend(rows?);
+        Ok(self.explained_union_rowset(queries, opts)?.iter().collect())
+    }
+
+    /// [`EpochVec::explained_union`] in compressed form: one global
+    /// [`RowSet`] folded from the per-shard suite bitmaps.
+    pub fn explained_union_rowset(
+        &self,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+    ) -> Result<RowSet> {
+        let mut sets = Vec::with_capacity(queries.len());
+        for set in self.eval_suite(queries, opts) {
+            sets.push(set?);
         }
-        Ok(out)
+        Ok(RowSet::union_all(sets))
     }
 }
 

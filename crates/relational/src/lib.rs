@@ -95,6 +95,7 @@ pub mod index;
 pub mod pile;
 pub mod plan;
 pub mod pool;
+pub mod rowset;
 pub mod segment;
 pub mod select;
 pub mod stats;
@@ -119,6 +120,7 @@ pub use index::{HashIndex, TableIndex};
 pub use pile::{Batch, Durability, DurableStore, PlainValue, RecoveryReport};
 pub use plan::{explain, Plan, PlanStep};
 pub use pool::{StringPool, Symbol};
+pub use rowset::RowSet;
 pub use segment::{SegVec, DEFAULT_SEGMENT_ROWS};
 pub use select::Selection;
 pub use stats::ColumnStats;

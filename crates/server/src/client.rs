@@ -54,6 +54,33 @@ impl RetryPolicy {
         let jitter = (next_jitter() % 1_000) as f64 / 1_000.0;
         exp.mul_f64(0.5 + jitter / 2.0)
     }
+
+    /// How long to actually wait before retry number `attempt`, honouring
+    /// the server's `retry-after-ms` hint when one arrived: the larger of
+    /// the jittered backoff and the hint. The hint is a floor, not a
+    /// replacement — a client deep into its own backoff must not *shorten*
+    /// its wait, and one early in it must not hammer a server that just
+    /// said "not for another N ms".
+    pub fn wait(&self, attempt: u32, hint: Option<Duration>) -> Duration {
+        let backoff = self.delay(attempt);
+        match hint {
+            Some(h) => h.max(backoff),
+            None => backoff,
+        }
+    }
+}
+
+/// Extracts the server's `retry-after-ms <n>` hint from an `ERR` head
+/// line (or any error text that embeds one, e.g. the `ConnectionRefused`
+/// wrapped around an `ERR busy` greeting).
+pub fn retry_after_hint(text: &str) -> Option<Duration> {
+    let mut tokens = text.split_whitespace();
+    while let Some(t) = tokens.next() {
+        if t == "retry-after-ms" {
+            return tokens.next()?.parse().ok().map(Duration::from_millis);
+        }
+    }
+    None
 }
 
 /// Process-global xorshift state for retry jitter. Seeded from the clock
@@ -141,6 +168,12 @@ impl Reply {
         None
     }
 
+    /// The server's `retry-after-ms` hint from the head line, if any
+    /// (`ERR busy` and `ERR overloaded` both carry one).
+    pub fn retry_after(&self) -> Option<Duration> {
+        retry_after_hint(&self.head)
+    }
+
     /// [`Reply::field`] over a body line's leading `key`, e.g.
     /// `body_field("anchor_total")` on a `METRICS` reply.
     pub fn body_field(&self, key: &str) -> Option<&str> {
@@ -197,7 +230,11 @@ impl Client {
             match Self::connect_once(&addrs, config) {
                 Ok(client) => return Ok(client),
                 Err(e) if connect_retryable(&e) && attempt < config.retry.retries => {
-                    std::thread::sleep(config.retry.delay(attempt));
+                    // An `ERR busy` refusal carries the server's own
+                    // `retry-after-ms` estimate in the wrapped head line;
+                    // honour it as a floor under the local backoff.
+                    let hint = retry_after_hint(&e.to_string());
+                    std::thread::sleep(config.retry.wait(attempt, hint));
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -298,7 +335,10 @@ impl Client {
             {
                 return Ok(reply);
             }
-            std::thread::sleep(policy.delay(attempt));
+            // The shed reply names how long the writer expects to stay
+            // saturated; wait at least that long (the hint floors the
+            // jittered backoff, it never shortens it).
+            std::thread::sleep(policy.wait(attempt, reply.retry_after()));
             attempt += 1;
         }
     }
@@ -378,6 +418,53 @@ mod tests {
         }
         // Deep attempts never overflow the shift — they just sit at cap.
         assert!(p.delay(40) <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retry_after_hints_parse_from_err_heads() {
+        assert_eq!(
+            retry_after_hint(
+                "ERR busy connection cap reached (1 live / max 1); retry-after-ms 1000"
+            ),
+            Some(Duration::from_millis(1000))
+        );
+        assert_eq!(
+            retry_after_hint(
+                "ERR overloaded ingest writer saturated (3 batch(es) in flight); \
+                 batch shed, nothing published; retry-after-ms 300"
+            ),
+            Some(Duration::from_millis(300))
+        );
+        // No hint, dangling key, and a non-numeric value all yield None.
+        assert_eq!(retry_after_hint("ERR bad-request usage: PING"), None);
+        assert_eq!(retry_after_hint("retry-after-ms"), None);
+        assert_eq!(retry_after_hint("retry-after-ms soon"), None);
+        let reply = Reply {
+            head: "ERR overloaded shed; retry-after-ms 250".into(),
+            body: Vec::new(),
+        };
+        assert_eq!(reply.retry_after(), Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn server_hint_floors_the_backoff_but_never_shortens_it() {
+        let p = RetryPolicy {
+            retries: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        };
+        // A hint far above the early backoff wins outright.
+        let hint = Duration::from_millis(900);
+        assert_eq!(p.wait(0, Some(hint)), hint);
+        // A tiny hint never pulls the wait below the jittered backoff.
+        for attempt in 0..6 {
+            let w = p.wait(attempt, Some(Duration::from_millis(1)));
+            assert!(w >= p.delay(attempt).min(Duration::from_millis(1)));
+            assert!(w >= Duration::from_millis(1));
+        }
+        // No hint degrades to the plain backoff range.
+        let w = p.wait(2, None);
+        assert!(w <= Duration::from_millis(40), "{w:?}");
     }
 
     #[test]

@@ -733,6 +733,53 @@ mod tests {
     }
 
     #[test]
+    fn busy_retry_honours_the_server_hint_and_eventually_connects() {
+        use crate::client::{retry_after_hint, ClientConfig, RetryPolicy};
+        let config = ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::spawn_with(AuditService::tiny_synthetic(3), "127.0.0.1:0", config)
+            .expect("bind");
+        let addr = server.local_addr();
+        let holder = Client::connect(addr).expect("the only slot");
+        // Without retries the refusal surfaces at once — and carries the
+        // server's hint in the wrapped `ERR busy` head.
+        let Err(err) = Client::connect(addr) else {
+            panic!("second connection admitted over the cap");
+        };
+        assert_eq!(
+            retry_after_hint(&err.to_string()),
+            Some(Duration::from_millis(crate::protocol::BUSY_RETRY_AFTER_MS))
+        );
+        // Free the slot while a retrying client is waiting out the hint.
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            drop(holder);
+        });
+        let retrying = ClientConfig {
+            retry: RetryPolicy {
+                retries: 5,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            },
+            ..ClientConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let mut c = Client::connect_with(addr, retrying).expect("admitted after the slot freed");
+        // The local backoff tops out at 2 ms per attempt — five retries of
+        // that could never bridge the 300 ms hold. Only waiting out the
+        // 1 s `retry-after-ms` hint gets the client past the busy window.
+        assert!(
+            started.elapsed() >= Duration::from_millis(crate::protocol::BUSY_RETRY_AFTER_MS),
+            "retried after {:?}, before the hint elapsed",
+            started.elapsed()
+        );
+        assert_eq!(c.send("PING").expect("ping").head, "OK pong");
+        release.join().expect("release thread");
+    }
+
+    #[test]
     fn quit_closes_only_that_session() {
         let server = Server::spawn(AuditService::tiny_synthetic(3), "127.0.0.1:0").expect("bind");
         let addr = server.local_addr();

@@ -68,11 +68,19 @@ pub const MAX_INGEST_BATCH: usize = 100_000;
 /// over on human timescales, so a fixed second is an honest hint.
 pub const BUSY_RETRY_AFTER_MS: u64 = 1_000;
 
+/// Ceiling on the `ERR overloaded` retry hint. Queue depth is a noisy
+/// instantaneous reading — a momentary spike of hundreds of in-flight
+/// batches must not tell clients to stall for minutes.
+pub const OVERLOAD_RETRY_CAP_MS: u64 = 10_000;
+
 /// The `retry-after-ms` hint for an `ERR overloaded` shed, scaled by how
 /// deep the writer queue was when the batch was refused: each in-flight
-/// ingest ahead of the client is worth ~100 ms of writer time.
+/// ingest ahead of the client is worth ~100 ms of writer time, capped at
+/// [`OVERLOAD_RETRY_CAP_MS`].
 pub fn overload_retry_after_ms(in_flight: usize) -> u64 {
-    100 * in_flight.max(1) as u64
+    100u64
+        .saturating_mul(in_flight.max(1) as u64)
+        .min(OVERLOAD_RETRY_CAP_MS)
 }
 
 /// A parsed request line.
@@ -584,6 +592,12 @@ mod tests {
         // The hint scales with queue depth but never reads zero.
         assert_eq!(overload_retry_after_ms(0), 100);
         assert!(overload_retry_after_ms(5) > overload_retry_after_ms(1));
+        // ... and saturates at the cap instead of telling a client caught
+        // behind a spike to stall for minutes.
+        assert_eq!(overload_retry_after_ms(99), 9_900);
+        assert_eq!(overload_retry_after_ms(100), OVERLOAD_RETRY_CAP_MS);
+        assert_eq!(overload_retry_after_ms(1_000), OVERLOAD_RETRY_CAP_MS);
+        assert_eq!(overload_retry_after_ms(usize::MAX), OVERLOAD_RETRY_CAP_MS);
         let head = Response::err(&shed).head;
         assert!(head.starts_with("ERR overloaded "), "{head}");
     }

@@ -140,7 +140,7 @@ impl Session {
             anchor_total,
             self.epochs.seq()
         ));
-        let shown = limit.unwrap_or(unexplained.len());
+        let shown = limit.unwrap_or(unexplained.len()).min(unexplained.len());
         for &global in unexplained.iter().take(shown) {
             let (shard, rid) = self.locate(global);
             let db = self.epochs.shards()[shard].db();
@@ -151,6 +151,11 @@ impl Session {
                 row[svc.cols.user].display(db.pool()),
                 row[svc.cols.patient].display(db.pool())
             ));
+        }
+        // A truncated listing says so on the wire: silence here reads as
+        // "that was everything", which is exactly wrong for an audit.
+        if shown < unexplained.len() {
+            resp.push(format!("more {} rows not shown", unexplained.len() - shown));
         }
         resp
     }
@@ -230,6 +235,11 @@ impl Session {
                         s.unexplained,
                         s.distinct_patients
                     ));
+                }
+                // Make the cut explicit: the triage queue below the top
+                // ten still exists, and the operator should know how deep.
+                if queue.len() > top {
+                    resp.push(format!("more {} rows not shown", queue.len() - top));
                 }
                 resp
             }
@@ -331,6 +341,52 @@ mod tests {
             "OK published 1 pinned 0"
         );
         assert_eq!(s.handle(Command::Repin, vec![]).head, "OK epoch 1");
+    }
+
+    #[test]
+    fn truncated_listings_carry_an_explicit_more_marker() {
+        let svc = service();
+        let mut s = Session::new(svc.clone());
+        // Unlimited listing: every row, no marker.
+        let full = s.handle(Command::Unexplained { limit: None }, vec![]);
+        let total = full.body.len();
+        assert!(total > 2, "tiny world has several unexplained accesses");
+        assert!(
+            full.body.iter().all(|l| l.starts_with("lid ")),
+            "no marker on a complete listing"
+        );
+        // Truncated listing: the cut is named, with the exact residue.
+        let cut = s.handle(Command::Unexplained { limit: Some(2) }, vec![]);
+        assert_eq!(cut.body.len(), 3);
+        assert_eq!(
+            cut.body.last().map(String::as_str),
+            Some(format!("more {} rows not shown", total - 2).as_str())
+        );
+        // A limit at (or past) the full length adds no marker.
+        let exact = s.handle(Command::Unexplained { limit: Some(total) }, vec![]);
+        assert_eq!(exact.body.len(), total);
+        assert!(exact.body.iter().all(|l| l.starts_with("lid ")));
+        // MISUSE caps its queue at ten: a deeper queue names the residue,
+        // a shallower one stays marker-free.
+        let misuse = s.handle(Command::Misuse { user: None }, vec![]);
+        let suspects = misuse
+            .body
+            .iter()
+            .filter(|l| l.starts_with("user "))
+            .count();
+        assert!(suspects <= 10);
+        match misuse.body.last() {
+            Some(l) if l.starts_with("more ") => {
+                let n: usize = l
+                    .strip_prefix("more ")
+                    .and_then(|r| r.split_whitespace().next())
+                    .and_then(|n| n.parse().ok())
+                    .expect("marker names a count");
+                assert!(n > 0);
+                assert_eq!(suspects, 10, "marker only after a full page");
+            }
+            _ => assert_eq!(misuse.body.len(), suspects),
+        }
     }
 
     #[test]

@@ -316,11 +316,12 @@ fn cmd_explain(opts: &Options) -> CliResult {
     let explanations = explainer.explain(&loaded.db, &loaded.spec, rid, 3)?;
     if explanations.is_empty() {
         println!("no explanation found; closest template verdicts:");
-        for d in diagnose(&loaded.db, &loaded.spec, &explainer, rid)?
-            .iter()
-            .take(3)
-        {
+        let verdicts = diagnose(&loaded.db, &loaded.spec, &explainer, rid)?;
+        for d in verdicts.iter().take(3) {
             println!("  - {}", d.summary());
+        }
+        if verdicts.len() > 3 {
+            println!("  … and {} more rows", verdicts.len() - 3);
         }
     } else {
         for e in explanations {
@@ -543,15 +544,19 @@ fn cmd_investigate(opts: &Options) -> CliResult {
     );
     let top: usize = opts.parsed("top", 10);
     println!("\ntop users by unexplained accesses:");
-    for s in eba::audit::portal::misuse_summary_at(&spec, &explainer, &epoch)
-        .into_iter()
-        .take(top)
-    {
+    let queue = eba::audit::portal::misuse_summary_at(&spec, &explainer, &epoch);
+    for s in queue.iter().take(top) {
         println!(
             "  user {:<8} {:>5} unexplained across {:>5} patients",
             s.user.display(db.pool()).to_string(),
             s.unexplained,
             s.distinct_patients
+        );
+    }
+    if queue.len() > top {
+        println!(
+            "  … and {} more rows (raise --top to see them)",
+            queue.len() - top
         );
     }
     Ok(())

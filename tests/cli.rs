@@ -140,6 +140,17 @@ fn investigate_summarizes_unexplained() {
     assert!(text.contains("unexplained"), "{text}");
     assert!(text.contains("look like snooping"), "{text}");
     assert!(text.contains("top users"), "{text}");
+    // The listing is capped at --top 3; a deeper suspect queue must be
+    // called out explicitly instead of silently cut.
+    let listed = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("user "))
+        .count();
+    assert!(listed <= 3, "{text}");
+    if listed == 3 {
+        // 10 planted snoops: the queue is deeper than three users.
+        assert!(text.contains("more rows"), "{text}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -117,12 +117,28 @@ fn protocol_round_trips_over_a_real_socket() {
         missing.head
     );
 
-    // UNEXPLAINED with a limit truncates the listing, not the count.
+    // UNEXPLAINED with a limit truncates the listing, not the count — and
+    // a truncated listing says so in an explicit trailing marker instead
+    // of silently reading as complete.
     let unexplained = c.send("UNEXPLAINED 3").unwrap();
     assert!(unexplained.is_ok());
     let count: usize = unexplained.field("unexplained").unwrap().parse().unwrap();
     assert!(count > 0, "tiny world has unexplained accesses");
-    assert_eq!(unexplained.body.len(), count.min(3));
+    let listed = unexplained
+        .body
+        .iter()
+        .filter(|l| l.starts_with("lid "))
+        .count();
+    assert_eq!(listed, count.min(3));
+    if count > 3 {
+        assert_eq!(
+            unexplained.body.last().map(String::as_str),
+            Some(format!("more {} rows not shown", count - 3).as_str())
+        );
+        assert_eq!(unexplained.body.len(), 4);
+    } else {
+        assert_eq!(unexplained.body.len(), count);
+    }
 
     // METRICS and TIMELINE are internally consistent with each other.
     let m = c.send("METRICS").unwrap();
