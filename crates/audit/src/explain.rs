@@ -7,7 +7,7 @@
 use eba_core::{ExplanationTemplate, LogSpec};
 use eba_relational::{
     ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, PreparedChain, Result, RowId,
-    RowSet,
+    RowSet, SuitePin,
 };
 use std::collections::HashSet;
 
@@ -85,6 +85,21 @@ impl Explainer {
             .iter()
             .map(|t| t.path.to_chain_query(spec))
             .collect()
+    }
+
+    /// The suite as a [`SuitePin`], ready to hand to
+    /// [`eba_relational::SharedEngine::pin_suite`] or
+    /// [`eba_relational::ShardedEngine::pin_suite`]: once pinned, every
+    /// published epoch carries the materialized explained/unexplained
+    /// partition, maintained incrementally per ingest and byte-identical
+    /// to what [`Explainer::unexplained_rows_with`] recomputes cold.
+    pub fn suite_pin(&self, spec: &LogSpec) -> SuitePin {
+        SuitePin {
+            log: spec.table,
+            anchor_filters: spec.anchor_filters.clone(),
+            queries: self.suite_queries(spec),
+            opts: EvalOptions::default(),
+        }
     }
 
     /// Rows (within the spec's anchor) explained by at least one template.
@@ -356,6 +371,91 @@ mod tests {
                 explainer.unexplained_rows(&h.db, &spec),
                 "{n} shards"
             );
+        }
+    }
+
+    #[test]
+    fn pinned_suite_maintains_the_cold_partition() {
+        // A pinned suite's maintained sets must match the cold recompute
+        // on every published epoch — including after ingests that extend
+        // the log (tail delta) and the dimension tables (full re-eval of
+        // the templates whose support grew).
+        let (h, spec, explainer) = setup();
+        let shared = eba_relational::SharedEngine::new(h.db.clone());
+        let pin_id = shared.pin_suite(explainer.suite_pin(&spec));
+
+        let check = |label: &str| {
+            let epoch = shared.load();
+            let m = epoch.maintained(pin_id).expect("pinned");
+            assert_eq!(
+                m.unexplained.to_vec(),
+                explainer.unexplained_rows_at(&spec, &epoch),
+                "{label}: unexplained"
+            );
+            assert_eq!(
+                m.explained,
+                explainer.explained_rowset_at(&spec, &epoch),
+                "{label}: explained"
+            );
+            assert_eq!(m.log_len, epoch.db().table(spec.table).len());
+        };
+        check("cold pin");
+
+        let arity = h.db.table(h.t_log).schema().arity();
+        let cols = h.log_cols;
+        for round in 0..3 {
+            let (_, report) = shared.ingest(|db| {
+                let mut row = vec![eba_relational::Value::Null; arity];
+                row[cols.lid] = eba_relational::Value::Int(3_000_000 + round);
+                row[cols.date] = eba_relational::Value::Date(0);
+                row[cols.user] = eba_relational::Value::Int(1 + round);
+                row[cols.patient] = eba_relational::Value::Int(1);
+                row[cols.day] = eba_relational::Value::Int(1);
+                row[cols.is_first] = eba_relational::Value::Int(0);
+                db.insert(h.t_log, row).unwrap();
+            });
+            assert!(report.fallback_warning().is_none());
+            check("after ingest");
+        }
+    }
+
+    #[test]
+    fn sharded_pinned_suite_maintains_the_cold_partition() {
+        let (h, spec, explainer) = setup();
+        let key = eba_relational::ShardKey {
+            table: spec.table,
+            col: spec.patient_col,
+        };
+        for n in [1, 3] {
+            let sharded = eba_relational::ShardedEngine::new(h.db.clone(), key, n);
+            let pin_id = sharded.pin_suite(explainer.suite_pin(&spec));
+            let check = |label: &str| {
+                let shards = sharded.load();
+                let m = shards.maintained(pin_id).expect("pinned");
+                assert_eq!(
+                    m.unexplained.to_vec(),
+                    explainer.unexplained_rows_at_shards(&spec, &shards),
+                    "{label} ({n} shards): unexplained"
+                );
+            };
+            check("cold pin");
+
+            let arity = h.db.table(h.t_log).schema().arity();
+            let cols = h.log_cols;
+            let (_, report) = sharded.ingest(|batch| {
+                for i in 0..4i64 {
+                    let mut row = vec![eba_relational::Value::Null; arity];
+                    row[cols.lid] = eba_relational::Value::Int(4_000_000 + i);
+                    row[cols.date] = eba_relational::Value::Date(0);
+                    row[cols.user] = eba_relational::Value::Int(1 + i);
+                    row[cols.patient] = eba_relational::Value::Int(1 + i);
+                    row[cols.day] = eba_relational::Value::Int(1);
+                    row[cols.is_first] = eba_relational::Value::Int(0);
+                    batch.insert_log(row).unwrap();
+                }
+            });
+            assert!(report.fallback_warnings().is_empty());
+            check("after ingest");
         }
     }
 

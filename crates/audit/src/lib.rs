@@ -49,3 +49,4 @@ pub use fake::FakeLog;
 pub use groups::{collaborative_groups, install_groups, GroupsModel};
 pub use handcrafted::HandcraftedTemplates;
 pub use metrics::Confusion;
+pub use timeline::{DayBuckets, DayStats, Timeline};

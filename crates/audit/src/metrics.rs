@@ -8,7 +8,9 @@
 
 use crate::fake::FakeLog;
 use eba_core::{ExplanationTemplate, LogSpec};
-use eba_relational::{ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, RowId, RowSet};
+use eba_relational::{
+    ChainQuery, Database, Engine, Epoch, EpochVec, EvalOptions, Maintained, RowId, RowSet,
+};
 use std::collections::HashSet;
 
 /// Counts underlying the three metrics.
@@ -296,6 +298,23 @@ pub fn evaluate_at(
     )
 }
 
+/// [`Confusion`] read off a pinned suite's [`Maintained`] partition — the
+/// O(delta)-maintained form of [`evaluate`] with no fake log and no event
+/// predicate (the live-service configuration: every anchor row is real).
+/// No query runs and nothing is materialized: `real_explained` is one
+/// allocation-free intersection count
+/// ([`RowSet::intersect_len`]) over the already-maintained sets.
+pub fn confusion_from_maintained(m: &Maintained) -> Confusion {
+    let real_total = m.anchors.len();
+    Confusion {
+        real_explained: m.anchors.intersect_len(&m.explained),
+        fake_explained: 0,
+        real_total,
+        fake_total: 0,
+        real_with_events: real_total,
+    }
+}
+
 /// [`evaluate`] against a pinned epoch vector. `fake` and `with_events`
 /// speak global row ids (they were built against the unsharded log), and
 /// so do the anchors and explained sets gathered here — the confusion
@@ -408,6 +427,23 @@ mod tests {
                 evaluate(&h.db, &spec, &suite, None, None)
             );
         }
+    }
+
+    #[test]
+    fn maintained_confusion_matches_evaluate() {
+        let h = Hospital::generate(SynthConfig::tiny());
+        let spec = eba_core::LogSpec::conventional(&h.db).unwrap();
+        let t = HandcraftedTemplates::build(&h.db, &spec).unwrap();
+        let explainer = crate::explain::Explainer::new(t.all().into_iter().cloned().collect());
+        let shared = eba_relational::SharedEngine::new(h.db.clone());
+        let pin_id = shared.pin_suite(explainer.suite_pin(&spec));
+        let epoch = shared.load();
+        let m = epoch.maintained(pin_id).expect("pinned");
+        let suite: Vec<&ExplanationTemplate> = explainer.templates().iter().collect();
+        assert_eq!(
+            confusion_from_maintained(m),
+            evaluate(&h.db, &spec, &suite, None, None)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::explain::Explainer;
 use crate::split;
 use eba_core::LogSpec;
-use eba_relational::{Database, Engine, Epoch, EpochVec, RowId};
+use eba_relational::{Database, Engine, Epoch, EpochVec, RowSet};
 use eba_synth::LogColumns;
 
 /// One day's explanation statistics.
@@ -90,15 +90,15 @@ pub fn daily_stats(
     days: u32,
 ) -> Timeline {
     // One evaluation over the whole log, then bucket by day.
-    let explained = explainer.explained_rows(db, spec);
-    bucket_by_day(db, spec, cols, |rid| explained.contains(&rid), days)
+    let explained: RowSet = explainer.explained_rows(db, spec).into_iter().collect();
+    DayBuckets::build(db, spec, cols, days).timeline(&explained)
 }
 
 /// [`daily_stats`] through a shared [`Engine`]: the compliance dashboard
 /// recomputes this view repeatedly as the log grows, so the suite is
 /// evaluated as one fused batch against the warm (refreshable) engine
-/// and the day buckets probe the compressed [`eba_relational::RowSet`]
-/// directly — no intermediate hash set.
+/// and the day buckets intersect the compressed
+/// [`eba_relational::RowSet`] directly — no intermediate hash set.
 pub fn daily_stats_with(
     db: &Database,
     spec: &LogSpec,
@@ -108,7 +108,7 @@ pub fn daily_stats_with(
     engine: &Engine,
 ) -> Timeline {
     let explained = explainer.explained_rowset_with(db, spec, engine);
-    bucket_by_day(db, spec, cols, |rid| explained.contains(rid), days)
+    DayBuckets::build(db, spec, cols, days).timeline(&explained)
 }
 
 /// [`daily_stats`] against a pinned [`Epoch`]: the dashboard session's
@@ -160,50 +160,91 @@ impl DayStats {
     }
 }
 
-/// Buckets the log by day against an explained-membership predicate
-/// (a hash set on the cold path, a compressed row set on the warm ones).
-fn bucket_by_day(
-    db: &Database,
-    spec: &LogSpec,
-    cols: &LogColumns,
-    explained: impl Fn(RowId) -> bool,
-    days: u32,
-) -> Timeline {
-    let log = db.table(spec.table);
-    let mut timeline = Timeline {
-        days: (1..=days).map(DayStats::empty).collect(),
-        overflow: DayStats::empty(DayStats::OVERFLOW_DAY),
-    };
-    for (rid, row) in log.iter() {
-        if !spec
-            .anchor_filters
-            .iter()
-            .all(|(col, op, v)| op.eval(&row[*col], v))
-        {
-            continue;
-        }
-        // In-window accesses land in their day's bucket; clock-skewed or
-        // day-less ones land in the overflow bucket instead of vanishing.
-        let s = match row[cols.day] {
-            eba_relational::Value::Int(day) if (1..=days as i64).contains(&day) => {
-                &mut timeline.days[(day - 1) as usize]
-            }
-            _ => &mut timeline.overflow,
-        };
-        let is_first = row[cols.is_first] == eba_relational::Value::Int(1);
-        let is_explained = explained(rid);
-        s.total += 1;
-        if is_explained {
-            s.explained += 1;
-        }
-        if is_first {
-            s.first_accesses += 1;
-            if is_explained {
-                s.first_explained += 1;
-            }
+/// The anchored log bucketed by day as compressed row sets: one
+/// [`RowSet`] of accesses per in-window day plus the overflow bucket,
+/// with the first-access rows kept as a parallel set per bucket.
+///
+/// Built with one scan of the log; every [`Timeline`] derived from it
+/// afterwards is pure set algebra — `total`/`first_accesses` are set
+/// cardinalities and `explained`/`first_explained` are intersection
+/// counts via [`RowSet::intersect_len`], which walks the compressed
+/// containers without materializing the intersection. A dashboard that
+/// re-renders the timeline as the explained set evolves rebuilds only
+/// the counts, never the buckets.
+#[derive(Debug, Clone)]
+pub struct DayBuckets {
+    days: Vec<DayBucket>,
+    overflow: DayBucket,
+}
+
+#[derive(Debug, Clone)]
+struct DayBucket {
+    day: u32,
+    all: RowSet,
+    firsts: RowSet,
+}
+
+impl DayBucket {
+    fn empty(day: u32) -> DayBucket {
+        DayBucket {
+            day,
+            all: RowSet::new(),
+            firsts: RowSet::new(),
         }
     }
-    timeline
+
+    fn stats(&self, explained: &RowSet) -> DayStats {
+        DayStats {
+            day: self.day,
+            total: self.all.len(),
+            explained: self.all.intersect_len(explained),
+            first_accesses: self.firsts.len(),
+            first_explained: self.firsts.intersect_len(explained),
+        }
+    }
+}
+
+impl DayBuckets {
+    /// Buckets the log by day: one scan, anchor filters applied row by
+    /// row. In-window accesses land in their day's bucket; clock-skewed
+    /// or day-less ones land in the overflow bucket instead of
+    /// vanishing.
+    pub fn build(db: &Database, spec: &LogSpec, cols: &LogColumns, days: u32) -> DayBuckets {
+        let log = db.table(spec.table);
+        let mut buckets = DayBuckets {
+            days: (1..=days).map(DayBucket::empty).collect(),
+            overflow: DayBucket::empty(DayStats::OVERFLOW_DAY),
+        };
+        for (rid, row) in log.iter() {
+            if !spec
+                .anchor_filters
+                .iter()
+                .all(|(col, op, v)| op.eval(&row[*col], v))
+            {
+                continue;
+            }
+            let b = match row[cols.day] {
+                eba_relational::Value::Int(day) if (1..=days as i64).contains(&day) => {
+                    &mut buckets.days[(day - 1) as usize]
+                }
+                _ => &mut buckets.overflow,
+            };
+            b.all.insert(rid);
+            if row[cols.is_first] == eba_relational::Value::Int(1) {
+                b.firsts.insert(rid);
+            }
+        }
+        buckets
+    }
+
+    /// Derives the per-day timeline against an explained set — counts
+    /// only, no per-row probing and no allocation.
+    pub fn timeline(&self, explained: &RowSet) -> Timeline {
+        Timeline {
+            days: self.days.iter().map(|b| b.stats(explained)).collect(),
+            overflow: self.overflow.stats(explained),
+        }
+    }
 }
 
 /// Convenience: per-day stats over the full log (no extra filters).
@@ -382,6 +423,35 @@ mod tests {
                 "{n} shards"
             );
         }
+    }
+
+    #[test]
+    fn day_buckets_are_reusable_across_explained_sets() {
+        // One bucket build serves any number of explained sets: the
+        // empty set zeroes the explained counts, the full log explains
+        // everything, and the real suite matches `daily_stats`.
+        let (h, spec, explainer) = setup();
+        let buckets = DayBuckets::build(&h.db, &spec, &h.log_cols, h.config.days);
+
+        let none = buckets.timeline(&RowSet::new());
+        assert_eq!(none.total(), h.log_len());
+        for s in none.days.iter().chain([&none.overflow]) {
+            assert_eq!(s.explained, 0);
+            assert_eq!(s.first_explained, 0);
+        }
+
+        let all: RowSet = (0..h.log_len() as u32).collect();
+        let everything = buckets.timeline(&all);
+        for s in everything.days.iter().chain([&everything.overflow]) {
+            assert_eq!(s.explained, s.total);
+            assert_eq!(s.first_explained, s.first_accesses);
+        }
+
+        let explained: RowSet = explainer.explained_rows(&h.db, &spec).into_iter().collect();
+        assert_eq!(
+            buckets.timeline(&explained),
+            daily_stats(&h.db, &spec, &h.log_cols, &explainer, h.config.days)
+        );
     }
 
     #[test]

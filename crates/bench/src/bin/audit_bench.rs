@@ -557,6 +557,88 @@ fn main() {
         ));
     }
 
+    // Streaming audit: answering `UNEXPLAINED` after an ingest with the
+    // *maintained* partition (advanced inside ingest by delta
+    // evaluation, read back in O(1)) vs the cold path (re-deriving the
+    // unexplained residue from the whole suite at the new epoch). Both
+    // sides pay the same publication; the gap is pure O(delta) vs O(log)
+    // audit work. The `_large` variant re-runs after growing the log
+    // ~8x with the same batch size: the cold side grows with the log,
+    // the maintained side does not. Differential guard first: the
+    // maintained residue must equal the cold recompute byte for byte.
+    {
+        let pinned = SharedEngine::new(db.clone());
+        let pin = pinned.pin_suite(explainer.suite_pin(spec));
+        let unpinned = SharedEngine::new(db.clone());
+        let seed = std::cell::Cell::new(0x57_0000u64);
+        let ingest_once = |engine: &SharedEngine| {
+            seed.set(seed.get() + 1);
+            let s = seed.get();
+            engine.ingest(|db_side| {
+                FakeLog::inject(db_side, t_log, cols, &users, &patients, append, days, s);
+            });
+        };
+
+        let guard = |tag: &str| {
+            let epoch = pinned.load();
+            let m = epoch
+                .maintained(pin)
+                .expect("pinned suite publishes its partition");
+            assert_eq!(
+                m.unexplained.to_vec(),
+                explainer.unexplained_rows_at(spec, &epoch),
+                "maintained residue diverged from the cold recompute ({tag})"
+            );
+            assert_eq!(
+                m.log_len,
+                epoch.db().table(t_log).len(),
+                "maintained partition covers the whole log ({tag})"
+            );
+        };
+
+        let stream_workload = |name: String| -> Workload {
+            ingest_once(&pinned);
+            guard(&name);
+            let w = Workload::compare(
+                name.clone(),
+                samples,
+                || {
+                    ingest_once(&unpinned);
+                    let epoch = unpinned.load();
+                    std::hint::black_box(explainer.unexplained_rows_at(spec, &epoch).len());
+                },
+                || {
+                    ingest_once(&pinned);
+                    let epoch = pinned.load();
+                    let m = epoch.maintained(pin).expect("pinned");
+                    std::hint::black_box(m.unexplained.len() + m.anchors.len());
+                },
+            );
+            guard(&name);
+            let log_rows = pinned.load().db().table(t_log).len();
+            Workload {
+                note: Some(format!(
+                    "ingest {append} rows then answer UNEXPLAINED: maintained \
+                     O(delta) advance + O(1) read vs cold suite recompute at \
+                     {log_rows} log rows (residue equality asserted before \
+                     and after timing)",
+                )),
+                ..w
+            }
+        };
+
+        workloads.push(stream_workload(format!("stream/ingest_delta{append}")));
+        let before = pinned.load().db().table(t_log).len();
+        while pinned.load().db().table(t_log).len() < before * 8 {
+            ingest_once(&pinned);
+            ingest_once(&unpinned);
+        }
+        guard("after growth");
+        workloads.push(stream_workload(format!(
+            "stream/ingest_delta{append}_large"
+        )));
+    }
+
     // Cold start after a crash: a durable store's recovered batches can
     // be replayed through the normal publication path (one epoch per
     // batch — clone, fork, refresh, publish, once per batch in the

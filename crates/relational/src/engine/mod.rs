@@ -112,7 +112,7 @@ pub use sharded::{
     shard_of, EpochVec, ShardEpoch, ShardKey, ShardRefresh, ShardedBatch, ShardedEngine,
     ShardedIngestReport,
 };
-pub use shared::{Epoch, IngestReport, SharedEngine};
+pub use shared::{Epoch, IngestReport, Maintained, SharedEngine, SuitePin};
 
 use crate::chain::{ChainQuery, EvalOptions, Rhs, StepFilter};
 use crate::database::{Database, TableId};
@@ -323,6 +323,22 @@ fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
         lo = hi;
     }
     out
+}
+
+/// Maximal consecutive runs of a sorted, deduplicated row-id slice, as
+/// half-open `(start, end)` ranges in row-id space.
+fn consecutive_runs(rows: &[u32]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let mut j = i + 1;
+        while j < rows.len() && rows[j] == rows[j - 1] + 1 {
+            j += 1;
+        }
+        runs.push((rows[i] as usize, rows[j - 1] as usize + 1));
+        i = j;
+    }
+    runs
 }
 
 impl Engine {
@@ -688,6 +704,312 @@ impl Engine {
             .collect()
     }
 
+    /// [`Engine::eval_suite`] restricted to **anchor rows** `[lo, hi)` of
+    /// each query's log table: only log rows in that range can appear in
+    /// the answers, while chain steps still walk the *whole* support
+    /// tables. This is the delta evaluator behind the maintained
+    /// explained/unexplained materializations
+    /// ([`SharedEngine::pin_suite`]): after an append grows the log by
+    /// `[lo, hi)`, evaluating just that range answers "which of the new
+    /// accesses are explained?" without re-scanning history.
+    ///
+    /// The range partition is built fresh per call and **not cached** —
+    /// it covers an arbitrary slice, not the `[0, covered)` prefix the
+    /// chunked cache extends — so reserve this for genuine deltas. Per
+    /// query, the result equals the `eval_suite` answer intersected with
+    /// `[lo, hi)` (the stream-equivalence suite enforces this
+    /// differentially), because a log row is anchored independently of
+    /// every other log row.
+    pub fn eval_suite_range(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<Result<RowSet>> {
+        let mut results: Vec<Option<Result<RowSet>>> = queries
+            .iter()
+            .map(|q| q.validate(db).err().map(Err))
+            .collect();
+        let valid: Vec<(usize, &ChainQuery)> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| (i, &queries[i]))
+            .collect();
+        self.build_missing_maps(
+            valid
+                .iter()
+                .map(|(_, q)| *q)
+                .filter(|q| !q.is_anchor_dependent()),
+            opts,
+        );
+
+        let mut grouped: Vec<GroupedBucket> = Vec::new();
+        let mut bucket_ix: HashMap<GroupKey, usize> = HashMap::new();
+        let mut per_row: Vec<PerRowBucket> = Vec::new();
+        let mut per_row_ix: HashMap<TableId, usize> = HashMap::new();
+        for (slot, q) in &valid {
+            if q.is_anchor_dependent() {
+                let ix = *per_row_ix.entry(q.log).or_insert_with(|| {
+                    per_row.push(PerRowBucket {
+                        log: q.log,
+                        templates: Vec::new(),
+                    });
+                    per_row.len() - 1
+                });
+                per_row[ix].templates.push(PerRowTemplate {
+                    slot: *slot,
+                    q,
+                    rowmaps: self.rowmaps_for(q),
+                });
+            } else {
+                let key = GroupKey::of(q);
+                let ix = match bucket_ix.get(&key) {
+                    Some(&ix) => ix,
+                    None => {
+                        // One fresh, uncached chunk over just `[lo, hi)`.
+                        // Its `by_start` keys are already distinct, so the
+                        // starts need no scratch-mark dedup.
+                        let n_rows = self.snapshot.table(key.log).n_rows;
+                        let (lo, hi) = (lo.min(n_rows), hi.min(n_rows));
+                        let chunk = self.build_group_chunk(&key, lo, hi);
+                        let starts: Vec<u32> = chunk.by_start.keys().copied().collect();
+                        grouped.push(GroupedBucket {
+                            groups: GroupChunks {
+                                chunks: vec![Arc::new(chunk)],
+                                covered: hi,
+                            },
+                            starts,
+                            templates: Vec::new(),
+                        });
+                        bucket_ix.insert(key, grouped.len() - 1);
+                        grouped.len() - 1
+                    }
+                };
+                grouped[ix].templates.push(GroupedTemplate {
+                    slot: *slot,
+                    q,
+                    maps: self.maps_for(q, opts),
+                });
+            }
+        }
+
+        for bucket in &mut grouped {
+            bucket.templates.sort_by(|a, b| {
+                let ptrs = |t: &GroupedTemplate| -> Vec<usize> {
+                    t.maps.iter().map(|m| Arc::as_ptr(m) as usize).collect()
+                };
+                ptrs(a).cmp(&ptrs(b))
+            });
+        }
+
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        enum Work {
+            Grouped { bucket: usize, lo: usize, hi: usize },
+            PerRow { bucket: usize, lo: usize, hi: usize },
+        }
+        let mut work: Vec<Work> = Vec::new();
+        for (b, bucket) in grouped.iter().enumerate() {
+            for (lo, hi) in split_ranges(bucket.starts.len(), threads) {
+                work.push(Work::Grouped { bucket: b, lo, hi });
+            }
+        }
+        for (b, bucket) in per_row.iter().enumerate() {
+            let n_rows = self.snapshot.table(bucket.log).n_rows;
+            let (lo, hi) = (lo.min(n_rows), hi.min(n_rows));
+            for (a, z) in split_ranges(hi.saturating_sub(lo), threads) {
+                work.push(Work::PerRow {
+                    bucket: b,
+                    lo: lo + a,
+                    hi: lo + z,
+                });
+            }
+        }
+        let outputs = par_map(&work, |item| match *item {
+            Work::Grouped { bucket, lo, hi } => self.eval_grouped_slice(&grouped[bucket], lo, hi),
+            Work::PerRow { bucket, lo, hi } => self.eval_per_row_slice(&per_row[bucket], lo, hi),
+        });
+
+        for (slot, _) in &valid {
+            results[*slot] = Some(Ok(RowSet::new()));
+        }
+        for slice in outputs {
+            for (slot, set) in slice {
+                if let Some(Ok(acc)) = &mut results[slot] {
+                    acc.union_with(&set);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query resolved"))
+            .collect()
+    }
+
+    /// [`Engine::eval_suite`] restricted to an explicit **anchor row
+    /// set**: only rows in `rows` can appear in the answers, while chain
+    /// steps still walk the whole support tables. This is the
+    /// *scattered-residue* delta evaluator behind the maintained
+    /// partition: when a support table grows, a template stepping into
+    /// it can newly explain old anchor rows — but explanation is
+    /// monotone under append-only growth, so only the *previously
+    /// unexplained* residue needs re-asking, and the residue is usually
+    /// a small scattered fraction of the log. Per query, the result
+    /// equals the `eval_suite` answer intersected with `rows` (the
+    /// stream-equivalence suite enforces this differentially).
+    ///
+    /// Like [`Engine::eval_suite_range`], partitions over `rows` are
+    /// built fresh (one grouped chunk per consecutive run) and not
+    /// cached — reserve this for genuine deltas.
+    pub fn eval_suite_rows(
+        &self,
+        db: &Database,
+        queries: &[ChainQuery],
+        opts: EvalOptions,
+        rows: &RowSet,
+    ) -> Vec<Result<RowSet>> {
+        let mut results: Vec<Option<Result<RowSet>>> = queries
+            .iter()
+            .map(|q| q.validate(db).err().map(Err))
+            .collect();
+        let valid: Vec<(usize, &ChainQuery)> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| (i, &queries[i]))
+            .collect();
+        self.build_missing_maps(
+            valid
+                .iter()
+                .map(|(_, q)| *q)
+                .filter(|q| !q.is_anchor_dependent()),
+            opts,
+        );
+        let row_ids: Vec<u32> = rows.to_vec();
+
+        let mut grouped: Vec<GroupedBucket> = Vec::new();
+        let mut bucket_ix: HashMap<GroupKey, usize> = HashMap::new();
+        let mut per_row: Vec<PerRowBucket> = Vec::new();
+        let mut per_row_ix: HashMap<TableId, usize> = HashMap::new();
+        for (slot, q) in &valid {
+            if q.is_anchor_dependent() {
+                let ix = *per_row_ix.entry(q.log).or_insert_with(|| {
+                    per_row.push(PerRowBucket {
+                        log: q.log,
+                        templates: Vec::new(),
+                    });
+                    per_row.len() - 1
+                });
+                per_row[ix].templates.push(PerRowTemplate {
+                    slot: *slot,
+                    q,
+                    rowmaps: self.rowmaps_for(q),
+                });
+            } else {
+                let key = GroupKey::of(q);
+                let ix = match bucket_ix.get(&key) {
+                    Some(&ix) => ix,
+                    None => {
+                        // One fresh chunk per consecutive run of the row
+                        // set; a start can recur across runs, so the
+                        // gathered starts are dedup'd (the grouped walk
+                        // visits each start once and reads close buckets
+                        // from every chunk).
+                        let n_rows = self.snapshot.table(key.log).n_rows;
+                        let mut chunks: Vec<Arc<GroupChunk>> = Vec::new();
+                        let mut starts: Vec<u32> = Vec::new();
+                        for (a, z) in consecutive_runs(&row_ids) {
+                            let (a, z) = (a.min(n_rows), z.min(n_rows));
+                            if a == z {
+                                continue;
+                            }
+                            let chunk = self.build_group_chunk(&key, a, z);
+                            starts.extend(chunk.by_start.keys().copied());
+                            chunks.push(Arc::new(chunk));
+                        }
+                        starts.sort_unstable();
+                        starts.dedup();
+                        grouped.push(GroupedBucket {
+                            groups: GroupChunks {
+                                chunks,
+                                covered: n_rows,
+                            },
+                            starts,
+                            templates: Vec::new(),
+                        });
+                        bucket_ix.insert(key, grouped.len() - 1);
+                        grouped.len() - 1
+                    }
+                };
+                grouped[ix].templates.push(GroupedTemplate {
+                    slot: *slot,
+                    q,
+                    maps: self.maps_for(q, opts),
+                });
+            }
+        }
+
+        for bucket in &mut grouped {
+            bucket.templates.sort_by(|a, b| {
+                let ptrs = |t: &GroupedTemplate| -> Vec<usize> {
+                    t.maps.iter().map(|m| Arc::as_ptr(m) as usize).collect()
+                };
+                ptrs(a).cmp(&ptrs(b))
+            });
+        }
+
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        enum Work {
+            Grouped { bucket: usize, lo: usize, hi: usize },
+            PerRow { bucket: usize, lo: usize, hi: usize },
+        }
+        let mut work: Vec<Work> = Vec::new();
+        for (b, bucket) in grouped.iter().enumerate() {
+            for (lo, hi) in split_ranges(bucket.starts.len(), threads) {
+                work.push(Work::Grouped { bucket: b, lo, hi });
+            }
+        }
+        for (b, bucket) in per_row.iter().enumerate() {
+            let n_rows = self.snapshot.table(bucket.log).n_rows;
+            let end = row_ids.partition_point(|&r| (r as usize) < n_rows);
+            for (a, z) in split_ranges(end, threads) {
+                work.push(Work::PerRow {
+                    bucket: b,
+                    lo: a,
+                    hi: z,
+                });
+            }
+        }
+        let outputs = par_map(&work, |item| match *item {
+            Work::Grouped { bucket, lo, hi } => self.eval_grouped_slice(&grouped[bucket], lo, hi),
+            Work::PerRow { bucket, lo, hi } => self.eval_per_row_rows(
+                &per_row[bucket],
+                row_ids[lo..hi].iter().map(|&r| r as usize),
+            ),
+        });
+
+        for (slot, _) in &valid {
+            results[*slot] = Some(Ok(RowSet::new()));
+        }
+        for slice in outputs {
+            for (slot, set) in slice {
+                if let Some(Ok(acc)) = &mut results[slot] {
+                    acc.union_with(&set);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every query resolved"))
+            .collect()
+    }
+
     /// Walks every template of one grouped bucket over the starts in
     /// `[lo, hi)`. Two redundancies the per-query path pays N times are
     /// paid at most once per start here:
@@ -824,6 +1146,18 @@ impl Engine {
         lo: usize,
         hi: usize,
     ) -> Vec<(usize, RowSet)> {
+        self.eval_per_row_rows(bucket, lo..hi)
+    }
+
+    /// [`Engine::eval_per_row_slice`] over an arbitrary **ascending**
+    /// row iterator — the scattered-residue form behind
+    /// [`Engine::eval_suite_rows`]. Ascending order is load-bearing:
+    /// each template's hits compress sort-free.
+    fn eval_per_row_rows(
+        &self,
+        bucket: &PerRowBucket,
+        rows: impl Iterator<Item = usize>,
+    ) -> Vec<(usize, RowSet)> {
         let log = self.snapshot.table(bucket.log);
         let interner = &self.snapshot.interner;
         // The scan visits rows in ascending order, so each template's
@@ -847,7 +1181,7 @@ impl Engine {
             let mut scratch: Vec<u32> = Vec::new();
             let mut rhs_vals: Vec<Value> = Vec::new();
             let mut passes: Vec<bool> = Vec::new();
-            for r in lo..hi {
+            for r in rows {
                 for fam in &families {
                     alive.clear();
                     for (pos, &t) in fam.members.iter().enumerate() {
@@ -1650,6 +1984,49 @@ mod tests {
                 engine.support(&db, &q, opts).unwrap(),
                 q.support(&db, opts).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn eval_suite_range_partitions_by_anchor_row() {
+        let (db, log, appt, info) = figure3_db();
+        let engine = Engine::new(&db);
+        let opts = EvalOptions::default();
+        let mut decorated = template_a(log, appt);
+        decorated.steps[0].filters.push(StepFilter {
+            col: 1,
+            op: CmpOp::Le,
+            rhs: Rhs::AnchorCol(1),
+        });
+        let queries = vec![
+            template_a(log, appt),
+            template_b(log, appt, info),
+            decorated,
+        ];
+        let full: Vec<RowSet> = engine
+            .eval_suite(&db, &queries, opts)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let n = db.table(log).len();
+        // The whole range is the whole answer...
+        let whole: Vec<RowSet> = engine
+            .eval_suite_range(&db, &queries, opts, 0, n)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(whole, full);
+        // ...and any split's union reassembles it, because each anchor
+        // row is evaluated independently of every other log row. An
+        // out-of-bounds hi is clamped, never a panic.
+        for k in 0..=n {
+            let head = engine.eval_suite_range(&db, &queries, opts, 0, k);
+            let tail = engine.eval_suite_range(&db, &queries, opts, k, n + 7);
+            for ((h, t), f) in head.into_iter().zip(tail).zip(&full) {
+                let mut acc = h.unwrap();
+                acc.union_with(&t.unwrap());
+                assert_eq!(&acc, f);
+            }
         }
     }
 

@@ -43,7 +43,7 @@
 //! unchanged.
 
 use super::parallel::par_map;
-use super::shared::Epoch;
+use super::shared::{compute_maintained, Epoch, Maintained, SuitePin};
 use super::{Engine, RefreshError, RefreshStats};
 use crate::chain::{ChainQuery, EvalOptions};
 use crate::database::{Database, TableId};
@@ -168,6 +168,9 @@ pub struct EpochVec {
     key: ShardKey,
     seq: u64,
     global_log_len: usize,
+    /// Maintained materializations in **global** row ids, one per pinned
+    /// suite in registration order ([`ShardedEngine::pin_suite`]).
+    maintained: Vec<Arc<Maintained>>,
 }
 
 impl EpochVec {
@@ -195,6 +198,14 @@ impl EpochVec {
     /// Total log rows across all shards (the global log length).
     pub fn global_log_len(&self) -> usize {
         self.global_log_len
+    }
+
+    /// The maintained materialization of pin `pin` (the id returned by
+    /// [`ShardedEngine::pin_suite`]) in **global** row ids, if this
+    /// vector carries one. Vectors published before the pin was
+    /// registered lack the entry — readers fall back to cold evaluation.
+    pub fn maintained(&self, pin: usize) -> Option<&Arc<Maintained>> {
+        self.maintained.get(pin)
     }
 
     /// Which shard a routing value lands in.
@@ -335,6 +346,136 @@ impl EpochVec {
             sets.push(set?);
         }
         Ok(RowSet::union_all(sets))
+    }
+}
+
+/// Maps a shard-local row set to global ids. Local ascending order is a
+/// subsequence of global order, so the mapped ids are already sorted.
+fn to_global_set(shard: &ShardEpoch, local: &RowSet) -> RowSet {
+    let global: Vec<RowId> = local.iter().map(|r| shard.to_global(r)).collect();
+    RowSet::from_sorted_vec(&global)
+}
+
+/// Cold global materialization of `pin`: every shard computes its local
+/// sets in parallel, then the global-id bitmaps fold with the associative
+/// union — the same scatter-gather shape as [`EpochVec::eval_suite`].
+fn compute_maintained_sharded(
+    shards: &[ShardEpoch],
+    pin: &SuitePin,
+    global_log_len: usize,
+) -> Maintained {
+    let idx: Vec<usize> = (0..shards.len()).collect();
+    let per: Vec<(RowSet, RowSet)> = par_map(&idx, |&s| {
+        let shard = &shards[s];
+        let m = compute_maintained(shard.engine(), shard.db(), pin);
+        (
+            to_global_set(shard, &m.anchors),
+            to_global_set(shard, &m.explained),
+        )
+    });
+    let mut anchors = RowSet::new();
+    let mut explained = RowSet::new();
+    for (a, e) in per {
+        anchors.union_with(&a);
+        explained.union_with(&e);
+    }
+    let unexplained = anchors.difference(&explained);
+    Maintained {
+        anchors,
+        explained,
+        unexplained,
+        log_len: global_log_len,
+    }
+}
+
+/// Advances the global materialization across one sharded ingest: each
+/// shard computes its **local** delta — appended-range anchor scan,
+/// tail-range evaluation over the appended rows for every template, and
+/// a residue-restricted re-ask of the templates whose support grew in
+/// that shard, over the shard's slice of the previous global
+/// `unexplained` set (see [`Maintained`] for the monotonicity argument)
+/// — and the global-id deltas merge associatively into the previous
+/// sets.
+fn advance_maintained_sharded(
+    prev_shards: &[ShardEpoch],
+    shards: &[ShardEpoch],
+    pin: &SuitePin,
+    prev: &Maintained,
+    reports: &[ShardRefresh],
+    global_log_len: usize,
+) -> Maintained {
+    let idx: Vec<usize> = (0..shards.len()).collect();
+    let deltas: Vec<(RowSet, RowSet)> = par_map(&idx, |&s| {
+        let shard = &shards[s];
+        let engine = shard.engine();
+        let db = shard.db();
+        let grown = &reports[s].refresh.delta.grown;
+        let (l0, l1) = (prev_shards[s].log_len(), shard.log_len());
+        let log = engine.snapshot().table(pin.log);
+        let mut fresh: Vec<RowId> = Vec::new();
+        for r in l0..l1 {
+            if engine.anchor_passes_filters(&pin.anchor_filters, log, r) {
+                fresh.push(r as RowId);
+            }
+        }
+        let anchors = RowSet::from_sorted_vec(&fresh);
+        // Appended rows: one range evaluation over every template. Old
+        // rows: explanation is monotone under append-only growth, so
+        // templates stepping into a grown table re-ask only this shard's
+        // slice of the previous *unexplained residue* (global residue
+        // ids mapped back through the sorted global-id index).
+        let reaches_growth =
+            |q: &ChainQuery| -> bool { q.steps.iter().any(|st| grown.contains(&st.table)) };
+        let reask: Vec<ChainQuery> = pin
+            .queries
+            .iter()
+            .filter(|q| reaches_growth(q))
+            .cloned()
+            .collect();
+        let mut explained = RowSet::new();
+        if l1 > l0 {
+            for set in engine
+                .eval_suite_range(db, &pin.queries, pin.opts, l0, l1)
+                .into_iter()
+                .flatten()
+            {
+                explained.union_with(&set);
+            }
+        }
+        if !reask.is_empty() {
+            let local: Vec<RowId> = prev
+                .unexplained
+                .iter()
+                .filter_map(|g| shard.find_global(g))
+                .collect();
+            if !local.is_empty() {
+                let residue = RowSet::from_sorted_vec(&local);
+                for set in engine
+                    .eval_suite_rows(db, &reask, pin.opts, &residue)
+                    .into_iter()
+                    .flatten()
+                {
+                    explained.union_with(&set);
+                }
+            }
+        }
+        (
+            to_global_set(shard, &anchors),
+            to_global_set(shard, &explained),
+        )
+    });
+    let mut anchors = prev.anchors.clone();
+    let mut explained = prev.explained.clone();
+    for (a, e) in deltas {
+        anchors.union_with(&a);
+        explained.union_with(&e);
+    }
+    let unexplained = anchors.difference(&explained);
+    Maintained {
+        anchors,
+        explained,
+        unexplained,
+        log_len: global_log_len,
     }
 }
 
@@ -483,6 +624,8 @@ pub struct ShardedEngine {
     /// Serializes writers; holds the next sequence number.
     writer: Mutex<u64>,
     key: ShardKey,
+    /// Pinned suites, in registration order; index = pin id.
+    pins: Mutex<Vec<Arc<SuitePin>>>,
 }
 
 impl ShardedEngine {
@@ -502,10 +645,42 @@ impl ShardedEngine {
                 key,
                 seq: 0,
                 global_log_len: db.table(key.table).len(),
+                maintained: Vec::new(),
             })),
             writer: Mutex::new(0),
             key,
+            pins: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a suite for incremental maintenance and returns its pin
+    /// id — the sharded form of
+    /// [`SharedEngine::pin_suite`](super::SharedEngine::pin_suite). The
+    /// current vector is republished (same shard epochs, same seq) with
+    /// the pin's cold global materialization added; every later ingest
+    /// advances it by per-shard deltas merged associatively.
+    pub fn pin_suite(&self, pin: SuitePin) -> usize {
+        let _writer = unpoison(self.writer.lock());
+        let base = self.load();
+        let pin = Arc::new(pin);
+        let mut pins = unpoison(self.pins.lock());
+        let id = pins.len();
+        pins.push(pin.clone());
+        drop(pins);
+        let mut maintained = base.maintained.clone();
+        maintained.push(Arc::new(compute_maintained_sharded(
+            &base.shards,
+            &pin,
+            base.global_log_len,
+        )));
+        *unpoison(self.current.write()) = Arc::new(EpochVec {
+            shards: base.shards.clone(),
+            key: self.key,
+            seq: base.seq,
+            global_log_len: base.global_log_len,
+            maintained,
+        });
+        id
     }
 
     fn partition(db: &Database, key: ShardKey, n_shards: usize, seq: u64) -> Box<[ShardEpoch]> {
@@ -654,11 +829,33 @@ impl ShardedEngine {
                 }
             })
             .collect();
+        // Advance every pinned suite's global materialization: per-shard
+        // deltas on the incremental path, a cold scatter-gather recompute
+        // when any shard fell back to a rebuild (or the pin is newer than
+        // `base`).
+        let pins = unpoison(self.pins.lock()).clone();
+        let rebuilt_any = report.shards.iter().any(|s| s.rebuilt.is_some());
+        let maintained: Vec<Arc<Maintained>> = pins
+            .iter()
+            .enumerate()
+            .map(|(i, pin)| match base.maintained.get(i) {
+                Some(prev) if !rebuilt_any => Arc::new(advance_maintained_sharded(
+                    &base.shards,
+                    &shards,
+                    pin,
+                    prev,
+                    &report.shards,
+                    global_len,
+                )),
+                _ => Arc::new(compute_maintained_sharded(&shards, pin, global_len)),
+            })
+            .collect();
         *unpoison(self.current.write()) = Arc::new(EpochVec {
             shards: shards.into_boxed_slice(),
             key: self.key,
             seq,
             global_log_len: global_len,
+            maintained,
         });
         Ok((out, report))
     }
@@ -683,11 +880,19 @@ impl ShardedEngine {
                 })
                 .collect(),
         };
+        let global_log_len = db.table(self.key.table).len();
+        // A replacement invalidates every maintained set: recompute cold.
+        let pins = unpoison(self.pins.lock()).clone();
+        let maintained = pins
+            .iter()
+            .map(|pin| Arc::new(compute_maintained_sharded(&shards, pin, global_log_len)))
+            .collect();
         *unpoison(self.current.write()) = Arc::new(EpochVec {
             shards,
             key: self.key,
             seq,
-            global_log_len: db.table(self.key.table).len(),
+            global_log_len,
+            maintained,
         });
         report
     }
@@ -945,6 +1150,52 @@ mod tests {
             q.explained_rows(&corrected, EvalOptions::default())
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn maintained_sets_match_cold_scatter_gather_at_every_seq() {
+        let (db, log, event) = world();
+        let q = query(log, event);
+        for n in [1usize, 4] {
+            let sharded = ShardedEngine::new(db.clone(), key(&db, log), n);
+            let pin = SuitePin {
+                log,
+                anchor_filters: vec![],
+                queries: vec![q.clone()],
+                opts: EvalOptions::default(),
+            };
+            let id = sharded.pin_suite(pin.clone());
+            let check = |vec: &EpochVec| {
+                let m = vec.maintained(id).expect("pinned vector carries the sets");
+                let cold = compute_maintained_sharded(vec.shards(), &pin, vec.global_log_len());
+                assert_eq!(m.anchors, cold.anchors, "{n} shards");
+                assert_eq!(m.explained, cold.explained, "{n} shards");
+                assert_eq!(m.unexplained, cold.unexplained, "{n} shards");
+                assert_eq!(m.log_len, vec.global_log_len());
+                // The maintained union also matches the reader-path
+                // scatter-gather over the same vector.
+                assert_eq!(
+                    m.explained,
+                    vec.explained_union_rowset(&pin.queries, pin.opts).unwrap()
+                );
+            };
+            check(&sharded.load());
+            for i in 0..5i64 {
+                sharded.ingest(|batch| {
+                    batch
+                        .insert_log(vec![Value::Int(100 + i), Value::Int(1), Value::Int(i % 11)])
+                        .unwrap();
+                    if i % 2 == 0 {
+                        batch
+                            .insert_dim(event, vec![Value::Int(i % 11), Value::Int(1)])
+                            .unwrap();
+                    }
+                });
+                check(&sharded.load());
+            }
+            sharded.replace(db.clone());
+            check(&sharded.load());
+        }
     }
 
     #[test]

@@ -77,9 +77,161 @@
 //! one `ingest` per arriving batch, not per row.
 
 use super::{Engine, RefreshError, RefreshStats};
-use crate::database::Database;
+use crate::chain::{ChainQuery, CmpOp, EvalOptions};
+use crate::database::{Database, TableId};
+use crate::rowset::RowSet;
 use crate::sync::unpoison;
+use crate::types::ColId;
+use crate::value::Value;
 use std::sync::{Arc, Mutex, RwLock};
+
+/// A template suite registered for **incremental maintenance**: the
+/// anchor shape (which log rows are under audit) plus the explanation
+/// templates. Once pinned ([`SharedEngine::pin_suite`] /
+/// [`super::ShardedEngine::pin_suite`]), every published epoch carries a
+/// [`Maintained`] materialization of the suite's explained/unexplained
+/// partition, advanced inside ingest by delta evaluation instead of
+/// recomputed by readers.
+#[derive(Debug, Clone)]
+pub struct SuitePin {
+    /// The log table the suite audits; every query must anchor on it.
+    pub log: TableId,
+    /// Anchor filters selecting the audited log rows (same shape as
+    /// [`ChainQuery::anchor_filters`]).
+    pub anchor_filters: Vec<(ColId, CmpOp, Value)>,
+    /// The explanation templates.
+    pub queries: Vec<ChainQuery>,
+    /// Evaluation options shared by the suite.
+    pub opts: EvalOptions,
+}
+
+/// The maintained explained/unexplained partition of one [`SuitePin`] at
+/// one epoch. Invariant (the stream-equivalence suite proves it
+/// differentially): at every published epoch, each set is **byte-identical
+/// to a cold recompute** over that epoch's database —
+///
+/// * `anchors`     = log rows passing the pin's anchor filters,
+/// * `explained`   = union over the pin's templates of their explained
+///   rows (exactly [`Engine::eval_suite`]'s union),
+/// * `unexplained` = `anchors \ explained`.
+///
+/// The maintenance argument is monotonicity: tables are append-only and
+/// chain templates are monotone, so a template's explained set only ever
+/// grows — an ingest can be absorbed by **unioning in** a delta, never by
+/// retracting. Every template can newly explain the appended log rows
+/// (one [`Engine::eval_suite_range`] over the tail covers them all); a
+/// template whose support tables grew can additionally newly explain
+/// *old* anchor rows, but any such row was by definition still
+/// unexplained, so re-asking just those templates over the previous
+/// `unexplained` residue ([`Engine::eval_suite_rows`]) recovers exactly
+/// the missing explanations. The advance is O(delta + residue), never
+/// O(log).
+#[derive(Debug, Clone, Default)]
+pub struct Maintained {
+    /// Log rows matching the pin's anchor filters.
+    pub anchors: RowSet,
+    /// Rows explained by at least one of the pin's templates.
+    pub explained: RowSet,
+    /// `anchors \ explained` — the audit residue.
+    pub unexplained: RowSet,
+    /// Log rows covered (the log's length when this was advanced).
+    pub log_len: usize,
+}
+
+/// Cold (from-scratch) materialization of `pin` over one epoch's state.
+/// Also the fallback whenever the incremental path is unavailable: a
+/// rebuild, a [`SharedEngine::replace`], or a freshly registered pin.
+pub(super) fn compute_maintained(engine: &Engine, db: &Database, pin: &SuitePin) -> Maintained {
+    let log = engine.snapshot().table(pin.log);
+    let mut anchors: Vec<u32> = Vec::new();
+    for r in 0..log.n_rows {
+        if engine.anchor_passes_filters(&pin.anchor_filters, log, r) {
+            anchors.push(r as u32);
+        }
+    }
+    let anchors = RowSet::from_sorted_vec(&anchors);
+    let mut explained = RowSet::new();
+    for set in engine
+        .eval_suite(db, &pin.queries, pin.opts)
+        .into_iter()
+        .flatten()
+    {
+        explained.union_with(&set);
+    }
+    let unexplained = anchors.difference(&explained);
+    Maintained {
+        anchors,
+        explained,
+        unexplained,
+        log_len: log.n_rows,
+    }
+}
+
+/// Advances `prev` across one incremental refresh whose grown tables are
+/// `grown`: O(delta) anchor scan over the appended log rows, tail-range
+/// evaluation of every template over the appended rows, and a
+/// residue-restricted re-ask (unioned in — see [`Maintained`] for why
+/// that is enough) of the templates whose support grew, over the
+/// previous `unexplained` set only.
+pub(super) fn advance_maintained(
+    engine: &Engine,
+    db: &Database,
+    pin: &SuitePin,
+    prev: &Maintained,
+    grown: &[TableId],
+) -> Maintained {
+    let log = engine.snapshot().table(pin.log);
+    let (l0, l1) = (prev.log_len, log.n_rows);
+    let mut anchors = prev.anchors.clone();
+    let mut fresh: Vec<u32> = Vec::new();
+    for r in l0..l1 {
+        if engine.anchor_passes_filters(&pin.anchor_filters, log, r) {
+            fresh.push(r as u32);
+        }
+    }
+    anchors.union_with(&RowSet::from_sorted_vec(&fresh));
+    // Every template can explain the appended rows `[l0, l1)` — one
+    // range evaluation covers them all. A template stepping into a
+    // grown table (the log itself included — self-join templates step
+    // back into it) can additionally newly explain *old* anchor rows;
+    // explanation is monotone under append-only growth, so only the
+    // previous *unexplained residue* needs re-asking, not the whole
+    // log — that is what keeps the advance O(delta + residue).
+    let reaches_growth =
+        |q: &ChainQuery| -> bool { q.steps.iter().any(|s| grown.contains(&s.table)) };
+    let reask: Vec<ChainQuery> = pin
+        .queries
+        .iter()
+        .filter(|q| reaches_growth(q))
+        .cloned()
+        .collect();
+    let mut explained = prev.explained.clone();
+    if l1 > l0 {
+        for set in engine
+            .eval_suite_range(db, &pin.queries, pin.opts, l0, l1)
+            .into_iter()
+            .flatten()
+        {
+            explained.union_with(&set);
+        }
+    }
+    if !reask.is_empty() && !prev.unexplained.is_empty() {
+        for set in engine
+            .eval_suite_rows(db, &reask, pin.opts, &prev.unexplained)
+            .into_iter()
+            .flatten()
+        {
+            explained.union_with(&set);
+        }
+    }
+    let unexplained = anchors.difference(&explained);
+    Maintained {
+        anchors,
+        explained,
+        unexplained,
+        log_len: l1,
+    }
+}
 
 /// One immutable published state of the world: the database and the
 /// engine built over it, frozen together at a sequence number.
@@ -94,14 +246,32 @@ pub struct Epoch {
     db: Database,
     engine: Engine,
     seq: u64,
+    /// Maintained materializations, one per pinned suite in registration
+    /// order ([`SharedEngine::pin_suite`]). Epochs published before a pin
+    /// was registered simply lack its entry — readers fall back to cold
+    /// evaluation.
+    maintained: Vec<Arc<Maintained>>,
 }
 
 impl Epoch {
     /// Assembles an epoch from parts. Crate-internal: this is how the
     /// sharded engine ([`super::ShardedEngine`]) publishes one epoch per
-    /// shard under the vector's shared sequence number.
+    /// shard under the vector's shared sequence number (per-shard epochs
+    /// carry no maintained entries — the sharded vector maintains the
+    /// global sets itself).
     pub(super) fn assemble(db: Database, engine: Engine, seq: u64) -> Epoch {
-        Epoch { db, engine, seq }
+        Epoch {
+            db,
+            engine,
+            seq,
+            maintained: Vec::new(),
+        }
+    }
+
+    /// The maintained materialization of pin `pin` (the id returned by
+    /// [`SharedEngine::pin_suite`]), if this epoch carries one.
+    pub fn maintained(&self, pin: usize) -> Option<&Arc<Maintained>> {
+        self.maintained.get(pin)
     }
 
     /// The epoch's database state (pass as the `db` argument of the
@@ -163,6 +333,8 @@ pub struct SharedEngine {
     /// Serializes writers; holds the next sequence number. Poison-tolerant:
     /// a panicking ingest closure leaves the published epoch untouched.
     writer: Mutex<u64>,
+    /// Pinned suites, in registration order; index = pin id.
+    pins: Mutex<Vec<Arc<SuitePin>>>,
 }
 
 impl SharedEngine {
@@ -171,9 +343,40 @@ impl SharedEngine {
     pub fn new(db: Database) -> SharedEngine {
         let engine = Engine::new(&db);
         SharedEngine {
-            current: RwLock::new(Arc::new(Epoch { db, engine, seq: 0 })),
+            current: RwLock::new(Arc::new(Epoch {
+                db,
+                engine,
+                seq: 0,
+                maintained: Vec::new(),
+            })),
             writer: Mutex::new(0),
+            pins: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a suite for incremental maintenance and returns its pin
+    /// id (an index into every later epoch's maintained entries). The
+    /// current epoch is republished — same database, same sequence number,
+    /// warm [`Engine::fork`] — with the pin's cold materialization added,
+    /// so a reader loading after `pin_suite` returns already sees the
+    /// maintained sets. Serialized against ingests by the writer lock.
+    pub fn pin_suite(&self, pin: SuitePin) -> usize {
+        let _writer = unpoison(self.writer.lock());
+        let base = self.load();
+        let pin = Arc::new(pin);
+        let mut pins = unpoison(self.pins.lock());
+        let id = pins.len();
+        pins.push(pin.clone());
+        drop(pins);
+        let mut maintained = base.maintained.clone();
+        maintained.push(Arc::new(compute_maintained(&base.engine, &base.db, &pin)));
+        *unpoison(self.current.write()) = Arc::new(Epoch {
+            db: base.db.clone(),
+            engine: base.engine.fork(),
+            seq: base.seq,
+            maintained,
+        });
+        id
     }
 
     /// Pins the current epoch. Effectively wait-free: the read lock guards
@@ -258,7 +461,30 @@ impl SharedEngine {
             refresh,
             rebuilt,
         };
-        *unpoison(self.current.write()) = Arc::new(Epoch { db, engine, seq });
+        // Advance every pinned suite's materialization: O(delta) on the
+        // incremental path, cold recompute when the engine was rebuilt
+        // (or the pin was registered against a newer epoch than `base`).
+        let pins = unpoison(self.pins.lock()).clone();
+        let maintained: Vec<Arc<Maintained>> = pins
+            .iter()
+            .enumerate()
+            .map(|(i, pin)| match base.maintained.get(i) {
+                Some(prev) if report.rebuilt.is_none() => Arc::new(advance_maintained(
+                    &engine,
+                    &db,
+                    pin,
+                    prev,
+                    &report.refresh.delta.grown,
+                )),
+                _ => Arc::new(compute_maintained(&engine, &db, pin)),
+            })
+            .collect();
+        *unpoison(self.current.write()) = Arc::new(Epoch {
+            db,
+            engine,
+            seq,
+            maintained,
+        });
         Ok((out, report))
     }
 
@@ -286,7 +512,18 @@ impl SharedEngine {
             refresh: RefreshStats::default(),
             rebuilt: Some(RefreshError::Replaced),
         };
-        *unpoison(self.current.write()) = Arc::new(Epoch { db, engine, seq });
+        // A replacement invalidates every maintained set: recompute cold.
+        let pins = unpoison(self.pins.lock()).clone();
+        let maintained = pins
+            .iter()
+            .map(|pin| Arc::new(compute_maintained(&engine, &db, pin)))
+            .collect();
+        *unpoison(self.current.write()) = Arc::new(Epoch {
+            db,
+            engine,
+            seq,
+            maintained,
+        });
         report
     }
 }
@@ -552,6 +789,54 @@ mod tests {
             .unwrap();
         assert_eq!(report.seq, 1);
         assert_eq!(shared.load().db().table(log).len(), 2);
+    }
+
+    #[test]
+    fn maintained_sets_track_every_epoch() {
+        let (db, log, event) = world();
+        let shared = SharedEngine::new(db);
+        let pin = SuitePin {
+            log,
+            anchor_filters: vec![],
+            queries: vec![query(log, event)],
+            opts: EvalOptions::default(),
+        };
+        let id = shared.pin_suite(pin.clone());
+        let check = |epoch: &Epoch| {
+            let m = epoch.maintained(id).expect("pinned epoch carries the sets");
+            let cold = compute_maintained(epoch.engine(), epoch.db(), &pin);
+            assert_eq!(m.anchors, cold.anchors);
+            assert_eq!(m.explained, cold.explained);
+            assert_eq!(m.unexplained, cold.unexplained);
+            assert_eq!(m.log_len, cold.log_len);
+        };
+        check(&shared.load());
+        // Log-only appends take the tail path; event appends force a full
+        // re-eval (the template's support grew); mixed batches do both.
+        for i in 0..6i64 {
+            shared.ingest(|db| {
+                db.insert(
+                    log,
+                    vec![Value::Int(10 + i), Value::Int(1), Value::Int(7 + i % 2)],
+                )
+                .unwrap();
+                if i % 2 == 0 {
+                    db.insert(event, vec![Value::Int(7 + i), Value::Int(1)])
+                        .unwrap();
+                }
+            });
+            check(&shared.load());
+        }
+        // A wholesale replacement recomputes the sets cold.
+        let (corrected, ..) = world();
+        shared.replace(corrected);
+        check(&shared.load());
+        // Epochs published before the pin lack the entry, never lie.
+        let unpinned = SharedEngine::new({
+            let (db, ..) = world();
+            db
+        });
+        assert!(unpinned.load().maintained(0).is_none());
     }
 
     #[test]

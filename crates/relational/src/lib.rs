@@ -111,9 +111,9 @@ pub use chain::{
 };
 pub use database::{AttrRef, Database, RelationshipKind, TableId};
 pub use engine::{
-    shard_of, Engine, Epoch, EpochVec, IngestReport, RefreshDelta, RefreshError, RefreshStats,
-    ShardEpoch, ShardKey, ShardRefresh, ShardedBatch, ShardedEngine, ShardedIngestReport,
-    SharedEngine,
+    shard_of, Engine, Epoch, EpochVec, IngestReport, Maintained, RefreshDelta, RefreshError,
+    RefreshStats, ShardEpoch, ShardKey, ShardRefresh, ShardedBatch, ShardedEngine,
+    ShardedIngestReport, SharedEngine, SuitePin,
 };
 pub use error::{Error, PileError, Result};
 pub use index::{HashIndex, TableIndex};

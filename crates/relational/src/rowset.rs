@@ -297,6 +297,38 @@ impl Container {
             },
         }
     }
+
+    /// Ascending iteration over the entries `>= low`.
+    fn iter_from(&self, low: u16) -> ContainerIter<'_> {
+        match self {
+            Container::Array(v) => {
+                ContainerIter::Array(v[v.partition_point(|&x| x < low)..].iter())
+            }
+            Container::Bitmap { words, .. } => {
+                let (w, b) = (low as usize / 64, low as usize % 64);
+                ContainerIter::Bitmap {
+                    words,
+                    word_idx: w,
+                    bits: words[w] & (u64::MAX << b),
+                }
+            }
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    fn intersect_len(&self, other: &Container) -> usize {
+        match (self, other) {
+            (Container::Bitmap { words: a, .. }, Container::Bitmap { words: b, .. }) => a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| (x & y).count_ones() as usize)
+                .sum(),
+            (Container::Array(v), b) => v.iter().filter(|&&x| b.contains(x)).count(),
+            (a @ Container::Bitmap { .. }, Container::Array(v)) => {
+                v.iter().filter(|&&x| a.contains(x)).count()
+            }
+        }
+    }
 }
 
 enum ContainerIter<'a> {
@@ -463,6 +495,41 @@ impl RowSet {
             let base = (*high as u32) << 16;
             c.iter().map(move |low| base | low as u32)
         })
+    }
+
+    /// Ascending iteration over the rows `>= row` (inclusive). This is
+    /// the pagination primitive: a listing that resumes "after cursor
+    /// `c`" is `iter_from(c + 1)` — containers wholly below the cursor
+    /// are skipped by binary search, never walked, so emitting a page
+    /// costs the page, not the prefix.
+    pub fn iter_from(&self, row: u32) -> impl Iterator<Item = u32> + '_ {
+        let (high, low) = ((row >> 16) as u16, row as u16);
+        let start = match self.find(high) {
+            Ok(i) | Err(i) => i,
+        };
+        self.containers[start..].iter().flat_map(move |(h, c)| {
+            let base = (*h as u32) << 16;
+            let it = if *h == high {
+                c.iter_from(low)
+            } else {
+                c.iter()
+            };
+            it.map(move |l| base | l as u32)
+        })
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — the
+    /// timeline's counting primitive (a day bucket's explained count is
+    /// an intersection cardinality, not a set), word-wise popcounts when
+    /// both sides hold bitmap containers.
+    pub fn intersect_len(&self, other: &RowSet) -> usize {
+        let mut n = 0;
+        for (high, c) in &self.containers {
+            if let Ok(j) = other.find(*high) {
+                n += c.intersect_len(&other.containers[j].1);
+            }
+        }
+        n
     }
 
     /// Builds from an ascending sorted, deduplicated `Vec<u32>` (the
@@ -665,6 +732,54 @@ mod tests {
         for (i, &r) in rows.iter().enumerate().step_by(997) {
             assert_eq!(set.rank(r), i);
         }
+    }
+
+    #[test]
+    fn iter_from_resumes_anywhere() {
+        // Mixed forms: a dense (bitmap) chunk and sparse (array) chunks.
+        let mut rows = sorted_dedup(pseudo_rows(21, 9000, 1 << 17));
+        rows.extend(200_000..201_000);
+        let rows = sorted_dedup(rows);
+        let set = RowSet::from_sorted_vec(&rows);
+        for &probe in &[
+            0u32,
+            1,
+            63,
+            64,
+            65_535,
+            65_536,
+            70_000,
+            199_999,
+            200_500,
+            1 << 21,
+        ] {
+            let expect: Vec<u32> = rows.iter().copied().filter(|&r| r >= probe).collect();
+            assert_eq!(
+                set.iter_from(probe).collect::<Vec<u32>>(),
+                expect,
+                "iter_from({probe})"
+            );
+        }
+        // Resuming after a present element yields exactly the suffix —
+        // the pagination cursor contract.
+        for (i, &r) in rows.iter().enumerate().step_by(1231) {
+            assert_eq!(set.iter_from(r + 1).collect::<Vec<u32>>(), rows[i + 1..]);
+        }
+        assert_eq!(set.iter_from(0).collect::<Vec<u32>>(), rows);
+    }
+
+    #[test]
+    fn intersect_len_matches_materialized_intersection() {
+        let a = sorted_dedup(pseudo_rows(5, 8000, 1 << 17));
+        let b = sorted_dedup(pseudo_rows(9, 8000, 1 << 17));
+        let dense: Vec<u32> = (0..20_000).collect();
+        for (x, y) in [(&a, &b), (&a, &dense), (&dense, &a), (&dense, &dense)] {
+            let sx = RowSet::from_sorted_vec(x);
+            let sy = RowSet::from_sorted_vec(y);
+            assert_eq!(sx.intersect_len(&sy), sx.intersect(&sy).len());
+            assert_eq!(sy.intersect_len(&sx), sx.intersect_len(&sy));
+        }
+        assert_eq!(RowSet::new().intersect_len(&RowSet::from_sorted_vec(&a)), 0);
     }
 
     #[test]

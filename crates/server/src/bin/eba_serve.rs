@@ -25,6 +25,12 @@
 //! (0 disables the deadline). `--max-conn N` caps concurrent sessions;
 //! connections over the cap get a typed `ERR busy` greeting and a
 //! close, never a silent drop (0 removes the cap).
+//!
+//! Dashboards subscribe to the push feed with `SUBSCRIBE UNEXPLAINED`
+//! or `SUBSCRIBE MISUSE <threshold>`: the session switches into event
+//! mode and receives typed `EVENT` frames as `INGEST` batches land.
+//! Each subscriber's queue is bounded; a stalled dashboard is shed with
+//! one `ERR slow-consumer` frame and never back-pressures the writer.
 
 use eba_server::{AuditService, Server, ServerConfig};
 use std::time::Duration;

@@ -144,6 +144,12 @@ impl Reply {
         self.head.starts_with("OK")
     }
 
+    /// Whether this frame is a server-pushed `EVENT` (a subscribed
+    /// session's feed), as opposed to an `OK`/`ERR` reply.
+    pub fn is_event(&self) -> bool {
+        self.head.starts_with("EVENT")
+    }
+
     /// The full reply as the bytes-on-the-wire text (head + body, newline
     /// separated, without the frame terminator) — what the byte-stability
     /// tests compare.
@@ -366,6 +372,15 @@ impl Client {
     /// that drive the wire with [`Client::send_raw`] and for replies the
     /// server initiates (e.g. `ERR timeout` on an expired deadline).
     pub fn read_reply_frame(&mut self) -> std::io::Result<Reply> {
+        self.read_reply()
+    }
+
+    /// Blocks for the next server-initiated frame on a subscribed
+    /// session — an `EVENT` push, the shed notice (`ERR slow-consumer`),
+    /// or `OK bye` after `QUIT` was sent. Identical to
+    /// [`Client::read_reply_frame`]; the name documents intent at the
+    /// call site.
+    pub fn next_event(&mut self) -> std::io::Result<Reply> {
         self.read_reply()
     }
 

@@ -43,12 +43,14 @@ pub mod client;
 pub mod frame;
 pub mod listener;
 pub mod protocol;
+pub mod push;
 pub mod session;
 
 pub use client::{Client, ClientConfig, Reply, RetryPolicy};
 pub use frame::{BoundedLineReader, FrameLine};
 pub use listener::{Server, ServerConfig};
 pub use protocol::{Command, IngestRow, ProtocolError, Response};
+pub use push::{Event, SubscriptionKind, EVENT_QUEUE_CAP, EVENT_ROWS_CAP};
 pub use session::Session;
 
 use eba_audit::handcrafted::HandcraftedTemplates;
@@ -97,6 +99,11 @@ const MAX_WARNINGS: usize = 1_000;
 /// cell, the log layout, and the explanation suite.
 pub struct AuditService {
     sharded: ShardedEngine,
+    /// The engine-side pin id of the explanation suite: every published
+    /// epoch vector carries the maintained anchors/explained/unexplained
+    /// [`eba_relational::Maintained`] partition for it, so `UNEXPLAINED`
+    /// and `METRICS` are O(delta)-maintained reads, not recomputations.
+    pin_id: usize,
     /// The audit anchor (log table + lid/user/patient columns + filters).
     pub spec: LogSpec,
     /// The materialized log's column layout.
@@ -128,6 +135,14 @@ pub struct AuditService {
     /// Batches shed so far (the overload counter the operator log and
     /// the bench's storm workload report).
     shed_ingests: AtomicU64,
+    /// Live `SUBSCRIBE` registrations ([`push`]): each publish diffs the
+    /// maintained unexplained set and enqueues typed events here.
+    subscribers: Mutex<Vec<push::Subscriber>>,
+    /// Subscription id source (ids are never reused, so a shed warning
+    /// names a subscriber unambiguously for the life of the process).
+    next_subscriber: AtomicU64,
+    /// Subscribers shed as slow consumers since startup.
+    shed_subscribers: AtomicU64,
 }
 
 /// Why [`AuditService::try_ingest_rows`] refused a batch.
@@ -228,8 +243,13 @@ impl AuditService {
             table: spec.table,
             col: spec.patient_col,
         };
+        let sharded = ShardedEngine::new(db, key, n_shards.max(1));
+        // Pin the suite before the first session can connect: every epoch
+        // this service ever publishes carries the maintained partition.
+        let pin_id = sharded.pin_suite(explainer.suite_pin(&spec));
         AuditService {
-            sharded: ShardedEngine::new(db, key, n_shards.max(1)),
+            sharded,
+            pin_id,
             spec,
             cols,
             explainer,
@@ -241,7 +261,17 @@ impl AuditService {
             ingest_in_flight: AtomicUsize::new(0),
             max_ingest_queue: AtomicUsize::new(DEFAULT_INGEST_QUEUE),
             shed_ingests: AtomicU64::new(0),
+            subscribers: Mutex::new(Vec::new()),
+            next_subscriber: AtomicU64::new(1),
+            shed_subscribers: AtomicU64::new(0),
         }
+    }
+
+    /// The engine pin id of the service's explanation suite — the key
+    /// into [`eba_relational::EpochVec::maintained`] for the partition
+    /// the `UNEXPLAINED`/`METRICS` fast paths read.
+    pub fn pin_id(&self) -> usize {
+        self.pin_id
     }
 
     /// Assembles a **durable** service: opens (creating if absent) the
@@ -424,6 +454,11 @@ impl AuditService {
         rows: &[protocol::IngestRow],
     ) -> Result<ShardedIngestReport, PileError> {
         let mut guard = self.writer_state.lock().unwrap_or_else(|e| e.into_inner());
+        // Publishes are serialized under the writer-state lock, so the
+        // epoch loaded here is exactly the one this ingest succeeds: the
+        // before/after diff feeding SUBSCRIBE events never skips or
+        // double-counts a publish. Loaded only when someone is watching.
+        let before = self.has_subscribers().then(|| self.sharded.load());
         let mut store = self.persist.lock().unwrap_or_else(|e| e.into_inner());
         let (_, report) = self.sharded.ingest_with(
             |batch| {
@@ -493,6 +528,9 @@ impl AuditService {
                 store.append(pile::plain_batch(db, seq, table, *first_row, staged))
             },
         )?;
+        if let Some(before) = before {
+            self.publish_events(&before, &self.sharded.load());
+        }
         Ok(report)
     }
 
@@ -595,7 +633,7 @@ impl AuditService {
     /// operator-facing trail of every `INGEST` that had to fall back to a
     /// full rebuild.
     pub fn warnings(&self) -> Vec<String> {
-        lock_warnings(&self.warnings).clone()
+        lock_plain(&self.warnings).clone()
     }
 
     /// Records an operator warning (also mirrored to stderr). The
@@ -604,7 +642,7 @@ impl AuditService {
     /// warning storm cannot grow process memory without bound.
     pub fn record_warning(&self, warning: String) {
         eprintln!("eba-serve: warning: {warning}");
-        let mut warnings = lock_warnings(&self.warnings);
+        let mut warnings = lock_plain(&self.warnings);
         match warnings.len().cmp(&MAX_WARNINGS) {
             std::cmp::Ordering::Less => warnings.push(warning),
             std::cmp::Ordering::Equal => warnings.push(format!(
@@ -616,7 +654,10 @@ impl AuditService {
     }
 }
 
-fn lock_warnings(m: &Mutex<Vec<String>>) -> std::sync::MutexGuard<'_, Vec<String>> {
+/// Locks a plain-state mutex, recovering a poisoned guard (warnings and
+/// the subscriber list are both append/retain lists a panicking holder
+/// cannot leave torn).
+pub(crate) fn lock_plain<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 

@@ -485,6 +485,88 @@ fn serve_connection(
         if quit {
             return;
         }
+        // A successful SUBSCRIBE switches the connection into event
+        // mode: the server pushes frames, the client may only QUIT.
+        if let Some((id, rx)) = session.take_subscription() {
+            serve_subscription(&mut reader, &mut writer, &shutdown, rx);
+            service.unsubscribe(id);
+            return;
+        }
+    }
+}
+
+/// Drives one subscribed connection: pushes `EVENT` frames as they
+/// arrive on the session's bounded queue, polls the socket for `QUIT`
+/// (or EOF) between deliveries, and exits on shutdown. A disconnected
+/// queue means the publisher shed this subscriber as a slow consumer —
+/// the backlog has already been delivered by then, so the session gets
+/// one final typed `ERR slow-consumer` frame and the connection closes.
+fn serve_subscription(
+    reader: &mut BoundedLineReader<BufReader<TcpStream>>,
+    writer: &mut TcpStream,
+    shutdown: &AtomicBool,
+    rx: std::sync::mpsc::Receiver<crate::push::Event>,
+) {
+    use std::sync::mpsc::RecvTimeoutError;
+    // Event mode inverts the read pattern: the socket is *polled* with a
+    // short deadline so event delivery stays prompt, instead of parking
+    // in a long blocking read. Idle subscribers are expected to sit
+    // silent for hours, so the session read deadline no longer applies.
+    if reader
+        .get_mut()
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .is_err()
+    {
+        return;
+    }
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(event) => {
+                if event.response().write_to(writer).is_err() {
+                    return;
+                }
+                // Drain any burst without waiting out another poll tick.
+                while let Ok(event) = rx.try_recv() {
+                    if event.response().write_to(writer).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // The publisher dropped our sender: shed for not keeping
+                // up. The queued backlog has been fully delivered above.
+                let _ = Response::err(&ProtocolError::SlowConsumer {
+                    queued: crate::push::EVENT_QUEUE_CAP,
+                })
+                .write_to(writer);
+                return;
+            }
+        }
+        match reader.read_line(&mut line) {
+            Ok(FrameLine::Line) => {
+                let word = line.trim();
+                if word.eq_ignore_ascii_case("QUIT") {
+                    let _ = Response::ok("bye").write_to(writer);
+                    return;
+                }
+                if !word.is_empty() && !word.starts_with('#') {
+                    let usage = ProtocolError::Usage("QUIT (session is in event mode)");
+                    if Response::err(&usage).write_to(writer).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(FrameLine::Eof) => return,
+            Ok(FrameLine::TooLong) => return,
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => return,
+        }
     }
 }
 

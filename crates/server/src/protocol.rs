@@ -23,15 +23,35 @@
 //! SEQ                     published vs pinned sequence numbers
 //! SHARDS                  shard count, live seq, per-shard log row counts
 //! EXPLAIN <lid>           ranked explanations for one access
-//! UNEXPLAINED [limit]     the unexplained accesses of the pinned epoch
+//! UNEXPLAINED [limit [AFTER <rid>]]
+//!                         the unexplained accesses of the pinned epoch;
+//!                         a truncated page names a cursor (`next
+//!                         UNEXPLAINED <limit> AFTER <rid>`) that fetches
+//!                         the following page in O(limit)
 //! METRICS                 suite-level explanation metrics
 //! TIMELINE                per-day stats, incl. the clock-skew overflow bucket
 //! MISUSE [user]           one user's triage entry, or the top of the queue
 //! INGEST <n>              n rows follow, one per line: <user> <patient> <day|->
+//! SUBSCRIBE UNEXPLAINED   switch to event mode: one `EVENT unexplained`
+//!                         frame per publish that adds unexplained accesses
+//! SUBSCRIBE MISUSE <t>    event mode: one `EVENT misuse` frame per user
+//!                         whose unexplained count crosses `t` in a publish
 //! WARNINGS                operator warnings recorded so far (rebuild fallbacks)
 //! RECOVERY                what startup recovery replayed from the durable store
 //! QUIT                    close the session
 //! ```
+//!
+//! # Event mode
+//!
+//! After `OK subscribed …`, the server initiates frames: each pushed
+//! event is dot-framed exactly like a reply but with an `EVENT …` head
+//! line, so [`crate::Client::read_reply_frame`] parses it unchanged. A
+//! subscribed session accepts only `QUIT` (answered `OK bye`, then
+//! close); its pinned epoch no longer matters — events always describe
+//! the epoch that published them. Every subscriber owns a bounded event
+//! queue; one that stops reading is **shed**: it receives its queued
+//! backlog, then one `ERR slow-consumer` frame, and the connection
+//! closes. Shedding never stalls the writer or other subscribers.
 //!
 //! `INGEST` is the single-writer path: the batch goes through
 //! [`SharedEngine::ingest`](eba_relational::SharedEngine::ingest) and the
@@ -99,8 +119,15 @@ pub enum Command {
     Shards,
     /// `EXPLAIN <lid>` — ranked explanations for one access.
     Explain { lid: i64 },
-    /// `UNEXPLAINED [limit]` — unexplained accesses, optionally truncated.
-    Unexplained { limit: Option<usize> },
+    /// `UNEXPLAINED [limit [AFTER <rid>]]` — unexplained accesses,
+    /// optionally truncated to one page starting past a cursor.
+    Unexplained {
+        /// Page size (`None`: the full listing).
+        limit: Option<usize>,
+        /// Resume after this **global** row id (the cursor a truncated
+        /// page names in its `next …` line).
+        after: Option<u32>,
+    },
     /// `METRICS` — suite-level explanation metrics over the pinned epoch.
     Metrics,
     /// `TIMELINE` — per-day stats plus the overflow bucket.
@@ -109,6 +136,11 @@ pub enum Command {
     Misuse { user: Option<i64> },
     /// `INGEST <n>` — `n` rows follow on continuation lines.
     Ingest { count: usize },
+    /// `SUBSCRIBE …` — switch the session into event mode.
+    Subscribe {
+        /// What to be notified about.
+        kind: crate::push::SubscriptionKind,
+    },
     /// `WARNINGS` — operator warnings recorded so far (every rebuild
     /// fallback, whether triggered by an `INGEST` or an operator
     /// database reload).
@@ -167,12 +199,28 @@ impl Command {
                 }
             }
             "UNEXPLAINED" => {
-                arity(1, "UNEXPLAINED [limit]")?;
+                const USAGE: &str = "UNEXPLAINED [limit [AFTER <rid>]]";
+                arity(3, USAGE)?;
                 let limit = match args.first() {
                     None => None,
                     Some(v) => Some(parse_count(v, "limit")?),
                 };
-                Command::Unexplained { limit }
+                let after = match args.get(1) {
+                    None => None,
+                    Some(kw) if kw.eq_ignore_ascii_case("AFTER") => {
+                        let rid = args.get(2).ok_or(ProtocolError::Usage(USAGE))?;
+                        let rid = parse_count(rid, "after rid")?;
+                        Some(u32::try_from(rid).map_err(|_| ProtocolError::BadInt {
+                            what: "after rid",
+                            got: rid.to_string(),
+                        })?)
+                    }
+                    Some(_) => return Err(ProtocolError::Usage(USAGE)),
+                };
+                if after.is_none() && args.len() > 1 {
+                    return Err(ProtocolError::Usage(USAGE));
+                }
+                Command::Unexplained { limit, after }
             }
             "METRICS" => {
                 arity(0, "METRICS")?;
@@ -189,6 +237,29 @@ impl Command {
                     Some(v) => Some(parse_int(v, "user")?),
                 };
                 Command::Misuse { user }
+            }
+            "SUBSCRIBE" => {
+                const USAGE: &str = "SUBSCRIBE UNEXPLAINED | SUBSCRIBE MISUSE <threshold>";
+                arity(2, USAGE)?;
+                let kind = args.first().ok_or(ProtocolError::Usage(USAGE))?;
+                let kind = match kind.to_ascii_uppercase().as_str() {
+                    "UNEXPLAINED" => {
+                        if args.len() > 1 {
+                            return Err(ProtocolError::Usage(USAGE));
+                        }
+                        crate::push::SubscriptionKind::Unexplained
+                    }
+                    "MISUSE" => {
+                        let t = args.get(1).ok_or(ProtocolError::Usage(USAGE))?;
+                        let threshold = parse_count(t, "threshold")?;
+                        if threshold == 0 {
+                            return Err(ProtocolError::Usage(USAGE));
+                        }
+                        crate::push::SubscriptionKind::Misuse { threshold }
+                    }
+                    _ => return Err(ProtocolError::Usage(USAGE)),
+                };
+                Command::Subscribe { kind }
             }
             "INGEST" => {
                 arity(1, "INGEST <n>")?;
@@ -362,6 +433,13 @@ pub enum ProtocolError {
     /// published: the acknowledged history is still a prefix of the
     /// durable one, and the client may retry.
     Persist(String),
+    /// A subscriber stopped draining its bounded event queue and was
+    /// shed. Sent once (after the queued backlog delivered), then the
+    /// connection closes; resubscribing starts a fresh feed.
+    SlowConsumer {
+        /// Frames that were undelivered when the queue overflowed.
+        queued: usize,
+    },
     /// A recovered panic; the session keeps serving.
     Internal(String),
 }
@@ -384,6 +462,7 @@ impl ProtocolError {
             ProtocolError::Busy { .. } => "busy",
             ProtocolError::Overloaded { .. } => "overloaded",
             ProtocolError::Persist(_) => "persist",
+            ProtocolError::SlowConsumer { .. } => "slow-consumer",
             ProtocolError::Internal(_) => "internal",
         }
     }
@@ -430,6 +509,13 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Persist(what) => {
                 write!(f, "batch not durable, nothing published: {what}")
+            }
+            ProtocolError::SlowConsumer { queued } => {
+                write!(
+                    f,
+                    "event queue overflowed ({queued} frames undelivered); \
+                     subscription shed, resubscribe for a fresh feed"
+                )
             }
             ProtocolError::Internal(what) => write!(f, "recovered internal panic: {what}"),
         }
@@ -513,11 +599,36 @@ mod tests {
         );
         assert_eq!(
             Command::parse("UNEXPLAINED").unwrap(),
-            Some(Command::Unexplained { limit: None })
+            Some(Command::Unexplained {
+                limit: None,
+                after: None
+            })
         );
         assert_eq!(
             Command::parse("UNEXPLAINED 5").unwrap(),
-            Some(Command::Unexplained { limit: Some(5) })
+            Some(Command::Unexplained {
+                limit: Some(5),
+                after: None
+            })
+        );
+        assert_eq!(
+            Command::parse("unexplained 5 after 41").unwrap(),
+            Some(Command::Unexplained {
+                limit: Some(5),
+                after: Some(41)
+            })
+        );
+        assert_eq!(
+            Command::parse("SUBSCRIBE unexplained").unwrap(),
+            Some(Command::Subscribe {
+                kind: crate::push::SubscriptionKind::Unexplained
+            })
+        );
+        assert_eq!(
+            Command::parse("subscribe MISUSE 3").unwrap(),
+            Some(Command::Subscribe {
+                kind: crate::push::SubscriptionKind::Misuse { threshold: 3 }
+            })
         );
         assert_eq!(
             Command::parse("MISUSE -3").unwrap(),
@@ -565,6 +676,39 @@ mod tests {
         ));
         let err = Command::parse("MISUSE 1 2").unwrap_err();
         assert_eq!(err.code(), "bad-request");
+        // The pagination cursor needs both the keyword and the rid — and
+        // a limit to resume from; a bare AFTER is malformed.
+        for bad in [
+            "UNEXPLAINED 5 AFTER",
+            "UNEXPLAINED 5 BEFORE 3",
+            "UNEXPLAINED 5 3",
+            "UNEXPLAINED 5 AFTER x",
+            "UNEXPLAINED 5 AFTER -1",
+        ] {
+            assert_eq!(
+                Command::parse(bad).unwrap_err().code(),
+                "bad-request",
+                "{bad}"
+            );
+        }
+        for bad in [
+            "SUBSCRIBE",
+            "SUBSCRIBE METRICS",
+            "SUBSCRIBE MISUSE",
+            "SUBSCRIBE MISUSE 0",
+            "SUBSCRIBE MISUSE x",
+            "SUBSCRIBE UNEXPLAINED 3",
+        ] {
+            assert_eq!(
+                Command::parse(bad).unwrap_err().code(),
+                "bad-request",
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            ProtocolError::SlowConsumer { queued: 64 }.code(),
+            "slow-consumer"
+        );
     }
 
     #[test]

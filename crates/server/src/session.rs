@@ -6,9 +6,11 @@
 //! report.
 
 use crate::protocol::{Command, IngestRow, ProtocolError, Response};
+use crate::push::{Event, SubscriptionKind};
 use crate::AuditService;
 use eba_audit::{metrics, portal, timeline};
 use eba_relational::{EpochVec, RowId, Value};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 
 /// One connection's state: the shared service plus the epoch vector the
@@ -19,13 +21,21 @@ use std::sync::Arc;
 pub struct Session {
     service: Arc<AuditService>,
     epochs: Arc<EpochVec>,
+    /// Set by a `SUBSCRIBE` command: the registration id plus the
+    /// receiving half of the bounded event queue. The listener takes it
+    /// ([`Session::take_subscription`]) and switches into event mode.
+    subscription: Option<(u64, Receiver<Event>)>,
 }
 
 impl Session {
     /// Opens a session, pinning the currently published epoch vector.
     pub fn new(service: Arc<AuditService>) -> Session {
         let epochs = service.sharded().load();
-        Session { service, epochs }
+        Session {
+            service,
+            epochs,
+            subscription: None,
+        }
     }
 
     /// The banner sent when a connection opens.
@@ -55,8 +65,9 @@ impl Session {
             )),
             Command::Shards => self.shards(),
             Command::Explain { lid } => self.explain(lid),
-            Command::Unexplained { limit } => self.unexplained(limit),
+            Command::Unexplained { limit, after } => self.unexplained(limit, after),
             Command::Metrics => self.metrics(),
+            Command::Subscribe { kind } => self.subscribe(kind),
             Command::Timeline => self.timeline(),
             Command::Misuse { user } => self.misuse(user),
             Command::Ingest { count } => {
@@ -128,42 +139,125 @@ impl Session {
         resp
     }
 
-    fn unexplained(&self, limit: Option<usize>) -> Response {
+    /// `UNEXPLAINED [limit [AFTER <rid>]]`.
+    ///
+    /// The serving path reads the epoch's **maintained** partition: the
+    /// page is `RowSet` rank + ordered iteration from the cursor — cost
+    /// O(limit), not O(unexplained) — where it used to materialize the
+    /// entire sorted unexplained vector before truncating (the PR 10
+    /// listing-path bugfix). A truncated page ends with the `more …`
+    /// marker plus a `next UNEXPLAINED <limit> AFTER <rid>` cursor line,
+    /// so the residue is actually fetchable. Epoch vectors published
+    /// before the suite was pinned (none, in a served process) fall back
+    /// to cold evaluation with byte-identical output.
+    fn unexplained(&self, limit: Option<usize>, after: Option<u32>) -> Response {
         let svc = &self.service;
-        let unexplained = svc
-            .explainer
-            .unexplained_rows_at_shards(&svc.spec, &self.epochs);
-        let anchor_total = metrics::anchor_rows_at_shards(&self.epochs, &svc.spec).len();
-        let mut resp = Response::ok(format!(
-            "unexplained {} of {} epoch {}",
-            unexplained.len(),
-            anchor_total,
-            self.epochs.seq()
-        ));
-        let shown = limit.unwrap_or(unexplained.len()).min(unexplained.len());
-        for &global in unexplained.iter().take(shown) {
-            let (shard, rid) = self.locate(global);
-            let db = self.epochs.shards()[shard].db();
-            let row = db.table(svc.spec.table).row(rid);
-            resp.push(format!(
-                "lid {} user {} patient {}",
-                row[svc.cols.lid].display(db.pool()),
-                row[svc.cols.user].display(db.pool()),
-                row[svc.cols.patient].display(db.pool())
-            ));
+        match self.epochs.maintained(svc.pin_id()) {
+            Some(m) => {
+                let total = m.unexplained.len();
+                // Rows at or below the cursor are skipped by rank, never
+                // by iteration.
+                let skipped = match after {
+                    None => 0,
+                    Some(u32::MAX) => total,
+                    Some(rid) => m.unexplained.rank(rid + 1),
+                };
+                let remaining = total - skipped;
+                let shown = limit.unwrap_or(remaining).min(remaining);
+                let mut resp = self.unexplained_head(total, m.anchors.len());
+                let mut last = None;
+                let page: Vec<RowId> = match after {
+                    None => m.unexplained.iter().take(shown).collect(),
+                    Some(u32::MAX) => Vec::new(),
+                    Some(rid) => m.unexplained.iter_from(rid + 1).take(shown).collect(),
+                };
+                for global in page {
+                    resp.push(self.render_log_row(global));
+                    last = Some(global);
+                }
+                self.push_page_tail(&mut resp, remaining, shown, limit, last);
+                resp
+            }
+            None => {
+                let unexplained = svc
+                    .explainer
+                    .unexplained_rows_at_shards(&svc.spec, &self.epochs);
+                let anchor_total = metrics::anchor_rows_at_shards(&self.epochs, &svc.spec).len();
+                let total = unexplained.len();
+                let skipped = match after {
+                    None => 0,
+                    Some(rid) => unexplained.partition_point(|&g| g <= rid),
+                };
+                let remaining = total - skipped;
+                let shown = limit.unwrap_or(remaining).min(remaining);
+                let mut resp = self.unexplained_head(total, anchor_total);
+                let mut last = None;
+                for &global in unexplained[skipped..].iter().take(shown) {
+                    resp.push(self.render_log_row(global));
+                    last = Some(global);
+                }
+                self.push_page_tail(&mut resp, remaining, shown, limit, last);
+                resp
+            }
         }
-        // A truncated listing says so on the wire: silence here reads as
-        // "that was everything", which is exactly wrong for an audit.
-        if shown < unexplained.len() {
-            resp.push(format!("more {} rows not shown", unexplained.len() - shown));
-        }
-        resp
     }
 
+    fn unexplained_head(&self, total: usize, anchor_total: usize) -> Response {
+        Response::ok(format!(
+            "unexplained {} of {} epoch {}",
+            total,
+            anchor_total,
+            self.epochs.seq()
+        ))
+    }
+
+    /// Renders one pinned global log row as a listing line.
+    fn render_log_row(&self, global: RowId) -> String {
+        let svc = &self.service;
+        let (shard, rid) = self.locate(global);
+        let db = self.epochs.shards()[shard].db();
+        let row = db.table(svc.spec.table).row(rid);
+        format!(
+            "lid {} user {} patient {}",
+            row[svc.cols.lid].display(db.pool()),
+            row[svc.cols.user].display(db.pool()),
+            row[svc.cols.patient].display(db.pool())
+        )
+    }
+
+    /// A truncated listing says so on the wire — silence reads as "that
+    /// was everything", which is exactly wrong for an audit — and names
+    /// the cursor command that fetches the next page.
+    fn push_page_tail(
+        &self,
+        resp: &mut Response,
+        remaining: usize,
+        shown: usize,
+        limit: Option<usize>,
+        last: Option<RowId>,
+    ) {
+        if shown >= remaining {
+            return;
+        }
+        resp.push(format!("more {} rows not shown", remaining - shown));
+        if let (Some(limit), Some(last)) = (limit, last) {
+            resp.push(format!("next UNEXPLAINED {limit} AFTER {last}"));
+        }
+    }
+
+    /// `METRICS` — an O(1) read of the maintained partition (counts via
+    /// [`eba_relational::Maintained`]'s sets; the intersection is
+    /// allocation-free), with cold scatter-gather as the pre-pin fallback.
     fn metrics(&self) -> Response {
         let svc = &self.service;
-        let suite: Vec<&eba_core::ExplanationTemplate> = svc.explainer.templates().iter().collect();
-        let c = metrics::evaluate_at_shards(&svc.spec, &suite, None, None, &self.epochs);
+        let c = match self.epochs.maintained(svc.pin_id()) {
+            Some(m) => metrics::confusion_from_maintained(m),
+            None => {
+                let suite: Vec<&eba_core::ExplanationTemplate> =
+                    svc.explainer.templates().iter().collect();
+                metrics::evaluate_at_shards(&svc.spec, &suite, None, None, &self.epochs)
+            }
+        };
         let mut resp = Response::ok(format!("metrics epoch {}", self.epochs.seq()));
         resp.push(format!("anchor_total {}", c.real_total));
         resp.push(format!("explained {}", c.real_explained));
@@ -171,6 +265,31 @@ impl Session {
         resp.push(format!("recall {:.6}", c.recall()));
         resp.push(format!("precision {:.6}", c.precision()));
         resp
+    }
+
+    /// `SUBSCRIBE …`: registers with the service and parks the queue for
+    /// the listener to collect. One subscription per session — the frame
+    /// stream has no way to say which feed an `EVENT` belongs to.
+    fn subscribe(&mut self, kind: SubscriptionKind) -> Response {
+        if self.subscription.is_some() {
+            return ProtocolError::Usage("one SUBSCRIBE per session").into();
+        }
+        let (id, rx) = self.service.subscribe(kind);
+        self.subscription = Some((id, rx));
+        match kind {
+            SubscriptionKind::Unexplained => {
+                Response::ok(format!("subscribed unexplained id {id}"))
+            }
+            SubscriptionKind::Misuse { threshold } => {
+                Response::ok(format!("subscribed misuse threshold {threshold} id {id}"))
+            }
+        }
+    }
+
+    /// Hands the pending subscription (if a `SUBSCRIBE` just succeeded)
+    /// to the listener, which then drives the event loop.
+    pub fn take_subscription(&mut self) -> Option<(u64, Receiver<Event>)> {
+        self.subscription.take()
     }
 
     fn timeline(&self) -> Response {
@@ -347,23 +466,27 @@ mod tests {
     fn truncated_listings_carry_an_explicit_more_marker() {
         let svc = service();
         let mut s = Session::new(svc.clone());
+        let unexplained = |limit, after| Command::Unexplained { limit, after };
         // Unlimited listing: every row, no marker.
-        let full = s.handle(Command::Unexplained { limit: None }, vec![]);
+        let full = s.handle(unexplained(None, None), vec![]);
         let total = full.body.len();
         assert!(total > 2, "tiny world has several unexplained accesses");
         assert!(
             full.body.iter().all(|l| l.starts_with("lid ")),
             "no marker on a complete listing"
         );
-        // Truncated listing: the cut is named, with the exact residue.
-        let cut = s.handle(Command::Unexplained { limit: Some(2) }, vec![]);
-        assert_eq!(cut.body.len(), 3);
-        assert_eq!(
-            cut.body.last().map(String::as_str),
-            Some(format!("more {} rows not shown", total - 2).as_str())
+        // Truncated listing: the cut is named, with the exact residue and
+        // the cursor command that fetches the next page.
+        let cut = s.handle(unexplained(Some(2), None), vec![]);
+        assert_eq!(cut.body.len(), 4);
+        assert_eq!(cut.body[2], format!("more {} rows not shown", total - 2));
+        assert!(
+            cut.body[3].starts_with("next UNEXPLAINED 2 AFTER "),
+            "{}",
+            cut.body[3]
         );
         // A limit at (or past) the full length adds no marker.
-        let exact = s.handle(Command::Unexplained { limit: Some(total) }, vec![]);
+        let exact = s.handle(unexplained(Some(total), None), vec![]);
         assert_eq!(exact.body.len(), total);
         assert!(exact.body.iter().all(|l| l.starts_with("lid ")));
         // MISUSE caps its queue at ten: a deeper queue names the residue,
@@ -387,6 +510,94 @@ mod tests {
             }
             _ => assert_eq!(misuse.body.len(), suspects),
         }
+    }
+
+    #[test]
+    fn pagination_cursors_walk_the_whole_listing_in_order() {
+        let svc = service();
+        let mut s = Session::new(svc);
+        let full = s.handle(
+            Command::Unexplained {
+                limit: None,
+                after: None,
+            },
+            vec![],
+        );
+        let total = full.body.len();
+        // Follow the cursor page by page; the concatenation must equal
+        // the unlimited listing byte for byte.
+        let mut pages: Vec<String> = Vec::new();
+        let mut after = None;
+        loop {
+            let page = s.handle(
+                Command::Unexplained {
+                    limit: Some(3),
+                    after,
+                },
+                vec![],
+            );
+            assert_eq!(page.head, full.head, "every page reports full totals");
+            let rows: Vec<&String> = page.body.iter().filter(|l| l.starts_with("lid ")).collect();
+            assert!(rows.len() <= 3);
+            pages.extend(rows.into_iter().cloned());
+            match page
+                .body
+                .iter()
+                .find_map(|l| l.strip_prefix("next UNEXPLAINED 3 AFTER "))
+            {
+                Some(rid) => after = Some(rid.parse().expect("cursor rid")),
+                None => break,
+            }
+            assert!(pages.len() < total + 3, "cursor must terminate");
+        }
+        assert_eq!(pages, full.body);
+        // A cursor past the last row is an empty page, not an error.
+        let end = s.handle(
+            Command::Unexplained {
+                limit: Some(3),
+                after: Some(u32::MAX),
+            },
+            vec![],
+        );
+        assert!(end.is_ok());
+        assert!(end.body.is_empty(), "{:?}", end.body);
+    }
+
+    #[test]
+    fn subscribe_parks_the_queue_and_rejects_a_second_registration() {
+        let svc = service();
+        let mut s = Session::new(svc.clone());
+        let r = s.handle(
+            Command::Subscribe {
+                kind: crate::push::SubscriptionKind::Unexplained,
+            },
+            vec![],
+        );
+        assert!(
+            r.head.starts_with("OK subscribed unexplained id "),
+            "{}",
+            r.head
+        );
+        assert_eq!(svc.subscriber_count(), 1);
+        let again = s.handle(
+            Command::Subscribe {
+                kind: crate::push::SubscriptionKind::Misuse { threshold: 1 },
+            },
+            vec![],
+        );
+        assert!(again.head.starts_with("ERR bad-request "), "{}", again.head);
+        // The listener collects the queue; an ingest then lands on it.
+        let (id, rx) = s.take_subscription().expect("parked subscription");
+        assert!(s.take_subscription().is_none(), "taken once");
+        svc.ingest_rows(&[IngestRow {
+            user: 1,
+            patient: 10_000,
+            day: Some(1),
+        }])
+        .unwrap();
+        assert!(matches!(rx.try_recv(), Ok(Event::Unexplained { .. })));
+        svc.unsubscribe(id);
+        assert_eq!(svc.subscriber_count(), 0);
     }
 
     #[test]
@@ -439,7 +650,10 @@ mod tests {
         let cmds = [
             Command::Metrics,
             Command::Timeline,
-            Command::Unexplained { limit: Some(25) },
+            Command::Unexplained {
+                limit: Some(25),
+                after: None,
+            },
             Command::Misuse { user: None },
             Command::Explain { lid: 1 },
         ];

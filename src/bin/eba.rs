@@ -10,6 +10,7 @@
 //! eba serve --data DIR [--addr HOST:PORT] [--groups] [--shards N]
 //!           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]
 //! eba client --addr HOST:PORT --send "COMMAND ..."
+//! eba watch --addr HOST:PORT [--misuse T] [--events N]
 //! ```
 //!
 //! `synth` writes a CareWeb-shaped data set as one CSV per table; the other
@@ -51,6 +52,7 @@ fn main() {
         "investigate" => cmd_investigate(&opts),
         "serve" => cmd_serve(&opts),
         "client" => cmd_client(&opts),
+        "watch" => cmd_watch(&opts),
         "help" | "--help" | "-h" => usage(""),
         other => usage(&format!("unknown subcommand `{other}`")),
     };
@@ -77,7 +79,8 @@ fn usage(err: &str) -> ! {
          \x20 eba serve --data DIR [--addr HOST:PORT] [--groups] [--shards N]\n\
          \x20           [--pile FILE] [--fsync strict|relaxed] [--timeout SECS]\n\
          \x20           [--max-conn N]\n\
-         \x20 eba client --addr HOST:PORT --send \"COMMAND ...\" [--retries N]"
+         \x20 eba client --addr HOST:PORT --send \"COMMAND ...\" [--retries N]\n\
+         \x20 eba watch --addr HOST:PORT [--misuse T] [--events N]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -504,6 +507,60 @@ fn cmd_client(opts: &Options) -> CliResult {
         exit(1);
     }
     Ok(())
+}
+
+/// `eba watch`: subscribes to a running server's push feed and prints
+/// `EVENT` frames as they arrive. `--misuse T` subscribes to misuse
+/// threshold crossings instead of the default new-unexplained feed;
+/// `--events N` exits cleanly after N events (0 = run until the server
+/// closes the session or sheds us as a slow consumer).
+fn cmd_watch(opts: &Options) -> CliResult {
+    use std::io::Write as _;
+    let addr = opts.require("addr");
+    let events: usize = opts.parsed("events", 0);
+    let subscribe = match opts.get("misuse") {
+        Some(t) => {
+            let t: usize = t
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("invalid value for --misuse: `{t}`")));
+            format!("SUBSCRIBE MISUSE {t}")
+        }
+        None => "SUBSCRIBE UNEXPLAINED".to_string(),
+    };
+    // Watching is an indefinitely-idle activity: disable the client-side
+    // read deadline so a quiet audit log does not look like a dead peer.
+    let config = eba::server::ClientConfig {
+        read_timeout: None,
+        ..eba::server::ClientConfig::default()
+    };
+    let mut client = eba::server::Client::connect_with(addr, config)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reply = client.send(&subscribe)?;
+    let _ = writeln!(std::io::stdout(), "{}", reply.render());
+    if !reply.is_ok() {
+        exit(1);
+    }
+    let mut seen = 0usize;
+    loop {
+        let frame = match client.next_event() {
+            Ok(frame) => frame,
+            // Server shutdown closes subscribed sessions without a
+            // farewell frame; that is a clean end of the feed.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let _ = writeln!(std::io::stdout(), "{}", frame.render());
+        if !frame.is_event() {
+            // `ERR slow-consumer` (we fell behind) or any other
+            // server-initiated teardown notice ends the feed.
+            exit(1);
+        }
+        seen += 1;
+        if events > 0 && seen >= events {
+            let _ = client.send("QUIT");
+            return Ok(());
+        }
+    }
 }
 
 // ---------------------------------------------------------- investigate

@@ -118,8 +118,8 @@ fn protocol_round_trips_over_a_real_socket() {
     );
 
     // UNEXPLAINED with a limit truncates the listing, not the count — and
-    // a truncated listing says so in an explicit trailing marker instead
-    // of silently reading as complete.
+    // a truncated listing says so in an explicit marker plus a resumable
+    // cursor line instead of silently reading as complete.
     let unexplained = c.send("UNEXPLAINED 3").unwrap();
     assert!(unexplained.is_ok());
     let count: usize = unexplained.field("unexplained").unwrap().parse().unwrap();
@@ -132,10 +132,20 @@ fn protocol_round_trips_over_a_real_socket() {
     assert_eq!(listed, count.min(3));
     if count > 3 {
         assert_eq!(
-            unexplained.body.last().map(String::as_str),
-            Some(format!("more {} rows not shown", count - 3).as_str())
+            unexplained.body[3],
+            format!("more {} rows not shown", count - 3)
         );
-        assert_eq!(unexplained.body.len(), 4);
+        let cursor = unexplained.body.last().unwrap();
+        assert!(cursor.starts_with("next UNEXPLAINED 3 AFTER "), "{cursor}");
+        assert_eq!(unexplained.body.len(), 5);
+        // The cursor line is a valid command; the next page starts
+        // strictly after the last listed row and reports the same total.
+        let page2 = c.send(cursor.strip_prefix("next ").unwrap()).unwrap();
+        assert!(page2.is_ok(), "{}", page2.head);
+        assert_eq!(page2.head, unexplained.head, "totals are page-invariant");
+        let first_page2 = page2.body.first().unwrap();
+        assert!(first_page2.starts_with("lid "), "{first_page2}");
+        assert_ne!(first_page2, &unexplained.body[2], "no overlap across pages");
     } else {
         assert_eq!(unexplained.body.len(), count);
     }

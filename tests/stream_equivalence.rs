@@ -1,0 +1,331 @@
+//! The streaming proof: the **maintained** explained/unexplained
+//! partition — advanced inside ingest by delta evaluation — must be
+//! *byte-identical* to a cold from-scratch materialization at every
+//! published epoch, and the server-push feed built on it must behave
+//! over real sockets.
+//!
+//! Library layer (differential, shards {1, 4}):
+//!
+//! * proptest-driven ingest schedules (batch sizes include 0 — an empty
+//!   publication): after every batch, the live engine's maintained
+//!   partition renders byte-for-byte equal to a brand-new engine that
+//!   pins the same suite cold over the same database — anchors,
+//!   explained, unexplained, the `UNEXPLAINED` page shape, and the
+//!   `METRICS` confusion line all match;
+//!
+//! Socket layer (`SUBSCRIBE`/`EVENT` over real TCP):
+//!
+//! * exactly one `EVENT unexplained` frame per publish that produced
+//!   fresh unexplained rows, with per-publish seq/new counts;
+//! * a subscriber that stops reading is shed — the writer's ingest path
+//!   never stalls, the backlog drains, and the stalled session gets one
+//!   `ERR slow-consumer` frame before close;
+//! * epoch-pinned sessions answer byte-identically while the push feed
+//!   fans out around them.
+
+use eba::audit::metrics;
+use eba::relational::{Database, Maintained, ShardKey, ShardedEngine, SharedEngine, Value};
+use eba::server::{AuditService, Client, IngestRow, Server, EVENT_QUEUE_CAP};
+use proptest::prelude::*;
+
+mod common;
+use common::AuditWorld;
+
+/// The partition key the serving layer shards by: the log's patient
+/// column.
+fn key(world: &AuditWorld) -> ShardKey {
+    ShardKey {
+        table: world.spec.table,
+        col: world.spec.patient_col,
+    }
+}
+
+/// Renders one maintained partition in the serving layer's answer
+/// shapes: the `UNEXPLAINED` head + full listing, and the `METRICS`
+/// lines derived from the same sets. Both sides of the differential go
+/// through this exact function, so any byte divergence is in the
+/// *partition*, not the rendering.
+fn render_maintained(m: &Maintained, seq: u64) -> String {
+    let mut out = format!(
+        "unexplained {} of {} epoch {seq}\n",
+        m.unexplained.len(),
+        m.anchors.len()
+    );
+    for rid in m.unexplained.iter() {
+        out.push_str(&format!("row {rid}\n"));
+    }
+    let c = metrics::confusion_from_maintained(m);
+    out.push_str(&format!(
+        "metrics anchor_total {} explained {} unexplained {} log {}\n",
+        c.real_total,
+        c.real_explained,
+        c.real_total - c.real_explained,
+        m.log_len
+    ));
+    out.push_str(&format!("explained_set {:?}\n", m.explained.to_vec()));
+    out
+}
+
+/// Cold oracle: a brand-new sharded engine over the same database pins
+/// the same suite from scratch (pinning materializes the partition with
+/// the from-scratch path, not the incremental one).
+fn cold_maintained(
+    db: &Database,
+    world: &AuditWorld,
+    n_shards: usize,
+) -> std::sync::Arc<Maintained> {
+    let cold = ShardedEngine::new(db.clone(), key(world), n_shards);
+    let pin = cold.pin_suite(world.explainer.suite_pin(&world.spec));
+    let vec = cold.load();
+    vec.maintained(pin)
+        .expect("pin_suite publishes the maintained partition")
+        .clone()
+}
+
+/// Ingests `rows` (strings re-interned through the batch so shard pools
+/// stay aligned) into the live engine — same idiom as the serving path.
+fn ingest_rows(live: &ShardedEngine, source: &Database, rows: &[Vec<Value>]) {
+    live.ingest(|batch| {
+        for row in rows {
+            let mapped: Vec<Value> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => batch.str_value(source.pool().resolve(*s)),
+                    other => *other,
+                })
+                .collect();
+            batch.insert_log(mapped).expect("valid log row");
+        }
+    });
+}
+
+/// Drives a canonical oracle and one live engine through the same batch
+/// schedule; after every publish the live engine's *incrementally
+/// advanced* partition must render byte-identically to a cold pin over
+/// the oracle's database.
+fn run_stream_differential(world: &AuditWorld, n_shards: usize, batches: &[(usize, u64)]) {
+    let oracle = SharedEngine::new(world.hospital.db.clone());
+    let live = ShardedEngine::new(world.hospital.db.clone(), key(world), n_shards);
+    let pin = live.pin_suite(world.explainer.suite_pin(&world.spec));
+
+    let check = |tag: &str| {
+        let vec = live.load();
+        let m = vec
+            .maintained(pin)
+            .expect("every publish carries the maintained partition");
+        let cold = cold_maintained(oracle.load().db(), world, n_shards);
+        assert_eq!(
+            render_maintained(m, vec.seq()),
+            render_maintained(&cold, vec.seq()),
+            "{n_shards} shards: maintained diverged from cold at {tag}"
+        );
+        assert_eq!(
+            m.log_len,
+            vec.global_log_len(),
+            "{n_shards} shards: partition covers the whole log at {tag}"
+        );
+    };
+
+    check("the base epoch");
+    for (b, &(count, seed)) in batches.iter().enumerate() {
+        let before = oracle.load().db().table(world.spec.table).len();
+        oracle.ingest(|db| world.inject_batch(db, count, seed));
+        let epoch = oracle.load();
+        let log = epoch.db().table(world.spec.table);
+        let rows: Vec<Vec<Value>> = (before..log.len())
+            .map(|r| log.row(r as u32).to_vec())
+            .collect();
+        ingest_rows(&live, epoch.db(), &rows);
+        check(&format!("batch {b} ({count} rows)"));
+    }
+}
+
+#[test]
+fn maintained_partition_matches_cold_recompute_over_a_fixed_schedule() {
+    let world = AuditWorld::tiny(51);
+    // Mixed sizes, an empty publication in the middle, and a final
+    // surge — at both the degenerate and the parallel shard count.
+    let batches = [(5usize, 1u64), (0, 2), (12, 3), (1, 4), (17, 5)];
+    for n_shards in [1usize, 4] {
+        run_stream_differential(&world, n_shards, &batches);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random ingest schedules: the incremental partition never drifts
+    /// from the cold recompute, at shard counts 1 and 4.
+    #[test]
+    fn maintained_partition_matches_cold_recompute(
+        batches in prop::collection::vec((0usize..18, 0u64..1000), 1..4)
+    ) {
+        let world = AuditWorld::tiny(52);
+        for n_shards in [1usize, 4] {
+            run_stream_differential(&world, n_shards, &batches);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket layer: SUBSCRIBE / EVENT over real TCP.
+
+/// A never-before-seen user/patient pair: unexplained by construction
+/// (no appointment, visit, or document links them), so every ingest
+/// below produces fresh unexplained rows deterministically.
+fn fresh_rows(tag: i64, n: usize) -> Vec<IngestRow> {
+    (0..n as i64)
+        .map(|i| IngestRow {
+            user: 50_000 + tag * 100 + i,
+            patient: 80_000 + tag * 100 + i,
+            day: Some(1),
+        })
+        .collect()
+}
+
+#[test]
+fn subscribe_feed_delivers_one_event_per_publish() {
+    let server = Server::spawn(AuditService::tiny_synthetic(77), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut sub = Client::connect(addr).unwrap();
+    let ok = sub.send("SUBSCRIBE UNEXPLAINED").unwrap();
+    assert!(
+        ok.head.starts_with("OK subscribed unexplained id "),
+        "{}",
+        ok.head
+    );
+
+    let mut writer = Client::connect(addr).unwrap();
+    for k in 0..3i64 {
+        let reply = writer.ingest(&fresh_rows(k, 2)).unwrap();
+        assert!(reply.is_ok(), "{}", reply.head);
+        let ev = sub.next_event().unwrap();
+        assert!(ev.is_event(), "{}", ev.head);
+        assert_eq!(
+            ev.field("seq").unwrap().parse::<i64>().unwrap(),
+            k + 1,
+            "one event per publish, in publish order"
+        );
+        assert_eq!(ev.field("new").unwrap(), "2", "{}", ev.head);
+        assert!(ev.body[0].starts_with("lid "), "{}", ev.body[0]);
+    }
+
+    // Event mode accepts nothing but QUIT.
+    let bad = sub.send("PING").unwrap();
+    assert!(bad.head.starts_with("ERR bad-request"), "{}", bad.head);
+    let bye = sub.send("QUIT").unwrap();
+    assert_eq!(bye.head, "OK bye");
+}
+
+#[test]
+fn slow_subscriber_is_shed_without_stalling_the_writer_or_its_peers() {
+    let server = Server::spawn(AuditService::tiny_synthetic(78), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let svc = server.service().clone();
+
+    // A healthy dashboard over a real socket...
+    let mut sub = Client::connect(addr).unwrap();
+    let ok = sub.send("SUBSCRIBE UNEXPLAINED").unwrap();
+    assert!(ok.is_ok(), "{}", ok.head);
+    let sub_id: u64 = ok.field("id").unwrap().parse().unwrap();
+    // ...and a genuinely stalled one: its bounded queue is never
+    // drained, so the cap (not kernel socket buffering, which absorbs
+    // megabytes before ever blocking a write) decides its fate.
+    let (_stalled_id, stalled_rx) = svc.subscribe(eba::server::SubscriptionKind::Unexplained);
+    assert_eq!(svc.subscriber_count(), 2);
+
+    // Publish past the queue cap. Every ingest must land: the publisher
+    // never blocks on a full subscriber queue — it sheds.
+    let rounds = (EVENT_QUEUE_CAP + 6) as i64;
+    for r in 0..rounds {
+        svc.ingest_rows(&fresh_rows(1000 + r, 2)).unwrap();
+    }
+    assert_eq!(svc.subscriber_count(), 1, "the stalled dashboard was shed");
+    assert_eq!(svc.shed_subscriber_count(), 1);
+    assert!(
+        svc.warnings().iter().any(|w| w.contains("slow consumer")),
+        "the shed lands in the operator log"
+    );
+
+    // The writer never stalled: every publish landed, observed over a
+    // fresh control session.
+    let mut ctl = Client::connect(addr).unwrap();
+    let seq: i64 = ctl
+        .send("SEQ")
+        .unwrap()
+        .field("published")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(seq, rounds, "one publish per ingest, none stalled");
+
+    // The shed queue holds exactly the bounded backlog, then reports the
+    // publisher's hang-up — nothing silently dropped *within* the cap.
+    assert_eq!(stalled_rx.try_iter().count(), EVENT_QUEUE_CAP);
+    assert!(stalled_rx.try_recv().is_err(), "sender dropped at the shed");
+
+    // The healthy socket subscriber saw every publish, in order, with
+    // no duplicates — shedding its peer never disturbed its feed.
+    for k in 0..rounds {
+        let ev = sub.next_event().unwrap();
+        assert!(ev.is_event(), "{}", ev.head);
+        assert_eq!(
+            ev.field("seq").unwrap().parse::<i64>().unwrap(),
+            k + 1,
+            "exactly one event per publish, in publish order"
+        );
+    }
+
+    // When the publisher drops a socket subscriber's sender (the exact
+    // hang-up the queue-full shed performs), the session delivers one
+    // typed `ERR slow-consumer` frame and closes.
+    svc.unsubscribe(sub_id);
+    let notice = sub.next_event().unwrap();
+    assert!(
+        notice.head.starts_with("ERR slow-consumer"),
+        "{}",
+        notice.head
+    );
+    assert!(
+        sub.read_reply_frame().is_err(),
+        "the connection closes after the shed notice"
+    );
+}
+
+#[test]
+fn pinned_sessions_answer_byte_identically_while_the_feed_fans_out() {
+    let server = Server::spawn(AuditService::tiny_synthetic(79), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut pinned = Client::connect(addr).unwrap();
+    assert!(pinned.send("PIN").unwrap().is_ok());
+    let unexplained_before = pinned.send("UNEXPLAINED 10").unwrap().render();
+    let metrics_before = pinned.send("METRICS").unwrap().render();
+
+    let mut sub = Client::connect(addr).unwrap();
+    assert!(sub.send("SUBSCRIBE UNEXPLAINED").unwrap().is_ok());
+    let mut writer = Client::connect(addr).unwrap();
+    assert!(writer.ingest(&fresh_rows(7, 3)).unwrap().is_ok());
+    let ev = sub.next_event().unwrap();
+    assert!(ev.is_event(), "{}", ev.head);
+
+    // The pinned session's answers have not drifted by a byte...
+    assert_eq!(
+        pinned.send("UNEXPLAINED 10").unwrap().render(),
+        unexplained_before
+    );
+    assert_eq!(pinned.send("METRICS").unwrap().render(), metrics_before);
+
+    // ...until it repins, at which point the new rows are visible.
+    assert!(pinned.send("REPIN").unwrap().is_ok());
+    let after = pinned.send("UNEXPLAINED 10").unwrap();
+    let total: usize = after.field("unexplained").unwrap().parse().unwrap();
+    let before_total: usize = unexplained_before
+        .split_whitespace()
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(total, before_total + 3, "the fresh rows joined the residue");
+}
